@@ -1,0 +1,401 @@
+//! The monotonic algorithms of Table 2, plus Reachability and Max Label
+//! Propagation (listed in §1/§2 as members of the class).
+//!
+//! | algo | `init_val` | `gen_next` | `need_upd` |
+//! |------|-----------|------------|------------|
+//! | BFS  | 0 @ root, ∞ | `src+1` | `next < cur` |
+//! | SSSP | 0 @ root, ∞ | `src + e.data` | `next < cur` |
+//! | SSWP | ∞ @ root, 0 | `min(e.data, src)` | `next > cur` |
+//! | WCC  | `vid` | `src` | `next < cur` (undirected) |
+
+use risgraph_common::ids::{Edge, VertexId, Weight};
+
+use crate::Monotonic;
+
+/// "Infinity" for distance-valued algorithms.
+pub const INF: u64 = u64::MAX;
+
+/// Breadth-First Search: hop distance from a root.
+#[derive(Debug, Clone, Copy)]
+pub struct Bfs {
+    /// The source vertex.
+    pub root: VertexId,
+}
+
+impl Bfs {
+    /// BFS from `root`.
+    pub fn new(root: VertexId) -> Self {
+        Bfs { root }
+    }
+}
+
+impl Monotonic for Bfs {
+    type Value = u64;
+
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    #[inline]
+    fn init_val(&self, v: VertexId) -> u64 {
+        if v == self.root {
+            0
+        } else {
+            INF
+        }
+    }
+
+    #[inline]
+    fn gen_next(&self, _edge: Edge, src_value: u64) -> u64 {
+        src_value.saturating_add(1)
+    }
+
+    #[inline]
+    fn need_upd(&self, _v: VertexId, cur: u64, next: u64) -> bool {
+        next < cur
+    }
+}
+
+/// Single-Source Shortest Path with non-negative integer weights.
+#[derive(Debug, Clone, Copy)]
+pub struct Sssp {
+    /// The source vertex.
+    pub root: VertexId,
+}
+
+impl Sssp {
+    /// SSSP from `root`.
+    pub fn new(root: VertexId) -> Self {
+        Sssp { root }
+    }
+}
+
+impl Monotonic for Sssp {
+    type Value = u64;
+
+    fn name(&self) -> &'static str {
+        "SSSP"
+    }
+
+    #[inline]
+    fn init_val(&self, v: VertexId) -> u64 {
+        if v == self.root {
+            0
+        } else {
+            INF
+        }
+    }
+
+    #[inline]
+    fn gen_next(&self, edge: Edge, src_value: u64) -> u64 {
+        src_value.saturating_add(edge.data)
+    }
+
+    #[inline]
+    fn need_upd(&self, _v: VertexId, cur: u64, next: u64) -> bool {
+        next < cur
+    }
+}
+
+/// Single-Source Widest Path: maximize the minimum edge capacity along a
+/// path ("bottleneck shortest path").
+#[derive(Debug, Clone, Copy)]
+pub struct Sswp {
+    /// The source vertex.
+    pub root: VertexId,
+}
+
+impl Sswp {
+    /// SSWP from `root`.
+    pub fn new(root: VertexId) -> Self {
+        Sswp { root }
+    }
+}
+
+impl Monotonic for Sswp {
+    type Value = u64;
+
+    fn name(&self) -> &'static str {
+        "SSWP"
+    }
+
+    #[inline]
+    fn init_val(&self, v: VertexId) -> u64 {
+        if v == self.root {
+            INF
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn gen_next(&self, edge: Edge, src_value: u64) -> u64 {
+        edge.data.min(src_value)
+    }
+
+    #[inline]
+    fn need_upd(&self, _v: VertexId, cur: u64, next: u64) -> bool {
+        next > cur
+    }
+}
+
+/// Weakly Connected Components by min-label propagation over undirected
+/// edges: every vertex converges to the smallest vertex id in its
+/// component.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Wcc;
+
+impl Wcc {
+    /// WCC (no root parameter).
+    pub fn new() -> Self {
+        Wcc
+    }
+}
+
+impl Monotonic for Wcc {
+    type Value = u64;
+
+    fn name(&self) -> &'static str {
+        "WCC"
+    }
+
+    fn undirected(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn init_val(&self, v: VertexId) -> u64 {
+        v
+    }
+
+    #[inline]
+    fn gen_next(&self, _edge: Edge, src_value: u64) -> u64 {
+        src_value
+    }
+
+    #[inline]
+    fn need_upd(&self, _v: VertexId, cur: u64, next: u64) -> bool {
+        next < cur
+    }
+}
+
+/// Reachability from a root (§1 lists it first among the monotonic
+/// algorithms). Values: 1 = reachable, 0 = not (yet) reachable.
+#[derive(Debug, Clone, Copy)]
+pub struct Reachability {
+    /// The source vertex.
+    pub root: VertexId,
+}
+
+impl Reachability {
+    /// Reachability from `root`.
+    pub fn new(root: VertexId) -> Self {
+        Reachability { root }
+    }
+}
+
+impl Monotonic for Reachability {
+    type Value = u64;
+
+    fn name(&self) -> &'static str {
+        "Reachability"
+    }
+
+    #[inline]
+    fn init_val(&self, v: VertexId) -> u64 {
+        (v == self.root) as u64
+    }
+
+    #[inline]
+    fn gen_next(&self, _edge: Edge, src_value: u64) -> u64 {
+        src_value
+    }
+
+    #[inline]
+    fn need_upd(&self, _v: VertexId, cur: u64, next: u64) -> bool {
+        next > cur
+    }
+}
+
+/// Max Label Propagation: every vertex converges to the largest label
+/// reachable *to* it (labels seeded as `base_label(vid)`); directed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxLabel;
+
+impl MaxLabel {
+    /// Max-label propagation.
+    pub fn new() -> Self {
+        MaxLabel
+    }
+}
+
+impl Monotonic for MaxLabel {
+    type Value = u64;
+
+    fn name(&self) -> &'static str {
+        "MaxLabel"
+    }
+
+    #[inline]
+    fn init_val(&self, v: VertexId) -> u64 {
+        v
+    }
+
+    #[inline]
+    fn gen_next(&self, _edge: Edge, src_value: u64) -> u64 {
+        src_value
+    }
+
+    #[inline]
+    fn need_upd(&self, _v: VertexId, cur: u64, next: u64) -> bool {
+        next > cur
+    }
+}
+
+/// A weight generator helper: BFS and WCC ignore weights, SSSP wants
+/// small positive distances, SSWP wants capacities. Benchmarks use this
+/// to keep workload generation algorithm-agnostic.
+pub fn clamp_weight_for(name: &str, w: Weight) -> Weight {
+    match name {
+        "BFS" | "WCC" | "Reachability" | "MaxLabel" => 0,
+        _ => (w % 1000) + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(src: VertexId, dst: VertexId, w: Weight) -> Edge {
+        Edge::new(src, dst, w)
+    }
+
+    #[test]
+    fn bfs_table2_semantics() {
+        let a = Bfs::new(3);
+        assert_eq!(a.init_val(3), 0);
+        assert_eq!(a.init_val(0), INF);
+        assert_eq!(a.gen_next(e(3, 4, 9), 0), 1); // weight ignored
+        assert_eq!(a.gen_next(e(3, 4, 9), INF), INF); // saturates
+        assert!(a.need_upd(4, INF, 1));
+        assert!(!a.need_upd(4, 1, 1));
+        assert!(!a.need_upd(4, 1, 2));
+    }
+
+    #[test]
+    fn sssp_table2_semantics() {
+        let a = Sssp::new(0);
+        assert_eq!(a.gen_next(e(0, 1, 7), 5), 12);
+        assert_eq!(a.gen_next(e(0, 1, 7), INF), INF);
+        assert!(a.need_upd(1, 13, 12));
+        assert!(!a.need_upd(1, 12, 12));
+    }
+
+    #[test]
+    fn sswp_table2_semantics() {
+        let a = Sswp::new(0);
+        assert_eq!(a.init_val(0), INF);
+        assert_eq!(a.init_val(9), 0);
+        assert_eq!(a.gen_next(e(0, 1, 7), INF), 7);
+        assert_eq!(a.gen_next(e(1, 2, 10), 7), 7);
+        assert_eq!(a.gen_next(e(1, 2, 3), 7), 3);
+        assert!(a.need_upd(2, 3, 7)); // wider is better
+        assert!(!a.need_upd(2, 7, 3));
+    }
+
+    #[test]
+    fn wcc_table2_semantics() {
+        let a = Wcc::new();
+        assert!(a.undirected());
+        assert_eq!(a.init_val(42), 42);
+        assert_eq!(a.gen_next(e(5, 9, 0), 3), 3);
+        assert!(a.need_upd(9, 9, 3)); // smaller label wins
+        assert!(!a.need_upd(9, 3, 9));
+    }
+
+    #[test]
+    fn reachability_semantics() {
+        let a = Reachability::new(7);
+        assert_eq!(a.init_val(7), 1);
+        assert_eq!(a.init_val(8), 0);
+        assert!(a.need_upd(8, 0, 1));
+        assert!(!a.need_upd(8, 1, 1));
+        assert_eq!(a.gen_next(e(7, 8, 0), 1), 1);
+    }
+
+    #[test]
+    fn max_label_semantics() {
+        let a = MaxLabel::new();
+        assert_eq!(a.init_val(4), 4);
+        assert!(a.need_upd(4, 4, 9));
+        assert!(!a.need_upd(4, 9, 4));
+    }
+
+    /// need_upd must be a strict order: irreflexive and asymmetric.
+    /// (Transitivity over u64 comparisons is immediate.)
+    #[test]
+    fn need_upd_is_strict_for_all_algorithms() {
+        fn check<A: Monotonic<Value = u64>>(a: &A, samples: &[u64]) {
+            for &x in samples {
+                assert!(!a.need_upd(0, x, x), "{} reflexive at {x}", a.name());
+                for &y in samples {
+                    assert!(
+                        !(a.need_upd(0, x, y) && a.need_upd(0, y, x)),
+                        "{} not asymmetric at ({x},{y})",
+                        a.name()
+                    );
+                }
+            }
+        }
+        let samples = [0u64, 1, 2, 100, INF - 1, INF];
+        check(&Bfs::new(0), &samples);
+        check(&Sssp::new(0), &samples);
+        check(&Sswp::new(0), &samples);
+        check(&Wcc::new(), &samples);
+        check(&Reachability::new(0), &samples);
+        check(&MaxLabel::new(), &samples);
+    }
+
+    /// gen_next must be monotone in the source value: a better source
+    /// value never yields a worse candidate.
+    #[test]
+    fn gen_next_is_monotone_for_all_algorithms() {
+        fn check<A: Monotonic<Value = u64>>(a: &A, samples: &[u64], weights: &[u64]) {
+            for &w in weights {
+                let edge = e(0, 1, w);
+                for &x in samples {
+                    for &y in samples {
+                        if a.need_upd(0, x, y) {
+                            // y better than x at the source ⇒ candidate
+                            // from y must not be worse than from x.
+                            let cx = a.gen_next(edge, x);
+                            let cy = a.gen_next(edge, y);
+                            assert!(
+                                !a.need_upd(1, cy, cx),
+                                "{}: src {x}->{y} worsened candidate {cx}->{cy} (w={w})",
+                                a.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let samples = [0u64, 1, 2, 7, 100, INF - 1, INF];
+        let weights = [0u64, 1, 5, 1000];
+        check(&Bfs::new(0), &samples, &weights);
+        check(&Sssp::new(0), &samples, &weights);
+        check(&Sswp::new(0), &samples, &weights);
+        check(&Wcc::new(), &samples, &weights);
+        check(&Reachability::new(0), &samples, &weights);
+        check(&MaxLabel::new(), &samples, &weights);
+    }
+
+    #[test]
+    fn weight_clamping() {
+        assert_eq!(clamp_weight_for("BFS", 123), 0);
+        assert_eq!(clamp_weight_for("WCC", 123), 0);
+        let w = clamp_weight_for("SSSP", 123456);
+        assert!((1..=1000).contains(&w));
+        assert!(clamp_weight_for("SSWP", 0) >= 1);
+    }
+}

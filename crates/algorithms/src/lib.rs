@@ -1,0 +1,96 @@
+//! RisGraph's **Algorithm API** (Table 1, upper half) and the monotonic
+//! algorithms the paper evaluates (Table 2).
+//!
+//! A monotonic algorithm approaches its final per-vertex values
+//! monotonically from initial values; incremental computing can resume
+//! from current results after insertions, and recover from deletions via
+//! the dependency tree + trimmed approximation (KickStarter's model,
+//! which RisGraph adopts — §2).
+//!
+//! The API is three callbacks:
+//!
+//! | callback | signature | meaning |
+//! |----------|-----------|---------|
+//! | `init_val` | `(vid) → value` | initial (worst) value per vertex |
+//! | `gen_next` | `(edge, src_value) → value` | candidate value for `edge.dst` through `edge` |
+//! | `need_upd` | `(vid, cur, next) → bool` | does `next` improve on `cur`? |
+//!
+//! [`reference::compute`] provides a slow fixpoint oracle used throughout
+//! the test suites to validate the incremental engine and baselines.
+
+pub mod algorithms;
+pub mod reference;
+
+pub use algorithms::{Bfs, MaxLabel, Reachability, Sssp, Sswp, Wcc};
+
+use risgraph_common::ids::{Edge, VertexId};
+
+/// A monotonic graph algorithm, as defined by the paper's Algorithm API.
+///
+/// Implementations must satisfy the *monotonicity contract*:
+///
+/// 1. `need_upd(v, cur, next)` defines a strict partial order ("next is
+///    strictly better than cur") — irreflexive and transitive;
+/// 2. `gen_next` is *inflationary with respect to the source*: improving
+///    the source's value never makes the generated candidate worse
+///    (needed for push-propagation to converge);
+/// 3. `init_val(v)` is the worst value: no value is worse than it
+///    (except the root's init, which is its final value lower bound).
+///
+/// These are exactly the assumptions under which KickStarter-style
+/// dependency-tree maintenance is correct; the property-based tests in
+/// this crate check them for every shipped algorithm.
+pub trait Monotonic: Send + Sync + 'static {
+    /// Per-vertex result type.
+    type Value: Copy + Eq + Send + Sync + std::fmt::Debug;
+
+    /// Display name used by benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Whether the algorithm interprets edges as undirected (Table 2's
+    /// WCC; §6.2: "WCC requires undirected edges"). The engine then
+    /// treats the transpose adjacency as additional neighbours.
+    fn undirected(&self) -> bool {
+        false
+    }
+
+    /// Initial value of `v` (Table 1: `init_val(vid) → init_value`).
+    fn init_val(&self, v: VertexId) -> Self::Value;
+
+    /// Candidate value for `edge.dst` derived from `edge` and the value
+    /// of `edge.src` (Table 1: `gen_next(edge, src_value) → next_value`).
+    fn gen_next(&self, edge: Edge, src_value: Self::Value) -> Self::Value;
+
+    /// Whether `next` strictly improves on `cur` for vertex `v`
+    /// (Table 1: `need_upd(vid, cur_value, next_value) → is_needed`).
+    fn need_upd(&self, v: VertexId, cur: Self::Value, next: Self::Value) -> bool;
+}
+
+/// Type-erased algorithms are algorithms too: lets the engines and
+/// baselines accept `Arc<dyn Monotonic<Value = _>>` wherever a generic
+/// `A: Monotonic` is expected.
+impl<V: Copy + Eq + Send + Sync + std::fmt::Debug + 'static> Monotonic
+    for std::sync::Arc<dyn Monotonic<Value = V>>
+{
+    type Value = V;
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn undirected(&self) -> bool {
+        (**self).undirected()
+    }
+
+    fn init_val(&self, v: VertexId) -> V {
+        (**self).init_val(v)
+    }
+
+    fn gen_next(&self, edge: Edge, src_value: V) -> V {
+        (**self).gen_next(edge, src_value)
+    }
+
+    fn need_upd(&self, v: VertexId, cur: V, next: V) -> bool {
+        (**self).need_upd(v, cur, next)
+    }
+}

@@ -1,0 +1,170 @@
+//! A slow-but-obviously-correct fixpoint oracle.
+//!
+//! [`compute`] evaluates any [`Monotonic`] algorithm on a static edge
+//! list by chaotic iteration (Bellman-Ford style worklist) until no
+//! `need_upd` fires. Every engine in the workspace — the incremental
+//! engine, the KickStarter-style baseline, the differential baseline —
+//! is differential-tested against this oracle after random update
+//! sequences.
+
+use risgraph_common::ids::{Edge, VertexId, Weight};
+
+use crate::Monotonic;
+
+/// Compute the fixpoint values of `alg` over `edges` for vertices
+/// `0..num_vertices`.
+///
+/// Runs in O(iterations × touched edges); fine for the ≤10⁵-edge graphs
+/// used in tests, not meant for benchmarks.
+pub fn compute<A: Monotonic>(
+    alg: &A,
+    num_vertices: usize,
+    edges: &[(VertexId, VertexId, Weight)],
+) -> Vec<A::Value> {
+    let mut values: Vec<A::Value> = (0..num_vertices as u64).map(|v| alg.init_val(v)).collect();
+
+    // Out-adjacency (plus reverse for undirected algorithms).
+    let mut adj: Vec<Vec<(VertexId, Weight)>> = vec![Vec::new(); num_vertices];
+    for &(s, d, w) in edges {
+        adj[s as usize].push((d, w));
+        if alg.undirected() {
+            adj[d as usize].push((s, w));
+        }
+    }
+
+    let mut in_queue = vec![false; num_vertices];
+    let mut queue: std::collections::VecDeque<VertexId> =
+        (0..num_vertices as u64).collect();
+    in_queue.fill(true);
+
+    while let Some(u) = queue.pop_front() {
+        in_queue[u as usize] = false;
+        let uv = values[u as usize];
+        for &(d, w) in &adj[u as usize] {
+            let cand = alg.gen_next(Edge::new(u, d, w), uv);
+            if alg.need_upd(d, values[d as usize], cand) {
+                values[d as usize] = cand;
+                if !in_queue[d as usize] {
+                    in_queue[d as usize] = true;
+                    queue.push_back(d);
+                }
+            }
+        }
+    }
+    values
+}
+
+/// Count how many vertices hold a non-initial value. The "visited"
+/// column of Table 3 is this count plus one for the root (whose initial
+/// value already equals its final value).
+pub fn count_non_initial<A: Monotonic>(alg: &A, values: &[A::Value]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .filter(|&(v, &val)| val != alg.init_val(v as u64))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Bfs, Sssp, Sswp, Wcc, INF};
+
+    /// Diamond: 0→1 (w4), 0→2 (w1), 2→1 (w1), 1→3 (w1).
+    fn diamond() -> Vec<(VertexId, VertexId, Weight)> {
+        vec![(0, 1, 4), (0, 2, 1), (2, 1, 1), (1, 3, 1)]
+    }
+
+    #[test]
+    fn bfs_on_diamond() {
+        let v = compute(&Bfs::new(0), 4, &diamond());
+        assert_eq!(v, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn sssp_takes_cheaper_path() {
+        let v = compute(&Sssp::new(0), 4, &diamond());
+        assert_eq!(v, vec![0, 2, 1, 3]); // via 0→2→1, not direct 0→1
+    }
+
+    #[test]
+    fn sswp_takes_wider_path() {
+        let v = compute(&Sswp::new(0), 4, &diamond());
+        // widest to 1: direct edge capacity 4 beats min(1,1)=1.
+        assert_eq!(v, vec![INF, 4, 1, 1]);
+    }
+
+    #[test]
+    fn wcc_merges_components_undirected() {
+        // Directed edge 5→0 must still merge both into component 0.
+        let v = compute(&Wcc::new(), 6, &[(5, 0, 0), (1, 2, 0), (3, 4, 0)]);
+        assert_eq!(v, vec![0, 1, 1, 3, 3, 0]);
+    }
+
+    #[test]
+    fn unreachable_vertices_keep_init() {
+        let v = compute(&Bfs::new(0), 3, &[(1, 2, 0)]);
+        assert_eq!(v, vec![0, INF, INF]);
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let v = compute(&Sssp::new(0), 3, &[(0, 1, 1), (1, 2, 1), (2, 0, 1)]);
+        assert_eq!(v, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let v = compute(&Bfs::new(0), 1, &[]);
+        assert_eq!(v, vec![0]);
+        let v: Vec<u64> = compute(&Wcc::new(), 0, &[]);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn self_loops_are_harmless() {
+        let v = compute(&Bfs::new(0), 2, &[(0, 0, 0), (0, 1, 0)]);
+        assert_eq!(v, vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicate_edges_do_not_change_result() {
+        let once = compute(&Sssp::new(0), 3, &[(0, 1, 5), (1, 2, 5)]);
+        let twice = compute(
+            &Sssp::new(0),
+            3,
+            &[(0, 1, 5), (0, 1, 5), (1, 2, 5), (1, 2, 5)],
+        );
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn random_graph_bfs_matches_textbook_bfs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200;
+        let mut edges = Vec::new();
+        for _ in 0..800 {
+            edges.push((rng.gen_range(0..n as u64), rng.gen_range(0..n as u64), 0));
+        }
+        let ours = compute(&Bfs::new(0), n, &edges);
+
+        // Textbook queue BFS.
+        let mut adj = vec![Vec::new(); n];
+        for &(s, d, _) in &edges {
+            adj[s as usize].push(d);
+        }
+        let mut dist = vec![INF; n];
+        dist[0] = 0;
+        let mut q = std::collections::VecDeque::from([0u64]);
+        while let Some(u) = q.pop_front() {
+            for &d in &adj[u as usize] {
+                if dist[d as usize] == INF {
+                    dist[d as usize] = dist[u as usize] + 1;
+                    q.push_back(d);
+                }
+            }
+        }
+        assert_eq!(ours, dist);
+    }
+}

@@ -1,0 +1,90 @@
+//! Criterion comparison of per-update analysis across the three engines
+//! (the Figure 14 kernel at batch size 2): RisGraph's incremental
+//! engine vs the KickStarter-style and Differential-Dataflow-style
+//! baselines processing one insertion + one deletion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use risgraph_baselines::{Differential, KickStarter};
+use risgraph_common::ids::Update;
+use risgraph_core::engine::Engine;
+use risgraph_workloads::{datasets::by_abbr, StreamConfig};
+
+const SCALE: u32 = 11;
+
+type Workload = (Vec<(u64, u64, u64)>, Vec<Update>, usize, u64);
+
+fn workload() -> Workload {
+    let spec = by_abbr("TT").unwrap();
+    let data = spec.generate(SCALE, 0);
+    let stream = StreamConfig::default().build(&data.edges);
+    let ups: Vec<Update> = stream.updates.iter().take(64).copied().collect();
+    (stream.preload, ups, data.num_vertices, data.root)
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let (preload, updates, n, root) = workload();
+    let mut group = c.benchmark_group("per_update_batch_of_2");
+    group.sample_size(10);
+
+    group.bench_function("risgraph", |b| {
+        b.iter_batched(
+            || {
+                let e: Engine =
+                    Engine::with_algorithm(risgraph_algorithms::Bfs::new(root), n);
+                e.load_edges(&preload);
+                e
+            },
+            |engine| {
+                for pair in updates.chunks(2) {
+                    for u in pair {
+                        let _ = engine.apply(u);
+                    }
+                }
+                engine
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("kickstarter_style", |b| {
+        b.iter_batched(
+            || {
+                let mut k = KickStarter::new(risgraph_algorithms::Bfs::new(root), n);
+                k.load(&preload);
+                k
+            },
+            |mut ks| {
+                for pair in updates.chunks(2) {
+                    ks.apply_batch(pair);
+                }
+                ks
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("differential_style", |b| {
+        b.iter_batched(
+            || {
+                let mut d = Differential::new(risgraph_algorithms::Bfs::new(root), n);
+                d.load(&preload);
+                d
+            },
+            |mut dd| {
+                for pair in updates.chunks(2) {
+                    dd.apply_batch(pair);
+                }
+                dd
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_compare
+}
+criterion_main!(benches);

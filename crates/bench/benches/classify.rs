@@ -1,0 +1,54 @@
+//! Criterion micro-benchmark for the concurrency-control module: §4
+//! claims classification is "light-weight … it does not require any
+//! scanning" — it must sit in the tens of nanoseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use risgraph_common::ids::Update;
+use risgraph_core::engine::Engine;
+use risgraph_workloads::{datasets::by_abbr, StreamConfig};
+
+fn bench_classify(c: &mut Criterion) {
+    let spec = by_abbr("TT").unwrap();
+    let data = spec.generate(12, 0);
+    let stream = StreamConfig::default().build(&data.edges);
+    let engine: Engine = Engine::with_algorithm(
+        risgraph_algorithms::Bfs::new(data.root),
+        data.num_vertices,
+    );
+    engine.load_edges(&stream.preload);
+    let updates: Vec<Update> = stream.updates.into_iter().take(4096).collect();
+
+    let mut group = c.benchmark_group("classification");
+    group.throughput(criterion::Throughput::Elements(updates.len() as u64));
+    group.bench_function("classify_update", |b| {
+        b.iter(|| {
+            let mut safe = 0usize;
+            for u in &updates {
+                if engine.classify(u) == risgraph_core::engine::Safety::Safe {
+                    safe += 1;
+                }
+            }
+            safe
+        })
+    });
+    let txns: Vec<Vec<Update>> = updates.chunks(8).map(|c| c.to_vec()).collect();
+    group.bench_function("classify_txn_of_8", |b| {
+        b.iter(|| {
+            let mut safe = 0usize;
+            for t in &txns {
+                if engine.classify_txn(t) == risgraph_core::engine::Safety::Safe {
+                    safe += 1;
+                }
+            }
+            safe
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_classify
+}
+criterion_main!(benches);

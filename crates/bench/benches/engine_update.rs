@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks for per-update analysis — the paper's
+//! headline: microsecond-level mean processing per update, with safe
+//! updates far cheaper than unsafe ones.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use risgraph_common::ids::Update;
+use risgraph_core::engine::{Engine, Safety};
+use risgraph_workloads::{datasets::by_abbr, StreamConfig};
+use std::sync::Arc;
+
+const SCALE: u32 = 12;
+
+fn setup(alg: &str) -> (Engine, Vec<Update>, Vec<Update>) {
+    let spec = by_abbr("TT").unwrap();
+    let data = spec.generate(SCALE, if alg == "SSSP" { 100 } else { 0 });
+    let stream = StreamConfig::default().build(&data.edges);
+    let engine: Engine = Engine::new(
+        vec![match alg {
+            "BFS" => Arc::new(risgraph_algorithms::Bfs::new(data.root)) as _,
+            _ => Arc::new(risgraph_algorithms::Sssp::new(data.root)) as _,
+        }],
+        data.num_vertices,
+        Default::default(),
+    );
+    engine.load_edges(&stream.preload);
+    let mut safe = Vec::new();
+    let mut unsafe_ = Vec::new();
+    for u in stream.updates.iter().take(20_000) {
+        match engine.classify(u) {
+            Safety::Safe => safe.push(*u),
+            Safety::Unsafe => unsafe_.push(*u),
+        }
+    }
+    (engine, safe, unsafe_)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    for alg in ["BFS", "SSSP"] {
+        let mut group = c.benchmark_group(format!("per_update_{alg}"));
+        group.sample_size(10);
+        group.bench_function("safe_path", |b| {
+            b.iter_batched(
+                || setup(alg),
+                |(engine, safe, _)| {
+                    for u in safe.iter().take(256) {
+                        let _ = engine.try_apply_safe(u);
+                    }
+                    engine
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function("unsafe_path", |b| {
+            b.iter_batched(
+                || setup(alg),
+                |(engine, _, unsafe_)| {
+                    for u in unsafe_.iter().take(64) {
+                        let _ = engine.apply_unsafe(u);
+                    }
+                    engine
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function("mixed_apply", |b| {
+            b.iter_batched(
+                || {
+                    let spec = by_abbr("TT").unwrap();
+                    let data = spec.generate(SCALE, 0);
+                    let stream = StreamConfig::default().build(&data.edges);
+                    let engine: Engine = Engine::with_algorithm(
+                        risgraph_algorithms::Bfs::new(data.root),
+                        data.num_vertices,
+                    );
+                    engine.load_edges(&stream.preload);
+                    let ups: Vec<Update> = stream.updates.into_iter().take(512).collect();
+                    (engine, ups)
+                },
+                |(engine, ups)| {
+                    for u in &ups {
+                        let _ = engine.apply(u);
+                    }
+                    engine
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_engine
+}
+criterion_main!(benches);

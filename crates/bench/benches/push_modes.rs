@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for Hybrid Parallel Mode (§3.2):
+//! propagation cost under sequential, vertex-parallel, edge-parallel
+//! and hybrid execution — the Figure 13 kernel isolated.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use risgraph_core::classifier::PushMode;
+use risgraph_core::engine::{Engine, EngineConfig};
+use risgraph_core::push::PushConfig;
+use risgraph_common::ids::{Edge, Update};
+use risgraph_workloads::rmat::RmatConfig;
+use std::sync::Arc;
+
+const SCALE: u32 = 12;
+
+fn make_engine(mode: Option<PushMode>, sequential_grain: usize) -> (Engine, Vec<Edge>) {
+    let cfg = RmatConfig {
+        scale: SCALE,
+        edge_factor: 16.0,
+        ..RmatConfig::default()
+    };
+    let edges = cfg.generate();
+    let engine: Engine = Engine::new(
+        vec![Arc::new(risgraph_algorithms::Bfs::new(0))],
+        cfg.num_vertices(),
+        EngineConfig {
+            push: PushConfig {
+                forced_mode: mode,
+                sequential_grain,
+                ..PushConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    );
+    engine.load_edges(&edges);
+    // Tree edges near the root: deleting them causes real propagation.
+    let mut churn = Vec::new();
+    for v in 0..cfg.num_vertices() as u64 {
+        if let Some(pe) = engine.parent(0, v) {
+            if engine.value(0, v) <= 2 {
+                churn.push(pe);
+            }
+        }
+        if churn.len() >= 16 {
+            break;
+        }
+    }
+    (engine, churn)
+}
+
+fn bench_push(c: &mut Criterion) {
+    let mut group = c.benchmark_group("push_mode_tree_churn");
+    group.sample_size(10);
+    for (name, mode, grain) in [
+        ("sequential", None, usize::MAX),
+        ("vertex_parallel", Some(PushMode::VertexParallel), 0),
+        ("edge_parallel", Some(PushMode::EdgeParallel), 0),
+        ("hybrid", None, 4096),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || make_engine(mode, grain),
+                |(engine, churn)| {
+                    for e in &churn {
+                        engine.apply(&Update::DelEdge(*e)).unwrap();
+                        engine.apply(&Update::InsEdge(*e)).unwrap();
+                    }
+                    engine
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_push
+}
+criterion_main!(benches);

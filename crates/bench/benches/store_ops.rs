@@ -1,0 +1,140 @@
+//! Criterion micro-benchmarks for the graph store (§3.1's
+//! microsecond-level update claim): single-edge insert/delete across
+//! the three index families, plus the scan/bloom baselines.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use risgraph_common::ids::{Edge, Update};
+use risgraph_storage::baseline::{BloomStore, ScanStore};
+use risgraph_storage::index::EdgeIndex;
+use risgraph_storage::{ArtIndex, BTreeIndex, GraphStore, HashIndex};
+use risgraph_workloads::rmat::RmatConfig;
+
+const SCALE: u32 = 12;
+
+fn edges() -> Vec<(u64, u64, u64)> {
+    RmatConfig {
+        scale: SCALE,
+        edge_factor: 16.0,
+        ..RmatConfig::default()
+    }
+    .generate()
+}
+
+fn loaded<I: EdgeIndex>(edges: &[(u64, u64, u64)]) -> GraphStore<I> {
+    let s = GraphStore::with_capacity(1 << SCALE);
+    for &(a, b, w) in edges {
+        s.insert_edge(Edge::new(a, b, w)).unwrap();
+    }
+    s
+}
+
+fn bench_store(c: &mut Criterion) {
+    let es = edges();
+    let preload = &es[..es.len() * 9 / 10];
+    let fresh: Vec<Edge> = es[es.len() * 9 / 10..]
+        .iter()
+        .map(|&(a, b, w)| Edge::new(a, b, w))
+        .collect();
+
+    let mut group = c.benchmark_group("store_insert");
+    group.sample_size(20);
+    macro_rules! ins_bench {
+        ($name:literal, $index:ty) => {
+            group.bench_function($name, |b| {
+                b.iter_batched(
+                    || loaded::<$index>(preload),
+                    |store| {
+                        for e in &fresh {
+                            store.insert_edge(*e).unwrap();
+                        }
+                        store
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        };
+    }
+    ins_bench!("IA_Hash", HashIndex);
+    ins_bench!("IA_BTree", BTreeIndex);
+    ins_bench!("IA_ART", ArtIndex);
+    group.finish();
+
+    let mut group = c.benchmark_group("store_delete");
+    group.sample_size(20);
+    macro_rules! del_bench {
+        ($name:literal, $index:ty) => {
+            group.bench_function($name, |b| {
+                b.iter_batched(
+                    || {
+                        let s = loaded::<$index>(preload);
+                        for e in &fresh {
+                            s.insert_edge(*e).unwrap();
+                        }
+                        s
+                    },
+                    |store| {
+                        for e in &fresh {
+                            store.delete_edge(*e).unwrap();
+                        }
+                        store
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        };
+    }
+    del_bench!("IA_Hash", HashIndex);
+    del_bench!("IA_BTree", BTreeIndex);
+    del_bench!("IA_ART", ArtIndex);
+    group.finish();
+
+    // Baselines: the per-batch full pass is the story (Figure 4).
+    let mut group = c.benchmark_group("store_single_update_baselines");
+    group.sample_size(20);
+    group.bench_function("scan_store_batch_of_1", |b| {
+        b.iter_batched(
+            || {
+                let mut s = ScanStore::with_capacity(1 << SCALE);
+                let batch: Vec<Update> = preload
+                    .iter()
+                    .map(|&(a, bb, w)| Update::InsEdge(Edge::new(a, bb, w)))
+                    .collect();
+                s.apply_batch(&batch);
+                s
+            },
+            |mut store| {
+                for e in fresh.iter().take(32) {
+                    store.apply_batch(&[Update::InsEdge(*e)]);
+                }
+                store
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("bloom_store_insert", |b| {
+        b.iter_batched(
+            || {
+                let mut s = BloomStore::with_capacity(1 << SCALE);
+                for &(a, bb, w) in preload {
+                    s.insert_edge(Edge::new(a, bb, w));
+                }
+                s
+            },
+            |mut store| {
+                for e in fresh.iter().take(32) {
+                    store.insert_edge(*e);
+                }
+                store
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_store
+}
+criterion_main!(benches);

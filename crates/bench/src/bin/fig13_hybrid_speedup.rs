@@ -1,0 +1,111 @@
+//! **Figure 13** — speedup of edge-parallel and hybrid-parallel over
+//! vertex-parallel for the slow (unsafe) updates, per dataset ×
+//! algorithm.
+//!
+//! §6.3 setup: scheduler and history disabled, safe updates applied
+//! first in bulk, then unsafe updates measured one by one. Paper
+//! results: edge-parallel ≈ +3.9% geomean with wins up to 1.74×;
+//! hybrid ≈ 1.24× over vertex-parallel on the slowest 1% updates.
+
+use risgraph_bench::drivers::{algorithm, needs_weights, ALGORITHMS};
+use risgraph_bench::{dataset_selection, print_table, scale, threads};
+use risgraph_common::stats::geometric_mean;
+use risgraph_core::classifier::PushMode;
+use risgraph_core::engine::{Engine, EngineConfig, Safety};
+use risgraph_core::push::PushConfig;
+use risgraph_workloads::StreamConfig;
+
+fn run_mode(
+    alg_name: &str,
+    data: &risgraph_workloads::Dataset,
+    updates: &[risgraph_common::ids::Update],
+    preload: &[(u64, u64, u64)],
+    mode: Option<PushMode>,
+    sequential_grain: usize,
+) -> f64 {
+    let config = EngineConfig {
+        threads: threads(),
+        push: PushConfig {
+            forced_mode: mode,
+            sequential_grain,
+            ..PushConfig::default()
+        },
+        ..EngineConfig::default()
+    };
+    let engine: Engine = Engine::new(
+        vec![algorithm(alg_name, data.root)],
+        data.num_vertices,
+        config,
+    );
+    engine.load_edges(preload);
+    // Apply unsafe updates one by one; measure only their latency.
+    let mut total_ns = 0u64;
+    let mut count = 0u64;
+    for u in updates {
+        if engine.classify(u) == Safety::Unsafe {
+            let t = std::time::Instant::now();
+            let _ = engine.apply_unsafe(u);
+            total_ns += t.elapsed().as_nanos() as u64;
+            count += 1;
+        } else {
+            let _ = engine.try_apply_safe(u);
+        }
+    }
+    total_ns as f64 / count.max(1) as f64
+}
+
+fn main() {
+    println!("Figure 13: push-mode speedups over vertex-parallel (unsafe updates)\n");
+    let mut rows = Vec::new();
+    let mut edge_ratios = Vec::new();
+    let mut hybrid_ratios = Vec::new();
+    let mut localized_ratios = Vec::new();
+    for spec in dataset_selection() {
+        let mut row = vec![spec.abbr.to_string()];
+        for alg_name in ALGORITHMS {
+            let data = spec.generate(scale(), if needs_weights(alg_name) { 1000 } else { 0 });
+            let stream = StreamConfig {
+                timestamped: spec.temporal,
+                ..StreamConfig::default()
+            }
+            .build(&data.edges);
+            let take = stream.updates.len().min(8_000);
+            let updates = &stream.updates[..take];
+            // Forced modes and classifier-only hybrid run with zero
+            // sequential grain (pure parallelization-strategy ablation);
+            // "localized" adds RisGraph's small-frontier sequential
+            // cutoff — the full §3.2 design.
+            let t_vertex = run_mode(alg_name, &data, updates, &stream.preload, Some(PushMode::VertexParallel), 0);
+            let t_edge = run_mode(alg_name, &data, updates, &stream.preload, Some(PushMode::EdgeParallel), 0);
+            let t_hybrid = run_mode(alg_name, &data, updates, &stream.preload, None, 0);
+            let t_localized = run_mode(alg_name, &data, updates, &stream.preload, None, 4096);
+            edge_ratios.push(t_vertex / t_edge.max(1.0));
+            hybrid_ratios.push(t_vertex / t_hybrid.max(1.0));
+            localized_ratios.push(t_vertex / t_localized.max(1.0));
+            row.push(format!(
+                "{:.2}/{:.2}/{:.2}",
+                t_vertex / t_edge.max(1.0),
+                t_vertex / t_hybrid.max(1.0),
+                t_vertex / t_localized.max(1.0)
+            ));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["".to_string()];
+    headers.extend(ALGORITHMS.iter().map(|a| format!("{a} e/h/loc")));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(&header_refs, &rows);
+    println!(
+        "\ngeomean speedup vs vertex-parallel: edge {:.3}x, hybrid(classifier) {:.3}x, \
+         hybrid+sequential-cutoff {:.3}x",
+        geometric_mean(&edge_ratios),
+        geometric_mean(&hybrid_ratios),
+        geometric_mean(&localized_ratios)
+    );
+    println!(
+        "Paper: edge-parallel geomean ≈ 1.04x (wins to 1.74x); hybrid ≈ 1.24x on the\n\
+         slowest 1%. The classifier's margin needs multiple cores to materialize;\n\
+         the localized column (hybrid + sequential small-frontier cutoff) shows the\n\
+         full §3.2 design and should dominate on any host."
+    );
+}

@@ -1,0 +1,107 @@
+//! **Figure 14** — RisGraph-Batch (RG-B) vs KickStarter-style (KS) vs
+//! Differential-Dataflow-style (DD) engines across batch sizes:
+//! (a/b) speedups, (c) per-batch latency, (d) throughput. BFS and SSSP,
+//! per §6.4 (WAL and history disabled; RisGraph processes updates of a
+//! batch back-to-back and answers once per batch).
+//!
+//! Paper shape: at batch=2 RG-B leads KS by ~10³–10⁴× and DD by ~10³×;
+//! the advantage decays as batches grow, crossing over beyond ~20M
+//! updates (here: beyond the scaled-down equivalent).
+
+use std::time::Instant;
+
+use risgraph_baselines::{Differential, KickStarter};
+use risgraph_bench::drivers::{algorithm, needs_weights};
+use risgraph_bench::{fmt_duration_us, fmt_ops, print_table, scale, threads};
+use risgraph_common::ids::Update;
+use risgraph_core::engine::{Engine, EngineConfig};
+use risgraph_workloads::StreamConfig;
+
+fn main() {
+    let spec = risgraph_workloads::datasets::by_abbr("TT").unwrap();
+    println!(
+        "Figure 14: RG-Batch vs KickStarter-style vs DD-style on the {} stand-in\n",
+        spec.name
+    );
+    for alg_name in ["BFS", "SSSP"] {
+        println!("--- {alg_name} ---");
+        let data = spec.generate(scale(), if needs_weights(alg_name) { 1000 } else { 0 });
+        let stream = StreamConfig {
+            timestamped: spec.temporal,
+            ..StreamConfig::default()
+        }
+        .build(&data.edges);
+        let updates = &stream.updates;
+
+        let mut rows = Vec::new();
+        for &bs in &[2usize, 20, 200, 2_000, 20_000] {
+            if bs > updates.len() {
+                break;
+            }
+            let n_batches = (updates.len() / bs).clamp(1, 50);
+            let batches: Vec<&[Update]> =
+                updates.chunks(bs).take(n_batches).collect();
+
+            // --- RisGraph batch mode: per-update incremental engine,
+            //     one result view per batch, WAL/history off.
+            let engine: Engine = Engine::new(
+                vec![algorithm(alg_name, data.root)],
+                data.num_vertices,
+                EngineConfig {
+                    threads: threads(),
+                    ..EngineConfig::default()
+                },
+            );
+            engine.load_edges(&stream.preload);
+            let t = Instant::now();
+            for batch in &batches {
+                for u in *batch {
+                    let _ = engine.apply(u);
+                }
+            }
+            let rg = t.elapsed().as_nanos() as f64 / batches.len() as f64;
+
+            // --- KickStarter-style.
+            let mut ks = KickStarter::new(algorithm(alg_name, data.root), data.num_vertices);
+            ks.load(&stream.preload);
+            let t = Instant::now();
+            for batch in &batches {
+                ks.apply_batch(batch);
+            }
+            let ks_t = t.elapsed().as_nanos() as f64 / batches.len() as f64;
+
+            // --- DD-style.
+            let mut dd = Differential::new(algorithm(alg_name, data.root), data.num_vertices);
+            dd.load(&stream.preload);
+            let t = Instant::now();
+            for batch in &batches {
+                dd.apply_batch(batch);
+            }
+            let dd_t = t.elapsed().as_nanos() as f64 / batches.len() as f64;
+
+            rows.push(vec![
+                bs.to_string(),
+                fmt_duration_us(rg),
+                fmt_duration_us(ks_t),
+                fmt_duration_us(dd_t),
+                format!("{:.0}x", ks_t / rg.max(1.0)),
+                format!("{:.0}x", dd_t / rg.max(1.0)),
+                fmt_ops(bs as f64 / (rg / 1e9)),
+            ]);
+        }
+        print_table(
+            &[
+                "batch", "RG-B/batch", "KS/batch", "DD/batch", "KS/RG", "DD/RG",
+                "RG throughput",
+            ],
+            &rows,
+        );
+        println!();
+    }
+    println!(
+        "Paper shape: per-update (batch=2) speedups of 10³–10⁴× over KS and ~10³×\n\
+         over DD, decaying with batch size; the gap closes as batches approach\n\
+         graph scale. Absolute ratios here shrink with the stand-in graph size\n\
+         (the baselines' per-batch term is O(|V|+|E|))."
+    );
+}

@@ -1,0 +1,66 @@
+//! **§6.2 (multiple algorithms)** — throughput while maintaining BFS,
+//! SSSP and SSWP simultaneously (WCC excluded: it needs undirected
+//! edges while the other three are directed, as the paper notes).
+//! Latency constraint relaxed to P999 ≤ 60 ms, matching the paper.
+//!
+//! Paper: 1.20M ops/s (HepPh) down to 288K (LinkBench) — lower than the
+//! single-algorithm peaks because an update is safe only if it is safe
+//! for *every* algorithm.
+
+use risgraph_bench::drivers::algorithm;
+use risgraph_bench::{dataset_selection, max_sessions, measure_server, print_table, scale, threads};
+use risgraph_core::server::ServerConfig;
+use risgraph_workloads::StreamConfig;
+
+fn main() {
+    println!("§6.2: maintaining BFS + SSSP + SSWP simultaneously (P999 ≤ 60 ms)\n");
+    let mut rows = Vec::new();
+    for spec in dataset_selection() {
+        let data = spec.generate(scale(), 1000); // weighted for SSSP/SSWP
+        let stream = StreamConfig {
+            timestamped: spec.temporal,
+            ..StreamConfig::default()
+        }
+        .build(&data.edges);
+        let take = stream.updates.len().min(40_000);
+        let mut config = ServerConfig::default();
+        config.engine.threads = threads();
+        config.scheduler.latency_limit = std::time::Duration::from_millis(60);
+        let multi = measure_server(
+            vec![
+                algorithm("BFS", data.root),
+                algorithm("SSSP", data.root),
+                algorithm("SSWP", data.root),
+            ],
+            &stream.preload,
+            &stream.updates[..take],
+            data.num_vertices,
+            max_sessions().min(threads() * 4),
+            config.clone(),
+        );
+        let single = measure_server(
+            vec![algorithm("BFS", data.root)],
+            &stream.preload,
+            &stream.updates[..take],
+            data.num_vertices,
+            max_sessions().min(threads() * 4),
+            config,
+        );
+        rows.push(vec![
+            spec.abbr.to_string(),
+            risgraph_bench::fmt_ops(multi.throughput),
+            format!("{:.2}ms", multi.p999_ms),
+            risgraph_bench::fmt_ops(single.throughput),
+            format!("{:.2}", multi.throughput / single.throughput.max(1.0)),
+        ]);
+    }
+    print_table(
+        &["dataset", "3-algo T.", "3-algo P999", "BFS-only T.", "ratio"],
+        &rows,
+    );
+    println!(
+        "\nPaper shape: multi-algorithm throughput remains in the 10⁵–10⁶ ops/s\n\
+         range but below single-algorithm peaks (conjunctive safety shrinks the\n\
+         parallel-phase share)."
+    );
+}

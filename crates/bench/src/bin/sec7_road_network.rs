@@ -1,0 +1,54 @@
+//! **§7 (non-power-law graphs)** — per-update throughput on the USA
+//! road-network stand-in, all four algorithms.
+//!
+//! Paper: 26.7K ops/s (BFS), 4.10K (SSSP), 154K (SSWP), 10.4K (WCC) —
+//! orders of magnitude below the power-law numbers, because road
+//! deletions invalidate long thin subtrees whose recovery walks long
+//! paths (large affected areas, §7's AFF bound is loose when the tree
+//! diameter is huge).
+
+use risgraph_bench::drivers::{algorithm, needs_weights, ALGORITHMS};
+use risgraph_bench::{fmt_ops, max_sessions, measure_server, print_table, scale, threads};
+use risgraph_core::server::ServerConfig;
+use risgraph_workloads::StreamConfig;
+
+fn main() {
+    let spec = risgraph_workloads::datasets::by_abbr("RD").unwrap();
+    println!("§7: per-update analysis on the USA-road stand-in\n");
+    let mut rows = Vec::new();
+    // Also run one power-law dataset for contrast.
+    let contrast = risgraph_workloads::datasets::by_abbr("TT").unwrap();
+    for (label, sp) in [("USA-road", spec), ("Twitter (contrast)", contrast)] {
+        let mut row = vec![label.to_string()];
+        for alg_name in ALGORITHMS {
+            let data = sp.generate(scale(), if needs_weights(alg_name) { 16 } else { 0 });
+            let stream = StreamConfig {
+                timestamped: sp.temporal,
+                ..StreamConfig::default()
+            }
+            .build(&data.edges);
+            let take = stream.updates.len().min(30_000);
+            let mut config = ServerConfig::default();
+            config.engine.threads = threads();
+            let perf = measure_server(
+                vec![algorithm(alg_name, data.root)],
+                &stream.preload,
+                &stream.updates[..take],
+                data.num_vertices,
+                max_sessions().min(threads() * 4),
+                config,
+            );
+            row.push(fmt_ops(perf.throughput));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["dataset".to_string()];
+    headers.extend(ALGORITHMS.iter().map(|a| a.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(&header_refs, &rows);
+    println!(
+        "\nPaper shape: the road network runs 1–3 orders of magnitude below the\n\
+         power-law graphs (26.7K BFS / 4.1K SSSP / 154K SSWP / 10.4K WCC on the\n\
+         real USA graph); SSWP holds up best, SSSP worst."
+    );
+}

@@ -1,0 +1,92 @@
+//! **§7 (Discussion)** — affected areas could be small: the exact mean
+//! AFFV/AFFE of the live dependency forest vs the paper's closed-form
+//! bounds `(D_T+1)/d̄` and `2(D_T+1)`, on a power-law stand-in and on
+//! the road network, plus the *measured* affected area (vertices
+//! actually modified per unsafe update) for comparison.
+
+use risgraph_bench::drivers::{algorithm, needs_weights, ALGORITHMS};
+use risgraph_bench::{print_table, scale, threads};
+use risgraph_core::affected::analyze;
+use risgraph_core::engine::{Engine, EngineConfig, Safety};
+use risgraph_workloads::StreamConfig;
+
+fn main() {
+    println!("§7: affected-area analysis (bounds vs measurement)\n");
+    let mut rows = Vec::new();
+    for abbr in ["TT", "UK", "RD"] {
+        let spec = risgraph_workloads::datasets::by_abbr(abbr).unwrap();
+        for alg_name in ALGORITHMS {
+            if spec.family == risgraph_workloads::datasets::Family::Road && alg_name == "WCC" {
+                // Road WCC at small scale is one giant component; skip
+                // the degenerate row to keep the table focused.
+                continue;
+            }
+            let data = spec.generate(scale(), if needs_weights(alg_name) { 100 } else { 0 });
+            let stream = StreamConfig {
+                timestamped: spec.temporal,
+                ..StreamConfig::default()
+            }
+            .build(&data.edges);
+            let engine: Engine = Engine::new(
+                vec![algorithm(alg_name, data.root)],
+                data.num_vertices,
+                EngineConfig {
+                    threads: threads(),
+                    ..EngineConfig::default()
+                },
+            );
+            engine.load_edges(&stream.preload);
+            let report = analyze(&engine, 0);
+
+            // Measured affected area: average modified vertices per
+            // unsafe update over a sample of the stream.
+            let mut modified = 0u64;
+            let mut unsafe_count = 0u64;
+            for u in stream.updates.iter().take(5_000) {
+                match engine.classify(u) {
+                    Safety::Unsafe => {
+                        if let Ok(set) = engine.apply_unsafe(u) {
+                            modified += set.len() as u64;
+                            unsafe_count += 1;
+                        }
+                    }
+                    Safety::Safe => {
+                        let _ = engine.try_apply_safe(u);
+                    }
+                }
+            }
+            rows.push(vec![
+                format!("{abbr}/{alg_name}"),
+                format!("{:.1}", report.tree_depth as f64),
+                format!("{:.2}", report.mean_degree),
+                format!("{:.3}", report.mean_affv),
+                format!("{:.3}", report.affv_bound),
+                format!("{:.1}", report.mean_affe),
+                format!("{:.1}", report.affe_bound),
+                format!(
+                    "{:.3}",
+                    modified as f64 / unsafe_count.max(1) as f64
+                ),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "graph/algo",
+            "D_T",
+            "d̄",
+            "AFFV",
+            "(D_T+1)/d̄",
+            "AFFE",
+            "2(D_T+1)",
+            "measured |mod|/unsafe",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper shape: on power-law graphs D_T is small and d̄ large, so mean AFFV\n\
+         ≪ 1 and AFFE is a few dozen — per-update repairs touch almost nothing.\n\
+         On the road network D_T is huge: affected areas (and thus §7's measured\n\
+         throughput drop) grow by orders of magnitude."
+    );
+}

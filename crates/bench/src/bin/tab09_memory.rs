@@ -1,0 +1,67 @@
+//! **Table 9** — memory usage of the six store layouts relative to the
+//! raw data (16 B/edge unweighted, 24 B/edge weighted).
+//!
+//! Paper: IA_Hash 3.25× (unweighted) / 3.38× (weighted); BTree the most
+//! compact (≈2.36×/2.50×); the transpose doubles everything and the
+//! indexes bring most of the overhead.
+
+use risgraph_bench::{dataset_selection, print_table, scale};
+use risgraph_common::ids::Edge;
+use risgraph_storage::index::EdgeIndex;
+use risgraph_storage::index_only::IndexOnlyStore;
+use risgraph_storage::{ArtIndex, BTreeIndex, GraphStore, HashIndex};
+
+fn measure_ia<I: EdgeIndex>(edges: &[(u64, u64, u64)], n: usize) -> usize {
+    let store: GraphStore<I> = GraphStore::with_capacity(n);
+    for &(s, d, w) in edges {
+        store.insert_edge(Edge::new(s, d, w)).unwrap();
+    }
+    store.stats().memory_bytes
+}
+
+fn measure_io<I: EdgeIndex>(edges: &[(u64, u64, u64)], n: usize) -> usize {
+    let store: IndexOnlyStore<I> = IndexOnlyStore::with_capacity(n);
+    for &(s, d, w) in edges {
+        store.insert_edge(Edge::new(s, d, w)).unwrap();
+    }
+    store.memory_bytes()
+}
+
+fn main() {
+    println!("Table 9: memory usage relative to raw data\n");
+    let spec = dataset_selection()
+        .into_iter()
+        .find(|d| d.abbr == "TT")
+        .copied()
+        .unwrap_or(*risgraph_workloads::datasets::by_abbr("TT").unwrap());
+
+    let mut rows = Vec::new();
+    for (label, max_w, bytes_per_edge) in
+        [("Unweighted", 0u64, 16usize), ("8B_Weight", 1000, 24)]
+    {
+        let data = spec.generate(scale(), max_w);
+        let raw = data.edges.len() * bytes_per_edge;
+        let n = data.num_vertices;
+        let rel = |bytes: usize| format!("{:.2}", bytes as f64 / raw as f64);
+        rows.push(vec![
+            label.to_string(),
+            rel(measure_ia::<ArtIndex>(&data.edges, n)),
+            rel(measure_ia::<BTreeIndex>(&data.edges, n)),
+            rel(measure_ia::<HashIndex>(&data.edges, n)),
+            rel(measure_io::<ArtIndex>(&data.edges, n)),
+            rel(measure_io::<BTreeIndex>(&data.edges, n)),
+            rel(measure_io::<HashIndex>(&data.edges, n)),
+        ]);
+    }
+    print_table(
+        &["", "IA_ART", "IA_BTree", "IA_Hash", "IO_ART", "IO_BTree", "IO_Hash"],
+        &rows,
+    );
+    println!(
+        "\nPaper: IA row 3.63 / 2.36 / 3.25 and IO row 3.45 / 2.10 / 2.97\n\
+         (unweighted); BTree most compact, Hash in between, ART largest.\n\
+         Note: the paper's 512-degree index threshold means *indexes only\n\
+         exist on hubs*; at reduced scale fewer vertices cross it, so the\n\
+         absolute ratios shift while the ordering is preserved."
+    );
+}

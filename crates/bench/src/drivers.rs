@@ -1,0 +1,238 @@
+//! Benchmark drivers: emulated synchronous sessions (§6.2) and the
+//! single-writer per-update loop used by the ablation experiments.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use risgraph_algorithms::{Bfs, Sssp, Sswp, Wcc};
+use risgraph_common::ids::Update;
+use risgraph_common::stats::LatencyHistogram;
+use risgraph_core::engine::{DynAlgorithm, Engine, Safety};
+use risgraph_core::server::{Server, ServerConfig};
+use risgraph_storage::index::EdgeIndex;
+
+/// Aggregated client-side measurements, in the units Figure 10b prints.
+#[derive(Debug, Clone)]
+pub struct PerfResult {
+    /// Updates per second over the whole run.
+    pub throughput: f64,
+    /// Mean processing-time latency (µs).
+    pub mean_us: f64,
+    /// P999 processing-time latency (ms).
+    pub p999_ms: f64,
+    /// Fraction of updates within the 20 ms limit.
+    pub within_limit: f64,
+    /// Total updates executed.
+    pub updates: u64,
+    /// The merged latency histogram (for further analysis).
+    pub histogram: LatencyHistogram,
+}
+
+/// Build the paper's algorithm set by name.
+pub fn algorithm(name: &str, root: u64) -> DynAlgorithm {
+    match name {
+        "BFS" => Arc::new(Bfs::new(root)),
+        "SSSP" => Arc::new(Sssp::new(root)),
+        "SSWP" => Arc::new(Sswp::new(root)),
+        "WCC" => Arc::new(Wcc::new()),
+        other => panic!("unknown algorithm {other}"),
+    }
+}
+
+/// The four algorithms of §6.2 (Table 2).
+pub const ALGORITHMS: [&str; 4] = ["BFS", "SSSP", "SSWP", "WCC"];
+
+/// Whether an algorithm needs weighted edges.
+pub fn needs_weights(name: &str) -> bool {
+    matches!(name, "SSSP" | "SSWP")
+}
+
+/// Run emulated synchronous sessions against a server (§6.2's TPC-C
+/// style setup): `sessions` client threads each own a shard of the
+/// update stream, submitting one update at a time and waiting for the
+/// response; latency is measured client-side.
+pub fn measure_server(
+    algorithms: Vec<DynAlgorithm>,
+    preload: &[(u64, u64, u64)],
+    updates: &[Update],
+    capacity: usize,
+    sessions: usize,
+    config: ServerConfig,
+) -> PerfResult {
+    let server: Arc<Server> = Arc::new(
+        Server::start(algorithms, capacity, config).expect("server start"),
+    );
+    server.load_edges(preload);
+
+    let sessions = sessions.max(1).min(updates.len().max(1));
+    let shards: Vec<Vec<Update>> = (0..sessions)
+        .map(|s| {
+            updates
+                .iter()
+                .skip(s)
+                .step_by(sessions)
+                .copied()
+                .collect()
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(sessions);
+    for shard in shards {
+        let server = Arc::clone(&server);
+        handles.push(std::thread::spawn(move || {
+            let session = server.session();
+            let mut hist = LatencyHistogram::new();
+            let mut done = 0u64;
+            for u in shard {
+                let t = Instant::now();
+                let reply = match u {
+                    Update::InsEdge(e) => session.ins_edge(e),
+                    Update::DelEdge(e) => session.del_edge(e),
+                    Update::InsVertex(v) => session.ins_vertex(v),
+                    Update::DelVertex(v) => session.del_vertex(v),
+                };
+                hist.record(t.elapsed());
+                if reply.outcome.is_ok() {
+                    done += 1;
+                }
+            }
+            (hist, done)
+        }));
+    }
+    let mut merged = LatencyHistogram::new();
+    let mut total = 0u64;
+    for h in handles {
+        let (hist, done) = h.join().expect("client thread");
+        merged.merge(&hist);
+        total += done;
+    }
+    let elapsed = t0.elapsed();
+    let server = Arc::try_unwrap(server).ok().expect("all sessions joined");
+    server.shutdown();
+
+    PerfResult {
+        throughput: total as f64 / elapsed.as_secs_f64(),
+        mean_us: merged.mean_us(),
+        p999_ms: merged.p999_ms(),
+        within_limit: merged.fraction_within(std::time::Duration::from_millis(20)),
+        updates: total,
+        histogram: merged,
+    }
+}
+
+/// Like [`measure_server`] but submitting fixed-size transactions.
+pub fn measure_server_txn(
+    algorithms: Vec<DynAlgorithm>,
+    preload: &[(u64, u64, u64)],
+    txns: &[Vec<Update>],
+    capacity: usize,
+    sessions: usize,
+    config: ServerConfig,
+) -> PerfResult {
+    let server: Arc<Server> = Arc::new(
+        Server::start(algorithms, capacity, config).expect("server start"),
+    );
+    server.load_edges(preload);
+    let sessions = sessions.max(1).min(txns.len().max(1));
+    let shards: Vec<Vec<Vec<Update>>> = (0..sessions)
+        .map(|s| txns.iter().skip(s).step_by(sessions).cloned().collect())
+        .collect();
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(sessions);
+    for shard in shards {
+        let server = Arc::clone(&server);
+        handles.push(std::thread::spawn(move || {
+            let session = server.session();
+            let mut hist = LatencyHistogram::new();
+            let mut done = 0u64;
+            for txn in shard {
+                let n = txn.len() as u64;
+                let t = Instant::now();
+                let reply = session.txn_updates(txn);
+                hist.record(t.elapsed());
+                if reply.outcome.is_ok() {
+                    done += n;
+                }
+            }
+            (hist, done)
+        }));
+    }
+    let mut merged = LatencyHistogram::new();
+    let mut total = 0u64;
+    for h in handles {
+        let (hist, done) = h.join().expect("client thread");
+        merged.merge(&hist);
+        total += done;
+    }
+    let elapsed = t0.elapsed();
+    let server = Arc::try_unwrap(server).ok().expect("all sessions joined");
+    server.shutdown();
+    PerfResult {
+        throughput: total as f64 / elapsed.as_secs_f64(),
+        mean_us: merged.mean_us(),
+        p999_ms: merged.p999_ms(),
+        within_limit: merged.fraction_within(std::time::Duration::from_millis(20)),
+        updates: total,
+        histogram: merged,
+    }
+}
+
+/// Single-writer per-update statistics (ablation experiments run the
+/// engine directly, like §6.3: "The scheduler and history store are
+/// disabled in this part").
+#[derive(Debug, Clone)]
+pub struct PerUpdateStats {
+    /// Per-update latency histogram.
+    pub histogram: LatencyHistogram,
+    /// Updates classified (and executed) safe.
+    pub safe: u64,
+    /// Updates executed on the unsafe path.
+    pub unsafe_: u64,
+    /// Updates whose execution changed at least one result value.
+    pub changed_results: u64,
+    /// Wall time of the whole run.
+    pub elapsed: std::time::Duration,
+    /// Latency histogram of unsafe updates only (tail analysis).
+    pub unsafe_histogram: LatencyHistogram,
+}
+
+/// Apply `updates` one by one through the engine, recording per-update
+/// latency and classification.
+pub fn run_per_update<I: EdgeIndex>(engine: &Engine<I>, updates: &[Update]) -> PerUpdateStats {
+    let mut hist = LatencyHistogram::new();
+    let mut unsafe_hist = LatencyHistogram::new();
+    let (mut safe, mut unsafe_, mut changed) = (0u64, 0u64, 0u64);
+    let t0 = Instant::now();
+    for u in updates {
+        let t = Instant::now();
+        let outcome = engine.apply(u);
+        let d = t.elapsed();
+        hist.record(d);
+        if let Ok((safety, set)) = outcome {
+            match safety {
+                Safety::Safe => safe += 1,
+                Safety::Unsafe => {
+                    unsafe_ += 1;
+                    unsafe_hist.record(d);
+                }
+            }
+            if set
+                .per_algo
+                .iter()
+                .flatten()
+                .any(|c| c.value_changed())
+            {
+                changed += 1;
+            }
+        }
+    }
+    PerUpdateStats {
+        histogram: hist,
+        safe,
+        unsafe_,
+        changed_results: changed,
+        elapsed: t0.elapsed(),
+        unsafe_histogram: unsafe_hist,
+    }
+}

@@ -1,0 +1,64 @@
+//! Plain-text table rendering in the paper's style.
+
+/// Format ops/s like the paper ("3.42M", "989K", "417").
+pub fn fmt_ops(v: f64) -> String {
+    risgraph_common::stats::format_ops(v)
+}
+
+/// Format a duration given in nanoseconds with an adaptive unit.
+pub fn fmt_duration_us(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Print an aligned table with a header row.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i.min(widths.len() - 1)]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(fmt_duration_us(500.0), "500ns");
+        assert_eq!(fmt_duration_us(2_500.0), "2.50us");
+        assert_eq!(fmt_duration_us(3_000_000.0), "3.00ms");
+        assert_eq!(fmt_duration_us(1.5e9), "1.50s");
+    }
+
+    #[test]
+    fn table_renders_without_panic() {
+        print_table(
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

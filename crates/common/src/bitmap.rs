@@ -1,0 +1,228 @@
+//! Dense bitmaps.
+//!
+//! RisGraph itself prefers sparse arrays (§3.2), but bitmaps are still
+//! needed in two places: (1) the engine converts active sets to bitmaps
+//! "only when performing pull operations" (§5), and (2) the
+//! KickStarter-style baseline uses dense bitmaps as its active-vertex
+//! representation, which is exactly the overhead Figure 5 / §3.2 call out.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::ids::VertexId;
+
+/// A plain (single-writer) fixed-capacity bitmap.
+#[derive(Debug, Clone)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl Bitmap {
+    /// All-zero bitmap over `[0, capacity)`.
+    pub fn new(capacity: usize) -> Self {
+        Bitmap {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Universe size.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Set bit `v`; returns true if it was previously clear.
+    #[inline]
+    pub fn set(&mut self, v: VertexId) -> bool {
+        let (w, b) = (v as usize / 64, v as usize % 64);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] |= mask;
+        !was
+    }
+
+    /// Clear bit `v`.
+    #[inline]
+    pub fn unset(&mut self, v: VertexId) {
+        let (w, b) = (v as usize / 64, v as usize % 64);
+        self.words[w] &= !(1u64 << b);
+    }
+
+    /// Test bit `v`.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> bool {
+        let (w, b) = (v as usize / 64, v as usize % 64);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Zero every word — the O(|V|/64) full-scan clear the paper's
+    /// baseline pays per iteration.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Count set bits (O(words)).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate over set bits in ascending order.
+    pub fn iter(&self) -> BitmapIter<'_> {
+        BitmapIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Iterator over set bits of a [`Bitmap`].
+pub struct BitmapIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitmapIter<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as u64;
+                self.current &= self.current - 1;
+                return Some(self.word_idx as u64 * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+/// A bitmap whose bits can be set concurrently from many threads; used by
+/// parallel pull phases where several workers activate destinations.
+pub struct AtomicBitmap {
+    words: Vec<AtomicU64>,
+    capacity: usize,
+}
+
+impl AtomicBitmap {
+    /// All-zero bitmap over `[0, capacity)`.
+    pub fn new(capacity: usize) -> Self {
+        let mut words = Vec::with_capacity(capacity.div_ceil(64));
+        words.resize_with(capacity.div_ceil(64), || AtomicU64::new(0));
+        AtomicBitmap { words, capacity }
+    }
+
+    /// Universe size.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Atomically set bit `v`; returns true if this call flipped it.
+    #[inline]
+    pub fn set(&self, v: VertexId) -> bool {
+        let (w, b) = (v as usize / 64, v as usize % 64);
+        let mask = 1u64 << b;
+        self.words[w].fetch_or(mask, Ordering::AcqRel) & mask == 0
+    }
+
+    /// Test bit `v`.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> bool {
+        let (w, b) = (v as usize / 64, v as usize % 64);
+        self.words[w].load(Ordering::Acquire) & (1u64 << b) != 0
+    }
+
+    /// Zero all words (single-threaded phase boundary only).
+    pub fn clear(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_unset() {
+        let mut b = Bitmap::new(130);
+        assert!(b.set(0));
+        assert!(b.set(129));
+        assert!(!b.set(129));
+        assert!(b.get(0));
+        assert!(b.get(129));
+        assert!(!b.get(64));
+        b.unset(129);
+        assert!(!b.get(129));
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn iter_yields_ascending() {
+        let mut b = Bitmap::new(200);
+        for v in [3u64, 64, 65, 127, 199] {
+            b.set(v);
+        }
+        let got: Vec<_> = b.iter().collect();
+        assert_eq!(got, vec![3, 64, 65, 127, 199]);
+    }
+
+    #[test]
+    fn clear_resets_all() {
+        let mut b = Bitmap::new(100);
+        b.set(42);
+        b.clear();
+        assert_eq!(b.count(), 0);
+        assert!(!b.get(42));
+    }
+
+    #[test]
+    fn empty_bitmap_iterates_nothing() {
+        let b = Bitmap::new(0);
+        assert_eq!(b.iter().count(), 0);
+        let b = Bitmap::new(64);
+        assert_eq!(b.iter().count(), 0);
+    }
+
+    #[test]
+    fn atomic_set_reports_flip() {
+        let b = AtomicBitmap::new(128);
+        assert!(b.set(100));
+        assert!(!b.set(100));
+        assert!(b.get(100));
+        b.clear();
+        assert!(!b.get(100));
+    }
+
+    #[test]
+    fn atomic_concurrent_sets() {
+        use std::sync::Arc;
+        let b = Arc::new(AtomicBitmap::new(1024));
+        let mut handles = Vec::new();
+        let flips = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        for t in 0..4 {
+            let b = Arc::clone(&b);
+            let flips = Arc::clone(&flips);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1024u64 {
+                    if b.set((i + t) % 1024) {
+                        flips.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Each bit flips exactly once across all threads.
+        assert_eq!(flips.load(Ordering::Relaxed), 1024);
+    }
+}

@@ -1,0 +1,97 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+use crate::ids::{Edge, VersionId, VertexId};
+
+/// Errors surfaced by the public APIs.
+#[derive(Debug)]
+pub enum Error {
+    /// The referenced vertex does not exist (or has been deleted).
+    VertexNotFound(VertexId),
+    /// An edge operation referenced an edge that is not in the graph.
+    EdgeNotFound(Edge),
+    /// Attempted to insert a vertex id that already exists.
+    VertexExists(VertexId),
+    /// Attempted to delete a vertex that still has incident edges; the
+    /// paper requires users to delete all edges first (§4 rule 1).
+    VertexNotIsolated(VertexId),
+    /// The requested history version has been garbage-collected or never
+    /// existed.
+    VersionNotFound(VersionId),
+    /// A transaction was rejected (e.g. it contained conflicting
+    /// operations on the same edge).
+    InvalidTransaction(String),
+    /// The session id is unknown (e.g. already closed).
+    SessionNotFound(u64),
+    /// Write-ahead-log I/O or corruption error.
+    Wal(String),
+    /// The engine has been shut down.
+    Shutdown,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::VertexNotFound(v) => write!(f, "vertex {v} not found"),
+            Error::EdgeNotFound(e) => {
+                write!(f, "edge {}->{} (data {}) not found", e.src, e.dst, e.data)
+            }
+            Error::VertexExists(v) => write!(f, "vertex {v} already exists"),
+            Error::VertexNotIsolated(v) => {
+                write!(f, "vertex {v} still has incident edges")
+            }
+            Error::VersionNotFound(v) => write!(f, "version {v} not found (GCed?)"),
+            Error::InvalidTransaction(msg) => write!(f, "invalid transaction: {msg}"),
+            Error::SessionNotFound(s) => write!(f, "session {s} not found"),
+            Error::Wal(msg) => write!(f, "WAL error: {msg}"),
+            Error::Shutdown => write!(f, "engine has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Wal(e.to_string())
+    }
+}
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Edge;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let msgs = [
+            Error::VertexNotFound(3).to_string(),
+            Error::EdgeNotFound(Edge::new(1, 2, 9)).to_string(),
+            Error::VertexExists(4).to_string(),
+            Error::VertexNotIsolated(5).to_string(),
+            Error::VersionNotFound(6).to_string(),
+            Error::InvalidTransaction("dup".into()).to_string(),
+            Error::SessionNotFound(7).to_string(),
+            Error::Wal("io".into()).to_string(),
+            Error::Shutdown.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+        assert!(Error::EdgeNotFound(Edge::new(1, 2, 9))
+            .to_string()
+            .contains("1->2"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("disk on fire");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Wal(_)));
+        assert!(e.to_string().contains("disk on fire"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Identifier and scalar types shared across the system.
+//!
+//! The paper uses 64-bit vertex identifiers throughout ("vertex IDs are
+//! 64-bit integers to generally support large graphs", §6.4); we follow
+//! suit. Weights are also 64-bit unsigned integers, which is sufficient
+//! for the four evaluated algorithms (BFS/SSSP/SSWP/WCC) and keeps edge
+//! records exactly 16 bytes like the paper's raw-data accounting.
+
+/// A vertex identifier. Dense ids are assigned from zero; deleted ids are
+/// recycled through the vertex pool (§5 "Graph Store").
+pub type VertexId = u64;
+
+/// An edge weight (also called "edge data" in the paper's API tables).
+pub type Weight = u64;
+
+/// A result-snapshot version identifier returned by every mutating call
+/// of the Interactive API (Table 1).
+pub type VersionId = u64;
+
+/// Logical timestamps used by timestamped update streams (Table 3 marks
+/// most datasets as temporal).
+pub type Timestamp = u64;
+
+/// A directed edge with payload, as used by the Algorithm API
+/// (`gen_next(edge, src_value)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Edge payload; interpreted by the algorithm (distance for SSSP,
+    /// capacity for SSWP, ignored by BFS/WCC).
+    pub data: Weight,
+}
+
+impl Edge {
+    /// Construct an edge.
+    #[inline]
+    pub const fn new(src: VertexId, dst: VertexId, data: Weight) -> Self {
+        Edge { src, dst, data }
+    }
+
+    /// The same edge with endpoints swapped (used for the transpose graph
+    /// and for undirected algorithms such as WCC).
+    #[inline]
+    pub const fn reversed(self) -> Self {
+        Edge {
+            src: self.dst,
+            dst: self.src,
+            data: self.data,
+        }
+    }
+}
+
+/// Identifies an edge slot inside a vertex's adjacency array.
+pub type EdgeId = u32;
+
+/// A sentinel for "no offset" inside adjacency arrays.
+pub const INVALID_OFFSET: u32 = u32::MAX;
+
+/// A graph update as submitted through the Interactive API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Update {
+    /// Insert one copy of a directed edge.
+    InsEdge(Edge),
+    /// Delete one copy of a directed edge (must exist).
+    DelEdge(Edge),
+    /// Create a vertex (or revive a recycled id).
+    InsVertex(VertexId),
+    /// Delete an isolated vertex (all incident edges must be gone first,
+    /// per §4 classification rule 1).
+    DelVertex(VertexId),
+}
+
+impl Update {
+    /// The source-side vertex the update touches first, used for lock
+    /// striping during the parallel safe phase.
+    #[inline]
+    pub fn primary_vertex(&self) -> VertexId {
+        match self {
+            Update::InsEdge(e) | Update::DelEdge(e) => e.src,
+            Update::InsVertex(v) | Update::DelVertex(v) => *v,
+        }
+    }
+
+    /// Whether this update is an edge operation.
+    #[inline]
+    pub fn is_edge_op(&self) -> bool {
+        matches!(self, Update::InsEdge(_) | Update::DelEdge(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_reversed_swaps_endpoints() {
+        let e = Edge::new(1, 2, 7);
+        let r = e.reversed();
+        assert_eq!(r, Edge::new(2, 1, 7));
+        assert_eq!(r.reversed(), e);
+    }
+
+    #[test]
+    fn update_primary_vertex() {
+        assert_eq!(Update::InsEdge(Edge::new(3, 4, 0)).primary_vertex(), 3);
+        assert_eq!(Update::DelEdge(Edge::new(5, 6, 0)).primary_vertex(), 5);
+        assert_eq!(Update::InsVertex(9).primary_vertex(), 9);
+        assert_eq!(Update::DelVertex(10).primary_vertex(), 10);
+    }
+
+    #[test]
+    fn update_is_edge_op() {
+        assert!(Update::InsEdge(Edge::new(0, 1, 0)).is_edge_op());
+        assert!(Update::DelEdge(Edge::new(0, 1, 0)).is_edge_op());
+        assert!(!Update::InsVertex(0).is_edge_op());
+        assert!(!Update::DelVertex(0).is_edge_op());
+    }
+}

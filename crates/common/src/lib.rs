@@ -1,0 +1,26 @@
+//! Shared primitives for the RisGraph reproduction.
+//!
+//! This crate contains the building blocks every other crate relies on:
+//!
+//! * [`ids`] — vertex / edge / version identifier types,
+//! * [`error`] — the common error type,
+//! * [`hash`] — a fast FxHash-style hasher (stand-in for the paper's
+//!   MurmurHash3 + Google dense hashmap combination),
+//! * [`sparse`] — sparse active-vertex sets and sparse change maps
+//!   (§3.2 of the paper, Figure 5),
+//! * [`bitmap`] — dense bitmaps used by pull-mode conversion and by the
+//!   KickStarter-style baseline,
+//! * [`stats`] — latency histograms (P50/P99/P999) and throughput meters
+//!   used by the evaluation harness,
+//! * [`crc`] — CRC32 used by the write-ahead log.
+
+pub mod bitmap;
+pub mod crc;
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod sparse;
+pub mod stats;
+
+pub use error::{Error, Result};
+pub use ids::{EdgeId, Timestamp, VersionId, VertexId, Weight};

@@ -1,0 +1,407 @@
+//! Sparse active-vertex sets and sparse change maps (§3.2, Figure 5).
+//!
+//! Incremental computing touches a handful of vertices per update, so the
+//! engine must never pay O(|V|) to find, clear, or copy its working state.
+//! The paper reports that clearing and checking bitmaps costs KickStarter
+//! 90.3% of BFS computation time on Twitter-2010; RisGraph's fix is to
+//! keep the *identities* of active vertices in a compact array.
+//!
+//! Our implementation adds a stamped membership array so that `clear` is
+//! O(#items) and duplicate activations are suppressed in O(1), without
+//! ever scanning the full vertex range.
+
+use crate::ids::VertexId;
+
+/// A set of vertex ids with O(1) insert/dedup/membership and iteration
+/// proportional to the number of *members*, not the universe size.
+///
+/// Clearing bumps a 32-bit epoch stamp instead of touching the stamp
+/// array; stamps are only reset when the epoch counter would wrap.
+#[derive(Debug, Clone)]
+pub struct SparseSet {
+    items: Vec<VertexId>,
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl SparseSet {
+    /// Create a set over the universe `[0, capacity)`.
+    pub fn new(capacity: usize) -> Self {
+        SparseSet {
+            items: Vec::new(),
+            stamps: vec![0; capacity],
+            epoch: 1,
+        }
+    }
+
+    /// Number of vertices currently in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no vertices are active.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Grow the universe so that `v` is addressable.
+    pub fn ensure_capacity(&mut self, v: VertexId) {
+        let need = v as usize + 1;
+        if self.stamps.len() < need {
+            self.stamps.resize(need.next_power_of_two(), 0);
+        }
+    }
+
+    /// Insert `v`; returns `true` if it was newly added.
+    #[inline]
+    pub fn insert(&mut self, v: VertexId) -> bool {
+        self.ensure_capacity(v);
+        let slot = &mut self.stamps[v as usize];
+        if *slot == self.epoch {
+            return false;
+        }
+        *slot = self.epoch;
+        self.items.push(v);
+        true
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.stamps
+            .get(v as usize)
+            .is_some_and(|&s| s == self.epoch)
+    }
+
+    /// Remove all members in O(#members) amortized (O(1) beyond the item
+    /// vector reset).
+    pub fn clear(&mut self) {
+        self.items.clear();
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Iterate over members in insertion order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// Access the members as a slice (insertion order).
+    #[inline]
+    pub fn as_slice(&self) -> &[VertexId] {
+        &self.items
+    }
+
+    /// Drain the members, leaving the set empty.
+    pub fn drain(&mut self) -> Vec<VertexId> {
+        let out = std::mem::take(&mut self.items);
+        self.clear();
+        out
+    }
+}
+
+/// A sparse map from vertex id to a value, with the same stamped-clear
+/// trick as [`SparseSet`]. Used to track per-iteration result updates and
+/// per-version modified-vertex records without copying the whole value
+/// array (the paper notes KickStarter "copies the entire vertex set for
+/// every new iteration").
+#[derive(Debug, Clone)]
+pub struct SparseMap<T: Copy> {
+    keys: Vec<VertexId>,
+    stamps: Vec<u32>,
+    values: Vec<T>,
+    epoch: u32,
+    default: T,
+}
+
+impl<T: Copy> SparseMap<T> {
+    /// Create a map over the universe `[0, capacity)`. `default` is only
+    /// a placeholder for unset slots and is never observable through the
+    /// public API.
+    pub fn new(capacity: usize, default: T) -> Self {
+        SparseMap {
+            keys: Vec::new(),
+            stamps: vec![0; capacity],
+            values: vec![default; capacity],
+            epoch: 1,
+            default,
+        }
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when there are no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    fn ensure_capacity(&mut self, v: VertexId) {
+        let need = v as usize + 1;
+        if self.stamps.len() < need {
+            let cap = need.next_power_of_two();
+            self.stamps.resize(cap, 0);
+            self.values.resize(cap, self.default);
+        }
+    }
+
+    /// Insert or overwrite the value for `v`. Returns the previous value
+    /// if `v` was already present in this epoch.
+    #[inline]
+    pub fn insert(&mut self, v: VertexId, value: T) -> Option<T> {
+        self.ensure_capacity(v);
+        let idx = v as usize;
+        if self.stamps[idx] == self.epoch {
+            let old = self.values[idx];
+            self.values[idx] = value;
+            Some(old)
+        } else {
+            self.stamps[idx] = self.epoch;
+            self.values[idx] = value;
+            self.keys.push(v);
+            None
+        }
+    }
+
+    /// Insert only if absent, preserving the first recorded value. This
+    /// is the semantics the history store needs: the *oldest* value of a
+    /// vertex within a version wins.
+    #[inline]
+    pub fn insert_if_absent(&mut self, v: VertexId, value: T) -> bool {
+        self.ensure_capacity(v);
+        let idx = v as usize;
+        if self.stamps[idx] == self.epoch {
+            false
+        } else {
+            self.stamps[idx] = self.epoch;
+            self.values[idx] = value;
+            self.keys.push(v);
+            true
+        }
+    }
+
+    /// Look up the value for `v`.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> Option<T> {
+        let idx = v as usize;
+        if idx < self.stamps.len() && self.stamps[idx] == self.epoch {
+            Some(self.values[idx])
+        } else {
+            None
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        let idx = v as usize;
+        idx < self.stamps.len() && self.stamps[idx] == self.epoch
+    }
+
+    /// Remove all entries in O(#entries).
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Iterate `(vertex, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, T)> + '_ {
+        self.keys.iter().map(move |&k| (k, self.values[k as usize]))
+    }
+
+    /// The recorded keys in insertion order.
+    #[inline]
+    pub fn keys(&self) -> &[VertexId] {
+        &self.keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_set_insert_dedup_contains() {
+        let mut s = SparseSet::new(8);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(5));
+        assert!(s.contains(3));
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.as_slice(), &[3, 5]);
+    }
+
+    #[test]
+    fn sparse_set_clear_is_epoch_based() {
+        let mut s = SparseSet::new(4);
+        s.insert(0);
+        s.insert(1);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(0));
+        assert!(s.insert(1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn sparse_set_grows_beyond_capacity() {
+        let mut s = SparseSet::new(2);
+        assert!(s.insert(1000));
+        assert!(s.contains(1000));
+        assert!(!s.contains(999));
+    }
+
+    #[test]
+    fn sparse_set_epoch_wrap() {
+        let mut s = SparseSet::new(4);
+        s.epoch = u32::MAX - 1;
+        s.insert(2);
+        s.clear(); // epoch -> MAX
+        assert!(!s.contains(2));
+        s.insert(1);
+        s.clear(); // wraps: stamps reset
+        assert!(!s.contains(1));
+        assert!(s.insert(1));
+        assert!(s.contains(1));
+    }
+
+    #[test]
+    fn sparse_set_drain() {
+        let mut s = SparseSet::new(4);
+        s.insert(2);
+        s.insert(0);
+        let v = s.drain();
+        assert_eq!(v, vec![2, 0]);
+        assert!(s.is_empty());
+        assert!(!s.contains(2));
+    }
+
+    #[test]
+    fn sparse_map_basic() {
+        let mut m = SparseMap::new(4, 0u64);
+        assert_eq!(m.insert(2, 10), None);
+        assert_eq!(m.insert(2, 20), Some(10));
+        assert_eq!(m.get(2), Some(20));
+        assert_eq!(m.get(3), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn sparse_map_insert_if_absent_keeps_first() {
+        let mut m = SparseMap::new(4, 0u64);
+        assert!(m.insert_if_absent(1, 100));
+        assert!(!m.insert_if_absent(1, 200));
+        assert_eq!(m.get(1), Some(100));
+    }
+
+    #[test]
+    fn sparse_map_clear_and_reuse() {
+        let mut m = SparseMap::new(4, 0u64);
+        m.insert(1, 5);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(1), None);
+        m.insert(1, 7);
+        assert_eq!(m.get(1), Some(7));
+    }
+
+    #[test]
+    fn sparse_map_iter_order() {
+        let mut m = SparseMap::new(8, 0u64);
+        m.insert(5, 50);
+        m.insert(2, 20);
+        m.insert(7, 70);
+        let pairs: Vec<_> = m.iter().collect();
+        assert_eq!(pairs, vec![(5, 50), (2, 20), (7, 70)]);
+    }
+
+    #[test]
+    fn sparse_map_grows() {
+        let mut m = SparseMap::new(1, 0u32);
+        m.insert(4096, 9);
+        assert_eq!(m.get(4096), Some(9));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// SparseSet behaves exactly like a HashSet under arbitrary
+        /// insert/clear interleavings.
+        #[test]
+        fn sparse_set_matches_hashset(
+            ops in proptest::collection::vec((0..64u64, proptest::bool::ANY), 0..300)
+        ) {
+            let mut s = SparseSet::new(8);
+            let mut model = std::collections::HashSet::new();
+            for (v, clear) in ops {
+                if clear && v % 7 == 0 {
+                    s.clear();
+                    model.clear();
+                } else {
+                    prop_assert_eq!(s.insert(v), model.insert(v));
+                }
+                prop_assert_eq!(s.len(), model.len());
+                prop_assert_eq!(s.contains(v), model.contains(&v));
+            }
+            let mut got: Vec<u64> = s.iter().collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> = model.into_iter().collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        /// SparseMap behaves exactly like a HashMap.
+        #[test]
+        fn sparse_map_matches_hashmap(
+            ops in proptest::collection::vec((0..48u64, 0..1000u64, 0..3u8), 0..300)
+        ) {
+            let mut m = SparseMap::new(8, 0u64);
+            let mut model = std::collections::HashMap::new();
+            for (k, v, op) in ops {
+                match op {
+                    0 => {
+                        prop_assert_eq!(m.insert(k, v), model.insert(k, v));
+                    }
+                    1 => {
+                        let inserted = m.insert_if_absent(k, v);
+                        let model_inserted = !model.contains_key(&k);
+                        if model_inserted {
+                            model.insert(k, v);
+                        }
+                        prop_assert_eq!(inserted, model_inserted);
+                    }
+                    _ => {
+                        if k % 11 == 0 {
+                            m.clear();
+                            model.clear();
+                        }
+                    }
+                }
+                prop_assert_eq!(m.get(k), model.get(&k).copied());
+                prop_assert_eq!(m.len(), model.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The Hybrid Parallel Mode linear classifier (§3.2, Figure 7).
+//!
+//! Per push iteration the engine chooses between **vertex-parallel**
+//! (each worker takes whole active vertices) and **edge-parallel** (the
+//! concatenated out-edge ranges of the frontier are split evenly). The
+//! paper plots which mode wins as a function of (#active vertices,
+//! #out-edges of active vertices) in log-log space and fits a straight
+//! line by linear regression; edge-parallel wins above the line (few
+//! vertices, many edges — skewed frontiers dominated by hubs).
+//!
+//! The shipped default parameters mirror the paper's fixed-parameter
+//! choice ("we train the classifier based on UK-2007 … and it works well
+//! on other graphs"); [`LinearClassifier::fit`] reproduces the training
+//! procedure and is exercised by the Figure 7 harness.
+
+/// Parallel mode for one push iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushMode {
+    /// One frontier vertex per work item.
+    VertexParallel,
+    /// Edge ranges split evenly across workers.
+    EdgeParallel,
+}
+
+/// `edge-parallel ⇔ ln(E) > slope·ln(V) + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearClassifier {
+    /// Coefficient on `ln(active_vertices + 1)`.
+    pub slope: f64,
+    /// Constant offset (natural-log space).
+    pub intercept: f64,
+}
+
+impl Default for LinearClassifier {
+    fn default() -> Self {
+        // Edge-parallel when the frontier's average out-degree exceeds
+        // ~32 — i.e. few active vertices carrying hub-heavy edge mass,
+        // the top-left region of Figure 7.
+        LinearClassifier {
+            slope: 1.0,
+            intercept: (32f64).ln(),
+        }
+    }
+}
+
+impl LinearClassifier {
+    /// Decide the mode for a frontier with `active_vertices` members
+    /// whose live out-degrees sum to `active_edges`.
+    #[inline]
+    pub fn choose(&self, active_vertices: usize, active_edges: usize) -> PushMode {
+        let lv = ((active_vertices + 1) as f64).ln();
+        let le = ((active_edges + 1) as f64).ln();
+        if le > self.slope * lv + self.intercept {
+            PushMode::EdgeParallel
+        } else {
+            PushMode::VertexParallel
+        }
+    }
+
+    /// Fit a separating line by least squares on labelled samples
+    /// `(active_vertices, active_edges, edge_parallel_won)` — the
+    /// paper's "trained by linear regression".
+    ///
+    /// We regress `ln(E)` on `ln(V)` separately for the points where
+    /// each mode won and place the boundary halfway between the two
+    /// fitted lines, which is the standard two-class least-squares
+    /// discriminant for this 1-D-per-class setup.
+    pub fn fit(samples: &[(usize, usize, bool)]) -> Option<Self> {
+        let fit_line = |pts: Vec<(f64, f64)>| -> Option<(f64, f64)> {
+            let n = pts.len() as f64;
+            if pts.len() < 2 {
+                return None;
+            }
+            let sx: f64 = pts.iter().map(|p| p.0).sum();
+            let sy: f64 = pts.iter().map(|p| p.1).sum();
+            let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+            let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+            let denom = n * sxx - sx * sx;
+            if denom.abs() < 1e-12 {
+                return None;
+            }
+            let slope = (n * sxy - sx * sy) / denom;
+            let intercept = (sy - slope * sx) / n;
+            Some((slope, intercept))
+        };
+        let to_log = |&(v, e, _): &(usize, usize, bool)| {
+            (((v + 1) as f64).ln(), ((e + 1) as f64).ln())
+        };
+        let edge_pts: Vec<_> = samples.iter().filter(|s| s.2).map(to_log).collect();
+        let vert_pts: Vec<_> = samples.iter().filter(|s| !s.2).map(to_log).collect();
+        let (es, ei) = fit_line(edge_pts)?;
+        let (vs, vi) = fit_line(vert_pts)?;
+        Some(LinearClassifier {
+            slope: (es + vs) / 2.0,
+            intercept: (ei + vi) / 2.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_prefers_vertex_parallel_for_flat_frontiers() {
+        let c = LinearClassifier::default();
+        // 10K active vertices, avg degree 4 → vertex-parallel.
+        assert_eq!(c.choose(10_000, 40_000), PushMode::VertexParallel);
+    }
+
+    #[test]
+    fn default_prefers_edge_parallel_for_hub_frontiers() {
+        let c = LinearClassifier::default();
+        // 10 active vertices carrying 1M edges (a hub) → edge-parallel.
+        assert_eq!(c.choose(10, 1_000_000), PushMode::EdgeParallel);
+    }
+
+    #[test]
+    fn empty_frontier_is_vertex_parallel() {
+        let c = LinearClassifier::default();
+        assert_eq!(c.choose(0, 0), PushMode::VertexParallel);
+    }
+
+    #[test]
+    fn fit_recovers_a_separating_line() {
+        // Synthetic ground truth: edge-parallel wins iff E > 64·V.
+        let mut samples = Vec::new();
+        for i in 1..200usize {
+            let v = i * 50;
+            samples.push((v, v * 200, true)); // above: edge wins
+            samples.push((v, v * 8, false)); // below: vertex wins
+        }
+        let c = LinearClassifier::fit(&samples).unwrap();
+        // The fitted boundary must classify clearly-separated points
+        // correctly.
+        assert_eq!(c.choose(1_000, 1_000 * 500), PushMode::EdgeParallel);
+        assert_eq!(c.choose(1_000, 1_000 * 2), PushMode::VertexParallel);
+    }
+
+    #[test]
+    fn fit_requires_both_classes() {
+        assert!(LinearClassifier::fit(&[(1, 1, true), (2, 2, true)]).is_none());
+        assert!(LinearClassifier::fit(&[]).is_none());
+    }
+}

@@ -1,0 +1,311 @@
+//! The **history store** (§2, §5): versioned result snapshots.
+//!
+//! "The history store consists of a doubly-linked list from new versions
+//! to old versions for each vertex, and sparse arrays for each version
+//! to trace modifications of the results" (§5). Every mutating call of
+//! the Interactive API returns a `version_id`; `get_value(version, v)`
+//! and `get_parent(version, v)` answer point-in-time queries, and
+//! `get_modified_vertices(version)` lists what a version changed.
+//!
+//! Our per-vertex chains are append-ordered vectors of
+//! `(version, value, parent)` entries — semantically the paper's version
+//! chains, with binary search instead of pointer chasing. Garbage
+//! collection follows §5: a watermark derived from every session's
+//! released versions makes older snapshots unreadable immediately
+//! (sparse arrays are recycled eagerly), while per-vertex chains are
+//! trimmed lazily on the vertex's next write.
+
+use risgraph_common::hash::FxHashMap;
+use risgraph_common::ids::{Edge, VersionId, VertexId};
+use risgraph_common::{Error, Result};
+
+use crate::engine::ChangeRecord;
+use crate::tree::Value;
+
+/// One chain entry: the state of a vertex as of `version` (inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ChainEntry {
+    version: VersionId,
+    value: Value,
+    parent: Option<Edge>,
+}
+
+/// Versioned history for one algorithm.
+pub struct HistoryStore {
+    chains: Vec<Vec<ChainEntry>>,
+    /// `version → modified vertex ids` (the per-version sparse arrays).
+    modified: FxHashMap<VersionId, Vec<VertexId>>,
+    /// Versions `< low_watermark` are garbage (unreadable).
+    low_watermark: VersionId,
+    /// Count of chain entries, for memory accounting.
+    entries: usize,
+}
+
+impl HistoryStore {
+    /// An empty history over `capacity` vertices.
+    pub fn new(capacity: usize) -> Self {
+        HistoryStore {
+            chains: vec![Vec::new(); capacity],
+            modified: FxHashMap::default(),
+            low_watermark: 0,
+            entries: 0,
+        }
+    }
+
+    /// Grow the vertex range.
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if n > self.chains.len() {
+            self.chains.resize(n.next_power_of_two().max(16), Vec::new());
+        }
+    }
+
+    /// Record the changes of `version`. Chains get a baseline entry on
+    /// first touch so pre-change queries stay answerable, and are
+    /// lazily trimmed to the GC watermark (§5's lazy chain GC).
+    pub fn record(&mut self, version: VersionId, changes: &[ChangeRecord]) {
+        if changes.is_empty() {
+            return;
+        }
+        let mut modified = Vec::with_capacity(changes.len());
+        for c in changes {
+            self.ensure_capacity(c.vertex as usize + 1);
+            let chain = &mut self.chains[c.vertex as usize];
+            // Lazy GC: drop entries superseded before the watermark,
+            // keeping the newest one at/below it as the new baseline.
+            if self.low_watermark > 0 && chain.len() > 1 {
+                let keep_from = chain
+                    .partition_point(|e| e.version < self.low_watermark)
+                    .saturating_sub(1);
+                if keep_from > 0 {
+                    chain.drain(..keep_from);
+                    self.entries -= keep_from;
+                }
+            }
+            if chain.is_empty() {
+                // Baseline: the state before this version, effective
+                // since the beginning of readable history.
+                chain.push(ChainEntry {
+                    version: 0,
+                    value: c.old,
+                    parent: c.old_parent,
+                });
+                self.entries += 1;
+            }
+            debug_assert!(chain.last().unwrap().version < version);
+            chain.push(ChainEntry {
+                version,
+                value: c.new,
+                parent: c.new_parent,
+            });
+            self.entries += 1;
+            modified.push(c.vertex);
+        }
+        self.modified.insert(version, modified);
+    }
+
+    fn lookup(&self, version: VersionId, v: VertexId) -> Result<Option<ChainEntry>> {
+        if version < self.low_watermark {
+            return Err(Error::VersionNotFound(version));
+        }
+        let Some(chain) = self.chains.get(v as usize) else {
+            return Ok(None);
+        };
+        let idx = chain.partition_point(|e| e.version <= version);
+        Ok(if idx == 0 { None } else { Some(chain[idx - 1]) })
+    }
+
+    /// Value of `v` as of `version`; `current` supplies the live value
+    /// for vertices whose chain has no entry at/below `version` — which
+    /// only happens when the vertex never changed within readable
+    /// history *after* that point, i.e. its value at `version` equals
+    /// the oldest recorded baseline, or the live value when the chain is
+    /// empty.
+    pub fn value_at(&self, version: VersionId, v: VertexId, current: Value) -> Result<Value> {
+        match self.lookup(version, v)? {
+            Some(e) => Ok(e.value),
+            None => {
+                // No entry ≤ version. If the chain is non-empty its first
+                // entry is the pre-history baseline (version 0), so this
+                // branch means the chain is empty: value never changed.
+                Ok(self
+                    .chains
+                    .get(v as usize)
+                    .and_then(|c| c.first())
+                    .map(|e| e.value)
+                    .unwrap_or(current))
+            }
+        }
+    }
+
+    /// Dependency-tree parent of `v` as of `version` (`current` as for
+    /// [`Self::value_at`]).
+    pub fn parent_at(
+        &self,
+        version: VersionId,
+        v: VertexId,
+        current: Option<Edge>,
+    ) -> Result<Option<Edge>> {
+        match self.lookup(version, v)? {
+            Some(e) => Ok(e.parent),
+            None => Ok(self
+                .chains
+                .get(v as usize)
+                .and_then(|c| c.first())
+                .map(|e| e.parent)
+                .unwrap_or(current)),
+        }
+    }
+
+    /// Vertices modified by exactly `version` (empty for versions that
+    /// changed nothing, e.g. safe updates).
+    pub fn modified_vertices(&self, version: VersionId) -> Result<Vec<VertexId>> {
+        if version < self.low_watermark {
+            return Err(Error::VersionNotFound(version));
+        }
+        Ok(self.modified.get(&version).cloned().unwrap_or_default())
+    }
+
+    /// Advance the GC watermark: versions `< watermark` become
+    /// unreadable, their sparse arrays are recycled eagerly (§5:
+    /// "aggressively recycles them from sparse arrays"), chains shrink
+    /// lazily on next write.
+    pub fn collect(&mut self, watermark: VersionId) {
+        if watermark <= self.low_watermark {
+            return;
+        }
+        self.low_watermark = watermark;
+        self.modified.retain(|&v, _| v >= watermark);
+    }
+
+    /// The current GC watermark.
+    pub fn watermark(&self) -> VersionId {
+        self.low_watermark
+    }
+
+    /// Total chain entries (diagnostics).
+    pub fn chain_entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Approximate heap bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.chains.capacity() * std::mem::size_of::<Vec<ChainEntry>>()
+            + self.entries * std::mem::size_of::<ChainEntry>()
+            + self
+                .modified
+                .values()
+                .map(|v| v.capacity() * 8 + 32)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(vertex: VertexId, old: Value, new: Value) -> ChangeRecord {
+        ChangeRecord {
+            vertex,
+            old,
+            new,
+            old_parent: None,
+            new_parent: Some(Edge::new(0, vertex, 7)),
+        }
+    }
+
+    #[test]
+    fn value_at_walks_versions() {
+        let mut h = HistoryStore::new(8);
+        h.record(5, &[rec(1, 100, 50)]);
+        h.record(9, &[rec(1, 50, 25)]);
+        // Before first change: baseline.
+        assert_eq!(h.value_at(1, 1, 999).unwrap(), 100);
+        assert_eq!(h.value_at(4, 1, 999).unwrap(), 100);
+        // At and after each change.
+        assert_eq!(h.value_at(5, 1, 999).unwrap(), 50);
+        assert_eq!(h.value_at(8, 1, 999).unwrap(), 50);
+        assert_eq!(h.value_at(9, 1, 999).unwrap(), 25);
+        assert_eq!(h.value_at(100, 1, 999).unwrap(), 25);
+    }
+
+    #[test]
+    fn untouched_vertices_return_current() {
+        let h = HistoryStore::new(8);
+        assert_eq!(h.value_at(3, 7, 42).unwrap(), 42);
+        assert_eq!(h.parent_at(3, 7, None).unwrap(), None);
+    }
+
+    #[test]
+    fn parent_history_tracked() {
+        let mut h = HistoryStore::new(8);
+        h.record(5, &[rec(1, 100, 50)]);
+        assert_eq!(h.parent_at(2, 1, None).unwrap(), None);
+        assert_eq!(h.parent_at(5, 1, None).unwrap(), Some(Edge::new(0, 1, 7)));
+    }
+
+    #[test]
+    fn modified_vertices_per_version() {
+        let mut h = HistoryStore::new(8);
+        h.record(5, &[rec(1, 9, 8), rec(2, 9, 7)]);
+        h.record(6, &[rec(3, 9, 6)]);
+        assert_eq!(h.modified_vertices(5).unwrap(), vec![1, 2]);
+        assert_eq!(h.modified_vertices(6).unwrap(), vec![3]);
+        assert!(h.modified_vertices(7).unwrap().is_empty());
+    }
+
+    #[test]
+    fn gc_makes_old_versions_unreadable() {
+        let mut h = HistoryStore::new(8);
+        h.record(5, &[rec(1, 100, 50)]);
+        h.record(9, &[rec(1, 50, 25)]);
+        h.collect(9);
+        assert!(matches!(h.value_at(5, 1, 0), Err(Error::VersionNotFound(5))));
+        assert!(matches!(h.modified_vertices(5), Err(Error::VersionNotFound(5))));
+        assert_eq!(h.value_at(9, 1, 0).unwrap(), 25);
+        assert_eq!(h.value_at(20, 1, 0).unwrap(), 25);
+    }
+
+    #[test]
+    fn lazy_chain_trim_on_next_write() {
+        let mut h = HistoryStore::new(8);
+        for i in 1..=10u64 {
+            h.record(i, &[rec(1, 100 - i + 1, 100 - i)]);
+        }
+        let before = h.chain_entries();
+        h.collect(8);
+        // Chains untouched until the vertex is written again.
+        assert_eq!(h.chain_entries(), before);
+        h.record(11, &[rec(1, 90, 89)]);
+        assert!(
+            h.chain_entries() < before,
+            "chain should have been trimmed lazily"
+        );
+        // Queries at/after the watermark still correct.
+        assert_eq!(h.value_at(8, 1, 0).unwrap(), 92);
+        assert_eq!(h.value_at(11, 1, 0).unwrap(), 89);
+    }
+
+    #[test]
+    fn gc_watermark_monotone() {
+        let mut h = HistoryStore::new(4);
+        h.collect(5);
+        h.collect(3); // ignored: watermark never regresses
+        assert_eq!(h.watermark(), 5);
+    }
+
+    #[test]
+    fn empty_changes_record_nothing() {
+        let mut h = HistoryStore::new(4);
+        h.record(5, &[]);
+        assert!(h.modified_vertices(5).unwrap().is_empty());
+        assert_eq!(h.chain_entries(), 0);
+    }
+
+    #[test]
+    fn capacity_grows_on_demand() {
+        let mut h = HistoryStore::new(1);
+        h.record(2, &[rec(1000, 5, 4)]);
+        assert_eq!(h.value_at(2, 1000, 0).unwrap(), 4);
+        assert_eq!(h.value_at(1, 1000, 0).unwrap(), 5);
+    }
+}

@@ -1,0 +1,651 @@
+//! Push-mode incremental propagation with **Hybrid Parallel Mode**
+//! (§3.2).
+//!
+//! Propagation starts from a sparse frontier of activated vertices and
+//! relaxes their out-edges (plus in-edges for undirected algorithms)
+//! until no value improves. Three execution strategies:
+//!
+//! * **sequential** — when the frontier carries few edges (the common
+//!   per-update case: affected areas are tiny, §7), a plain worklist
+//!   avoids every parallelization overhead;
+//! * **vertex-parallel** — workers claim chunks of frontier vertices;
+//! * **edge-parallel** — the concatenated edge ranges of the frontier
+//!   are split evenly, which wins on skewed frontiers dominated by hubs
+//!   (Figure 7's top-left region).
+//!
+//! The per-iteration choice between the two parallel modes is made by
+//! the linear classifier; callers can force a mode to reproduce the
+//! Figure 13 ablation.
+
+use parking_lot::Mutex;
+use risgraph_algorithms::Monotonic;
+use risgraph_common::ids::{Edge, VertexId, Weight};
+use risgraph_storage::index::EdgeIndex;
+use risgraph_storage::GraphStore;
+
+use crate::classifier::{LinearClassifier, PushMode};
+use crate::pool::WorkerPool;
+use crate::tree::{TreeStore, Value, VertexState};
+
+/// Tuning knobs for propagation.
+#[derive(Debug, Clone)]
+pub struct PushConfig {
+    /// Frontier out-edge budget below which propagation stays
+    /// sequential.
+    pub sequential_grain: usize,
+    /// Chunk size handed to pool workers.
+    pub parallel_grain: usize,
+    /// The vertex-/edge-parallel decision boundary.
+    pub classifier: LinearClassifier,
+    /// Force a mode (Figure 13 ablations); `None` = hybrid.
+    pub forced_mode: Option<PushMode>,
+    /// Switch to pull mode (converting the frontier to a bitmap, §5)
+    /// when the frontier holds more than this fraction of all vertices.
+    /// Pull wins on very dense frontiers (initial whole-graph loads);
+    /// `1.0` disables it.
+    pub pull_threshold: f64,
+}
+
+impl Default for PushConfig {
+    fn default() -> Self {
+        PushConfig {
+            sequential_grain: 4096,
+            parallel_grain: 128,
+            classifier: LinearClassifier::default(),
+            forced_mode: None,
+            pull_threshold: 0.25,
+        }
+    }
+}
+
+/// Everything a propagation run needs.
+pub(crate) struct PushCtx<'a, I: EdgeIndex> {
+    pub store: &'a GraphStore<I>,
+    pub alg: &'a dyn Monotonic<Value = Value>,
+    pub tree: &'a TreeStore,
+    pub pool: &'a WorkerPool,
+    pub config: &'a PushConfig,
+    /// Update epoch for exact first-change capture.
+    pub epoch: u64,
+}
+
+/// Outcome of a propagation run.
+#[derive(Debug, Default)]
+pub(crate) struct PushResult {
+    /// `(vertex, pre-update state)` for every vertex first modified
+    /// during this update (includes modifications made by the caller
+    /// before propagation only if the caller merges them itself).
+    pub changed: Vec<(VertexId, VertexState)>,
+    /// Parallel iterations executed (0 when fully sequential).
+    pub iterations: usize,
+    /// Edges relaxed (diagnostics; drives Figure 7 sample collection).
+    pub edges_relaxed: u64,
+}
+
+struct WorkerBuf {
+    next: Vec<VertexId>,
+    changed: Vec<(VertexId, VertexState)>,
+    edges: u64,
+}
+
+impl<'a, I: EdgeIndex> PushCtx<'a, I> {
+    #[inline]
+    fn undirected(&self) -> bool {
+        self.alg.undirected()
+    }
+
+    /// Relax one edge `v --w--> d` given the source value; activate `d`
+    /// on improvement.
+    #[inline]
+    fn relax(
+        &self,
+        v: VertexId,
+        d: VertexId,
+        w: Weight,
+        src_val: Value,
+        next: &mut Vec<VertexId>,
+        changed: &mut Vec<(VertexId, VertexState)>,
+    ) {
+        let cand = self.alg.gen_next(Edge::new(v, d, w), src_val);
+        if let Some((old, first)) = self.tree.try_update(d, Some((v, w)), self.epoch, |cur| {
+            self.alg.need_upd(d, cur, cand).then_some(cand)
+        }) {
+            if first {
+                changed.push((d, old));
+            }
+            next.push(d);
+        }
+    }
+
+    /// Relax every neighbour of `v` (out-edges; plus in-edges when the
+    /// algorithm is undirected).
+    fn relax_from(
+        &self,
+        v: VertexId,
+        next: &mut Vec<VertexId>,
+        changed: &mut Vec<(VertexId, VertexState)>,
+    ) -> u64 {
+        let val = self.tree.value(v);
+        let mut relaxed = 0u64;
+        {
+            let out = self.store.out(v);
+            for s in out.iter_live() {
+                self.relax(v, s.dst, s.data, val, next, changed);
+                relaxed += 1;
+            }
+        }
+        if self.undirected() {
+            let inn = self.store.inn(v);
+            for s in inn.iter_live() {
+                // In-list entries of v are (x, w) for stored edges x→v;
+                // undirected propagation pushes v's value to x.
+                self.relax(v, s.dst, s.data, val, next, changed);
+                relaxed += 1;
+            }
+        }
+        relaxed
+    }
+
+    /// Frontier edge mass: slot counts (tombstones included — they bound
+    /// the scan work, which is what load balancing needs).
+    fn frontier_slots(&self, frontier: &[VertexId]) -> usize {
+        frontier
+            .iter()
+            .map(|&v| {
+                let mut n = self.store.out(v).slots().len();
+                if self.undirected() {
+                    n += self.store.inn(v).slots().len();
+                }
+                n
+            })
+            .sum()
+    }
+
+    /// Fully sequential worklist propagation.
+    fn run_sequential(&self, mut work: Vec<VertexId>, result: &mut PushResult) {
+        let mut changed = std::mem::take(&mut result.changed);
+        while let Some(v) = work.pop() {
+            result.edges_relaxed += self.relax_from(v, &mut work, &mut changed);
+        }
+        result.changed = changed;
+    }
+
+    fn run_vertex_parallel(
+        &self,
+        frontier: &[VertexId],
+        bufs: &[Mutex<WorkerBuf>],
+    ) {
+        self.pool
+            .run_ranges(frontier.len(), self.config.parallel_grain, |w, range| {
+                let mut buf = bufs[w].lock();
+                let WorkerBuf {
+                    next,
+                    changed,
+                    edges,
+                } = &mut *buf;
+                for &v in &frontier[range] {
+                    *edges += self.relax_from(v, next, changed);
+                }
+            });
+    }
+
+    fn run_edge_parallel(
+        &self,
+        frontier: &[VertexId],
+        bufs: &[Mutex<WorkerBuf>],
+    ) {
+        // Prefix sums over per-vertex slot counts so a global edge index
+        // maps to (vertex, local slot).
+        let mut prefix = Vec::with_capacity(frontier.len() + 1);
+        prefix.push(0usize);
+        let mut total = 0usize;
+        for &v in frontier {
+            let mut n = self.store.out(v).slots().len();
+            if self.undirected() {
+                n += self.store.inn(v).slots().len();
+            }
+            total += n;
+            prefix.push(total);
+        }
+        let grain = self.config.parallel_grain.max(16);
+        self.pool.run_ranges(total, grain, |w, range| {
+            let mut buf = bufs[w].lock();
+            let WorkerBuf {
+                next,
+                changed,
+                edges,
+            } = &mut *buf;
+            // First vertex whose slot range intersects `range`.
+            let mut vi = prefix.partition_point(|&p| p <= range.start) - 1;
+            let mut pos = range.start;
+            while pos < range.end && vi < frontier.len() {
+                let v = frontier[vi];
+                let v_start = prefix[vi];
+                let v_end = prefix[vi + 1];
+                let lo = pos - v_start;
+                let hi = (range.end.min(v_end)) - v_start;
+                if lo < hi {
+                    let val = self.tree.value(v);
+                    let out = self.store.out(v);
+                    let out_len = out.slots().len();
+                    // Out-slot portion of [lo, hi).
+                    let out_hi = hi.min(out_len);
+                    for s in &out.slots()[lo.min(out_len)..out_hi] {
+                        if s.count > 0 {
+                            self.relax(v, s.dst, s.data, val, next, changed);
+                        }
+                        *edges += 1;
+                    }
+                    drop(out);
+                    // In-slot portion (undirected only).
+                    if self.undirected() && hi > out_len {
+                        let inn = self.store.inn(v);
+                        let ilo = lo.max(out_len) - out_len;
+                        let ihi = hi - out_len;
+                        for s in &inn.slots()[ilo..ihi] {
+                            if s.count > 0 {
+                                self.relax(v, s.dst, s.data, val, next, changed);
+                            }
+                            *edges += 1;
+                        }
+                    }
+                }
+                pos = v_end;
+                vi += 1;
+            }
+        });
+    }
+
+    /// One pull-mode iteration: the frontier becomes a bitmap ("RisGraph
+    /// … converts them to bitmaps only when performing pull operations",
+    /// §5) and every live vertex checks its *incoming* edges for
+    /// frontier sources. Wins on very dense frontiers because each
+    /// destination is written once and the frontier test is O(1).
+    fn run_pull_iteration(&self, frontier: &[VertexId], bufs: &[Mutex<WorkerBuf>]) {
+        let cap = self.store.capacity();
+        let in_frontier = risgraph_common::bitmap::AtomicBitmap::new(cap);
+        for &v in frontier {
+            in_frontier.set(v);
+        }
+        let undirected = self.undirected();
+        self.pool.run_ranges(cap, self.config.parallel_grain.max(256), |w, range| {
+            let mut buf = bufs[w].lock();
+            let WorkerBuf {
+                next,
+                changed,
+                edges,
+            } = &mut *buf;
+            for v in range.start as u64..range.end as u64 {
+                if !self.store.vertex_exists(v) {
+                    continue;
+                }
+                {
+                    let inn = self.store.inn(v);
+                    for s in inn.iter_live() {
+                        *edges += 1;
+                        if in_frontier.get(s.dst) {
+                            let sv = self.tree.value(s.dst);
+                            self.relax(s.dst, v, s.data, sv, next, changed);
+                        }
+                    }
+                }
+                if undirected {
+                    let out = self.store.out(v);
+                    for s in out.iter_live() {
+                        *edges += 1;
+                        if in_frontier.get(s.dst) {
+                            let sv = self.tree.value(s.dst);
+                            self.relax(s.dst, v, s.data, sv, next, changed);
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// Run propagation to fixpoint from `frontier`.
+    pub(crate) fn propagate(&self, frontier: Vec<VertexId>) -> PushResult {
+        let mut result = PushResult::default();
+        self.propagate_into(frontier, &mut result);
+        result
+    }
+
+    /// Like [`Self::propagate`] but appends into an existing result
+    /// (deletion recovery seeds `changed` with reset records first).
+    pub(crate) fn propagate_into(&self, mut frontier: Vec<VertexId>, result: &mut PushResult) {
+        loop {
+            if frontier.is_empty() {
+                return;
+            }
+            // Dense-frontier fast path: pull (skipped under forced push
+            // modes so the Figure 13 ablations measure pure push).
+            let cap = self.store.capacity().max(1);
+            if self.config.forced_mode.is_none()
+                && frontier.len() as f64 > self.config.pull_threshold * cap as f64
+            {
+                let threads = self.pool.threads();
+                let mut bufs: Vec<Mutex<WorkerBuf>> = Vec::with_capacity(threads);
+                for _ in 0..threads {
+                    bufs.push(Mutex::new(WorkerBuf {
+                        next: Vec::new(),
+                        changed: Vec::new(),
+                        edges: 0,
+                    }));
+                }
+                self.run_pull_iteration(&frontier, &bufs);
+                result.iterations += 1;
+                let mut next = Vec::new();
+                for buf in bufs {
+                    let buf = buf.into_inner();
+                    next.extend(buf.next);
+                    result.changed.extend(buf.changed);
+                    result.edges_relaxed += buf.edges;
+                }
+                next.sort_unstable();
+                next.dedup();
+                frontier = next;
+                continue;
+            }
+            let slots = self.frontier_slots(&frontier);
+            if slots <= self.config.sequential_grain {
+                self.run_sequential(frontier, result);
+                return;
+            }
+            let mode = self.config.forced_mode.unwrap_or_else(|| {
+                self.config.classifier.choose(frontier.len(), slots)
+            });
+            let threads = self.pool.threads();
+            let mut bufs: Vec<Mutex<WorkerBuf>> = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                bufs.push(Mutex::new(WorkerBuf {
+                    next: Vec::new(),
+                    changed: Vec::new(),
+                    edges: 0,
+                }));
+            }
+            match mode {
+                PushMode::VertexParallel => self.run_vertex_parallel(&frontier, &bufs),
+                PushMode::EdgeParallel => self.run_edge_parallel(&frontier, &bufs),
+            }
+            result.iterations += 1;
+            let mut next = Vec::new();
+            for buf in bufs {
+                let buf = buf.into_inner();
+                next.extend(buf.next);
+                result.changed.extend(buf.changed);
+                result.edges_relaxed += buf.edges;
+            }
+            // Duplicate activations across workers are possible (a vertex
+            // improved twice in one iteration lands in two buffers).
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risgraph_algorithms::{Bfs, Sssp, Wcc};
+    use risgraph_common::ids::Edge as E;
+    use risgraph_storage::HashIndex;
+    use std::sync::Arc;
+
+    fn setup(
+        edges: &[(u64, u64, u64)],
+        n: usize,
+    ) -> (GraphStore<HashIndex>, Arc<WorkerPool>) {
+        let store = GraphStore::with_capacity(n);
+        for &(s, d, w) in edges {
+            store.insert_edge(E::new(s, d, w)).unwrap();
+        }
+        (store, Arc::new(WorkerPool::new(4)))
+    }
+
+    fn run_push(
+        store: &GraphStore<HashIndex>,
+        alg: &dyn Monotonic<Value = u64>,
+        tree: &TreeStore,
+        pool: &WorkerPool,
+        config: &PushConfig,
+        frontier: Vec<u64>,
+    ) -> PushResult {
+        let ctx = PushCtx {
+            store,
+            alg,
+            tree,
+            pool,
+            config,
+            epoch: 1,
+        };
+        ctx.propagate(frontier)
+    }
+
+    fn full_compute(
+        store: &GraphStore<HashIndex>,
+        alg: &dyn Monotonic<Value = u64>,
+        tree: &TreeStore,
+        pool: &WorkerPool,
+        config: &PushConfig,
+    ) {
+        let mut seeds = Vec::new();
+        store.for_each_vertex(|v| seeds.push(v));
+        run_push(store, alg, tree, pool, config, seeds);
+    }
+
+    fn random_graph(n: u64, m: usize, seed: u64) -> Vec<(u64, u64, u64)> {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..m)
+            .map(|_| {
+                (
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..n),
+                    rng.gen_range(1..10u64),
+                )
+            })
+            .collect()
+    }
+
+    fn check_alg<A: Monotonic<Value = u64> + Copy>(
+        alg: A,
+        mode: Option<PushMode>,
+        sequential_grain: usize,
+        edges: &[(u64, u64, u64)],
+        n: u64,
+        store: &GraphStore<HashIndex>,
+        pool: &WorkerPool,
+    ) {
+        let config = PushConfig {
+            sequential_grain,
+            parallel_grain: 16,
+            forced_mode: mode,
+            ..PushConfig::default()
+        };
+        let tree = TreeStore::new(n as usize, move |v| alg.init_val(v));
+        full_compute(store, &alg, &tree, pool, &config);
+        let want = risgraph_algorithms::reference::compute(&alg, n as usize, edges);
+        for v in 0..n {
+            assert_eq!(
+                tree.value(v),
+                want[v as usize],
+                "{} mode={mode:?} vertex {v}",
+                alg.name()
+            );
+        }
+    }
+
+    fn check_mode(mode: Option<PushMode>, sequential_grain: usize) {
+        let n = 300u64;
+        let edges = random_graph(n, 2000, 42);
+        let (store, pool) = setup(&edges, n as usize);
+        check_alg(Bfs::new(0), mode, sequential_grain, &edges, n, &store, &pool);
+        check_alg(Sssp::new(0), mode, sequential_grain, &edges, n, &store, &pool);
+        check_alg(Wcc::new(), mode, sequential_grain, &edges, n, &store, &pool);
+    }
+
+    #[test]
+    fn sequential_matches_oracle() {
+        check_mode(None, usize::MAX); // grain huge → always sequential
+    }
+
+    #[test]
+    fn vertex_parallel_matches_oracle() {
+        check_mode(Some(PushMode::VertexParallel), 0);
+    }
+
+    #[test]
+    fn edge_parallel_matches_oracle() {
+        check_mode(Some(PushMode::EdgeParallel), 0);
+    }
+
+    #[test]
+    fn hybrid_matches_oracle() {
+        check_mode(None, 64);
+    }
+
+    #[test]
+    fn parent_pointers_certify_values_after_push() {
+        let n = 200u64;
+        let edges = random_graph(n, 1200, 7);
+        let (store, pool) = setup(&edges, n as usize);
+        let config = PushConfig::default();
+        let alg = Sssp::new(0);
+        let tree = TreeStore::new(n as usize, move |v| alg.init_val(v));
+        full_compute(&store, &alg, &tree, &pool, &config);
+        // Every vertex with a parent must satisfy
+        // value(v) == gen_next(parent_edge, value(parent)).
+        for v in 0..n {
+            if let Some(pe) = tree.parent(v) {
+                assert_eq!(
+                    tree.value(v),
+                    alg.gen_next(pe, tree.value(pe.src)),
+                    "vertex {v} not certified by its parent edge"
+                );
+                assert!(store.contains_edge(pe), "parent edge {pe:?} not in graph");
+            }
+        }
+    }
+
+    #[test]
+    fn changed_records_capture_pre_update_values() {
+        // Graph 0→1→2; frontier from fresh init state must record every
+        // reached vertex exactly once with its init value as `old`.
+        let (store, pool) = setup(&[(0, 1, 0), (1, 2, 0)], 4);
+        let alg = Bfs::new(0);
+        let tree = TreeStore::new(4, move |v| alg.init_val(v));
+        let config = PushConfig::default();
+        let result = run_push(&store, &alg, &tree, &pool, &config, vec![0]);
+        let mut changed = result.changed.clone();
+        changed.sort_by_key(|c| c.0);
+        assert_eq!(changed.len(), 2);
+        assert_eq!(changed[0].0, 1);
+        assert_eq!(changed[0].1.value, u64::MAX);
+        assert_eq!(changed[1].0, 2);
+        assert_eq!(changed[1].1.value, u64::MAX);
+    }
+
+    #[test]
+    fn empty_frontier_is_noop() {
+        let (store, pool) = setup(&[(0, 1, 0)], 4);
+        let alg = Bfs::new(0);
+        let tree = TreeStore::new(4, move |v| alg.init_val(v));
+        let result = run_push(&store, &alg, &tree, &pool, &PushConfig::default(), vec![]);
+        assert!(result.changed.is_empty());
+        assert_eq!(result.edges_relaxed, 0);
+    }
+}
+
+#[cfg(test)]
+mod pull_tests {
+    use super::*;
+    use risgraph_algorithms::{Bfs, Wcc};
+    use risgraph_common::ids::Edge as E;
+    use risgraph_storage::HashIndex;
+    use std::sync::Arc;
+
+    #[test]
+    fn pull_mode_matches_oracle_on_dense_frontier() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 256u64;
+        let edges: Vec<(u64, u64, u64)> = (0..3000)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n), 0))
+            .collect();
+        let store = GraphStore::<HashIndex>::with_capacity(n as usize);
+        for &(s, d, w) in &edges {
+            store.insert_edge(E::new(s, d, w)).unwrap();
+        }
+        let pool = Arc::new(WorkerPool::new(4));
+        for undirected in [false, true] {
+            let config = PushConfig {
+                pull_threshold: 0.01, // force pull immediately
+                ..PushConfig::default()
+            };
+            if undirected {
+                let alg = Wcc::new();
+                let tree = TreeStore::new(n as usize, move |v| alg.init_val(v));
+                let ctx = PushCtx {
+                    store: &store,
+                    alg: &alg,
+                    tree: &tree,
+                    pool: &pool,
+                    config: &config,
+                    epoch: 1,
+                };
+                let mut seeds = Vec::new();
+                store.for_each_vertex(|v| seeds.push(v));
+                let result = ctx.propagate(seeds);
+                assert!(result.iterations > 0, "pull iterations must run");
+                let want = risgraph_algorithms::reference::compute(&alg, n as usize, &edges);
+                for v in 0..n {
+                    assert_eq!(tree.value(v), want[v as usize], "wcc vertex {v}");
+                }
+            } else {
+                let alg = Bfs::new(0);
+                let tree = TreeStore::new(n as usize, move |v| alg.init_val(v));
+                let ctx = PushCtx {
+                    store: &store,
+                    alg: &alg,
+                    tree: &tree,
+                    pool: &pool,
+                    config: &config,
+                    epoch: 1,
+                };
+                let mut seeds = Vec::new();
+                store.for_each_vertex(|v| seeds.push(v));
+                ctx.propagate(seeds);
+                let want = risgraph_algorithms::reference::compute(&alg, n as usize, &edges);
+                for v in 0..n {
+                    assert_eq!(tree.value(v), want[v as usize], "bfs vertex {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pull_disabled_when_threshold_is_one() {
+        let store = GraphStore::<HashIndex>::with_capacity(8);
+        store.insert_edge(E::new(0, 1, 0)).unwrap();
+        let pool = Arc::new(WorkerPool::new(2));
+        let alg = Bfs::new(0);
+        let tree = TreeStore::new(8, move |v| alg.init_val(v));
+        let config = PushConfig {
+            pull_threshold: 1.0,
+            sequential_grain: usize::MAX,
+            ..PushConfig::default()
+        };
+        let ctx = PushCtx {
+            store: &store,
+            alg: &alg,
+            tree: &tree,
+            pool: &pool,
+            config: &config,
+            epoch: 1,
+        };
+        let result = ctx.propagate(vec![0, 1]);
+        assert_eq!(result.iterations, 0, "fully sequential: no parallel iterations");
+        assert_eq!(tree.value(1), 1);
+    }
+}

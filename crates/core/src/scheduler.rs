@@ -1,0 +1,246 @@
+//! The tail-latency scheduler (§5).
+//!
+//! The scheduler packs as many safe updates per epoch loop as possible
+//! and decides when to abort the parallel phase and serve unsafe
+//! updates, "to fulfill predefined expected tail latency and achieve
+//! balanced trade-off between throughput and latency" (§2). Two
+//! heuristics trigger the switch (§5):
+//!
+//! 1. the earliest queued unsafe update has waited close to the target
+//!    latency (target = 0.8 × the user's limit);
+//! 2. the number of unprocessed unsafe updates reached a dynamic
+//!    threshold.
+//!
+//! The threshold self-adjusts every three epoch loops: +1% while the
+//! fraction of qualified (within-limit) updates meets the goal, −10%
+//! otherwise; it starts at the number of worker threads.
+
+use std::time::Duration;
+
+/// Scheduler tuning; defaults mirror §5's constants.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// User-facing latency limit (the paper evaluates 20 ms).
+    pub latency_limit: Duration,
+    /// Fraction of the limit used as the internal target (0.8).
+    pub target_fraction: f64,
+    /// Required fraction of qualified updates (P999 ⇒ 0.999).
+    pub qualified_goal: f64,
+    /// Epoch loops between threshold adjustments (3).
+    pub adjust_every: u32,
+    /// Multiplicative increase when meeting the goal (1.01).
+    pub increase: f64,
+    /// Multiplicative decrease when missing it (0.90).
+    pub decrease: f64,
+    /// Initial threshold (the paper: number of physical threads).
+    pub initial_threshold: usize,
+    /// Upper bound on the threshold. Without a cap, long healthy
+    /// stretches compound the +1% into astronomically large values that
+    /// would let the unsafe queue grow unboundedly on the first load
+    /// spike.
+    pub max_threshold: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            latency_limit: Duration::from_millis(20),
+            target_fraction: 0.8,
+            qualified_goal: 0.999,
+            adjust_every: 3,
+            increase: 1.01,
+            decrease: 0.90,
+            initial_threshold: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            max_threshold: 4096,
+        }
+    }
+}
+
+/// The dynamic epoch-size controller.
+#[derive(Debug)]
+pub struct Scheduler {
+    config: SchedulerConfig,
+    threshold: f64,
+    epochs_since_adjust: u32,
+    qualified: u64,
+    total: u64,
+}
+
+impl Scheduler {
+    /// A scheduler with the given configuration.
+    pub fn new(config: SchedulerConfig) -> Self {
+        let threshold = config.initial_threshold.max(1) as f64;
+        Scheduler {
+            config,
+            threshold,
+            epochs_since_adjust: 0,
+            qualified: 0,
+            total: 0,
+        }
+    }
+
+    /// The configured latency limit.
+    pub fn latency_limit(&self) -> Duration {
+        self.config.latency_limit
+    }
+
+    /// The current unsafe-queue threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold.max(1.0) as usize
+    }
+
+    /// Should the epoch loop stop packing safe updates and switch to the
+    /// serial phase? (§5's two heuristics.)
+    pub fn should_flush(&self, oldest_unsafe_wait: Option<Duration>, unsafe_queued: usize) -> bool {
+        if unsafe_queued == 0 {
+            return false;
+        }
+        if unsafe_queued >= self.threshold() {
+            return true;
+        }
+        match oldest_unsafe_wait {
+            Some(wait) => {
+                wait.as_secs_f64()
+                    >= self.config.latency_limit.as_secs_f64() * self.config.target_fraction
+            }
+            None => false,
+        }
+    }
+
+    /// Record one served update's processing-time latency.
+    pub fn record_latency(&mut self, latency: Duration) {
+        self.total += 1;
+        if latency <= self.config.latency_limit {
+            self.qualified += 1;
+        }
+    }
+
+    /// Record a batch of served updates by counts (the epoch loop's
+    /// parallel phase aggregates per-worker, then reports once).
+    pub fn record_batch(&mut self, qualified: u64, total: u64) {
+        debug_assert!(qualified <= total);
+        self.qualified += qualified;
+        self.total += total;
+    }
+
+    /// Note the end of one epoch loop; adjusts the threshold every
+    /// `adjust_every` epochs.
+    pub fn end_epoch(&mut self) {
+        self.epochs_since_adjust += 1;
+        if self.epochs_since_adjust < self.config.adjust_every {
+            return;
+        }
+        self.epochs_since_adjust = 0;
+        if self.total == 0 {
+            return;
+        }
+        let fraction = self.qualified as f64 / self.total as f64;
+        if fraction >= self.config.qualified_goal {
+            self.threshold *= self.config.increase;
+        } else {
+            self.threshold *= self.config.decrease;
+        }
+        self.threshold = self
+            .threshold
+            .clamp(1.0, self.config.max_threshold as f64);
+        self.qualified = 0;
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(limit_ms: u64, threads: usize) -> Scheduler {
+        Scheduler::new(SchedulerConfig {
+            latency_limit: Duration::from_millis(limit_ms),
+            initial_threshold: threads,
+            ..SchedulerConfig::default()
+        })
+    }
+
+    #[test]
+    fn no_unsafe_never_flushes() {
+        let s = sched(20, 8);
+        assert!(!s.should_flush(None, 0));
+        assert!(!s.should_flush(Some(Duration::from_secs(100)), 0));
+    }
+
+    #[test]
+    fn flush_on_threshold() {
+        let s = sched(20, 8);
+        assert!(!s.should_flush(Some(Duration::from_millis(1)), 7));
+        assert!(s.should_flush(Some(Duration::from_millis(1)), 8));
+        assert!(s.should_flush(None, 8));
+    }
+
+    #[test]
+    fn flush_on_waiting_time() {
+        let s = sched(20, 1000);
+        // 0.8 × 20ms = 16ms target.
+        assert!(!s.should_flush(Some(Duration::from_millis(15)), 1));
+        assert!(s.should_flush(Some(Duration::from_millis(16)), 1));
+    }
+
+    #[test]
+    fn threshold_rises_slowly_when_meeting_goal() {
+        let mut s = sched(20, 100);
+        for _ in 0..3 {
+            for _ in 0..1000 {
+                s.record_latency(Duration::from_millis(1));
+            }
+            s.end_epoch();
+        }
+        assert_eq!(s.threshold(), 101); // 100 × 1.01
+    }
+
+    #[test]
+    fn threshold_drops_quickly_when_missing_goal() {
+        let mut s = sched(20, 100);
+        for _ in 0..3 {
+            for _ in 0..100 {
+                s.record_latency(Duration::from_millis(1));
+            }
+            // 10% timeouts — way below the 99.9% goal.
+            for _ in 0..11 {
+                s.record_latency(Duration::from_millis(50));
+            }
+            s.end_epoch();
+        }
+        assert_eq!(s.threshold(), 90); // 100 × 0.90
+    }
+
+    #[test]
+    fn adjustment_cadence_is_every_n_epochs() {
+        let mut s = sched(20, 100);
+        s.record_latency(Duration::from_millis(1));
+        s.end_epoch();
+        s.end_epoch();
+        assert_eq!(s.threshold(), 100, "no adjustment before 3 epochs");
+        s.end_epoch();
+        assert_eq!(s.threshold(), 101);
+    }
+
+    #[test]
+    fn threshold_is_capped() {
+        let mut s = sched(20, 100);
+        for _ in 0..30_000 {
+            s.record_latency(Duration::from_millis(1));
+            s.end_epoch();
+        }
+        assert!(s.threshold() <= SchedulerConfig::default().max_threshold);
+    }
+
+    #[test]
+    fn threshold_floor_is_one() {
+        let mut s = sched(20, 1);
+        for _ in 0..30 {
+            s.record_latency(Duration::from_secs(1)); // all timeouts
+            s.end_epoch();
+        }
+        assert_eq!(s.threshold(), 1);
+    }
+}

@@ -1,0 +1,1213 @@
+//! The interactive server: sessions, the **epoch loop schema** (§4,
+//! Figure 9), the scheduler, history versioning and WAL integration.
+//!
+//! Architecture (Figure 1, top three tiers):
+//!
+//! * **Sessions** ([`Session`]) emulate the paper's synchronous users:
+//!   each submits one update (or transaction) and waits for the reply
+//!   carrying a result-view version id.
+//! * The **coordinator thread** runs epoch loops: it gathers pending
+//!   updates, classifies each session's queue prefix (stopping at the
+//!   first unsafe update — everything behind it is *next-epoch*, §4),
+//!   executes all safe updates **in parallel** across sessions, then
+//!   executes unsafe updates **one by one** (each internally parallel),
+//!   consulting the [`Scheduler`] to bound tail latency.
+//! * Per-session order is preserved and each session observes
+//!   sequentially consistent behaviour: a session's updates execute in
+//!   submission order, and a demoted safe update re-enters its session's
+//!   queue front.
+//!
+//! Durability: applied updates are appended to the WAL and fsynced once
+//! per epoch (group commit). History: every result-changing update
+//! records its per-vertex deltas; GC runs on released-version
+//! watermarks every `gc_interval` (§5: every second).
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
+use risgraph_common::hash::FxHashMap;
+use risgraph_common::ids::{Edge, Update, VersionId, VertexId};
+use risgraph_common::{Error, Result};
+use risgraph_storage::index::EdgeIndex;
+use risgraph_storage::HashIndex;
+
+use crate::engine::{ChangeRecord, ChangeSet, DynAlgorithm, Engine, EngineConfig, SafeApply, Safety};
+use crate::history::HistoryStore;
+use crate::scheduler::{Scheduler, SchedulerConfig};
+use crate::tree::Value;
+use crate::wal::{replay, WalWriter};
+
+/// Server construction parameters.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Engine tuning.
+    pub engine: EngineConfig,
+    /// Scheduler tuning (latency limit etc.).
+    pub scheduler: SchedulerConfig,
+    /// Enable the write-ahead log at this path (replayed on startup).
+    pub wal_path: Option<PathBuf>,
+    /// Maintain the history store (versioned snapshots).
+    pub enable_history: bool,
+    /// History GC cadence (§5: every second).
+    pub gc_interval: Duration,
+    /// Coordinator poll timeout while idle.
+    pub idle_poll: Duration,
+    /// Minimum interval between WAL fsyncs. Group commit batches all
+    /// updates applied since the last sync; a per-epoch fsync would
+    /// dominate wall time when epochs are small (buffered appends still
+    /// happen every epoch — only the `fsync` is paced).
+    pub wal_sync_interval: Duration,
+    /// Upper bound on safe updates gathered per epoch (backpressure).
+    pub max_epoch_updates: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            engine: EngineConfig::default(),
+            scheduler: SchedulerConfig::default(),
+            wal_path: None,
+            enable_history: true,
+            gc_interval: Duration::from_secs(1),
+            idle_poll: Duration::from_micros(200),
+            wal_sync_interval: Duration::from_millis(2),
+            max_epoch_updates: 1 << 16,
+        }
+    }
+}
+
+/// A submitted operation: one update, or an atomic batch (`txn_updates`).
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// A single vertex/edge update.
+    Single(Update),
+    /// A write-only transaction: all-or-nothing (§4 "Supporting
+    /// Transactions").
+    Txn(Vec<Update>),
+}
+
+impl Op {
+    fn updates(&self) -> &[Update] {
+        match self {
+            Op::Single(u) => std::slice::from_ref(u),
+            Op::Txn(us) => us,
+        }
+    }
+
+    fn max_vertex(&self) -> u64 {
+        self.updates()
+            .iter()
+            .map(|u| match u {
+                Update::InsEdge(e) | Update::DelEdge(e) => e.src.max(e.dst),
+                Update::InsVertex(v) | Update::DelVertex(v) => *v,
+            })
+            .max()
+            .map_or(0, |v| v + 1)
+    }
+}
+
+/// Information returned with every successful update.
+#[derive(Debug, Clone, Copy)]
+pub struct Applied {
+    /// How the update was executed.
+    pub safety: Safety,
+    /// Number of per-vertex result changes (across all algorithms).
+    pub result_changes: usize,
+}
+
+/// The reply to a submitted operation.
+#[derive(Debug)]
+pub struct Reply {
+    /// Version id of the result view after this operation.
+    pub version: VersionId,
+    /// Outcome (errors carry no version semantics: the view is the
+    /// version preceding the failed operation).
+    pub outcome: Result<Applied>,
+}
+
+struct Envelope {
+    session: u64,
+    op: Op,
+    enqueued: Instant,
+    reply: Sender<Reply>,
+}
+
+/// Coordinator-visible counters, sampled by the Figure 11b/12 harnesses.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Epoch loops completed.
+    pub epochs: AtomicU64,
+    /// Updates executed on the parallel safe path.
+    pub safe_executed: AtomicU64,
+    /// Updates executed on the serial unsafe path.
+    pub unsafe_executed: AtomicU64,
+    /// Safe-phase demotions (revalidation failures).
+    pub demotions: AtomicU64,
+    /// Current scheduler threshold (Figure 12's trace).
+    pub threshold: AtomicU64,
+    /// Nanoseconds spent in the scheduler/classification bookkeeping.
+    pub sched_ns: AtomicU64,
+    /// Nanoseconds recording history.
+    pub history_ns: AtomicU64,
+    /// Nanoseconds appending + syncing the WAL.
+    pub wal_ns: AtomicU64,
+    /// Nanoseconds envelopes spent queued before execution ("network"
+    /// tier in the Figure 11b breakdown).
+    pub queue_ns: AtomicU64,
+}
+
+struct Shared<I: EdgeIndex> {
+    engine: Engine<I>,
+    history: Vec<Mutex<HistoryStore>>,
+    version: AtomicU64,
+    injector: Sender<Envelope>,
+    shutdown: AtomicBool,
+    /// Held exclusively during unsafe execution so point-in-time queries
+    /// never observe a half-applied update.
+    query_gate: RwLock<()>,
+    released: Mutex<FxHashMap<u64, VersionId>>,
+    next_session: AtomicU64,
+    stats: ServerStats,
+    enable_history: bool,
+}
+
+impl<I: EdgeIndex> Shared<I> {
+    fn check_version(&self, version: VersionId) -> Result<()> {
+        if version > self.version.load(Ordering::Acquire) {
+            return Err(Error::VersionNotFound(version));
+        }
+        Ok(())
+    }
+}
+
+/// The RisGraph interactive server.
+pub struct Server<I: EdgeIndex + 'static = HashIndex> {
+    shared: Arc<Shared<I>>,
+    coordinator: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<I: EdgeIndex + 'static> Server<I> {
+    /// Start a server maintaining `algorithms` with the given capacity.
+    /// If a WAL exists at the configured path it is replayed first.
+    pub fn start(
+        algorithms: Vec<DynAlgorithm>,
+        capacity: usize,
+        config: ServerConfig,
+    ) -> Result<Self> {
+        let num_algos = algorithms.len();
+        let engine: Engine<I> = Engine::new(algorithms, capacity, config.engine.clone());
+
+        let mut wal = None;
+        if let Some(path) = &config.wal_path {
+            // Recovery: re-apply logged structure, then recompute once.
+            let batches = replay(path)?;
+            if !batches.is_empty() {
+                for batch in &batches {
+                    for u in batch {
+                        let need = Op::Txn(batch.clone()).max_vertex();
+                        if need as usize > engine.capacity() {
+                            engine.ensure_capacity(need as usize);
+                        }
+                        // Individual replay errors (e.g. an update that
+                        // had failed originally) are skipped.
+                        let _ = engine.apply_structure(u);
+                    }
+                }
+                engine.recompute_all();
+            }
+            wal = Some(WalWriter::open(path)?);
+        }
+
+        let (tx, rx) = unbounded();
+        let shared = Arc::new(Shared {
+            engine,
+            history: (0..num_algos)
+                .map(|_| Mutex::new(HistoryStore::new(capacity)))
+                .collect(),
+            version: AtomicU64::new(0),
+            injector: tx,
+            shutdown: AtomicBool::new(false),
+            query_gate: RwLock::new(()),
+            released: Mutex::new(FxHashMap::default()),
+            next_session: AtomicU64::new(0),
+            stats: ServerStats::default(),
+            enable_history: config.enable_history,
+        });
+        let coord_shared = Arc::clone(&shared);
+        let coordinator = std::thread::Builder::new()
+            .name("risgraph-coordinator".into())
+            .spawn(move || coordinator_loop(coord_shared, rx, config, wal))
+            .expect("spawn coordinator");
+        Ok(Server {
+            shared,
+            coordinator: Some(coordinator),
+        })
+    }
+
+    /// Bulk-load a graph before serving traffic (initial computation
+    /// included). Not logged to the WAL — load from your dataset on
+    /// recovery instead.
+    pub fn load_edges(&self, edges: &[(VertexId, VertexId, u64)]) {
+        self.shared.engine.load_edges(edges);
+    }
+
+    /// Open a new session.
+    pub fn session(&self) -> Session<I> {
+        let id = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        self.shared.released.lock().insert(id, 0);
+        let (reply_tx, reply_rx) = unbounded();
+        Session {
+            id,
+            shared: Arc::clone(&self.shared),
+            reply_tx,
+            reply_rx,
+        }
+    }
+
+    /// Direct engine access (benchmarks, tests).
+    pub fn engine(&self) -> &Engine<I> {
+        &self.shared.engine
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// The latest assigned result version.
+    pub fn current_version(&self) -> VersionId {
+        self.shared.version.load(Ordering::Acquire)
+    }
+
+    /// Stop the coordinator and drain.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.coordinator.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<I: EdgeIndex + 'static> Drop for Server<I> {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+/// A client session (an emulated synchronous user, §6.2).
+pub struct Session<I: EdgeIndex + 'static = HashIndex> {
+    id: u64,
+    shared: Arc<Shared<I>>,
+    reply_tx: Sender<Reply>,
+    reply_rx: Receiver<Reply>,
+}
+
+impl<I: EdgeIndex + 'static> Session<I> {
+    /// This session's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn submit(&self, op: Op) -> Reply {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Reply {
+                version: self.shared.version.load(Ordering::Acquire),
+                outcome: Err(Error::Shutdown),
+            };
+        }
+        let env = Envelope {
+            session: self.id,
+            op,
+            enqueued: Instant::now(),
+            reply: self.reply_tx.clone(),
+        };
+        if self.shared.injector.send(env).is_err() {
+            return Reply {
+                version: self.shared.version.load(Ordering::Acquire),
+                outcome: Err(Error::Shutdown),
+            };
+        }
+        match self.reply_rx.recv() {
+            Ok(r) => r,
+            Err(_) => Reply {
+                version: self.shared.version.load(Ordering::Acquire),
+                outcome: Err(Error::Shutdown),
+            },
+        }
+    }
+
+    /// `ins_edge(edge) → version_id` (Table 1).
+    pub fn ins_edge(&self, e: Edge) -> Reply {
+        self.submit(Op::Single(Update::InsEdge(e)))
+    }
+
+    /// `del_edge(edge) → version_id`.
+    pub fn del_edge(&self, e: Edge) -> Reply {
+        self.submit(Op::Single(Update::DelEdge(e)))
+    }
+
+    /// `ins_vertex(vertex_id) → version_id`.
+    pub fn ins_vertex(&self, v: VertexId) -> Reply {
+        self.submit(Op::Single(Update::InsVertex(v)))
+    }
+
+    /// `del_vertex(vertex_id) → version_id`.
+    pub fn del_vertex(&self, v: VertexId) -> Reply {
+        self.submit(Op::Single(Update::DelVertex(v)))
+    }
+
+    /// `txn_updates(updates) → version_id`: an atomic batch.
+    pub fn txn_updates(&self, updates: Vec<Update>) -> Reply {
+        self.submit(Op::Txn(updates))
+    }
+
+    /// `get_value(version_id, vertex_id) → value` for algorithm `algo`.
+    pub fn get_value(&self, algo: usize, version: VersionId, v: VertexId) -> Result<Value> {
+        let _gate = self.shared.query_gate.read();
+        self.shared.check_version(version)?;
+        let current = self.shared.engine.value(algo, v);
+        if !self.shared.enable_history {
+            return Ok(current);
+        }
+        self.shared.history[algo].lock().value_at(version, v, current)
+    }
+
+    /// `get_parent(version_id, vertex_id) → edge`.
+    pub fn get_parent(&self, algo: usize, version: VersionId, v: VertexId) -> Result<Option<Edge>> {
+        let _gate = self.shared.query_gate.read();
+        self.shared.check_version(version)?;
+        let current = self.shared.engine.parent(algo, v);
+        if !self.shared.enable_history {
+            return Ok(current);
+        }
+        self.shared.history[algo].lock().parent_at(version, v, current)
+    }
+
+    /// `get_current_version() → version_id`.
+    pub fn get_current_version(&self) -> VersionId {
+        self.shared.version.load(Ordering::Acquire)
+    }
+
+    /// `get_modified_vertices(version_id) → vertex_ids`.
+    pub fn get_modified_vertices(&self, algo: usize, version: VersionId) -> Result<Vec<VertexId>> {
+        let _gate = self.shared.query_gate.read();
+        self.shared.check_version(version)?;
+        self.shared.history[algo].lock().modified_vertices(version)
+    }
+
+    /// `release_history(version_id)`: snapshots strictly older than
+    /// `version` are no longer needed by this session.
+    pub fn release_history(&self, version: VersionId) {
+        self.shared.released.lock().insert(self.id, version);
+    }
+}
+
+impl<I: EdgeIndex + 'static> Drop for Session<I> {
+    fn drop(&mut self) {
+        // A closed session must not hold back GC.
+        self.shared.released.lock().remove(&self.id);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Coordinator
+// ----------------------------------------------------------------------
+
+fn merge_changesets(sets: Vec<ChangeSet>, num_algos: usize) -> ChangeSet {
+    if sets.len() == 1 {
+        return sets.into_iter().next().unwrap();
+    }
+    let mut merged: Vec<FxHashMap<VertexId, ChangeRecord>> =
+        (0..num_algos).map(|_| FxHashMap::default()).collect();
+    for set in sets {
+        for (algo, changes) in set.per_algo.into_iter().enumerate() {
+            for c in changes {
+                merged[algo]
+                    .entry(c.vertex)
+                    .and_modify(|prev| {
+                        prev.new = c.new;
+                        prev.new_parent = c.new_parent;
+                    })
+                    .or_insert(c);
+            }
+        }
+    }
+    ChangeSet {
+        per_algo: merged
+            .into_iter()
+            .map(|m| {
+                m.into_values()
+                    .filter(|c| c.old != c.new || c.old_parent != c.new_parent)
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+fn inverse(u: &Update) -> Update {
+    match u {
+        Update::InsEdge(e) => Update::DelEdge(*e),
+        Update::DelEdge(e) => Update::InsEdge(*e),
+        Update::InsVertex(v) => Update::DelVertex(*v),
+        Update::DelVertex(v) => Update::InsVertex(*v),
+    }
+}
+
+struct EpochBuf {
+    /// Per-session safe prefixes (executed in-order within a session,
+    /// across sessions in parallel).
+    safe_groups: Vec<(u64, Vec<Envelope>)>,
+    safe_count: usize,
+    /// Unsafe updates in arrival order.
+    unsafe_queue: VecDeque<Envelope>,
+}
+
+fn coordinator_loop<I: EdgeIndex + 'static>(
+    shared: Arc<Shared<I>>,
+    rx: Receiver<Envelope>,
+    config: ServerConfig,
+    mut wal: Option<WalWriter>,
+) {
+    let mut scheduler = Scheduler::new(config.scheduler.clone());
+    let mut pending: FxHashMap<u64, VecDeque<Envelope>> = FxHashMap::default();
+    let mut last_gc = Instant::now();
+    let mut last_wal_sync = Instant::now();
+    shared
+        .stats
+        .threshold
+        .store(scheduler.threshold() as u64, Ordering::Relaxed);
+
+    loop {
+        let mut buf = EpochBuf {
+            safe_groups: Vec::new(),
+            safe_count: 0,
+            unsafe_queue: VecDeque::new(),
+        };
+
+        // ---- Gather & classify phase -------------------------------
+        let mut blocked: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        loop {
+            // Drain whatever is available without blocking.
+            let mut got_any = false;
+            while let Ok(env) = rx.try_recv() {
+                pending.entry(env.session).or_default().push_back(env);
+                got_any = true;
+            }
+
+            // Classify session queue prefixes.
+            let t_sched = Instant::now();
+            for (sid, queue) in pending.iter_mut() {
+                if blocked.contains(sid) {
+                    continue;
+                }
+                while let Some(front) = queue.front() {
+                    let need = front.op.max_vertex();
+                    if need as usize > shared.engine.capacity() {
+                        shared.engine.ensure_capacity(need as usize);
+                    }
+                    let safety = match &front.op {
+                        Op::Single(u) => shared.engine.classify(u),
+                        Op::Txn(us) => shared.engine.classify_txn(us),
+                    };
+                    match safety {
+                        Safety::Safe => {
+                            let env = queue.pop_front().unwrap();
+                            match buf.safe_groups.iter_mut().find(|(s, _)| s == sid) {
+                                Some((_, g)) => g.push(env),
+                                None => buf.safe_groups.push((*sid, vec![env])),
+                            }
+                            buf.safe_count += 1;
+                        }
+                        Safety::Unsafe => {
+                            // First unsafe blocks the session: everything
+                            // behind it is next-epoch (§4, Figure 9).
+                            buf.unsafe_queue.push_back(queue.pop_front().unwrap());
+                            blocked.insert(*sid);
+                            break;
+                        }
+                    }
+                }
+            }
+            shared
+                .stats
+                .sched_ns
+                .fetch_add(t_sched.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+            let oldest_wait = buf.unsafe_queue.front().map(|e| e.enqueued.elapsed());
+            if scheduler.should_flush(oldest_wait, buf.unsafe_queue.len())
+                || buf.safe_count >= config.max_epoch_updates
+            {
+                break;
+            }
+            if buf.safe_count > 0 || !buf.unsafe_queue.is_empty() {
+                // Work gathered and nothing more immediately available:
+                // run the epoch rather than idle-wait.
+                if !got_any {
+                    break;
+                }
+                continue;
+            }
+            // Nothing to do: block briefly, watching for shutdown.
+            match rx.recv_timeout(config.idle_poll) {
+                Ok(env) => {
+                    pending.entry(env.session).or_default().push_back(env);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if shared.shutdown.load(Ordering::Acquire)
+                        && pending.values().all(|q| q.is_empty())
+                    {
+                        return;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+
+        // ---- Parallel safe phase -----------------------------------
+        let epoch_qualified = AtomicU64::new(0);
+        let epoch_total = AtomicU64::new(0);
+        let applied_log: Mutex<Vec<Update>> = Mutex::new(Vec::new());
+        let leftovers: Mutex<Vec<(u64, Vec<Envelope>)>> = Mutex::new(Vec::new());
+        if buf.safe_count > 0 {
+            let groups = std::mem::take(&mut buf.safe_groups);
+            let cursor = AtomicU64::new(0);
+            let n_groups = groups.len();
+            let limit = scheduler.latency_limit();
+            shared.engine.pool().run(|_| loop {
+                let gi = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+                if gi >= n_groups {
+                    break;
+                }
+                let (sid, group) = &groups[gi];
+                let mut iter = group.iter();
+                let mut local_applied = Vec::new();
+                let mut demoted_tail: Vec<Envelope> = Vec::new();
+                for env in iter.by_ref() {
+                    match execute_safe(&shared, env) {
+                        SafeExec::Applied(updates) => {
+                            local_applied.extend(updates);
+                            let lat = env.enqueued.elapsed();
+                            epoch_total.fetch_add(1, Ordering::Relaxed);
+                            if lat <= limit {
+                                epoch_qualified.fetch_add(1, Ordering::Relaxed);
+                            }
+                            shared
+                                .stats
+                                .queue_ns
+                                .fetch_add(lat.as_nanos() as u64, Ordering::Relaxed);
+                        }
+                        SafeExec::Errored => {
+                            epoch_total.fetch_add(1, Ordering::Relaxed);
+                        }
+                        SafeExec::Demoted(env_clone) => {
+                            shared.stats.demotions.fetch_add(1, Ordering::Relaxed);
+                            demoted_tail.push(env_clone);
+                            break;
+                        }
+                    }
+                }
+                if !demoted_tail.is_empty() || iter.len() > 0 {
+                    // Unprocessed suffix returns to the session queue.
+                    let rest: Vec<Envelope> =
+                        demoted_tail.into_iter().chain(collect_envelopes(iter)).collect();
+                    leftovers.lock().push((*sid, rest));
+                }
+                if !local_applied.is_empty() {
+                    applied_log.lock().extend(local_applied);
+                    shared
+                        .stats
+                        .safe_executed
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Requeue demoted suffixes at the front, preserving order.
+        for (sid, rest) in leftovers.into_inner() {
+            let q = pending.entry(sid).or_default();
+            for env in rest.into_iter().rev() {
+                q.push_front(env);
+            }
+        }
+
+        // ---- Serial unsafe phase -----------------------------------
+        while let Some(env) = buf.unsafe_queue.pop_front() {
+            let _gate = shared.query_gate.write();
+            let (reply, applied_updates) = execute_unsafe(&shared, &env);
+            drop(_gate);
+            if !applied_updates.is_empty() {
+                applied_log.lock().extend(applied_updates);
+            }
+            let lat = env.enqueued.elapsed();
+            scheduler.record_latency(lat);
+            shared
+                .stats
+                .queue_ns
+                .fetch_add(lat.as_nanos() as u64, Ordering::Relaxed);
+            shared.stats.unsafe_executed.fetch_add(1, Ordering::Relaxed);
+            let _ = env.reply.send(reply);
+        }
+
+        // ---- Epoch end: WAL group commit, scheduler, GC ------------
+        if let Some(w) = wal.as_mut() {
+            let t_wal = Instant::now();
+            let log = std::mem::take(&mut *applied_log.lock());
+            if !log.is_empty() {
+                for u in &log {
+                    let _ = w.append(std::slice::from_ref(u));
+                }
+                // Group commit: fsync at most every wal_sync_interval.
+                if last_wal_sync.elapsed() >= config.wal_sync_interval {
+                    let _ = w.sync();
+                    last_wal_sync = Instant::now();
+                }
+            }
+            shared
+                .stats
+                .wal_ns
+                .fetch_add(t_wal.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+
+        scheduler.record_batch(
+            epoch_qualified.load(Ordering::Relaxed),
+            epoch_total.load(Ordering::Relaxed),
+        );
+        scheduler.end_epoch();
+        shared
+            .stats
+            .threshold
+            .store(scheduler.threshold() as u64, Ordering::Relaxed);
+        shared.stats.epochs.fetch_add(1, Ordering::Relaxed);
+
+        if shared.enable_history && last_gc.elapsed() >= config.gc_interval {
+            last_gc = Instant::now();
+            let t_hist = Instant::now();
+            let watermark = {
+                let released = shared.released.lock();
+                released.values().copied().min().unwrap_or(0)
+            };
+            if watermark > 0 {
+                for h in &shared.history {
+                    h.lock().collect(watermark);
+                }
+            }
+            shared
+                .stats
+                .history_ns
+                .fetch_add(t_hist.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+
+        if shared.shutdown.load(Ordering::Acquire)
+            && pending.values().all(|q| q.is_empty())
+            && rx.is_empty()
+        {
+            // Flush any buffered WAL records before exiting.
+            if let Some(w) = wal.as_mut() {
+                let _ = w.sync();
+            }
+            // Close the race where a submit slipped in after the final
+            // emptiness check: refuse anything still in flight.
+            while let Ok(env) = rx.try_recv() {
+                let _ = env.reply.send(Reply {
+                    version: shared.version.load(Ordering::Acquire),
+                    outcome: Err(Error::Shutdown),
+                });
+            }
+            return;
+        }
+    }
+}
+
+fn collect_envelopes<'a>(iter: impl Iterator<Item = &'a Envelope>) -> Vec<Envelope> {
+    // Envelopes are not Clone (they carry reply senders we must not
+    // duplicate semantically); rebuild by moving fields. Since we only
+    // have shared references here, reconstruct via the cloneable parts.
+    iter.map(|e| Envelope {
+        session: e.session,
+        op: e.op.clone(),
+        enqueued: e.enqueued,
+        reply: e.reply.clone(),
+    })
+    .collect()
+}
+
+enum SafeExec {
+    Applied(Vec<Update>),
+    Errored,
+    Demoted(Envelope),
+}
+
+fn execute_safe<I: EdgeIndex>(shared: &Shared<I>, env: &Envelope) -> SafeExec {
+    match &env.op {
+        Op::Single(u) => match shared.engine.try_apply_safe(u) {
+            Ok(SafeApply::Applied) => {
+                let version = shared.version.fetch_add(1, Ordering::AcqRel) + 1;
+                let _ = env.reply.send(Reply {
+                    version,
+                    outcome: Ok(Applied {
+                        safety: Safety::Safe,
+                        result_changes: 0,
+                    }),
+                });
+                SafeExec::Applied(vec![*u])
+            }
+            Ok(SafeApply::Demoted) => SafeExec::Demoted(Envelope {
+                session: env.session,
+                op: env.op.clone(),
+                enqueued: env.enqueued,
+                reply: env.reply.clone(),
+            }),
+            Err(e) => {
+                let _ = env.reply.send(Reply {
+                    version: shared.version.load(Ordering::Acquire),
+                    outcome: Err(e),
+                });
+                SafeExec::Errored
+            }
+        },
+        Op::Txn(updates) => {
+            // All-or-nothing: roll back the applied prefix on demotion
+            // or error (inverse structural ops restore state exactly —
+            // safe updates change nothing else).
+            let mut applied: Vec<Update> = Vec::with_capacity(updates.len());
+            for u in updates {
+                match shared.engine.try_apply_safe(u) {
+                    Ok(SafeApply::Applied) => applied.push(*u),
+                    Ok(SafeApply::Demoted) => {
+                        rollback_structure(shared, &applied);
+                        return SafeExec::Demoted(Envelope {
+                            session: env.session,
+                            op: env.op.clone(),
+                            enqueued: env.enqueued,
+                            reply: env.reply.clone(),
+                        });
+                    }
+                    Err(e) => {
+                        rollback_structure(shared, &applied);
+                        let _ = env.reply.send(Reply {
+                            version: shared.version.load(Ordering::Acquire),
+                            outcome: Err(e),
+                        });
+                        return SafeExec::Errored;
+                    }
+                }
+            }
+            let version = shared.version.fetch_add(1, Ordering::AcqRel) + 1;
+            let _ = env.reply.send(Reply {
+                version,
+                outcome: Ok(Applied {
+                    safety: Safety::Safe,
+                    result_changes: 0,
+                }),
+            });
+            SafeExec::Applied(applied)
+        }
+    }
+}
+
+fn rollback_structure<I: EdgeIndex>(shared: &Shared<I>, applied: &[Update]) {
+    for u in applied.iter().rev() {
+        let _ = shared.engine.apply_structure(&inverse(u));
+    }
+}
+
+fn execute_unsafe<I: EdgeIndex>(shared: &Shared<I>, env: &Envelope) -> (Reply, Vec<Update>) {
+    let num_algos = shared.engine.num_algorithms();
+    let updates = env.op.updates();
+    let mut applied: Vec<Update> = Vec::with_capacity(updates.len());
+    let mut sets: Vec<ChangeSet> = Vec::with_capacity(updates.len());
+    for u in updates {
+        let need = env.op.max_vertex();
+        if need as usize > shared.engine.capacity() {
+            shared.engine.ensure_capacity(need as usize);
+        }
+        match shared.engine.apply_unsafe(u) {
+            Ok(set) => {
+                applied.push(*u);
+                sets.push(set);
+            }
+            Err(e) => {
+                // Transaction atomicity: undo the applied prefix with
+                // inverse updates (recomputing results back).
+                for prev in applied.iter().rev() {
+                    let _ = shared.engine.apply_unsafe(&inverse(prev));
+                }
+                return (
+                    Reply {
+                        version: shared.version.load(Ordering::Acquire),
+                        outcome: Err(e),
+                    },
+                    Vec::new(),
+                );
+            }
+        }
+    }
+    let merged = merge_changesets(sets, num_algos);
+    let version = shared.version.fetch_add(1, Ordering::AcqRel) + 1;
+    let result_changes = merged.len();
+    if shared.enable_history && !merged.is_empty() {
+        let t_hist = Instant::now();
+        for (algo, changes) in merged.per_algo.iter().enumerate() {
+            if !changes.is_empty() {
+                shared.history[algo].lock().record(version, changes);
+            }
+        }
+        shared
+            .stats
+            .history_ns
+            .fetch_add(t_hist.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+    (
+        Reply {
+            version,
+            outcome: Ok(Applied {
+                safety: Safety::Unsafe,
+                result_changes,
+            }),
+        },
+        applied,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risgraph_algorithms::{Bfs, Sssp, Sswp, Wcc};
+    use std::sync::Arc as StdArc;
+
+    fn server_with(algs: Vec<DynAlgorithm>, cap: usize) -> Server {
+        let mut config = ServerConfig::default();
+        config.engine.threads = 4;
+        Server::start(algs, cap, config).unwrap()
+    }
+
+    fn bfs_server(cap: usize) -> Server {
+        server_with(vec![StdArc::new(Bfs::new(0))], cap)
+    }
+
+    #[test]
+    fn single_session_updates_and_queries() {
+        let srv = bfs_server(16);
+        srv.load_edges(&[(0, 1, 0)]);
+        let s = srv.session();
+        let r1 = s.ins_edge(Edge::new(1, 2, 0));
+        let a1 = r1.outcome.unwrap();
+        assert_eq!(a1.safety, Safety::Unsafe);
+        assert_eq!(a1.result_changes, 1);
+        assert_eq!(s.get_value(0, r1.version, 2).unwrap(), 2);
+
+        // A safe update gets a fresh version with no modifications.
+        let r2 = s.ins_edge(Edge::new(2, 1, 0));
+        assert_eq!(r2.outcome.unwrap().safety, Safety::Safe);
+        assert!(r2.version > r1.version);
+        assert!(s.get_modified_vertices(0, r2.version).unwrap().is_empty());
+        assert_eq!(s.get_current_version(), r2.version);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn historical_values_remain_queryable() {
+        let srv = bfs_server(16);
+        srv.load_edges(&[(0, 1, 0), (1, 2, 0)]);
+        let s = srv.session();
+        let v_before = s.get_current_version();
+        assert_eq!(s.get_value(0, v_before, 2).unwrap(), 2);
+        let r = s.ins_edge(Edge::new(0, 2, 0)); // shortcut: dist 2 → 1
+        let v_after = r.version;
+        assert_eq!(s.get_value(0, v_after, 2).unwrap(), 1);
+        // The old snapshot still answers 2.
+        assert_eq!(s.get_value(0, v_before, 2).unwrap(), 2);
+        assert_eq!(s.get_modified_vertices(0, v_after).unwrap(), vec![2]);
+        // Parent history: 2's parent flipped from (1,2) to (0,2).
+        assert_eq!(
+            s.get_parent(0, v_before, 2).unwrap(),
+            Some(Edge::new(1, 2, 0))
+        );
+        assert_eq!(
+            s.get_parent(0, v_after, 2).unwrap(),
+            Some(Edge::new(0, 2, 0))
+        );
+        srv.shutdown();
+    }
+
+    #[test]
+    fn future_version_queries_fail() {
+        let srv = bfs_server(8);
+        let s = srv.session();
+        assert!(matches!(
+            s.get_value(0, 999, 0),
+            Err(Error::VersionNotFound(999))
+        ));
+        srv.shutdown();
+    }
+
+    #[test]
+    fn transactions_are_atomic() {
+        let srv = bfs_server(16);
+        srv.load_edges(&[(0, 1, 0)]);
+        let s = srv.session();
+        // Valid txn: two inserts applied together.
+        let r = s.txn_updates(vec![
+            Update::InsEdge(Edge::new(1, 2, 0)),
+            Update::InsEdge(Edge::new(2, 3, 0)),
+        ]);
+        assert!(r.outcome.is_ok());
+        assert_eq!(s.get_value(0, r.version, 3).unwrap(), 3);
+        // Failing txn (second op deletes a missing edge) must undo the
+        // first op.
+        let r = s.txn_updates(vec![
+            Update::InsEdge(Edge::new(3, 4, 0)),
+            Update::DelEdge(Edge::new(9, 9, 9)),
+        ]);
+        assert!(r.outcome.is_err());
+        let now = s.get_current_version();
+        assert_eq!(
+            s.get_value(0, now, 4).unwrap(),
+            u64::MAX,
+            "rolled-back insert must not be visible"
+        );
+        assert_eq!(srv.engine().num_edges(), 3);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn many_concurrent_sessions_converge() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let srv = StdArc::new(bfs_server(512));
+        // A base path so some updates are safe, some unsafe.
+        let base: Vec<(u64, u64, u64)> = (0..64).map(|i| (i, i + 1, 0)).collect();
+        srv.load_edges(&base);
+
+        let mut handles = Vec::new();
+        let mut all_edges: Vec<Vec<(u64, u64)>> = Vec::new();
+        for t in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(t);
+            // Pre-generate each session's distinct edge set (disjoint
+            // ranges so cross-session deletes can't collide).
+            let edges: Vec<(u64, u64)> = (0..60)
+                .map(|_| {
+                    (
+                        100 + t * 40 + rng.gen_range(0..40),
+                        100 + t * 40 + rng.gen_range(0..40),
+                    )
+                })
+                .collect();
+            all_edges.push(edges.clone());
+            let srv = StdArc::clone(&srv);
+            handles.push(std::thread::spawn(move || {
+                let session = srv.session();
+                for &(a, b) in &edges {
+                    let r = session.ins_edge(Edge::new(a, b, 0));
+                    assert!(r.outcome.is_ok());
+                }
+                for &(a, b) in &edges {
+                    let r = session.del_edge(Edge::new(a, b, 0));
+                    assert!(r.outcome.is_ok(), "delete {a}->{b} failed");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All session edges were inserted then deleted: only the base
+        // path remains and BFS distances are intact.
+        assert_eq!(srv.engine().num_edges(), 64);
+        for i in 0..65u64 {
+            assert_eq!(srv.engine().value(0, i), i);
+        }
+        let stats = srv.stats();
+        assert!(stats.epochs.load(Ordering::Relaxed) > 0);
+        assert!(stats.safe_executed.load(Ordering::Relaxed) > 0);
+        StdArc::try_unwrap(srv).ok().unwrap().shutdown();
+    }
+
+    #[test]
+    fn session_order_is_preserved_across_safety_classes() {
+        let srv = bfs_server(32);
+        srv.load_edges(&[(0, 1, 0)]);
+        let s = srv.session();
+        // unsafe (extends the tree), safe (back edge), unsafe (delete
+        // tree edge), executed in order ⇒ final state deterministic.
+        let r1 = s.ins_edge(Edge::new(1, 2, 0));
+        let r2 = s.ins_edge(Edge::new(2, 1, 0));
+        let r3 = s.del_edge(Edge::new(1, 2, 0));
+        assert!(r1.version < r2.version && r2.version < r3.version);
+        assert_eq!(srv.engine().value(0, 2), u64::MAX);
+        assert_eq!(srv.engine().value(0, 1), 1);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn multi_algorithm_server() {
+        let srv = server_with(
+            vec![
+                StdArc::new(Bfs::new(0)),
+                StdArc::new(Sssp::new(0)),
+                StdArc::new(Sswp::new(0)),
+            ],
+            32,
+        );
+        srv.load_edges(&[(0, 1, 3), (1, 2, 4)]);
+        let s = srv.session();
+        let r = s.ins_edge(Edge::new(0, 2, 10));
+        let v = r.version;
+        assert_eq!(s.get_value(0, v, 2).unwrap(), 1, "BFS");
+        assert_eq!(s.get_value(1, v, 2).unwrap(), 7, "SSSP unchanged (3+4 < 10)");
+        assert_eq!(s.get_value(2, v, 2).unwrap(), 10, "SSWP widened");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn wcc_server_with_history() {
+        let srv = server_with(vec![StdArc::new(Wcc::new())], 32);
+        srv.load_edges(&[(1, 2, 0), (3, 4, 0)]);
+        let s = srv.session();
+        let v0 = s.get_current_version();
+        assert_eq!(s.get_value(0, v0, 4).unwrap(), 3);
+        let r = s.ins_edge(Edge::new(2, 3, 0));
+        assert_eq!(s.get_value(0, r.version, 4).unwrap(), 1);
+        assert_eq!(s.get_value(0, v0, 4).unwrap(), 3, "history intact");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn release_history_enables_gc() {
+        let mut config = ServerConfig::default();
+        config.engine.threads = 2;
+        config.gc_interval = Duration::from_millis(1);
+        let srv: Server =
+            Server::start(vec![StdArc::new(Bfs::new(0))], 16, config).unwrap();
+        srv.load_edges(&[(0, 1, 0)]);
+        let s = srv.session();
+        let r1 = s.ins_edge(Edge::new(1, 2, 0));
+        let r2 = s.ins_edge(Edge::new(0, 2, 0));
+        s.release_history(r2.version);
+        // Drive epochs until GC runs; old version becomes unreadable.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let _ = s.ins_edge(Edge::new(2, 0, 0)); // safe churn
+            std::thread::sleep(Duration::from_millis(2));
+            match s.get_value(0, r1.version, 2) {
+                Err(Error::VersionNotFound(_)) => break,
+                Ok(_) if Instant::now() < deadline => continue,
+                other => panic!("GC never happened: {other:?}"),
+            }
+        }
+        // Newer versions still readable.
+        assert!(s.get_value(0, r2.version, 2).is_ok());
+        srv.shutdown();
+    }
+
+    #[test]
+    fn wal_recovery_restores_state() {
+        let dir = std::env::temp_dir().join("risgraph-server-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("recovery-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let mut config = ServerConfig::default();
+        config.engine.threads = 2;
+        config.wal_path = Some(path.clone());
+        {
+            let srv: Server =
+                Server::start(vec![StdArc::new(Bfs::new(0))], 16, config.clone()).unwrap();
+            let s = srv.session();
+            for (a, b) in [(0u64, 1u64), (1, 2), (2, 3)] {
+                assert!(s.ins_edge(Edge::new(a, b, 0)).outcome.is_ok());
+            }
+            assert!(s.del_edge(Edge::new(2, 3, 0)).outcome.is_ok());
+            srv.shutdown();
+        }
+        // Restart from the log alone.
+        let srv: Server = Server::start(vec![StdArc::new(Bfs::new(0))], 16, config).unwrap();
+        assert_eq!(srv.engine().num_edges(), 2);
+        assert_eq!(srv.engine().value(0, 2), 2);
+        assert_eq!(srv.engine().value(0, 3), u64::MAX);
+        srv.shutdown();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let srv = bfs_server(16);
+        let s = srv.session();
+        let r = s.del_edge(Edge::new(5, 6, 0));
+        assert!(matches!(r.outcome, Err(Error::EdgeNotFound(_))));
+        // The server keeps serving.
+        let r = s.ins_edge(Edge::new(0, 1, 0));
+        assert!(r.outcome.is_ok());
+        srv.shutdown();
+    }
+
+    #[test]
+    fn vertex_lifecycle_through_sessions() {
+        let srv = bfs_server(16);
+        let s = srv.session();
+        assert!(s.ins_vertex(7).outcome.is_ok());
+        assert!(s.ins_vertex(7).outcome.is_err(), "duplicate id");
+        assert!(s.ins_edge(Edge::new(7, 8, 0)).outcome.is_ok());
+        assert!(s.del_vertex(7).outcome.is_err(), "not isolated");
+        assert!(s.del_edge(Edge::new(7, 8, 0)).outcome.is_ok());
+        assert!(s.del_vertex(7).outcome.is_ok());
+        srv.shutdown();
+    }
+
+    #[test]
+    fn merge_changesets_keeps_first_old_last_new() {
+        let a = ChangeSet {
+            per_algo: vec![vec![ChangeRecord {
+                vertex: 1,
+                old: 10,
+                new: 5,
+                old_parent: None,
+                new_parent: Some(Edge::new(0, 1, 0)),
+            }]],
+        };
+        let b = ChangeSet {
+            per_algo: vec![vec![ChangeRecord {
+                vertex: 1,
+                old: 5,
+                new: 3,
+                old_parent: Some(Edge::new(0, 1, 0)),
+                new_parent: Some(Edge::new(2, 1, 0)),
+            }]],
+        };
+        let m = merge_changesets(vec![a, b], 1);
+        assert_eq!(m.per_algo[0].len(), 1);
+        let c = m.per_algo[0][0];
+        assert_eq!((c.old, c.new), (10, 3));
+        assert_eq!(c.new_parent, Some(Edge::new(2, 1, 0)));
+    }
+
+    #[test]
+    fn merge_changesets_drops_net_noops() {
+        let a = ChangeSet {
+            per_algo: vec![vec![ChangeRecord {
+                vertex: 1,
+                old: 10,
+                new: 5,
+                old_parent: None,
+                new_parent: None,
+            }]],
+        };
+        let b = ChangeSet {
+            per_algo: vec![vec![ChangeRecord {
+                vertex: 1,
+                old: 5,
+                new: 10,
+                old_parent: None,
+                new_parent: None,
+            }]],
+        };
+        let m = merge_changesets(vec![a, b], 1);
+        assert!(m.is_empty(), "insert+delete net effect is nothing");
+    }
+}

@@ -1,0 +1,316 @@
+//! The **tree and value store** (§2, §5): per-vertex computing state.
+//!
+//! Each vertex carries its current result value and a single *bottom-up*
+//! parent pointer into the dependency tree — "each vertex maintains at
+//! most one bottom-up pointer to its parent on the dependency tree. It
+//! is efficient to classify updates by checking whether the updating
+//! edge is a bottom-up pointer … parent pointer trees lock or atomically
+//! update the modified vertex only once" (§5).
+//!
+//! Every vertex's state sits behind its own 1-byte `parking_lot::Mutex`,
+//! so parallel push phases lock exactly one vertex per relaxation, as
+//! the paper prescribes. Each state additionally carries the epoch stamp
+//! of the last update that touched it: the *first* modification of a
+//! vertex within an update returns `first_change = true` under the same
+//! lock, which is how the engine captures exact pre-update values for
+//! the history store even under concurrent relaxation.
+
+use parking_lot::Mutex;
+use risgraph_common::ids::{Edge, VertexId, Weight};
+
+/// The engine's value type. Every monotonic algorithm the paper
+/// evaluates (BFS/SSSP/SSWP/WCC, plus Reachability and label
+/// propagation) is expressible over `u64`.
+pub type Value = u64;
+
+/// Sentinel for "no parent".
+const NO_PARENT: u64 = u64::MAX;
+
+/// One vertex's computing state: value + parent pointer (the parent's id
+/// and the connecting edge's weight; the edge is `(parent → self)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VertexState {
+    /// Current result value.
+    pub value: Value,
+    /// Parent vertex id in the dependency tree, `u64::MAX` when rootless.
+    pub parent_src: VertexId,
+    /// Weight of the parent edge.
+    pub parent_data: Weight,
+}
+
+impl VertexState {
+    /// The parent edge `(parent → v)` if a parent exists.
+    #[inline]
+    pub fn parent_edge(&self, v: VertexId) -> Option<Edge> {
+        (self.parent_src != NO_PARENT).then(|| Edge::new(self.parent_src, v, self.parent_data))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    state: VertexState,
+    /// Epoch of the update that last modified this vertex.
+    stamp: u64,
+}
+
+/// The tree & value store for one algorithm.
+pub struct TreeStore {
+    slots: Vec<Mutex<Slot>>,
+    /// Initial values, cached so growth and resets don't re-query the
+    /// algorithm object in hot paths.
+    init: Box<dyn Fn(VertexId) -> Value + Send + Sync>,
+}
+
+impl TreeStore {
+    /// Create a store over `0..capacity` with per-vertex initial values.
+    pub fn new(capacity: usize, init: impl Fn(VertexId) -> Value + Send + Sync + 'static) -> Self {
+        let mut s = TreeStore {
+            slots: Vec::new(),
+            init: Box::new(init),
+        };
+        s.ensure_capacity(capacity);
+        s
+    }
+
+    /// Addressable range.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Grow to cover `0..n`; new vertices start at their initial value.
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if n <= self.slots.len() {
+            return;
+        }
+        let n = n.next_power_of_two().max(16);
+        let start = self.slots.len() as u64;
+        for v in start..n as u64 {
+            self.slots.push(Mutex::new(Slot {
+                state: VertexState {
+                    value: (self.init)(v),
+                    parent_src: NO_PARENT,
+                    parent_data: 0,
+                },
+                stamp: 0,
+            }));
+        }
+    }
+
+    /// Snapshot the state of `v`.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> VertexState {
+        self.slots[v as usize].lock().state
+    }
+
+    /// Current value of `v`.
+    #[inline]
+    pub fn value(&self, v: VertexId) -> Value {
+        self.slots[v as usize].lock().state.value
+    }
+
+    /// Parent edge of `v`, if any.
+    #[inline]
+    pub fn parent(&self, v: VertexId) -> Option<Edge> {
+        self.slots[v as usize].lock().state.parent_edge(v)
+    }
+
+    /// Whether `e` is a bottom-up pointer of the dependency tree, i.e.
+    /// `parent(e.dst) == e`. This is the O(1) classification primitive
+    /// for deletions (§4 rule 2).
+    #[inline]
+    pub fn is_tree_edge(&self, e: Edge) -> bool {
+        let s = self.slots[e.dst as usize].lock();
+        s.state.parent_src == e.src && s.state.parent_data == e.data
+    }
+
+    /// Atomically: if `decide(current_value)` returns a replacement,
+    /// install `(new_value, parent)` and return
+    /// `(previous_state, first_change_in_this_epoch)`.
+    ///
+    /// This is the single-vertex-lock relaxation step of parallel push;
+    /// the `first` flag is exact because stamp check and write happen
+    /// under the same vertex lock.
+    #[inline]
+    pub fn try_update(
+        &self,
+        v: VertexId,
+        parent: Option<(VertexId, Weight)>,
+        epoch: u64,
+        decide: impl FnOnce(Value) -> Option<Value>,
+    ) -> Option<(VertexState, bool)> {
+        let mut s = self.slots[v as usize].lock();
+        let new = decide(s.state.value)?;
+        let old = s.state;
+        let first = s.stamp != epoch;
+        s.stamp = epoch;
+        s.state.value = new;
+        match parent {
+            Some((p, w)) => {
+                s.state.parent_src = p;
+                s.state.parent_data = w;
+            }
+            None => {
+                s.state.parent_src = NO_PARENT;
+                s.state.parent_data = 0;
+            }
+        }
+        Some((old, first))
+    }
+
+    /// Forcibly reset `v` to its initial value with no parent; returns
+    /// `(previous_state, first_change_in_this_epoch)` (deletion
+    /// invalidation — §2's trimmed approximation starts from here).
+    #[inline]
+    pub fn reset(&self, v: VertexId, epoch: u64) -> (VertexState, bool) {
+        let mut s = self.slots[v as usize].lock();
+        let old = s.state;
+        let first = s.stamp != epoch;
+        s.stamp = epoch;
+        s.state.value = (self.init)(v);
+        s.state.parent_src = NO_PARENT;
+        s.state.parent_data = 0;
+        (old, first)
+    }
+
+    /// Restore a previously captured state (tests and rollbacks).
+    #[inline]
+    pub fn restore(&self, v: VertexId, state: VertexState) {
+        self.slots[v as usize].lock().state = state;
+    }
+
+    /// The initial value of `v`.
+    #[inline]
+    pub fn init_value(&self, v: VertexId) -> Value {
+        (self.init)(v)
+    }
+
+    /// Approximate heap bytes (Table 9 accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Mutex<Slot>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bfs_like(root: VertexId) -> TreeStore {
+        TreeStore::new(8, move |v| if v == root { 0 } else { u64::MAX })
+    }
+
+    #[test]
+    fn initial_values() {
+        let t = bfs_like(3);
+        assert_eq!(t.value(3), 0);
+        assert_eq!(t.value(0), u64::MAX);
+        assert_eq!(t.parent(0), None);
+    }
+
+    #[test]
+    fn try_update_improves_and_sets_parent() {
+        let t = bfs_like(0);
+        let got = t.try_update(1, Some((0, 7)), 1, |cur| (1 < cur).then_some(1));
+        let (old, first) = got.unwrap();
+        assert_eq!(old.value, u64::MAX);
+        assert!(first);
+        assert_eq!(t.value(1), 1);
+        assert_eq!(t.parent(1), Some(Edge::new(0, 1, 7)));
+        // Second identical update must refuse (no improvement).
+        assert!(t
+            .try_update(1, Some((0, 7)), 1, |cur| (1 < cur).then_some(1))
+            .is_none());
+    }
+
+    #[test]
+    fn first_change_flag_tracks_epochs() {
+        let t = bfs_like(0);
+        let (_, first) = t
+            .try_update(1, Some((0, 0)), 5, |_| Some(10))
+            .unwrap();
+        assert!(first);
+        let (old, first) = t.try_update(1, Some((0, 0)), 5, |_| Some(9)).unwrap();
+        assert!(!first, "same epoch: not the first change");
+        assert_eq!(old.value, 10);
+        let (_, first) = t.try_update(1, Some((0, 0)), 6, |_| Some(8)).unwrap();
+        assert!(first, "new epoch: first change again");
+    }
+
+    #[test]
+    fn is_tree_edge_checks_src_and_weight() {
+        let t = bfs_like(0);
+        t.try_update(2, Some((0, 5)), 1, |_| Some(1));
+        assert!(t.is_tree_edge(Edge::new(0, 2, 5)));
+        assert!(!t.is_tree_edge(Edge::new(0, 2, 6))); // weight differs
+        assert!(!t.is_tree_edge(Edge::new(1, 2, 5))); // src differs
+        assert!(!t.is_tree_edge(Edge::new(2, 0, 5))); // direction matters
+    }
+
+    #[test]
+    fn reset_and_restore() {
+        let t = bfs_like(0);
+        t.try_update(1, Some((0, 0)), 1, |_| Some(1));
+        let (old, first) = t.reset(1, 2);
+        assert!(first);
+        assert_eq!(old.value, 1);
+        assert_eq!(t.value(1), u64::MAX);
+        assert_eq!(t.parent(1), None);
+        t.restore(1, old);
+        assert_eq!(t.value(1), 1);
+        assert_eq!(t.parent(1), Some(Edge::new(0, 1, 0)));
+    }
+
+    #[test]
+    fn growth_initializes_new_vertices() {
+        let mut t = bfs_like(0);
+        t.ensure_capacity(100);
+        assert!(t.capacity() >= 100);
+        assert_eq!(t.value(99), u64::MAX);
+        assert_eq!(t.value(0), 0, "existing state preserved");
+    }
+
+    #[test]
+    fn concurrent_relaxations_keep_best() {
+        use std::sync::Arc;
+        let t = Arc::new(bfs_like(0));
+        let mut handles = Vec::new();
+        for cand in 1..=8u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                t.try_update(5, Some((cand, 0)), 1, |cur| (cand < cur).then_some(cand));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Monotone: final value must be the minimum candidate.
+        assert_eq!(t.value(5), 1);
+        assert_eq!(t.parent(5), Some(Edge::new(1, 5, 0)));
+    }
+
+    #[test]
+    fn exactly_one_first_change_under_concurrency() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let t = Arc::new(bfs_like(0));
+        let firsts = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for cand in 1..=8u64 {
+            let t = Arc::clone(&t);
+            let firsts = Arc::clone(&firsts);
+            handles.push(std::thread::spawn(move || {
+                if let Some((_, first)) =
+                    t.try_update(5, Some((cand, 0)), 42, |cur| (cand < cur).then_some(cand))
+                {
+                    if first {
+                        firsts.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(firsts.load(Ordering::SeqCst), 1);
+    }
+}

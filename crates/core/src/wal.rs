@@ -1,0 +1,272 @@
+//! Write-ahead logging (§2: "Optionally, RisGraph provides durability
+//! with write-ahead logs (WAL)").
+//!
+//! Record layout: `[len: u32 LE][crc32: u32 LE][payload]`, where the
+//! payload encodes one update batch (a single update or a transaction).
+//! Replay stops cleanly at the first torn or corrupt record, truncating
+//! the tail — the standard recovery contract.
+//!
+//! Flushing follows the epoch loop's group-commit: `append` buffers,
+//! [`WalWriter::sync`] flushes and fsyncs once per epoch (Figure 11b
+//! charges 14.0% of wall time to WAL, which the breakdown bench
+//! reproduces).
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use risgraph_common::crc::crc32;
+use risgraph_common::ids::{Edge, Update};
+use risgraph_common::{Error, Result};
+
+const TAG_INS_EDGE: u8 = 1;
+const TAG_DEL_EDGE: u8 = 2;
+const TAG_INS_VERTEX: u8 = 3;
+const TAG_DEL_VERTEX: u8 = 4;
+
+fn encode_update(buf: &mut BytesMut, u: &Update) {
+    match u {
+        Update::InsEdge(e) => {
+            buf.put_u8(TAG_INS_EDGE);
+            buf.put_u64_le(e.src);
+            buf.put_u64_le(e.dst);
+            buf.put_u64_le(e.data);
+        }
+        Update::DelEdge(e) => {
+            buf.put_u8(TAG_DEL_EDGE);
+            buf.put_u64_le(e.src);
+            buf.put_u64_le(e.dst);
+            buf.put_u64_le(e.data);
+        }
+        Update::InsVertex(v) => {
+            buf.put_u8(TAG_INS_VERTEX);
+            buf.put_u64_le(*v);
+        }
+        Update::DelVertex(v) => {
+            buf.put_u8(TAG_DEL_VERTEX);
+            buf.put_u64_le(*v);
+        }
+    }
+}
+
+fn decode_update(buf: &mut Bytes) -> Result<Update> {
+    if buf.remaining() < 1 {
+        return Err(Error::Wal("truncated update tag".into()));
+    }
+    let tag = buf.get_u8();
+    let need = match tag {
+        TAG_INS_EDGE | TAG_DEL_EDGE => 24,
+        TAG_INS_VERTEX | TAG_DEL_VERTEX => 8,
+        other => return Err(Error::Wal(format!("unknown update tag {other}"))),
+    };
+    if buf.remaining() < need {
+        return Err(Error::Wal("truncated update body".into()));
+    }
+    Ok(match tag {
+        TAG_INS_EDGE => {
+            Update::InsEdge(Edge::new(buf.get_u64_le(), buf.get_u64_le(), buf.get_u64_le()))
+        }
+        TAG_DEL_EDGE => {
+            Update::DelEdge(Edge::new(buf.get_u64_le(), buf.get_u64_le(), buf.get_u64_le()))
+        }
+        TAG_INS_VERTEX => Update::InsVertex(buf.get_u64_le()),
+        _ => Update::DelVertex(buf.get_u64_le()),
+    })
+}
+
+/// Appending side of the log.
+pub struct WalWriter {
+    writer: BufWriter<File>,
+    scratch: BytesMut,
+    records: u64,
+}
+
+impl WalWriter {
+    /// Open (or create) a log for appending.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(WalWriter {
+            writer: BufWriter::new(file),
+            scratch: BytesMut::new(),
+            records: 0,
+        })
+    }
+
+    /// Buffer one batch (single update or transaction) as a record.
+    pub fn append(&mut self, updates: &[Update]) -> Result<()> {
+        self.scratch.clear();
+        self.scratch.put_u32_le(updates.len() as u32);
+        for u in updates {
+            encode_update(&mut self.scratch, u);
+        }
+        let crc = crc32(&self.scratch);
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&(self.scratch.len() as u32).to_le_bytes());
+        header[4..].copy_from_slice(&crc.to_le_bytes());
+        self.writer.write_all(&header)?;
+        self.writer.write_all(&self.scratch)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Group commit: flush buffers and fsync.
+    pub fn sync(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Records appended so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+/// Replay a log, yielding each record's update batch. Stops silently at
+/// a torn tail (partial final record); returns an error only for
+/// mid-log corruption that checksum-validates but fails to decode.
+pub fn replay(path: impl AsRef<Path>) -> Result<Vec<Vec<Update>>> {
+    let mut data = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut data)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    }
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos + 8 <= data.len() {
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+        if pos + 8 + len > data.len() {
+            break; // torn tail
+        }
+        let payload = &data[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            break; // torn/corrupt tail: stop replay here
+        }
+        let mut buf = Bytes::copy_from_slice(payload);
+        if buf.remaining() < 4 {
+            return Err(Error::Wal("record too short".into()));
+        }
+        let count = buf.get_u32_le() as usize;
+        let mut batch = Vec::with_capacity(count);
+        for _ in 0..count {
+            batch.push(decode_update(&mut buf)?);
+        }
+        out.push(batch);
+        pos += 8 + len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("risgraph-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{name}-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn roundtrip_all_update_kinds() {
+        let path = tmp("roundtrip");
+        let batches = vec![
+            vec![Update::InsEdge(Edge::new(1, 2, 3))],
+            vec![Update::DelEdge(Edge::new(4, 5, 6)), Update::InsVertex(7)],
+            vec![Update::DelVertex(8)],
+        ];
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            for b in &batches {
+                w.append(b).unwrap();
+            }
+            w.sync().unwrap();
+            assert_eq!(w.records(), 3);
+        }
+        assert_eq!(replay(&path).unwrap(), batches);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        assert!(replay("/nonexistent/risgraph.wal").unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let path = tmp("torn");
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            w.append(&[Update::InsVertex(1)]).unwrap();
+            w.append(&[Update::InsVertex(2)]).unwrap();
+            w.sync().unwrap();
+        }
+        // Chop bytes off the end: the second record is torn.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 3]).unwrap();
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed, vec![vec![Update::InsVertex(1)]]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_payload_stops_replay() {
+        let path = tmp("corrupt");
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            w.append(&[Update::InsVertex(1)]).unwrap();
+            w.append(&[Update::InsVertex(2)]).unwrap();
+            w.sync().unwrap();
+        }
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip a payload byte inside the second record.
+        let n = data.len();
+        data[n - 2] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed, vec![vec![Update::InsVertex(1)]]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_after_reopen_preserves_prefix() {
+        let path = tmp("reopen");
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            w.append(&[Update::InsVertex(1)]).unwrap();
+            w.sync().unwrap();
+        }
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            w.append(&[Update::InsVertex(2)]).unwrap();
+            w.sync().unwrap();
+        }
+        assert_eq!(
+            replay(&path).unwrap(),
+            vec![vec![Update::InsVertex(1)], vec![Update::InsVertex(2)]]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let path = tmp("empty");
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            w.append(&[]).unwrap();
+            w.sync().unwrap();
+        }
+        assert_eq!(replay(&path).unwrap(), vec![Vec::<Update>::new()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,147 @@
+//! Immutable CSR (compressed sparse row) snapshots.
+//!
+//! §3.1 notes that an array of arrays "can support updates and provide
+//! comparable computing performance of compressed sparse row (CSR)".
+//! The CSR builder here serves three purposes: the recompute baseline
+//! (whole-graph BFS/SSSP, used for the GraphOne-0.76 s style
+//! comparisons), differential tests of the mutable store against a known
+//! layout, and fast bulk analytics in the examples.
+
+use risgraph_common::ids::{VertexId, Weight};
+
+use crate::index::EdgeIndex;
+use crate::store::GraphStore;
+
+/// An immutable CSR snapshot of a directed graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes `targets`/`weights` for `v`.
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+    weights: Vec<Weight>,
+}
+
+impl Csr {
+    /// Build from an edge list; duplicate edges are kept (multiplicity
+    /// expands into repeated entries, as raw CSR would store them).
+    pub fn from_edges(num_vertices: usize, edges: impl IntoIterator<Item = (VertexId, VertexId, Weight)>) -> Self {
+        let mut degree = vec![0u64; num_vertices];
+        let collected: Vec<_> = edges.into_iter().collect();
+        for &(s, _, _) in &collected {
+            degree[s as usize] += 1;
+        }
+        let mut offsets = vec![0u64; num_vertices + 1];
+        for v in 0..num_vertices {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let total = offsets[num_vertices] as usize;
+        let mut targets = vec![0; total];
+        let mut weights = vec![0; total];
+        let mut cursor = offsets.clone();
+        for (s, d, w) in collected {
+            let at = cursor[s as usize] as usize;
+            targets[at] = d;
+            weights[at] = w;
+            cursor[s as usize] += 1;
+        }
+        Csr {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Snapshot the live out-edges of a [`GraphStore`], expanding
+    /// duplicate counts.
+    pub fn from_store<I: EdgeIndex>(store: &GraphStore<I>) -> Self {
+        let n = store.vertex_upper_bound() as usize;
+        let mut edges = Vec::with_capacity(store.num_edges() as usize);
+        for v in 0..n as u64 {
+            for s in store.out(v).iter_live() {
+                for _ in 0..s.count {
+                    edges.push((v, s.dst, s.data));
+                }
+            }
+        }
+        Self::from_edges(n, edges)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges (duplicates included).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// The out-neighbours of `v` as parallel `(targets, weights)` slices.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> (&[VertexId], &[Weight]) {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        (&self.targets[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Iterate all edges as `(src, dst, weight)`.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        (0..self.num_vertices() as u64).flat_map(move |v| {
+            let (t, w) = self.neighbors(v);
+            t.iter().zip(w).map(move |(&d, &w)| (v, d, w))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::hash::HashIndex;
+    use risgraph_common::ids::Edge;
+
+    #[test]
+    fn build_from_edge_list() {
+        let csr = Csr::from_edges(4, vec![(0, 1, 5), (0, 2, 7), (2, 3, 1)]);
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.num_edges(), 3);
+        assert_eq!(csr.out_degree(0), 2);
+        assert_eq!(csr.out_degree(1), 0);
+        let (t, w) = csr.neighbors(0);
+        let mut pairs: Vec<_> = t.iter().zip(w).collect();
+        pairs.sort();
+        assert_eq!(pairs, vec![(&1, &5), (&2, &7)]);
+    }
+
+    #[test]
+    fn snapshot_matches_store() {
+        let store: GraphStore<HashIndex> = GraphStore::with_capacity(16);
+        store.insert_edge(Edge::new(0, 1, 2)).unwrap();
+        store.insert_edge(Edge::new(0, 1, 2)).unwrap(); // duplicate
+        store.insert_edge(Edge::new(1, 2, 3)).unwrap();
+        store.insert_edge(Edge::new(2, 0, 4)).unwrap();
+        store.delete_edge(Edge::new(2, 0, 4)).unwrap();
+        let csr = Csr::from_store(&store);
+        assert_eq!(csr.num_edges(), 3); // dup expands to 2, deleted one gone
+        assert_eq!(csr.out_degree(0), 2);
+        assert_eq!(csr.out_degree(2), 0);
+        let all: Vec<_> = csr.iter_edges().collect();
+        assert_eq!(all.len(), 3);
+        assert!(all.contains(&(1, 2, 3)));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_edges(0, vec![]);
+        assert_eq!(csr.num_vertices(), 0);
+        assert_eq!(csr.num_edges(), 0);
+        assert_eq!(csr.iter_edges().count(), 0);
+    }
+}

@@ -1,0 +1,781 @@
+//! An Adaptive Radix Tree (ART) edge index (the paper's "IA_ARTree").
+//!
+//! §5 cites Leis et al., ICDE'13 ("The adaptive radix tree: ARTful
+//! indexing for main-memory databases") as the third index alternative;
+//! Table 8 evaluates it for both the index-with-array (IA) and
+//! index-only (IO) store variants.
+//!
+//! This is a from-scratch implementation specialised for the store's
+//! fixed-width 16-byte keys (`dst` and `weight`, both big-endian so that
+//! byte order equals numeric order). It has the four classic node sizes
+//! (4 / 16 / 48 / 256), path compression, node growth *and* shrinking,
+//! and single-child path merging on delete.
+
+use risgraph_common::ids::{VertexId, Weight};
+
+use super::EdgeIndex;
+
+const KEY_LEN: usize = 16;
+
+#[inline]
+fn encode(dst: VertexId, data: Weight) -> [u8; KEY_LEN] {
+    let mut k = [0u8; KEY_LEN];
+    k[..8].copy_from_slice(&dst.to_be_bytes());
+    k[8..].copy_from_slice(&data.to_be_bytes());
+    k
+}
+
+#[inline]
+fn decode(k: &[u8; KEY_LEN]) -> (VertexId, Weight) {
+    (
+        VertexId::from_be_bytes(k[..8].try_into().unwrap()),
+        Weight::from_be_bytes(k[8..].try_into().unwrap()),
+    )
+}
+
+/// A compressed path fragment stored in inner nodes.
+#[derive(Clone, Copy, Debug, Default)]
+struct Prefix {
+    bytes: [u8; KEY_LEN],
+    len: u8,
+}
+
+impl Prefix {
+    fn from_slice(s: &[u8]) -> Self {
+        let mut p = Prefix::default();
+        p.bytes[..s.len()].copy_from_slice(s);
+        p.len = s.len() as u8;
+        p
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    /// Length of the common prefix with `other`.
+    #[inline]
+    fn match_len(&self, other: &[u8]) -> usize {
+        self.as_slice()
+            .iter()
+            .zip(other)
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+}
+
+struct Leaf {
+    key: [u8; KEY_LEN],
+    value: u32,
+}
+
+enum Node {
+    Leaf(Box<Leaf>),
+    Inner(Box<Inner>),
+}
+
+struct Inner {
+    prefix: Prefix,
+    children: Children,
+}
+
+// N4 is intentionally inline (ART's smallest node must avoid an extra
+// allocation); the larger variants already box their payloads.
+#[allow(clippy::large_enum_variant)]
+enum Children {
+    N4 {
+        len: u8,
+        keys: [u8; 4],
+        slots: [Option<Node>; 4],
+    },
+    N16 {
+        len: u8,
+        keys: [u8; 16],
+        slots: [Option<Node>; 16],
+    },
+    N48 {
+        len: u8,
+        /// Byte → slot index, `0xFF` when absent.
+        index: Box<[u8; 256]>,
+        slots: Box<[Option<Node>; 48]>,
+    },
+    N256 {
+        len: u16,
+        slots: Box<[Option<Node>; 256]>,
+    },
+}
+
+impl Children {
+    fn new4() -> Self {
+        Children::N4 {
+            len: 0,
+            keys: [0; 4],
+            slots: [None, None, None, None],
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Children::N4 { len, .. } | Children::N16 { len, .. } => *len as usize,
+            Children::N48 { len, .. } => *len as usize,
+            Children::N256 { len, .. } => *len as usize,
+        }
+    }
+
+    fn find(&self, b: u8) -> Option<&Node> {
+        match self {
+            Children::N4 { len, keys, slots } => keys[..*len as usize]
+                .iter()
+                .position(|&k| k == b)
+                .and_then(|i| slots[i].as_ref()),
+            Children::N16 { len, keys, slots } => keys[..*len as usize]
+                .iter()
+                .position(|&k| k == b)
+                .and_then(|i| slots[i].as_ref()),
+            Children::N48 { index, slots, .. } => {
+                let i = index[b as usize];
+                if i == 0xFF {
+                    None
+                } else {
+                    slots[i as usize].as_ref()
+                }
+            }
+            Children::N256 { slots, .. } => slots[b as usize].as_ref(),
+        }
+    }
+
+    fn find_mut(&mut self, b: u8) -> Option<&mut Node> {
+        match self {
+            Children::N4 { len, keys, slots } => {
+                match keys[..*len as usize].iter().position(|&k| k == b) {
+                    Some(i) => slots[i].as_mut(),
+                    None => None,
+                }
+            }
+            Children::N16 { len, keys, slots } => {
+                match keys[..*len as usize].iter().position(|&k| k == b) {
+                    Some(i) => slots[i].as_mut(),
+                    None => None,
+                }
+            }
+            Children::N48 { index, slots, .. } => {
+                let i = index[b as usize];
+                if i == 0xFF {
+                    None
+                } else {
+                    slots[i as usize].as_mut()
+                }
+            }
+            Children::N256 { slots, .. } => slots[b as usize].as_mut(),
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        match self {
+            Children::N4 { len, .. } => *len == 4,
+            Children::N16 { len, .. } => *len == 16,
+            Children::N48 { len, .. } => *len == 48,
+            Children::N256 { .. } => false,
+        }
+    }
+
+    /// Add a child for byte `b`. Caller must grow first when full.
+    fn add(&mut self, b: u8, node: Node) {
+        debug_assert!(!self.is_full());
+        match self {
+            Children::N4 { len, keys, slots } => {
+                keys[*len as usize] = b;
+                slots[*len as usize] = Some(node);
+                *len += 1;
+            }
+            Children::N16 { len, keys, slots } => {
+                keys[*len as usize] = b;
+                slots[*len as usize] = Some(node);
+                *len += 1;
+            }
+            Children::N48 { len, index, slots } => {
+                let slot = slots.iter().position(|s| s.is_none()).expect("N48 has room");
+                index[b as usize] = slot as u8;
+                slots[slot] = Some(node);
+                *len += 1;
+            }
+            Children::N256 { len, slots } => {
+                debug_assert!(slots[b as usize].is_none());
+                slots[b as usize] = Some(node);
+                *len += 1;
+            }
+        }
+    }
+
+    fn remove(&mut self, b: u8) -> Option<Node> {
+        match self {
+            Children::N4 { len, keys, slots } => {
+                let i = keys[..*len as usize].iter().position(|&k| k == b)?;
+                let node = slots[i].take();
+                let last = *len as usize - 1;
+                keys.swap(i, last);
+                slots.swap(i, last);
+                *len -= 1;
+                node
+            }
+            Children::N16 { len, keys, slots } => {
+                let i = keys[..*len as usize].iter().position(|&k| k == b)?;
+                let node = slots[i].take();
+                let last = *len as usize - 1;
+                keys.swap(i, last);
+                slots.swap(i, last);
+                *len -= 1;
+                node
+            }
+            Children::N48 { len, index, slots } => {
+                let i = index[b as usize];
+                if i == 0xFF {
+                    return None;
+                }
+                index[b as usize] = 0xFF;
+                let node = slots[i as usize].take();
+                *len -= 1;
+                node
+            }
+            Children::N256 { len, slots } => {
+                let node = slots[b as usize].take()?;
+                *len -= 1;
+                Some(node)
+            }
+        }
+    }
+
+    /// Grow to the next node size.
+    fn grow(&mut self) {
+        let old = std::mem::replace(self, Children::new4());
+        *self = match old {
+            Children::N4 { len, keys, mut slots } => {
+                let mut nk = [0u8; 16];
+                let mut ns: [Option<Node>; 16] = Default::default();
+                for i in 0..len as usize {
+                    nk[i] = keys[i];
+                    ns[i] = slots[i].take();
+                }
+                Children::N16 {
+                    len,
+                    keys: nk,
+                    slots: ns,
+                }
+            }
+            Children::N16 { len, keys, mut slots } => {
+                let mut index = Box::new([0xFFu8; 256]);
+                let mut ns: Box<[Option<Node>; 48]> =
+                    Box::new(std::array::from_fn(|_| None));
+                for i in 0..len as usize {
+                    index[keys[i] as usize] = i as u8;
+                    ns[i] = slots[i].take();
+                }
+                Children::N48 {
+                    len,
+                    index,
+                    slots: ns,
+                }
+            }
+            Children::N48 { len, index, mut slots } => {
+                let mut ns: Box<[Option<Node>; 256]> =
+                    Box::new(std::array::from_fn(|_| None));
+                for b in 0..256usize {
+                    let i = index[b];
+                    if i != 0xFF {
+                        ns[b] = slots[i as usize].take();
+                    }
+                }
+                Children::N256 {
+                    len: len as u16,
+                    slots: ns,
+                }
+            }
+            full @ Children::N256 { .. } => full,
+        };
+    }
+
+    /// Shrink to a smaller node size when occupancy drops well below the
+    /// previous size's capacity (hysteresis avoids grow/shrink thrash).
+    fn maybe_shrink(&mut self) {
+        let shrink = match self {
+            Children::N16 { len, .. } => *len <= 3,
+            Children::N48 { len, .. } => *len <= 12,
+            Children::N256 { len, .. } => *len <= 40,
+            Children::N4 { .. } => false,
+        };
+        if !shrink {
+            return;
+        }
+        let old = std::mem::replace(self, Children::new4());
+        *self = match old {
+            Children::N16 { len, keys, mut slots } => {
+                let mut nk = [0u8; 4];
+                let mut ns: [Option<Node>; 4] = [None, None, None, None];
+                for i in 0..len as usize {
+                    nk[i] = keys[i];
+                    ns[i] = slots[i].take();
+                }
+                Children::N4 {
+                    len,
+                    keys: nk,
+                    slots: ns,
+                }
+            }
+            Children::N48 { len, index, mut slots } => {
+                let mut nk = [0u8; 16];
+                let mut ns: [Option<Node>; 16] = Default::default();
+                let mut j = 0usize;
+                for b in 0..256usize {
+                    let i = index[b];
+                    if i != 0xFF {
+                        nk[j] = b as u8;
+                        ns[j] = slots[i as usize].take();
+                        j += 1;
+                    }
+                }
+                Children::N16 {
+                    len,
+                    keys: nk,
+                    slots: ns,
+                }
+            }
+            Children::N256 { len, mut slots } => {
+                let mut index = Box::new([0xFFu8; 256]);
+                let mut ns: Box<[Option<Node>; 48]> =
+                    Box::new(std::array::from_fn(|_| None));
+                let mut j = 0usize;
+                for b in 0..256usize {
+                    if let Some(n) = slots[b].take() {
+                        index[b] = j as u8;
+                        ns[j] = Some(n);
+                        j += 1;
+                    }
+                }
+                Children::N48 {
+                    len: len as u8,
+                    index,
+                    slots: ns,
+                }
+            }
+            keep @ Children::N4 { .. } => keep,
+        };
+    }
+
+    /// Extract the single remaining `(byte, child)`; panics unless len==1.
+    fn take_only(&mut self) -> (u8, Node) {
+        assert_eq!(self.len(), 1);
+        match self {
+            Children::N4 { len, keys, slots } => {
+                *len = 0;
+                (keys[0], slots[0].take().unwrap())
+            }
+            Children::N16 { len, keys, slots } => {
+                *len = 0;
+                (keys[0], slots[0].take().unwrap())
+            }
+            Children::N48 { len, index, slots } => {
+                let b = (0..256usize).find(|&b| index[b] != 0xFF).unwrap();
+                let i = index[b];
+                index[b] = 0xFF;
+                *len = 0;
+                (b as u8, slots[i as usize].take().unwrap())
+            }
+            Children::N256 { len, slots } => {
+                let b = (0..256usize).find(|&b| slots[b].is_some()).unwrap();
+                *len = 0;
+                (b as u8, slots[b].take().unwrap())
+            }
+        }
+    }
+
+    fn for_each_child(&self, f: &mut dyn FnMut(&Node)) {
+        match self {
+            Children::N4 { len, slots, .. } => {
+                for s in slots[..*len as usize].iter().flatten() {
+                    f(s);
+                }
+            }
+            Children::N16 { len, slots, .. } => {
+                for s in slots[..*len as usize].iter().flatten() {
+                    f(s);
+                }
+            }
+            Children::N48 { slots, .. } => {
+                for s in slots.iter().flatten() {
+                    f(s);
+                }
+            }
+            Children::N256 { slots, .. } => {
+                for s in slots.iter().flatten() {
+                    f(s);
+                }
+            }
+        }
+    }
+
+    fn node_bytes(&self) -> usize {
+        match self {
+            Children::N4 { .. } => 4 + 4 * 8 + 8,
+            Children::N16 { .. } => 16 + 16 * 8 + 8,
+            Children::N48 { .. } => 256 + 48 * 8 + 16,
+            Children::N256 { .. } => 256 * 8 + 16,
+        }
+    }
+}
+
+/// Adaptive-radix-tree edge index over `(dst, weight)` keys.
+#[derive(Default)]
+pub struct ArtIndex {
+    root: Option<Node>,
+    len: usize,
+}
+
+
+impl ArtIndex {
+    fn insert_rec(node: &mut Node, key: &[u8; KEY_LEN], depth: usize, value: u32) -> Option<u32> {
+        match node {
+            Node::Leaf(leaf) => {
+                if leaf.key == *key {
+                    return Some(std::mem::replace(&mut leaf.value, value));
+                }
+                // Split: create an inner node holding the common prefix.
+                let common = leaf.key[depth..]
+                    .iter()
+                    .zip(&key[depth..])
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                let old_b = leaf.key[depth + common];
+                let new_b = key[depth + common];
+                let mut inner = Inner {
+                    prefix: Prefix::from_slice(&key[depth..depth + common]),
+                    children: Children::new4(),
+                };
+                // Leaves are 20 bytes; copying beats an ownership dance.
+                let old_leaf = Box::new(Leaf {
+                    key: leaf.key,
+                    value: leaf.value,
+                });
+                inner.children.add(old_b, Node::Leaf(old_leaf));
+                inner
+                    .children
+                    .add(new_b, Node::Leaf(Box::new(Leaf { key: *key, value })));
+                *node = Node::Inner(Box::new(inner));
+                None
+            }
+            Node::Inner(inner) => {
+                let matched = inner.prefix.match_len(&key[depth..]);
+                if matched < inner.prefix.as_slice().len() {
+                    // Prefix mismatch: split the prefix at `matched`.
+                    let old_b = inner.prefix.as_slice()[matched];
+                    let rest = Prefix::from_slice(&inner.prefix.as_slice()[matched + 1..]);
+                    let split_prefix = Prefix::from_slice(&key[depth..depth + matched]);
+                    let old_children =
+                        std::mem::replace(&mut inner.children, Children::new4());
+                    let old_node = Node::Inner(Box::new(Inner {
+                        prefix: rest,
+                        children: old_children,
+                    }));
+                    let mut split = Inner {
+                        prefix: split_prefix,
+                        children: Children::new4(),
+                    };
+                    split.children.add(old_b, old_node);
+                    split.children.add(
+                        key[depth + matched],
+                        Node::Leaf(Box::new(Leaf { key: *key, value })),
+                    );
+                    *node = Node::Inner(Box::new(split));
+                    return None;
+                }
+                let depth = depth + matched;
+                let b = key[depth];
+                if let Some(child) = inner.children.find_mut(b) {
+                    Self::insert_rec(child, key, depth + 1, value)
+                } else {
+                    if inner.children.is_full() {
+                        inner.children.grow();
+                    }
+                    inner
+                        .children
+                        .add(b, Node::Leaf(Box::new(Leaf { key: *key, value })));
+                    None
+                }
+            }
+        }
+    }
+
+    fn get_rec<'a>(node: &'a Node, key: &[u8; KEY_LEN], depth: usize) -> Option<&'a Leaf> {
+        match node {
+            Node::Leaf(leaf) => (leaf.key == *key).then_some(leaf),
+            Node::Inner(inner) => {
+                let p = inner.prefix.as_slice();
+                if key.len() - depth < p.len() || &key[depth..depth + p.len()] != p {
+                    return None;
+                }
+                let depth = depth + p.len();
+                let child = inner.children.find(key[depth])?;
+                Self::get_rec(child, key, depth + 1)
+            }
+        }
+    }
+
+    /// Returns `(removed_value, subtree_now_empty)`.
+    fn remove_rec(node: &mut Node, key: &[u8; KEY_LEN], depth: usize) -> (Option<u32>, bool) {
+        match node {
+            Node::Leaf(leaf) => {
+                if leaf.key == *key {
+                    (Some(leaf.value), true)
+                } else {
+                    (None, false)
+                }
+            }
+            Node::Inner(inner) => {
+                let p = inner.prefix.as_slice();
+                if key.len() - depth < p.len() || &key[depth..depth + p.len()] != p {
+                    return (None, false);
+                }
+                let child_depth = depth + p.len();
+                let b = key[child_depth];
+                let Some(child) = inner.children.find_mut(b) else {
+                    return (None, false);
+                };
+                let (removed, child_empty) = Self::remove_rec(child, key, child_depth + 1);
+                if removed.is_none() {
+                    return (None, false);
+                }
+                if child_empty {
+                    inner.children.remove(b);
+                    match inner.children.len() {
+                        0 => return (removed, true),
+                        1 => {
+                            // Path merge: absorb the single remaining
+                            // child into this slot.
+                            let (cb, child) = inner.children.take_only();
+                            match child {
+                                Node::Leaf(l) => *node = Node::Leaf(l),
+                                Node::Inner(ci) => {
+                                    let mut merged = Vec::with_capacity(
+                                        inner.prefix.as_slice().len()
+                                            + 1
+                                            + ci.prefix.as_slice().len(),
+                                    );
+                                    merged.extend_from_slice(inner.prefix.as_slice());
+                                    merged.push(cb);
+                                    merged.extend_from_slice(ci.prefix.as_slice());
+                                    *node = Node::Inner(Box::new(Inner {
+                                        prefix: Prefix::from_slice(&merged),
+                                        children: ci.children,
+                                    }));
+                                }
+                            }
+                        }
+                        _ => inner.children.maybe_shrink(),
+                    }
+                }
+                (removed, false)
+            }
+        }
+    }
+
+    fn for_each_rec(node: &Node, f: &mut dyn FnMut(VertexId, Weight, u32)) {
+        match node {
+            Node::Leaf(leaf) => {
+                let (d, w) = decode(&leaf.key);
+                f(d, w, leaf.value);
+            }
+            Node::Inner(inner) => {
+                inner.children.for_each_child(&mut |c| Self::for_each_rec(c, f));
+            }
+        }
+    }
+
+    fn memory_rec(node: &Node) -> usize {
+        match node {
+            Node::Leaf(_) => std::mem::size_of::<Leaf>() + 8,
+            Node::Inner(inner) => {
+                let mut total = std::mem::size_of::<Inner>() + inner.children.node_bytes();
+                inner
+                    .children
+                    .for_each_child(&mut |c| total += Self::memory_rec(c));
+                total
+            }
+        }
+    }
+}
+
+impl EdgeIndex for ArtIndex {
+    const NAME: &'static str = "ART";
+
+    fn insert(&mut self, dst: VertexId, data: Weight, offset: u32) {
+        let key = encode(dst, data);
+        match &mut self.root {
+            None => {
+                self.root = Some(Node::Leaf(Box::new(Leaf { key, value: offset })));
+                self.len = 1;
+            }
+            Some(root) => {
+                if Self::insert_rec(root, &key, 0, offset).is_none() {
+                    self.len += 1;
+                }
+            }
+        }
+    }
+
+    fn get(&self, dst: VertexId, data: Weight) -> Option<u32> {
+        let key = encode(dst, data);
+        self.root
+            .as_ref()
+            .and_then(|r| Self::get_rec(r, &key, 0))
+            .map(|l| l.value)
+    }
+
+    fn remove(&mut self, dst: VertexId, data: Weight) -> Option<u32> {
+        let key = encode(dst, data);
+        let root = self.root.as_mut()?;
+        let (removed, empty) = Self::remove_rec(root, &key, 0);
+        if removed.is_some() {
+            self.len -= 1;
+            if empty {
+                self.root = None;
+            }
+        }
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.root = None;
+        self.len = 0;
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(VertexId, Weight, u32)) {
+        if let Some(root) = &self.root {
+            Self::for_each_rec(root, f);
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.root.as_ref().map_or(0, Self::memory_rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::index_conformance;
+
+    #[test]
+    fn conformance() {
+        index_conformance::run_all::<ArtIndex>();
+    }
+
+    #[test]
+    fn encode_preserves_order() {
+        // Big-endian encoding: numeric order == lexicographic byte order.
+        let pairs = [(1u64, 5u64), (1, 6), (2, 0), (256, 0), (u64::MAX, u64::MAX)];
+        for w in pairs.windows(2) {
+            assert!(encode(w[0].0, w[0].1) < encode(w[1].0, w[1].1));
+        }
+        for (d, w) in pairs {
+            assert_eq!(decode(&encode(d, w)), (d, w));
+        }
+    }
+
+    #[test]
+    fn grow_through_all_node_sizes() {
+        let mut art = ArtIndex::default();
+        // 300 distinct first-divergent bytes force N4→N16→N48→N256 at the
+        // weight's low byte level.
+        for i in 0..300u64 {
+            art.insert(7, i, i as u32);
+        }
+        assert_eq!(art.len(), 300);
+        for i in 0..300u64 {
+            assert_eq!(art.get(7, i), Some(i as u32), "weight {i}");
+        }
+    }
+
+    #[test]
+    fn shrink_back_down() {
+        let mut art = ArtIndex::default();
+        for i in 0..300u64 {
+            art.insert(7, i, i as u32);
+        }
+        for i in 0..298u64 {
+            assert_eq!(art.remove(7, i), Some(i as u32));
+        }
+        assert_eq!(art.len(), 2);
+        assert_eq!(art.get(7, 298), Some(298));
+        assert_eq!(art.get(7, 299), Some(299));
+        assert_eq!(art.get(7, 5), None);
+    }
+
+    #[test]
+    fn path_compression_splits_correctly() {
+        let mut art = ArtIndex::default();
+        // Shared 15-byte prefix, divergence at the last byte.
+        art.insert(0, 1, 100);
+        art.insert(0, 2, 200);
+        assert_eq!(art.get(0, 1), Some(100));
+        assert_eq!(art.get(0, 2), Some(200));
+        // Now diverge early (different dst) — forces a prefix split near
+        // the root.
+        art.insert(u64::MAX, 1, 300);
+        assert_eq!(art.get(0, 1), Some(100));
+        assert_eq!(art.get(0, 2), Some(200));
+        assert_eq!(art.get(u64::MAX, 1), Some(300));
+    }
+
+    #[test]
+    fn remove_merges_paths() {
+        let mut art = ArtIndex::default();
+        art.insert(1, 1, 1);
+        art.insert(1, 2, 2);
+        art.insert(9, 9, 9);
+        assert_eq!(art.remove(1, 1), Some(1));
+        // After merging, remaining keys must still resolve.
+        assert_eq!(art.get(1, 2), Some(2));
+        assert_eq!(art.get(9, 9), Some(9));
+        assert_eq!(art.remove(9, 9), Some(9));
+        assert_eq!(art.get(1, 2), Some(2));
+        assert_eq!(art.len(), 1);
+    }
+
+    #[test]
+    fn random_model_check_against_btreemap() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xA127);
+        let mut art = ArtIndex::default();
+        let mut model = std::collections::BTreeMap::new();
+        for step in 0..20_000 {
+            let dst = rng.gen_range(0..64u64) * 0x0101_0101;
+            let w = rng.gen_range(0..16u64);
+            match rng.gen_range(0..3) {
+                0 => {
+                    art.insert(dst, w, step);
+                    model.insert((dst, w), step);
+                }
+                1 => {
+                    assert_eq!(art.remove(dst, w), model.remove(&(dst, w)), "step {step}");
+                }
+                _ => {
+                    assert_eq!(
+                        art.get(dst, w),
+                        model.get(&(dst, w)).copied(),
+                        "step {step}"
+                    );
+                }
+            }
+            assert_eq!(art.len(), model.len(), "step {step}");
+        }
+        let mut dumped = std::collections::BTreeMap::new();
+        art.for_each(&mut |d, w, o| {
+            dumped.insert((d, w), o);
+        });
+        assert_eq!(dumped, model);
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-vertex edge indexes: `(dst, weight) → offset` maps.
+//!
+//! §5 of the paper: "The key of an edge is a pair of its destination
+//! vertex ID and its weight. … RisGraph uses Hash Table as the default
+//! indexes to obtain the average O(1) time complexity of insertions and
+//! deletions. There are also many alternative data structures that can
+//! replace Hash Table for indexes, such as BTree and ARTree."
+//!
+//! Table 8 compares IA/IO × {Hash, BTree, ARTree}; all three live here
+//! behind the [`EdgeIndex`] trait so the store, the index-only variants,
+//! and the Table 8/9 benchmarks can swap them freely.
+
+pub mod art;
+pub mod btree;
+pub mod hash;
+
+use risgraph_common::ids::{VertexId, Weight};
+
+/// A map from edge key `(dst, weight)` to the edge's offset in the
+/// vertex's adjacency array.
+///
+/// Implementations must provide deterministic iteration cost proportional
+/// to the number of entries (used during compaction and by the
+/// index-only store variants).
+pub trait EdgeIndex: Default + Send + Sync {
+    /// Human-readable name used by benchmark output ("Hash", "BTree", "ART").
+    const NAME: &'static str;
+
+    /// Insert or overwrite the offset for a key.
+    fn insert(&mut self, dst: VertexId, data: Weight, offset: u32);
+
+    /// Look up the offset for a key.
+    fn get(&self, dst: VertexId, data: Weight) -> Option<u32>;
+
+    /// Remove a key, returning its offset if present.
+    fn remove(&mut self, dst: VertexId, data: Weight) -> Option<u32>;
+
+    /// Number of keys present.
+    fn len(&self) -> usize;
+
+    /// True when no keys are present.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all entries (used when an adjacency array is compacted).
+    fn clear(&mut self);
+
+    /// Visit every `(dst, weight, offset)` entry.
+    fn for_each(&self, f: &mut dyn FnMut(VertexId, Weight, u32));
+
+    /// Approximate heap memory consumed, for Table 9 accounting.
+    fn memory_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+pub(crate) mod index_conformance {
+    //! A conformance suite run against every index implementation, so the
+    //! three variants cannot drift apart behaviourally.
+    use super::*;
+
+    pub fn basic_roundtrip<I: EdgeIndex>() {
+        let mut idx = I::default();
+        assert!(idx.is_empty());
+        idx.insert(5, 10, 0);
+        idx.insert(6, 10, 1);
+        idx.insert(5, 11, 2);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.get(5, 10), Some(0));
+        assert_eq!(idx.get(6, 10), Some(1));
+        assert_eq!(idx.get(5, 11), Some(2));
+        assert_eq!(idx.get(5, 12), None);
+        assert_eq!(idx.get(7, 10), None);
+    }
+
+    pub fn overwrite_updates_offset<I: EdgeIndex>() {
+        let mut idx = I::default();
+        idx.insert(1, 2, 3);
+        idx.insert(1, 2, 9);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.get(1, 2), Some(9));
+    }
+
+    pub fn remove_returns_offset<I: EdgeIndex>() {
+        let mut idx = I::default();
+        idx.insert(1, 2, 3);
+        assert_eq!(idx.remove(1, 2), Some(3));
+        assert_eq!(idx.remove(1, 2), None);
+        assert_eq!(idx.get(1, 2), None);
+        assert!(idx.is_empty());
+    }
+
+    pub fn for_each_visits_all<I: EdgeIndex>() {
+        let mut idx = I::default();
+        let mut expect = std::collections::BTreeSet::new();
+        for i in 0..100u64 {
+            idx.insert(i * 7, i % 3, i as u32);
+            expect.insert((i * 7, i % 3, i as u32));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        idx.for_each(&mut |d, w, o| {
+            seen.insert((d, w, o));
+        });
+        assert_eq!(seen, expect);
+    }
+
+    pub fn clear_empties<I: EdgeIndex>() {
+        let mut idx = I::default();
+        for i in 0..50u64 {
+            idx.insert(i, 0, i as u32);
+        }
+        idx.clear();
+        assert!(idx.is_empty());
+        assert_eq!(idx.get(0, 0), None);
+        // Reusable after clear.
+        idx.insert(3, 4, 5);
+        assert_eq!(idx.get(3, 4), Some(5));
+    }
+
+    pub fn dense_keys<I: EdgeIndex>() {
+        let mut idx = I::default();
+        for i in 0..4096u64 {
+            idx.insert(i, i & 7, i as u32);
+        }
+        assert_eq!(idx.len(), 4096);
+        for i in 0..4096u64 {
+            assert_eq!(idx.get(i, i & 7), Some(i as u32), "key {i}");
+        }
+        for i in (0..4096u64).step_by(2) {
+            assert_eq!(idx.remove(i, i & 7), Some(i as u32));
+        }
+        assert_eq!(idx.len(), 2048);
+        for i in 0..4096u64 {
+            let want = if i % 2 == 0 { None } else { Some(i as u32) };
+            assert_eq!(idx.get(i, i & 7), want, "key {i}");
+        }
+    }
+
+    pub fn memory_grows<I: EdgeIndex>() {
+        let mut idx = I::default();
+        let before = idx.memory_bytes();
+        for i in 0..10_000u64 {
+            idx.insert(i, 0, i as u32);
+        }
+        assert!(idx.memory_bytes() > before);
+    }
+
+    /// Run the whole suite.
+    pub fn run_all<I: EdgeIndex>() {
+        basic_roundtrip::<I>();
+        overwrite_updates_offset::<I>();
+        remove_returns_offset::<I>();
+        for_each_visits_all::<I>();
+        clear_empties::<I>();
+        dense_keys::<I>();
+        memory_grows::<I>();
+    }
+}

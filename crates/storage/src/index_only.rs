@@ -1,0 +1,217 @@
+//! Index-only (IO_*) store variants for Table 8/9.
+//!
+//! §6.3: "IO_Suffix represents that RisGraph only stores edges in the
+//! indexes." Updates get ~7% cheaper (no compact array to maintain), but
+//! analytical scans must traverse the index instead of a contiguous
+//! array, which costs unsafe updates dearly — IA_Hash keeps a 17%
+//! advantage on unsafe updates. This module exists to reproduce that
+//! trade-off.
+
+use parking_lot::RwLock;
+use risgraph_common::ids::{Edge, VertexId, Weight};
+use risgraph_common::{Error, Result};
+
+use crate::adjacency::{DeleteOutcome, InsertOutcome};
+use crate::index::EdgeIndex;
+
+/// Minimal scan interface shared by IA and IO stores so benchmark kernels
+/// (e.g. the Table 8 incremental BFS) can run over either layout.
+pub trait OutEdgeScan: Send + Sync {
+    /// Visit every live out-edge `(dst, weight, count)` of `v`.
+    fn scan_out(&self, v: VertexId, f: &mut dyn FnMut(VertexId, Weight, u32));
+    /// Live out-degree (distinct edges).
+    fn scan_out_degree(&self, v: VertexId) -> usize;
+}
+
+impl<I: EdgeIndex> OutEdgeScan for crate::store::GraphStore<I> {
+    fn scan_out(&self, v: VertexId, f: &mut dyn FnMut(VertexId, Weight, u32)) {
+        for s in self.out(v).iter_live() {
+            f(s.dst, s.data, s.count);
+        }
+    }
+
+    fn scan_out_degree(&self, v: VertexId) -> usize {
+        self.out_degree(v)
+    }
+}
+
+/// Per-vertex state: the index *is* the edge container; the `u32` value
+/// holds the duplicate count rather than an array offset.
+#[derive(Default)]
+struct IoAdj<I: EdgeIndex> {
+    index: I,
+    live_edges: u64,
+}
+
+/// A graph store that keeps edges only in per-vertex indexes.
+pub struct IndexOnlyStore<I: EdgeIndex> {
+    out: Vec<RwLock<IoAdj<I>>>,
+    inn: Vec<RwLock<IoAdj<I>>>,
+}
+
+impl<I: EdgeIndex> IndexOnlyStore<I> {
+    /// An empty store addressing vertices `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut out = Vec::new();
+        let mut inn = Vec::new();
+        out.resize_with(capacity, || RwLock::new(IoAdj::default()));
+        inn.resize_with(capacity, || RwLock::new(IoAdj::default()));
+        IndexOnlyStore { out, inn }
+    }
+
+    /// Addressable vertex range.
+    pub fn capacity(&self) -> usize {
+        self.out.len()
+    }
+
+    fn bump(adj: &mut IoAdj<impl EdgeIndex>, dst: VertexId, data: Weight) -> InsertOutcome {
+        adj.live_edges += 1;
+        match adj.index.get(dst, data) {
+            Some(c) => {
+                adj.index.insert(dst, data, c + 1);
+                InsertOutcome::Duplicate { new_count: c + 1 }
+            }
+            None => {
+                adj.index.insert(dst, data, 1);
+                InsertOutcome::New
+            }
+        }
+    }
+
+    fn drop_one(adj: &mut IoAdj<impl EdgeIndex>, dst: VertexId, data: Weight) -> Option<DeleteOutcome> {
+        match adj.index.get(dst, data)? {
+            0 => None,
+            1 => {
+                adj.index.remove(dst, data);
+                adj.live_edges -= 1;
+                Some(DeleteOutcome::Removed)
+            }
+            c => {
+                adj.index.insert(dst, data, c - 1);
+                adj.live_edges -= 1;
+                Some(DeleteOutcome::Decremented { new_count: c - 1 })
+            }
+        }
+    }
+
+    /// Insert one copy of `e`.
+    pub fn insert_edge(&self, e: Edge) -> Result<InsertOutcome> {
+        if e.src as usize >= self.capacity() || e.dst as usize >= self.capacity() {
+            return Err(Error::VertexNotFound(e.src.max(e.dst)));
+        }
+        let outcome = Self::bump(&mut self.out[e.src as usize].write(), e.dst, e.data);
+        Self::bump(&mut self.inn[e.dst as usize].write(), e.src, e.data);
+        Ok(outcome)
+    }
+
+    /// Delete one copy of `e`.
+    pub fn delete_edge(&self, e: Edge) -> Result<DeleteOutcome> {
+        if e.src as usize >= self.capacity() || e.dst as usize >= self.capacity() {
+            return Err(Error::EdgeNotFound(e));
+        }
+        let outcome = Self::drop_one(&mut self.out[e.src as usize].write(), e.dst, e.data)
+            .ok_or(Error::EdgeNotFound(e))?;
+        Self::drop_one(&mut self.inn[e.dst as usize].write(), e.src, e.data);
+        Ok(outcome)
+    }
+
+    /// Multiplicity of `e` (0 when absent).
+    pub fn edge_count(&self, e: Edge) -> u32 {
+        if e.src as usize >= self.capacity() {
+            return 0;
+        }
+        self.out[e.src as usize]
+            .read()
+            .index
+            .get(e.dst, e.data)
+            .unwrap_or(0)
+    }
+
+    /// Total live edges (duplicates included).
+    pub fn num_edges(&self) -> u64 {
+        self.out.iter().map(|a| a.read().live_edges).sum()
+    }
+
+    /// Approximate heap bytes of all indexes (both directions).
+    pub fn memory_bytes(&self) -> usize {
+        self.out
+            .iter()
+            .chain(self.inn.iter())
+            .map(|a| a.read().index.memory_bytes())
+            .sum()
+    }
+}
+
+impl<I: EdgeIndex> OutEdgeScan for IndexOnlyStore<I> {
+    fn scan_out(&self, v: VertexId, f: &mut dyn FnMut(VertexId, Weight, u32)) {
+        self.out[v as usize].read().index.for_each(&mut |d, w, c| f(d, w, c));
+    }
+
+    fn scan_out_degree(&self, v: VertexId) -> usize {
+        self.out[v as usize].read().index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{art::ArtIndex, btree::BTreeIndex, hash::HashIndex};
+    use crate::store::GraphStore;
+
+    fn roundtrip<I: EdgeIndex>() {
+        let s: IndexOnlyStore<I> = IndexOnlyStore::with_capacity(16);
+        let e = Edge::new(1, 2, 5);
+        assert_eq!(s.insert_edge(e).unwrap(), InsertOutcome::New);
+        assert!(matches!(
+            s.insert_edge(e).unwrap(),
+            InsertOutcome::Duplicate { new_count: 2 }
+        ));
+        assert_eq!(s.edge_count(e), 2);
+        assert!(matches!(
+            s.delete_edge(e).unwrap(),
+            DeleteOutcome::Decremented { new_count: 1 }
+        ));
+        assert_eq!(s.delete_edge(e).unwrap(), DeleteOutcome::Removed);
+        assert!(s.delete_edge(e).is_err());
+        assert_eq!(s.num_edges(), 0);
+    }
+
+    #[test]
+    fn roundtrip_all_indexes() {
+        roundtrip::<HashIndex>();
+        roundtrip::<BTreeIndex>();
+        roundtrip::<ArtIndex>();
+    }
+
+    #[test]
+    fn scan_matches_ia_store() {
+        let io: IndexOnlyStore<HashIndex> = IndexOnlyStore::with_capacity(64);
+        let ia: GraphStore<HashIndex> = GraphStore::with_capacity(64);
+        for i in 0..40u64 {
+            let e = Edge::new(3, i, i % 5);
+            io.insert_edge(e).unwrap();
+            ia.insert_edge(e).unwrap();
+        }
+        for i in (0..40u64).step_by(3) {
+            let e = Edge::new(3, i, i % 5);
+            io.delete_edge(e).unwrap();
+            ia.delete_edge(e).unwrap();
+        }
+        let collect = |s: &dyn OutEdgeScan| {
+            let mut v = Vec::new();
+            s.scan_out(3, &mut |d, w, c| v.push((d, w, c)));
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(collect(&io), collect(&ia));
+        assert_eq!(io.scan_out_degree(3), ia.scan_out_degree(3));
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let s: IndexOnlyStore<HashIndex> = IndexOnlyStore::with_capacity(4);
+        assert!(s.insert_edge(Edge::new(10, 0, 0)).is_err());
+        assert!(s.delete_edge(Edge::new(0, 10, 0)).is_err());
+        assert_eq!(s.edge_count(Edge::new(10, 0, 0)), 0);
+    }
+}

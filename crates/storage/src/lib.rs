@@ -1,0 +1,35 @@
+//! Graph stores for the RisGraph reproduction.
+//!
+//! The centerpiece is [`GraphStore`], the paper's **Indexed Adjacency
+//! Lists** (§3.1, §5): one dynamic array of edges per vertex — kept
+//! contiguous for analytical scans — plus a per-vertex edge index
+//! (`(dst, weight) → offset`) created once the vertex's degree exceeds a
+//! threshold (512 by default). Insertions and deletions are O(1) average
+//! with the hash index; duplicate edges are stored once with a
+//! multiplicity count; deleted edges become tombstones that are recycled
+//! when the array doubles.
+//!
+//! The [`index`] module provides the three index families evaluated in
+//! Table 8/9 (Hash, BTree, ART), [`index_only`] the IO_* store variants,
+//! and [`baseline`] the scan-based and bloom-filter ingest baselines used
+//! to reproduce Figure 4. [`csr`] builds immutable CSR snapshots for the
+//! recompute baselines and for differential-testing the mutable store.
+
+pub mod adjacency;
+pub mod baseline;
+pub mod csr;
+pub mod index;
+pub mod index_only;
+pub mod ooc;
+pub mod store;
+
+pub use adjacency::{AdjacencyList, DeleteOutcome, EdgeSlot, InsertOutcome};
+pub use index::{art::ArtIndex, btree::BTreeIndex, hash::HashIndex, EdgeIndex};
+pub use store::{GraphStore, StoreConfig, StoreStats};
+
+/// Default degree threshold above which a per-vertex index is built
+/// (§5: "In our implementations, the threshold is 512").
+pub const DEFAULT_INDEX_THRESHOLD: usize = 512;
+
+/// A [`GraphStore`] with the paper's default hash index (IA_Hash).
+pub type DefaultStore = GraphStore<HashIndex>;

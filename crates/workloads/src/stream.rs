@@ -1,0 +1,357 @@
+//! Update-stream construction (§6.1).
+//!
+//! The paper's protocol: "We load 90% edges first, select 10% edges as
+//! the deletion updates from loaded edges, and treat the remaining
+//! (10%) edges as the insertion updates. If datasets are timestamped,
+//! we choose the latest 10% as the insertion set and the oldest 10% as
+//! the deletion set; otherwise, we randomly select edges as updates.
+//! The ratio of insertions to deletions is 50% by default, and we
+//! alternately request insertions and deletions of each edge."
+//!
+//! [`StreamConfig::build`] implements exactly that, with the knobs the
+//! robustness experiments vary: pre-load fraction (Table 5's sliding
+//! window), insertion percentage (Table 6), and transaction packing
+//! (Table 7).
+
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+use risgraph_common::ids::{Edge, Update, VertexId, Weight};
+
+/// Stream construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Fraction of edges pre-populated before streaming (0.9 default;
+    /// Table 5 evaluates 0.1 and 0.5).
+    pub preload_fraction: f64,
+    /// Fraction of updates that are insertions (0.5 default; Table 6
+    /// sweeps 0..=1).
+    pub insertion_fraction: f64,
+    /// Treat the edge order as timestamps (temporal datasets).
+    pub timestamped: bool,
+    /// Shuffle seed for non-temporal selection.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            preload_fraction: 0.9,
+            insertion_fraction: 0.5,
+            timestamped: false,
+            seed: 99,
+        }
+    }
+}
+
+/// A built workload: the pre-load set plus the update sequence.
+#[derive(Debug, Clone)]
+pub struct UpdateStream {
+    /// Edges loaded before measurement starts.
+    pub preload: Vec<(VertexId, VertexId, Weight)>,
+    /// The measured update sequence.
+    pub updates: Vec<Update>,
+}
+
+impl StreamConfig {
+    /// Build a stream from a dataset's edge list (ordered by time when
+    /// `timestamped`).
+    pub fn build(&self, edges: &[(VertexId, VertexId, Weight)]) -> UpdateStream {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = edges.len();
+        let preload_n = ((n as f64) * self.preload_fraction) as usize;
+
+        let mut order: Vec<usize> = (0..n).collect();
+        if !self.timestamped {
+            order.shuffle(&mut rng);
+        }
+        // Pre-load = the oldest `preload_n` (timestamped) or a random
+        // subset of that size.
+        let preload_idx = &order[..preload_n];
+        let stream_idx = &order[preload_n..]; // insertion candidates
+
+        let preload: Vec<_> = preload_idx.iter().map(|&i| edges[i]).collect();
+
+        // Insertions: the remaining (newest) edges. Deletions: from the
+        // loaded set — the oldest when timestamped, random otherwise.
+        let insertions: Vec<Edge> = stream_idx
+            .iter()
+            .map(|&i| Edge::new(edges[i].0, edges[i].1, edges[i].2))
+            .collect();
+        let mut deletion_pool: Vec<usize> = preload_idx.to_vec();
+        if !self.timestamped {
+            deletion_pool.shuffle(&mut rng);
+        }
+        let deletions: Vec<Edge> = deletion_pool
+            .iter()
+            .take(insertions.len().min(preload_n))
+            .map(|&i| Edge::new(edges[i].0, edges[i].1, edges[i].2))
+            .collect();
+
+        // Interleave by the configured ratio using an error-diffusion
+        // accumulator (exactly alternating at 0.5, as the paper does).
+        let total = if self.insertion_fraction >= 1.0 {
+            insertions.len()
+        } else if self.insertion_fraction <= 0.0 {
+            deletions.len()
+        } else {
+            // Stop when either pool runs dry at the requested mix.
+            let by_ins = (insertions.len() as f64 / self.insertion_fraction) as usize;
+            let by_del = (deletions.len() as f64 / (1.0 - self.insertion_fraction)) as usize;
+            by_ins.min(by_del)
+        };
+        let mut updates = Vec::with_capacity(total);
+        let (mut ii, mut di) = (0usize, 0usize);
+        let mut acc = 0.0f64;
+        for _ in 0..total {
+            acc += self.insertion_fraction;
+            if acc >= 1.0 && ii < insertions.len() {
+                acc -= 1.0;
+                updates.push(Update::InsEdge(insertions[ii]));
+                ii += 1;
+            } else if di < deletions.len() {
+                updates.push(Update::DelEdge(deletions[di]));
+                di += 1;
+            } else if ii < insertions.len() {
+                updates.push(Update::InsEdge(insertions[ii]));
+                ii += 1;
+            }
+        }
+        UpdateStream { preload, updates }
+    }
+}
+
+impl UpdateStream {
+    /// Pack the update sequence into fixed-size transactions (Table 7).
+    pub fn into_transactions(&self, txn_size: usize) -> Vec<Vec<Update>> {
+        self.updates
+            .chunks(txn_size.max(1))
+            .map(|c| c.to_vec())
+            .collect()
+    }
+
+    /// Number of vertices referenced anywhere in the workload.
+    pub fn vertex_upper_bound(&self) -> u64 {
+        let from_preload = self
+            .preload
+            .iter()
+            .map(|&(s, d, _)| s.max(d) + 1)
+            .max()
+            .unwrap_or(0);
+        let from_updates = self
+            .updates
+            .iter()
+            .map(|u| match u {
+                Update::InsEdge(e) | Update::DelEdge(e) => e.src.max(e.dst) + 1,
+                Update::InsVertex(v) | Update::DelVertex(v) => v + 1,
+            })
+            .max()
+            .unwrap_or(0);
+        from_preload.max(from_updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges(n: u64) -> Vec<(u64, u64, u64)> {
+        (0..n).map(|i| (i, (i + 1) % n, i % 5)).collect()
+    }
+
+    #[test]
+    fn default_split_is_90_10_alternating() {
+        let es = edges(1000);
+        let s = StreamConfig::default().build(&es);
+        assert_eq!(s.preload.len(), 900);
+        let ins = s
+            .updates
+            .iter()
+            .filter(|u| matches!(u, Update::InsEdge(_)))
+            .count();
+        let del = s.updates.len() - ins;
+        assert!((ins as i64 - del as i64).abs() <= 1, "ins={ins} del={del}");
+        // Alternating at 50%.
+        for pair in s.updates.chunks(2) {
+            if pair.len() == 2 {
+                let kinds = (
+                    matches!(pair[0], Update::InsEdge(_)),
+                    matches!(pair[1], Update::InsEdge(_)),
+                );
+                assert!(kinds.0 != kinds.1, "must alternate: {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn timestamped_uses_oldest_for_deletion_newest_for_insertion() {
+        let es = edges(100);
+        let s = StreamConfig {
+            timestamped: true,
+            ..StreamConfig::default()
+        }
+        .build(&es);
+        // Insertions come from indexes 90.. (the newest).
+        let first_ins = s
+            .updates
+            .iter()
+            .find_map(|u| match u {
+                Update::InsEdge(e) => Some(*e),
+                _ => None,
+            })
+            .unwrap();
+        assert!(first_ins.src >= 90);
+        // Deletions come from the oldest loaded edges.
+        let first_del = s
+            .updates
+            .iter()
+            .find_map(|u| match u {
+                Update::DelEdge(e) => Some(*e),
+                _ => None,
+            })
+            .unwrap();
+        assert!(first_del.src < 10);
+    }
+
+    #[test]
+    fn deletions_reference_loaded_edges() {
+        let es = edges(500);
+        let s = StreamConfig::default().build(&es);
+        let loaded: std::collections::HashSet<(u64, u64, u64)> =
+            s.preload.iter().copied().collect();
+        for u in &s.updates {
+            if let Update::DelEdge(e) = u {
+                assert!(
+                    loaded.contains(&(e.src, e.dst, e.data)),
+                    "deletion of unloaded edge {e:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insertion_fraction_extremes() {
+        let es = edges(200);
+        let all_ins = StreamConfig {
+            insertion_fraction: 1.0,
+            ..StreamConfig::default()
+        }
+        .build(&es);
+        assert!(all_ins
+            .updates
+            .iter()
+            .all(|u| matches!(u, Update::InsEdge(_))));
+        let all_del = StreamConfig {
+            insertion_fraction: 0.0,
+            ..StreamConfig::default()
+        }
+        .build(&es);
+        assert!(all_del
+            .updates
+            .iter()
+            .all(|u| matches!(u, Update::DelEdge(_))));
+    }
+
+    #[test]
+    fn skewed_fraction_approximates_ratio() {
+        let es = edges(4000);
+        let s = StreamConfig {
+            insertion_fraction: 0.75,
+            ..StreamConfig::default()
+        }
+        .build(&es);
+        let ins = s
+            .updates
+            .iter()
+            .filter(|u| matches!(u, Update::InsEdge(_)))
+            .count();
+        let frac = ins as f64 / s.updates.len() as f64;
+        assert!((frac - 0.75).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    fn sliding_window_fractions() {
+        let es = edges(1000);
+        for f in [0.1, 0.5, 0.9] {
+            let s = StreamConfig {
+                preload_fraction: f,
+                ..StreamConfig::default()
+            }
+            .build(&es);
+            assert_eq!(s.preload.len(), (1000.0 * f) as usize);
+            assert!(!s.updates.is_empty());
+        }
+    }
+
+    #[test]
+    fn transaction_packing() {
+        let es = edges(100);
+        let s = StreamConfig::default().build(&es);
+        let txns = s.into_transactions(4);
+        assert!(txns.iter().rev().skip(1).all(|t| t.len() == 4));
+        let total: usize = txns.iter().map(|t| t.len()).sum();
+        assert_eq!(total, s.updates.len());
+    }
+
+    #[test]
+    fn vertex_upper_bound_covers_everything() {
+        let es = vec![(5u64, 3u64, 0u64), (7, 2, 0)];
+        let s = StreamConfig {
+            preload_fraction: 0.5,
+            ..StreamConfig::default()
+        }
+        .build(&es);
+        assert!(s.vertex_upper_bound() >= 8);
+    }
+}
+
+/// Mix vertex lifecycle operations into an edge-update stream (the
+/// Interactive API also serves `ins_vertex`/`del_vertex`; LinkBench-
+/// style interactive workloads contain them). Every `1/vertex_op_rate`
+/// updates, an `InsVertex` of a fresh id is injected, and the same id is
+/// deleted again a few positions later (isolated by construction).
+pub fn with_vertex_ops(stream: &UpdateStream, vertex_op_rate: usize, id_base: u64) -> Vec<Update> {
+    if vertex_op_rate == 0 {
+        return stream.updates.clone();
+    }
+    let mut out = Vec::with_capacity(stream.updates.len() + stream.updates.len() / vertex_op_rate * 2);
+    let mut next_id = id_base;
+    for (i, u) in stream.updates.iter().enumerate() {
+        out.push(*u);
+        if (i + 1) % vertex_op_rate == 0 {
+            out.push(Update::InsVertex(next_id));
+            out.push(Update::DelVertex(next_id));
+            next_id += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod vertex_op_tests {
+    use super::*;
+
+    #[test]
+    fn vertex_ops_are_injected_in_pairs() {
+        let es: Vec<(u64, u64, u64)> = (0..100).map(|i| (i, i + 1, 0)).collect();
+        let s = StreamConfig::default().build(&es);
+        let mixed = with_vertex_ops(&s, 3, 10_000);
+        let ins = mixed
+            .iter()
+            .filter(|u| matches!(u, Update::InsVertex(_)))
+            .count();
+        let del = mixed
+            .iter()
+            .filter(|u| matches!(u, Update::DelVertex(_)))
+            .count();
+        assert_eq!(ins, del);
+        assert!(ins > 0);
+        // Ids are fresh (outside the edge id space).
+        for u in &mixed {
+            if let Update::InsVertex(v) = u {
+                assert!(*v >= 10_000);
+            }
+        }
+        // Rate 0 disables injection.
+        assert_eq!(with_vertex_ops(&s, 0, 0).len(), s.updates.len());
+    }
+}

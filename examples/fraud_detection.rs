@@ -1,0 +1,107 @@
+//! Financial fraud detection — the paper's motivating scenario
+//! (Figure 2): users are vertices, trust/transaction relationships are
+//! weighted edges, and an account is *suspicious* when its shortest
+//! distance from a known-malicious root falls within a threshold.
+//!
+//! Per-update analysis matters here: Figure 2 shows a user who is
+//! suspicious only in an intermediate version — batch systems that skip
+//! versions miss the detection window. This example reproduces exactly
+//! that: a transient edge makes account 4 suspicious for one version,
+//! then the edge disappears.
+//!
+//! ```sh
+//! cargo run --release --example fraud_detection
+//! ```
+
+use std::sync::Arc;
+
+use risgraph::core::server::{Server, ServerConfig};
+use risgraph::prelude::*;
+
+/// Accounts within this distance of the malicious root are flagged.
+const SUSPICION_RADIUS: u64 = 2;
+const MALICIOUS_ROOT: u64 = 0;
+
+fn main() {
+    // SSSP from the malicious root over the trust graph.
+    let server: Server = Server::start(
+        vec![Arc::new(Sssp::new(MALICIOUS_ROOT)) as DynAlgorithm],
+        1 << 10,
+        ServerConfig::default(),
+    )
+    .unwrap();
+
+    // Figure 2's version 0: the malicious root trusts account 1
+    // (weight 1); 1 trusts 2 (1); 2 trusts 5 (1); 1 trusts 3 at
+    // distance 3 via weight 2... we mirror the figure's distances:
+    //   dist(1)=1, dist(2)=... and account 4 starts unreachable.
+    server.load_edges(&[
+        (0, 1, 1), // root → 1
+        (1, 2, 1), // 1 → 2
+        (2, 5, 1), // 2 → 5
+        (1, 3, 3), // 1 → 3 (far)
+    ]);
+    let session = server.session();
+    let v0 = session.get_current_version();
+    println!("version {v0}: initial trust graph");
+    report(&session, v0);
+
+    // An incoming interaction: 5 starts trusting 4. Per-update analysis
+    // immediately sees dist(4) = dist(5)+1 = 3... wait — the paper's
+    // example inserts <5,4> with weight 1 while dist(5)=2, pulling 4 to
+    // distance 3? Figure 2 flags 4 as suspicious at distance ≤ 2 after
+    // the insertion because dist(5)=1 in its configuration. We use
+    // weights that reproduce the *flagging*: a direct transfer 1 → 4.
+    let reply = session.ins_edge(Edge::new(1, 4, 1));
+    let v1 = reply.version;
+    println!("\nversion {v1}: edge 1→4 (weight 1) ingested");
+    println!(
+        "  modified accounts: {:?}",
+        session.get_modified_vertices(0, v1).unwrap()
+    );
+    report(&session, v1);
+    let d4 = session.get_value(0, v1, 4).unwrap();
+    assert!(d4 <= SUSPICION_RADIUS);
+    println!("  🚨 account 4 flagged (distance {d4} ≤ {SUSPICION_RADIUS})");
+
+    // The edge disappears next update (fraudsters cover their tracks).
+    let reply = session.del_edge(Edge::new(1, 4, 1));
+    let v2 = reply.version;
+    println!("\nversion {v2}: edge 1→4 deleted again");
+    report(&session, v2);
+
+    // The point of per-update analysis: version v1 remains auditable.
+    println!(
+        "\naudit trail: dist(4) was {} at v{v1}, is {} at v{v2} — a batch\n\
+         system skipping v{v1} would have missed the flag entirely.",
+        show(session.get_value(0, v1, 4).unwrap()),
+        show(session.get_value(0, v2, 4).unwrap()),
+    );
+
+    // Dependency-tree forensics: *how* was account 4 reached at v1?
+    if let Some(edge) = session.get_parent(0, v1, 4).unwrap() {
+        println!(
+            "forensics: at v{v1}, account 4's suspicion came through {} → 4 (weight {})",
+            edge.src, edge.data
+        );
+    }
+    server.shutdown();
+}
+
+fn report(session: &Session, version: u64) {
+    print!("  distances from malicious root:");
+    for account in 1..=5u64 {
+        let d = session.get_value(0, version, account).unwrap();
+        let mark = if d <= SUSPICION_RADIUS { "⚠" } else { " " };
+        print!("  {account}:{}{mark}", show(d));
+    }
+    println!();
+}
+
+fn show(v: u64) -> String {
+    if v == u64::MAX {
+        "∞".into()
+    } else {
+        v.to_string()
+    }
+}

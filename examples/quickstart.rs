@@ -1,0 +1,105 @@
+//! Quickstart: maintain BFS over an evolving graph, per update.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks through the three layers most users touch: the engine (direct,
+//! single-writer), classification (why most updates are cheap), and the
+//! interactive server (sessions + versioned snapshots).
+
+use std::sync::Arc;
+
+use risgraph::core::server::{Server, ServerConfig};
+use risgraph::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The engine: incremental BFS from vertex 0.
+    // ------------------------------------------------------------------
+    let engine: Engine = Engine::with_algorithm(Bfs::new(0), 1 << 10);
+    engine.load_edges(&[
+        (0, 1, 0),
+        (1, 2, 0),
+        (2, 3, 0),
+        (0, 4, 0),
+    ]);
+    println!("initial distances:");
+    for v in 0..5 {
+        println!("  dist(0 → {v}) = {}", show(engine.value(0, v)));
+    }
+
+    // A shortcut edge appears: the result repairs in microseconds, and
+    // the change set tells us exactly which vertices moved.
+    let (safety, changes) = engine.apply(&Update::InsEdge(Edge::new(4, 3, 0))).unwrap();
+    println!("\ninsert 4→3 was classified {safety:?}; changed vertices:");
+    for c in &changes.per_algo[0] {
+        println!("  v{}: {} → {}", c.vertex, show(c.old), show(c.new));
+    }
+
+    // Deleting a dependency-tree edge triggers subtree recovery; the
+    // change set also reports dependency-tree rewires.
+    let (_, changes) = engine.apply(&Update::DelEdge(Edge::new(0, 1, 0))).unwrap();
+    println!("\ndelete 0→1 (a tree edge); changed vertices:");
+    for c in &changes.per_algo[0] {
+        if c.old == c.new {
+            println!(
+                "  v{}: value {} kept, parent rewired {:?} → {:?}",
+                c.vertex,
+                show(c.new),
+                c.old_parent.map(|e| e.src),
+                c.new_parent.map(|e| e.src)
+            );
+        } else {
+            println!("  v{}: {} → {}", c.vertex, show(c.old), show(c.new));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Classification: most updates on skewed graphs are "safe" —
+    //    provably result-preserving, executable in parallel.
+    // ------------------------------------------------------------------
+    let back_edge = Update::InsEdge(Edge::new(3, 0, 0));
+    println!(
+        "\ninsert 3→0 classifies as {:?} (cannot improve the root)",
+        engine.classify(&back_edge)
+    );
+
+    // ------------------------------------------------------------------
+    // 3. The interactive server: sessions, versions, history.
+    // ------------------------------------------------------------------
+    let server: Server = Server::start(
+        vec![Arc::new(Bfs::new(0)) as DynAlgorithm],
+        1 << 10,
+        ServerConfig::default(),
+    )
+    .unwrap();
+    server.load_edges(&[(0, 1, 0), (1, 2, 0)]);
+    let session = server.session();
+
+    let before = session.get_current_version();
+    let reply = session.ins_edge(Edge::new(0, 2, 0));
+    let after = reply.version;
+    println!("\nserver: version {before} → {after}");
+    println!(
+        "  dist(2) @ v{before} = {}   (old snapshot, still queryable)",
+        show(session.get_value(0, before, 2).unwrap())
+    );
+    println!(
+        "  dist(2) @ v{after} = {}   (after the shortcut)",
+        show(session.get_value(0, after, 2).unwrap())
+    );
+    println!(
+        "  modified by v{after}: {:?}",
+        session.get_modified_vertices(0, after).unwrap()
+    );
+    server.shutdown();
+}
+
+fn show(v: u64) -> String {
+    if v == u64::MAX {
+        "∞".into()
+    } else {
+        v.to_string()
+    }
+}

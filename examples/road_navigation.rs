@@ -1,0 +1,110 @@
+//! Live road navigation — §7's non-power-law scenario as an
+//! application: SSSP over a road grid with real-time traffic updates
+//! (closures and re-openings), extracting actual routes from the
+//! dependency tree's parent pointers.
+//!
+//! ```sh
+//! cargo run --release --example road_navigation
+//! ```
+
+use risgraph::prelude::*;
+use risgraph::workloads::road::RoadConfig;
+
+fn main() {
+    let grid = RoadConfig {
+        width: 24,
+        height: 24,
+        keep_fraction: 0.95,
+        highways: 10,
+        seed: 2024,
+        max_weight: 9,
+    };
+    let depot: VertexId = 0; // top-left corner
+    let edges = grid.generate();
+    println!(
+        "road grid: {}×{} intersections, {} directed segments",
+        grid.width,
+        grid.height,
+        edges.len()
+    );
+
+    let engine: Engine = Engine::with_algorithm(Sssp::new(depot), grid.num_vertices());
+    engine.load_edges(&edges);
+
+    let destination = (grid.num_vertices() - 1) as VertexId; // bottom-right
+    println!(
+        "\nbaseline travel time depot → {destination}: {}",
+        engine.value(0, destination)
+    );
+    print_route(&engine, destination);
+
+    // Rush hour: close every segment on the current best route, one by
+    // one, and watch the route re-plan incrementally.
+    for round in 1..=3 {
+        let route = route_edges(&engine, destination);
+        let Some(&closed) = route.first() else { break };
+        let t = std::time::Instant::now();
+        engine.apply(&Update::DelEdge(closed)).unwrap();
+        let dt = t.elapsed();
+        println!(
+            "\nround {round}: closed {} → {} (re-planned in {dt:?})",
+            closed.src, closed.dst
+        );
+        let eta = engine.value(0, destination);
+        if eta == u64::MAX {
+            println!("  destination unreachable!");
+            break;
+        }
+        println!("  new travel time: {eta}");
+        print_route(&engine, destination);
+    }
+
+    // The road reopens — incremental insertion restores the old plan if
+    // it is still the best one.
+    println!("\ntraffic clears: reopening a fast diagonal highway");
+    engine
+        .apply(&Update::InsEdge(Edge::new(depot, destination, 30)))
+        .unwrap();
+    println!(
+        "  direct highway gives travel time {}",
+        engine.value(0, destination)
+    );
+    print_route(&engine, destination);
+}
+
+/// Follow parent pointers from `dst` back to the root.
+fn route_edges(engine: &Engine, dst: VertexId) -> Vec<Edge> {
+    let mut route = Vec::new();
+    let mut v = dst;
+    while let Some(edge) = engine.parent(0, v) {
+        route.push(edge);
+        v = edge.src;
+        if route.len() > 10_000 {
+            break; // defensive: trees are acyclic, but cap anyway
+        }
+    }
+    route.reverse();
+    route
+}
+
+fn print_route(engine: &Engine, dst: VertexId) {
+    let route = route_edges(engine, dst);
+    if route.is_empty() {
+        println!("  (no route)");
+        return;
+    }
+    let hops: Vec<String> = std::iter::once(route[0].src.to_string())
+        .chain(route.iter().map(|e| e.dst.to_string()))
+        .collect();
+    let shown = if hops.len() > 12 {
+        format!(
+            "{} … {} ({} intersections)",
+            hops[..6].join(" → "),
+            hops[hops.len() - 3..].join(" → "),
+            hops.len()
+        )
+    } else {
+        hops.join(" → ")
+    };
+    println!("  route: {shown}");
+}

@@ -1,0 +1,259 @@
+//! `risgraph` — a command-line shell around the engine.
+//!
+//! ```sh
+//! cargo run --release --bin risgraph -- --algorithm sssp --root 0
+//! ```
+//!
+//! Reads commands from stdin (one per line), suitable both for
+//! interactive exploration and for piping edge streams:
+//!
+//! ```text
+//! load edges.txt          # whitespace-separated "src dst [weight]" lines
+//! gen rmat 12 16          # or generate: 2^12 vertices, 16 edges/vertex
+//! ins 3 7 2               # insert edge 3→7 weight 2 (analyzed per update)
+//! del 3 7 2               # delete it again
+//! get 7                   # value + dependency-tree parent of vertex 7
+//! path 7                  # walk parent pointers back to the root
+//! top 10                  # the 10 best-valued vertices
+//! stats                   # engine counters
+//! aff                     # §7 affected-area report
+//! quit
+//! ```
+
+use std::io::{BufRead, Write};
+
+use risgraph::core::affected::analyze;
+use risgraph::prelude::*;
+use risgraph::workloads::rmat::RmatConfig;
+
+fn parse_args() -> (String, u64) {
+    let mut algorithm = "bfs".to_string();
+    let mut root = 0u64;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--algorithm" | "-a" if i + 1 < args.len() => {
+                algorithm = args[i + 1].to_lowercase();
+                i += 2;
+            }
+            "--root" | "-r" if i + 1 < args.len() => {
+                root = args[i + 1].parse().unwrap_or(0);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: risgraph [--algorithm bfs|sssp|sswp|wcc|reach] [--root VID]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    (algorithm, root)
+}
+
+fn make_engine(algorithm: &str, root: u64) -> Engine {
+    use std::sync::Arc;
+    let alg: DynAlgorithm = match algorithm {
+        "bfs" => Arc::new(risgraph::algorithms::Bfs::new(root)),
+        "sssp" => Arc::new(risgraph::algorithms::Sssp::new(root)),
+        "sswp" => Arc::new(risgraph::algorithms::Sswp::new(root)),
+        "wcc" => Arc::new(risgraph::algorithms::Wcc::new()),
+        "reach" => Arc::new(risgraph::algorithms::Reachability::new(root)),
+        other => {
+            eprintln!("unknown algorithm {other}");
+            std::process::exit(2);
+        }
+    };
+    Engine::new(vec![alg], 1 << 16, Default::default())
+}
+
+fn fmt_value(v: u64) -> String {
+    if v == u64::MAX {
+        "inf".into()
+    } else {
+        v.to_string()
+    }
+}
+
+fn main() {
+    let (algorithm, root) = parse_args();
+    let engine = make_engine(&algorithm, root);
+    println!(
+        "risgraph shell — algorithm {} (root {root}); type 'help' for commands",
+        algorithm.to_uppercase()
+    );
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            [] => {}
+            ["quit" | "exit" | "q"] => break,
+            ["help"] => println!(
+                "commands: load FILE | gen rmat SCALE FACTOR | ins S D [W] | \
+                 del S D [W] | get V | path V | top N | stats | aff | quit"
+            ),
+            ["load", file] => match std::fs::read_to_string(file) {
+                Ok(content) => {
+                    let mut edges = Vec::new();
+                    for l in content.lines() {
+                        let f: Vec<&str> = l.split_whitespace().collect();
+                        if f.len() >= 2 {
+                            if let (Ok(s), Ok(d)) = (f[0].parse(), f[1].parse()) {
+                                let w = f.get(2).and_then(|x| x.parse().ok()).unwrap_or(0);
+                                edges.push((s, d, w));
+                            }
+                        }
+                    }
+                    let t = std::time::Instant::now();
+                    engine.load_edges(&edges);
+                    println!("loaded {} edges in {:?}", edges.len(), t.elapsed());
+                }
+                Err(e) => println!("cannot read {file}: {e}"),
+            },
+            ["gen", "rmat", scale, factor] => {
+                match (scale.parse::<u32>(), factor.parse::<f64>()) {
+                    (Ok(scale), Ok(edge_factor)) if scale <= 24 => {
+                        let cfg = RmatConfig {
+                            scale,
+                            edge_factor,
+                            max_weight: if algorithm == "sssp" || algorithm == "sswp" {
+                                100
+                            } else {
+                                0
+                            },
+                            ..RmatConfig::default()
+                        };
+                        let edges = cfg.generate();
+                        let t = std::time::Instant::now();
+                        engine.load_edges(&edges);
+                        println!(
+                            "generated |V|={} |E|={} and computed in {:?}",
+                            cfg.num_vertices(),
+                            edges.len(),
+                            t.elapsed()
+                        );
+                    }
+                    _ => println!("usage: gen rmat SCALE(≤24) EDGE_FACTOR"),
+                }
+            }
+            ["ins", s, d, rest @ ..] | ["del", s, d, rest @ ..] => {
+                let is_insert = parts[0] == "ins";
+                match (s.parse(), d.parse()) {
+                    (Ok(s), Ok(d)) => {
+                        let w = rest.first().and_then(|x| x.parse().ok()).unwrap_or(0);
+                        let e = Edge::new(s, d, w);
+                        let u = if is_insert {
+                            Update::InsEdge(e)
+                        } else {
+                            Update::DelEdge(e)
+                        };
+                        let t = std::time::Instant::now();
+                        match engine.apply(&u) {
+                            Ok((safety, changes)) => {
+                                let n: usize =
+                                    changes.per_algo.iter().map(|c| c.len()).sum();
+                                println!(
+                                    "{safety:?}, {n} result change(s), {:?}",
+                                    t.elapsed()
+                                );
+                                for c in changes.per_algo[0].iter().take(8) {
+                                    println!(
+                                        "  v{}: {} -> {}",
+                                        c.vertex,
+                                        fmt_value(c.old),
+                                        fmt_value(c.new)
+                                    );
+                                }
+                            }
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    _ => println!("usage: ins|del SRC DST [WEIGHT]"),
+                }
+            }
+            ["get", v] => match v.parse::<u64>() {
+                Ok(v) if (v as usize) < engine.capacity() => {
+                    println!(
+                        "value({v}) = {}, parent = {}",
+                        fmt_value(engine.value(0, v)),
+                        engine
+                            .parent(0, v)
+                            .map(|e| format!("{} --{}--> {v}", e.src, e.data))
+                            .unwrap_or_else(|| "none".into())
+                    );
+                }
+                _ => println!("vertex out of range"),
+            },
+            ["path", v] => match v.parse::<u64>() {
+                Ok(mut v) if (v as usize) < engine.capacity() => {
+                    let mut hops = vec![v];
+                    while let Some(e) = engine.parent(0, v) {
+                        v = e.src;
+                        hops.push(v);
+                        if hops.len() > 64 {
+                            break;
+                        }
+                    }
+                    hops.reverse();
+                    println!(
+                        "{}",
+                        hops.iter()
+                            .map(|h| h.to_string())
+                            .collect::<Vec<_>>()
+                            .join(" -> ")
+                    );
+                }
+                _ => println!("vertex out of range"),
+            },
+            ["top", n] => {
+                let n: usize = n.parse().unwrap_or(10);
+                let cap = engine.capacity();
+                let mut vals: Vec<(u64, u64)> = (0..cap as u64)
+                    .map(|v| (engine.value(0, v), v))
+                    .filter(|&(val, _)| val != u64::MAX && val != 0)
+                    .collect();
+                vals.sort_unstable();
+                for (val, v) in vals.iter().take(n) {
+                    println!("  v{v}: {}", fmt_value(*val));
+                }
+            }
+            ["stats"] => {
+                use std::sync::atomic::Ordering;
+                let s = engine.stats();
+                println!(
+                    "vertices={} edges={} safe={} unsafe={} demoted={} edges_relaxed={}",
+                    engine.num_vertices(),
+                    engine.num_edges(),
+                    s.safe_applied.load(Ordering::Relaxed),
+                    s.unsafe_applied.load(Ordering::Relaxed),
+                    s.demoted.load(Ordering::Relaxed),
+                    s.edges_relaxed.load(Ordering::Relaxed),
+                );
+            }
+            ["aff"] => {
+                let r = analyze(&engine, 0);
+                println!(
+                    "tree depth D_T={} |V_T|={} mean degree={:.2}",
+                    r.tree_depth, r.tree_vertices, r.mean_degree
+                );
+                println!(
+                    "mean AFFV={:.4} (bound {:.4}); mean AFFE={:.2} (bound {:.2})",
+                    r.mean_affv, r.affv_bound, r.mean_affe, r.affe_bound
+                );
+            }
+            _ => println!("unknown command; try 'help'"),
+        }
+    }
+}

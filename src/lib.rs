@@ -1,0 +1,61 @@
+//! # RisGraph — a real-time streaming system for evolving graphs
+//!
+//! A from-scratch Rust reproduction of **RisGraph** (Feng et al.,
+//! SIGMOD 2021): per-update incremental analysis of monotonic graph
+//! algorithms (BFS, SSSP, SSWP, WCC, …) on evolving graphs, with
+//! sub-millisecond processing latency at millions of updates per
+//! second, via *localized data access* (Indexed Adjacency Lists, sparse
+//! active sets, Hybrid Parallel Mode) and *inter-update parallelism*
+//! (safe/unsafe classification + epoch loop scheduling).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`common`] | `risgraph-common` | ids, sparse sets, bitmaps, stats |
+//! | [`storage`] | `risgraph-storage` | Indexed Adjacency Lists, index variants, baselines, CSR |
+//! | [`algorithms`] | `risgraph-algorithms` | the Algorithm API + Table 2 algorithms |
+//! | [`core`] | `risgraph-core` | engine, classification, epoch loop, scheduler, history, WAL, server |
+//! | [`baselines`] | `risgraph-baselines` | KickStarter-/DD-style + recompute comparisons |
+//! | [`workloads`] | `risgraph-workloads` | graph generators, dataset registry, update streams |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use risgraph::prelude::*;
+//!
+//! // Maintain BFS-from-vertex-0 over an evolving graph.
+//! let engine: Engine = Engine::with_algorithm(Bfs::new(0), 1024);
+//! engine.load_edges(&[(0, 1, 0), (1, 2, 0)]);
+//! assert_eq!(engine.value(0, 2), 2);
+//!
+//! // Stream an update; the result repairs incrementally.
+//! engine.apply(&Update::InsEdge(Edge::new(0, 2, 0))).unwrap();
+//! assert_eq!(engine.value(0, 2), 1);
+//!
+//! // Deletions recover through the dependency tree.
+//! engine.apply(&Update::DelEdge(Edge::new(0, 2, 0))).unwrap();
+//! assert_eq!(engine.value(0, 2), 2);
+//! ```
+//!
+//! For the full interactive tier (sessions, versioned snapshots,
+//! transactions, durability) see [`core::server::Server`]; runnable
+//! scenarios live in `examples/`.
+
+pub use risgraph_algorithms as algorithms;
+pub use risgraph_baselines as baselines;
+pub use risgraph_common as common;
+pub use risgraph_core as core;
+pub use risgraph_storage as storage;
+pub use risgraph_workloads as workloads;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use risgraph_algorithms::{Bfs, MaxLabel, Monotonic, Reachability, Sssp, Sswp, Wcc};
+    pub use risgraph_common::ids::{Edge, Update, VersionId, VertexId, Weight};
+    pub use risgraph_common::{Error, Result};
+    pub use risgraph_core::engine::{ChangeSet, DynAlgorithm, Engine, EngineConfig, Safety};
+    pub use risgraph_core::server::{Reply, Server, ServerConfig, Session};
+    pub use risgraph_storage::{DefaultStore, GraphStore};
+    pub use risgraph_workloads::{DatasetSpec, StreamConfig};
+}

@@ -1,0 +1,209 @@
+//! Cross-crate end-to-end tests: generated workloads stream through the
+//! full engine and all baseline engines, and every engine must agree
+//! with the reference oracle at every checkpoint.
+
+use risgraph::algorithms::{reference, Bfs, Sssp, Sswp, Wcc};
+use risgraph::baselines::{Differential, KickStarter};
+use risgraph::prelude::*;
+use risgraph::workloads::datasets::by_abbr;
+use risgraph::workloads::StreamConfig;
+use risgraph_algorithms::Monotonic;
+
+fn apply_to_oracle_state(live: &mut Vec<(u64, u64, u64)>, u: &Update) {
+    match u {
+        Update::InsEdge(e) => live.push((e.src, e.dst, e.data)),
+        Update::DelEdge(e) => {
+            if let Some(p) = live
+                .iter()
+                .position(|&(s, d, w)| s == e.src && d == e.dst && w == e.data)
+            {
+                live.swap_remove(p);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn run_dataset_stream<A: Monotonic<Value = u64> + Copy>(alg: A, abbr: &str, weighted: bool) {
+    let spec = by_abbr(abbr).unwrap();
+    let data = spec.generate(8, if weighted { 50 } else { 0 }); // 256 vertices
+    let stream = StreamConfig {
+        timestamped: spec.temporal,
+        ..StreamConfig::default()
+    }
+    .build(&data.edges);
+
+    let engine: Engine = Engine::with_algorithm(alg, data.num_vertices);
+    engine.load_edges(&stream.preload);
+    let mut ks = KickStarter::new(alg, data.num_vertices);
+    ks.load(&stream.preload);
+    let mut dd = Differential::new(alg, data.num_vertices);
+    dd.load(&stream.preload);
+
+    let mut live = stream.preload.clone();
+    let take = stream.updates.len().min(600);
+    for (i, u) in stream.updates[..take].iter().enumerate() {
+        engine.apply(u).unwrap();
+        ks.apply_batch(std::slice::from_ref(u));
+        dd.apply_batch(std::slice::from_ref(u));
+        apply_to_oracle_state(&mut live, u);
+        if i % 150 == 149 || i + 1 == take {
+            let want = reference::compute(&alg, data.num_vertices, &live);
+            for v in 0..data.num_vertices as u64 {
+                assert_eq!(
+                    engine.value(0, v),
+                    want[v as usize],
+                    "{} engine diverged on {abbr} at update {i}, vertex {v}",
+                    alg.name()
+                );
+            }
+            assert_eq!(ks.values(), &want[..], "kickstarter diverged on {abbr}@{i}");
+            assert_eq!(dd.values(), &want[..], "differential diverged on {abbr}@{i}");
+        }
+    }
+}
+
+#[test]
+fn bfs_on_temporal_dataset() {
+    run_dataset_stream(Bfs::new(1), "PH", false);
+}
+
+#[test]
+fn sssp_on_social_dataset() {
+    run_dataset_stream(Sssp::new(0), "WK", true);
+}
+
+#[test]
+fn sswp_on_web_dataset() {
+    run_dataset_stream(Sswp::new(0), "UK", true);
+}
+
+#[test]
+fn wcc_on_twitter_dataset() {
+    run_dataset_stream(Wcc::new(), "TT", false);
+}
+
+#[test]
+fn bfs_on_road_network() {
+    run_dataset_stream(Bfs::new(0), "RD", false);
+}
+
+#[test]
+fn sssp_on_road_network() {
+    run_dataset_stream(Sssp::new(0), "RD", true);
+}
+
+/// The recompute baseline agrees with the engine on a static snapshot.
+#[test]
+fn recompute_agrees_with_engine() {
+    let spec = by_abbr("FC").unwrap();
+    let data = spec.generate(9, 0);
+    let engine: Engine = Engine::with_algorithm(Bfs::new(data.root), data.num_vertices);
+    engine.load_edges(&data.edges);
+    let csr = risgraph::storage::csr::Csr::from_edges(
+        data.num_vertices,
+        data.edges.iter().copied(),
+    );
+    let dense = risgraph::baselines::recompute::recompute(&Bfs::new(data.root), &csr);
+    for v in 0..data.num_vertices as u64 {
+        assert_eq!(engine.value(0, v), dense[v as usize], "vertex {v}");
+    }
+}
+
+/// Dependency-tree invariant after a long run: every non-root value is
+/// certified by its parent edge, which must exist in the graph.
+#[test]
+fn dependency_tree_certifies_results() {
+    let spec = by_abbr("WK").unwrap();
+    let data = spec.generate(8, 20);
+    let stream = StreamConfig::default().build(&data.edges);
+    let alg = Sssp::new(0);
+    let engine: Engine = Engine::with_algorithm(alg, data.num_vertices);
+    engine.load_edges(&stream.preload);
+    for u in stream.updates.iter().take(500) {
+        engine.apply(u).unwrap();
+    }
+    for v in 0..data.num_vertices as u64 {
+        if let Some(pe) = engine.parent(0, v) {
+            engine.with_store(|s| {
+                assert!(s.contains_edge(pe), "parent edge {pe:?} missing from graph");
+            });
+            assert_eq!(
+                engine.value(0, v),
+                alg.gen_next(pe, engine.value(0, pe.src)),
+                "vertex {v} not certified by its parent"
+            );
+        }
+    }
+}
+
+/// Maintaining several algorithms in one engine must produce exactly
+/// the same values as maintaining each alone (conjunctive classification
+/// may change *how* updates execute, never *what* they compute).
+#[test]
+fn multi_algorithm_equals_single_algorithm() {
+    use std::sync::Arc as StdArc;
+    let spec = by_abbr("WK").unwrap();
+    let data = spec.generate(8, 50);
+    let stream = StreamConfig::default().build(&data.edges);
+
+    let multi: Engine = risgraph::core::engine::Engine::new(
+        vec![
+            StdArc::new(Bfs::new(data.root)) as risgraph::core::DynAlgorithm,
+            StdArc::new(Sssp::new(data.root)),
+            StdArc::new(Wcc::new()),
+        ],
+        data.num_vertices,
+        Default::default(),
+    );
+    let single_bfs: Engine = Engine::with_algorithm(Bfs::new(data.root), data.num_vertices);
+    let single_sssp: Engine = Engine::with_algorithm(Sssp::new(data.root), data.num_vertices);
+    let single_wcc: Engine = Engine::with_algorithm(Wcc::new(), data.num_vertices);
+
+    for e in [&multi, &single_bfs, &single_sssp, &single_wcc] {
+        e.load_edges(&stream.preload);
+    }
+    for u in stream.updates.iter().take(500) {
+        multi.apply(u).unwrap();
+        single_bfs.apply(u).unwrap();
+        single_sssp.apply(u).unwrap();
+        single_wcc.apply(u).unwrap();
+    }
+    for v in 0..data.num_vertices as u64 {
+        assert_eq!(multi.value(0, v), single_bfs.value(0, v), "BFS vertex {v}");
+        assert_eq!(multi.value(1, v), single_sssp.value(0, v), "SSSP vertex {v}");
+        assert_eq!(multi.value(2, v), single_wcc.value(0, v), "WCC vertex {v}");
+    }
+}
+
+/// Streams with interleaved vertex lifecycle operations run cleanly
+/// through the engine (vertex ids recycle, edge results unaffected).
+#[test]
+fn vertex_op_streams_are_harmless() {
+    let spec = by_abbr("PH").unwrap();
+    let data = spec.generate(8, 0);
+    let stream = StreamConfig::default().build(&data.edges);
+    let mixed = risgraph::workloads::stream::with_vertex_ops(&stream, 5, 1 << 15);
+
+    let plain: Engine = Engine::with_algorithm(Bfs::new(data.root), data.num_vertices);
+    plain.load_edges(&stream.preload);
+    let with_ops: Engine = Engine::with_algorithm(Bfs::new(data.root), data.num_vertices);
+    with_ops.load_edges(&stream.preload);
+
+    for u in stream.updates.iter().take(400) {
+        plain.apply(u).unwrap();
+    }
+    let mut applied = 0;
+    for u in &mixed {
+        with_ops.apply(u).unwrap();
+        if matches!(u, Update::InsEdge(_) | Update::DelEdge(_)) {
+            applied += 1;
+            if applied == 400 {
+                break;
+            }
+        }
+    }
+    for v in 0..data.num_vertices as u64 {
+        assert_eq!(plain.value(0, v), with_ops.value(0, v), "vertex {v}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests over the core invariants:
+//!
+//! 1. the incremental engine equals the oracle after arbitrary update
+//!    sequences (all algorithms);
+//! 2. updates classified *safe* never change any result value;
+//! 3. duplicate-edge bookkeeping in the store matches a multiset model;
+//! 4. insert(e) then delete(e) around arbitrary noise leaves results
+//!    where the noise alone would have.
+
+use proptest::prelude::*;
+use risgraph::algorithms::{reference, Bfs, Sssp, Sswp, Wcc};
+use risgraph::prelude::*;
+use risgraph_algorithms::Monotonic;
+
+const N: u64 = 24;
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Ins(u64, u64, u64),
+    Del(usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..N, 0..N, 1..5u64).prop_map(|(s, d, w)| Step::Ins(s, d, w)),
+        (0..10_000usize).prop_map(Step::Del),
+    ]
+}
+
+fn apply_steps<A: Monotonic<Value = u64> + Copy>(
+    alg: A,
+    initial: &[(u64, u64, u64)],
+    steps: &[Step],
+) -> (Engine, Vec<(u64, u64, u64)>, u64) {
+    let engine: Engine = Engine::with_algorithm(alg, N as usize);
+    engine.load_edges(initial);
+    let mut live = initial.to_vec();
+    let mut safe_changed = 0u64;
+    for step in steps {
+        let u = match *step {
+            Step::Ins(s, d, w) => Update::InsEdge(Edge::new(s, d, w)),
+            Step::Del(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (s, d, w) = live[i % live.len()];
+                Update::DelEdge(Edge::new(s, d, w))
+            }
+        };
+        let safety = engine.classify(&u);
+        let before = if safety == Safety::Safe {
+            Some(engine.values_snapshot(0, N as usize))
+        } else {
+            None
+        };
+        let (_, _changes) = engine.apply(&u).unwrap();
+        if let Some(before) = before {
+            if before != engine.values_snapshot(0, N as usize) {
+                safe_changed += 1;
+            }
+        }
+        match u {
+            Update::InsEdge(e) => live.push((e.src, e.dst, e.data)),
+            Update::DelEdge(e) => {
+                let p = live
+                    .iter()
+                    .position(|&(s, d, w)| s == e.src && d == e.dst && w == e.data)
+                    .unwrap();
+                live.swap_remove(p);
+            }
+            _ => {}
+        }
+    }
+    (engine, live, safe_changed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_matches_oracle_bfs(
+        initial in proptest::collection::vec((0..N, 0..N, 1..5u64), 0..40),
+        steps in proptest::collection::vec(step_strategy(), 0..60),
+    ) {
+        let alg = Bfs::new(0);
+        let (engine, live, safe_changed) = apply_steps(alg, &initial, &steps);
+        prop_assert_eq!(safe_changed, 0, "safe updates changed results");
+        let want = reference::compute(&alg, N as usize, &live);
+        for v in 0..N {
+            prop_assert_eq!(engine.value(0, v), want[v as usize], "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn engine_matches_oracle_sssp(
+        initial in proptest::collection::vec((0..N, 0..N, 1..5u64), 0..40),
+        steps in proptest::collection::vec(step_strategy(), 0..60),
+    ) {
+        let alg = Sssp::new(1);
+        let (engine, live, safe_changed) = apply_steps(alg, &initial, &steps);
+        prop_assert_eq!(safe_changed, 0);
+        let want = reference::compute(&alg, N as usize, &live);
+        for v in 0..N {
+            prop_assert_eq!(engine.value(0, v), want[v as usize], "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn engine_matches_oracle_sswp(
+        initial in proptest::collection::vec((0..N, 0..N, 1..5u64), 0..40),
+        steps in proptest::collection::vec(step_strategy(), 0..60),
+    ) {
+        let alg = Sswp::new(0);
+        let (engine, live, safe_changed) = apply_steps(alg, &initial, &steps);
+        prop_assert_eq!(safe_changed, 0);
+        let want = reference::compute(&alg, N as usize, &live);
+        for v in 0..N {
+            prop_assert_eq!(engine.value(0, v), want[v as usize], "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn engine_matches_oracle_wcc(
+        initial in proptest::collection::vec((0..N, 0..N, 1..5u64), 0..40),
+        steps in proptest::collection::vec(step_strategy(), 0..60),
+    ) {
+        let alg = Wcc::new();
+        let (engine, live, safe_changed) = apply_steps(alg, &initial, &steps);
+        prop_assert_eq!(safe_changed, 0);
+        let want = reference::compute(&alg, N as usize, &live);
+        for v in 0..N {
+            prop_assert_eq!(engine.value(0, v), want[v as usize], "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn store_multiset_semantics(
+        ops in proptest::collection::vec((0..8u64, 0..8u64, 0..3u64, proptest::bool::ANY), 0..200),
+    ) {
+        let store: DefaultStore = GraphStore::with_capacity(8);
+        let mut model: std::collections::HashMap<(u64, u64, u64), u32> =
+            std::collections::HashMap::new();
+        for (s, d, w, is_insert) in ops {
+            let e = Edge::new(s, d, w);
+            if is_insert {
+                store.insert_edge(e).unwrap();
+                *model.entry((s, d, w)).or_insert(0) += 1;
+            } else {
+                let had = model.get(&(s, d, w)).copied().unwrap_or(0);
+                let result = store.delete_edge(e);
+                if had > 0 {
+                    prop_assert!(result.is_ok());
+                    if had == 1 {
+                        model.remove(&(s, d, w));
+                    } else {
+                        model.insert((s, d, w), had - 1);
+                    }
+                } else {
+                    prop_assert!(result.is_err());
+                }
+            }
+        }
+        for (&(s, d, w), &count) in &model {
+            prop_assert_eq!(store.edge_count(Edge::new(s, d, w)), count);
+        }
+        let total: u32 = model.values().sum();
+        prop_assert_eq!(store.num_edges(), total as u64);
+    }
+
+    #[test]
+    fn insert_then_delete_is_identity_on_results(
+        initial in proptest::collection::vec((0..N, 0..N, 1..5u64), 5..40),
+        extra in (0..N, 0..N, 1..5u64),
+    ) {
+        let alg = Sssp::new(0);
+        let engine: Engine = Engine::with_algorithm(alg, N as usize);
+        engine.load_edges(&initial);
+        let before = engine.values_snapshot(0, N as usize);
+        let e = Edge::new(extra.0, extra.1, extra.2);
+        engine.apply(&Update::InsEdge(e)).unwrap();
+        engine.apply(&Update::DelEdge(e)).unwrap();
+        let after = engine.values_snapshot(0, N as usize);
+        prop_assert_eq!(before, after);
+    }
+}
