@@ -33,8 +33,7 @@ pub fn compute<A: Monotonic>(
     }
 
     let mut in_queue = vec![false; num_vertices];
-    let mut queue: std::collections::VecDeque<VertexId> =
-        (0..num_vertices as u64).collect();
+    let mut queue: std::collections::VecDeque<VertexId> = (0..num_vertices as u64).collect();
     in_queue.fill(true);
 
     while let Some(u) = queue.pop_front() {

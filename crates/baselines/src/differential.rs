@@ -224,7 +224,13 @@ mod tests {
             let n = 40u64;
             let mut rng = StdRng::seed_from_u64(seed);
             let mut live: Vec<(u64, u64, u64)> = (0..100)
-                .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(1..6)))
+                .map(|_| {
+                    (
+                        rng.gen_range(0..n),
+                        rng.gen_range(0..n),
+                        rng.gen_range(1..6),
+                    )
+                })
                 .collect();
             let mut dd = Differential::new(alg, n as usize);
             dd.load(&live);
@@ -236,8 +242,11 @@ mod tests {
                         let (s, d, w) = live.swap_remove(i);
                         batch.push(Update::DelEdge(Edge::new(s, d, w)));
                     } else {
-                        let t =
-                            (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(1..6));
+                        let t = (
+                            rng.gen_range(0..n),
+                            rng.gen_range(0..n),
+                            rng.gen_range(1..6),
+                        );
                         live.push(t);
                         batch.push(Update::InsEdge(Edge::new(t.0, t.1, t.2)));
                     }

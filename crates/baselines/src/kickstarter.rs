@@ -129,9 +129,7 @@ impl<A: Monotonic<Value = u64>> KickStarter<A> {
                     if let Some(p) = list.iter().position(|&(d, w)| d == e.dst && w == e.data) {
                         list.swap_remove(p);
                         let inn = &mut self.inn[e.dst as usize];
-                        if let Some(q) =
-                            inn.iter().position(|&(s, w)| s == e.src && w == e.data)
-                        {
+                        if let Some(q) = inn.iter().position(|&(s, w)| s == e.src && w == e.data) {
                             inn.swap_remove(q);
                         }
                         if self.is_tree_edge(*e) {
@@ -190,7 +188,9 @@ impl<A: Monotonic<Value = u64>> KickStarter<A> {
                 if invalid[x as usize] {
                     continue;
                 }
-                let cand = self.alg.gen_next(Edge::new(x, v, w), self.values[x as usize]);
+                let cand = self
+                    .alg
+                    .gen_next(Edge::new(x, v, w), self.values[x as usize]);
                 if self.alg.need_upd(v, self.values[v as usize], cand) {
                     self.values[v as usize] = cand;
                     self.parent[v as usize] = (x, w);
@@ -308,7 +308,13 @@ mod tests {
             let n = 40u64;
             let mut rng = StdRng::seed_from_u64(seed);
             let mut live: Vec<(u64, u64, u64)> = (0..100)
-                .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(1..6)))
+                .map(|_| {
+                    (
+                        rng.gen_range(0..n),
+                        rng.gen_range(0..n),
+                        rng.gen_range(1..6),
+                    )
+                })
                 .collect();
             let mut ks = KickStarter::new(alg, n as usize);
             ks.load(&live);
@@ -320,8 +326,11 @@ mod tests {
                         let (s, d, w) = live.swap_remove(i);
                         batch.push(Update::DelEdge(Edge::new(s, d, w)));
                     } else {
-                        let t =
-                            (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(1..6));
+                        let t = (
+                            rng.gen_range(0..n),
+                            rng.gen_range(0..n),
+                            rng.gen_range(1..6),
+                        );
                         live.push(t);
                         batch.push(Update::InsEdge(Edge::new(t.0, t.1, t.2)));
                     }

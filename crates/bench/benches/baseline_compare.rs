@@ -29,8 +29,7 @@ fn bench_compare(c: &mut Criterion) {
     group.bench_function("risgraph", |b| {
         b.iter_batched(
             || {
-                let e: Engine =
-                    Engine::with_algorithm(risgraph_algorithms::Bfs::new(root), n);
+                let e: Engine = Engine::with_algorithm(risgraph_algorithms::Bfs::new(root), n);
                 e.load_edges(&preload);
                 e
             },

@@ -11,10 +11,8 @@ fn bench_classify(c: &mut Criterion) {
     let spec = by_abbr("TT").unwrap();
     let data = spec.generate(12, 0);
     let stream = StreamConfig::default().build(&data.edges);
-    let engine: Engine = Engine::with_algorithm(
-        risgraph_algorithms::Bfs::new(data.root),
-        data.num_vertices,
-    );
+    let engine: Engine =
+        Engine::with_algorithm(risgraph_algorithms::Bfs::new(data.root), data.num_vertices);
     engine.load_edges(&stream.preload);
     let updates: Vec<Update> = stream.updates.into_iter().take(4096).collect();
 

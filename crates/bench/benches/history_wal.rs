@@ -24,8 +24,9 @@ fn bench_history(c: &mut Criterion) {
             || HistoryStore::new(4096),
             |mut h| {
                 for version in 1..=256u64 {
-                    let recs: Vec<ChangeRecord> =
-                        (0..4).map(|i| change(version % 1024 + i * 1024, version)).collect();
+                    let recs: Vec<ChangeRecord> = (0..4)
+                        .map(|i| change(version % 1024 + i * 1024, version))
+                        .collect();
                     h.record(version, &recs);
                 }
                 h
@@ -83,7 +84,8 @@ fn bench_wal(c: &mut Criterion) {
             },
             |mut w| {
                 for i in 0..256u64 {
-                    w.append(&[Update::InsEdge(Edge::new(i, i + 1, 0))]).unwrap();
+                    w.append(&[Update::InsEdge(Edge::new(i, i + 1, 0))])
+                        .unwrap();
                 }
                 w.sync().unwrap();
                 w
@@ -95,7 +97,8 @@ fn bench_wal(c: &mut Criterion) {
         let _ = std::fs::remove_file(&path);
         let mut w = WalWriter::open(&path).unwrap();
         for i in 0..4096u64 {
-            w.append(&[Update::InsEdge(Edge::new(i, i + 1, 0))]).unwrap();
+            w.append(&[Update::InsEdge(Edge::new(i, i + 1, 0))])
+                .unwrap();
         }
         w.sync().unwrap();
         b.iter(|| replay(&path).unwrap().len())

@@ -3,10 +3,10 @@
 //! and hybrid execution — the Figure 13 kernel isolated.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use risgraph_common::ids::{Edge, Update};
 use risgraph_core::classifier::PushMode;
 use risgraph_core::engine::{Engine, EngineConfig};
 use risgraph_core::push::PushConfig;
-use risgraph_common::ids::{Edge, Update};
 use risgraph_workloads::rmat::RmatConfig;
 use std::sync::Arc;
 

@@ -105,8 +105,7 @@ fn main() {
             ks.apply_batch(&preload_batch);
             if deletions {
                 for batch in &batches {
-                    let ins: Vec<Update> =
-                        batch.iter().map(|&e| Update::InsEdge(e)).collect();
+                    let ins: Vec<Update> = batch.iter().map(|&e| Update::InsEdge(e)).collect();
                     ks.apply_batch(&ins);
                 }
             }

@@ -13,11 +13,11 @@ use std::time::Instant;
 
 use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
 use risgraph_bench::{print_table, scale, threads};
+use risgraph_common::ids::Edge;
+use risgraph_common::ids::Update;
 use risgraph_core::classifier::{LinearClassifier, PushMode};
 use risgraph_core::engine::{Engine, EngineConfig};
 use risgraph_core::push::PushConfig;
-use risgraph_common::ids::Update;
-use risgraph_common::ids::Edge;
 
 fn time_delete_insert(engine: &Engine, e: Edge) -> f64 {
     // Delete + reinsert a tree edge: forces recomputation over the
@@ -102,12 +102,22 @@ fn main() {
         rows.push(vec![
             v.to_string(),
             e.to_string(),
-            if edge_wins { "edge-parallel" } else { "vertex-parallel" }.to_string(),
+            if edge_wins {
+                "edge-parallel"
+            } else {
+                "vertex-parallel"
+            }
+            .to_string(),
             format!("{speedup:.2}x"),
         ]);
     }
     print_table(
-        &["active vertices", "active edges", "winner", "t_vertex/t_edge"],
+        &[
+            "active vertices",
+            "active edges",
+            "winner",
+            "t_vertex/t_edge",
+        ],
         &rows,
     );
 
@@ -117,9 +127,7 @@ fn main() {
         Some(c) => {
             let agree = fit_input
                 .iter()
-                .filter(|&&(v, e, w)| {
-                    (c.choose(v, e) == PushMode::EdgeParallel) == w
-                })
+                .filter(|&&(v, e, w)| (c.choose(v, e) == PushMode::EdgeParallel) == w)
                 .count();
             println!(
                 "\nfitted classifier: ln(E) > {:.3}·ln(V) + {:.3}  ⇒ edge-parallel",

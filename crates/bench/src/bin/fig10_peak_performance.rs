@@ -4,7 +4,9 @@
 //! table (Figure 10b: throughput, mean latency, P999).
 
 use risgraph_bench::drivers::{algorithm, needs_weights, ALGORITHMS};
-use risgraph_bench::{dataset_selection, max_sessions, measure_server, print_table, scale, threads};
+use risgraph_bench::{
+    dataset_selection, max_sessions, measure_server, print_table, scale, threads,
+};
 use risgraph_core::server::ServerConfig;
 use risgraph_workloads::StreamConfig;
 

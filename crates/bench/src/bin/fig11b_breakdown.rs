@@ -80,7 +80,8 @@ fn main() {
         let upd = es.update_ns.load(Ordering::Relaxed) as f64;
         let cmp = es.compute_ns.load(Ordering::Relaxed) as f64;
         let cc = es.classify_ns.load(Ordering::Relaxed) as f64;
-        let sched = ss.sched_ns.load(Ordering::Relaxed) as f64 - cc.min(ss.sched_ns.load(Ordering::Relaxed) as f64);
+        let sched = ss.sched_ns.load(Ordering::Relaxed) as f64
+            - cc.min(ss.sched_ns.load(Ordering::Relaxed) as f64);
         let hist = ss.history_ns.load(Ordering::Relaxed) as f64;
         let wal = ss.wal_ns.load(Ordering::Relaxed) as f64;
         // The queue tier (session channel waiting + epoch residency)
@@ -105,7 +106,16 @@ fn main() {
         let _ = std::fs::remove_file(&wal_path);
     }
     print_table(
-        &["algo", "UpdEng", "CmpEng", "CC", "Sched", "HisStore", "WAL", "Net/Queue"],
+        &[
+            "algo",
+            "UpdEng",
+            "CmpEng",
+            "CC",
+            "Sched",
+            "HisStore",
+            "WAL",
+            "Net/Queue",
+        ],
         &rows,
     );
     println!(

@@ -105,7 +105,10 @@ fn main() {
         rows.push(vec![
             format!("{:.1}", (tick + 1) as f64 * 0.5),
             risgraph_bench::fmt_ops((done - last_done) as f64 * 2.0),
-            format!("{:.2}‰", 1000.0 * (to - last_to) as f64 / ((done - last_done).max(1)) as f64),
+            format!(
+                "{:.2}‰",
+                1000.0 * (to - last_to) as f64 / ((done - last_done).max(1)) as f64
+            ),
             thr.to_string(),
         ]);
         last_done = done;
@@ -115,7 +118,10 @@ fn main() {
     for h in handles {
         h.join().unwrap();
     }
-    print_table(&["t (s)", "throughput", "timeouts", "sched threshold"], &rows);
+    print_table(
+        &["t (s)", "throughput", "timeouts", "sched threshold"],
+        &rows,
+    );
     println!(
         "\nPaper shape: steady multi-M ops/s, timeout rate within a few per-mille,\n\
          threshold oscillating in a narrow self-adjusted band."

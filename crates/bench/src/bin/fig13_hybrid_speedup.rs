@@ -75,8 +75,22 @@ fn main() {
             // sequential grain (pure parallelization-strategy ablation);
             // "localized" adds RisGraph's small-frontier sequential
             // cutoff — the full §3.2 design.
-            let t_vertex = run_mode(alg_name, &data, updates, &stream.preload, Some(PushMode::VertexParallel), 0);
-            let t_edge = run_mode(alg_name, &data, updates, &stream.preload, Some(PushMode::EdgeParallel), 0);
+            let t_vertex = run_mode(
+                alg_name,
+                &data,
+                updates,
+                &stream.preload,
+                Some(PushMode::VertexParallel),
+                0,
+            );
+            let t_edge = run_mode(
+                alg_name,
+                &data,
+                updates,
+                &stream.preload,
+                Some(PushMode::EdgeParallel),
+                0,
+            );
             let t_hybrid = run_mode(alg_name, &data, updates, &stream.preload, None, 0);
             let t_localized = run_mode(alg_name, &data, updates, &stream.preload, None, 4096);
             edge_ratios.push(t_vertex / t_edge.max(1.0));

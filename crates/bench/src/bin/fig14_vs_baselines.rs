@@ -39,8 +39,7 @@ fn main() {
                 break;
             }
             let n_batches = (updates.len() / bs).clamp(1, 50);
-            let batches: Vec<&[Update]> =
-                updates.chunks(bs).take(n_batches).collect();
+            let batches: Vec<&[Update]> = updates.chunks(bs).take(n_batches).collect();
 
             // --- RisGraph batch mode: per-update incremental engine,
             //     one result view per batch, WAL/history off.
@@ -91,7 +90,12 @@ fn main() {
         }
         print_table(
             &[
-                "batch", "RG-B/batch", "KS/batch", "DD/batch", "KS/RG", "DD/RG",
+                "batch",
+                "RG-B/batch",
+                "KS/batch",
+                "DD/batch",
+                "KS/RG",
+                "DD/RG",
                 "RG throughput",
             ],
             &rows,

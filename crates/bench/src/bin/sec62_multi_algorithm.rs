@@ -8,7 +8,9 @@
 //! for *every* algorithm.
 
 use risgraph_bench::drivers::algorithm;
-use risgraph_bench::{dataset_selection, max_sessions, measure_server, print_table, scale, threads};
+use risgraph_bench::{
+    dataset_selection, max_sessions, measure_server, print_table, scale, threads,
+};
 use risgraph_core::server::ServerConfig;
 use risgraph_workloads::StreamConfig;
 
@@ -55,7 +57,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["dataset", "3-algo T.", "3-algo P999", "BFS-only T.", "ratio"],
+        &[
+            "dataset",
+            "3-algo T.",
+            "3-algo P999",
+            "BFS-only T.",
+            "ratio",
+        ],
         &rows,
     );
     println!(

@@ -63,10 +63,7 @@ fn main() {
                 format!("{:.3}", report.affv_bound),
                 format!("{:.1}", report.mean_affe),
                 format!("{:.1}", report.affe_bound),
-                format!(
-                    "{:.3}",
-                    modified as f64 / unsafe_count.max(1) as f64
-                ),
+                format!("{:.3}", modified as f64 / unsafe_count.max(1) as f64),
             ]);
         }
     }

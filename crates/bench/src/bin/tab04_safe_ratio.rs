@@ -38,8 +38,7 @@ fn main() {
                 );
                 engine.load_edges(&stream.preload);
                 let take = stream.updates.len().min(20_000);
-                let stats =
-                    risgraph_bench::run_per_update(&engine, &stream.updates[..take]);
+                let stats = risgraph_bench::run_per_update(&engine, &stream.updates[..take]);
                 let ratio = stats.changed_results as f64 / take.max(1) as f64;
                 row.push(format!("{ratio:.2}"));
             }

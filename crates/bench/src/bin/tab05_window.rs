@@ -6,7 +6,9 @@
 //! graphs make components unstable ⇒ more unsafe updates).
 
 use risgraph_bench::drivers::{algorithm, needs_weights, ALGORITHMS};
-use risgraph_bench::{dataset_selection, max_sessions, measure_server, print_table, scale, threads};
+use risgraph_bench::{
+    dataset_selection, max_sessions, measure_server, print_table, scale, threads,
+};
 use risgraph_common::stats::geometric_mean;
 use risgraph_core::server::ServerConfig;
 use risgraph_workloads::StreamConfig;

@@ -6,7 +6,9 @@
 //! not" — e.g. BFS 0.72 at 0% up to 1.20 at 100%.
 
 use risgraph_bench::drivers::{algorithm, needs_weights, ALGORITHMS};
-use risgraph_bench::{dataset_selection, max_sessions, measure_server, print_table, scale, threads};
+use risgraph_bench::{
+    dataset_selection, max_sessions, measure_server, print_table, scale, threads,
+};
 use risgraph_common::stats::geometric_mean;
 use risgraph_core::server::ServerConfig;
 use risgraph_workloads::StreamConfig;
@@ -49,7 +51,10 @@ fn main() {
     for (ri, label) in labels.iter().enumerate() {
         let mut row = vec![label.to_string()];
         for ai in 0..ALGORITHMS.len() {
-            row.push(format!("{:.2}", geometric_mean(&cells[ai * ratios.len() + ri])));
+            row.push(format!(
+                "{:.2}",
+                geometric_mean(&cells[ai * ratios.len() + ri])
+            ));
         }
         rows.push(row);
     }

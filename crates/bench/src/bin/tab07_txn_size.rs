@@ -6,8 +6,8 @@
 //! up to ~61% of throughput at size 16 — but still several hundred
 //! thousand updates/s.
 
-use risgraph_bench::drivers::{algorithm, needs_weights, ALGORITHMS};
 use risgraph_bench::drivers::measure_server_txn;
+use risgraph_bench::drivers::{algorithm, needs_weights, ALGORITHMS};
 use risgraph_bench::{dataset_selection, max_sessions, print_table, scale, threads};
 use risgraph_common::stats::geometric_mean;
 use risgraph_core::server::ServerConfig;
@@ -36,8 +36,7 @@ fn main() {
                 let mut config = ServerConfig::default();
                 config.engine.threads = threads();
                 // §6.2: latency limit scales with transaction size.
-                config.scheduler.latency_limit =
-                    std::time::Duration::from_millis(20 * size as u64);
+                config.scheduler.latency_limit = std::time::Duration::from_millis(20 * size as u64);
                 let perf = measure_server_txn(
                     vec![algorithm(alg_name, data.root)],
                     &trimmed.preload,
@@ -57,7 +56,10 @@ fn main() {
     for (si, &size) in sizes.iter().enumerate() {
         let mut row = vec![size.to_string()];
         for ai in 0..ALGORITHMS.len() {
-            row.push(format!("{:.2}", geometric_mean(&cells[ai * sizes.len() + si])));
+            row.push(format!(
+                "{:.2}",
+                geometric_mean(&cells[ai * sizes.len() + si])
+            ));
         }
         rows.push(row);
     }

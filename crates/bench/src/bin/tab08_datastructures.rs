@@ -3,153 +3,22 @@
 //! relative to IA_Hash (RisGraph's default), split into safe and
 //! unsafe updates.
 //!
+//! Every layout runs the **real engine** over the `DynamicGraph` trait:
+//! the same classify → safe-path / unsafe-path per-update loop the
+//! server executes, so the comparison measures the actual update path
+//! (structure mutation + incremental repair) per backend rather than a
+//! hand-rolled kernel.
+//!
 //! Paper shape: Hash indexes win on updates (O(1)); IO variants are a
 //! few percent cheaper on safe updates (no compact array to maintain)
 //! but lose badly on unsafe updates (analysis must traverse the index);
 //! overall IA_Hash ≈ 1.00 is the best.
 
-use std::time::Instant;
-
-use risgraph_bench::drivers::algorithm;
+use risgraph_bench::drivers::{algorithm, engine_on_backend, run_per_update};
 use risgraph_bench::{print_table, scale, threads};
-use risgraph_common::ids::{Edge, Update, VertexId, Weight};
-use risgraph_core::engine::{Engine, EngineConfig};
-use risgraph_storage::index::EdgeIndex;
-use risgraph_storage::index_only::{IndexOnlyStore, OutEdgeScan};
-use risgraph_storage::{ArtIndex, BTreeIndex, HashIndex};
+use risgraph_core::engine::EngineConfig;
+use risgraph_storage::BackendKind;
 use risgraph_workloads::StreamConfig;
-
-/// Incremental-BFS kernel over any store layout: the "unsafe update"
-/// workload for index-only stores, which cannot host the full engine
-/// (no contiguous arrays to certify Table 8's IA advantage against).
-fn scan_bfs(store: &dyn OutEdgeScan, n: usize, root: VertexId) -> u64 {
-    let mut dist = vec![u64::MAX; n];
-    dist[root as usize] = 0;
-    let mut frontier = vec![root];
-    let mut sum = 0u64;
-    while let Some(v) = frontier.pop() {
-        let dv = dist[v as usize];
-        let mut nexts: Vec<(VertexId, Weight)> = Vec::new();
-        store.scan_out(v, &mut |d, w, _| nexts.push((d, w)));
-        for (d, _) in nexts {
-            if dv + 1 < dist[d as usize] {
-                dist[d as usize] = dv + 1;
-                sum += 1;
-                frontier.push(d);
-            }
-        }
-    }
-    sum
-}
-
-/// IA variants: per-update structural cost through the real engine's
-/// safe path, plus the shared analysis kernel over the layout.
-fn run_ia<I: EdgeIndex>(
-    name: &str,
-    data: &risgraph_workloads::Dataset,
-    preload: &[(u64, u64, u64)],
-    updates: &[Update],
-) -> (String, f64, f64) {
-    let engine: Engine<I> = Engine::new(
-        vec![algorithm("BFS", data.root)],
-        data.num_vertices,
-        EngineConfig {
-            threads: threads(),
-            ..EngineConfig::default()
-        },
-    );
-    engine.load_edges(preload);
-    // Update cost: raw structural ops over the layout — the same
-    // workload the IO variants run, so the comparison isolates the
-    // data structure (classification/engine overheads are identical
-    // across layouts and measured elsewhere).
-    let mut update_ns = 0u64;
-    let mut n_updates = 0u64;
-    engine.with_store(|store| {
-        let t = Instant::now();
-        for u in updates {
-            match u {
-                Update::InsEdge(e) => {
-                    let _ = store.insert_edge(*e);
-                    n_updates += 1;
-                }
-                Update::DelEdge(e) => {
-                    let _ = store.delete_edge(*e);
-                    n_updates += 1;
-                }
-                _ => {}
-            }
-        }
-        update_ns = t.elapsed().as_nanos() as u64;
-    });
-    // Undo the structural churn so the analysis pass below sees the
-    // loaded graph (inverse ops restore multiset state).
-    engine.with_store(|store| {
-        for u in updates.iter().rev() {
-            match u {
-                Update::InsEdge(e) => {
-                    let _ = store.delete_edge(*e);
-                }
-                Update::DelEdge(e) => {
-                    let _ = store.insert_edge(*e);
-                }
-                _ => {}
-            }
-        }
-    });
-    // Analysis cost over this layout: the same localized BFS kernel run
-    // on both families (unsafe updates are dominated by such scans).
-    let runs = 5;
-    let t = Instant::now();
-    engine.with_store(|s| {
-        for _ in 0..runs {
-            std::hint::black_box(scan_bfs(s, data.num_vertices, data.root));
-        }
-    });
-    let analysis_ns = t.elapsed().as_nanos() as f64 / runs as f64;
-    (
-        format!("IA_{name}"),
-        update_ns as f64 / n_updates.max(1) as f64,
-        analysis_ns,
-    )
-}
-
-/// IO variants: same per-update and analysis workloads over the
-/// index-only layout.
-fn run_io<I: EdgeIndex>(
-    name: &str,
-    data: &risgraph_workloads::Dataset,
-    preload: &[(u64, u64, u64)],
-    updates: &[Update],
-) -> (String, f64, f64) {
-    let store: IndexOnlyStore<I> = IndexOnlyStore::with_capacity(data.num_vertices);
-    for &(s, d, w) in preload {
-        let _ = store.insert_edge(Edge::new(s, d, w));
-    }
-    let t = Instant::now();
-    let mut ops = 0u64;
-    for u in updates {
-        match u {
-            Update::InsEdge(e) => {
-                let _ = store.insert_edge(*e);
-                ops += 1;
-            }
-            Update::DelEdge(e) => {
-                let _ = store.delete_edge(*e);
-                ops += 1;
-            }
-            _ => {}
-        }
-    }
-    let update_ns = t.elapsed().as_nanos() as f64 / ops.max(1) as f64;
-    let runs = 5;
-    let t = Instant::now();
-    for _ in 0..runs {
-        std::hint::black_box(scan_bfs(&store, data.num_vertices, data.root));
-    }
-    let analysis_ns = t.elapsed().as_nanos() as f64 / runs as f64;
-    (format!("IO_{name}"), update_ns, analysis_ns)
-}
 
 fn main() {
     let spec = risgraph_workloads::datasets::by_abbr("TT").unwrap();
@@ -158,18 +27,32 @@ fn main() {
     let take = stream.updates.len().min(40_000);
     let updates = &stream.updates[..take];
     println!(
-        "Table 8: data-structure comparison on the {} stand-in (BFS)\n",
+        "Table 8: data-structure comparison on the {} stand-in\n\
+         (incremental BFS through the real engine, per backend)\n",
         spec.name
     );
 
-    let mut results = vec![
-        run_ia::<HashIndex>("Hash", &data, &stream.preload, updates),
-        run_ia::<BTreeIndex>("BTree", &data, &stream.preload, updates),
-        run_ia::<ArtIndex>("ART", &data, &stream.preload, updates),
-        run_io::<HashIndex>("Hash", &data, &stream.preload, updates),
-        run_io::<BTreeIndex>("BTree", &data, &stream.preload, updates),
-        run_io::<ArtIndex>("ART", &data, &stream.preload, updates),
-    ];
+    let mut results: Vec<(String, f64, f64)> = Vec::new();
+    for kind in BackendKind::table8_matrix() {
+        let engine = engine_on_backend(
+            &kind,
+            vec![algorithm("BFS", data.root)],
+            data.num_vertices,
+            EngineConfig {
+                threads: threads(),
+                ..EngineConfig::default()
+            },
+        );
+        engine.load_edges(&stream.preload);
+        let stats = run_per_update(&engine, updates);
+        // Table 8's split: mean safe-update cost (structure mutation +
+        // revalidation) vs mean unsafe-update cost (mutation + repair,
+        // i.e. the analysis-heavy path).
+        let safe_ns = stats.safe_histogram.mean_us() * 1e3;
+        let unsafe_ns = stats.unsafe_histogram.mean_us() * 1e3;
+        results.push((kind.label().to_string(), safe_ns, unsafe_ns));
+    }
+
     // Normalize: relative performance (higher = better), baseline IA_Hash.
     let (base_safe, base_unsafe) = (results[0].1, results[0].2);
     let mut rows = Vec::new();
@@ -185,13 +68,19 @@ fn main() {
         ]);
     }
     print_table(
-        &["layout", "update (rel)", "analysis (rel)", "overall (geo)"],
+        &[
+            "layout",
+            "safe upd (rel)",
+            "unsafe upd (rel)",
+            "overall (geo)",
+        ],
         &rows,
     );
     println!(
         "\nPaper: IA_Hash = 1.00 baseline; IA_ART 0.92, IA_BTree 0.90 overall;\n\
-         IO_Hash slightly faster on updates (1.07) but 0.83 on unsafe (analysis-\n\
-         heavy) work; IO_ART worst (0.48). Expect: Hash wins within each family;\n\
-         IA beats IO on analysis (contiguous arrays vs index traversal)."
+         IO_Hash slightly faster on safe updates (1.07) but 0.83 on unsafe\n\
+         (analysis-heavy) work; IO_ART worst (0.48). Expect: Hash wins within\n\
+         each family; IA beats IO on unsafe updates (contiguous arrays vs\n\
+         index traversal)."
     );
 }

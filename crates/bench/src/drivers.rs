@@ -7,9 +7,9 @@ use std::time::Instant;
 use risgraph_algorithms::{Bfs, Sssp, Sswp, Wcc};
 use risgraph_common::ids::Update;
 use risgraph_common::stats::LatencyHistogram;
-use risgraph_core::engine::{DynAlgorithm, Engine, Safety};
+use risgraph_core::engine::{DynAlgorithm, Engine, EngineConfig, Safety};
 use risgraph_core::server::{Server, ServerConfig};
-use risgraph_storage::index::EdgeIndex;
+use risgraph_storage::{AnyStore, BackendKind, DynamicGraph, StoreConfig};
 
 /// Aggregated client-side measurements, in the units Figure 10b prints.
 #[derive(Debug, Clone)]
@@ -47,6 +47,27 @@ pub fn needs_weights(name: &str) -> bool {
     matches!(name, "SSSP" | "SSWP")
 }
 
+/// Build an engine over a runtime-selected storage backend — the
+/// Table 8/9 experiments drive the *real* update path on every layout
+/// through this (no bespoke per-backend kernels).
+pub fn engine_on_backend(
+    kind: &BackendKind,
+    algorithms: Vec<DynAlgorithm>,
+    capacity: usize,
+    config: EngineConfig,
+) -> Engine<AnyStore> {
+    let store = AnyStore::open(
+        kind,
+        capacity,
+        StoreConfig {
+            index_threshold: config.index_threshold,
+            auto_create_vertices: true,
+        },
+    )
+    .expect("backend open");
+    Engine::from_store(store, algorithms, config)
+}
+
 /// Run emulated synchronous sessions against a server (§6.2's TPC-C
 /// style setup): `sessions` client threads each own a shard of the
 /// update stream, submitting one update at a time and waiting for the
@@ -59,21 +80,13 @@ pub fn measure_server(
     sessions: usize,
     config: ServerConfig,
 ) -> PerfResult {
-    let server: Arc<Server> = Arc::new(
-        Server::start(algorithms, capacity, config).expect("server start"),
-    );
+    let server: Arc<Server> =
+        Arc::new(Server::start(algorithms, capacity, config).expect("server start"));
     server.load_edges(preload);
 
     let sessions = sessions.max(1).min(updates.len().max(1));
     let shards: Vec<Vec<Update>> = (0..sessions)
-        .map(|s| {
-            updates
-                .iter()
-                .skip(s)
-                .step_by(sessions)
-                .copied()
-                .collect()
-        })
+        .map(|s| updates.iter().skip(s).step_by(sessions).copied().collect())
         .collect();
 
     let t0 = Instant::now();
@@ -130,9 +143,8 @@ pub fn measure_server_txn(
     sessions: usize,
     config: ServerConfig,
 ) -> PerfResult {
-    let server: Arc<Server> = Arc::new(
-        Server::start(algorithms, capacity, config).expect("server start"),
-    );
+    let server: Arc<Server> =
+        Arc::new(Server::start(algorithms, capacity, config).expect("server start"));
     server.load_edges(preload);
     let sessions = sessions.max(1).min(txns.len().max(1));
     let shards: Vec<Vec<Vec<Update>>> = (0..sessions)
@@ -195,13 +207,17 @@ pub struct PerUpdateStats {
     pub elapsed: std::time::Duration,
     /// Latency histogram of unsafe updates only (tail analysis).
     pub unsafe_histogram: LatencyHistogram,
+    /// Latency histogram of safe updates only (Table 8's split).
+    pub safe_histogram: LatencyHistogram,
 }
 
 /// Apply `updates` one by one through the engine, recording per-update
-/// latency and classification.
-pub fn run_per_update<I: EdgeIndex>(engine: &Engine<I>, updates: &[Update]) -> PerUpdateStats {
+/// latency and classification. Generic over the storage backend, so the
+/// same driver measures every Table 8/9 layout.
+pub fn run_per_update<G: DynamicGraph>(engine: &Engine<G>, updates: &[Update]) -> PerUpdateStats {
     let mut hist = LatencyHistogram::new();
     let mut unsafe_hist = LatencyHistogram::new();
+    let mut safe_hist = LatencyHistogram::new();
     let (mut safe, mut unsafe_, mut changed) = (0u64, 0u64, 0u64);
     let t0 = Instant::now();
     for u in updates {
@@ -211,18 +227,16 @@ pub fn run_per_update<I: EdgeIndex>(engine: &Engine<I>, updates: &[Update]) -> P
         hist.record(d);
         if let Ok((safety, set)) = outcome {
             match safety {
-                Safety::Safe => safe += 1,
+                Safety::Safe => {
+                    safe += 1;
+                    safe_hist.record(d);
+                }
                 Safety::Unsafe => {
                     unsafe_ += 1;
                     unsafe_hist.record(d);
                 }
             }
-            if set
-                .per_algo
-                .iter()
-                .flatten()
-                .any(|c| c.value_changed())
-            {
+            if set.per_algo.iter().flatten().any(|c| c.value_changed()) {
                 changed += 1;
             }
         }
@@ -234,5 +248,6 @@ pub fn run_per_update<I: EdgeIndex>(engine: &Engine<I>, updates: &[Update]) -> P
         changed_results: changed,
         elapsed: t0.elapsed(),
         unsafe_histogram: unsafe_hist,
+        safe_histogram: safe_hist,
     }
 }

@@ -134,7 +134,11 @@ mod tests {
         for i in 0..4096u64 {
             buckets.insert(hash_u64(i) & mask);
         }
-        assert!(buckets.len() > 2048, "got {} distinct buckets", buckets.len());
+        assert!(
+            buckets.len() > 2048,
+            "got {} distinct buckets",
+            buckets.len()
+        );
     }
 
     #[test]

@@ -116,7 +116,9 @@ impl LatencyHistogram {
         for (idx, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Self::bucket_value(idx).min(self.max_ns).max(self.min_ns.min(self.max_ns));
+                return Self::bucket_value(idx)
+                    .min(self.max_ns)
+                    .max(self.min_ns.min(self.max_ns));
             }
         }
         self.max_ns
@@ -287,9 +289,18 @@ mod tests {
 
     #[test]
     fn throughput_formats_like_paper() {
-        assert_eq!(Throughput::new(3_420_000, Duration::from_secs(1)).display(), "3.42M");
-        assert_eq!(Throughput::new(989_000, Duration::from_secs(1)).display(), "989K");
-        assert_eq!(Throughput::new(417, Duration::from_secs(1)).display(), "417");
+        assert_eq!(
+            Throughput::new(3_420_000, Duration::from_secs(1)).display(),
+            "3.42M"
+        );
+        assert_eq!(
+            Throughput::new(989_000, Duration::from_secs(1)).display(),
+            "989K"
+        );
+        assert_eq!(
+            Throughput::new(417, Duration::from_secs(1)).display(),
+            "417"
+        );
         assert_eq!(Throughput::new(100, Duration::ZERO).ops_per_sec, 0.0);
     }
 

@@ -18,7 +18,7 @@
 //! §7 claim empirically: on power-law graphs both stay tiny, which is
 //! *why* per-update analysis sustains millions of ops/s.
 
-use risgraph_storage::index::EdgeIndex;
+use risgraph_storage::DynamicGraph;
 
 use crate::engine::Engine;
 
@@ -46,7 +46,7 @@ pub struct AffectedAreaReport {
 /// Cost: O(|V| + |E|) — a diagnostics pass, not a hot path. Depths are
 /// memoized by path-chasing with an explicit stack (the forest can be
 /// deep on road networks).
-pub fn analyze<I: EdgeIndex>(engine: &Engine<I>, algo: usize) -> AffectedAreaReport {
+pub fn analyze<G: DynamicGraph>(engine: &Engine<G>, algo: usize) -> AffectedAreaReport {
     let n = engine.capacity() as u64;
     let num_edges = engine.num_edges().max(1);
     let num_vertices = engine.num_vertices().max(1);
@@ -125,7 +125,7 @@ mod tests {
         let r = analyze(&engine, 0);
         assert_eq!(r.tree_depth, 3);
         assert_eq!(r.tree_vertices, 3); // 1, 2, 3 have parents
-        // Σ(dep+1) over tree vertices = 2+3+4 = 9; /|E|=3 → 3.
+                                        // Σ(dep+1) over tree vertices = 2+3+4 = 9; /|E|=3 → 3.
         assert!((r.mean_affv - 3.0).abs() < 1e-9);
         // Each vertex degree: d(1)=2, d(2)=2, d(3)=1 ⇒ Σ(dep+1)d = 4+6+4 = 14; /3.
         assert!((r.mean_affe - 14.0 / 3.0).abs() < 1e-9);

@@ -83,9 +83,8 @@ impl LinearClassifier {
             let intercept = (sy - slope * sx) / n;
             Some((slope, intercept))
         };
-        let to_log = |&(v, e, _): &(usize, usize, bool)| {
-            (((v + 1) as f64).ln(), ((e + 1) as f64).ln())
-        };
+        let to_log =
+            |&(v, e, _): &(usize, usize, bool)| (((v + 1) as f64).ln(), ((e + 1) as f64).ln());
         let edge_pts: Vec<_> = samples.iter().filter(|s| s.2).map(to_log).collect();
         let vert_pts: Vec<_> = samples.iter().filter(|s| !s.2).map(to_log).collect();
         let (es, ei) = fit_line(edge_pts)?;

@@ -29,7 +29,7 @@ use risgraph_common::ids::{Edge, Update, VertexId};
 use risgraph_common::Result;
 use risgraph_storage::adjacency::DeleteOutcome;
 use risgraph_storage::index::EdgeIndex;
-use risgraph_storage::{GraphStore, HashIndex, StoreConfig};
+use risgraph_storage::{DefaultStore, DynamicGraph, GraphStore, StoreConfig};
 
 use crate::pool::WorkerPool;
 use crate::push::{PushConfig, PushCtx, PushResult};
@@ -154,26 +154,30 @@ struct AlgoState {
     tree: TreeStore,
 }
 
-struct CoreState<I: EdgeIndex> {
-    store: GraphStore<I>,
+struct CoreState<G: DynamicGraph> {
+    store: G,
     algos: Vec<AlgoState>,
 }
 
-/// The RisGraph execution engine (generic over the edge-index family,
-/// Hash by default — Table 8's IA_Hash).
-pub struct Engine<I: EdgeIndex = HashIndex> {
-    state: RwLock<CoreState<I>>,
+/// The RisGraph execution engine, generic over the storage backend
+/// (`G: DynamicGraph`; the paper-default Indexed Adjacency Lists with
+/// hash indexes — Table 8's IA_Hash — unless specified).
+///
+/// Use [`Engine::new`] for an IA store, or [`Engine::from_store`] to
+/// drive any backend (index-only, out-of-core, or a runtime-selected
+/// [`risgraph_storage::AnyStore`]).
+pub struct Engine<G: DynamicGraph = DefaultStore> {
+    state: RwLock<CoreState<G>>,
     pool: Arc<WorkerPool>,
     config: EngineConfig,
     epoch: AtomicU64,
     stats: EngineStats,
 }
 
-impl<I: EdgeIndex> Engine<I> {
-    /// Create an engine maintaining `algorithms` over an empty graph
-    /// with vertex capacity `capacity`.
+impl<I: EdgeIndex> Engine<GraphStore<I>> {
+    /// Create an engine maintaining `algorithms` over an empty Indexed
+    /// Adjacency Lists store with vertex capacity `capacity`.
     pub fn new(algorithms: Vec<DynAlgorithm>, capacity: usize, config: EngineConfig) -> Self {
-        assert!(!algorithms.is_empty(), "need at least one algorithm");
         let store = GraphStore::with_config(
             capacity,
             StoreConfig {
@@ -181,6 +185,22 @@ impl<I: EdgeIndex> Engine<I> {
                 auto_create_vertices: true,
             },
         );
+        Self::from_store(store, algorithms, config)
+    }
+
+    /// Convenience: single algorithm over the IA store.
+    pub fn with_algorithm(alg: impl Monotonic<Value = Value>, capacity: usize) -> Self {
+        Self::new(vec![Arc::new(alg)], capacity, EngineConfig::default())
+    }
+}
+
+impl<G: DynamicGraph> Engine<G> {
+    /// Create an engine maintaining `algorithms` over a caller-built
+    /// storage backend. The tree stores size themselves to the store's
+    /// current capacity and grow with it.
+    pub fn from_store(store: G, algorithms: Vec<DynAlgorithm>, config: EngineConfig) -> Self {
+        assert!(!algorithms.is_empty(), "need at least one algorithm");
+        let capacity = store.capacity();
         let algos = algorithms
             .into_iter()
             .map(|alg| {
@@ -199,11 +219,6 @@ impl<I: EdgeIndex> Engine<I> {
             epoch: AtomicU64::new(1),
             stats: EngineStats::default(),
         }
-    }
-
-    /// Convenience: single algorithm.
-    pub fn with_algorithm(alg: impl Monotonic<Value = Value>, capacity: usize) -> Self {
-        Self::new(vec![Arc::new(alg)], capacity, EngineConfig::default())
     }
 
     /// Number of maintained algorithms.
@@ -268,12 +283,19 @@ impl<I: EdgeIndex> Engine<I> {
     /// Snapshot all values of algorithm `algo` for `0..n`.
     pub fn values_snapshot(&self, algo: usize, n: usize) -> Vec<Value> {
         let st = self.state.read();
-        (0..n as u64).map(|v| st.algos[algo].tree.value(v)).collect()
+        (0..n as u64)
+            .map(|v| st.algos[algo].tree.value(v))
+            .collect()
     }
 
     /// Run `f` with the underlying store (read phase).
-    pub fn with_store<R>(&self, f: impl FnOnce(&GraphStore<I>) -> R) -> R {
+    pub fn with_store<R>(&self, f: impl FnOnce(&G) -> R) -> R {
         f(&self.state.read().store)
+    }
+
+    /// The storage backend's display label.
+    pub fn backend_name(&self) -> &'static str {
+        self.state.read().store.backend_name()
     }
 
     fn next_epoch(&self) -> u64 {
@@ -306,7 +328,7 @@ impl<I: EdgeIndex> Engine<I> {
     pub fn recompute_all(&self) {
         let st = self.state.read();
         let mut seeds = Vec::new();
-        st.store.for_each_vertex(|v| seeds.push(v));
+        st.store.for_each_vertex(&mut |v| seeds.push(v));
         let epoch = self.next_epoch();
         for a in &st.algos {
             // Reset to initial values first so recompute is idempotent.
@@ -358,8 +380,7 @@ impl<I: EdgeIndex> Engine<I> {
         let safety = match u {
             Update::InsVertex(_) | Update::DelVertex(_) => Safety::Safe,
             Update::InsEdge(e) => {
-                if e.src as usize >= st.store.capacity() || e.dst as usize >= st.store.capacity()
-                {
+                if e.src as usize >= st.store.capacity() || e.dst as usize >= st.store.capacity() {
                     // Will be executed after a capacity grow; values of
                     // fresh vertices are initial, so insertion safety
                     // must be judged then. Conservatively unsafe.
@@ -371,8 +392,7 @@ impl<I: EdgeIndex> Engine<I> {
                 }
             }
             Update::DelEdge(e) => {
-                if e.src as usize >= st.store.capacity() || e.dst as usize >= st.store.capacity()
-                {
+                if e.src as usize >= st.store.capacity() || e.dst as usize >= st.store.capacity() {
                     Safety::Safe // nonexistent edge: fails fast, no results touched
                 } else {
                     let count = st.store.edge_count(*e);
@@ -393,10 +413,7 @@ impl<I: EdgeIndex> Engine<I> {
     /// Classify a write-only transaction: safe iff every constituent
     /// update is safe (§4 "Supporting Transactions").
     pub fn classify_txn(&self, updates: &[Update]) -> Safety {
-        if updates
-            .iter()
-            .all(|u| self.classify(u) == Safety::Safe)
-        {
+        if updates.iter().all(|u| self.classify(u) == Safety::Safe) {
             Safety::Safe
         } else {
             Safety::Unsafe
@@ -439,7 +456,7 @@ impl<I: EdgeIndex> Engine<I> {
                 // a concurrent safe delete may consume the last
                 // duplicate.
                 let algos = &st.algos;
-                match st.store.delete_edge_if(*e, |count| {
+                match st.store.delete_edge_if(*e, &mut |count| {
                     count > 1 || !algos.iter().any(|a| Self::delete_touches_tree(a, *e))
                 })? {
                     Some(_) => SafeApply::Applied,
@@ -529,12 +546,13 @@ impl<I: EdgeIndex> Engine<I> {
         }
         match self.classify(u) {
             Safety::Safe => match self.try_apply_safe(u)? {
-                SafeApply::Applied => Ok((Safety::Safe, ChangeSet {
-                    per_algo: vec![Vec::new(); self.num_algorithms()],
-                })),
-                SafeApply::Demoted => {
-                    Ok((Safety::Unsafe, self.apply_unsafe(u)?))
-                }
+                SafeApply::Applied => Ok((
+                    Safety::Safe,
+                    ChangeSet {
+                        per_algo: vec![Vec::new(); self.num_algorithms()],
+                    },
+                )),
+                SafeApply::Demoted => Ok((Safety::Unsafe, self.apply_unsafe(u)?)),
             },
             Safety::Unsafe => Ok((Safety::Unsafe, self.apply_unsafe(u)?)),
         }
@@ -542,10 +560,10 @@ impl<I: EdgeIndex> Engine<I> {
 
     fn push_ctx<'a>(
         &'a self,
-        st: &'a CoreState<I>,
+        st: &'a CoreState<G>,
         a: &'a AlgoState,
         epoch: u64,
-    ) -> PushCtx<'a, I> {
+    ) -> PushCtx<'a, G> {
         PushCtx {
             store: &st.store,
             alg: a.alg.as_ref(),
@@ -575,7 +593,7 @@ impl<I: EdgeIndex> Engine<I> {
     /// Insertion repair: relax the new edge; on improvement, propagate.
     fn algo_on_insert(
         &self,
-        st: &CoreState<I>,
+        st: &CoreState<G>,
         a: &AlgoState,
         e: Edge,
         epoch: u64,
@@ -616,7 +634,7 @@ impl<I: EdgeIndex> Engine<I> {
     /// approximation), and propagate to fixpoint.
     fn algo_on_delete(
         &self,
-        st: &CoreState<I>,
+        st: &CoreState<G>,
         a: &AlgoState,
         e: Edge,
         epoch: u64,
@@ -645,24 +663,20 @@ impl<I: EdgeIndex> Engine<I> {
         while let Some(v) = stack.pop() {
             sub.push(v);
             {
-                let out = st.store.out(v);
-                for s in out.iter_live() {
-                    if a.tree.is_tree_edge(Edge::new(v, s.dst, s.data))
-                        && in_sub.insert(s.dst)
-                    {
-                        stack.push(s.dst);
+                let (stack_ref, in_sub_ref) = (&mut stack, &mut in_sub);
+                st.store.scan_out(v, &mut |d, w, _| {
+                    if a.tree.is_tree_edge(Edge::new(v, d, w)) && in_sub_ref.insert(d) {
+                        stack_ref.push(d);
                     }
-                }
+                });
             }
             if undirected {
-                let inn = st.store.inn(v);
-                for s in inn.iter_live() {
-                    if a.tree.is_tree_edge(Edge::new(v, s.dst, s.data))
-                        && in_sub.insert(s.dst)
-                    {
-                        stack.push(s.dst);
+                let (stack_ref, in_sub_ref) = (&mut stack, &mut in_sub);
+                st.store.scan_in(v, &mut |d, w, _| {
+                    if a.tree.is_tree_edge(Edge::new(v, d, w)) && in_sub_ref.insert(d) {
+                        stack_ref.push(d);
                     }
-                }
+                });
             }
         }
 
@@ -681,25 +695,20 @@ impl<I: EdgeIndex> Engine<I> {
         //    neighbours hold correct values; affected ones hold inits and
         //    simply produce non-improving candidates).
         for &v in &sub {
-            {
-                let inn = st.store.inn(v);
-                for s in inn.iter_live() {
-                    let x = s.dst; // stored edge x → v
-                    let cand = a.alg.gen_next(Edge::new(x, v, s.data), a.tree.value(x));
-                    a.tree.try_update(v, Some((x, s.data)), epoch, |cur| {
-                        a.alg.need_upd(v, cur, cand).then_some(cand)
-                    });
-                }
-            }
+            st.store.scan_in(v, &mut |x, w, _| {
+                // stored edge x → v
+                let cand = a.alg.gen_next(Edge::new(x, v, w), a.tree.value(x));
+                a.tree.try_update(v, Some((x, w)), epoch, |cur| {
+                    a.alg.need_upd(v, cur, cand).then_some(cand)
+                });
+            });
             if undirected {
-                let out = st.store.out(v);
-                for s in out.iter_live() {
-                    let x = s.dst;
-                    let cand = a.alg.gen_next(Edge::new(x, v, s.data), a.tree.value(x));
-                    a.tree.try_update(v, Some((x, s.data)), epoch, |cur| {
+                st.store.scan_out(v, &mut |x, w, _| {
+                    let cand = a.alg.gen_next(Edge::new(x, v, w), a.tree.value(x));
+                    a.tree.try_update(v, Some((x, w)), epoch, |cur| {
                         a.alg.need_upd(v, cur, cand).then_some(cand)
                     });
-                }
+                });
             }
         }
 
@@ -759,7 +768,10 @@ mod tests {
         e.load_edges(&[(0, 1, 0), (1, 2, 0)]);
         // 0→2 would give dist 1 (better) → unsafe; 2→1 gives 3 (worse) → safe.
         assert_eq!(e.classify(&Update::InsEdge(E::new(2, 1, 0))), Safety::Safe);
-        assert_eq!(e.classify(&Update::InsEdge(E::new(0, 2, 0))), Safety::Unsafe);
+        assert_eq!(
+            e.classify(&Update::InsEdge(E::new(0, 2, 0))),
+            Safety::Unsafe
+        );
         let (safety, ch) = e.apply(&Update::InsEdge(E::new(2, 1, 0))).unwrap();
         assert_eq!(safety, Safety::Safe);
         assert!(ch.is_empty());
@@ -784,7 +796,10 @@ mod tests {
         // 0→1→2 plus alternate 0→3→3→2 path of length 3.
         e.load_edges(&[(0, 1, 0), (1, 2, 0), (0, 3, 0), (3, 4, 0), (4, 2, 0)]);
         assert_eq!(e.value(0, 2), 2);
-        assert_eq!(e.classify(&Update::DelEdge(E::new(1, 2, 0))), Safety::Unsafe);
+        assert_eq!(
+            e.classify(&Update::DelEdge(E::new(1, 2, 0))),
+            Safety::Unsafe
+        );
         let (_, ch) = e.apply(&Update::DelEdge(E::new(1, 2, 0))).unwrap();
         assert_eq!(e.value(0, 2), 3, "recovered via 0→3→4→2");
         assert_eq!(
@@ -821,7 +836,10 @@ mod tests {
         assert_eq!(s, Safety::Safe);
         assert_eq!(e.value(0, 1), 1, "one copy remains");
         // Second deletion removes the tree edge → unsafe.
-        assert_eq!(e.classify(&Update::DelEdge(E::new(0, 1, 0))), Safety::Unsafe);
+        assert_eq!(
+            e.classify(&Update::DelEdge(E::new(0, 1, 0))),
+            Safety::Unsafe
+        );
         e.apply(&Update::DelEdge(E::new(0, 1, 0))).unwrap();
         assert_eq!(e.value(0, 1), u64::MAX);
     }
@@ -882,7 +900,10 @@ mod tests {
         e.load_edges(&[(0, 1, 5), (1, 2, 5)]);
         assert_eq!(e.num_algorithms(), 2);
         // A wider 0→2 edge improves SSWP but BFS too (dist 1 < 2) → unsafe.
-        assert_eq!(e.classify(&Update::InsEdge(E::new(0, 2, 9))), Safety::Unsafe);
+        assert_eq!(
+            e.classify(&Update::InsEdge(E::new(0, 2, 9))),
+            Safety::Unsafe
+        );
         // 2→1 with tiny capacity: improves neither.
         assert_eq!(e.classify(&Update::InsEdge(E::new(2, 1, 1))), Safety::Safe);
         e.apply(&Update::InsEdge(E::new(0, 2, 9))).unwrap();
@@ -984,7 +1005,13 @@ mod tests {
         let alg = Sssp::new(0);
         let e = eng(alg, n as usize);
         let mut live: Vec<(u64, u64, u64)> = (0..120)
-            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(1..6)))
+            .map(|_| {
+                (
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..n),
+                    rng.gen_range(1..6),
+                )
+            })
             .collect();
         e.load_edges(&live);
         let mut checked_safe = 0;
@@ -995,7 +1022,11 @@ mod tests {
                 let t = live[i];
                 Update::DelEdge(E::new(t.0, t.1, t.2))
             } else {
-                let t = (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(1..6));
+                let t = (
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..n),
+                    rng.gen_range(1..6),
+                );
                 Update::InsEdge(E::new(t.0, t.1, t.2))
             };
             if e.classify(&u) == Safety::Safe {
@@ -1010,7 +1041,10 @@ mod tests {
             }
             match u {
                 Update::DelEdge(d) => {
-                    if let Some(p) = live.iter().position(|&(s, dd, w)| s == d.src && dd == d.dst && w == d.data) {
+                    if let Some(p) = live
+                        .iter()
+                        .position(|&(s, dd, w)| s == d.src && dd == d.dst && w == d.data)
+                    {
                         live.swap_remove(p);
                     }
                 }
@@ -1018,7 +1052,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(checked_safe > 20, "exercised only {checked_safe} safe updates");
+        assert!(
+            checked_safe > 20,
+            "exercised only {checked_safe} safe updates"
+        );
         let want = reference::compute(&alg, n as usize, &live);
         for v in 0..n {
             assert_eq!(e.value(0, v), want[v as usize]);

@@ -55,7 +55,8 @@ impl HistoryStore {
     /// Grow the vertex range.
     pub fn ensure_capacity(&mut self, n: usize) {
         if n > self.chains.len() {
-            self.chains.resize(n.next_power_of_two().max(16), Vec::new());
+            self.chains
+                .resize(n.next_power_of_two().max(16), Vec::new());
         }
     }
 
@@ -259,8 +260,14 @@ mod tests {
         h.record(5, &[rec(1, 100, 50)]);
         h.record(9, &[rec(1, 50, 25)]);
         h.collect(9);
-        assert!(matches!(h.value_at(5, 1, 0), Err(Error::VersionNotFound(5))));
-        assert!(matches!(h.modified_vertices(5), Err(Error::VersionNotFound(5))));
+        assert!(matches!(
+            h.value_at(5, 1, 0),
+            Err(Error::VersionNotFound(5))
+        ));
+        assert!(matches!(
+            h.modified_vertices(5),
+            Err(Error::VersionNotFound(5))
+        ));
         assert_eq!(h.value_at(9, 1, 0).unwrap(), 25);
         assert_eq!(h.value_at(20, 1, 0).unwrap(), 25);
     }

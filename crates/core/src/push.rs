@@ -20,8 +20,7 @@
 use parking_lot::Mutex;
 use risgraph_algorithms::Monotonic;
 use risgraph_common::ids::{Edge, VertexId, Weight};
-use risgraph_storage::index::EdgeIndex;
-use risgraph_storage::GraphStore;
+use risgraph_storage::DynamicGraph;
 
 use crate::classifier::{LinearClassifier, PushMode};
 use crate::pool::WorkerPool;
@@ -58,9 +57,11 @@ impl Default for PushConfig {
     }
 }
 
-/// Everything a propagation run needs.
-pub(crate) struct PushCtx<'a, I: EdgeIndex> {
-    pub store: &'a GraphStore<I>,
+/// Everything a propagation run needs. Generic over the storage
+/// backend: propagation only touches the [`DynamicGraph`] scan surface,
+/// so every backend (IA, IO, OOC) runs the same push machinery.
+pub(crate) struct PushCtx<'a, G: DynamicGraph> {
+    pub store: &'a G,
     pub alg: &'a dyn Monotonic<Value = Value>,
     pub tree: &'a TreeStore,
     pub pool: &'a WorkerPool,
@@ -88,7 +89,7 @@ struct WorkerBuf {
     edges: u64,
 }
 
-impl<'a, I: EdgeIndex> PushCtx<'a, I> {
+impl<'a, G: DynamicGraph> PushCtx<'a, G> {
     #[inline]
     fn undirected(&self) -> bool {
         self.alg.undirected()
@@ -128,37 +129,42 @@ impl<'a, I: EdgeIndex> PushCtx<'a, I> {
         let val = self.tree.value(v);
         let mut relaxed = 0u64;
         {
-            let out = self.store.out(v);
-            for s in out.iter_live() {
-                self.relax(v, s.dst, s.data, val, next, changed);
-                relaxed += 1;
-            }
+            let (next_ref, changed_ref, relaxed_ref) = (&mut *next, &mut *changed, &mut relaxed);
+            self.store.scan_out(v, &mut |d, w, _| {
+                self.relax(v, d, w, val, next_ref, changed_ref);
+                *relaxed_ref += 1;
+            });
         }
         if self.undirected() {
-            let inn = self.store.inn(v);
-            for s in inn.iter_live() {
-                // In-list entries of v are (x, w) for stored edges x→v;
-                // undirected propagation pushes v's value to x.
-                self.relax(v, s.dst, s.data, val, next, changed);
-                relaxed += 1;
-            }
+            // In-list entries of v are (x, w) for stored edges x→v;
+            // undirected propagation pushes v's value to x.
+            let (next_ref, changed_ref, relaxed_ref) = (&mut *next, &mut *changed, &mut relaxed);
+            self.store.scan_in(v, &mut |x, w, _| {
+                self.relax(v, x, w, val, next_ref, changed_ref);
+                *relaxed_ref += 1;
+            });
         }
         relaxed
     }
 
-    /// Frontier edge mass: slot counts (tombstones included — they bound
-    /// the scan work, which is what load balancing needs).
-    fn frontier_slots(&self, frontier: &[VertexId]) -> usize {
-        frontier
-            .iter()
-            .map(|&v| {
-                let mut n = self.store.out(v).slots().len();
-                if self.undirected() {
-                    n += self.store.inn(v).slots().len();
-                }
-                n
-            })
-            .sum()
+    /// Frontier edge mass: scan-position counts (backends may include
+    /// tombstones — they bound the scan work, which is what load
+    /// balancing needs). Stops counting once the sum exceeds `cap`:
+    /// on backends without positional scans, `out_slots` itself costs
+    /// a degree scan, and past the sequential-grain threshold the
+    /// exact number no longer influences any decision there.
+    fn frontier_slots(&self, frontier: &[VertexId], cap: usize) -> usize {
+        let mut total = 0usize;
+        for &v in frontier {
+            total += self.store.out_slots(v);
+            if self.undirected() {
+                total += self.store.in_slots(v);
+            }
+            if total > cap {
+                return total;
+            }
+        }
+        total
     }
 
     /// Fully sequential worklist propagation.
@@ -170,11 +176,7 @@ impl<'a, I: EdgeIndex> PushCtx<'a, I> {
         result.changed = changed;
     }
 
-    fn run_vertex_parallel(
-        &self,
-        frontier: &[VertexId],
-        bufs: &[Mutex<WorkerBuf>],
-    ) {
+    fn run_vertex_parallel(&self, frontier: &[VertexId], bufs: &[Mutex<WorkerBuf>]) {
         self.pool
             .run_ranges(frontier.len(), self.config.parallel_grain, |w, range| {
                 let mut buf = bufs[w].lock();
@@ -189,20 +191,20 @@ impl<'a, I: EdgeIndex> PushCtx<'a, I> {
             });
     }
 
-    fn run_edge_parallel(
-        &self,
-        frontier: &[VertexId],
-        bufs: &[Mutex<WorkerBuf>],
-    ) {
-        // Prefix sums over per-vertex slot counts so a global edge index
-        // maps to (vertex, local slot).
+    fn run_edge_parallel(&self, frontier: &[VertexId], bufs: &[Mutex<WorkerBuf>]) {
+        // Prefix sums over per-vertex scan-position counts so a global
+        // edge index maps to (vertex, local position). Positions are
+        // stable: the push phases never mutate graph structure.
         let mut prefix = Vec::with_capacity(frontier.len() + 1);
         prefix.push(0usize);
         let mut total = 0usize;
+        let mut out_lens = Vec::with_capacity(frontier.len());
         for &v in frontier {
-            let mut n = self.store.out(v).slots().len();
+            let out_n = self.store.out_slots(v);
+            out_lens.push(out_n);
+            let mut n = out_n;
             if self.undirected() {
-                n += self.store.inn(v).slots().len();
+                n += self.store.in_slots(v);
             }
             total += n;
             prefix.push(total);
@@ -215,7 +217,7 @@ impl<'a, I: EdgeIndex> PushCtx<'a, I> {
                 changed,
                 edges,
             } = &mut *buf;
-            // First vertex whose slot range intersects `range`.
+            // First vertex whose position range intersects `range`.
             let mut vi = prefix.partition_point(|&p| p <= range.start) - 1;
             let mut pos = range.start;
             while pos < range.end && vi < frontier.len() {
@@ -226,28 +228,25 @@ impl<'a, I: EdgeIndex> PushCtx<'a, I> {
                 let hi = (range.end.min(v_end)) - v_start;
                 if lo < hi {
                     let val = self.tree.value(v);
-                    let out = self.store.out(v);
-                    let out_len = out.slots().len();
-                    // Out-slot portion of [lo, hi).
+                    let out_len = out_lens[vi];
+                    // Out-position portion of [lo, hi).
                     let out_hi = hi.min(out_len);
-                    for s in &out.slots()[lo.min(out_len)..out_hi] {
-                        if s.count > 0 {
-                            self.relax(v, s.dst, s.data, val, next, changed);
-                        }
-                        *edges += 1;
+                    if lo < out_hi {
+                        let (next_ref, changed_ref) = (&mut *next, &mut *changed);
+                        self.store.scan_out_range(v, lo, out_hi, &mut |d, w, _| {
+                            self.relax(v, d, w, val, next_ref, changed_ref);
+                        });
+                        *edges += (out_hi - lo) as u64;
                     }
-                    drop(out);
-                    // In-slot portion (undirected only).
+                    // In-position portion (undirected only).
                     if self.undirected() && hi > out_len {
-                        let inn = self.store.inn(v);
                         let ilo = lo.max(out_len) - out_len;
                         let ihi = hi - out_len;
-                        for s in &inn.slots()[ilo..ihi] {
-                            if s.count > 0 {
-                                self.relax(v, s.dst, s.data, val, next, changed);
-                            }
-                            *edges += 1;
-                        }
+                        let (next_ref, changed_ref) = (&mut *next, &mut *changed);
+                        self.store.scan_in_range(v, ilo, ihi, &mut |x, w, _| {
+                            self.relax(v, x, w, val, next_ref, changed_ref);
+                        });
+                        *edges += (ihi - ilo) as u64;
                     }
                 }
                 pos = v_end;
@@ -268,39 +267,42 @@ impl<'a, I: EdgeIndex> PushCtx<'a, I> {
             in_frontier.set(v);
         }
         let undirected = self.undirected();
-        self.pool.run_ranges(cap, self.config.parallel_grain.max(256), |w, range| {
-            let mut buf = bufs[w].lock();
-            let WorkerBuf {
-                next,
-                changed,
-                edges,
-            } = &mut *buf;
-            for v in range.start as u64..range.end as u64 {
-                if !self.store.vertex_exists(v) {
-                    continue;
-                }
-                {
-                    let inn = self.store.inn(v);
-                    for s in inn.iter_live() {
-                        *edges += 1;
-                        if in_frontier.get(s.dst) {
-                            let sv = self.tree.value(s.dst);
-                            self.relax(s.dst, v, s.data, sv, next, changed);
-                        }
+        self.pool
+            .run_ranges(cap, self.config.parallel_grain.max(256), |w, range| {
+                let mut buf = bufs[w].lock();
+                let WorkerBuf {
+                    next,
+                    changed,
+                    edges,
+                } = &mut *buf;
+                for v in range.start as u64..range.end as u64 {
+                    if !self.store.vertex_exists(v) {
+                        continue;
+                    }
+                    {
+                        let (next_ref, changed_ref, edges_ref) =
+                            (&mut *next, &mut *changed, &mut *edges);
+                        self.store.scan_in(v, &mut |x, w, _| {
+                            *edges_ref += 1;
+                            if in_frontier.get(x) {
+                                let sv = self.tree.value(x);
+                                self.relax(x, v, w, sv, next_ref, changed_ref);
+                            }
+                        });
+                    }
+                    if undirected {
+                        let (next_ref, changed_ref, edges_ref) =
+                            (&mut *next, &mut *changed, &mut *edges);
+                        self.store.scan_out(v, &mut |x, w, _| {
+                            *edges_ref += 1;
+                            if in_frontier.get(x) {
+                                let sv = self.tree.value(x);
+                                self.relax(x, v, w, sv, next_ref, changed_ref);
+                            }
+                        });
                     }
                 }
-                if undirected {
-                    let out = self.store.out(v);
-                    for s in out.iter_live() {
-                        *edges += 1;
-                        if in_frontier.get(s.dst) {
-                            let sv = self.tree.value(s.dst);
-                            self.relax(s.dst, v, s.data, sv, next, changed);
-                        }
-                    }
-                }
-            }
-        });
+            });
     }
 
     /// Run propagation to fixpoint from `frontier`.
@@ -346,13 +348,33 @@ impl<'a, I: EdgeIndex> PushCtx<'a, I> {
                 frontier = next;
                 continue;
             }
-            let slots = self.frontier_slots(&frontier);
+            // Positional backends count slots in O(1) per vertex — take
+            // the exact mass for the classifier. Others pay a degree
+            // scan per vertex, and their mode is pinned to
+            // vertex-parallel anyway, so counting stops at the
+            // sequential-grain threshold.
+            let count_cap = if self.store.has_positional_scans() {
+                usize::MAX
+            } else {
+                self.config.sequential_grain
+            };
+            let slots = self.frontier_slots(&frontier, count_cap);
             if slots <= self.config.sequential_grain {
                 self.run_sequential(frontier, result);
                 return;
             }
             let mode = self.config.forced_mode.unwrap_or_else(|| {
-                self.config.classifier.choose(frontier.len(), slots)
+                // Edge-parallel partitions positional sub-ranges of each
+                // vertex's edges; on backends without O(range) positional
+                // scans (IO_*, OOC) every chunk would rescan the whole
+                // adjacency, so the hybrid choice stays vertex-parallel
+                // there. Forced modes (Figure 13 ablations, tests) are
+                // honoured — the range scans are correct, just slower.
+                if self.store.has_positional_scans() {
+                    self.config.classifier.choose(frontier.len(), slots)
+                } else {
+                    PushMode::VertexParallel
+                }
             });
             let threads = self.pool.threads();
             let mut bufs: Vec<Mutex<WorkerBuf>> = Vec::with_capacity(threads);
@@ -389,22 +411,22 @@ mod tests {
     use super::*;
     use risgraph_algorithms::{Bfs, Sssp, Wcc};
     use risgraph_common::ids::Edge as E;
-    use risgraph_storage::HashIndex;
+    use risgraph_storage::{GraphStore, HashIndex, IndexOnlyStore};
     use std::sync::Arc;
 
-    fn setup(
-        edges: &[(u64, u64, u64)],
-        n: usize,
-    ) -> (GraphStore<HashIndex>, Arc<WorkerPool>) {
-        let store = GraphStore::with_capacity(n);
+    // The helpers are generic over `G: DynamicGraph`, exactly like the
+    // production engine: push-mode correctness is checked through the
+    // trait on both an IA and an IO backend, so no test can silently
+    // depend on GraphStore-only behaviour.
+
+    fn fill<G: DynamicGraph>(store: &G, edges: &[(u64, u64, u64)]) {
         for &(s, d, w) in edges {
             store.insert_edge(E::new(s, d, w)).unwrap();
         }
-        (store, Arc::new(WorkerPool::new(4)))
     }
 
-    fn run_push(
-        store: &GraphStore<HashIndex>,
+    fn run_push<G: DynamicGraph>(
+        store: &G,
         alg: &dyn Monotonic<Value = u64>,
         tree: &TreeStore,
         pool: &WorkerPool,
@@ -422,15 +444,15 @@ mod tests {
         ctx.propagate(frontier)
     }
 
-    fn full_compute(
-        store: &GraphStore<HashIndex>,
+    fn full_compute<G: DynamicGraph>(
+        store: &G,
         alg: &dyn Monotonic<Value = u64>,
         tree: &TreeStore,
         pool: &WorkerPool,
         config: &PushConfig,
     ) {
         let mut seeds = Vec::new();
-        store.for_each_vertex(|v| seeds.push(v));
+        store.for_each_vertex(&mut |v| seeds.push(v));
         run_push(store, alg, tree, pool, config, seeds);
     }
 
@@ -448,13 +470,13 @@ mod tests {
             .collect()
     }
 
-    fn check_alg<A: Monotonic<Value = u64> + Copy>(
+    fn check_alg<G: DynamicGraph, A: Monotonic<Value = u64> + Copy>(
         alg: A,
         mode: Option<PushMode>,
         sequential_grain: usize,
         edges: &[(u64, u64, u64)],
         n: u64,
-        store: &GraphStore<HashIndex>,
+        store: &G,
         pool: &WorkerPool,
     ) {
         let config = PushConfig {
@@ -470,19 +492,36 @@ mod tests {
             assert_eq!(
                 tree.value(v),
                 want[v as usize],
-                "{} mode={mode:?} vertex {v}",
+                "{} {} mode={mode:?} vertex {v}",
+                store.backend_name(),
                 alg.name()
             );
         }
     }
 
+    fn check_mode_on<G: DynamicGraph>(
+        store: &G,
+        pool: &WorkerPool,
+        edges: &[(u64, u64, u64)],
+        n: u64,
+        mode: Option<PushMode>,
+        sequential_grain: usize,
+    ) {
+        check_alg(Bfs::new(0), mode, sequential_grain, edges, n, store, pool);
+        check_alg(Sssp::new(0), mode, sequential_grain, edges, n, store, pool);
+        check_alg(Wcc::new(), mode, sequential_grain, edges, n, store, pool);
+    }
+
     fn check_mode(mode: Option<PushMode>, sequential_grain: usize) {
         let n = 300u64;
         let edges = random_graph(n, 2000, 42);
-        let (store, pool) = setup(&edges, n as usize);
-        check_alg(Bfs::new(0), mode, sequential_grain, &edges, n, &store, &pool);
-        check_alg(Sssp::new(0), mode, sequential_grain, &edges, n, &store, &pool);
-        check_alg(Wcc::new(), mode, sequential_grain, &edges, n, &store, &pool);
+        let pool = WorkerPool::new(4);
+        let ia: GraphStore<HashIndex> = GraphStore::with_capacity(n as usize);
+        fill(&ia, &edges);
+        check_mode_on(&ia, &pool, &edges, n, mode, sequential_grain);
+        let io: IndexOnlyStore<HashIndex> = IndexOnlyStore::with_capacity(n as usize);
+        fill(&io, &edges);
+        check_mode_on(&io, &pool, &edges, n, mode, sequential_grain);
     }
 
     #[test]
@@ -509,7 +548,9 @@ mod tests {
     fn parent_pointers_certify_values_after_push() {
         let n = 200u64;
         let edges = random_graph(n, 1200, 7);
-        let (store, pool) = setup(&edges, n as usize);
+        let store: GraphStore<HashIndex> = GraphStore::with_capacity(n as usize);
+        fill(&store, &edges);
+        let pool = Arc::new(WorkerPool::new(4));
         let config = PushConfig::default();
         let alg = Sssp::new(0);
         let tree = TreeStore::new(n as usize, move |v| alg.init_val(v));
@@ -532,7 +573,9 @@ mod tests {
     fn changed_records_capture_pre_update_values() {
         // Graph 0→1→2; frontier from fresh init state must record every
         // reached vertex exactly once with its init value as `old`.
-        let (store, pool) = setup(&[(0, 1, 0), (1, 2, 0)], 4);
+        let store: GraphStore<HashIndex> = GraphStore::with_capacity(4);
+        fill(&store, &[(0, 1, 0), (1, 2, 0)]);
+        let pool = Arc::new(WorkerPool::new(4));
         let alg = Bfs::new(0);
         let tree = TreeStore::new(4, move |v| alg.init_val(v));
         let config = PushConfig::default();
@@ -548,7 +591,9 @@ mod tests {
 
     #[test]
     fn empty_frontier_is_noop() {
-        let (store, pool) = setup(&[(0, 1, 0)], 4);
+        let store: IndexOnlyStore<HashIndex> = IndexOnlyStore::with_capacity(4);
+        fill(&store, &[(0, 1, 0)]);
+        let pool = Arc::new(WorkerPool::new(4));
         let alg = Bfs::new(0);
         let tree = TreeStore::new(4, move |v| alg.init_val(v));
         let result = run_push(&store, &alg, &tree, &pool, &PushConfig::default(), vec![]);
@@ -562,7 +607,7 @@ mod pull_tests {
     use super::*;
     use risgraph_algorithms::{Bfs, Wcc};
     use risgraph_common::ids::Edge as E;
-    use risgraph_storage::HashIndex;
+    use risgraph_storage::{GraphStore, HashIndex};
     use std::sync::Arc;
 
     #[test]
@@ -645,7 +690,10 @@ mod pull_tests {
             epoch: 1,
         };
         let result = ctx.propagate(vec![0, 1]);
-        assert_eq!(result.iterations, 0, "fully sequential: no parallel iterations");
+        assert_eq!(
+            result.iterations, 0,
+            "fully sequential: no parallel iterations"
+        );
         assert_eq!(tree.value(1), 1);
     }
 }

@@ -142,9 +142,7 @@ impl Scheduler {
         } else {
             self.threshold *= self.config.decrease;
         }
-        self.threshold = self
-            .threshold
-            .clamp(1.0, self.config.max_threshold as f64);
+        self.threshold = self.threshold.clamp(1.0, self.config.max_threshold as f64);
         self.qualified = 0;
         self.total = 0;
     }

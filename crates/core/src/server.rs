@@ -33,10 +33,11 @@ use parking_lot::{Mutex, RwLock};
 use risgraph_common::hash::FxHashMap;
 use risgraph_common::ids::{Edge, Update, VersionId, VertexId};
 use risgraph_common::{Error, Result};
-use risgraph_storage::index::EdgeIndex;
-use risgraph_storage::HashIndex;
+use risgraph_storage::{AnyStore, BackendKind, StoreConfig};
 
-use crate::engine::{ChangeRecord, ChangeSet, DynAlgorithm, Engine, EngineConfig, SafeApply, Safety};
+use crate::engine::{
+    ChangeRecord, ChangeSet, DynAlgorithm, Engine, EngineConfig, SafeApply, Safety,
+};
 use crate::history::HistoryStore;
 use crate::scheduler::{Scheduler, SchedulerConfig};
 use crate::tree::Value;
@@ -47,6 +48,11 @@ use crate::wal::{replay, WalWriter};
 pub struct ServerConfig {
     /// Engine tuning.
     pub engine: EngineConfig,
+    /// Storage backend (§6.3's comparison matrix): the server
+    /// enum-dispatches over [`AnyStore`] so sessions, the WAL and the
+    /// history store stay non-generic while any Table 8/9 layout — or
+    /// the out-of-core prototype — serves the same traffic.
+    pub backend: BackendKind,
     /// Scheduler tuning (latency limit etc.).
     pub scheduler: SchedulerConfig,
     /// Enable the write-ahead log at this path (replayed on startup).
@@ -70,6 +76,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             engine: EngineConfig::default(),
+            backend: BackendKind::default(),
             scheduler: SchedulerConfig::default(),
             wal_path: None,
             enable_history: true,
@@ -161,8 +168,8 @@ pub struct ServerStats {
     pub queue_ns: AtomicU64,
 }
 
-struct Shared<I: EdgeIndex> {
-    engine: Engine<I>,
+struct Shared {
+    engine: Engine<AnyStore>,
     history: Vec<Mutex<HistoryStore>>,
     version: AtomicU64,
     injector: Sender<Envelope>,
@@ -176,7 +183,7 @@ struct Shared<I: EdgeIndex> {
     enable_history: bool,
 }
 
-impl<I: EdgeIndex> Shared<I> {
+impl Shared {
     fn check_version(&self, version: VersionId) -> Result<()> {
         if version > self.version.load(Ordering::Acquire) {
             return Err(Error::VersionNotFound(version));
@@ -186,12 +193,12 @@ impl<I: EdgeIndex> Shared<I> {
 }
 
 /// The RisGraph interactive server.
-pub struct Server<I: EdgeIndex + 'static = HashIndex> {
-    shared: Arc<Shared<I>>,
+pub struct Server {
+    shared: Arc<Shared>,
     coordinator: Option<std::thread::JoinHandle<()>>,
 }
 
-impl<I: EdgeIndex + 'static> Server<I> {
+impl Server {
     /// Start a server maintaining `algorithms` with the given capacity.
     /// If a WAL exists at the configured path it is replayed first.
     pub fn start(
@@ -200,7 +207,15 @@ impl<I: EdgeIndex + 'static> Server<I> {
         config: ServerConfig,
     ) -> Result<Self> {
         let num_algos = algorithms.len();
-        let engine: Engine<I> = Engine::new(algorithms, capacity, config.engine.clone());
+        let store = AnyStore::open(
+            &config.backend,
+            capacity,
+            StoreConfig {
+                index_threshold: config.engine.index_threshold,
+                auto_create_vertices: true,
+            },
+        )?;
+        let engine = Engine::from_store(store, algorithms, config.engine.clone());
 
         let mut wal = None;
         if let Some(path) = &config.wal_path {
@@ -257,7 +272,7 @@ impl<I: EdgeIndex + 'static> Server<I> {
     }
 
     /// Open a new session.
-    pub fn session(&self) -> Session<I> {
+    pub fn session(&self) -> Session {
         let id = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
         self.shared.released.lock().insert(id, 0);
         let (reply_tx, reply_rx) = unbounded();
@@ -270,7 +285,7 @@ impl<I: EdgeIndex + 'static> Server<I> {
     }
 
     /// Direct engine access (benchmarks, tests).
-    pub fn engine(&self) -> &Engine<I> {
+    pub fn engine(&self) -> &Engine<AnyStore> {
         &self.shared.engine
     }
 
@@ -297,21 +312,21 @@ impl<I: EdgeIndex + 'static> Server<I> {
     }
 }
 
-impl<I: EdgeIndex + 'static> Drop for Server<I> {
+impl Drop for Server {
     fn drop(&mut self) {
         self.do_shutdown();
     }
 }
 
 /// A client session (an emulated synchronous user, §6.2).
-pub struct Session<I: EdgeIndex + 'static = HashIndex> {
+pub struct Session {
     id: u64,
-    shared: Arc<Shared<I>>,
+    shared: Arc<Shared>,
     reply_tx: Sender<Reply>,
     reply_rx: Receiver<Reply>,
 }
 
-impl<I: EdgeIndex + 'static> Session<I> {
+impl Session {
     /// This session's id.
     pub fn id(&self) -> u64 {
         self.id
@@ -378,7 +393,9 @@ impl<I: EdgeIndex + 'static> Session<I> {
         if !self.shared.enable_history {
             return Ok(current);
         }
-        self.shared.history[algo].lock().value_at(version, v, current)
+        self.shared.history[algo]
+            .lock()
+            .value_at(version, v, current)
     }
 
     /// `get_parent(version_id, vertex_id) → edge`.
@@ -389,7 +406,9 @@ impl<I: EdgeIndex + 'static> Session<I> {
         if !self.shared.enable_history {
             return Ok(current);
         }
-        self.shared.history[algo].lock().parent_at(version, v, current)
+        self.shared.history[algo]
+            .lock()
+            .parent_at(version, v, current)
     }
 
     /// `get_current_version() → version_id`.
@@ -411,7 +430,7 @@ impl<I: EdgeIndex + 'static> Session<I> {
     }
 }
 
-impl<I: EdgeIndex + 'static> Drop for Session<I> {
+impl Drop for Session {
     fn drop(&mut self) {
         // A closed session must not hold back GC.
         self.shared.released.lock().remove(&self.id);
@@ -471,8 +490,8 @@ struct EpochBuf {
     unsafe_queue: VecDeque<Envelope>,
 }
 
-fn coordinator_loop<I: EdgeIndex + 'static>(
-    shared: Arc<Shared<I>>,
+fn coordinator_loop(
+    shared: Arc<Shared>,
     rx: Receiver<Envelope>,
     config: ServerConfig,
     mut wal: Option<WalWriter>,
@@ -617,16 +636,15 @@ fn coordinator_loop<I: EdgeIndex + 'static>(
                 }
                 if !demoted_tail.is_empty() || iter.len() > 0 {
                     // Unprocessed suffix returns to the session queue.
-                    let rest: Vec<Envelope> =
-                        demoted_tail.into_iter().chain(collect_envelopes(iter)).collect();
+                    let rest: Vec<Envelope> = demoted_tail
+                        .into_iter()
+                        .chain(collect_envelopes(iter))
+                        .collect();
                     leftovers.lock().push((*sid, rest));
                 }
                 if !local_applied.is_empty() {
                     applied_log.lock().extend(local_applied);
-                    shared
-                        .stats
-                        .safe_executed
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.stats.safe_executed.fetch_add(1, Ordering::Relaxed);
                 }
             });
         }
@@ -745,7 +763,7 @@ enum SafeExec {
     Demoted(Envelope),
 }
 
-fn execute_safe<I: EdgeIndex>(shared: &Shared<I>, env: &Envelope) -> SafeExec {
+fn execute_safe(shared: &Shared, env: &Envelope) -> SafeExec {
     match &env.op {
         Op::Single(u) => match shared.engine.try_apply_safe(u) {
             Ok(SafeApply::Applied) => {
@@ -813,13 +831,13 @@ fn execute_safe<I: EdgeIndex>(shared: &Shared<I>, env: &Envelope) -> SafeExec {
     }
 }
 
-fn rollback_structure<I: EdgeIndex>(shared: &Shared<I>, applied: &[Update]) {
+fn rollback_structure(shared: &Shared, applied: &[Update]) {
     for u in applied.iter().rev() {
         let _ = shared.engine.apply_structure(&inverse(u));
     }
 }
 
-fn execute_unsafe<I: EdgeIndex>(shared: &Shared<I>, env: &Envelope) -> (Reply, Vec<Update>) {
+fn execute_unsafe(shared: &Shared, env: &Envelope) -> (Reply, Vec<Update>) {
     let num_algos = shared.engine.num_algorithms();
     let updates = env.op.updates();
     let mut applied: Vec<Update> = Vec::with_capacity(updates.len());
@@ -1060,7 +1078,11 @@ mod tests {
         let r = s.ins_edge(Edge::new(0, 2, 10));
         let v = r.version;
         assert_eq!(s.get_value(0, v, 2).unwrap(), 1, "BFS");
-        assert_eq!(s.get_value(1, v, 2).unwrap(), 7, "SSSP unchanged (3+4 < 10)");
+        assert_eq!(
+            s.get_value(1, v, 2).unwrap(),
+            7,
+            "SSSP unchanged (3+4 < 10)"
+        );
         assert_eq!(s.get_value(2, v, 2).unwrap(), 10, "SSWP widened");
         srv.shutdown();
     }
@@ -1083,8 +1105,7 @@ mod tests {
         let mut config = ServerConfig::default();
         config.engine.threads = 2;
         config.gc_interval = Duration::from_millis(1);
-        let srv: Server =
-            Server::start(vec![StdArc::new(Bfs::new(0))], 16, config).unwrap();
+        let srv: Server = Server::start(vec![StdArc::new(Bfs::new(0))], 16, config).unwrap();
         srv.load_edges(&[(0, 1, 0)]);
         let s = srv.session();
         let r1 = s.ins_edge(Edge::new(1, 2, 0));

@@ -225,9 +225,7 @@ mod tests {
     #[test]
     fn first_change_flag_tracks_epochs() {
         let t = bfs_like(0);
-        let (_, first) = t
-            .try_update(1, Some((0, 0)), 5, |_| Some(10))
-            .unwrap();
+        let (_, first) = t.try_update(1, Some((0, 0)), 5, |_| Some(10)).unwrap();
         assert!(first);
         let (old, first) = t.try_update(1, Some((0, 0)), 5, |_| Some(9)).unwrap();
         assert!(!first, "same epoch: not the first change");

@@ -64,12 +64,16 @@ fn decode_update(buf: &mut Bytes) -> Result<Update> {
         return Err(Error::Wal("truncated update body".into()));
     }
     Ok(match tag {
-        TAG_INS_EDGE => {
-            Update::InsEdge(Edge::new(buf.get_u64_le(), buf.get_u64_le(), buf.get_u64_le()))
-        }
-        TAG_DEL_EDGE => {
-            Update::DelEdge(Edge::new(buf.get_u64_le(), buf.get_u64_le(), buf.get_u64_le()))
-        }
+        TAG_INS_EDGE => Update::InsEdge(Edge::new(
+            buf.get_u64_le(),
+            buf.get_u64_le(),
+            buf.get_u64_le(),
+        )),
+        TAG_DEL_EDGE => Update::DelEdge(Edge::new(
+            buf.get_u64_le(),
+            buf.get_u64_le(),
+            buf.get_u64_le(),
+        )),
         TAG_INS_VERTEX => Update::InsVertex(buf.get_u64_le()),
         _ => Update::DelVertex(buf.get_u64_le()),
     })
@@ -85,10 +89,7 @@ pub struct WalWriter {
 impl WalWriter {
     /// Open (or create) a log for appending.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)?;
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(WalWriter {
             writer: BufWriter::new(file),
             scratch: BytesMut::new(),

@@ -316,7 +316,10 @@ mod tests {
         let mut small = BloomFilter::default();
         small.insert(1, 1);
         let small_fps = (100..1100u64).filter(|&i| small.may_contain(i, 0)).count();
-        assert!(small_fps < 500, "small filters must stay useful: {small_fps}");
+        assert!(
+            small_fps < 500,
+            "small filters must stay useful: {small_fps}"
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub struct Csr {
 impl Csr {
     /// Build from an edge list; duplicate edges are kept (multiplicity
     /// expands into repeated entries, as raw CSR would store them).
-    pub fn from_edges(num_vertices: usize, edges: impl IntoIterator<Item = (VertexId, VertexId, Weight)>) -> Self {
+    pub fn from_edges(
+        num_vertices: usize,
+        edges: impl IntoIterator<Item = (VertexId, VertexId, Weight)>,
+    ) -> Self {
         let mut degree = vec![0u64; num_vertices];
         let collected: Vec<_> = edges.into_iter().collect();
         for &(s, _, _) in &collected {

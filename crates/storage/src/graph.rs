@@ -1,0 +1,360 @@
+//! The [`DynamicGraph`] storage abstraction.
+//!
+//! The paper's core claim is that *localized data access* makes
+//! per-update incremental analysis fast across storage layouts: §6.3 and
+//! Tables 8/9 compare Indexed-Adjacency (IA_*) stores, index-only (IO_*)
+//! stores and an out-of-core prototype under the same engine workloads.
+//! This trait is the contract that lets one engine drive all of them:
+//!
+//! * **mutation** — multiset edge insert/delete with duplicate counting
+//!   ([`InsertOutcome`]/[`DeleteOutcome`]) and the atomic conditional
+//!   delete ([`DynamicGraph::delete_edge_if`]) that the epoch loop's
+//!   parallel safe phase needs for revalidation (§4);
+//! * **scans** — forward and transpose neighbour iteration
+//!   ([`DynamicGraph::scan_out`]/[`DynamicGraph::scan_in`]), plus
+//!   positional range scans used by edge-parallel push mode for load
+//!   balancing (§3.2);
+//! * **vertex lifecycle** — explicit ids, recycled-id allocation and
+//!   isolation-checked deletion (Table 1's `ins_vertex`/`del_vertex`);
+//! * **capacity & stats** — epoch-boundary growth and the Table 9
+//!   memory accounting.
+//!
+//! Implementations in this crate: [`crate::GraphStore`] (IA_Hash/BTree/
+//! ART), [`crate::index_only::IndexOnlyStore`] (IO_*), and
+//! [`crate::ooc::OocStore`] (the §6.3 out-of-core prototype). The
+//! [`crate::backend::AnyStore`] enum dispatches over all of them for
+//! runtime backend selection.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use risgraph_common::ids::{Edge, VertexId, Weight};
+use risgraph_common::{Error, Result};
+
+use crate::adjacency::{DeleteOutcome, InsertOutcome};
+use crate::store::StoreStats;
+
+/// A mutable multigraph a RisGraph engine can maintain algorithms over.
+///
+/// Object-safe by design: the server tier erases the backend behind the
+/// [`crate::backend::AnyStore`] enum, and scans take `&mut dyn FnMut`
+/// visitors instead of generic closures.
+///
+/// Concurrency contract (mirrors [`crate::GraphStore`]): edge and vertex
+/// operations taking `&self` may run concurrently; capacity growth takes
+/// `&mut self` and happens at epoch boundaries where the engine holds
+/// exclusive access.
+pub trait DynamicGraph: Send + Sync {
+    /// Short backend label ("IA_Hash", "IO_BTree", "OOC", …).
+    fn backend_name(&self) -> &'static str;
+
+    // ---- capacity & vertex lifecycle --------------------------------
+
+    /// Addressable vertex range `0..capacity()`.
+    fn capacity(&self) -> usize;
+
+    /// Grow the vertex table so ids `0..n` are addressable. Requires
+    /// exclusive access (epoch boundaries only).
+    fn ensure_capacity(&mut self, n: usize);
+
+    /// Highest vertex id ever allocated plus one (ids below this may be
+    /// dead; check with [`Self::vertex_exists`]).
+    fn vertex_upper_bound(&self) -> u64;
+
+    /// Count of live vertices.
+    fn num_vertices(&self) -> u64;
+
+    /// Count of live directed edges, duplicates included.
+    fn num_edges(&self) -> u64;
+
+    /// Whether `v` currently exists.
+    fn vertex_exists(&self, v: VertexId) -> bool;
+
+    /// Insert a vertex with a caller-chosen id (`ins_vertex`, Table 1).
+    fn insert_vertex(&self, v: VertexId) -> Result<()>;
+
+    /// Allocate a fresh vertex id, reusing the recycling pool first (§5).
+    fn create_vertex(&self) -> Result<VertexId>;
+
+    /// Delete an isolated vertex (`del_vertex`); fails with
+    /// [`Error::VertexNotIsolated`] while live edges touch it (§4).
+    ///
+    /// The isolation check is best-effort under concurrency: on the
+    /// lock-per-vertex backends a racing edge insertion on `v` from
+    /// another session can interleave with it (the paper's API
+    /// contract makes users delete all incident edges first, so
+    /// sessions do not insert edges on vertices being deleted). The
+    /// OOC backend, serialized by its store mutex, checks atomically.
+    fn delete_vertex(&self, v: VertexId) -> Result<()>;
+
+    // ---- edge mutation ----------------------------------------------
+
+    /// Insert one copy of a directed edge.
+    fn insert_edge(&self, e: Edge) -> Result<InsertOutcome>;
+
+    /// Delete one copy of a directed edge.
+    fn delete_edge(&self, e: Edge) -> Result<DeleteOutcome>;
+
+    /// Delete one copy of `e` only if `pred(current_count)` holds,
+    /// atomically with respect to other operations on `e.src`. This is
+    /// the §4 revalidation primitive: a deletion classified *safe* must
+    /// re-check under the store's synchronization that a duplicate
+    /// remains (a concurrent safe deletion may have consumed it).
+    /// Returns `Ok(None)` when the predicate rejects.
+    fn delete_edge_if(
+        &self,
+        e: Edge,
+        pred: &mut dyn FnMut(u32) -> bool,
+    ) -> Result<Option<DeleteOutcome>>;
+
+    /// Current multiplicity of `e` (0 when absent).
+    fn edge_count(&self, e: Edge) -> u32;
+
+    /// Whether at least one copy of `e` exists.
+    fn contains_edge(&self, e: Edge) -> bool {
+        self.edge_count(e) > 0
+    }
+
+    // ---- scans -------------------------------------------------------
+
+    /// Visit every live out-edge `(dst, weight, count)` of `v`.
+    fn scan_out(&self, v: VertexId, f: &mut dyn FnMut(VertexId, Weight, u32));
+
+    /// Visit every live in-edge `(src, weight, count)` of `v` (the
+    /// transpose scan the incremental model needs for deletion
+    /// recovery, §5).
+    fn scan_in(&self, v: VertexId, f: &mut dyn FnMut(VertexId, Weight, u32));
+
+    /// Live out-degree (distinct edges).
+    fn out_degree(&self, v: VertexId) -> usize;
+
+    /// Live in-degree (distinct edges).
+    fn in_degree(&self, v: VertexId) -> usize;
+
+    /// Total degree (in + out), the `d_k` of the §7 AFF bounds.
+    fn total_degree(&self, v: VertexId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    // ---- positional scans (edge-parallel load balancing) ------------
+
+    /// Whether this backend can scan a positional sub-range of a
+    /// vertex's edges in O(range) — true for contiguous slot arrays
+    /// (the IA stores). Backends that leave the default range scans in
+    /// place pay O(degree) per sub-range call, so the hybrid push
+    /// engine only *chooses* edge-parallel mode when this is true
+    /// (forced modes are honoured regardless — the range scans are
+    /// always correct, just slower).
+    fn has_positional_scans(&self) -> bool {
+        false
+    }
+
+    /// Number of out scan positions for `v`. Positions may include
+    /// tombstones — they bound the scan work, which is what the push
+    /// engine's load balancing partitions over.
+    fn out_slots(&self, v: VertexId) -> usize {
+        self.out_degree(v)
+    }
+
+    /// Number of in scan positions for `v`.
+    fn in_slots(&self, v: VertexId) -> usize {
+        self.in_degree(v)
+    }
+
+    /// Visit the live out-edges among scan positions `lo..hi` of `v`.
+    /// Positions are stable while no mutation runs (the push phases
+    /// never mutate structure).
+    fn scan_out_range(
+        &self,
+        v: VertexId,
+        lo: usize,
+        hi: usize,
+        f: &mut dyn FnMut(VertexId, Weight, u32),
+    ) {
+        let mut pos = 0usize;
+        self.scan_out(v, &mut |d, w, c| {
+            if (lo..hi).contains(&pos) {
+                f(d, w, c);
+            }
+            pos += 1;
+        });
+    }
+
+    /// Visit the live in-edges among scan positions `lo..hi` of `v`.
+    fn scan_in_range(
+        &self,
+        v: VertexId,
+        lo: usize,
+        hi: usize,
+        f: &mut dyn FnMut(VertexId, Weight, u32),
+    ) {
+        let mut pos = 0usize;
+        self.scan_in(v, &mut |d, w, c| {
+            if (lo..hi).contains(&pos) {
+                f(d, w, c);
+            }
+            pos += 1;
+        });
+    }
+
+    // ---- whole-graph access -----------------------------------------
+
+    /// Visit every live vertex id.
+    fn for_each_vertex(&self, f: &mut dyn FnMut(VertexId));
+
+    /// Aggregate statistics (may walk the whole store; not hot-path).
+    fn stats(&self) -> StoreStats;
+
+    /// Persist buffered state (no-op for in-memory backends).
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Shared vertex-lifecycle bookkeeping for backends that don't keep it
+/// inside their adjacency structures (IO_* and OOC): existence bits, the
+/// recycled-id pool of §5, and live/high-water counters.
+pub struct VertexTable {
+    exists: Vec<AtomicBool>,
+    recycled: Mutex<Vec<VertexId>>,
+    next_vertex: AtomicU64,
+    live: AtomicU64,
+}
+
+impl VertexTable {
+    /// A table addressing `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut t = VertexTable {
+            exists: Vec::new(),
+            recycled: Mutex::new(Vec::new()),
+            next_vertex: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+        };
+        t.ensure_capacity(capacity);
+        t
+    }
+
+    /// Addressable range.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.exists.len()
+    }
+
+    /// Grow to address `0..n` (requires exclusive access).
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if n > self.exists.len() {
+            self.exists.resize_with(n, || AtomicBool::new(false));
+        }
+    }
+
+    /// Whether `v` is live.
+    #[inline]
+    pub fn exists(&self, v: VertexId) -> bool {
+        (v as usize) < self.exists.len() && self.exists[v as usize].load(Ordering::Acquire)
+    }
+
+    /// Highest allocated id plus one.
+    #[inline]
+    pub fn upper_bound(&self) -> u64 {
+        self.next_vertex.load(Ordering::Acquire)
+    }
+
+    /// Live vertex count.
+    #[inline]
+    pub fn live(&self) -> u64 {
+        self.live.load(Ordering::Acquire)
+    }
+
+    /// Mark `v` live (idempotent); returns whether it was newly created.
+    /// Caller must have checked capacity.
+    pub fn mark(&self, v: VertexId) -> bool {
+        let newly = !self.exists[v as usize].swap(true, Ordering::AcqRel);
+        if newly {
+            self.live.fetch_add(1, Ordering::AcqRel);
+            self.next_vertex.fetch_max(v + 1, Ordering::AcqRel);
+        }
+        newly
+    }
+
+    /// Explicit-id insertion with the Table 1 error contract.
+    pub fn insert(&self, v: VertexId) -> Result<()> {
+        if (v as usize) >= self.capacity() {
+            return Err(Error::VertexNotFound(v));
+        }
+        if !self.mark(v) {
+            return Err(Error::VertexExists(v));
+        }
+        Ok(())
+    }
+
+    /// Fresh-id allocation, recycling pool first (§5).
+    pub fn create(&self) -> Result<VertexId> {
+        if let Some(v) = self.recycled.lock().pop() {
+            self.mark(v);
+            return Ok(v);
+        }
+        let v = self.next_vertex.fetch_add(1, Ordering::AcqRel);
+        if (v as usize) >= self.capacity() {
+            self.next_vertex.fetch_sub(1, Ordering::AcqRel);
+            return Err(Error::VertexNotFound(v));
+        }
+        self.exists[v as usize].store(true, Ordering::Release);
+        self.live.fetch_add(1, Ordering::AcqRel);
+        Ok(v)
+    }
+
+    /// Remove `v` (isolation must have been checked by the caller) and
+    /// recycle its id.
+    pub fn remove(&self, v: VertexId) -> Result<()> {
+        if !self.exists(v) {
+            return Err(Error::VertexNotFound(v));
+        }
+        self.exists[v as usize].store(false, Ordering::Release);
+        self.live.fetch_sub(1, Ordering::AcqRel);
+        self.recycled.lock().push(v);
+        Ok(())
+    }
+
+    /// Visit every live id below the high-water mark.
+    pub fn for_each_live(&self, f: &mut dyn FnMut(VertexId)) {
+        let hi = self.upper_bound();
+        for v in 0..hi {
+            if self.exists[v as usize].load(Ordering::Acquire) {
+                f(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_table_lifecycle() {
+        let t = VertexTable::with_capacity(8);
+        assert_eq!(t.live(), 0);
+        let a = t.create().unwrap();
+        let b = t.create().unwrap();
+        assert_ne!(a, b);
+        assert!(t.exists(a));
+        t.remove(a).unwrap();
+        assert!(!t.exists(a));
+        assert_eq!(t.create().unwrap(), a, "recycled id reused");
+        t.insert(5).unwrap();
+        assert!(matches!(t.insert(5), Err(Error::VertexExists(5))));
+        assert_eq!(t.create().unwrap(), 6, "high-water mark respected");
+        assert!(matches!(t.insert(99), Err(Error::VertexNotFound(99))));
+    }
+
+    #[test]
+    fn vertex_table_growth() {
+        let mut t = VertexTable::with_capacity(2);
+        assert!(t.insert(5).is_err());
+        t.ensure_capacity(8);
+        t.insert(5).unwrap();
+        let mut seen = Vec::new();
+        t.for_each_live(&mut |v| seen.push(v));
+        assert_eq!(seen, vec![5]);
+    }
+}

@@ -194,7 +194,10 @@ impl Children {
                 *len += 1;
             }
             Children::N48 { len, index, slots } => {
-                let slot = slots.iter().position(|s| s.is_none()).expect("N48 has room");
+                let slot = slots
+                    .iter()
+                    .position(|s| s.is_none())
+                    .expect("N48 has room");
                 index[b as usize] = slot as u8;
                 slots[slot] = Some(node);
                 *len += 1;
@@ -249,7 +252,11 @@ impl Children {
     fn grow(&mut self) {
         let old = std::mem::replace(self, Children::new4());
         *self = match old {
-            Children::N4 { len, keys, mut slots } => {
+            Children::N4 {
+                len,
+                keys,
+                mut slots,
+            } => {
                 let mut nk = [0u8; 16];
                 let mut ns: [Option<Node>; 16] = Default::default();
                 for i in 0..len as usize {
@@ -262,10 +269,13 @@ impl Children {
                     slots: ns,
                 }
             }
-            Children::N16 { len, keys, mut slots } => {
+            Children::N16 {
+                len,
+                keys,
+                mut slots,
+            } => {
                 let mut index = Box::new([0xFFu8; 256]);
-                let mut ns: Box<[Option<Node>; 48]> =
-                    Box::new(std::array::from_fn(|_| None));
+                let mut ns: Box<[Option<Node>; 48]> = Box::new(std::array::from_fn(|_| None));
                 for i in 0..len as usize {
                     index[keys[i] as usize] = i as u8;
                     ns[i] = slots[i].take();
@@ -276,9 +286,12 @@ impl Children {
                     slots: ns,
                 }
             }
-            Children::N48 { len, index, mut slots } => {
-                let mut ns: Box<[Option<Node>; 256]> =
-                    Box::new(std::array::from_fn(|_| None));
+            Children::N48 {
+                len,
+                index,
+                mut slots,
+            } => {
+                let mut ns: Box<[Option<Node>; 256]> = Box::new(std::array::from_fn(|_| None));
                 for b in 0..256usize {
                     let i = index[b];
                     if i != 0xFF {
@@ -308,7 +321,11 @@ impl Children {
         }
         let old = std::mem::replace(self, Children::new4());
         *self = match old {
-            Children::N16 { len, keys, mut slots } => {
+            Children::N16 {
+                len,
+                keys,
+                mut slots,
+            } => {
                 let mut nk = [0u8; 4];
                 let mut ns: [Option<Node>; 4] = [None, None, None, None];
                 for i in 0..len as usize {
@@ -321,7 +338,11 @@ impl Children {
                     slots: ns,
                 }
             }
-            Children::N48 { len, index, mut slots } => {
+            Children::N48 {
+                len,
+                index,
+                mut slots,
+            } => {
                 let mut nk = [0u8; 16];
                 let mut ns: [Option<Node>; 16] = Default::default();
                 let mut j = 0usize;
@@ -341,8 +362,7 @@ impl Children {
             }
             Children::N256 { len, mut slots } => {
                 let mut index = Box::new([0xFFu8; 256]);
-                let mut ns: Box<[Option<Node>; 48]> =
-                    Box::new(std::array::from_fn(|_| None));
+                let mut ns: Box<[Option<Node>; 48]> = Box::new(std::array::from_fn(|_| None));
                 let mut j = 0usize;
                 for b in 0..256usize {
                     if let Some(n) = slots[b].take() {
@@ -430,7 +450,6 @@ pub struct ArtIndex {
     len: usize,
 }
 
-
 impl ArtIndex {
     fn insert_rec(node: &mut Node, key: &[u8; KEY_LEN], depth: usize, value: u32) -> Option<u32> {
         match node {
@@ -469,8 +488,7 @@ impl ArtIndex {
                     let old_b = inner.prefix.as_slice()[matched];
                     let rest = Prefix::from_slice(&inner.prefix.as_slice()[matched + 1..]);
                     let split_prefix = Prefix::from_slice(&key[depth..depth + matched]);
-                    let old_children =
-                        std::mem::replace(&mut inner.children, Children::new4());
+                    let old_children = std::mem::replace(&mut inner.children, Children::new4());
                     let old_node = Node::Inner(Box::new(Inner {
                         prefix: rest,
                         children: old_children,
@@ -584,7 +602,9 @@ impl ArtIndex {
                 f(d, w, leaf.value);
             }
             Node::Inner(inner) => {
-                inner.children.for_each_child(&mut |c| Self::for_each_rec(c, f));
+                inner
+                    .children
+                    .for_each_child(&mut |c| Self::for_each_rec(c, f));
             }
         }
     }
@@ -658,8 +678,7 @@ impl EdgeIndex for ArtIndex {
     }
 
     fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.root.as_ref().map_or(0, Self::memory_rec)
+        std::mem::size_of::<Self>() + self.root.as_ref().map_or(0, Self::memory_rec)
     }
 }
 

@@ -6,47 +6,37 @@
 //! array, which costs unsafe updates dearly — IA_Hash keeps a 17%
 //! advantage on unsafe updates. This module exists to reproduce that
 //! trade-off.
+//!
+//! [`IndexOnlyStore`] implements the full [`DynamicGraph`] contract, so
+//! the engine, server and benches drive it exactly like the IA stores:
+//! per-vertex `(dst, weight) → duplicate-count` indexes in both
+//! directions, a shared [`VertexTable`] for the vertex lifecycle, and
+//! out-before-in lock ordering matching [`crate::GraphStore`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 use risgraph_common::ids::{Edge, VertexId, Weight};
 use risgraph_common::{Error, Result};
 
 use crate::adjacency::{DeleteOutcome, InsertOutcome};
+use crate::graph::{DynamicGraph, VertexTable};
 use crate::index::EdgeIndex;
-
-/// Minimal scan interface shared by IA and IO stores so benchmark kernels
-/// (e.g. the Table 8 incremental BFS) can run over either layout.
-pub trait OutEdgeScan: Send + Sync {
-    /// Visit every live out-edge `(dst, weight, count)` of `v`.
-    fn scan_out(&self, v: VertexId, f: &mut dyn FnMut(VertexId, Weight, u32));
-    /// Live out-degree (distinct edges).
-    fn scan_out_degree(&self, v: VertexId) -> usize;
-}
-
-impl<I: EdgeIndex> OutEdgeScan for crate::store::GraphStore<I> {
-    fn scan_out(&self, v: VertexId, f: &mut dyn FnMut(VertexId, Weight, u32)) {
-        for s in self.out(v).iter_live() {
-            f(s.dst, s.data, s.count);
-        }
-    }
-
-    fn scan_out_degree(&self, v: VertexId) -> usize {
-        self.out_degree(v)
-    }
-}
+use crate::store::StoreStats;
 
 /// Per-vertex state: the index *is* the edge container; the `u32` value
 /// holds the duplicate count rather than an array offset.
 #[derive(Default)]
 struct IoAdj<I: EdgeIndex> {
     index: I,
-    live_edges: u64,
 }
 
 /// A graph store that keeps edges only in per-vertex indexes.
 pub struct IndexOnlyStore<I: EdgeIndex> {
     out: Vec<RwLock<IoAdj<I>>>,
     inn: Vec<RwLock<IoAdj<I>>>,
+    vertices: VertexTable,
+    total_edges: AtomicU64,
 }
 
 impl<I: EdgeIndex> IndexOnlyStore<I> {
@@ -56,7 +46,12 @@ impl<I: EdgeIndex> IndexOnlyStore<I> {
         let mut inn = Vec::new();
         out.resize_with(capacity, || RwLock::new(IoAdj::default()));
         inn.resize_with(capacity, || RwLock::new(IoAdj::default()));
-        IndexOnlyStore { out, inn }
+        IndexOnlyStore {
+            out,
+            inn,
+            vertices: VertexTable::with_capacity(capacity),
+            total_edges: AtomicU64::new(0),
+        }
     }
 
     /// Addressable vertex range.
@@ -65,7 +60,6 @@ impl<I: EdgeIndex> IndexOnlyStore<I> {
     }
 
     fn bump(adj: &mut IoAdj<impl EdgeIndex>, dst: VertexId, data: Weight) -> InsertOutcome {
-        adj.live_edges += 1;
         match adj.index.get(dst, data) {
             Some(c) => {
                 adj.index.insert(dst, data, c + 1);
@@ -78,29 +72,36 @@ impl<I: EdgeIndex> IndexOnlyStore<I> {
         }
     }
 
-    fn drop_one(adj: &mut IoAdj<impl EdgeIndex>, dst: VertexId, data: Weight) -> Option<DeleteOutcome> {
+    fn drop_one(
+        adj: &mut IoAdj<impl EdgeIndex>,
+        dst: VertexId,
+        data: Weight,
+    ) -> Option<DeleteOutcome> {
         match adj.index.get(dst, data)? {
             0 => None,
             1 => {
                 adj.index.remove(dst, data);
-                adj.live_edges -= 1;
                 Some(DeleteOutcome::Removed)
             }
             c => {
                 adj.index.insert(dst, data, c - 1);
-                adj.live_edges -= 1;
                 Some(DeleteOutcome::Decremented { new_count: c - 1 })
             }
         }
     }
 
-    /// Insert one copy of `e`.
+    /// Insert one copy of `e`, creating endpoints implicitly (like the
+    /// IA store's default configuration, matching the evaluation
+    /// workloads).
     pub fn insert_edge(&self, e: Edge) -> Result<InsertOutcome> {
         if e.src as usize >= self.capacity() || e.dst as usize >= self.capacity() {
             return Err(Error::VertexNotFound(e.src.max(e.dst)));
         }
+        self.vertices.mark(e.src);
+        self.vertices.mark(e.dst);
         let outcome = Self::bump(&mut self.out[e.src as usize].write(), e.dst, e.data);
         Self::bump(&mut self.inn[e.dst as usize].write(), e.src, e.data);
+        self.total_edges.fetch_add(1, Ordering::AcqRel);
         Ok(outcome)
     }
 
@@ -112,7 +113,36 @@ impl<I: EdgeIndex> IndexOnlyStore<I> {
         let outcome = Self::drop_one(&mut self.out[e.src as usize].write(), e.dst, e.data)
             .ok_or(Error::EdgeNotFound(e))?;
         Self::drop_one(&mut self.inn[e.dst as usize].write(), e.src, e.data);
+        self.total_edges.fetch_sub(1, Ordering::AcqRel);
         Ok(outcome)
+    }
+
+    /// Conditional delete under the out-lock (the §4 revalidation
+    /// primitive). Lock order: out before in, like [`crate::GraphStore`].
+    pub fn delete_edge_if(
+        &self,
+        e: Edge,
+        pred: impl FnOnce(u32) -> bool,
+    ) -> Result<Option<DeleteOutcome>> {
+        if e.src as usize >= self.capacity() || e.dst as usize >= self.capacity() {
+            return Err(Error::EdgeNotFound(e));
+        }
+        let mut out = self.out[e.src as usize].write();
+        let count = out.index.get(e.dst, e.data).unwrap_or(0);
+        if count == 0 {
+            return Err(Error::EdgeNotFound(e));
+        }
+        if !pred(count) {
+            return Ok(None);
+        }
+        let outcome = Self::drop_one(&mut out, e.dst, e.data).expect("count checked above");
+        {
+            let mirror = Self::drop_one(&mut self.inn[e.dst as usize].write(), e.src, e.data);
+            debug_assert!(mirror.is_some(), "out/in indexes out of sync for {e:?}");
+        }
+        drop(out);
+        self.total_edges.fetch_sub(1, Ordering::AcqRel);
+        Ok(Some(outcome))
     }
 
     /// Multiplicity of `e` (0 when absent).
@@ -129,7 +159,7 @@ impl<I: EdgeIndex> IndexOnlyStore<I> {
 
     /// Total live edges (duplicates included).
     pub fn num_edges(&self) -> u64 {
-        self.out.iter().map(|a| a.read().live_edges).sum()
+        self.total_edges.load(Ordering::Acquire)
     }
 
     /// Approximate heap bytes of all indexes (both directions).
@@ -142,13 +172,143 @@ impl<I: EdgeIndex> IndexOnlyStore<I> {
     }
 }
 
-impl<I: EdgeIndex> OutEdgeScan for IndexOnlyStore<I> {
-    fn scan_out(&self, v: VertexId, f: &mut dyn FnMut(VertexId, Weight, u32)) {
-        self.out[v as usize].read().index.for_each(&mut |d, w, c| f(d, w, c));
+impl<I: EdgeIndex> DynamicGraph for IndexOnlyStore<I> {
+    fn backend_name(&self) -> &'static str {
+        match I::NAME {
+            "Hash" => "IO_Hash",
+            "BTree" => "IO_BTree",
+            "ART" => "IO_ART",
+            _ => "IO",
+        }
     }
 
-    fn scan_out_degree(&self, v: VertexId) -> usize {
-        self.out[v as usize].read().index.len()
+    fn capacity(&self) -> usize {
+        IndexOnlyStore::capacity(self)
+    }
+
+    fn ensure_capacity(&mut self, n: usize) {
+        if n <= self.out.len() {
+            return;
+        }
+        let n = n.next_power_of_two().max(16);
+        self.out.resize_with(n, || RwLock::new(IoAdj::default()));
+        self.inn.resize_with(n, || RwLock::new(IoAdj::default()));
+        self.vertices.ensure_capacity(n);
+    }
+
+    fn vertex_upper_bound(&self) -> u64 {
+        self.vertices.upper_bound()
+    }
+
+    fn num_vertices(&self) -> u64 {
+        self.vertices.live()
+    }
+
+    fn num_edges(&self) -> u64 {
+        IndexOnlyStore::num_edges(self)
+    }
+
+    fn vertex_exists(&self, v: VertexId) -> bool {
+        self.vertices.exists(v)
+    }
+
+    fn insert_vertex(&self, v: VertexId) -> Result<()> {
+        if (v as usize) >= self.capacity() {
+            return Err(Error::VertexNotFound(v));
+        }
+        self.vertices.insert(v)
+    }
+
+    fn create_vertex(&self) -> Result<VertexId> {
+        self.vertices.create()
+    }
+
+    fn delete_vertex(&self, v: VertexId) -> Result<()> {
+        if !self.vertices.exists(v) {
+            return Err(Error::VertexNotFound(v));
+        }
+        let out_deg = self.out[v as usize].read().index.len();
+        let in_deg = self.inn[v as usize].read().index.len();
+        if out_deg > 0 || in_deg > 0 {
+            return Err(Error::VertexNotIsolated(v));
+        }
+        self.vertices.remove(v)
+    }
+
+    fn insert_edge(&self, e: Edge) -> Result<InsertOutcome> {
+        IndexOnlyStore::insert_edge(self, e)
+    }
+
+    fn delete_edge(&self, e: Edge) -> Result<DeleteOutcome> {
+        IndexOnlyStore::delete_edge(self, e)
+    }
+
+    fn delete_edge_if(
+        &self,
+        e: Edge,
+        pred: &mut dyn FnMut(u32) -> bool,
+    ) -> Result<Option<DeleteOutcome>> {
+        IndexOnlyStore::delete_edge_if(self, e, pred)
+    }
+
+    fn edge_count(&self, e: Edge) -> u32 {
+        IndexOnlyStore::edge_count(self, e)
+    }
+
+    fn scan_out(&self, v: VertexId, f: &mut dyn FnMut(VertexId, Weight, u32)) {
+        if (v as usize) < self.capacity() {
+            self.out[v as usize]
+                .read()
+                .index
+                .for_each(&mut |d, w, c| f(d, w, c));
+        }
+    }
+
+    fn scan_in(&self, v: VertexId, f: &mut dyn FnMut(VertexId, Weight, u32)) {
+        if (v as usize) < self.capacity() {
+            self.inn[v as usize]
+                .read()
+                .index
+                .for_each(&mut |d, w, c| f(d, w, c));
+        }
+    }
+
+    fn out_degree(&self, v: VertexId) -> usize {
+        if (v as usize) < self.capacity() {
+            self.out[v as usize].read().index.len()
+        } else {
+            0
+        }
+    }
+
+    fn in_degree(&self, v: VertexId) -> usize {
+        if (v as usize) < self.capacity() {
+            self.inn[v as usize].read().index.len()
+        } else {
+            0
+        }
+    }
+
+    fn for_each_vertex(&self, f: &mut dyn FnMut(VertexId)) {
+        self.vertices.for_each_live(f);
+    }
+
+    fn stats(&self) -> StoreStats {
+        let mut distinct = 0u64;
+        let mut indexed = 0u64;
+        for adj in &self.out {
+            let n = adj.read().index.len() as u64;
+            distinct += n;
+            indexed += (n > 0) as u64;
+        }
+        StoreStats {
+            vertices: self.num_vertices(),
+            edges: IndexOnlyStore::num_edges(self),
+            distinct_edges: distinct,
+            tombstones: 0,
+            indexed_vertices: indexed,
+            memory_bytes: self.memory_bytes(),
+        }
     }
 }
 
@@ -197,14 +357,25 @@ mod tests {
             io.delete_edge(e).unwrap();
             ia.delete_edge(e).unwrap();
         }
-        let collect = |s: &dyn OutEdgeScan| {
+        // Both backends behind the same trait object: the scans agree.
+        let collect = |s: &dyn DynamicGraph| {
             let mut v = Vec::new();
             s.scan_out(3, &mut |d, w, c| v.push((d, w, c)));
             v.sort_unstable();
             v
         };
         assert_eq!(collect(&io), collect(&ia));
-        assert_eq!(io.scan_out_degree(3), ia.scan_out_degree(3));
+        assert_eq!(
+            DynamicGraph::out_degree(&io, 3),
+            DynamicGraph::out_degree(&ia, 3)
+        );
+        let collect_in = |s: &dyn DynamicGraph| {
+            let mut v = Vec::new();
+            s.scan_in(7, &mut |d, w, c| v.push((d, w, c)));
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(collect_in(&io), collect_in(&ia));
     }
 
     #[test]
@@ -213,5 +384,68 @@ mod tests {
         assert!(s.insert_edge(Edge::new(10, 0, 0)).is_err());
         assert!(s.delete_edge(Edge::new(0, 10, 0)).is_err());
         assert_eq!(s.edge_count(Edge::new(10, 0, 0)), 0);
+    }
+
+    #[test]
+    fn vertex_lifecycle_and_isolation() {
+        let s: IndexOnlyStore<HashIndex> = IndexOnlyStore::with_capacity(16);
+        s.insert_edge(Edge::new(1, 2, 0)).unwrap();
+        assert_eq!(s.num_vertices(), 2, "endpoints auto-created");
+        assert!(matches!(
+            s.delete_vertex(1),
+            Err(Error::VertexNotIsolated(1))
+        ));
+        s.delete_edge(Edge::new(1, 2, 0)).unwrap();
+        s.delete_vertex(1).unwrap();
+        s.delete_vertex(2).unwrap();
+        assert_eq!(s.num_vertices(), 0);
+        let v = s.create_vertex().unwrap();
+        assert!(s.vertex_exists(v));
+    }
+
+    #[test]
+    fn conditional_delete_respects_predicate() {
+        let s: IndexOnlyStore<HashIndex> = IndexOnlyStore::with_capacity(8);
+        let e = Edge::new(1, 2, 0);
+        s.insert_edge(e).unwrap();
+        s.insert_edge(e).unwrap();
+        assert_eq!(s.delete_edge_if(e, |_| false).unwrap(), None);
+        assert!(matches!(
+            s.delete_edge_if(e, |c| c > 1).unwrap(),
+            Some(DeleteOutcome::Decremented { new_count: 1 })
+        ));
+        assert_eq!(s.delete_edge_if(e, |c| c > 1).unwrap(), None);
+        assert!(s.delete_edge_if(Edge::new(1, 9, 0), |_| true).is_err());
+        // Transpose stays in sync through the conditional path.
+        assert_eq!(DynamicGraph::in_degree(&s, 2), 1);
+        assert!(matches!(
+            s.delete_edge_if(e, |_| true).unwrap(),
+            Some(DeleteOutcome::Removed)
+        ));
+        assert_eq!(DynamicGraph::in_degree(&s, 2), 0);
+        assert_eq!(s.num_edges(), 0);
+    }
+
+    #[test]
+    fn capacity_grows() {
+        let mut s: IndexOnlyStore<HashIndex> = IndexOnlyStore::with_capacity(4);
+        assert!(s.insert_edge(Edge::new(100, 2, 0)).is_err());
+        DynamicGraph::ensure_capacity(&mut s, 128);
+        s.insert_edge(Edge::new(100, 2, 0)).unwrap();
+        assert!(s.contains_edge(Edge::new(100, 2, 0)));
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let s: IndexOnlyStore<HashIndex> = IndexOnlyStore::with_capacity(16);
+        for i in 0..10 {
+            s.insert_edge(Edge::new(0, i, 0)).unwrap();
+        }
+        s.delete_edge(Edge::new(0, 3, 0)).unwrap();
+        let st = DynamicGraph::stats(&s);
+        assert_eq!(st.vertices, 10);
+        assert_eq!(st.edges, 9);
+        assert_eq!(st.distinct_edges, 9);
+        assert!(st.memory_bytes > 0);
     }
 }

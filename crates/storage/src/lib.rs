@@ -9,22 +9,48 @@
 //! multiplicity count; deleted edges become tombstones that are recycled
 //! when the array doubles.
 //!
+//! ## The backend matrix
+//!
+//! Every store implements [`DynamicGraph`], the storage contract the
+//! engine/server tier is generic over, so one engine drives the full
+//! §6.3 / Table 8/9 comparison — selected at runtime with
+//! `--store <backend>` on the CLI or [`BackendKind`] in [`backend`]:
+//!
+//! | backend | CLI spelling | layout |
+//! |---------|--------------|--------|
+//! | [`GraphStore<HashIndex>`] | `ia-hash` | Indexed Adjacency Lists, hash indexes (paper default) |
+//! | [`GraphStore<BTreeIndex>`] | `ia-btree` | Indexed Adjacency Lists, B-tree indexes |
+//! | [`GraphStore<ArtIndex>`] | `ia-art` | Indexed Adjacency Lists, ART indexes |
+//! | [`index_only::IndexOnlyStore<HashIndex>`] | `io-hash` | edges only in per-vertex indexes |
+//! | [`index_only::IndexOnlyStore<BTreeIndex>`] | `io-btree` | ditto, B-tree |
+//! | [`index_only::IndexOnlyStore<ArtIndex>`] | `io-art` | ditto, ART |
+//! | [`ooc::OocStore`] | `ooc` | 4 KiB file-block chains + LRU cache (§6.3 out-of-core prototype) |
+//!
+//! [`backend::AnyStore`] enum-dispatches the trait over all of them so
+//! the server stays a single concrete type.
+//!
 //! The [`index`] module provides the three index families evaluated in
-//! Table 8/9 (Hash, BTree, ART), [`index_only`] the IO_* store variants,
-//! and [`baseline`] the scan-based and bloom-filter ingest baselines used
-//! to reproduce Figure 4. [`csr`] builds immutable CSR snapshots for the
-//! recompute baselines and for differential-testing the mutable store.
+//! Table 8/9 (Hash, BTree, ART), and [`baseline`] the scan-based and
+//! bloom-filter ingest baselines used to reproduce Figure 4. [`csr`]
+//! builds immutable CSR snapshots for the recompute baselines and for
+//! differential-testing the mutable stores.
 
 pub mod adjacency;
+pub mod backend;
 pub mod baseline;
 pub mod csr;
+pub mod graph;
 pub mod index;
 pub mod index_only;
 pub mod ooc;
 pub mod store;
 
 pub use adjacency::{AdjacencyList, DeleteOutcome, EdgeSlot, InsertOutcome};
+pub use backend::{AnyStore, BackendKind};
+pub use graph::{DynamicGraph, VertexTable};
 pub use index::{art::ArtIndex, btree::BTreeIndex, hash::HashIndex, EdgeIndex};
+pub use index_only::IndexOnlyStore;
+pub use ooc::OocStore;
 pub use store::{GraphStore, StoreConfig, StoreStats};
 
 /// Default degree threshold above which a per-vertex index is built

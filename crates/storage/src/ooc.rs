@@ -8,38 +8,65 @@
 //! The paper's prototype relies on `mmap`; staying within the sanctioned
 //! dependency set, this one implements the same structure with explicit
 //! block I/O: adjacency lists live in 4 KiB file blocks chained per
-//! vertex, fronted by a write-back LRU block cache. Edge records keep
-//! the store's `(dst, weight, count)` layout, so the update semantics
-//! (duplicate counting, tombstoning) match the in-memory store exactly —
-//! which the tests verify differentially.
+//! vertex — forward *and* transpose direction, since the incremental
+//! model needs reverse traversal during deletion recovery (§5) — fronted
+//! by a write-back LRU block cache whose recency queue is an intrusive
+//! doubly-linked list (O(1) touch/evict; an earlier revision scanned a
+//! `Vec` linearly on every access, which sat on the hot path of every
+//! block operation).
+//!
+//! Edge records keep the store's `(neighbour, weight, count)` layout, so
+//! update semantics (duplicate counting, tombstoning) match the
+//! in-memory store exactly — which the differential tests verify. The
+//! whole store implements [`DynamicGraph`], so the engine, server and
+//! benches can drive it like any in-memory backend.
+//!
+//! I/O errors against the backing file abort the process (`expect`):
+//! this is a single-file prototype without a recovery story, and
+//! silently dropping updates would corrupt the differential contract.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use risgraph_common::hash::FxHashMap;
 use risgraph_common::ids::{Edge, VertexId, Weight};
 use risgraph_common::{Error, Result};
 
+use crate::adjacency::{DeleteOutcome, InsertOutcome};
+use crate::graph::{DynamicGraph, VertexTable};
+use crate::store::StoreStats;
+
 const BLOCK_SIZE: usize = 4096;
-/// 20-byte records: dst(8) weight(8) count(4).
+/// 20-byte records: neighbour(8) weight(8) count(4).
 const RECORD_SIZE: usize = 20;
 const RECORDS_PER_BLOCK: usize = (BLOCK_SIZE - 4) / RECORD_SIZE; // 4B header: record count
 
 type Block = Box<[u8; BLOCK_SIZE]>;
 
+fn fresh_block() -> Block {
+    vec![0u8; BLOCK_SIZE].into_boxed_slice().try_into().unwrap()
+}
+
 struct CacheEntry {
     data: Block,
     dirty: bool,
+    /// Recency-queue links (block ids): `prev` is toward the LRU end.
+    prev: Option<u32>,
+    next: Option<u32>,
 }
 
+/// Write-back LRU block cache. The recency queue is an intrusive doubly
+/// linked list threaded through the entries map: `head` is the
+/// least-recently-used block, `tail` the most recent; touch and evict
+/// are O(1).
 struct BlockCache {
     file: File,
     entries: FxHashMap<u32, CacheEntry>,
-    /// LRU order, most-recent last. Small linear structure is fine for
-    /// the prototype's cache sizes.
-    order: Vec<u32>,
+    head: Option<u32>,
+    tail: Option<u32>,
     capacity: usize,
     /// Statistics for the §6.3 experiment.
     hits: u64,
@@ -48,11 +75,43 @@ struct BlockCache {
 }
 
 impl BlockCache {
-    fn touch(&mut self, id: u32) {
-        if let Some(pos) = self.order.iter().position(|&b| b == id) {
-            self.order.remove(pos);
+    /// Unlink `id` from the recency queue (entry must exist).
+    fn unlink(&mut self, id: u32) {
+        let (prev, next) = {
+            let e = &self.entries[&id];
+            (e.prev, e.next)
+        };
+        match prev {
+            Some(p) => self.entries.get_mut(&p).expect("linked prev").next = next,
+            None => self.head = next,
         }
-        self.order.push(id);
+        match next {
+            Some(n) => self.entries.get_mut(&n).expect("linked next").prev = prev,
+            None => self.tail = prev,
+        }
+    }
+
+    /// Append `id` at the MRU end (entry must exist and be unlinked).
+    fn push_mru(&mut self, id: u32) {
+        let old_tail = self.tail;
+        {
+            let e = self.entries.get_mut(&id).expect("pushed entry");
+            e.prev = old_tail;
+            e.next = None;
+        }
+        match old_tail {
+            Some(t) => self.entries.get_mut(&t).expect("old tail").next = Some(id),
+            None => self.head = Some(id),
+        }
+        self.tail = Some(id);
+    }
+
+    fn touch(&mut self, id: u32) {
+        if self.tail == Some(id) {
+            return;
+        }
+        self.unlink(id);
+        self.push_mru(id);
     }
 
     fn load(&mut self, id: u32) -> Result<()> {
@@ -63,15 +122,15 @@ impl BlockCache {
         }
         self.misses += 1;
         while self.entries.len() >= self.capacity {
-            let victim = self.order.remove(0);
-            if let Some(entry) = self.entries.remove(&victim) {
-                if entry.dirty {
-                    self.write_block(victim, &entry.data)?;
-                }
-                self.evictions += 1;
+            let victim = self.head.expect("non-empty cache has a head");
+            self.unlink(victim);
+            let entry = self.entries.remove(&victim).expect("victim resident");
+            if entry.dirty {
+                self.write_block(victim, &entry.data)?;
             }
+            self.evictions += 1;
         }
-        let mut data: Block = vec![0u8; BLOCK_SIZE].into_boxed_slice().try_into().unwrap();
+        let mut data = fresh_block();
         self.file
             .seek(SeekFrom::Start(id as u64 * BLOCK_SIZE as u64))?;
         // A block beyond EOF reads zeroes (fresh block).
@@ -83,8 +142,16 @@ impl BlockCache {
                 Err(e) => return Err(e.into()),
             }
         }
-        self.entries.insert(id, CacheEntry { data, dirty: false });
-        self.order.push(id);
+        self.entries.insert(
+            id,
+            CacheEntry {
+                data,
+                dirty: false,
+                prev: None,
+                next: None,
+            },
+        );
+        self.push_mru(id);
         Ok(())
     }
 
@@ -95,7 +162,12 @@ impl BlockCache {
         Ok(())
     }
 
-    fn with_block<R>(&mut self, id: u32, mutate: bool, f: impl FnOnce(&mut [u8; BLOCK_SIZE]) -> R) -> Result<R> {
+    fn with_block<R>(
+        &mut self,
+        id: u32,
+        mutate: bool,
+        f: impl FnOnce(&mut [u8; BLOCK_SIZE]) -> R,
+    ) -> Result<R> {
         self.load(id)?;
         let entry = self.entries.get_mut(&id).expect("just loaded");
         if mutate {
@@ -116,8 +188,7 @@ impl BlockCache {
                 let e = self.entries.get_mut(&id).unwrap();
                 e.dirty = false;
                 // Copy out to appease the borrow checker around file I/O.
-                let mut copy: Block =
-                    vec![0u8; BLOCK_SIZE].into_boxed_slice().try_into().unwrap();
+                let mut copy = fresh_block();
                 copy.copy_from_slice(&e.data[..]);
                 copy
             };
@@ -125,6 +196,10 @@ impl BlockCache {
         }
         self.file.sync_data()?;
         Ok(())
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.entries.len() * BLOCK_SIZE
     }
 }
 
@@ -137,9 +212,9 @@ fn read_record(block: &[u8; BLOCK_SIZE], i: usize) -> (VertexId, Weight, u32) {
     )
 }
 
-fn write_record(block: &mut [u8; BLOCK_SIZE], i: usize, dst: VertexId, w: Weight, count: u32) {
+fn write_record(block: &mut [u8; BLOCK_SIZE], i: usize, nbr: VertexId, w: Weight, count: u32) {
     let off = 4 + i * RECORD_SIZE;
-    block[off..off + 8].copy_from_slice(&dst.to_le_bytes());
+    block[off..off + 8].copy_from_slice(&nbr.to_le_bytes());
     block[off + 8..off + 16].copy_from_slice(&w.to_le_bytes());
     block[off + 16..off + 20].copy_from_slice(&count.to_le_bytes());
 }
@@ -152,16 +227,184 @@ fn set_record_count(block: &mut [u8; BLOCK_SIZE], n: usize) {
     block[..4].copy_from_slice(&(n as u32).to_le_bytes());
 }
 
-/// Disk-backed adjacency store: per-vertex block chains + LRU cache.
+/// Which chain family an operation targets.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Out,
+    In,
+}
+
+/// Disk-backed adjacency store: per-vertex block chains (both
+/// directions) + an O(1)-recency LRU cache.
 pub struct OocStore {
     inner: Mutex<Inner>,
+    vertices: VertexTable,
+    live_edges: AtomicU64,
+    /// Set for [`OocStore::create_temp`] stores: the backing file is
+    /// unlinked on drop so benchmark/CLI runs don't litter the temp dir.
+    temp_path: Option<std::path::PathBuf>,
+}
+
+impl Drop for OocStore {
+    fn drop(&mut self) {
+        if let Some(path) = &self.temp_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
 }
 
 struct Inner {
     cache: BlockCache,
-    vertex_blocks: Vec<Vec<u32>>,
+    out_chains: Vec<Vec<u32>>,
+    in_chains: Vec<Vec<u32>>,
     next_block: u32,
-    live_edges: u64,
+}
+
+impl Inner {
+    /// Split borrow: the chain slice and the cache are disjoint fields,
+    /// so chain walks need no copy of the block-id list.
+    fn chain_and_cache(&mut self, dir: Dir, v: VertexId) -> (&[u32], &mut BlockCache) {
+        let chain = match dir {
+            Dir::Out => &self.out_chains[v as usize],
+            Dir::In => &self.in_chains[v as usize],
+        };
+        (chain, &mut self.cache)
+    }
+
+    /// Find the record slot for `(nbr, w)` (live or tombstone).
+    fn find(
+        &mut self,
+        dir: Dir,
+        v: VertexId,
+        nbr: VertexId,
+        w: Weight,
+    ) -> Result<Option<(u32, usize, u32)>> {
+        let (chain, cache) = self.chain_and_cache(dir, v);
+        for &block_id in chain {
+            let found = cache.with_block(block_id, false, |block| {
+                let n = record_count(block);
+                (0..n).find_map(|i| {
+                    let (d, dw, c) = read_record(block, i);
+                    (d == nbr && dw == w).then_some((i, c))
+                })
+            })?;
+            if let Some((slot, count)) = found {
+                return Ok(Some((block_id, slot, count)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Decrement a record already located by [`Inner::find`].
+    fn decrement_at(
+        &mut self,
+        block_id: u32,
+        slot: usize,
+        nbr: VertexId,
+        w: Weight,
+        count: u32,
+    ) -> Result<DeleteOutcome> {
+        debug_assert!(count > 0);
+        self.cache.with_block(block_id, true, |block| {
+            write_record(block, slot, nbr, w, count - 1);
+        })?;
+        Ok(if count == 1 {
+            DeleteOutcome::Removed
+        } else {
+            DeleteOutcome::Decremented {
+                new_count: count - 1,
+            }
+        })
+    }
+
+    /// Add one copy of the `(nbr, w)` record under `v` in `dir`.
+    fn bump(&mut self, dir: Dir, v: VertexId, nbr: VertexId, w: Weight) -> Result<InsertOutcome> {
+        if let Some((block_id, slot, count)) = self.find(dir, v, nbr, w)? {
+            self.cache.with_block(block_id, true, |block| {
+                write_record(block, slot, nbr, w, count + 1);
+            })?;
+            return Ok(if count == 0 {
+                InsertOutcome::New // revived tombstone
+            } else {
+                InsertOutcome::Duplicate {
+                    new_count: count + 1,
+                }
+            });
+        }
+        // Append: last block with room, else a fresh block on the chain.
+        let (chain, _) = self.chain_and_cache(dir, v);
+        if let Some(&last) = chain.last() {
+            let appended = self.cache.with_block(last, true, |block| {
+                let n = record_count(block);
+                if n < RECORDS_PER_BLOCK {
+                    write_record(block, n, nbr, w, 1);
+                    set_record_count(block, n + 1);
+                    true
+                } else {
+                    false
+                }
+            })?;
+            if appended {
+                return Ok(InsertOutcome::New);
+            }
+        }
+        let new_block = self.next_block;
+        self.next_block += 1;
+        self.cache.with_block(new_block, true, |block| {
+            write_record(block, 0, nbr, w, 1);
+            set_record_count(block, 1);
+        })?;
+        match dir {
+            Dir::Out => self.out_chains[v as usize].push(new_block),
+            Dir::In => self.in_chains[v as usize].push(new_block),
+        }
+        Ok(InsertOutcome::New)
+    }
+
+    /// Remove one copy of the `(nbr, w)` record under `v` in `dir`.
+    fn decrement(
+        &mut self,
+        dir: Dir,
+        v: VertexId,
+        nbr: VertexId,
+        w: Weight,
+    ) -> Result<Option<DeleteOutcome>> {
+        match self.find(dir, v, nbr, w)? {
+            Some((block_id, slot, count)) if count > 0 => {
+                self.decrement_at(block_id, slot, nbr, w, count).map(Some)
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Visit live records of `v` in `dir`.
+    fn scan(
+        &mut self,
+        dir: Dir,
+        v: VertexId,
+        f: &mut dyn FnMut(VertexId, Weight, u32),
+    ) -> Result<()> {
+        let (chain, cache) = self.chain_and_cache(dir, v);
+        for &block_id in chain {
+            cache.with_block(block_id, false, |block| {
+                let n = record_count(block);
+                for i in 0..n {
+                    let (d, w, c) = read_record(block, i);
+                    if c > 0 {
+                        f(d, w, c);
+                    }
+                }
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Live distinct records of `v` in `dir`.
+    fn degree(&mut self, dir: Dir, v: VertexId) -> Result<usize> {
+        let mut n = 0usize;
+        self.scan(dir, v, &mut |_, _, _| n += 1)?;
+        Ok(n)
+    }
 }
 
 impl OocStore {
@@ -180,22 +423,38 @@ impl OocStore {
                 cache: BlockCache {
                     file,
                     entries: FxHashMap::default(),
-                    order: Vec::new(),
+                    head: None,
+                    tail: None,
                     capacity: cache_blocks.max(2),
                     hits: 0,
                     misses: 0,
                     evictions: 0,
                 },
-                vertex_blocks: vec![Vec::new(); capacity],
+                out_chains: vec![Vec::new(); capacity],
+                in_chains: vec![Vec::new(); capacity],
                 next_block: 0,
-                live_edges: 0,
             }),
+            vertices: VertexTable::with_capacity(capacity),
+            live_edges: AtomicU64::new(0),
+            temp_path: None,
         })
+    }
+
+    /// Create a store on a fresh file in the system temp directory
+    /// (used by the `ooc` CLI/server backend when no path is given).
+    pub fn create_temp(capacity: usize, cache_blocks: usize) -> Result<Self> {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("risgraph-ooc-{}-{n}.blocks", std::process::id()));
+        let mut store = Self::create(&path, capacity, cache_blocks)?;
+        store.temp_path = Some(path);
+        Ok(store)
     }
 
     /// Live edges (duplicates included).
     pub fn num_edges(&self) -> u64 {
-        self.inner.lock().live_edges
+        self.live_edges.load(Ordering::Acquire)
     }
 
     /// `(hits, misses, evictions)` of the block cache.
@@ -204,141 +463,267 @@ impl OocStore {
         (g.cache.hits, g.cache.misses, g.cache.evictions)
     }
 
-    /// Insert one copy of `e` (duplicate counting like the in-memory
-    /// store).
-    pub fn insert_edge(&self, e: Edge) -> Result<()> {
-        let mut g = self.inner.lock();
-        if e.src as usize >= g.vertex_blocks.len() {
+    fn check_capacity_edge(&self, e: Edge) -> Result<()> {
+        let cap = self.vertices.capacity() as u64;
+        if e.src >= cap {
             return Err(Error::VertexNotFound(e.src));
         }
-        // Pass 1: find an existing record (live or tombstone) to bump.
-        let chain = g.vertex_blocks[e.src as usize].clone();
-        for block_id in &chain {
-            let found = g.cache.with_block(*block_id, false, |block| {
-                let n = record_count(block);
-                (0..n).find(|&i| {
-                    let (d, w, _) = read_record(block, i);
-                    d == e.dst && w == e.data
-                })
-            })?;
-            if let Some(i) = found {
-                g.cache.with_block(*block_id, true, |block| {
-                    let (d, w, c) = read_record(block, i);
-                    write_record(block, i, d, w, c + 1);
-                })?;
-                g.live_edges += 1;
-                return Ok(());
-            }
+        if e.dst >= cap {
+            return Err(Error::VertexNotFound(e.dst));
         }
-        // Pass 2: append to the last block with room, else a new block.
-        if let Some(&last) = chain.last() {
-            let appended = g.cache.with_block(last, true, |block| {
-                let n = record_count(block);
-                if n < RECORDS_PER_BLOCK {
-                    write_record(block, n, e.dst, e.data, 1);
-                    set_record_count(block, n + 1);
-                    true
-                } else {
-                    false
-                }
-            })?;
-            if appended {
-                g.live_edges += 1;
-                return Ok(());
-            }
-        }
-        let new_block = g.next_block;
-        g.next_block += 1;
-        g.cache.with_block(new_block, true, |block| {
-            write_record(block, 0, e.dst, e.data, 1);
-            set_record_count(block, 1);
-        })?;
-        g.vertex_blocks[e.src as usize].push(new_block);
-        g.live_edges += 1;
         Ok(())
     }
 
-    /// Delete one copy of `e`.
-    pub fn delete_edge(&self, e: Edge) -> Result<()> {
+    /// Insert one copy of `e` (duplicate counting like the in-memory
+    /// store; endpoints are created implicitly).
+    pub fn insert_edge(&self, e: Edge) -> Result<InsertOutcome> {
+        self.check_capacity_edge(e)?;
+        // Mark endpoints under the store mutex so delete_vertex's
+        // isolation check (also under the mutex) is atomic with edge
+        // insertion.
         let mut g = self.inner.lock();
-        if e.src as usize >= g.vertex_blocks.len() {
+        self.vertices.mark(e.src);
+        self.vertices.mark(e.dst);
+        let outcome = g.bump(Dir::Out, e.src, e.dst, e.data)?;
+        g.bump(Dir::In, e.dst, e.src, e.data)?;
+        self.live_edges.fetch_add(1, Ordering::AcqRel);
+        Ok(outcome)
+    }
+
+    /// Delete one copy of `e`.
+    pub fn delete_edge(&self, e: Edge) -> Result<DeleteOutcome> {
+        if self.check_capacity_edge(e).is_err() {
             return Err(Error::EdgeNotFound(e));
         }
-        let chain = g.vertex_blocks[e.src as usize].clone();
-        for block_id in chain {
-            let deleted = g.cache.with_block(block_id, true, |block| {
-                let n = record_count(block);
-                for i in 0..n {
-                    let (d, w, c) = read_record(block, i);
-                    if d == e.dst && w == e.data && c > 0 {
-                        write_record(block, i, d, w, c - 1);
-                        return true;
-                    }
-                }
-                false
-            })?;
-            if deleted {
-                g.live_edges -= 1;
-                return Ok(());
-            }
+        let mut g = self.inner.lock();
+        let outcome = g
+            .decrement(Dir::Out, e.src, e.dst, e.data)?
+            .ok_or(Error::EdgeNotFound(e))?;
+        let mirror = g.decrement(Dir::In, e.dst, e.src, e.data)?;
+        debug_assert!(mirror.is_some(), "out/in chains out of sync for {e:?}");
+        self.live_edges.fetch_sub(1, Ordering::AcqRel);
+        Ok(outcome)
+    }
+
+    /// Conditional delete (the §4 revalidation primitive). The single
+    /// store mutex makes check-then-delete atomic trivially.
+    pub fn delete_edge_if(
+        &self,
+        e: Edge,
+        pred: impl FnOnce(u32) -> bool,
+    ) -> Result<Option<DeleteOutcome>> {
+        if self.check_capacity_edge(e).is_err() {
+            return Err(Error::EdgeNotFound(e));
         }
-        Err(Error::EdgeNotFound(e))
+        let mut g = self.inner.lock();
+        let (block_id, slot, count) = match g.find(Dir::Out, e.src, e.dst, e.data)? {
+            Some((b, s, c)) if c > 0 => (b, s, c),
+            _ => return Err(Error::EdgeNotFound(e)),
+        };
+        if !pred(count) {
+            return Ok(None);
+        }
+        let outcome = g.decrement_at(block_id, slot, e.dst, e.data, count)?;
+        let mirror = g.decrement(Dir::In, e.dst, e.src, e.data)?;
+        debug_assert!(mirror.is_some(), "out/in chains out of sync for {e:?}");
+        self.live_edges.fetch_sub(1, Ordering::AcqRel);
+        Ok(Some(outcome))
     }
 
     /// Multiplicity of `e` (0 when absent).
     pub fn edge_count(&self, e: Edge) -> Result<u32> {
-        let mut g = self.inner.lock();
-        if e.src as usize >= g.vertex_blocks.len() {
+        if self.check_capacity_edge(e).is_err() {
             return Ok(0);
         }
-        let chain = g.vertex_blocks[e.src as usize].clone();
-        for block_id in chain {
-            let found = g.cache.with_block(block_id, false, |block| {
-                let n = record_count(block);
-                for i in 0..n {
-                    let (d, w, c) = read_record(block, i);
-                    if d == e.dst && w == e.data {
-                        return Some(c);
-                    }
-                }
-                None
-            })?;
-            if let Some(c) = found {
-                return Ok(c);
-            }
-        }
-        Ok(0)
+        let mut g = self.inner.lock();
+        Ok(match g.find(Dir::Out, e.src, e.dst, e.data)? {
+            Some((_, _, c)) => c,
+            None => 0,
+        })
     }
 
     /// Visit every live out-edge of `v`.
     pub fn scan_out(&self, v: VertexId, mut f: impl FnMut(VertexId, Weight, u32)) -> Result<()> {
-        let mut g = self.inner.lock();
-        if v as usize >= g.vertex_blocks.len() {
+        if (v as usize) >= self.vertices.capacity() {
             return Ok(());
         }
-        let chain = g.vertex_blocks[v as usize].clone();
-        for block_id in chain {
-            let records = g.cache.with_block(block_id, false, |block| {
-                let n = record_count(block);
-                let mut out = Vec::with_capacity(n);
-                for i in 0..n {
-                    let (d, w, c) = read_record(block, i);
-                    if c > 0 {
-                        out.push((d, w, c));
-                    }
-                }
-                out
-            })?;
-            for (d, w, c) in records {
-                f(d, w, c);
-            }
+        self.inner.lock().scan(Dir::Out, v, &mut f)
+    }
+
+    /// Visit every live in-edge of `v` (transpose chains).
+    pub fn scan_in(&self, v: VertexId, mut f: impl FnMut(VertexId, Weight, u32)) -> Result<()> {
+        if (v as usize) >= self.vertices.capacity() {
+            return Ok(());
         }
-        Ok(())
+        self.inner.lock().scan(Dir::In, v, &mut f)
     }
 
     /// Write back all dirty blocks and fsync.
     pub fn flush(&self) -> Result<()> {
         self.inner.lock().cache.flush()
+    }
+}
+
+impl DynamicGraph for OocStore {
+    fn backend_name(&self) -> &'static str {
+        "OOC"
+    }
+
+    fn capacity(&self) -> usize {
+        self.vertices.capacity()
+    }
+
+    fn ensure_capacity(&mut self, n: usize) {
+        if n <= self.vertices.capacity() {
+            return;
+        }
+        let n = n.next_power_of_two().max(16);
+        let g = self.inner.get_mut();
+        g.out_chains.resize_with(n, Vec::new);
+        g.in_chains.resize_with(n, Vec::new);
+        self.vertices.ensure_capacity(n);
+    }
+
+    fn vertex_upper_bound(&self) -> u64 {
+        self.vertices.upper_bound()
+    }
+
+    fn num_vertices(&self) -> u64 {
+        self.vertices.live()
+    }
+
+    fn num_edges(&self) -> u64 {
+        OocStore::num_edges(self)
+    }
+
+    fn vertex_exists(&self, v: VertexId) -> bool {
+        self.vertices.exists(v)
+    }
+
+    fn insert_vertex(&self, v: VertexId) -> Result<()> {
+        if (v as usize) >= self.vertices.capacity() {
+            return Err(Error::VertexNotFound(v));
+        }
+        self.vertices.insert(v)
+    }
+
+    fn create_vertex(&self) -> Result<VertexId> {
+        self.vertices.create()
+    }
+
+    fn delete_vertex(&self, v: VertexId) -> Result<()> {
+        // The store mutex is held across the isolation check and the
+        // removal, so a concurrent insert_edge touching `v` (which
+        // marks endpoints under the same mutex) cannot interleave.
+        let mut g = self.inner.lock();
+        if !self.vertices.exists(v) {
+            return Err(Error::VertexNotFound(v));
+        }
+        let out_deg = g.degree(Dir::Out, v).expect("ooc I/O");
+        let in_deg = g.degree(Dir::In, v).expect("ooc I/O");
+        if out_deg > 0 || in_deg > 0 {
+            return Err(Error::VertexNotIsolated(v));
+        }
+        let result = self.vertices.remove(v);
+        drop(g);
+        result
+    }
+
+    fn insert_edge(&self, e: Edge) -> Result<InsertOutcome> {
+        OocStore::insert_edge(self, e)
+    }
+
+    fn delete_edge(&self, e: Edge) -> Result<DeleteOutcome> {
+        OocStore::delete_edge(self, e)
+    }
+
+    fn delete_edge_if(
+        &self,
+        e: Edge,
+        pred: &mut dyn FnMut(u32) -> bool,
+    ) -> Result<Option<DeleteOutcome>> {
+        OocStore::delete_edge_if(self, e, pred)
+    }
+
+    fn edge_count(&self, e: Edge) -> u32 {
+        OocStore::edge_count(self, e).expect("ooc I/O")
+    }
+
+    fn scan_out(&self, v: VertexId, f: &mut dyn FnMut(VertexId, Weight, u32)) {
+        OocStore::scan_out(self, v, f).expect("ooc I/O")
+    }
+
+    fn scan_in(&self, v: VertexId, f: &mut dyn FnMut(VertexId, Weight, u32)) {
+        OocStore::scan_in(self, v, f).expect("ooc I/O")
+    }
+
+    fn out_degree(&self, v: VertexId) -> usize {
+        if (v as usize) >= self.vertices.capacity() {
+            return 0;
+        }
+        self.inner.lock().degree(Dir::Out, v).expect("ooc I/O")
+    }
+
+    fn in_degree(&self, v: VertexId) -> usize {
+        if (v as usize) >= self.vertices.capacity() {
+            return 0;
+        }
+        self.inner.lock().degree(Dir::In, v).expect("ooc I/O")
+    }
+
+    fn for_each_vertex(&self, f: &mut dyn FnMut(VertexId)) {
+        self.vertices.for_each_live(f);
+    }
+
+    fn stats(&self) -> StoreStats {
+        let mut g = self.inner.lock();
+        let mut distinct = 0u64;
+        let mut tombstones = 0u64;
+        let hi = self.vertices.upper_bound() as usize;
+        for v in 0..hi.min(g.out_chains.len()) {
+            let chain = g.out_chains[v].clone();
+            for block_id in chain {
+                let (live, dead) = g
+                    .cache
+                    .with_block(block_id, false, |block| {
+                        let n = record_count(block);
+                        let mut live = 0u64;
+                        let mut dead = 0u64;
+                        for i in 0..n {
+                            let (_, _, c) = read_record(block, i);
+                            if c > 0 {
+                                live += 1;
+                            } else {
+                                dead += 1;
+                            }
+                        }
+                        (live, dead)
+                    })
+                    .expect("ooc I/O");
+                distinct += live;
+                tombstones += dead;
+            }
+        }
+        let chain_bytes: usize = g
+            .out_chains
+            .iter()
+            .chain(g.in_chains.iter())
+            .map(|c| c.len() * std::mem::size_of::<u32>())
+            .sum();
+        StoreStats {
+            vertices: self.vertices.live(),
+            edges: OocStore::num_edges(self),
+            distinct_edges: distinct,
+            tombstones,
+            indexed_vertices: 0,
+            // Resident memory only: evicted blocks live on disk, which
+            // is the point of the out-of-core layout.
+            memory_bytes: g.cache.resident_bytes() + chain_bytes,
+        }
+    }
+
+    fn flush(&self) -> Result<()> {
+        OocStore::flush(self)
     }
 }
 
@@ -357,35 +742,48 @@ mod tests {
     #[test]
     fn basic_roundtrip() {
         let s = OocStore::create(tmp("basic"), 16, 8).unwrap();
-        s.insert_edge(Edge::new(1, 2, 5)).unwrap();
-        s.insert_edge(Edge::new(1, 2, 5)).unwrap();
+        assert_eq!(
+            s.insert_edge(Edge::new(1, 2, 5)).unwrap(),
+            InsertOutcome::New
+        );
+        assert!(matches!(
+            s.insert_edge(Edge::new(1, 2, 5)).unwrap(),
+            InsertOutcome::Duplicate { new_count: 2 }
+        ));
         s.insert_edge(Edge::new(1, 3, 7)).unwrap();
         assert_eq!(s.edge_count(Edge::new(1, 2, 5)).unwrap(), 2);
         assert_eq!(s.num_edges(), 3);
-        s.delete_edge(Edge::new(1, 2, 5)).unwrap();
+        assert!(matches!(
+            s.delete_edge(Edge::new(1, 2, 5)).unwrap(),
+            DeleteOutcome::Decremented { new_count: 1 }
+        ));
         assert_eq!(s.edge_count(Edge::new(1, 2, 5)).unwrap(), 1);
         assert!(s.delete_edge(Edge::new(9, 9, 9)).is_err());
         let mut seen = Vec::new();
         s.scan_out(1, |d, w, c| seen.push((d, w, c))).unwrap();
         seen.sort_unstable();
         assert_eq!(seen, vec![(2, 5, 1), (3, 7, 1)]);
+        // Transpose chains answer the reverse scans.
+        let mut inn = Vec::new();
+        s.scan_in(2, |d, w, c| inn.push((d, w, c))).unwrap();
+        assert_eq!(inn, vec![(1, 5, 1)]);
     }
 
     #[test]
     fn spills_beyond_cache_and_stays_correct() {
-        // Cache of 2 blocks, a hub with 1000 distinct edges (≈5 blocks):
-        // evictions must occur and nothing may be lost.
+        // Cache of 2 blocks, a hub with 1000 distinct edges (≈5 blocks
+        // per direction): evictions must occur and nothing may be lost.
         let s = OocStore::create(tmp("spill"), 8, 2).unwrap();
         for i in 0..1000u64 {
-            s.insert_edge(Edge::new(0, i + 1, i)).unwrap();
+            s.insert_edge(Edge::new(0, i % 8, i)).unwrap();
         }
         let (_, _, evictions) = s.cache_stats();
         assert!(evictions > 0, "cache never spilled");
         let mut n = 0;
         s.scan_out(0, |_, _, _| n += 1).unwrap();
-        assert_eq!(n, 1000);
+        assert_eq!(n, 1000, "all (dst, weight)-distinct records survive");
         for i in (0..1000u64).step_by(7) {
-            assert_eq!(s.edge_count(Edge::new(0, i + 1, i)).unwrap(), 1);
+            assert_eq!(s.edge_count(Edge::new(0, i % 8, i)).unwrap(), 1);
         }
     }
 
@@ -402,7 +800,11 @@ mod tests {
                 ooc.delete_edge(e).unwrap();
                 mem.delete_edge(e).unwrap();
             } else {
-                let e = Edge::new(rng.gen_range(0..32), rng.gen_range(0..32), rng.gen_range(0..4));
+                let e = Edge::new(
+                    rng.gen_range(0..32),
+                    rng.gen_range(0..32),
+                    rng.gen_range(0..4),
+                );
                 live.push(e);
                 ooc.insert_edge(e).unwrap();
                 mem.insert_edge(e).unwrap();
@@ -413,10 +815,23 @@ mod tests {
             let mut a = Vec::new();
             ooc.scan_out(v, |d, w, c| a.push((d, w, c))).unwrap();
             a.sort_unstable();
-            let mut b: Vec<(u64, u64, u32)> =
-                mem.out(v).iter_live().map(|s| (s.dst, s.data, s.count)).collect();
+            let mut b: Vec<(u64, u64, u32)> = mem
+                .out(v)
+                .iter_live()
+                .map(|s| (s.dst, s.data, s.count))
+                .collect();
             b.sort_unstable();
-            assert_eq!(a, b, "vertex {v}");
+            assert_eq!(a, b, "vertex {v} out");
+            let mut ai = Vec::new();
+            ooc.scan_in(v, |d, w, c| ai.push((d, w, c))).unwrap();
+            ai.sort_unstable();
+            let mut bi: Vec<(u64, u64, u32)> = mem
+                .inn(v)
+                .iter_live()
+                .map(|s| (s.dst, s.data, s.count))
+                .collect();
+            bi.sort_unstable();
+            assert_eq!(ai, bi, "vertex {v} in");
         }
     }
 
@@ -426,7 +841,7 @@ mod tests {
         {
             let s = OocStore::create(&path, 8, 4).unwrap();
             for i in 0..300u64 {
-                s.insert_edge(Edge::new(1, i, 0)).unwrap();
+                s.insert_edge(Edge::new(1, i % 8, i)).unwrap();
             }
             s.flush().unwrap();
         }
@@ -434,5 +849,64 @@ mod tests {
         let len = std::fs::metadata(&path).unwrap().len();
         assert!(len >= 2 * BLOCK_SIZE as u64, "file only {len} bytes");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Distinguish LRU from FIFO with a cache of 2 blocks. Each
+        // hub's out-chain is exactly one block, and edge_count only
+        // reads the source's out-chain, so reads map 1:1 to blocks:
+        //
+        //   read h0, read h1   → cache {h0, h1}
+        //   read h0 (touch)    → LRU order [h1, h0]; FIFO order [h0, h1]
+        //   read h2 (evict)    → LRU evicts h1 (h0 stays); FIFO evicts h0
+        //   read h0            → LRU: hit. FIFO: miss.
+        let s = OocStore::create(tmp("lru"), 512, 2).unwrap();
+        for hub in [0u64, 1, 2] {
+            for i in 0..RECORDS_PER_BLOCK as u64 {
+                s.insert_edge(Edge::new(hub, 10 + i, hub)).unwrap();
+            }
+        }
+        let read = |hub: u64| s.edge_count(Edge::new(hub, 10, hub)).unwrap();
+        read(0);
+        read(1);
+        read(0); // touch h0: under FIFO this would not reorder
+        read(2); // eviction decides between LRU and FIFO
+        let (hits_before, misses_before, _) = s.cache_stats();
+        assert_eq!(read(0), 1);
+        let (hits_after, misses_after, _) = s.cache_stats();
+        assert_eq!(
+            (hits_after - hits_before, misses_after - misses_before),
+            (1, 0),
+            "re-touched block was evicted: recency queue is not LRU"
+        );
+    }
+
+    #[test]
+    fn vertex_lifecycle_and_dynamic_graph() {
+        let mut s = OocStore::create(tmp("dyn"), 8, 4).unwrap();
+        s.insert_edge(Edge::new(1, 2, 0)).unwrap();
+        assert_eq!(DynamicGraph::num_vertices(&s), 2);
+        assert!(matches!(
+            DynamicGraph::delete_vertex(&s, 1),
+            Err(Error::VertexNotIsolated(1))
+        ));
+        assert_eq!(DynamicGraph::out_degree(&s, 1), 1);
+        assert_eq!(DynamicGraph::in_degree(&s, 2), 1);
+        assert_eq!(DynamicGraph::edge_count(&s, Edge::new(1, 2, 0)), 1);
+        // Conditional delete demotes when no duplicate remains.
+        assert_eq!(
+            OocStore::delete_edge_if(&s, Edge::new(1, 2, 0), |c| c > 1).unwrap(),
+            None
+        );
+        OocStore::delete_edge(&s, Edge::new(1, 2, 0)).unwrap();
+        DynamicGraph::delete_vertex(&s, 1).unwrap();
+        // Growth past the initial capacity.
+        DynamicGraph::ensure_capacity(&mut s, 100);
+        s.insert_edge(Edge::new(90, 91, 1)).unwrap();
+        assert_eq!(DynamicGraph::edge_count(&s, Edge::new(90, 91, 1)), 1);
+        let st = DynamicGraph::stats(&s);
+        assert_eq!(st.edges, 1);
+        assert!(st.memory_bytes > 0);
     }
 }

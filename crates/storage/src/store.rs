@@ -14,13 +14,14 @@
 //! *growth* requires `&mut self`; the engine grows capacity at epoch
 //! boundaries where it has exclusive access.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::{Mutex, RwLock, RwLockReadGuard};
-use risgraph_common::ids::{Edge, VertexId};
+use parking_lot::{RwLock, RwLockReadGuard};
+use risgraph_common::ids::{Edge, VertexId, Weight};
 use risgraph_common::{Error, Result};
 
 use crate::adjacency::{AdjacencyList, DeleteOutcome, InsertOutcome};
+use crate::graph::{DynamicGraph, VertexTable};
 use crate::index::EdgeIndex;
 use crate::DEFAULT_INDEX_THRESHOLD;
 
@@ -67,10 +68,7 @@ pub struct StoreStats {
 pub struct GraphStore<I: EdgeIndex> {
     out: Vec<RwLock<AdjacencyList<I>>>,
     inn: Vec<RwLock<AdjacencyList<I>>>,
-    exists: Vec<AtomicBool>,
-    recycled: Mutex<Vec<VertexId>>,
-    next_vertex: AtomicU64,
-    live_vertices: AtomicU64,
+    vertices: VertexTable,
     live_edges: AtomicU64,
     config: StoreConfig,
 }
@@ -86,10 +84,7 @@ impl<I: EdgeIndex> GraphStore<I> {
         let mut s = GraphStore {
             out: Vec::new(),
             inn: Vec::new(),
-            exists: Vec::new(),
-            recycled: Mutex::new(Vec::new()),
-            next_vertex: AtomicU64::new(0),
-            live_vertices: AtomicU64::new(0),
+            vertices: VertexTable::with_capacity(0),
             live_edges: AtomicU64::new(0),
             config,
         };
@@ -110,9 +105,11 @@ impl<I: EdgeIndex> GraphStore<I> {
             return;
         }
         let n = n.next_power_of_two().max(16);
-        self.out.resize_with(n, || RwLock::new(AdjacencyList::new()));
-        self.inn.resize_with(n, || RwLock::new(AdjacencyList::new()));
-        self.exists.resize_with(n, || AtomicBool::new(false));
+        self.out
+            .resize_with(n, || RwLock::new(AdjacencyList::new()));
+        self.inn
+            .resize_with(n, || RwLock::new(AdjacencyList::new()));
+        self.vertices.ensure_capacity(n);
     }
 
     /// The configured index threshold.
@@ -125,13 +122,13 @@ impl<I: EdgeIndex> GraphStore<I> {
     /// dead; use [`Self::vertex_exists`] to check).
     #[inline]
     pub fn vertex_upper_bound(&self) -> u64 {
-        self.next_vertex.load(Ordering::Acquire)
+        self.vertices.upper_bound()
     }
 
     /// Count of live vertices.
     #[inline]
     pub fn num_vertices(&self) -> u64 {
-        self.live_vertices.load(Ordering::Acquire)
+        self.vertices.live()
     }
 
     /// Count of live directed edges (duplicates included).
@@ -143,47 +140,19 @@ impl<I: EdgeIndex> GraphStore<I> {
     /// Whether `v` currently exists.
     #[inline]
     pub fn vertex_exists(&self, v: VertexId) -> bool {
-        (v as usize) < self.exists.len() && self.exists[v as usize].load(Ordering::Acquire)
-    }
-
-    fn mark_vertex(&self, v: VertexId) -> bool {
-        let newly = !self.exists[v as usize].swap(true, Ordering::AcqRel);
-        if newly {
-            self.live_vertices.fetch_add(1, Ordering::AcqRel);
-            // Keep the allocation high-water mark above any explicit id.
-            self.next_vertex.fetch_max(v + 1, Ordering::AcqRel);
-        }
-        newly
+        self.vertices.exists(v)
     }
 
     /// Insert a vertex with a caller-chosen id (`ins_vertex` in Table 1).
     pub fn insert_vertex(&self, v: VertexId) -> Result<()> {
-        if (v as usize) >= self.capacity() {
-            return Err(Error::VertexNotFound(v));
-        }
-        if !self.mark_vertex(v) {
-            return Err(Error::VertexExists(v));
-        }
-        Ok(())
+        self.vertices.insert(v)
     }
 
     /// Allocate a fresh vertex id, reusing the recycling pool first
     /// (§5: "RisGraph recycles the vertex IDs of deleted vertices into a
     /// pool").
     pub fn create_vertex(&self) -> Result<VertexId> {
-        if let Some(v) = self.recycled.lock().pop() {
-            self.mark_vertex(v);
-            return Ok(v);
-        }
-        let v = self.next_vertex.fetch_add(1, Ordering::AcqRel);
-        if (v as usize) >= self.capacity() {
-            // Roll back the counter so capacity growth can retry.
-            self.next_vertex.fetch_sub(1, Ordering::AcqRel);
-            return Err(Error::VertexNotFound(v));
-        }
-        self.exists[v as usize].store(true, Ordering::Release);
-        self.live_vertices.fetch_add(1, Ordering::AcqRel);
-        Ok(v)
+        self.vertices.create()
     }
 
     /// Delete an isolated vertex (`del_vertex`); fails with
@@ -197,10 +166,7 @@ impl<I: EdgeIndex> GraphStore<I> {
         if out_deg > 0 || in_deg > 0 {
             return Err(Error::VertexNotIsolated(v));
         }
-        self.exists[v as usize].store(false, Ordering::Release);
-        self.live_vertices.fetch_sub(1, Ordering::AcqRel);
-        self.recycled.lock().push(v);
-        Ok(())
+        self.vertices.remove(v)
     }
 
     fn check_endpoints(&self, e: Edge) -> Result<()> {
@@ -212,8 +178,8 @@ impl<I: EdgeIndex> GraphStore<I> {
             return Err(Error::VertexNotFound(e.dst));
         }
         if self.config.auto_create_vertices {
-            self.mark_vertex(e.src);
-            self.mark_vertex(e.dst);
+            self.vertices.mark(e.src);
+            self.vertices.mark(e.dst);
             Ok(())
         } else if !self.vertex_exists(e.src) {
             Err(Error::VertexNotFound(e.src))
@@ -348,12 +314,7 @@ impl<I: EdgeIndex> GraphStore<I> {
 
     /// Visit every live vertex id.
     pub fn for_each_vertex(&self, mut f: impl FnMut(VertexId)) {
-        let hi = self.vertex_upper_bound();
-        for v in 0..hi {
-            if self.exists[v as usize].load(Ordering::Acquire) {
-                f(v);
-            }
-        }
+        self.vertices.for_each_live(&mut f);
     }
 
     /// Collect aggregate statistics (walks all vertices; not hot-path).
@@ -379,6 +340,168 @@ impl<I: EdgeIndex> GraphStore<I> {
             indexed_vertices: indexed,
             memory_bytes: mem,
         }
+    }
+}
+
+/// The canonical implementation: Indexed Adjacency Lists expose every
+/// [`DynamicGraph`] operation at its native cost — O(1) average
+/// mutation via the per-vertex index, contiguous slot arrays for scans.
+impl<I: EdgeIndex> DynamicGraph for GraphStore<I> {
+    fn backend_name(&self) -> &'static str {
+        match I::NAME {
+            "Hash" => "IA_Hash",
+            "BTree" => "IA_BTree",
+            "ART" => "IA_ART",
+            _ => "IA",
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        GraphStore::capacity(self)
+    }
+
+    fn ensure_capacity(&mut self, n: usize) {
+        GraphStore::ensure_capacity(self, n);
+    }
+
+    fn vertex_upper_bound(&self) -> u64 {
+        GraphStore::vertex_upper_bound(self)
+    }
+
+    fn num_vertices(&self) -> u64 {
+        GraphStore::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> u64 {
+        GraphStore::num_edges(self)
+    }
+
+    fn vertex_exists(&self, v: VertexId) -> bool {
+        GraphStore::vertex_exists(self, v)
+    }
+
+    fn insert_vertex(&self, v: VertexId) -> Result<()> {
+        GraphStore::insert_vertex(self, v)
+    }
+
+    fn create_vertex(&self) -> Result<VertexId> {
+        GraphStore::create_vertex(self)
+    }
+
+    fn delete_vertex(&self, v: VertexId) -> Result<()> {
+        GraphStore::delete_vertex(self, v)
+    }
+
+    fn insert_edge(&self, e: Edge) -> Result<InsertOutcome> {
+        GraphStore::insert_edge(self, e)
+    }
+
+    fn delete_edge(&self, e: Edge) -> Result<DeleteOutcome> {
+        GraphStore::delete_edge(self, e)
+    }
+
+    fn delete_edge_if(
+        &self,
+        e: Edge,
+        pred: &mut dyn FnMut(u32) -> bool,
+    ) -> Result<Option<DeleteOutcome>> {
+        GraphStore::delete_edge_if(self, e, pred)
+    }
+
+    fn edge_count(&self, e: Edge) -> u32 {
+        GraphStore::edge_count(self, e)
+    }
+
+    fn scan_out(&self, v: VertexId, f: &mut dyn FnMut(VertexId, Weight, u32)) {
+        if (v as usize) >= self.capacity() {
+            return;
+        }
+        for s in self.out(v).iter_live() {
+            f(s.dst, s.data, s.count);
+        }
+    }
+
+    fn scan_in(&self, v: VertexId, f: &mut dyn FnMut(VertexId, Weight, u32)) {
+        if (v as usize) >= self.capacity() {
+            return;
+        }
+        for s in self.inn(v).iter_live() {
+            f(s.dst, s.data, s.count);
+        }
+    }
+
+    fn out_degree(&self, v: VertexId) -> usize {
+        GraphStore::out_degree(self, v)
+    }
+
+    fn in_degree(&self, v: VertexId) -> usize {
+        GraphStore::in_degree(self, v)
+    }
+
+    fn has_positional_scans(&self) -> bool {
+        true // contiguous slot arrays: O(range) sub-range scans
+    }
+
+    fn out_slots(&self, v: VertexId) -> usize {
+        if (v as usize) >= self.capacity() {
+            return 0;
+        }
+        self.out(v).slots().len()
+    }
+
+    fn in_slots(&self, v: VertexId) -> usize {
+        if (v as usize) >= self.capacity() {
+            return 0;
+        }
+        self.inn(v).slots().len()
+    }
+
+    fn scan_out_range(
+        &self,
+        v: VertexId,
+        lo: usize,
+        hi: usize,
+        f: &mut dyn FnMut(VertexId, Weight, u32),
+    ) {
+        if (v as usize) >= self.capacity() {
+            return;
+        }
+        let out = self.out(v);
+        let slots = out.slots();
+        let hi = hi.min(slots.len());
+        for s in &slots[lo.min(hi)..hi] {
+            if s.count > 0 {
+                f(s.dst, s.data, s.count);
+            }
+        }
+    }
+
+    fn scan_in_range(
+        &self,
+        v: VertexId,
+        lo: usize,
+        hi: usize,
+        f: &mut dyn FnMut(VertexId, Weight, u32),
+    ) {
+        if (v as usize) >= self.capacity() {
+            return;
+        }
+        let inn = self.inn(v);
+        let slots = inn.slots();
+        let hi = hi.min(slots.len());
+        for s in &slots[lo.min(hi)..hi] {
+            if s.count > 0 {
+                f(s.dst, s.data, s.count);
+            }
+        }
+    }
+
+    fn for_each_vertex(&self, f: &mut dyn FnMut(VertexId)) {
+        GraphStore::for_each_vertex(self, f)
+    }
+
+    fn stats(&self) -> StoreStats {
+        GraphStore::stats(self)
     }
 }
 
@@ -412,10 +535,7 @@ mod tests {
         assert_eq!(s.delete_edge(e).unwrap(), DeleteOutcome::Removed);
         assert!(!s.contains_edge(e));
         assert_eq!(s.num_edges(), 0);
-        assert!(matches!(
-            s.delete_edge(e),
-            Err(Error::EdgeNotFound(_))
-        ));
+        assert!(matches!(s.delete_edge(e), Err(Error::EdgeNotFound(_))));
     }
 
     #[test]
@@ -527,7 +647,8 @@ mod tests {
             let s = Arc::clone(&s);
             handles.push(std::thread::spawn(move || {
                 for i in 0..500u64 {
-                    s.insert_edge(Edge::new(t * 500 + i, (i * 7) % 4096, i)).unwrap();
+                    s.insert_edge(Edge::new(t * 500 + i, (i * 7) % 4096, i))
+                        .unwrap();
                 }
             }));
         }

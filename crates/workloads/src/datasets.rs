@@ -45,17 +45,116 @@ pub struct DatasetSpec {
 
 /// The ten Table 3 datasets plus §7's USA road network.
 pub const TABLE3: &[DatasetSpec] = &[
-    DatasetSpec { name: "HepPh", abbr: "PH", paper_vertices: 281_000, paper_edges: 4_600_000, temporal: true, family: Family::PowerLaw, root: 1, skew_a: 0.45 },
-    DatasetSpec { name: "Wiki", abbr: "WK", paper_vertices: 2_130_000, paper_edges: 9_000_000, temporal: true, family: Family::PowerLaw, root: 0, skew_a: 0.52 },
-    DatasetSpec { name: "Flickr", abbr: "FC", paper_vertices: 2_300_000, paper_edges: 33_100_000, temporal: true, family: Family::PowerLaw, root: 1, skew_a: 0.57 },
-    DatasetSpec { name: "StackOverflow", abbr: "SO", paper_vertices: 2_600_000, paper_edges: 63_500_000, temporal: true, family: Family::PowerLaw, root: 0, skew_a: 0.55 },
-    DatasetSpec { name: "BitCoin", abbr: "BC", paper_vertices: 24_600_000, paper_edges: 123_000_000, temporal: true, family: Family::PowerLaw, root: 2, skew_a: 0.50 },
-    DatasetSpec { name: "SNB-SF-1000", abbr: "SB", paper_vertices: 3_140_000, paper_edges: 202_000_000, temporal: true, family: Family::PowerLaw, root: 0, skew_a: 0.55 },
-    DatasetSpec { name: "LinkBench", abbr: "LB", paper_vertices: 128_000_000, paper_edges: 560_000_000, temporal: true, family: Family::PowerLaw, root: 0, skew_a: 0.55 },
-    DatasetSpec { name: "Twitter-2010", abbr: "TT", paper_vertices: 41_700_000, paper_edges: 1_470_000_000, temporal: false, family: Family::PowerLaw, root: 0, skew_a: 0.57 },
-    DatasetSpec { name: "Subdomain", abbr: "SD", paper_vertices: 102_000_000, paper_edges: 2_040_000_000, temporal: false, family: Family::PowerLaw, root: 0, skew_a: 0.60 },
-    DatasetSpec { name: "UK-2007", abbr: "UK", paper_vertices: 106_000_000, paper_edges: 3_740_000_000, temporal: false, family: Family::PowerLaw, root: 0, skew_a: 0.60 },
-    DatasetSpec { name: "USA-road", abbr: "RD", paper_vertices: 23_900_000, paper_edges: 28_900_000, temporal: false, family: Family::Road, root: 0, skew_a: 0.25 },
+    DatasetSpec {
+        name: "HepPh",
+        abbr: "PH",
+        paper_vertices: 281_000,
+        paper_edges: 4_600_000,
+        temporal: true,
+        family: Family::PowerLaw,
+        root: 1,
+        skew_a: 0.45,
+    },
+    DatasetSpec {
+        name: "Wiki",
+        abbr: "WK",
+        paper_vertices: 2_130_000,
+        paper_edges: 9_000_000,
+        temporal: true,
+        family: Family::PowerLaw,
+        root: 0,
+        skew_a: 0.52,
+    },
+    DatasetSpec {
+        name: "Flickr",
+        abbr: "FC",
+        paper_vertices: 2_300_000,
+        paper_edges: 33_100_000,
+        temporal: true,
+        family: Family::PowerLaw,
+        root: 1,
+        skew_a: 0.57,
+    },
+    DatasetSpec {
+        name: "StackOverflow",
+        abbr: "SO",
+        paper_vertices: 2_600_000,
+        paper_edges: 63_500_000,
+        temporal: true,
+        family: Family::PowerLaw,
+        root: 0,
+        skew_a: 0.55,
+    },
+    DatasetSpec {
+        name: "BitCoin",
+        abbr: "BC",
+        paper_vertices: 24_600_000,
+        paper_edges: 123_000_000,
+        temporal: true,
+        family: Family::PowerLaw,
+        root: 2,
+        skew_a: 0.50,
+    },
+    DatasetSpec {
+        name: "SNB-SF-1000",
+        abbr: "SB",
+        paper_vertices: 3_140_000,
+        paper_edges: 202_000_000,
+        temporal: true,
+        family: Family::PowerLaw,
+        root: 0,
+        skew_a: 0.55,
+    },
+    DatasetSpec {
+        name: "LinkBench",
+        abbr: "LB",
+        paper_vertices: 128_000_000,
+        paper_edges: 560_000_000,
+        temporal: true,
+        family: Family::PowerLaw,
+        root: 0,
+        skew_a: 0.55,
+    },
+    DatasetSpec {
+        name: "Twitter-2010",
+        abbr: "TT",
+        paper_vertices: 41_700_000,
+        paper_edges: 1_470_000_000,
+        temporal: false,
+        family: Family::PowerLaw,
+        root: 0,
+        skew_a: 0.57,
+    },
+    DatasetSpec {
+        name: "Subdomain",
+        abbr: "SD",
+        paper_vertices: 102_000_000,
+        paper_edges: 2_040_000_000,
+        temporal: false,
+        family: Family::PowerLaw,
+        root: 0,
+        skew_a: 0.60,
+    },
+    DatasetSpec {
+        name: "UK-2007",
+        abbr: "UK",
+        paper_vertices: 106_000_000,
+        paper_edges: 3_740_000_000,
+        temporal: false,
+        family: Family::PowerLaw,
+        root: 0,
+        skew_a: 0.60,
+    },
+    DatasetSpec {
+        name: "USA-road",
+        abbr: "RD",
+        paper_vertices: 23_900_000,
+        paper_edges: 28_900_000,
+        temporal: false,
+        family: Family::Road,
+        root: 0,
+        skew_a: 0.25,
+    },
 ];
 
 /// Look up a dataset by abbreviation.

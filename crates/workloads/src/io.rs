@@ -46,10 +46,7 @@ pub fn read_text(path: impl AsRef<Path>) -> Result<Vec<(VertexId, VertexId, Weig
 
 /// Write the compact binary format (atomic only at whole-file level;
 /// callers writing checkpoints should write to a temp path and rename).
-pub fn write_binary(
-    path: impl AsRef<Path>,
-    edges: &[(VertexId, VertexId, Weight)],
-) -> Result<()> {
+pub fn write_binary(path: impl AsRef<Path>, edges: &[(VertexId, VertexId, Weight)]) -> Result<()> {
     let file = std::fs::File::create(path)?;
     let mut w = BufWriter::new(file);
     w.write_all(MAGIC)?;
@@ -122,8 +119,7 @@ mod tests {
     #[test]
     fn binary_roundtrip() {
         let path = tmp("edges.bin");
-        let edges: Vec<(u64, u64, u64)> =
-            (0..1000).map(|i| (i, i * 7 % 100, i % 13)).collect();
+        let edges: Vec<(u64, u64, u64)> = (0..1000).map(|i| (i, i * 7 % 100, i % 13)).collect();
         write_binary(&path, &edges).unwrap();
         assert_eq!(read_binary(&path).unwrap(), edges);
         std::fs::remove_file(&path).unwrap();

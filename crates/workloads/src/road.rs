@@ -55,13 +55,11 @@ impl RoadConfig {
     pub fn generate(&self) -> Vec<(VertexId, VertexId, Weight)> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut edges = Vec::new();
-        let push_both = |edges: &mut Vec<(VertexId, VertexId, Weight)>,
-                             a: VertexId,
-                             b: VertexId,
-                             w: Weight| {
-            edges.push((a, b, w));
-            edges.push((b, a, w));
-        };
+        let push_both =
+            |edges: &mut Vec<(VertexId, VertexId, Weight)>, a: VertexId, b: VertexId, w: Weight| {
+                edges.push((a, b, w));
+                edges.push((b, a, w));
+            };
         for y in 0..self.height {
             for x in 0..self.width {
                 if x + 1 < self.width && rng.gen_bool(self.keep_fraction) {

@@ -313,7 +313,8 @@ pub fn with_vertex_ops(stream: &UpdateStream, vertex_op_rate: usize, id_base: u6
     if vertex_op_rate == 0 {
         return stream.updates.clone();
     }
-    let mut out = Vec::with_capacity(stream.updates.len() + stream.updates.len() / vertex_op_rate * 2);
+    let mut out =
+        Vec::with_capacity(stream.updates.len() + stream.updates.len() / vertex_op_rate * 2);
     let mut next_id = id_base;
     for (i, u) in stream.updates.iter().enumerate() {
         out.push(*u);

@@ -18,12 +18,7 @@ fn main() {
     // 1. The engine: incremental BFS from vertex 0.
     // ------------------------------------------------------------------
     let engine: Engine = Engine::with_algorithm(Bfs::new(0), 1 << 10);
-    engine.load_edges(&[
-        (0, 1, 0),
-        (1, 2, 0),
-        (2, 3, 0),
-        (0, 4, 0),
-    ]);
+    engine.load_edges(&[(0, 1, 0), (1, 2, 0), (2, 3, 0), (0, 4, 0)]);
     println!("initial distances:");
     for v in 0..5 {
         println!("  dist(0 → {v}) = {}", show(engine.value(0, v)));

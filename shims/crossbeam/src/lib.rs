@@ -1,0 +1,232 @@
+//! Offline stand-in for the `crossbeam` crate (channel module only).
+//!
+//! Implements multi-producer multi-consumer channels with the subset of
+//! the `crossbeam-channel` API this workspace uses: `unbounded`,
+//! `bounded` (capacity is advisory — senders never block), `try_recv`,
+//! `recv_timeout`, `is_empty`, and clonable senders/receivers with
+//! disconnect detection.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// Empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with nothing queued.
+        Timeout,
+        /// Empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Create a channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
+    }
+
+    /// Create a channel with a capacity hint. The only workspace use is
+    /// completion signalling, where senders must not block, so capacity
+    /// is not enforced.
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message, failing if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.0.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            self.0
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(value);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.senders.fetch_add(1, Ordering::AcqRel);
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.0.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Wake blocked receivers so they observe the disconnect.
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.0.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.0.ready.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.0.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.0.senders.load(Ordering::Acquire) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.0.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self
+                    .0
+                    .ready
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+        }
+
+        /// Whether nothing is currently queued.
+        pub fn is_empty(&self) -> bool {
+            self.0
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .is_empty()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_order() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_detection() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn timeout_fires() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(3).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(3));
+        }
+
+        #[test]
+        fn cross_thread_wakeup() {
+            let (tx, rx) = unbounded();
+            let h = std::thread::spawn(move || rx.recv().unwrap());
+            std::thread::sleep(Duration::from_millis(5));
+            tx.send(42u64).unwrap();
+            assert_eq!(h.join().unwrap(), 42);
+        }
+    }
+}

@@ -1,8 +1,13 @@
 //! `risgraph` — a command-line shell around the engine.
 //!
 //! ```sh
-//! cargo run --release --bin risgraph -- --algorithm sssp --root 0
+//! cargo run --release --bin risgraph -- --algorithm sssp --root 0 --store ia-hash
 //! ```
+//!
+//! `--store` selects the storage backend (the §6.3 matrix): Indexed
+//! Adjacency Lists (`ia-hash`, `ia-btree`, `ia-art`), index-only
+//! layouts (`io-hash`, `io-btree`, `io-art`), or the out-of-core
+//! prototype (`ooc`). Every command below runs identically on each.
 //!
 //! Reads commands from stdin (one per line), suitable both for
 //! interactive exploration and for piping edge streams:
@@ -24,11 +29,13 @@ use std::io::{BufRead, Write};
 
 use risgraph::core::affected::analyze;
 use risgraph::prelude::*;
+use risgraph::storage::{AnyStore, BackendKind, StoreConfig};
 use risgraph::workloads::rmat::RmatConfig;
 
-fn parse_args() -> (String, u64) {
+fn parse_args() -> (String, u64, BackendKind) {
     let mut algorithm = "bfs".to_string();
     let mut root = 0u64;
+    let mut backend = BackendKind::default();
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -41,9 +48,25 @@ fn parse_args() -> (String, u64) {
                 root = args[i + 1].parse().unwrap_or(0);
                 i += 2;
             }
+            "--store" | "-s" if i + 1 < args.len() => {
+                backend = match BackendKind::parse(&args[i + 1]) {
+                    Some(b) => b,
+                    None => {
+                        eprintln!(
+                            "unknown store {}; choose one of {}",
+                            args[i + 1],
+                            BackendKind::CLI_CHOICES
+                        );
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: risgraph [--algorithm bfs|sssp|sswp|wcc|reach] [--root VID]"
+                    "usage: risgraph [--algorithm bfs|sssp|sswp|wcc|reach] [--root VID] \
+                     [--store {}]",
+                    BackendKind::CLI_CHOICES
                 );
                 std::process::exit(0);
             }
@@ -53,10 +76,10 @@ fn parse_args() -> (String, u64) {
             }
         }
     }
-    (algorithm, root)
+    (algorithm, root, backend)
 }
 
-fn make_engine(algorithm: &str, root: u64) -> Engine {
+fn make_engine(algorithm: &str, root: u64, backend: &BackendKind) -> Engine<AnyStore> {
     use std::sync::Arc;
     let alg: DynAlgorithm = match algorithm {
         "bfs" => Arc::new(risgraph::algorithms::Bfs::new(root)),
@@ -69,7 +92,11 @@ fn make_engine(algorithm: &str, root: u64) -> Engine {
             std::process::exit(2);
         }
     };
-    Engine::new(vec![alg], 1 << 16, Default::default())
+    let store = AnyStore::open(backend, 1 << 16, StoreConfig::default()).unwrap_or_else(|e| {
+        eprintln!("cannot open {} store: {e}", backend.label());
+        std::process::exit(2);
+    });
+    Engine::from_store(store, vec![alg], Default::default())
 }
 
 fn fmt_value(v: u64) -> String {
@@ -81,11 +108,12 @@ fn fmt_value(v: u64) -> String {
 }
 
 fn main() {
-    let (algorithm, root) = parse_args();
-    let engine = make_engine(&algorithm, root);
+    let (algorithm, root, backend) = parse_args();
+    let engine = make_engine(&algorithm, root, &backend);
     println!(
-        "risgraph shell — algorithm {} (root {root}); type 'help' for commands",
-        algorithm.to_uppercase()
+        "risgraph shell — algorithm {} (root {root}), store {}; type 'help' for commands",
+        algorithm.to_uppercase(),
+        backend.label()
     );
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
@@ -122,32 +150,30 @@ fn main() {
                 }
                 Err(e) => println!("cannot read {file}: {e}"),
             },
-            ["gen", "rmat", scale, factor] => {
-                match (scale.parse::<u32>(), factor.parse::<f64>()) {
-                    (Ok(scale), Ok(edge_factor)) if scale <= 24 => {
-                        let cfg = RmatConfig {
-                            scale,
-                            edge_factor,
-                            max_weight: if algorithm == "sssp" || algorithm == "sswp" {
-                                100
-                            } else {
-                                0
-                            },
-                            ..RmatConfig::default()
-                        };
-                        let edges = cfg.generate();
-                        let t = std::time::Instant::now();
-                        engine.load_edges(&edges);
-                        println!(
-                            "generated |V|={} |E|={} and computed in {:?}",
-                            cfg.num_vertices(),
-                            edges.len(),
-                            t.elapsed()
-                        );
-                    }
-                    _ => println!("usage: gen rmat SCALE(≤24) EDGE_FACTOR"),
+            ["gen", "rmat", scale, factor] => match (scale.parse::<u32>(), factor.parse::<f64>()) {
+                (Ok(scale), Ok(edge_factor)) if scale <= 24 => {
+                    let cfg = RmatConfig {
+                        scale,
+                        edge_factor,
+                        max_weight: if algorithm == "sssp" || algorithm == "sswp" {
+                            100
+                        } else {
+                            0
+                        },
+                        ..RmatConfig::default()
+                    };
+                    let edges = cfg.generate();
+                    let t = std::time::Instant::now();
+                    engine.load_edges(&edges);
+                    println!(
+                        "generated |V|={} |E|={} and computed in {:?}",
+                        cfg.num_vertices(),
+                        edges.len(),
+                        t.elapsed()
+                    );
                 }
-            }
+                _ => println!("usage: gen rmat SCALE(≤24) EDGE_FACTOR"),
+            },
             ["ins", s, d, rest @ ..] | ["del", s, d, rest @ ..] => {
                 let is_insert = parts[0] == "ins";
                 match (s.parse(), d.parse()) {
@@ -162,12 +188,8 @@ fn main() {
                         let t = std::time::Instant::now();
                         match engine.apply(&u) {
                             Ok((safety, changes)) => {
-                                let n: usize =
-                                    changes.per_algo.iter().map(|c| c.len()).sum();
-                                println!(
-                                    "{safety:?}, {n} result change(s), {:?}",
-                                    t.elapsed()
-                                );
+                                let n: usize = changes.per_algo.iter().map(|c| c.len()).sum();
+                                println!("{safety:?}, {n} result change(s), {:?}", t.elapsed());
                                 for c in changes.per_algo[0].iter().take(8) {
                                     println!(
                                         "  v{}: {} -> {}",

@@ -38,6 +38,41 @@
 //! assert_eq!(engine.value(0, 2), 2);
 //! ```
 //!
+//! ## Storage backends
+//!
+//! The engine is generic over [`storage::DynamicGraph`], the storage
+//! contract extracted from the paper's §6.3 comparison. One engine —
+//! and one server — drives the whole backend matrix:
+//!
+//! | `--store` | type | layout |
+//! |-----------|------|--------|
+//! | `ia-hash` (default) | `GraphStore<HashIndex>` | Indexed Adjacency Lists + hash indexes |
+//! | `ia-btree` / `ia-art` | `GraphStore<_>` | ditto with B-tree / ART indexes |
+//! | `io-hash` / `io-btree` / `io-art` | `IndexOnlyStore<_>` | edges only in per-vertex indexes |
+//! | `ooc` | `OocStore` | out-of-core 4 KiB block chains + LRU cache |
+//!
+//! ```
+//! use risgraph::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // The same engine API over a runtime-selected backend:
+//! let kind = BackendKind::parse("io-hash").unwrap();
+//! let store = AnyStore::open(&kind, 1024, Default::default()).unwrap();
+//! let engine = Engine::from_store(
+//!     store,
+//!     vec![Arc::new(Bfs::new(0)) as DynAlgorithm],
+//!     Default::default(),
+//! );
+//! engine.load_edges(&[(0, 1, 0), (1, 2, 0)]);
+//! assert_eq!(engine.value(0, 2), 2);
+//! ```
+//!
+//! Servers select their backend through
+//! [`core::server::ServerConfig::backend`]; the CLI exposes the same
+//! choice as `risgraph --store <backend>`. A cross-backend differential
+//! property test (`tests/proptest_invariants.rs`) holds all backends to
+//! identical results and store contents under random update streams.
+//!
 //! For the full interactive tier (sessions, versioned snapshots,
 //! transactions, durability) see [`core::server::Server`]; runnable
 //! scenarios live in `examples/`.
@@ -56,6 +91,6 @@ pub mod prelude {
     pub use risgraph_common::{Error, Result};
     pub use risgraph_core::engine::{ChangeSet, DynAlgorithm, Engine, EngineConfig, Safety};
     pub use risgraph_core::server::{Reply, Server, ServerConfig, Session};
-    pub use risgraph_storage::{DefaultStore, GraphStore};
+    pub use risgraph_storage::{AnyStore, BackendKind, DefaultStore, DynamicGraph, GraphStore};
     pub use risgraph_workloads::{DatasetSpec, StreamConfig};
 }

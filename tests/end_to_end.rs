@@ -58,7 +58,11 @@ fn run_dataset_stream<A: Monotonic<Value = u64> + Copy>(alg: A, abbr: &str, weig
                 );
             }
             assert_eq!(ks.values(), &want[..], "kickstarter diverged on {abbr}@{i}");
-            assert_eq!(dd.values(), &want[..], "differential diverged on {abbr}@{i}");
+            assert_eq!(
+                dd.values(),
+                &want[..],
+                "differential diverged on {abbr}@{i}"
+            );
         }
     }
 }
@@ -100,10 +104,8 @@ fn recompute_agrees_with_engine() {
     let data = spec.generate(9, 0);
     let engine: Engine = Engine::with_algorithm(Bfs::new(data.root), data.num_vertices);
     engine.load_edges(&data.edges);
-    let csr = risgraph::storage::csr::Csr::from_edges(
-        data.num_vertices,
-        data.edges.iter().copied(),
-    );
+    let csr =
+        risgraph::storage::csr::Csr::from_edges(data.num_vertices, data.edges.iter().copied());
     let dense = risgraph::baselines::recompute::recompute(&Bfs::new(data.root), &csr);
     for v in 0..data.num_vertices as u64 {
         assert_eq!(engine.value(0, v), dense[v as usize], "vertex {v}");
@@ -171,7 +173,11 @@ fn multi_algorithm_equals_single_algorithm() {
     }
     for v in 0..data.num_vertices as u64 {
         assert_eq!(multi.value(0, v), single_bfs.value(0, v), "BFS vertex {v}");
-        assert_eq!(multi.value(1, v), single_sssp.value(0, v), "SSSP vertex {v}");
+        assert_eq!(
+            multi.value(1, v),
+            single_sssp.value(0, v),
+            "SSSP vertex {v}"
+        );
         assert_eq!(multi.value(2, v), single_wcc.value(0, v), "WCC vertex {v}");
     }
 }

@@ -5,11 +5,15 @@
 //! 2. updates classified *safe* never change any result value;
 //! 3. duplicate-edge bookkeeping in the store matches a multiset model;
 //! 4. insert(e) then delete(e) around arbitrary noise leaves results
-//!    where the noise alone would have.
+//!    where the noise alone would have;
+//! 5. the same update stream driven through the engine over different
+//!    `DynamicGraph` backends (IA_Hash, IO_Hash, OOC) yields identical
+//!    algorithm values *and* identical store contents.
 
 use proptest::prelude::*;
 use risgraph::algorithms::{reference, Bfs, Sssp, Sswp, Wcc};
 use risgraph::prelude::*;
+use risgraph::storage::{AnyStore, BackendKind, DynamicGraph, StoreConfig};
 use risgraph_algorithms::Monotonic;
 
 const N: u64 = 24;
@@ -165,6 +169,106 @@ proptest! {
         }
         let total: u32 = model.values().sum();
         prop_assert_eq!(store.num_edges(), total as u64);
+    }
+
+    /// Invariant 5: backend-independence. One engine API, three storage
+    /// layouts, byte-identical results — the multi-backend claim of
+    /// §6.3 as a testable property.
+    #[test]
+    fn cross_backend_differential(
+        initial in proptest::collection::vec((0..N, 0..N, 1..5u64), 0..30),
+        steps in proptest::collection::vec(step_strategy(), 0..50),
+    ) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let ooc_path = std::env::temp_dir().join(format!(
+            "risgraph-xbackend-{}-{case}.blocks",
+            std::process::id()
+        ));
+
+        let kinds = [
+            BackendKind::IaHash,
+            BackendKind::IoHash,
+            BackendKind::Ooc {
+                path: Some(ooc_path.clone()),
+                cache_blocks: 4, // tiny: force evictions mid-stream
+            },
+        ];
+        let alg = Sssp::new(0);
+        let engines: Vec<Engine<AnyStore>> = kinds
+            .iter()
+            .map(|kind| {
+                let store =
+                    AnyStore::open(kind, N as usize, StoreConfig::default()).unwrap();
+                Engine::from_store(
+                    store,
+                    vec![std::sync::Arc::new(alg) as DynAlgorithm],
+                    Default::default(),
+                )
+            })
+            .collect();
+        for e in &engines {
+            e.load_edges(&initial);
+        }
+
+        let mut live = initial.clone();
+        for step in &steps {
+            let u = match *step {
+                Step::Ins(s, d, w) => Update::InsEdge(Edge::new(s, d, w)),
+                Step::Del(i) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (s, d, w) = live[i % live.len()];
+                    Update::DelEdge(Edge::new(s, d, w))
+                }
+            };
+            for e in &engines {
+                e.apply(&u).unwrap();
+            }
+            match u {
+                Update::InsEdge(e) => live.push((e.src, e.dst, e.data)),
+                Update::DelEdge(e) => {
+                    let p = live
+                        .iter()
+                        .position(|&(s, d, w)| s == e.src && d == e.dst && w == e.data)
+                        .unwrap();
+                    live.swap_remove(p);
+                }
+                _ => {}
+            }
+        }
+
+        // Identical algorithm results on every backend…
+        let reference = engines[0].values_snapshot(0, N as usize);
+        for (engine, kind) in engines.iter().zip(&kinds).skip(1) {
+            prop_assert_eq!(
+                &engine.values_snapshot(0, N as usize),
+                &reference,
+                "values diverged on {}",
+                kind.label()
+            );
+        }
+        // …and identical store contents (count-annotated adjacency).
+        let contents = |engine: &Engine<AnyStore>| {
+            engine.with_store(|s| {
+                let mut all: Vec<Vec<(u64, u64, u32)>> = Vec::new();
+                for v in 0..N {
+                    let mut adj = Vec::new();
+                    s.scan_out(v, &mut |d, w, c| adj.push((d, w, c)));
+                    adj.sort_unstable();
+                    all.push(adj);
+                }
+                (s.num_edges(), all)
+            })
+        };
+        let want = contents(&engines[0]);
+        for (engine, kind) in engines.iter().zip(&kinds).skip(1) {
+            prop_assert_eq!(&contents(engine), &want, "contents diverged on {}", kind.label());
+        }
+        drop(engines);
+        let _ = std::fs::remove_file(&ooc_path);
     }
 
     #[test]

@@ -260,12 +260,8 @@ fn gc_respects_unreleased_sessions() {
     let mut config = ServerConfig::default();
     config.engine.threads = 2;
     config.gc_interval = Duration::from_millis(1);
-    let srv: Server = Server::start(
-        vec![Arc::new(Bfs::new(0)) as DynAlgorithm],
-        64,
-        config,
-    )
-    .unwrap();
+    let srv: Server =
+        Server::start(vec![Arc::new(Bfs::new(0)) as DynAlgorithm], 64, config).unwrap();
     srv.load_edges(&[(0, 1, 0)]);
     let holder = srv.session(); // never releases: watermark stays 0
     let worker = srv.session();
