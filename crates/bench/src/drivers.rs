@@ -9,7 +9,7 @@ use risgraph_common::ids::Update;
 use risgraph_common::stats::LatencyHistogram;
 use risgraph_core::engine::{DynAlgorithm, Engine, EngineConfig, Safety};
 use risgraph_core::server::{Server, ServerConfig};
-use risgraph_storage::{AnyStore, BackendKind, DynamicGraph, StoreConfig};
+use risgraph_storage::{AnyStore, BackendKind, DynamicGraph};
 
 /// Aggregated client-side measurements, in the units Figure 10b prints.
 #[derive(Debug, Clone)]
@@ -49,29 +49,53 @@ pub fn needs_weights(name: &str) -> bool {
 
 /// Build an engine over a runtime-selected storage backend — the
 /// Table 8/9 experiments drive the *real* update path on every layout
-/// through this (no bespoke per-backend kernels).
+/// through this (no bespoke per-backend kernels). Delegates to the
+/// shared test-support crate so tests and benches construct identically.
 pub fn engine_on_backend(
     kind: &BackendKind,
     algorithms: Vec<DynAlgorithm>,
     capacity: usize,
     config: EngineConfig,
 ) -> Engine<AnyStore> {
-    let store = AnyStore::open(
-        kind,
-        capacity,
-        StoreConfig {
-            index_threshold: config.index_threshold,
-            auto_create_vertices: true,
-        },
-    )
-    .expect("backend open");
-    Engine::from_store(store, algorithms, config)
+    risgraph_testkit::engine_on(kind, algorithms, capacity, config)
+}
+
+/// Sweep the epoch loop's shard count over the same preload and
+/// per-session update streams: one [`measure_server_streams`] run per
+/// entry of `shard_counts`, all other configuration shared. Streams are
+/// per-session (not striped) so order-sensitive workloads — safe churn
+/// keeps each insert/delete pair inside one session — stay valid at
+/// every shard count. The shard-scaling harness and the ignored scaling
+/// test both consume this, so the measured code path is identical.
+pub fn measure_shard_scaling(
+    make_algorithms: impl Fn() -> Vec<DynAlgorithm>,
+    preload: &[(u64, u64, u64)],
+    session_streams: &[Vec<Update>],
+    capacity: usize,
+    base_config: &ServerConfig,
+    shard_counts: &[usize],
+) -> Vec<(usize, PerfResult)> {
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let mut config = base_config.clone();
+            config.shards = shards;
+            let perf = measure_server_streams(
+                make_algorithms(),
+                preload,
+                session_streams,
+                capacity,
+                config,
+            );
+            (shards, perf)
+        })
+        .collect()
 }
 
 /// Run emulated synchronous sessions against a server (§6.2's TPC-C
-/// style setup): `sessions` client threads each own a shard of the
-/// update stream, submitting one update at a time and waiting for the
-/// response; latency is measured client-side.
+/// style setup): `sessions` client threads each own a round-robin
+/// stripe of the update stream, submitting one update at a time and
+/// waiting for the response; latency is measured client-side.
 pub fn measure_server(
     algorithms: Vec<DynAlgorithm>,
     preload: &[(u64, u64, u64)],
@@ -80,31 +104,40 @@ pub fn measure_server(
     sessions: usize,
     config: ServerConfig,
 ) -> PerfResult {
+    let sessions = sessions.max(1).min(updates.len().max(1));
+    let streams: Vec<Vec<Update>> = (0..sessions)
+        .map(|s| updates.iter().skip(s).step_by(sessions).copied().collect())
+        .collect();
+    measure_server_streams(algorithms, preload, &streams, capacity, config)
+}
+
+/// Like [`measure_server`], but each session's stream is given
+/// explicitly — for workloads whose per-session submission order
+/// matters (e.g. safe-churn pairs that must not be split across
+/// concurrently-racing sessions).
+pub fn measure_server_streams(
+    algorithms: Vec<DynAlgorithm>,
+    preload: &[(u64, u64, u64)],
+    session_streams: &[Vec<Update>],
+    capacity: usize,
+    config: ServerConfig,
+) -> PerfResult {
     let server: Arc<Server> =
         Arc::new(Server::start(algorithms, capacity, config).expect("server start"));
     server.load_edges(preload);
 
-    let sessions = sessions.max(1).min(updates.len().max(1));
-    let shards: Vec<Vec<Update>> = (0..sessions)
-        .map(|s| updates.iter().skip(s).step_by(sessions).copied().collect())
-        .collect();
-
     let t0 = Instant::now();
-    let mut handles = Vec::with_capacity(sessions);
-    for shard in shards {
+    let mut handles = Vec::with_capacity(session_streams.len());
+    for stream in session_streams {
         let server = Arc::clone(&server);
+        let stream = stream.clone();
         handles.push(std::thread::spawn(move || {
             let session = server.session();
             let mut hist = LatencyHistogram::new();
             let mut done = 0u64;
-            for u in shard {
+            for u in &stream {
                 let t = Instant::now();
-                let reply = match u {
-                    Update::InsEdge(e) => session.ins_edge(e),
-                    Update::DelEdge(e) => session.del_edge(e),
-                    Update::InsVertex(v) => session.ins_vertex(v),
-                    Update::DelVertex(v) => session.del_vertex(v),
-                };
+                let reply = session.submit_update(u);
                 hist.record(t.elapsed());
                 if reply.outcome.is_ok() {
                     done += 1;

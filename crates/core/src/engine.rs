@@ -15,9 +15,11 @@
 //!   for the history store.
 //!
 //! Concurrency contract: `try_apply_safe` may be called from many
-//! threads at once (no results change by construction); `apply_unsafe`
-//! must be called from one thread at a time, with no concurrent safe
-//! applications — exactly the phase discipline of the epoch loop.
+//! threads at once (no results change by construction) — the sharded
+//! epoch loop's shard executors all enter here through `&self` during
+//! the parallel safe phase; `apply_unsafe` must be called from one
+//! thread at a time, with no concurrent safe applications — exactly
+//! the phase discipline the epoch loop's shard barrier enforces.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -425,7 +427,9 @@ impl<G: DynamicGraph> Engine<G> {
     // ------------------------------------------------------------------
 
     /// Apply a safe-classified update, revalidating under the adjacency
-    /// locks. May be called concurrently from many threads. Returns
+    /// locks. May be called concurrently from many threads — this is
+    /// the safe-path entry point the epoch loop's shard executors drive
+    /// over `&G` during the parallel phase. Returns
     /// [`SafeApply::Demoted`] when the update can no longer be proven
     /// safe and must be retried on the unsafe path.
     pub fn try_apply_safe(&self, u: &Update) -> Result<SafeApply> {

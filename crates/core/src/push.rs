@@ -16,6 +16,13 @@
 //! The per-iteration choice between the two parallel modes is made by
 //! the linear classifier; callers can force a mode to reproduce the
 //! Figure 13 ablation.
+//!
+//! Propagation only ever runs inside the epoch loop's *serial* unsafe
+//! phase (or during loads/recovery), never concurrently with the
+//! sharded safe phase: safe updates are exactly those that provably
+//! need no propagation, which is why shard executors can mutate the
+//! structure through [`crate::engine::Engine::try_apply_safe`] while
+//! no `PushCtx` is live.
 
 use parking_lot::Mutex;
 use risgraph_algorithms::Monotonic;

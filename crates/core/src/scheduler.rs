@@ -125,6 +125,16 @@ impl Scheduler {
         self.total += total;
     }
 
+    /// Fold per-shard `(qualified, total)` safe-phase counts — as
+    /// collected at the epoch loop's shard barrier — into the epoch's
+    /// accounting. Threshold adaptation thus sees the whole epoch at
+    /// once, no matter how many shard executors served it.
+    pub fn record_shards<I: IntoIterator<Item = (u64, u64)>>(&mut self, shards: I) {
+        for (qualified, total) in shards {
+            self.record_batch(qualified, total);
+        }
+    }
+
     /// Note the end of one epoch loop; adjusts the threshold every
     /// `adjust_every` epochs.
     pub fn end_epoch(&mut self) {
@@ -209,6 +219,22 @@ mod tests {
             s.end_epoch();
         }
         assert_eq!(s.threshold(), 90); // 100 × 0.90
+    }
+
+    #[test]
+    fn shard_counts_aggregate_like_one_batch() {
+        // Two schedulers fed the same epoch — one as a single batch,
+        // one as per-shard counts — must adapt identically.
+        let mut merged = sched(20, 100);
+        let mut single = sched(20, 100);
+        for _ in 0..3 {
+            merged.record_shards([(400, 400), (100, 150), (0, 50)]);
+            single.record_batch(500, 600);
+            merged.end_epoch();
+            single.end_epoch();
+        }
+        assert_eq!(merged.threshold(), single.threshold());
+        assert_eq!(merged.threshold(), 90, "2/12 misses ⇒ decrease");
     }
 
     #[test]

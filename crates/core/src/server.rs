@@ -9,18 +9,37 @@
 //! * The **coordinator thread** runs epoch loops: it gathers pending
 //!   updates, classifies each session's queue prefix (stopping at the
 //!   first unsafe update — everything behind it is *next-epoch*, §4),
-//!   executes all safe updates **in parallel** across sessions, then
+//!   executes all safe updates **in parallel across shards**, then
 //!   executes unsafe updates **one by one** (each internally parallel),
 //!   consulting the [`Scheduler`] to bound tail latency.
+//! * The **sharded safe phase** ([`ServerConfig::shards`]): sessions
+//!   are hash-partitioned over `shards` executors (shard 0 is the
+//!   coordinator itself; shards `1..N` are dedicated worker threads).
+//!   Safe updates commute by construction — they provably change no
+//!   result — so each shard drains its partition of the epoch's safe
+//!   prefix concurrently with the others, preserving per-session order
+//!   because a session maps to exactly one shard. A **barrier** (the
+//!   coordinator collects every dispatched shard's outcome) separates
+//!   the parallel safe phase from the serial unsafe phase, so the
+//!   engine's phase discipline is unchanged. Durability, history,
+//!   scheduling and sessions stay centralized on the coordinator:
+//!   shards report applied updates and latency counts, the coordinator
+//!   merges them into one WAL group-commit record per epoch and one
+//!   aggregated scheduler batch.
 //! * Per-session order is preserved and each session observes
 //!   sequentially consistent behaviour: a session's updates execute in
 //!   submission order, and a demoted safe update re-enters its session's
 //!   queue front.
 //!
-//! Durability: applied updates are appended to the WAL and fsynced once
-//! per epoch (group commit). History: every result-changing update
-//! records its per-vertex deltas; GC runs on released-version
-//! watermarks every `gc_interval` (§5: every second).
+//! Durability: every update applied in an epoch — across all shards and
+//! the unsafe phase — is appended as **one merged WAL record** at epoch
+//! end and fsynced on the group-commit cadence. The record preserves
+//! per-session order (each shard logs its serial execution order;
+//! shard logs are concatenated), which is a valid linearization of the
+//! commuting safe phase. History: every result-changing update records
+//! its per-vertex deltas (serial phase only — safe updates change no
+//! results); GC runs on released-version watermarks every
+//! `gc_interval` (§5: every second).
 
 use std::collections::VecDeque;
 use std::path::PathBuf;
@@ -55,6 +74,13 @@ pub struct ServerConfig {
     pub backend: BackendKind,
     /// Scheduler tuning (latency limit etc.).
     pub scheduler: SchedulerConfig,
+    /// Shard executors for the epoch loop's safe phase. `1` keeps the
+    /// fully serial coordinator; `N > 1` spawns `N - 1` shard worker
+    /// threads and hash-partitions sessions across all `N` executors
+    /// (the coordinator drains shard 0 itself). Defaults to the
+    /// `RISGRAPH_SHARDS` environment variable when set, else the
+    /// machine's available parallelism.
+    pub shards: usize,
     /// Enable the write-ahead log at this path (replayed on startup).
     pub wal_path: Option<PathBuf>,
     /// Maintain the history store (versioned snapshots).
@@ -78,6 +104,15 @@ impl Default for ServerConfig {
             engine: EngineConfig::default(),
             backend: BackendKind::default(),
             scheduler: SchedulerConfig::default(),
+            shards: std::env::var("RISGRAPH_SHARDS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|&n: &usize| n >= 1)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(4)
+                }),
             wal_path: None,
             enable_history: true,
             gc_interval: Duration::from_secs(1),
@@ -107,15 +142,21 @@ impl Op {
     }
 
     fn max_vertex(&self) -> u64 {
-        self.updates()
-            .iter()
-            .map(|u| match u {
-                Update::InsEdge(e) | Update::DelEdge(e) => e.src.max(e.dst),
-                Update::InsVertex(v) | Update::DelVertex(v) => *v,
-            })
-            .max()
-            .map_or(0, |v| v + 1)
+        max_vertex_of(self.updates())
     }
+}
+
+/// One-past the highest vertex id a batch touches (0 when empty) — the
+/// capacity the engine must have before applying it.
+fn max_vertex_of(updates: &[Update]) -> u64 {
+    updates
+        .iter()
+        .map(|u| match u {
+            Update::InsEdge(e) | Update::DelEdge(e) => e.src.max(e.dst),
+            Update::InsVertex(v) | Update::DelVertex(v) => *v,
+        })
+        .max()
+        .map_or(0, |v| v + 1)
 }
 
 /// Information returned with every successful update.
@@ -166,6 +207,24 @@ pub struct ServerStats {
     /// Nanoseconds envelopes spent queued before execution ("network"
     /// tier in the Figure 11b breakdown).
     pub queue_ns: AtomicU64,
+    /// Worst wait (submission → start of execution) of any unsafe
+    /// update, in nanoseconds. The scheduler's contract bounds this by
+    /// the latency limit plus at most one epoch.
+    pub max_unsafe_wait_ns: AtomicU64,
+    /// Longest epoch execution (post-gather) in nanoseconds — the grace
+    /// term in the scheduler's wait bound.
+    pub max_epoch_ns: AtomicU64,
+    /// Lowest scheduler threshold observed (`u64::MAX` until the first
+    /// epoch) — witnesses downward self-adjustment under pressure.
+    pub min_threshold: AtomicU64,
+}
+
+impl ServerStats {
+    fn new() -> Self {
+        let stats = ServerStats::default();
+        stats.min_threshold.store(u64::MAX, Ordering::Relaxed);
+        stats
+    }
 }
 
 struct Shared {
@@ -181,6 +240,9 @@ struct Shared {
     next_session: AtomicU64,
     stats: ServerStats,
     enable_history: bool,
+    /// Set by [`Server::crash`]: exit without the final WAL flush,
+    /// simulating power loss of the buffered log tail.
+    hard_crash: AtomicBool,
 }
 
 impl Shared {
@@ -196,6 +258,7 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     coordinator: Option<std::thread::JoinHandle<()>>,
+    shard_workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -223,11 +286,13 @@ impl Server {
             let batches = replay(path)?;
             if !batches.is_empty() {
                 for batch in &batches {
+                    // One capacity check per record — an epoch-merged
+                    // record can hold tens of thousands of updates.
+                    let need = max_vertex_of(batch);
+                    if need as usize > engine.capacity() {
+                        engine.ensure_capacity(need as usize);
+                    }
                     for u in batch {
-                        let need = Op::Txn(batch.clone()).max_vertex();
-                        if need as usize > engine.capacity() {
-                            engine.ensure_capacity(need as usize);
-                        }
                         // Individual replay errors (e.g. an update that
                         // had failed originally) are skipped.
                         let _ = engine.apply_structure(u);
@@ -250,17 +315,41 @@ impl Server {
             query_gate: RwLock::new(()),
             released: Mutex::new(FxHashMap::default()),
             next_session: AtomicU64::new(0),
-            stats: ServerStats::default(),
+            stats: ServerStats::new(),
             enable_history: config.enable_history,
+            hard_crash: AtomicBool::new(false),
         });
+
+        // Shard executors 1..N for the safe phase; the coordinator
+        // itself is shard 0. Their job senders live in the coordinator,
+        // so they exit when the coordinator returns.
+        let mut shards = Vec::new();
+        let mut shard_workers = Vec::new();
+        for i in 1..config.shards.max(1) {
+            let (job_tx, job_rx) = unbounded::<ShardJob>();
+            let (result_tx, result_rx) = unbounded::<ShardOutcome>();
+            let worker_shared = Arc::clone(&shared);
+            shard_workers.push(
+                std::thread::Builder::new()
+                    .name(format!("risgraph-shard-{i}"))
+                    .spawn(move || shard_worker_loop(worker_shared, job_rx, result_tx))
+                    .expect("spawn shard worker"),
+            );
+            shards.push(ShardHandle {
+                jobs: job_tx,
+                results: result_rx,
+            });
+        }
+
         let coord_shared = Arc::clone(&shared);
         let coordinator = std::thread::Builder::new()
             .name("risgraph-coordinator".into())
-            .spawn(move || coordinator_loop(coord_shared, rx, config, wal))
+            .spawn(move || coordinator_loop(coord_shared, rx, config, wal, shards))
             .expect("spawn coordinator");
         Ok(Server {
             shared,
             coordinator: Some(coordinator),
+            shard_workers,
         })
     }
 
@@ -304,9 +393,24 @@ impl Server {
         self.do_shutdown();
     }
 
+    /// Stop the server **without** flushing the buffered WAL tail —
+    /// a power-loss simulation for crash-recovery tests. Updates whose
+    /// records were still buffered (group commit trades a bounded
+    /// durability window for throughput, §5) are lost; replay recovers
+    /// the longest clean record prefix.
+    pub fn crash(mut self) {
+        self.shared.hard_crash.store(true, Ordering::Release);
+        self.do_shutdown();
+    }
+
     fn do_shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         if let Some(h) = self.coordinator.take() {
+            let _ = h.join();
+        }
+        // The coordinator's exit dropped the shard job senders, so the
+        // workers unblock and return.
+        for h in self.shard_workers.drain(..) {
             let _ = h.join();
         }
     }
@@ -358,6 +462,12 @@ impl Session {
                 outcome: Err(Error::Shutdown),
             },
         }
+    }
+
+    /// Submit any [`Update`] through its Table 1 operation — the
+    /// one-stop dispatch harnesses use to replay generated streams.
+    pub fn submit_update(&self, u: &Update) -> Reply {
+        self.submit(Op::Single(*u))
     }
 
     /// `ins_edge(edge) → version_id` (Table 1).
@@ -490,11 +600,120 @@ struct EpochBuf {
     unsafe_queue: VecDeque<Envelope>,
 }
 
+/// One epoch's safe-phase work for one shard executor.
+struct ShardJob {
+    /// The per-session safe groups this shard owns for the epoch.
+    groups: Vec<(u64, Vec<Envelope>)>,
+    /// The scheduler's latency limit, for qualified-update counting.
+    limit: Duration,
+}
+
+/// What a shard executor reports at the epoch barrier.
+#[derive(Default)]
+struct ShardOutcome {
+    /// Updates applied, in this shard's serial execution order (feeds
+    /// the epoch's merged WAL record).
+    applied: Vec<Update>,
+    /// Unprocessed per-session suffixes (behind a demotion) to requeue.
+    leftovers: Vec<(u64, Vec<Envelope>)>,
+    /// Safe updates that completed within the latency limit.
+    qualified: u64,
+    /// Safe updates served (applied or errored).
+    total: u64,
+}
+
+/// The coordinator's side of one shard worker: a job channel in, an
+/// outcome channel back. Dropping the sender (coordinator exit) stops
+/// the worker.
+struct ShardHandle {
+    jobs: Sender<ShardJob>,
+    results: Receiver<ShardOutcome>,
+}
+
+fn shard_worker_loop(shared: Arc<Shared>, jobs: Receiver<ShardJob>, results: Sender<ShardOutcome>) {
+    while let Ok(job) = jobs.recv() {
+        let outcome = drain_shard(&shared, job.groups, job.limit);
+        if results.send(outcome).is_err() {
+            return;
+        }
+    }
+}
+
+/// Serially drain one shard's partition of the epoch's safe prefix.
+/// Runs concurrently with the other shards — safe updates commute, and
+/// [`Engine::try_apply_safe`] revalidates under the store's own locks —
+/// while per-session order holds because a session's whole group lives
+/// on one shard. A demotion stops that session's group; the demoted
+/// update and the unprocessed suffix go back to the session queue via
+/// `leftovers`.
+fn drain_shard(
+    shared: &Shared,
+    groups: Vec<(u64, Vec<Envelope>)>,
+    limit: Duration,
+) -> ShardOutcome {
+    let mut out = ShardOutcome::default();
+    for (sid, group) in groups {
+        let mut iter = group.into_iter();
+        let mut rest: Vec<Envelope> = Vec::new();
+        for env in iter.by_ref() {
+            match execute_safe(shared, &env) {
+                SafeExec::Applied(updates) => {
+                    out.applied.extend(updates);
+                    let lat = env.enqueued.elapsed();
+                    out.total += 1;
+                    if lat <= limit {
+                        out.qualified += 1;
+                    }
+                    shared
+                        .stats
+                        .queue_ns
+                        .fetch_add(lat.as_nanos() as u64, Ordering::Relaxed);
+                }
+                SafeExec::Errored => {
+                    out.total += 1;
+                }
+                SafeExec::Demoted => {
+                    shared.stats.demotions.fetch_add(1, Ordering::Relaxed);
+                    rest.push(env);
+                    break;
+                }
+            }
+        }
+        rest.extend(iter);
+        if !rest.is_empty() {
+            out.leftovers.push((sid, rest));
+        }
+    }
+    out
+}
+
 fn coordinator_loop(
     shared: Arc<Shared>,
     rx: Receiver<Envelope>,
     config: ServerConfig,
     mut wal: Option<WalWriter>,
+    shards: Vec<ShardHandle>,
+) {
+    run_epochs(&shared, &rx, &config, &mut wal, &shards);
+    match wal {
+        // Power-loss simulation (`Server::crash`): leak the writer so
+        // its buffered tail is never flushed; the fd is reclaimed at
+        // process exit.
+        Some(w) if shared.hard_crash.load(Ordering::Acquire) => std::mem::forget(w),
+        // Graceful exit: flush and fsync whatever is still buffered.
+        Some(mut w) => {
+            let _ = w.sync();
+        }
+        None => {}
+    }
+}
+
+fn run_epochs(
+    shared: &Arc<Shared>,
+    rx: &Receiver<Envelope>,
+    config: &ServerConfig,
+    wal: &mut Option<WalWriter>,
+    shards: &[ShardHandle],
 ) {
     let mut scheduler = Scheduler::new(config.scheduler.clone());
     let mut pending: FxHashMap<u64, VecDeque<Envelope>> = FxHashMap::default();
@@ -591,79 +810,65 @@ fn coordinator_loop(
             }
         }
 
-        // ---- Parallel safe phase -----------------------------------
-        let epoch_qualified = AtomicU64::new(0);
-        let epoch_total = AtomicU64::new(0);
-        let applied_log: Mutex<Vec<Update>> = Mutex::new(Vec::new());
-        let leftovers: Mutex<Vec<(u64, Vec<Envelope>)>> = Mutex::new(Vec::new());
+        // ---- Sharded parallel safe phase ---------------------------
+        let t_epoch = Instant::now();
+        let limit = scheduler.latency_limit();
+        let mut epoch_log: Vec<Update> = Vec::new();
+        let mut shard_counts: Vec<(u64, u64)> = Vec::new();
         if buf.safe_count > 0 {
-            let groups = std::mem::take(&mut buf.safe_groups);
-            let cursor = AtomicU64::new(0);
-            let n_groups = groups.len();
-            let limit = scheduler.latency_limit();
-            shared.engine.pool().run(|_| loop {
-                let gi = cursor.fetch_add(1, Ordering::Relaxed) as usize;
-                if gi >= n_groups {
-                    break;
+            // Hash-partition sessions over the executors: shard 0 is
+            // the coordinator itself, shards 1..N the worker threads.
+            let num_shards = shards.len() + 1;
+            let mut parts: Vec<Vec<(u64, Vec<Envelope>)>> =
+                (0..num_shards).map(|_| Vec::new()).collect();
+            for (sid, group) in std::mem::take(&mut buf.safe_groups) {
+                parts[(sid % num_shards as u64) as usize].push((sid, group));
+            }
+            let mut dispatched = Vec::new();
+            for (i, handle) in shards.iter().enumerate() {
+                let part = std::mem::take(&mut parts[i + 1]);
+                if !part.is_empty() {
+                    handle
+                        .jobs
+                        .send(ShardJob {
+                            groups: part,
+                            limit,
+                        })
+                        .expect("shard worker alive");
+                    dispatched.push(i);
                 }
-                let (sid, group) = &groups[gi];
-                let mut iter = group.iter();
-                let mut local_applied = Vec::new();
-                let mut demoted_tail: Vec<Envelope> = Vec::new();
-                for env in iter.by_ref() {
-                    match execute_safe(&shared, env) {
-                        SafeExec::Applied(updates) => {
-                            local_applied.extend(updates);
-                            let lat = env.enqueued.elapsed();
-                            epoch_total.fetch_add(1, Ordering::Relaxed);
-                            if lat <= limit {
-                                epoch_qualified.fetch_add(1, Ordering::Relaxed);
-                            }
-                            shared
-                                .stats
-                                .queue_ns
-                                .fetch_add(lat.as_nanos() as u64, Ordering::Relaxed);
-                        }
-                        SafeExec::Errored => {
-                            epoch_total.fetch_add(1, Ordering::Relaxed);
-                        }
-                        SafeExec::Demoted(env_clone) => {
-                            shared.stats.demotions.fetch_add(1, Ordering::Relaxed);
-                            demoted_tail.push(env_clone);
-                            break;
-                        }
+            }
+            let mut outcomes = vec![drain_shard(shared, std::mem::take(&mut parts[0]), limit)];
+            // The epoch barrier: every dispatched shard must report
+            // before the serial unsafe phase may touch results.
+            for i in dispatched {
+                outcomes.push(shards[i].results.recv().expect("shard worker alive"));
+            }
+            for outcome in outcomes {
+                epoch_log.extend(outcome.applied);
+                shard_counts.push((outcome.qualified, outcome.total));
+                // Requeue demoted suffixes at the front, preserving
+                // per-session order.
+                for (sid, rest) in outcome.leftovers {
+                    let q = pending.entry(sid).or_default();
+                    for env in rest.into_iter().rev() {
+                        q.push_front(env);
                     }
                 }
-                if !demoted_tail.is_empty() || iter.len() > 0 {
-                    // Unprocessed suffix returns to the session queue.
-                    let rest: Vec<Envelope> = demoted_tail
-                        .into_iter()
-                        .chain(collect_envelopes(iter))
-                        .collect();
-                    leftovers.lock().push((*sid, rest));
-                }
-                if !local_applied.is_empty() {
-                    applied_log.lock().extend(local_applied);
-                    shared.stats.safe_executed.fetch_add(1, Ordering::Relaxed);
-                }
-            });
-        }
-        // Requeue demoted suffixes at the front, preserving order.
-        for (sid, rest) in leftovers.into_inner() {
-            let q = pending.entry(sid).or_default();
-            for env in rest.into_iter().rev() {
-                q.push_front(env);
             }
         }
 
         // ---- Serial unsafe phase -----------------------------------
         while let Some(env) = buf.unsafe_queue.pop_front() {
+            let wait = env.enqueued.elapsed();
+            shared
+                .stats
+                .max_unsafe_wait_ns
+                .fetch_max(wait.as_nanos() as u64, Ordering::Relaxed);
             let _gate = shared.query_gate.write();
-            let (reply, applied_updates) = execute_unsafe(&shared, &env);
+            let (reply, applied_updates) = execute_unsafe(shared, &env);
             drop(_gate);
-            if !applied_updates.is_empty() {
-                applied_log.lock().extend(applied_updates);
-            }
+            epoch_log.extend(applied_updates);
             let lat = env.enqueued.elapsed();
             scheduler.record_latency(lat);
             shared
@@ -674,36 +879,43 @@ fn coordinator_loop(
             let _ = env.reply.send(reply);
         }
 
-        // ---- Epoch end: WAL group commit, scheduler, GC ------------
+        // ---- Epoch end: merged WAL group commit, scheduler, GC -----
         if let Some(w) = wal.as_mut() {
-            let t_wal = Instant::now();
-            let log = std::mem::take(&mut *applied_log.lock());
-            if !log.is_empty() {
-                for u in &log {
-                    let _ = w.append(std::slice::from_ref(u));
-                }
+            if !epoch_log.is_empty() {
+                let t_wal = Instant::now();
+                // One merged record per epoch: the concatenated shard
+                // logs (each in its serial execution order — a valid
+                // linearization of the commuting safe phase) followed
+                // by the serial unsafe updates.
+                let _ = w.append(&epoch_log);
                 // Group commit: fsync at most every wal_sync_interval.
                 if last_wal_sync.elapsed() >= config.wal_sync_interval {
                     let _ = w.sync();
                     last_wal_sync = Instant::now();
                 }
+                shared
+                    .stats
+                    .wal_ns
+                    .fetch_add(t_wal.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
-            shared
-                .stats
-                .wal_ns
-                .fetch_add(t_wal.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
 
-        scheduler.record_batch(
-            epoch_qualified.load(Ordering::Relaxed),
-            epoch_total.load(Ordering::Relaxed),
-        );
+        // Threshold accounting over the aggregated per-shard counts.
+        scheduler.record_shards(shard_counts);
         scheduler.end_epoch();
         shared
             .stats
             .threshold
             .store(scheduler.threshold() as u64, Ordering::Relaxed);
+        shared
+            .stats
+            .min_threshold
+            .fetch_min(scheduler.threshold() as u64, Ordering::Relaxed);
         shared.stats.epochs.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .max_epoch_ns
+            .fetch_max(t_epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
         if shared.enable_history && last_gc.elapsed() >= config.gc_interval {
             last_gc = Instant::now();
@@ -727,10 +939,9 @@ fn coordinator_loop(
             && pending.values().all(|q| q.is_empty())
             && rx.is_empty()
         {
-            // Flush any buffered WAL records before exiting.
-            if let Some(w) = wal.as_mut() {
-                let _ = w.sync();
-            }
+            // The final WAL flush (or its deliberate omission under
+            // `Server::crash`) happens in `coordinator_loop` once this
+            // returns.
             // Close the race where a submit slipped in after the final
             // emptiness check: refuse anything still in flight.
             while let Ok(env) = rx.try_recv() {
@@ -744,23 +955,12 @@ fn coordinator_loop(
     }
 }
 
-fn collect_envelopes<'a>(iter: impl Iterator<Item = &'a Envelope>) -> Vec<Envelope> {
-    // Envelopes are not Clone (they carry reply senders we must not
-    // duplicate semantically); rebuild by moving fields. Since we only
-    // have shared references here, reconstruct via the cloneable parts.
-    iter.map(|e| Envelope {
-        session: e.session,
-        op: e.op.clone(),
-        enqueued: e.enqueued,
-        reply: e.reply.clone(),
-    })
-    .collect()
-}
-
 enum SafeExec {
     Applied(Vec<Update>),
     Errored,
-    Demoted(Envelope),
+    /// Revalidation failed; the caller still owns the envelope and must
+    /// requeue it at its session's front for the unsafe path.
+    Demoted,
 }
 
 fn execute_safe(shared: &Shared, env: &Envelope) -> SafeExec {
@@ -768,6 +968,9 @@ fn execute_safe(shared: &Shared, env: &Envelope) -> SafeExec {
         Op::Single(u) => match shared.engine.try_apply_safe(u) {
             Ok(SafeApply::Applied) => {
                 let version = shared.version.fetch_add(1, Ordering::AcqRel) + 1;
+                // Count before replying so a client that has its reply
+                // never reads a stats snapshot missing its own update.
+                shared.stats.safe_executed.fetch_add(1, Ordering::Relaxed);
                 let _ = env.reply.send(Reply {
                     version,
                     outcome: Ok(Applied {
@@ -777,12 +980,7 @@ fn execute_safe(shared: &Shared, env: &Envelope) -> SafeExec {
                 });
                 SafeExec::Applied(vec![*u])
             }
-            Ok(SafeApply::Demoted) => SafeExec::Demoted(Envelope {
-                session: env.session,
-                op: env.op.clone(),
-                enqueued: env.enqueued,
-                reply: env.reply.clone(),
-            }),
+            Ok(SafeApply::Demoted) => SafeExec::Demoted,
             Err(e) => {
                 let _ = env.reply.send(Reply {
                     version: shared.version.load(Ordering::Acquire),
@@ -801,12 +999,7 @@ fn execute_safe(shared: &Shared, env: &Envelope) -> SafeExec {
                     Ok(SafeApply::Applied) => applied.push(*u),
                     Ok(SafeApply::Demoted) => {
                         rollback_structure(shared, &applied);
-                        return SafeExec::Demoted(Envelope {
-                            session: env.session,
-                            op: env.op.clone(),
-                            enqueued: env.enqueued,
-                            reply: env.reply.clone(),
-                        });
+                        return SafeExec::Demoted;
                     }
                     Err(e) => {
                         rollback_structure(shared, &applied);
@@ -819,6 +1012,7 @@ fn execute_safe(shared: &Shared, env: &Envelope) -> SafeExec {
                 }
             }
             let version = shared.version.fetch_add(1, Ordering::AcqRel) + 1;
+            shared.stats.safe_executed.fetch_add(1, Ordering::Relaxed);
             let _ = env.reply.send(Reply {
                 version,
                 outcome: Ok(Applied {

@@ -2,14 +2,19 @@
 //! with write-ahead logs (WAL)").
 //!
 //! Record layout: `[len: u32 LE][crc32: u32 LE][payload]`, where the
-//! payload encodes one update batch (a single update or a transaction).
-//! Replay stops cleanly at the first torn or corrupt record, truncating
-//! the tail — the standard recovery contract.
+//! payload encodes one update batch. The server writes **one merged
+//! record per epoch** — the concatenation of every shard's serially
+//! ordered safe-phase log plus the serial unsafe updates, a valid
+//! linearization of the commuting safe phase — so recovery truncates
+//! at epoch granularity. Replay stops cleanly at the first torn or
+//! corrupt record, truncating the tail — the standard recovery
+//! contract (exercised end-to-end, including a mid-epoch crash with a
+//! buffered tail, by `tests/wal_crash_recovery.rs`).
 //!
 //! Flushing follows the epoch loop's group-commit: `append` buffers,
-//! [`WalWriter::sync`] flushes and fsyncs once per epoch (Figure 11b
-//! charges 14.0% of wall time to WAL, which the breakdown bench
-//! reproduces).
+//! [`WalWriter::sync`] flushes and fsyncs on the group-commit cadence
+//! (Figure 11b charges 14.0% of wall time to WAL, which the breakdown
+//! bench reproduces).
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};

@@ -1,0 +1,81 @@
+//! Engine/server construction helpers over any storage backend.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use risgraph_core::engine::{DynAlgorithm, Engine, EngineConfig};
+use risgraph_core::server::ServerConfig;
+use risgraph_storage::{AnyStore, BackendKind, StoreConfig};
+
+/// A unique scratch path under the system temp dir. Unique per process
+/// *and* per call, so parallel tests never collide.
+pub fn temp_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join("risgraph-testkit");
+    std::fs::create_dir_all(&dir).expect("create testkit temp dir");
+    dir.join(format!(
+        "{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// An OOC backend over a fresh scratch file; returns the path so the
+/// test can remove it when done.
+pub fn ooc_backend(tag: &str, cache_blocks: usize) -> (BackendKind, PathBuf) {
+    let path = temp_path(&format!("{tag}.blocks"));
+    (
+        BackendKind::Ooc {
+            path: Some(path.clone()),
+            cache_blocks,
+        },
+        path,
+    )
+}
+
+/// A [`ServerConfig`] pinned for differential testing: the requested
+/// backend and shard count, and **one** engine worker thread so
+/// intra-update propagation is deterministic (parallel propagation can
+/// pick different — equally valid — dependency-tree parents between
+/// runs, which would make change records incomparable across servers).
+pub fn server_config(backend: BackendKind, shards: usize) -> ServerConfig {
+    ServerConfig {
+        backend,
+        shards,
+        engine: EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        },
+        ..ServerConfig::default()
+    }
+}
+
+/// Build an engine over a runtime-selected storage backend (shared with
+/// the bench drivers).
+pub fn engine_on(
+    kind: &BackendKind,
+    algorithms: Vec<DynAlgorithm>,
+    capacity: usize,
+    config: EngineConfig,
+) -> Engine<AnyStore> {
+    let store = AnyStore::open(
+        kind,
+        capacity,
+        StoreConfig {
+            index_threshold: config.index_threshold,
+            auto_create_vertices: true,
+        },
+    )
+    .expect("backend open");
+    Engine::from_store(store, algorithms, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temp_paths_are_unique() {
+        assert_ne!(temp_path("a"), temp_path("a"));
+    }
+}

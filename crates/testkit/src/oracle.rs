@@ -1,0 +1,104 @@
+//! The oracle: a live edge multiset plus from-scratch recomputation.
+//!
+//! Every differential test in the workspace follows the same protocol —
+//! mirror each applied update into a `Vec<(src, dst, weight)>` multiset
+//! and, at checkpoints, compare the incremental engine's values against
+//! [`reference::compute`] over the multiset. These helpers are that
+//! protocol, extracted from the former per-suite copies in
+//! `tests/end_to_end.rs`, `tests/proptest_invariants.rs` and
+//! `tests/server_semantics.rs`.
+
+use risgraph_algorithms::{reference, Monotonic};
+use risgraph_common::ids::Update;
+use risgraph_core::engine::Engine;
+use risgraph_storage::DynamicGraph;
+
+/// One live edge: `(src, dst, weight)`. Duplicates are represented by
+/// repeated entries (multiset semantics, matching the stores).
+pub type LiveEdge = (u64, u64, u64);
+
+/// Mirror one update into the live multiset. Deletions remove the first
+/// matching entry and are no-ops when the edge is absent (mirroring an
+/// engine that reported `EdgeNotFound`); vertex ops don't touch edges.
+pub fn apply_update(live: &mut Vec<LiveEdge>, u: &Update) {
+    match u {
+        Update::InsEdge(e) => live.push((e.src, e.dst, e.data)),
+        Update::DelEdge(e) => {
+            if let Some(p) = live
+                .iter()
+                .position(|&(s, d, w)| s == e.src && d == e.dst && w == e.data)
+            {
+                live.swap_remove(p);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Mirror a whole batch (e.g. a replayed WAL) into the live multiset.
+pub fn apply_all(live: &mut Vec<LiveEdge>, updates: &[Update]) {
+    for u in updates {
+        apply_update(live, u);
+    }
+}
+
+/// Ground-truth values for `alg` over the multiset, for vertices
+/// `0..n`.
+pub fn oracle_values<A: Monotonic<Value = u64>>(alg: &A, n: usize, live: &[LiveEdge]) -> Vec<u64> {
+    reference::compute(alg, n, live)
+}
+
+/// Assert that algorithm slot `algo` of `engine` matches precomputed
+/// oracle values — use when the caller already holds `want` for other
+/// comparisons, to avoid recomputing the reference.
+pub fn assert_values_match<G: DynamicGraph>(
+    engine: &Engine<G>,
+    algo: usize,
+    want: &[u64],
+    ctx: &str,
+) {
+    for v in 0..want.len() as u64 {
+        assert_eq!(
+            engine.value(algo, v),
+            want[v as usize],
+            "engine diverged from oracle at vertex {v} ({ctx})"
+        );
+    }
+}
+
+/// Assert that algorithm slot `algo` of `engine` matches the oracle on
+/// every vertex. `ctx` names the failure site (dataset, seed, step…).
+pub fn assert_engine_matches<G: DynamicGraph, A: Monotonic<Value = u64>>(
+    engine: &Engine<G>,
+    algo: usize,
+    alg: &A,
+    n: usize,
+    live: &[LiveEdge],
+    ctx: &str,
+) {
+    assert_values_match(engine, algo, &oracle_values(alg, n, live), ctx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risgraph_common::ids::Edge;
+
+    #[test]
+    fn deletion_removes_one_copy() {
+        let mut live = vec![(0, 1, 2), (0, 1, 2)];
+        apply_update(&mut live, &Update::DelEdge(Edge::new(0, 1, 2)));
+        assert_eq!(live.len(), 1);
+        // Absent edge: no-op.
+        apply_update(&mut live, &Update::DelEdge(Edge::new(9, 9, 9)));
+        assert_eq!(live.len(), 1);
+    }
+
+    #[test]
+    fn vertex_ops_are_ignored() {
+        let mut live = vec![(0, 1, 0)];
+        apply_update(&mut live, &Update::InsVertex(7));
+        apply_update(&mut live, &Update::DelVertex(7));
+        assert_eq!(live, vec![(0, 1, 0)]);
+    }
+}

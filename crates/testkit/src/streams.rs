@@ -1,0 +1,246 @@
+//! Deterministic random update-stream generators.
+//!
+//! Three shapes, each matched to a class of test:
+//!
+//! * [`Step`]/[`resolve_step`] — the raw ins/del alphabet used by the
+//!   property tests (deletions address the live multiset by index so
+//!   shrunk cases stay meaningful);
+//! * [`random_stream`] — a single pre-resolved stream whose deletions
+//!   always target live edges (single-session differentials, WAL
+//!   round-trips);
+//! * [`disjoint_session_streams`] — one stream per emulated session,
+//!   each confined to its own vertex region. Regions never share an
+//!   edge or a vertex, so every session's classifications, result
+//!   changes and final region state are deterministic *no matter how
+//!   the server interleaves sessions* — which is exactly what lets a
+//!   differential test compare a `shards = 1` server against a
+//!   `shards = N` server update-by-update;
+//! * [`safe_churn`] — duplicate-insert/duplicate-delete pairs over an
+//!   existing edge set. At a fixpoint a duplicate of a present edge
+//!   can't improve any destination and deleting one of two copies keeps
+//!   a witness, so the whole stream classifies safe (§4) and measures
+//!   the safe phase alone.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use risgraph_common::ids::{Edge, Update};
+
+use crate::oracle::LiveEdge;
+
+/// One raw step of a property-test stream.
+#[derive(Debug, Clone, Copy)]
+pub enum Step {
+    /// Insert `(src, dst, weight)`.
+    Ins(u64, u64, u64),
+    /// Delete the `i % live.len()`-th live edge.
+    Del(usize),
+}
+
+/// Resolve a [`Step`] against the current live multiset. Returns `None`
+/// for a deletion when nothing is live (the step is skipped).
+pub fn resolve_step(live: &[LiveEdge], step: Step) -> Option<Update> {
+    match step {
+        Step::Ins(s, d, w) => Some(Update::InsEdge(Edge::new(s, d, w))),
+        Step::Del(i) => {
+            if live.is_empty() {
+                return None;
+            }
+            let (s, d, w) = live[i % live.len()];
+            Some(Update::DelEdge(Edge::new(s, d, w)))
+        }
+    }
+}
+
+/// A random stream over vertices `0..n` whose deletions always target a
+/// currently-live edge, so every update succeeds when replayed in
+/// order. Returns the updates; mirror them with
+/// [`crate::oracle::apply_update`] to follow along.
+pub fn random_stream(n: u64, steps: usize, seed: u64, max_weight: u64) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<LiveEdge> = Vec::new();
+    let mut out = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        if !live.is_empty() && rng.gen_bool(0.4) {
+            let i = rng.gen_range(0..live.len());
+            let (s, d, w) = live.swap_remove(i);
+            out.push(Update::DelEdge(Edge::new(s, d, w)));
+        } else {
+            let e = (
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(1..=max_weight.max(1)),
+            );
+            live.push(e);
+            out.push(Update::InsEdge(Edge::new(e.0, e.1, e.2)));
+        }
+    }
+    out
+}
+
+/// Configuration for [`disjoint_session_streams`].
+#[derive(Debug, Clone, Copy)]
+pub struct RegionStreamConfig {
+    /// Number of sessions (== number of disjoint regions).
+    pub sessions: usize,
+    /// Vertices per region; session `i` owns
+    /// `[base + i·region, base + (i+1)·region)`.
+    pub region: u64,
+    /// First vertex of region 0 (keep ≥ 1 to leave the root alone).
+    pub base: u64,
+    /// Updates per session.
+    pub steps: usize,
+    /// Stream seed (session `i` uses `seed + i`).
+    pub seed: u64,
+    /// Maximum edge weight (≥ 1).
+    pub max_weight: u64,
+}
+
+impl Default for RegionStreamConfig {
+    fn default() -> Self {
+        RegionStreamConfig {
+            sessions: 4,
+            region: 24,
+            base: 1,
+            steps: 120,
+            seed: 7,
+            max_weight: 4,
+        }
+    }
+}
+
+impl RegionStreamConfig {
+    /// Smallest vertex capacity covering every region.
+    pub fn capacity(&self) -> usize {
+        (self.base + self.sessions as u64 * self.region) as usize
+    }
+}
+
+/// One deterministic stream per session, each confined to that
+/// session's vertex region; deletions always target an edge the session
+/// itself inserted earlier (and that is still live), so every update of
+/// every session succeeds regardless of cross-session scheduling.
+pub fn disjoint_session_streams(cfg: &RegionStreamConfig) -> Vec<Vec<Update>> {
+    (0..cfg.sessions)
+        .map(|i| {
+            let lo = cfg.base + i as u64 * cfg.region;
+            let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(i as u64));
+            let mut live: Vec<LiveEdge> = Vec::new();
+            let mut out = Vec::with_capacity(cfg.steps);
+            for _ in 0..cfg.steps {
+                if !live.is_empty() && rng.gen_bool(0.4) {
+                    let j = rng.gen_range(0..live.len());
+                    let (s, d, w) = live.swap_remove(j);
+                    out.push(Update::DelEdge(Edge::new(s, d, w)));
+                } else {
+                    let e = (
+                        lo + rng.gen_range(0..cfg.region),
+                        lo + rng.gen_range(0..cfg.region),
+                        rng.gen_range(1..=cfg.max_weight.max(1)),
+                    );
+                    live.push(e);
+                    out.push(Update::InsEdge(Edge::new(e.0, e.1, e.2)));
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// A safe-only churn stream over `preload`: `2·pairs` updates
+/// alternating duplicate-insert and duplicate-delete of randomly chosen
+/// loaded edges. With the preload at a fixpoint every update classifies
+/// safe, so server throughput on this stream measures the sharded safe
+/// phase with no serial unsafe work mixed in.
+///
+/// The safety argument needs each pair's ordering: a duplicate insert
+/// of a present edge improves nothing, and a delete submitted *after
+/// its own insert's reply* always finds ≥ 2 copies (every other
+/// session's delete is likewise preceded by its own applied insert).
+/// So give **each session its own `safe_churn` stream** (vary `seed`);
+/// striping one stream round-robin across sessions would split pairs
+/// and let deletes race ahead of their inserts into count-1 unsafe
+/// territory.
+pub fn safe_churn(preload: &[LiveEdge], pairs: usize, seed: u64) -> Vec<Update> {
+    assert!(!preload.is_empty(), "safe churn needs a loaded graph");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(pairs * 2);
+    for _ in 0..pairs {
+        let (s, d, w) = preload[rng.gen_range(0..preload.len())];
+        out.push(Update::InsEdge(Edge::new(s, d, w)));
+        out.push(Update::DelEdge(Edge::new(s, d, w)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::apply_update;
+
+    #[test]
+    fn random_stream_deletes_only_live_edges() {
+        let stream = random_stream(16, 300, 3, 5);
+        let mut live: Vec<LiveEdge> = Vec::new();
+        for u in &stream {
+            if let Update::DelEdge(e) = u {
+                assert!(
+                    live.iter()
+                        .any(|&(s, d, w)| s == e.src && d == e.dst && w == e.data),
+                    "deletion of non-live edge {e:?}"
+                );
+            }
+            apply_update(&mut live, u);
+        }
+    }
+
+    #[test]
+    fn regions_are_disjoint() {
+        let cfg = RegionStreamConfig {
+            sessions: 3,
+            region: 10,
+            base: 1,
+            steps: 80,
+            seed: 1,
+            max_weight: 3,
+        };
+        let streams = disjoint_session_streams(&cfg);
+        assert_eq!(streams.len(), 3);
+        for (i, stream) in streams.iter().enumerate() {
+            let lo = cfg.base + i as u64 * cfg.region;
+            let hi = lo + cfg.region;
+            for u in stream {
+                match u {
+                    Update::InsEdge(e) | Update::DelEdge(e) => {
+                        assert!(e.src >= lo && e.src < hi && e.dst >= lo && e.dst < hi);
+                    }
+                    _ => panic!("unexpected vertex op"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let cfg = RegionStreamConfig::default();
+        assert_eq!(
+            format!("{:?}", disjoint_session_streams(&cfg)),
+            format!("{:?}", disjoint_session_streams(&cfg)),
+        );
+        assert_eq!(
+            format!("{:?}", random_stream(8, 50, 9, 3)),
+            format!("{:?}", random_stream(8, 50, 9, 3)),
+        );
+    }
+
+    #[test]
+    fn safe_churn_pairs_inserts_and_deletes() {
+        let preload = vec![(0, 1, 0), (1, 2, 0)];
+        let stream = safe_churn(&preload, 10, 4);
+        assert_eq!(stream.len(), 20);
+        for pair in stream.chunks(2) {
+            match (&pair[0], &pair[1]) {
+                (Update::InsEdge(a), Update::DelEdge(b)) => assert_eq!(a, b),
+                other => panic!("expected ins/del pair, got {other:?}"),
+            }
+        }
+    }
+}

@@ -9,6 +9,13 @@
 //! layouts (`io-hash`, `io-btree`, `io-art`), or the out-of-core
 //! prototype (`ooc`). Every command below runs identically on each.
 //!
+//! `--shards N` runs the shell through the full interactive tier
+//! instead of the bare engine: a [`Server`] with `N` safe-phase shard
+//! executors (§4's epoch loop, sharded), one session submitting your
+//! commands, replies carrying result-view version ids. `N = 1` is the
+//! serial coordinator; higher values parallelize the commuting safe
+//! prefix of each epoch.
+//!
 //! Reads commands from stdin (one per line), suitable both for
 //! interactive exploration and for piping edge streams:
 //!
@@ -28,14 +35,16 @@
 use std::io::{BufRead, Write};
 
 use risgraph::core::affected::analyze;
+use risgraph::core::server::{Server, ServerConfig, Session};
 use risgraph::prelude::*;
 use risgraph::storage::{AnyStore, BackendKind, StoreConfig};
 use risgraph::workloads::rmat::RmatConfig;
 
-fn parse_args() -> (String, u64, BackendKind) {
+fn parse_args() -> (String, u64, BackendKind, Option<usize>) {
     let mut algorithm = "bfs".to_string();
     let mut root = 0u64;
     let mut backend = BackendKind::default();
+    let mut shards = None;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -62,10 +71,23 @@ fn parse_args() -> (String, u64, BackendKind) {
                 };
                 i += 2;
             }
+            "--shards" if i + 1 < args.len() => {
+                shards = match args[i + 1].parse::<usize>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!("--shards takes a positive executor count");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: risgraph [--algorithm bfs|sssp|sswp|wcc|reach] [--root VID] \
-                     [--store {}]",
+                     [--store {}] [--shards N]\n\n\
+                     --shards N  serve through the interactive tier (sessions + epoch\n\
+                     \u{20}           loop) with N parallel safe-phase shard executors;\n\
+                     \u{20}           omit it to drive the engine directly",
                     BackendKind::CLI_CHOICES
                 );
                 std::process::exit(0);
@@ -76,12 +98,12 @@ fn parse_args() -> (String, u64, BackendKind) {
             }
         }
     }
-    (algorithm, root, backend)
+    (algorithm, root, backend, shards)
 }
 
-fn make_engine(algorithm: &str, root: u64, backend: &BackendKind) -> Engine<AnyStore> {
+fn make_algorithm(algorithm: &str, root: u64) -> DynAlgorithm {
     use std::sync::Arc;
-    let alg: DynAlgorithm = match algorithm {
+    match algorithm {
         "bfs" => Arc::new(risgraph::algorithms::Bfs::new(root)),
         "sssp" => Arc::new(risgraph::algorithms::Sssp::new(root)),
         "sswp" => Arc::new(risgraph::algorithms::Sswp::new(root)),
@@ -91,12 +113,98 @@ fn make_engine(algorithm: &str, root: u64, backend: &BackendKind) -> Engine<AnyS
             eprintln!("unknown algorithm {other}");
             std::process::exit(2);
         }
-    };
-    let store = AnyStore::open(backend, 1 << 16, StoreConfig::default()).unwrap_or_else(|e| {
-        eprintln!("cannot open {} store: {e}", backend.label());
-        std::process::exit(2);
-    });
-    Engine::from_store(store, vec![alg], Default::default())
+    }
+}
+
+/// What the shell drives: the bare engine, or a full server with one
+/// interactive session (`--shards`).
+enum Shell {
+    Engine(Box<Engine<AnyStore>>),
+    Server { server: Server, session: Session },
+}
+
+impl Shell {
+    fn new(algorithm: &str, root: u64, backend: &BackendKind, shards: Option<usize>) -> Shell {
+        let alg = make_algorithm(algorithm, root);
+        match shards {
+            None => {
+                let store = AnyStore::open(backend, 1 << 16, StoreConfig::default())
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot open {} store: {e}", backend.label());
+                        std::process::exit(2);
+                    });
+                Shell::Engine(Box::new(Engine::from_store(
+                    store,
+                    vec![alg],
+                    Default::default(),
+                )))
+            }
+            Some(n) => {
+                let config = ServerConfig {
+                    backend: backend.clone(),
+                    shards: n,
+                    ..ServerConfig::default()
+                };
+                let server = Server::start(vec![alg], 1 << 16, config).unwrap_or_else(|e| {
+                    eprintln!("cannot start server on {} store: {e}", backend.label());
+                    std::process::exit(2);
+                });
+                let session = server.session();
+                Shell::Server { server, session }
+            }
+        }
+    }
+
+    fn engine(&self) -> &Engine<AnyStore> {
+        match self {
+            Shell::Engine(e) => e,
+            Shell::Server { server, .. } => server.engine(),
+        }
+    }
+
+    fn load(&self, edges: &[(u64, u64, u64)]) {
+        match self {
+            Shell::Engine(e) => e.load_edges(edges),
+            Shell::Server { server, .. } => server.load_edges(edges),
+        }
+    }
+
+    /// Apply one update, printing the outcome in the mode's idiom:
+    /// engine mode lists per-vertex changes, server mode reports the
+    /// reply's version id.
+    fn apply(&self, u: &Update) {
+        let t = std::time::Instant::now();
+        match self {
+            Shell::Engine(engine) => match engine.apply(u) {
+                Ok((safety, changes)) => {
+                    let n: usize = changes.per_algo.iter().map(|c| c.len()).sum();
+                    println!("{safety:?}, {n} result change(s), {:?}", t.elapsed());
+                    for c in changes.per_algo[0].iter().take(8) {
+                        println!(
+                            "  v{}: {} -> {}",
+                            c.vertex,
+                            fmt_value(c.old),
+                            fmt_value(c.new)
+                        );
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            Shell::Server { session, .. } => {
+                let reply = session.submit_update(u);
+                match reply.outcome {
+                    Ok(applied) => println!(
+                        "version {} ({:?}, {} result change(s)), {:?}",
+                        reply.version,
+                        applied.safety,
+                        applied.result_changes,
+                        t.elapsed()
+                    ),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+        }
+    }
 }
 
 fn fmt_value(v: u64) -> String {
@@ -108,13 +216,22 @@ fn fmt_value(v: u64) -> String {
 }
 
 fn main() {
-    let (algorithm, root, backend) = parse_args();
-    let engine = make_engine(&algorithm, root, &backend);
-    println!(
-        "risgraph shell — algorithm {} (root {root}), store {}; type 'help' for commands",
-        algorithm.to_uppercase(),
-        backend.label()
-    );
+    let (algorithm, root, backend, shards) = parse_args();
+    let shell = Shell::new(&algorithm, root, &backend, shards);
+    let engine = shell.engine();
+    match shards {
+        Some(n) => println!(
+            "risgraph shell — algorithm {} (root {root}), store {}, serving through \
+             {n} safe-phase shard(s); type 'help' for commands",
+            algorithm.to_uppercase(),
+            backend.label()
+        ),
+        None => println!(
+            "risgraph shell — algorithm {} (root {root}), store {}; type 'help' for commands",
+            algorithm.to_uppercase(),
+            backend.label()
+        ),
+    }
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     loop {
@@ -145,7 +262,7 @@ fn main() {
                         }
                     }
                     let t = std::time::Instant::now();
-                    engine.load_edges(&edges);
+                    shell.load(&edges);
                     println!("loaded {} edges in {:?}", edges.len(), t.elapsed());
                 }
                 Err(e) => println!("cannot read {file}: {e}"),
@@ -164,7 +281,7 @@ fn main() {
                     };
                     let edges = cfg.generate();
                     let t = std::time::Instant::now();
-                    engine.load_edges(&edges);
+                    shell.load(&edges);
                     println!(
                         "generated |V|={} |E|={} and computed in {:?}",
                         cfg.num_vertices(),
@@ -185,22 +302,7 @@ fn main() {
                         } else {
                             Update::DelEdge(e)
                         };
-                        let t = std::time::Instant::now();
-                        match engine.apply(&u) {
-                            Ok((safety, changes)) => {
-                                let n: usize = changes.per_algo.iter().map(|c| c.len()).sum();
-                                println!("{safety:?}, {n} result change(s), {:?}", t.elapsed());
-                                for c in changes.per_algo[0].iter().take(8) {
-                                    println!(
-                                        "  v{}: {} -> {}",
-                                        c.vertex,
-                                        fmt_value(c.old),
-                                        fmt_value(c.new)
-                                    );
-                                }
-                            }
-                            Err(e) => println!("error: {e}"),
-                        }
+                        shell.apply(&u);
                     }
                     _ => println!("usage: ins|del SRC DST [WEIGHT]"),
                 }
@@ -263,9 +365,20 @@ fn main() {
                     s.demoted.load(Ordering::Relaxed),
                     s.edges_relaxed.load(Ordering::Relaxed),
                 );
+                if let Shell::Server { server, .. } = &shell {
+                    let ss = server.stats();
+                    println!(
+                        "server: version={} epochs={} safe_exec={} unsafe_exec={} threshold={}",
+                        server.current_version(),
+                        ss.epochs.load(Ordering::Relaxed),
+                        ss.safe_executed.load(Ordering::Relaxed),
+                        ss.unsafe_executed.load(Ordering::Relaxed),
+                        ss.threshold.load(Ordering::Relaxed),
+                    );
+                }
             }
             ["aff"] => {
-                let r = analyze(&engine, 0);
+                let r = analyze(engine, 0);
                 println!(
                     "tree depth D_T={} |V_T|={} mean degree={:.2}",
                     r.tree_depth, r.tree_vertices, r.mean_degree

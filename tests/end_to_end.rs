@@ -2,27 +2,13 @@
 //! full engine and all baseline engines, and every engine must agree
 //! with the reference oracle at every checkpoint.
 
-use risgraph::algorithms::{reference, Bfs, Sssp, Sswp, Wcc};
+use risgraph::algorithms::{Bfs, Sssp, Sswp, Wcc};
 use risgraph::baselines::{Differential, KickStarter};
 use risgraph::prelude::*;
 use risgraph::workloads::datasets::by_abbr;
 use risgraph::workloads::StreamConfig;
 use risgraph_algorithms::Monotonic;
-
-fn apply_to_oracle_state(live: &mut Vec<(u64, u64, u64)>, u: &Update) {
-    match u {
-        Update::InsEdge(e) => live.push((e.src, e.dst, e.data)),
-        Update::DelEdge(e) => {
-            if let Some(p) = live
-                .iter()
-                .position(|&(s, d, w)| s == e.src && d == e.dst && w == e.data)
-            {
-                live.swap_remove(p);
-            }
-        }
-        _ => {}
-    }
-}
+use risgraph_testkit::oracle;
 
 fn run_dataset_stream<A: Monotonic<Value = u64> + Copy>(alg: A, abbr: &str, weighted: bool) {
     let spec = by_abbr(abbr).unwrap();
@@ -46,17 +32,10 @@ fn run_dataset_stream<A: Monotonic<Value = u64> + Copy>(alg: A, abbr: &str, weig
         engine.apply(u).unwrap();
         ks.apply_batch(std::slice::from_ref(u));
         dd.apply_batch(std::slice::from_ref(u));
-        apply_to_oracle_state(&mut live, u);
+        oracle::apply_update(&mut live, u);
         if i % 150 == 149 || i + 1 == take {
-            let want = reference::compute(&alg, data.num_vertices, &live);
-            for v in 0..data.num_vertices as u64 {
-                assert_eq!(
-                    engine.value(0, v),
-                    want[v as usize],
-                    "{} engine diverged on {abbr} at update {i}, vertex {v}",
-                    alg.name()
-                );
-            }
+            let want = oracle::oracle_values(&alg, data.num_vertices, &live);
+            oracle::assert_values_match(&engine, 0, &want, &format!("{abbr} at update {i}"));
             assert_eq!(ks.values(), &want[..], "kickstarter diverged on {abbr}@{i}");
             assert_eq!(
                 dd.values(),

@@ -13,16 +13,11 @@
 use proptest::prelude::*;
 use risgraph::algorithms::{reference, Bfs, Sssp, Sswp, Wcc};
 use risgraph::prelude::*;
-use risgraph::storage::{AnyStore, BackendKind, DynamicGraph, StoreConfig};
+use risgraph::storage::{AnyStore, BackendKind, StoreConfig};
 use risgraph_algorithms::Monotonic;
+use risgraph_testkit::{oracle, resolve_step, store_fingerprint, Step};
 
 const N: u64 = 24;
-
-#[derive(Debug, Clone, Copy)]
-enum Step {
-    Ins(u64, u64, u64),
-    Del(usize),
-}
 
 fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
@@ -41,15 +36,8 @@ fn apply_steps<A: Monotonic<Value = u64> + Copy>(
     let mut live = initial.to_vec();
     let mut safe_changed = 0u64;
     for step in steps {
-        let u = match *step {
-            Step::Ins(s, d, w) => Update::InsEdge(Edge::new(s, d, w)),
-            Step::Del(i) => {
-                if live.is_empty() {
-                    continue;
-                }
-                let (s, d, w) = live[i % live.len()];
-                Update::DelEdge(Edge::new(s, d, w))
-            }
+        let Some(u) = resolve_step(&live, *step) else {
+            continue;
         };
         let safety = engine.classify(&u);
         let before = if safety == Safety::Safe {
@@ -63,17 +51,7 @@ fn apply_steps<A: Monotonic<Value = u64> + Copy>(
                 safe_changed += 1;
             }
         }
-        match u {
-            Update::InsEdge(e) => live.push((e.src, e.dst, e.data)),
-            Update::DelEdge(e) => {
-                let p = live
-                    .iter()
-                    .position(|&(s, d, w)| s == e.src && d == e.dst && w == e.data)
-                    .unwrap();
-                live.swap_remove(p);
-            }
-            _ => {}
-        }
+        oracle::apply_update(&mut live, &u);
     }
     (engine, live, safe_changed)
 }
@@ -214,30 +192,13 @@ proptest! {
 
         let mut live = initial.clone();
         for step in &steps {
-            let u = match *step {
-                Step::Ins(s, d, w) => Update::InsEdge(Edge::new(s, d, w)),
-                Step::Del(i) => {
-                    if live.is_empty() {
-                        continue;
-                    }
-                    let (s, d, w) = live[i % live.len()];
-                    Update::DelEdge(Edge::new(s, d, w))
-                }
+            let Some(u) = resolve_step(&live, *step) else {
+                continue;
             };
             for e in &engines {
                 e.apply(&u).unwrap();
             }
-            match u {
-                Update::InsEdge(e) => live.push((e.src, e.dst, e.data)),
-                Update::DelEdge(e) => {
-                    let p = live
-                        .iter()
-                        .position(|&(s, d, w)| s == e.src && d == e.dst && w == e.data)
-                        .unwrap();
-                    live.swap_remove(p);
-                }
-                _ => {}
-            }
+            oracle::apply_update(&mut live, &u);
         }
 
         // Identical algorithm results on every backend…
@@ -251,21 +212,14 @@ proptest! {
             );
         }
         // …and identical store contents (count-annotated adjacency).
-        let contents = |engine: &Engine<AnyStore>| {
-            engine.with_store(|s| {
-                let mut all: Vec<Vec<(u64, u64, u32)>> = Vec::new();
-                for v in 0..N {
-                    let mut adj = Vec::new();
-                    s.scan_out(v, &mut |d, w, c| adj.push((d, w, c)));
-                    adj.sort_unstable();
-                    all.push(adj);
-                }
-                (s.num_edges(), all)
-            })
-        };
-        let want = contents(&engines[0]);
+        let want = store_fingerprint(&engines[0], N);
         for (engine, kind) in engines.iter().zip(&kinds).skip(1) {
-            prop_assert_eq!(&contents(engine), &want, "contents diverged on {}", kind.label());
+            prop_assert_eq!(
+                &store_fingerprint(engine, N),
+                &want,
+                "contents diverged on {}",
+                kind.label()
+            );
         }
         drop(engines);
         let _ = std::fs::remove_file(&ooc_path);

@@ -1,0 +1,138 @@
+//! Scheduler latency contract under adversarial load (§5).
+//!
+//! The scheduler's job is to abort the safe-packing phase before the
+//! oldest queued unsafe update blows the latency limit. Its contract,
+//! made precise: an unsafe update may wait at most the configured limit
+//! *plus one epoch* (the epoch that was already executing when the
+//! limit-driven flush tripped). The server records both sides of the
+//! inequality — `ServerStats::max_unsafe_wait_ns` and
+//! `ServerStats::max_epoch_ns` — so the bound is asserted directly
+//! rather than inferred from client-side latencies.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use risgraph::algorithms::Bfs;
+use risgraph::core::scheduler::SchedulerConfig;
+use risgraph::core::server::{Server, ServerConfig};
+use risgraph::prelude::*;
+
+fn start(config: ServerConfig, capacity: usize) -> Arc<Server> {
+    Arc::new(
+        Server::start(
+            vec![Arc::new(Bfs::new(0)) as DynAlgorithm],
+            capacity,
+            config,
+        )
+        .unwrap(),
+    )
+}
+
+/// Spawn `n` sessions flooding always-safe updates (back-edge churn
+/// toward the root) until `stop` is raised.
+fn spawn_safe_flood(
+    server: &Arc<Server>,
+    n: u64,
+    stop: &Arc<AtomicBool>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    (0..n)
+        .map(|t| {
+            let server = Arc::clone(server);
+            let stop = Arc::clone(stop);
+            std::thread::spawn(move || {
+                let session = server.session();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let e = Edge::new(100 + (i + t * 1000) % 400, 0, 0);
+                    let _ = session.ins_edge(e);
+                    let _ = session.del_edge(e);
+                    i += 1;
+                }
+            })
+        })
+        .collect()
+}
+
+/// Under a safe flood with an unsafe-heavy victim session, the oldest
+/// unsafe update never waits past the latency limit by more than one
+/// epoch (plus scheduling slack for a loaded CI box).
+#[test]
+fn unsafe_wait_bounded_by_limit_plus_one_epoch() {
+    let limit = Duration::from_millis(50);
+    let mut config = ServerConfig::default();
+    config.engine.threads = 2;
+    config.scheduler = SchedulerConfig {
+        latency_limit: limit,
+        // A huge queue threshold disables heuristic 2, so only the
+        // waiting-time heuristic can flush — the property under test.
+        initial_threshold: 1 << 20,
+        max_threshold: 1 << 20,
+        ..SchedulerConfig::default()
+    };
+    let server = start(config, 1 << 12);
+    // A chain so extensions at the end are unsafe (result-changing).
+    let chain: Vec<(u64, u64, u64)> = (0..32).map(|i| (i, i + 1, 0)).collect();
+    server.load_edges(&chain);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let flooders = spawn_safe_flood(&server, 3, &stop);
+
+    let session = server.session();
+    for i in 0..60u64 {
+        let r = session.ins_edge(Edge::new(32 + i, 33 + i, 0));
+        assert!(r.outcome.is_ok());
+    }
+    stop.store(true, Ordering::Relaxed);
+    for f in flooders {
+        f.join().unwrap();
+    }
+
+    let stats = server.stats();
+    let max_wait = Duration::from_nanos(stats.max_unsafe_wait_ns.load(Ordering::Relaxed));
+    let max_epoch = Duration::from_nanos(stats.max_epoch_ns.load(Ordering::Relaxed));
+    assert!(stats.unsafe_executed.load(Ordering::Relaxed) >= 60);
+    // The contract, with 50 ms slack for preemption on a shared runner.
+    let bound = limit + max_epoch + Duration::from_millis(50);
+    assert!(
+        max_wait <= bound,
+        "oldest unsafe update waited {max_wait:?}, over the limit ({limit:?}) \
+         + one epoch ({max_epoch:?}) + slack"
+    );
+    Arc::try_unwrap(server).ok().unwrap().shutdown();
+}
+
+/// With an unachievable latency limit the qualified fraction misses the
+/// goal, so the self-adjusting threshold must fall below its starting
+/// point (the −10% rule, §5) — observable through the server's
+/// `min_threshold` gauge.
+#[test]
+fn threshold_adapts_downward_under_pressure() {
+    let mut config = ServerConfig::default();
+    config.engine.threads = 2;
+    config.scheduler = SchedulerConfig {
+        // A zero limit no update can meet: every epoch records misses,
+        // so the adversarial unsafe-heavy stream *must* drive the
+        // threshold down — deterministically, not by racing the clock.
+        latency_limit: Duration::ZERO,
+        initial_threshold: 64,
+        ..SchedulerConfig::default()
+    };
+    let server = start(config, 1 << 12);
+    let chain: Vec<(u64, u64, u64)> = (0..8).map(|i| (i, i + 1, 0)).collect();
+    server.load_edges(&chain);
+
+    // Unsafe-heavy: every chain extension changes a result.
+    let session = server.session();
+    for i in 0..100u64 {
+        let r = session.ins_edge(Edge::new(8 + i, 9 + i, 0));
+        assert!(r.outcome.is_ok());
+    }
+
+    let min_threshold = server.stats().min_threshold.load(Ordering::Relaxed);
+    assert!(
+        min_threshold < 64,
+        "threshold never adjusted below its initial value (min {min_threshold})"
+    );
+    Arc::try_unwrap(server).ok().unwrap().shutdown();
+}

@@ -5,11 +5,12 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use risgraph::algorithms::{reference, Bfs, Sssp};
+use risgraph::algorithms::{Bfs, Sssp};
 use risgraph::core::server::{Server, ServerConfig};
 use risgraph::prelude::*;
 use risgraph::workloads::datasets::by_abbr;
 use risgraph::workloads::StreamConfig;
+use risgraph_testkit::oracle;
 
 /// Every version the server hands out must answer `get_value` exactly
 /// like an oracle recomputation of the graph as of that version.
@@ -45,18 +46,8 @@ fn every_version_matches_offline_reconstruction() {
             _ => unreachable!(),
         };
         assert!(reply.outcome.is_ok(), "update {u:?} failed");
-        match u {
-            Update::InsEdge(e) => live.push((e.src, e.dst, e.data)),
-            Update::DelEdge(e) => {
-                let p = live
-                    .iter()
-                    .position(|&(s, d, w)| s == e.src && d == e.dst && w == e.data)
-                    .expect("stream deletes existing edges");
-                live.swap_remove(p);
-            }
-            _ => {}
-        }
-        let want = reference::compute(&Bfs::new(data.root), data.num_vertices, &live);
+        oracle::apply_update(&mut live, u);
+        let want = oracle::oracle_values(&Bfs::new(data.root), data.num_vertices, &live);
         checkpoints.push((reply.version, want));
     }
 

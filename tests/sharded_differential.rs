@@ -1,0 +1,210 @@
+//! The cross-shard differential suite: the sharded safe phase
+//! (`ServerConfig::shards = N`) must be observably identical to the
+//! serial coordinator (`shards = 1`) on the same update streams — same
+//! reply outcomes and safety classes, same point-in-time query answers
+//! at every returned version, same per-version modification sets, same
+//! final values and store contents. This is the §4 commutativity claim
+//! ("safe updates change no results, so they may execute in any
+//! interleaving") as an executable property, checked on two storage
+//! backends (IA_Hash and the out-of-core prototype).
+//!
+//! Determinism protocol: each emulated session owns a disjoint vertex
+//! region ([`risgraph_testkit::disjoint_session_streams`]), so its
+//! classifications and effects cannot depend on how the server
+//! interleaves sessions; servers run one engine worker thread so
+//! intra-update propagation picks deterministic dependency-tree
+//! parents. See `crates/testkit/src/differential.rs` for what exactly
+//! is compared.
+//!
+//! The `*_big` cases are `#[ignore]`d and run in the dedicated slow CI
+//! job (`cargo test --release -- --ignored`).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use risgraph::algorithms::Wcc;
+use risgraph::prelude::*;
+use risgraph::storage::BackendKind;
+use risgraph_testkit::{
+    assert_servers_equivalent, disjoint_session_streams, drive_sessions, random_stream,
+    server_config, RegionStreamConfig,
+};
+
+fn start(backend: BackendKind, shards: usize, capacity: usize) -> Arc<Server> {
+    Arc::new(
+        Server::start(
+            vec![Arc::new(Wcc::new()) as DynAlgorithm],
+            capacity,
+            server_config(backend, shards),
+        )
+        .unwrap(),
+    )
+}
+
+/// Run the same per-session streams through `shards = 1` and
+/// `shards = shards_b` servers on `backend` and assert equivalence.
+fn differential(
+    label: &str,
+    backend_a: BackendKind,
+    backend_b: BackendKind,
+    shards_b: usize,
+    streams: &[Vec<Update>],
+    capacity: usize,
+) {
+    let serial = start(backend_a, 1, capacity);
+    let sharded = start(backend_b, shards_b, capacity);
+    let traces_serial = drive_sessions(&serial, streams);
+    let traces_sharded = drive_sessions(&sharded, streams);
+    assert_servers_equivalent(
+        label,
+        &serial,
+        &traces_serial,
+        &sharded,
+        &traces_sharded,
+        streams,
+        Wcc::new(),
+        capacity,
+    );
+    Arc::try_unwrap(serial).ok().unwrap().shutdown();
+    Arc::try_unwrap(sharded).ok().unwrap().shutdown();
+}
+
+#[test]
+fn sharded_equals_serial_on_ia_hash() {
+    for seed in [1u64, 2, 3] {
+        let cfg = RegionStreamConfig {
+            sessions: 4,
+            region: 20,
+            steps: 120,
+            seed,
+            ..RegionStreamConfig::default()
+        };
+        differential(
+            &format!("IA_Hash seed {seed}"),
+            BackendKind::IaHash,
+            BackendKind::IaHash,
+            4,
+            &disjoint_session_streams(&cfg),
+            cfg.capacity(),
+        );
+    }
+}
+
+#[test]
+fn sharded_equals_serial_on_ooc() {
+    let cfg = RegionStreamConfig {
+        sessions: 4,
+        region: 16,
+        steps: 80,
+        seed: 9,
+        ..RegionStreamConfig::default()
+    };
+    // Tiny caches force block evictions mid-stream on both servers.
+    let (ooc_a, path_a) = risgraph_testkit::ooc_backend("shard-diff-serial", 4);
+    let (ooc_b, path_b) = risgraph_testkit::ooc_backend("shard-diff-sharded", 4);
+    differential(
+        "OOC",
+        ooc_a,
+        ooc_b,
+        4,
+        &disjoint_session_streams(&cfg),
+        cfg.capacity(),
+    );
+    let _ = std::fs::remove_file(path_a);
+    let _ = std::fs::remove_file(path_b);
+}
+
+/// A single synchronous session serializes everything, so the two
+/// servers must agree *exactly* — version numbers included.
+#[test]
+fn single_session_versions_are_identical() {
+    let n = 24usize;
+    let stream = vec![random_stream(n as u64, 200, 5, 4)];
+    let serial = start(BackendKind::IaHash, 1, n);
+    let sharded = start(BackendKind::IaHash, 4, n);
+    let ta = drive_sessions(&serial, &stream);
+    let tb = drive_sessions(&sharded, &stream);
+    assert_eq!(ta[0].steps, tb[0].steps, "version-exact trace equality");
+    assert_servers_equivalent(
+        "single session",
+        &serial,
+        &ta,
+        &sharded,
+        &tb,
+        &stream,
+        Wcc::new(),
+        n,
+    );
+    Arc::try_unwrap(serial).ok().unwrap().shutdown();
+    Arc::try_unwrap(sharded).ok().unwrap().shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized differential: arbitrary seeds, session counts and
+    /// stream lengths, shards=1 vs shards=4 on IA_Hash.
+    #[test]
+    fn sharded_differential_prop(
+        seed in 0u64..1000,
+        sessions in 2usize..5,
+        steps in 30usize..90,
+    ) {
+        let cfg = RegionStreamConfig {
+            sessions,
+            region: 16,
+            steps,
+            seed,
+            ..RegionStreamConfig::default()
+        };
+        differential(
+            &format!("prop seed {seed} sessions {sessions} steps {steps}"),
+            BackendKind::IaHash,
+            BackendKind::IaHash,
+            4,
+            &disjoint_session_streams(&cfg),
+            cfg.capacity(),
+        );
+    }
+}
+
+#[test]
+#[ignore = "slow: big differential, run via `cargo test --release -- --ignored`"]
+fn sharded_equals_serial_big() {
+    for (label, shards) in [("2 shards", 2), ("4 shards", 4), ("8 shards", 8)] {
+        let cfg = RegionStreamConfig {
+            sessions: 8,
+            region: 32,
+            steps: 500,
+            seed: 42,
+            ..RegionStreamConfig::default()
+        };
+        differential(
+            &format!("big IA_Hash {label}"),
+            BackendKind::IaHash,
+            BackendKind::IaHash,
+            shards,
+            &disjoint_session_streams(&cfg),
+            cfg.capacity(),
+        );
+    }
+    let cfg = RegionStreamConfig {
+        sessions: 6,
+        region: 24,
+        steps: 300,
+        seed: 43,
+        ..RegionStreamConfig::default()
+    };
+    let (ooc_a, path_a) = risgraph_testkit::ooc_backend("shard-diff-big-serial", 8);
+    let (ooc_b, path_b) = risgraph_testkit::ooc_backend("shard-diff-big-sharded", 8);
+    differential(
+        "big OOC",
+        ooc_a,
+        ooc_b,
+        4,
+        &disjoint_session_streams(&cfg),
+        cfg.capacity(),
+    );
+    let _ = std::fs::remove_file(path_a);
+    let _ = std::fs::remove_file(path_b);
+}
