@@ -26,6 +26,10 @@ pub enum Error {
     SessionNotFound(u64),
     /// Write-ahead-log I/O or corruption error.
     Wal(String),
+    /// The store detected an internal invariant violation (e.g. the
+    /// forward and transpose adjacency structures disagree). State is
+    /// no longer trustworthy; the caller should stop and recover.
+    Corruption(String),
     /// The engine has been shut down.
     Shutdown,
 }
@@ -45,6 +49,7 @@ impl fmt::Display for Error {
             Error::InvalidTransaction(msg) => write!(f, "invalid transaction: {msg}"),
             Error::SessionNotFound(s) => write!(f, "session {s} not found"),
             Error::Wal(msg) => write!(f, "WAL error: {msg}"),
+            Error::Corruption(msg) => write!(f, "store corruption: {msg}"),
             Error::Shutdown => write!(f, "engine has shut down"),
         }
     }
@@ -77,6 +82,7 @@ mod tests {
             Error::InvalidTransaction("dup".into()).to_string(),
             Error::SessionNotFound(7).to_string(),
             Error::Wal("io".into()).to_string(),
+            Error::Corruption("desync".into()).to_string(),
             Error::Shutdown.to_string(),
         ];
         for m in msgs {

@@ -433,26 +433,45 @@ impl<G: DynamicGraph> Engine<G> {
     /// [`SafeApply::Demoted`] when the update can no longer be proven
     /// safe and must be retried on the unsafe path.
     pub fn try_apply_safe(&self, u: &Update) -> Result<SafeApply> {
+        let scratch = AtomicU64::new(0);
+        self.try_apply_safe_seq(u, &scratch).map(|(o, _)| o)
+    }
+
+    /// [`Self::try_apply_safe`] that additionally draws a WAL sequence
+    /// stamp from `seq` for applied updates — *inside* the store
+    /// synchronization that serializes same-edge operations for edge
+    /// updates (see [`DynamicGraph::insert_edge_seq`]), and under the
+    /// vertex-lifecycle reservation for vertex updates (see
+    /// [`DynamicGraph::insert_vertex_seq`]). The epoch loop orders
+    /// its merged per-epoch WAL record by these stamps so replay
+    /// reproduces the cross-shard application order exactly, closing
+    /// the same-edge count-race linearization caveat. Returns the stamp
+    /// (`None` when nothing was applied).
+    pub fn try_apply_safe_seq(
+        &self,
+        u: &Update,
+        seq: &AtomicU64,
+    ) -> Result<(SafeApply, Option<u64>)> {
         let t0 = std::time::Instant::now();
         let st = self.state.read();
-        let outcome = match u {
+        let (outcome, stamp) = match u {
             Update::InsVertex(v) => {
-                st.store.insert_vertex(*v)?;
-                SafeApply::Applied
+                let stamp = st.store.insert_vertex_seq(*v, seq)?;
+                (SafeApply::Applied, Some(stamp))
             }
             Update::DelVertex(v) => {
-                st.store.delete_vertex(*v)?;
-                SafeApply::Applied
+                let stamp = st.store.delete_vertex_seq(*v, seq)?;
+                (SafeApply::Applied, Some(stamp))
             }
             Update::InsEdge(e) => {
                 // Values are frozen during the safe phase, so the
                 // improvement check is stable; only re-check it in case
                 // classification happened in an earlier epoch.
                 if st.algos.iter().all(|a| Self::insert_is_safe(a, *e)) {
-                    st.store.insert_edge(*e)?;
-                    SafeApply::Applied
+                    let (_, stamp) = st.store.insert_edge_seq(*e, seq)?;
+                    (SafeApply::Applied, Some(stamp))
                 } else {
-                    SafeApply::Demoted
+                    (SafeApply::Demoted, None)
                 }
             }
             Update::DelEdge(e) => {
@@ -460,11 +479,15 @@ impl<G: DynamicGraph> Engine<G> {
                 // a concurrent safe delete may consume the last
                 // duplicate.
                 let algos = &st.algos;
-                match st.store.delete_edge_if(*e, &mut |count| {
-                    count > 1 || !algos.iter().any(|a| Self::delete_touches_tree(a, *e))
-                })? {
-                    Some(_) => SafeApply::Applied,
-                    None => SafeApply::Demoted,
+                match st.store.delete_edge_if_seq(
+                    *e,
+                    &mut |count| {
+                        count > 1 || !algos.iter().any(|a| Self::delete_touches_tree(a, *e))
+                    },
+                    seq,
+                )? {
+                    Some((_, stamp)) => (SafeApply::Applied, Some(stamp)),
+                    None => (SafeApply::Demoted, None),
                 }
             }
         };
@@ -473,7 +496,7 @@ impl<G: DynamicGraph> Engine<G> {
             SafeApply::Demoted => EngineStats::add(&self.stats.demoted, 1),
         }
         EngineStats::add(&self.stats.update_ns, t0.elapsed().as_nanos() as u64);
-        Ok(outcome)
+        Ok((outcome, stamp))
     }
 
     // ------------------------------------------------------------------

@@ -33,10 +33,12 @@
 //!
 //! Durability: every update applied in an epoch — across all shards and
 //! the unsafe phase — is appended as **one merged WAL record** at epoch
-//! end and fsynced on the group-commit cadence. The record preserves
-//! per-session order (each shard logs its serial execution order;
-//! shard logs are concatenated), which is a valid linearization of the
-//! commuting safe phase. History: every result-changing update records
+//! end and fsynced on the group-commit cadence. Each applied update
+//! carries a **global application-order stamp** drawn inside the store
+//! lock that serializes same-edge operations, and the merged record is
+//! sorted by it — so replay reproduces the cross-shard execution order
+//! byte-exactly, even for same-edge count-races across sessions within
+//! one epoch. History: every result-changing update records
 //! its per-vertex deltas (serial phase only — safe updates change no
 //! results); GC runs on released-version watermarks every
 //! `gc_interval` (§5: every second).
@@ -70,7 +72,9 @@ pub struct ServerConfig {
     /// Storage backend (§6.3's comparison matrix): the server
     /// enum-dispatches over [`AnyStore`] so sessions, the WAL and the
     /// history store stay non-generic while any Table 8/9 layout — or
-    /// the out-of-core prototype — serves the same traffic.
+    /// either out-of-core store — serves the same traffic. Defaults to
+    /// the `RISGRAPH_STORE` environment variable (any CLI spelling,
+    /// e.g. `ooc-mmap`) when set, else IA_Hash.
     pub backend: BackendKind,
     /// Scheduler tuning (latency limit etc.).
     pub scheduler: SchedulerConfig,
@@ -102,7 +106,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             engine: EngineConfig::default(),
-            backend: BackendKind::default(),
+            backend: BackendKind::from_env(),
             scheduler: SchedulerConfig::default(),
             shards: std::env::var("RISGRAPH_SHARDS")
                 .ok()
@@ -238,6 +242,11 @@ struct Shared {
     query_gate: RwLock<()>,
     released: Mutex<FxHashMap<u64, VersionId>>,
     next_session: AtomicU64,
+    /// Global application-order stamp for WAL linearization: every
+    /// applied update draws one (edge updates inside the store lock
+    /// that serializes same-edge operations), and the epoch's merged
+    /// WAL record is sorted by it before appending.
+    seq: AtomicU64,
     stats: ServerStats,
     enable_history: bool,
     /// Set by [`Server::crash`]: exit without the final WAL flush,
@@ -315,6 +324,7 @@ impl Server {
             query_gate: RwLock::new(()),
             released: Mutex::new(FxHashMap::default()),
             next_session: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
             stats: ServerStats::new(),
             enable_history: config.enable_history,
             hard_crash: AtomicBool::new(false),
@@ -611,9 +621,9 @@ struct ShardJob {
 /// What a shard executor reports at the epoch barrier.
 #[derive(Default)]
 struct ShardOutcome {
-    /// Updates applied, in this shard's serial execution order (feeds
-    /// the epoch's merged WAL record).
-    applied: Vec<Update>,
+    /// Updates applied, each with its global application-order stamp
+    /// (feeds the epoch's merged, stamp-sorted WAL record).
+    applied: Vec<(u64, Update)>,
     /// Unprocessed per-session suffixes (behind a demotion) to requeue.
     leftovers: Vec<(u64, Vec<Envelope>)>,
     /// Safe updates that completed within the latency limit.
@@ -813,7 +823,7 @@ fn run_epochs(
         // ---- Sharded parallel safe phase ---------------------------
         let t_epoch = Instant::now();
         let limit = scheduler.latency_limit();
-        let mut epoch_log: Vec<Update> = Vec::new();
+        let mut epoch_log: Vec<(u64, Update)> = Vec::new();
         let mut shard_counts: Vec<(u64, u64)> = Vec::new();
         if buf.safe_count > 0 {
             // Hash-partition sessions over the executors: shard 0 is
@@ -868,7 +878,13 @@ fn run_epochs(
             let _gate = shared.query_gate.write();
             let (reply, applied_updates) = execute_unsafe(shared, &env);
             drop(_gate);
-            epoch_log.extend(applied_updates);
+            // Serial phase: stamps drawn here are naturally ordered
+            // after every safe-phase stamp (the shard barrier ran).
+            epoch_log.extend(
+                applied_updates
+                    .into_iter()
+                    .map(|u| (shared.seq.fetch_add(1, Ordering::Relaxed), u)),
+            );
             let lat = env.enqueued.elapsed();
             scheduler.record_latency(lat);
             shared
@@ -883,11 +899,15 @@ fn run_epochs(
         if let Some(w) = wal.as_mut() {
             if !epoch_log.is_empty() {
                 let t_wal = Instant::now();
-                // One merged record per epoch: the concatenated shard
-                // logs (each in its serial execution order — a valid
-                // linearization of the commuting safe phase) followed
-                // by the serial unsafe updates.
-                let _ = w.append(&epoch_log);
+                // One merged record per epoch, sorted by the global
+                // application-order stamp (drawn inside the store locks
+                // that serialize same-edge operations), so replaying the
+                // record reproduces the cross-shard execution order
+                // byte-exactly — even for same-edge count-races across
+                // sessions within one epoch.
+                epoch_log.sort_unstable_by_key(|&(stamp, _)| stamp);
+                let updates: Vec<Update> = epoch_log.iter().map(|&(_, u)| u).collect();
+                let _ = w.append(&updates);
                 // Group commit: fsync at most every wal_sync_interval.
                 if last_wal_sync.elapsed() >= config.wal_sync_interval {
                     let _ = w.sync();
@@ -956,7 +976,7 @@ fn run_epochs(
 }
 
 enum SafeExec {
-    Applied(Vec<Update>),
+    Applied(Vec<(u64, Update)>),
     Errored,
     /// Revalidation failed; the caller still owns the envelope and must
     /// requeue it at its session's front for the unsafe path.
@@ -965,8 +985,8 @@ enum SafeExec {
 
 fn execute_safe(shared: &Shared, env: &Envelope) -> SafeExec {
     match &env.op {
-        Op::Single(u) => match shared.engine.try_apply_safe(u) {
-            Ok(SafeApply::Applied) => {
+        Op::Single(u) => match shared.engine.try_apply_safe_seq(u, &shared.seq) {
+            Ok((SafeApply::Applied, stamp)) => {
                 let version = shared.version.fetch_add(1, Ordering::AcqRel) + 1;
                 // Count before replying so a client that has its reply
                 // never reads a stats snapshot missing its own update.
@@ -978,9 +998,9 @@ fn execute_safe(shared: &Shared, env: &Envelope) -> SafeExec {
                         result_changes: 0,
                     }),
                 });
-                SafeExec::Applied(vec![*u])
+                SafeExec::Applied(vec![(stamp.expect("applied updates are stamped"), *u)])
             }
-            Ok(SafeApply::Demoted) => SafeExec::Demoted,
+            Ok((SafeApply::Demoted, _)) => SafeExec::Demoted,
             Err(e) => {
                 let _ = env.reply.send(Reply {
                     version: shared.version.load(Ordering::Acquire),
@@ -993,11 +1013,13 @@ fn execute_safe(shared: &Shared, env: &Envelope) -> SafeExec {
             // All-or-nothing: roll back the applied prefix on demotion
             // or error (inverse structural ops restore state exactly —
             // safe updates change nothing else).
-            let mut applied: Vec<Update> = Vec::with_capacity(updates.len());
+            let mut applied: Vec<(u64, Update)> = Vec::with_capacity(updates.len());
             for u in updates {
-                match shared.engine.try_apply_safe(u) {
-                    Ok(SafeApply::Applied) => applied.push(*u),
-                    Ok(SafeApply::Demoted) => {
+                match shared.engine.try_apply_safe_seq(u, &shared.seq) {
+                    Ok((SafeApply::Applied, stamp)) => {
+                        applied.push((stamp.expect("applied updates are stamped"), *u))
+                    }
+                    Ok((SafeApply::Demoted, _)) => {
                         rollback_structure(shared, &applied);
                         return SafeExec::Demoted;
                     }
@@ -1025,8 +1047,8 @@ fn execute_safe(shared: &Shared, env: &Envelope) -> SafeExec {
     }
 }
 
-fn rollback_structure(shared: &Shared, applied: &[Update]) {
-    for u in applied.iter().rev() {
+fn rollback_structure(shared: &Shared, applied: &[(u64, Update)]) {
+    for (_, u) in applied.iter().rev() {
         let _ = shared.engine.apply_structure(&inverse(u));
     }
 }

@@ -3,10 +3,11 @@
 //!
 //! Record layout: `[len: u32 LE][crc32: u32 LE][payload]`, where the
 //! payload encodes one update batch. The server writes **one merged
-//! record per epoch** — the concatenation of every shard's serially
-//! ordered safe-phase log plus the serial unsafe updates, a valid
-//! linearization of the commuting safe phase — so recovery truncates
-//! at epoch granularity. Replay stops cleanly at the first torn or
+//! record per epoch** — every shard's safe-phase log plus the serial
+//! unsafe updates, sorted by a global application-order stamp drawn
+//! inside the store's per-edge serialization, so the record is the
+//! *actual* execution order (not merely a valid linearization) and
+//! recovery truncates at epoch granularity. Replay stops cleanly at the first torn or
 //! corrupt record, truncating the tail — the standard recovery
 //! contract (exercised end-to-end, including a mid-epoch crash with a
 //! buffered tail, by `tests/wal_crash_recovery.rs`).

@@ -18,6 +18,7 @@ use crate::graph::DynamicGraph;
 use crate::index::{art::ArtIndex, btree::BTreeIndex, hash::HashIndex};
 use crate::index_only::IndexOnlyStore;
 use crate::ooc::OocStore;
+use crate::ooc_mmap::MmapOocStore;
 use crate::store::{GraphStore, StoreConfig, StoreStats};
 
 /// Default block-cache size for the OOC backend (4 KiB blocks; 16 MiB).
@@ -39,12 +40,19 @@ pub enum BackendKind {
     IoBtree,
     /// Index-only store, ART indexes.
     IoArt,
-    /// Out-of-core block store (§6.3 prototype).
+    /// Out-of-core block store (§6.3 prototype; explicit block I/O
+    /// behind a global mutex — the durability-conservative default).
     Ooc {
         /// Backing file; `None` creates a fresh temp file.
         path: Option<PathBuf>,
         /// Block-cache size in 4 KiB blocks.
         cache_blocks: usize,
+    },
+    /// Concurrent mmap-backed out-of-core store (§6.3, the paper's
+    /// actual mmap design): per-vertex lock striping + chain indexes.
+    OocMmap {
+        /// Backing file; `None` creates a fresh temp file.
+        path: Option<PathBuf>,
     },
 }
 
@@ -62,12 +70,35 @@ impl BackendKind {
                 path: None,
                 cache_blocks: DEFAULT_OOC_CACHE_BLOCKS,
             },
+            "ooc-mmap" | "ooc_mmap" => BackendKind::OocMmap { path: None },
             _ => return None,
         })
     }
 
     /// The CLI spellings accepted by [`Self::parse`].
-    pub const CLI_CHOICES: &'static str = "ia-hash|ia-btree|ia-art|io-hash|io-btree|io-art|ooc";
+    pub const CLI_CHOICES: &'static str =
+        "ia-hash|ia-btree|ia-art|io-hash|io-btree|io-art|ooc|ooc-mmap";
+
+    /// The backend named by the `RISGRAPH_STORE` environment variable
+    /// (any [`Self::parse`] spelling), or the default (IA_Hash) when
+    /// unset/empty. The one place the server default and the CLI
+    /// default agree on.
+    ///
+    /// An unrecognized non-empty value **panics**: the variable exists
+    /// to redirect whole test runs onto another backend (the
+    /// `test-ooc-mmap` CI leg), and a silent fallback would let a typo
+    /// turn that coverage into a green no-op.
+    pub fn from_env() -> Self {
+        match std::env::var("RISGRAPH_STORE") {
+            Ok(s) if !s.is_empty() => Self::parse(&s).unwrap_or_else(|| {
+                panic!(
+                    "RISGRAPH_STORE={s} is not a known backend; choose one of {}",
+                    Self::CLI_CHOICES
+                )
+            }),
+            _ => Self::default(),
+        }
+    }
 
     /// Table 8/9 label.
     pub fn label(&self) -> &'static str {
@@ -79,6 +110,7 @@ impl BackendKind {
             BackendKind::IoBtree => "IO_BTree",
             BackendKind::IoArt => "IO_ART",
             BackendKind::Ooc { .. } => "OOC",
+            BackendKind::OocMmap { .. } => "OOC_MMAP",
         }
     }
 
@@ -111,6 +143,8 @@ pub enum AnyStore {
     IoArt(IndexOnlyStore<ArtIndex>),
     /// Out-of-core block store.
     Ooc(OocStore),
+    /// Concurrent mmap-backed out-of-core store.
+    OocMmap(MmapOocStore),
 }
 
 impl AnyStore {
@@ -129,6 +163,10 @@ impl AnyStore {
                 Some(p) => OocStore::create(p, capacity, *cache_blocks)?,
                 None => OocStore::create_temp(capacity, *cache_blocks)?,
             }),
+            BackendKind::OocMmap { path } => AnyStore::OocMmap(match path {
+                Some(p) => MmapOocStore::create(p, capacity)?,
+                None => MmapOocStore::create_temp(capacity)?,
+            }),
         })
     }
 }
@@ -143,6 +181,7 @@ macro_rules! dispatch {
             AnyStore::IoBtree($s) => $body,
             AnyStore::IoArt($s) => $body,
             AnyStore::Ooc($s) => $body,
+            AnyStore::OocMmap($s) => $body,
         }
     };
 }
@@ -202,6 +241,31 @@ impl DynamicGraph for AnyStore {
         pred: &mut dyn FnMut(u32) -> bool,
     ) -> Result<Option<DeleteOutcome>> {
         dispatch!(self, s => DynamicGraph::delete_edge_if(s, e, pred))
+    }
+
+    fn insert_vertex_seq(&self, v: VertexId, seq: &std::sync::atomic::AtomicU64) -> Result<u64> {
+        dispatch!(self, s => DynamicGraph::insert_vertex_seq(s, v, seq))
+    }
+
+    fn delete_vertex_seq(&self, v: VertexId, seq: &std::sync::atomic::AtomicU64) -> Result<u64> {
+        dispatch!(self, s => DynamicGraph::delete_vertex_seq(s, v, seq))
+    }
+
+    fn insert_edge_seq(
+        &self,
+        e: Edge,
+        seq: &std::sync::atomic::AtomicU64,
+    ) -> Result<(InsertOutcome, u64)> {
+        dispatch!(self, s => DynamicGraph::insert_edge_seq(s, e, seq))
+    }
+
+    fn delete_edge_if_seq(
+        &self,
+        e: Edge,
+        pred: &mut dyn FnMut(u32) -> bool,
+        seq: &std::sync::atomic::AtomicU64,
+    ) -> Result<Option<(DeleteOutcome, u64)>> {
+        dispatch!(self, s => DynamicGraph::delete_edge_if_seq(s, e, pred, seq))
     }
 
     fn edge_count(&self, e: Edge) -> u32 {
@@ -276,7 +340,7 @@ mod tests {
     #[test]
     fn parse_roundtrips_all_labels() {
         for spelling in [
-            "ia-hash", "ia-btree", "ia-art", "io-hash", "io-btree", "io-art", "ooc",
+            "ia-hash", "ia-btree", "ia-art", "io-hash", "io-btree", "io-art", "ooc", "ooc-mmap",
         ] {
             let kind = BackendKind::parse(spelling).expect(spelling);
             let store = AnyStore::open(&kind, 16, StoreConfig::default()).unwrap();
@@ -289,10 +353,13 @@ mod tests {
     fn every_backend_speaks_dynamic_graph() {
         let kinds: Vec<BackendKind> = BackendKind::table8_matrix()
             .into_iter()
-            .chain([BackendKind::Ooc {
-                path: None,
-                cache_blocks: 8,
-            }])
+            .chain([
+                BackendKind::Ooc {
+                    path: None,
+                    cache_blocks: 8,
+                },
+                BackendKind::OocMmap { path: None },
+            ])
             .collect();
         for kind in kinds {
             let mut store = AnyStore::open(&kind, 16, StoreConfig::default()).unwrap();

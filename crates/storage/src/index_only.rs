@@ -94,15 +94,34 @@ impl<I: EdgeIndex> IndexOnlyStore<I> {
     /// IA store's default configuration, matching the evaluation
     /// workloads).
     pub fn insert_edge(&self, e: Edge) -> Result<InsertOutcome> {
+        self.insert_edge_stamped(e, None).map(|(o, _)| o)
+    }
+
+    /// [`Self::insert_edge`], drawing a WAL sequence stamp from `seq`
+    /// under the out-index write lock (same-edge operations serialize
+    /// there, so stamp order equals application order).
+    fn insert_edge_stamped(
+        &self,
+        e: Edge,
+        seq: Option<&AtomicU64>,
+    ) -> Result<(InsertOutcome, u64)> {
         if e.src as usize >= self.capacity() || e.dst as usize >= self.capacity() {
             return Err(Error::VertexNotFound(e.src.max(e.dst)));
         }
+        // Lifecycle pin: keeps delete_vertex's isolation check atomic
+        // with this insert (see VertexTable::remove_isolated).
+        let _pin = self.vertices.pin(e.src, e.dst);
         self.vertices.mark(e.src);
         self.vertices.mark(e.dst);
-        let outcome = Self::bump(&mut self.out[e.src as usize].write(), e.dst, e.data);
+        let out = &mut self.out[e.src as usize].write();
+        let outcome = Self::bump(out, e.dst, e.data);
+        let stamp = seq.map_or(0, |s| s.fetch_add(1, Ordering::Relaxed));
+        // Mirror while still holding the out lock (out→in order, like
+        // delete_edge_if) so a concurrent same-edge delete can never
+        // observe the out record without its transpose.
         Self::bump(&mut self.inn[e.dst as usize].write(), e.src, e.data);
         self.total_edges.fetch_add(1, Ordering::AcqRel);
-        Ok(outcome)
+        Ok((outcome, stamp))
     }
 
     /// Delete one copy of `e`.
@@ -124,6 +143,18 @@ impl<I: EdgeIndex> IndexOnlyStore<I> {
         e: Edge,
         pred: impl FnOnce(u32) -> bool,
     ) -> Result<Option<DeleteOutcome>> {
+        self.delete_edge_if_stamped(e, pred, None)
+            .map(|r| r.map(|(o, _)| o))
+    }
+
+    /// [`Self::delete_edge_if`] with an in-lock WAL sequence stamp (see
+    /// [`Self::insert_edge_stamped`]).
+    fn delete_edge_if_stamped(
+        &self,
+        e: Edge,
+        pred: impl FnOnce(u32) -> bool,
+        seq: Option<&AtomicU64>,
+    ) -> Result<Option<(DeleteOutcome, u64)>> {
         if e.src as usize >= self.capacity() || e.dst as usize >= self.capacity() {
             return Err(Error::EdgeNotFound(e));
         }
@@ -136,13 +167,14 @@ impl<I: EdgeIndex> IndexOnlyStore<I> {
             return Ok(None);
         }
         let outcome = Self::drop_one(&mut out, e.dst, e.data).expect("count checked above");
+        let stamp = seq.map_or(0, |s| s.fetch_add(1, Ordering::Relaxed));
         {
             let mirror = Self::drop_one(&mut self.inn[e.dst as usize].write(), e.src, e.data);
             debug_assert!(mirror.is_some(), "out/in indexes out of sync for {e:?}");
         }
         drop(out);
         self.total_edges.fetch_sub(1, Ordering::AcqRel);
-        Ok(Some(outcome))
+        Ok(Some((outcome, stamp)))
     }
 
     /// Multiplicity of `e` (0 when absent).
@@ -224,15 +256,26 @@ impl<I: EdgeIndex> DynamicGraph for IndexOnlyStore<I> {
     }
 
     fn delete_vertex(&self, v: VertexId) -> Result<()> {
-        if !self.vertices.exists(v) {
+        let scratch = AtomicU64::new(0);
+        DynamicGraph::delete_vertex_seq(self, v, &scratch).map(|_| ())
+    }
+
+    fn insert_vertex_seq(&self, v: VertexId, seq: &AtomicU64) -> Result<u64> {
+        self.vertices.insert_seq(v, seq)
+    }
+
+    fn delete_vertex_seq(&self, v: VertexId, seq: &AtomicU64) -> Result<u64> {
+        if (v as usize) >= self.capacity() {
             return Err(Error::VertexNotFound(v));
         }
-        let out_deg = self.out[v as usize].read().index.len();
-        let in_deg = self.inn[v as usize].read().index.len();
-        if out_deg > 0 || in_deg > 0 {
-            return Err(Error::VertexNotIsolated(v));
-        }
-        self.vertices.remove(v)
+        self.vertices.remove_isolated_seq(
+            v,
+            || {
+                self.out[v as usize].read().index.len() == 0
+                    && self.inn[v as usize].read().index.len() == 0
+            },
+            seq,
+        )
     }
 
     fn insert_edge(&self, e: Edge) -> Result<InsertOutcome> {
@@ -249,6 +292,19 @@ impl<I: EdgeIndex> DynamicGraph for IndexOnlyStore<I> {
         pred: &mut dyn FnMut(u32) -> bool,
     ) -> Result<Option<DeleteOutcome>> {
         IndexOnlyStore::delete_edge_if(self, e, pred)
+    }
+
+    fn insert_edge_seq(&self, e: Edge, seq: &AtomicU64) -> Result<(InsertOutcome, u64)> {
+        IndexOnlyStore::insert_edge_stamped(self, e, Some(seq))
+    }
+
+    fn delete_edge_if_seq(
+        &self,
+        e: Edge,
+        pred: &mut dyn FnMut(u32) -> bool,
+        seq: &AtomicU64,
+    ) -> Result<Option<(DeleteOutcome, u64)>> {
+        IndexOnlyStore::delete_edge_if_stamped(self, e, pred, Some(seq))
     }
 
     fn edge_count(&self, e: Edge) -> u32 {

@@ -39,10 +39,10 @@ use crate::adjacency::{DeleteOutcome, InsertOutcome};
 use crate::graph::{DynamicGraph, VertexTable};
 use crate::store::StoreStats;
 
-const BLOCK_SIZE: usize = 4096;
+pub(crate) const BLOCK_SIZE: usize = 4096;
 /// 20-byte records: neighbour(8) weight(8) count(4).
-const RECORD_SIZE: usize = 20;
-const RECORDS_PER_BLOCK: usize = (BLOCK_SIZE - 4) / RECORD_SIZE; // 4B header: record count
+pub(crate) const RECORD_SIZE: usize = 20;
+pub(crate) const RECORDS_PER_BLOCK: usize = (BLOCK_SIZE - 4) / RECORD_SIZE; // 4B header: record count
 
 type Block = Box<[u8; BLOCK_SIZE]>;
 
@@ -203,7 +203,7 @@ impl BlockCache {
     }
 }
 
-fn read_record(block: &[u8; BLOCK_SIZE], i: usize) -> (VertexId, Weight, u32) {
+pub(crate) fn read_record(block: &[u8; BLOCK_SIZE], i: usize) -> (VertexId, Weight, u32) {
     let off = 4 + i * RECORD_SIZE;
     (
         u64::from_le_bytes(block[off..off + 8].try_into().unwrap()),
@@ -212,18 +212,24 @@ fn read_record(block: &[u8; BLOCK_SIZE], i: usize) -> (VertexId, Weight, u32) {
     )
 }
 
-fn write_record(block: &mut [u8; BLOCK_SIZE], i: usize, nbr: VertexId, w: Weight, count: u32) {
+pub(crate) fn write_record(
+    block: &mut [u8; BLOCK_SIZE],
+    i: usize,
+    nbr: VertexId,
+    w: Weight,
+    count: u32,
+) {
     let off = 4 + i * RECORD_SIZE;
     block[off..off + 8].copy_from_slice(&nbr.to_le_bytes());
     block[off + 8..off + 16].copy_from_slice(&w.to_le_bytes());
     block[off + 16..off + 20].copy_from_slice(&count.to_le_bytes());
 }
 
-fn record_count(block: &[u8; BLOCK_SIZE]) -> usize {
+pub(crate) fn record_count(block: &[u8; BLOCK_SIZE]) -> usize {
     u32::from_le_bytes(block[..4].try_into().unwrap()) as usize
 }
 
-fn set_record_count(block: &mut [u8; BLOCK_SIZE], n: usize) {
+pub(crate) fn set_record_count(block: &mut [u8; BLOCK_SIZE], n: usize) {
     block[..4].copy_from_slice(&(n as u32).to_le_bytes());
 }
 
@@ -477,32 +483,46 @@ impl OocStore {
     /// Insert one copy of `e` (duplicate counting like the in-memory
     /// store; endpoints are created implicitly).
     pub fn insert_edge(&self, e: Edge) -> Result<InsertOutcome> {
+        self.insert_edge_stamped(e, None).map(|(o, _)| o)
+    }
+
+    /// [`Self::insert_edge`], drawing a WAL sequence stamp from `seq`
+    /// under the store mutex (which serializes every operation here, so
+    /// stamp order trivially equals application order).
+    fn insert_edge_stamped(
+        &self,
+        e: Edge,
+        seq: Option<&AtomicU64>,
+    ) -> Result<(InsertOutcome, u64)> {
         self.check_capacity_edge(e)?;
-        // Mark endpoints under the store mutex so delete_vertex's
-        // isolation check (also under the mutex) is atomic with edge
-        // insertion.
+        // Lifecycle pin (taken before the store mutex): keeps
+        // delete_vertex's isolation check atomic with this insert and
+        // orders its WAL stamp against vertex-lifecycle stamps (see
+        // VertexTable::remove_isolated).
+        let _pin = self.vertices.pin(e.src, e.dst);
         let mut g = self.inner.lock();
         self.vertices.mark(e.src);
         self.vertices.mark(e.dst);
         let outcome = g.bump(Dir::Out, e.src, e.dst, e.data)?;
-        g.bump(Dir::In, e.dst, e.src, e.data)?;
+        let stamp = seq.map_or(0, |s| s.fetch_add(1, Ordering::Relaxed));
+        if let Err(err) = g.bump(Dir::In, e.dst, e.src, e.data) {
+            // Undo the out bump so an I/O failure mid-mirror cannot
+            // leave the two chain families out of sync.
+            let _ = g.decrement(Dir::Out, e.src, e.dst, e.data);
+            return Err(err);
+        }
         self.live_edges.fetch_add(1, Ordering::AcqRel);
-        Ok(outcome)
+        Ok((outcome, stamp))
     }
 
-    /// Delete one copy of `e`.
+    /// Delete one copy of `e` — [`Self::delete_edge_if`] with an
+    /// always-true predicate, so there is exactly one implementation of
+    /// the delete protocol.
     pub fn delete_edge(&self, e: Edge) -> Result<DeleteOutcome> {
-        if self.check_capacity_edge(e).is_err() {
-            return Err(Error::EdgeNotFound(e));
-        }
-        let mut g = self.inner.lock();
-        let outcome = g
-            .decrement(Dir::Out, e.src, e.dst, e.data)?
-            .ok_or(Error::EdgeNotFound(e))?;
-        let mirror = g.decrement(Dir::In, e.dst, e.src, e.data)?;
-        debug_assert!(mirror.is_some(), "out/in chains out of sync for {e:?}");
-        self.live_edges.fetch_sub(1, Ordering::AcqRel);
-        Ok(outcome)
+        Ok(self
+            .delete_edge_if_stamped(e, |_| true, None)?
+            .map(|(outcome, _)| outcome)
+            .expect("always-true predicate cannot reject"))
     }
 
     /// Conditional delete (the §4 revalidation primitive). The single
@@ -512,6 +532,18 @@ impl OocStore {
         e: Edge,
         pred: impl FnOnce(u32) -> bool,
     ) -> Result<Option<DeleteOutcome>> {
+        self.delete_edge_if_stamped(e, pred, None)
+            .map(|r| r.map(|(o, _)| o))
+    }
+
+    /// [`Self::delete_edge_if`] with an in-mutex WAL sequence stamp
+    /// (see [`Self::insert_edge_stamped`]).
+    fn delete_edge_if_stamped(
+        &self,
+        e: Edge,
+        pred: impl FnOnce(u32) -> bool,
+        seq: Option<&AtomicU64>,
+    ) -> Result<Option<(DeleteOutcome, u64)>> {
         if self.check_capacity_edge(e).is_err() {
             return Err(Error::EdgeNotFound(e));
         }
@@ -523,11 +555,25 @@ impl OocStore {
         if !pred(count) {
             return Ok(None);
         }
-        let outcome = g.decrement_at(block_id, slot, e.dst, e.data, count)?;
-        let mirror = g.decrement(Dir::In, e.dst, e.src, e.data)?;
-        debug_assert!(mirror.is_some(), "out/in chains out of sync for {e:?}");
+        // Transpose first: a desync is reported without mutating.
+        if g.decrement(Dir::In, e.dst, e.src, e.data)?.is_none() {
+            return Err(Error::Corruption(format!(
+                "out/in chains out of sync for {e:?}"
+            )));
+        }
+        let outcome = match g.decrement_at(block_id, slot, e.dst, e.data, count) {
+            Ok(outcome) => outcome,
+            Err(err) => {
+                // Best-effort compensation: restore the transpose count
+                // so an out-side I/O failure does not itself
+                // manufacture the desync this path exists to detect.
+                let _ = g.bump(Dir::In, e.dst, e.src, e.data);
+                return Err(err);
+            }
+        };
+        let stamp = seq.map_or(0, |s| s.fetch_add(1, Ordering::Relaxed));
         self.live_edges.fetch_sub(1, Ordering::AcqRel);
-        Ok(Some(outcome))
+        Ok(Some((outcome, stamp)))
     }
 
     /// Multiplicity of `e` (0 when absent).
@@ -612,21 +658,30 @@ impl DynamicGraph for OocStore {
     }
 
     fn delete_vertex(&self, v: VertexId) -> Result<()> {
-        // The store mutex is held across the isolation check and the
-        // removal, so a concurrent insert_edge touching `v` (which
-        // marks endpoints under the same mutex) cannot interleave.
-        let mut g = self.inner.lock();
-        if !self.vertices.exists(v) {
+        let scratch = AtomicU64::new(0);
+        DynamicGraph::delete_vertex_seq(self, v, &scratch).map(|_| ())
+    }
+
+    fn insert_vertex_seq(&self, v: VertexId, seq: &AtomicU64) -> Result<u64> {
+        self.vertices.insert_seq(v, seq)
+    }
+
+    fn delete_vertex_seq(&self, v: VertexId, seq: &AtomicU64) -> Result<u64> {
+        if (v as usize) >= self.vertices.capacity() {
             return Err(Error::VertexNotFound(v));
         }
-        let out_deg = g.degree(Dir::Out, v).expect("ooc I/O");
-        let in_deg = g.degree(Dir::In, v).expect("ooc I/O");
-        if out_deg > 0 || in_deg > 0 {
-            return Err(Error::VertexNotIsolated(v));
-        }
-        let result = self.vertices.remove(v);
-        drop(g);
-        result
+        // The vertex-table reservation drains in-flight edge-insert
+        // pins before the isolation check runs; the closure takes the
+        // store mutex for the chain walks.
+        self.vertices.remove_isolated_seq(
+            v,
+            || {
+                let mut g = self.inner.lock();
+                g.degree(Dir::Out, v).expect("ooc I/O") == 0
+                    && g.degree(Dir::In, v).expect("ooc I/O") == 0
+            },
+            seq,
+        )
     }
 
     fn insert_edge(&self, e: Edge) -> Result<InsertOutcome> {
@@ -643,6 +698,19 @@ impl DynamicGraph for OocStore {
         pred: &mut dyn FnMut(u32) -> bool,
     ) -> Result<Option<DeleteOutcome>> {
         OocStore::delete_edge_if(self, e, pred)
+    }
+
+    fn insert_edge_seq(&self, e: Edge, seq: &AtomicU64) -> Result<(InsertOutcome, u64)> {
+        OocStore::insert_edge_stamped(self, e, Some(seq))
+    }
+
+    fn delete_edge_if_seq(
+        &self,
+        e: Edge,
+        pred: &mut dyn FnMut(u32) -> bool,
+        seq: &AtomicU64,
+    ) -> Result<Option<(DeleteOutcome, u64)>> {
+        OocStore::delete_edge_if_stamped(self, e, pred, Some(seq))
     }
 
     fn edge_count(&self, e: Edge) -> u32 {
@@ -880,6 +948,37 @@ mod tests {
             (1, 0),
             "re-touched block was evicted: recency queue is not LRU"
         );
+    }
+
+    #[test]
+    fn forged_chain_desync_surfaces_as_corruption() {
+        // Forge the invariant violation: consume the transpose record
+        // only, so the out chain still sees the edge. Both delete paths
+        // must report it instead of silently ignoring it (a release
+        // build used to debug_assert! only).
+        let s = OocStore::create(tmp("desync"), 8, 4).unwrap();
+        s.insert_edge(Edge::new(1, 2, 0)).unwrap();
+        s.inner
+            .lock()
+            .decrement(Dir::In, 2, 1, 0)
+            .unwrap()
+            .expect("transpose record present");
+        assert!(matches!(
+            s.delete_edge(Edge::new(1, 2, 0)),
+            Err(Error::Corruption(_))
+        ));
+
+        let s = OocStore::create(tmp("desync-if"), 8, 4).unwrap();
+        s.insert_edge(Edge::new(3, 4, 1)).unwrap();
+        s.inner
+            .lock()
+            .decrement(Dir::In, 4, 3, 1)
+            .unwrap()
+            .expect("transpose record present");
+        assert!(matches!(
+            s.delete_edge_if(Edge::new(3, 4, 1), |_| true),
+            Err(Error::Corruption(_))
+        ));
     }
 
     #[test]

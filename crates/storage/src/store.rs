@@ -157,19 +157,45 @@ impl<I: EdgeIndex> GraphStore<I> {
 
     /// Delete an isolated vertex (`del_vertex`); fails with
     /// [`Error::VertexNotIsolated`] if any live edge touches it (§4).
+    /// Atomic against concurrent edge insertions on `v`: the vertex
+    /// table's reservation drains in-flight insert pins before the
+    /// degree check runs (see [`VertexTable::remove_isolated`]).
     pub fn delete_vertex(&self, v: VertexId) -> Result<()> {
-        if !self.vertex_exists(v) {
-            return Err(Error::VertexNotFound(v));
-        }
-        let out_deg = self.out[v as usize].read().degree();
-        let in_deg = self.inn[v as usize].read().degree();
-        if out_deg > 0 || in_deg > 0 {
-            return Err(Error::VertexNotIsolated(v));
-        }
-        self.vertices.remove(v)
+        let scratch = AtomicU64::new(0);
+        self.delete_vertex_stamped(v, &scratch).map(|_| ())
     }
 
-    fn check_endpoints(&self, e: Edge) -> Result<()> {
+    /// [`Self::delete_vertex`] with an in-reservation WAL stamp (the
+    /// single implementation both trait entry points share).
+    fn delete_vertex_stamped(&self, v: VertexId, seq: &AtomicU64) -> Result<u64> {
+        if (v as usize) >= self.capacity() {
+            return Err(Error::VertexNotFound(v));
+        }
+        self.vertices.remove_isolated_seq(
+            v,
+            || {
+                self.out[v as usize].read().degree() == 0
+                    && self.inn[v as usize].read().degree() == 0
+            },
+            seq,
+        )
+    }
+
+    /// Insert one copy of a directed edge. O(1) average with the hash
+    /// index. Lock order: out before in (deadlock-free, see module docs).
+    pub fn insert_edge(&self, e: Edge) -> Result<InsertOutcome> {
+        self.insert_edge_stamped(e, None).map(|(o, _)| o)
+    }
+
+    /// [`Self::insert_edge`], drawing a WAL sequence stamp from `seq`
+    /// while the out-adjacency write lock is held — same-edge operations
+    /// serialize on that lock, so stamp order equals application order
+    /// (the epoch loop's byte-exact replay contract).
+    fn insert_edge_stamped(
+        &self,
+        e: Edge,
+        seq: Option<&AtomicU64>,
+    ) -> Result<(InsertOutcome, u64)> {
         let cap = self.capacity() as u64;
         if e.src >= cap {
             return Err(Error::VertexNotFound(e.src));
@@ -177,34 +203,33 @@ impl<I: EdgeIndex> GraphStore<I> {
         if e.dst >= cap {
             return Err(Error::VertexNotFound(e.dst));
         }
+        // Pin both endpoints across the mark and the structural change
+        // so a concurrent delete_vertex cannot pass its isolation check
+        // mid-insert (nor recycle an id this insert just revived).
+        let _pin = self.vertices.pin(e.src, e.dst);
         if self.config.auto_create_vertices {
             self.vertices.mark(e.src);
             self.vertices.mark(e.dst);
-            Ok(())
         } else if !self.vertex_exists(e.src) {
-            Err(Error::VertexNotFound(e.src))
+            return Err(Error::VertexNotFound(e.src));
         } else if !self.vertex_exists(e.dst) {
-            Err(Error::VertexNotFound(e.dst))
-        } else {
-            Ok(())
+            return Err(Error::VertexNotFound(e.dst));
         }
-    }
-
-    /// Insert one copy of a directed edge. O(1) average with the hash
-    /// index. Lock order: out before in (deadlock-free, see module docs).
-    pub fn insert_edge(&self, e: Edge) -> Result<InsertOutcome> {
-        self.check_endpoints(e)?;
         let t = self.config.index_threshold;
-        let outcome = {
-            let mut out = self.out[e.src as usize].write();
-            out.insert(e.dst, e.data, t)
-        };
+        let out = &mut self.out[e.src as usize].write();
+        let outcome = out.insert(e.dst, e.data, t);
+        let stamp = seq.map_or(0, |s| s.fetch_add(1, Ordering::Relaxed));
+        // Mirror into the transpose while still holding the out lock
+        // (out→in order, deadlock-free like delete_edge_if): releasing
+        // it first would let a concurrent same-edge delete consume the
+        // out record, miss the not-yet-written transpose, and leave the
+        // two sides permanently desynced.
         {
             let mut inn = self.inn[e.dst as usize].write();
             inn.insert(e.src, e.data, t);
         }
         self.live_edges.fetch_add(1, Ordering::AcqRel);
-        Ok(outcome)
+        Ok((outcome, stamp))
     }
 
     /// Delete one copy of a directed edge.
@@ -239,6 +264,18 @@ impl<I: EdgeIndex> GraphStore<I> {
         e: Edge,
         pred: impl FnOnce(u32) -> bool,
     ) -> Result<Option<DeleteOutcome>> {
+        self.delete_edge_if_stamped(e, pred, None)
+            .map(|r| r.map(|(o, _)| o))
+    }
+
+    /// [`Self::delete_edge_if`] with an in-lock WAL sequence stamp (see
+    /// [`Self::insert_edge_stamped`]).
+    fn delete_edge_if_stamped(
+        &self,
+        e: Edge,
+        pred: impl FnOnce(u32) -> bool,
+        seq: Option<&AtomicU64>,
+    ) -> Result<Option<(DeleteOutcome, u64)>> {
         if e.src >= self.capacity() as u64 || e.dst >= self.capacity() as u64 {
             return Err(Error::EdgeNotFound(e));
         }
@@ -251,6 +288,7 @@ impl<I: EdgeIndex> GraphStore<I> {
             return Ok(None);
         }
         let outcome = out.delete(e.dst, e.data).expect("count checked above");
+        let stamp = seq.map_or(0, |s| s.fetch_add(1, Ordering::Relaxed));
         // Mirror into the transpose while still holding the out lock
         // (out→in ordering is deadlock-free, see module docs).
         {
@@ -260,7 +298,7 @@ impl<I: EdgeIndex> GraphStore<I> {
         }
         drop(out);
         self.live_edges.fetch_sub(1, Ordering::AcqRel);
-        Ok(Some(outcome))
+        Ok(Some((outcome, stamp)))
     }
 
     /// Current multiplicity of `e` (0 when absent).
@@ -392,6 +430,14 @@ impl<I: EdgeIndex> DynamicGraph for GraphStore<I> {
         GraphStore::delete_vertex(self, v)
     }
 
+    fn insert_vertex_seq(&self, v: VertexId, seq: &AtomicU64) -> Result<u64> {
+        self.vertices.insert_seq(v, seq)
+    }
+
+    fn delete_vertex_seq(&self, v: VertexId, seq: &AtomicU64) -> Result<u64> {
+        GraphStore::delete_vertex_stamped(self, v, seq)
+    }
+
     fn insert_edge(&self, e: Edge) -> Result<InsertOutcome> {
         GraphStore::insert_edge(self, e)
     }
@@ -406,6 +452,19 @@ impl<I: EdgeIndex> DynamicGraph for GraphStore<I> {
         pred: &mut dyn FnMut(u32) -> bool,
     ) -> Result<Option<DeleteOutcome>> {
         GraphStore::delete_edge_if(self, e, pred)
+    }
+
+    fn insert_edge_seq(&self, e: Edge, seq: &AtomicU64) -> Result<(InsertOutcome, u64)> {
+        GraphStore::insert_edge_stamped(self, e, Some(seq))
+    }
+
+    fn delete_edge_if_seq(
+        &self,
+        e: Edge,
+        pred: &mut dyn FnMut(u32) -> bool,
+        seq: &AtomicU64,
+    ) -> Result<Option<(DeleteOutcome, u64)>> {
+        GraphStore::delete_edge_if_stamped(self, e, pred, Some(seq))
     }
 
     fn edge_count(&self, e: Edge) -> u32 {
@@ -682,6 +741,54 @@ mod tests {
             for i in 0..500u64 {
                 assert!(s.contains_edge(Edge::new(0, 1 + t * 500 + i, 0)));
             }
+        }
+    }
+
+    #[test]
+    fn racing_insert_edge_vs_delete_vertex_never_strands_edges() {
+        use std::sync::{Arc, Barrier};
+        // The lifecycle race from ROADMAP: delete_vertex's isolation
+        // check must be atomic with a concurrent auto-create edge
+        // insert on the same vertex. Without the vertex-table
+        // reservation the deleter could pass the degree check, the
+        // inserter add an edge, and the deleter then remove the vertex
+        // — leaving a live edge on a dead endpoint.
+        for round in 0..300 {
+            let s = Arc::new(store(16));
+            s.insert_vertex(1).unwrap();
+            let barrier = Arc::new(Barrier::new(2));
+            let ins = {
+                let (s, b) = (Arc::clone(&s), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    b.wait();
+                    s.insert_edge(Edge::new(1, 2, 0)).unwrap();
+                })
+            };
+            let del = {
+                let (s, b) = (Arc::clone(&s), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    b.wait();
+                    s.delete_vertex(1)
+                })
+            };
+            ins.join().unwrap();
+            let deleted = del.join().unwrap();
+            let deg = s.out_degree(1) + s.in_degree(1);
+            match deleted {
+                // Deletion won the race: the insert then revived the
+                // vertex with its edge — it must exist with degree 1.
+                Ok(()) => assert!(
+                    s.vertex_exists(1) && deg == 1,
+                    "round {round}: exists={} degree={deg} after delete-then-insert",
+                    s.vertex_exists(1)
+                ),
+                // Insert won: deletion must have failed NotIsolated.
+                Err(Error::VertexNotIsolated(1)) => {
+                    assert!(s.vertex_exists(1) && deg == 1, "round {round}")
+                }
+                other => panic!("round {round}: unexpected outcome {other:?}"),
+            }
+            assert_eq!(s.num_edges(), 1, "round {round}");
         }
     }
 

@@ -33,6 +33,27 @@ pub fn ooc_backend(tag: &str, cache_blocks: usize) -> (BackendKind, PathBuf) {
     )
 }
 
+/// An mmap-backed OOC backend over a fresh scratch file; returns the
+/// path so the test can remove it (and its `.dir` sidecar) when done.
+pub fn ooc_mmap_backend(tag: &str) -> (BackendKind, PathBuf) {
+    let path = temp_path(&format!("{tag}.blocks"));
+    (
+        BackendKind::OocMmap {
+            path: Some(path.clone()),
+        },
+        path,
+    )
+}
+
+/// Remove an OOC scratch file and any chain-directory sidecar next to
+/// it (best-effort; missing files are fine).
+pub fn remove_ooc_files(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    let mut sidecar = path.as_os_str().to_owned();
+    sidecar.push(".dir");
+    let _ = std::fs::remove_file(PathBuf::from(sidecar));
+}
+
 /// A [`ServerConfig`] pinned for differential testing: the requested
 /// backend and shard count, and **one** engine worker thread so
 /// intra-update propagation is deterministic (parallel propagation can

@@ -29,7 +29,9 @@ pub mod differential;
 pub mod oracle;
 pub mod streams;
 
-pub use builders::{engine_on, ooc_backend, server_config, temp_path};
+pub use builders::{
+    engine_on, ooc_backend, ooc_mmap_backend, remove_ooc_files, server_config, temp_path,
+};
 pub use differential::{
     assert_servers_equivalent, drive_sessions, store_fingerprint, SessionTrace, StepTrace,
 };

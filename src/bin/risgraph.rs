@@ -6,8 +6,11 @@
 //!
 //! `--store` selects the storage backend (the §6.3 matrix): Indexed
 //! Adjacency Lists (`ia-hash`, `ia-btree`, `ia-art`), index-only
-//! layouts (`io-hash`, `io-btree`, `io-art`), or the out-of-core
-//! prototype (`ooc`). Every command below runs identically on each.
+//! layouts (`io-hash`, `io-btree`, `io-art`), or an out-of-core store —
+//! `ooc` (block I/O behind a global mutex, the durability-conservative
+//! prototype) or `ooc-mmap` (mmap-backed with per-vertex lock striping,
+//! the concurrent variant). `RISGRAPH_STORE` sets the default. Every
+//! command below runs identically on each.
 //!
 //! `--shards N` runs the shell through the full interactive tier
 //! instead of the bare engine: a [`Server`] with `N` safe-phase shard
@@ -43,7 +46,8 @@ use risgraph::workloads::rmat::RmatConfig;
 fn parse_args() -> (String, u64, BackendKind, Option<usize>) {
     let mut algorithm = "bfs".to_string();
     let mut root = 0u64;
-    let mut backend = BackendKind::default();
+    // RISGRAPH_STORE picks the default backend; --store overrides it.
+    let mut backend = BackendKind::from_env();
     let mut shards = None;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;

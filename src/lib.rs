@@ -49,7 +49,8 @@
 //! | `ia-hash` (default) | `GraphStore<HashIndex>` | Indexed Adjacency Lists + hash indexes |
 //! | `ia-btree` / `ia-art` | `GraphStore<_>` | ditto with B-tree / ART indexes |
 //! | `io-hash` / `io-btree` / `io-art` | `IndexOnlyStore<_>` | edges only in per-vertex indexes |
-//! | `ooc` | `OocStore` | out-of-core 4 KiB block chains + LRU cache |
+//! | `ooc` | `OocStore` | out-of-core 4 KiB block chains + LRU cache (global mutex) |
+//! | `ooc-mmap` | `MmapOocStore` | mmap-backed block chains, per-vertex lock striping + chain indexes |
 //!
 //! ```
 //! use risgraph::prelude::*;
@@ -68,7 +69,8 @@
 //! ```
 //!
 //! Servers select their backend through
-//! [`core::server::ServerConfig::backend`]; the CLI exposes the same
+//! [`core::server::ServerConfig::backend`] (defaulting from the
+//! `RISGRAPH_STORE` environment variable); the CLI exposes the same
 //! choice as `risgraph --store <backend>`. A cross-backend differential
 //! property test (`tests/proptest_invariants.rs`) holds all backends to
 //! identical results and store contents under random update streams.

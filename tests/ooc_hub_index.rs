@@ -1,0 +1,67 @@
+//! Hub-vertex point-lookup microbench: the mmap store's per-vertex
+//! chain index (`(neighbour, weight) → (block, slot)`) versus the
+//! legacy OOC store's O(chain) block walk. Ignored by default
+//! (wall-clock measurement); the slow CI job runs it with
+//! `cargo test --release -- --ignored`.
+
+use std::time::Instant;
+
+use risgraph::prelude::*;
+use risgraph::storage::{MmapOocStore, OocStore};
+use risgraph_testkit::temp_path;
+
+/// One hub vertex with a 20k-record chain (~100 blocks per direction).
+/// The legacy store scans ~50 blocks per miss-free lookup; the indexed
+/// store touches exactly one. Both stores hold every block resident
+/// (the legacy cache is oversized), so the gap is purely algorithmic.
+#[test]
+#[ignore = "wall-clock measurement; run via `cargo test --release -- --ignored`"]
+fn indexed_find_beats_chain_walk_on_hubs() {
+    const HUB_EDGES: u64 = 20_000;
+    const LOOKUPS: u64 = 200_000;
+
+    let legacy_path = temp_path("hub-legacy.blocks");
+    let mmap_path = temp_path("hub-mmap.blocks");
+    let legacy = OocStore::create(&legacy_path, 128, 16_384).unwrap();
+    let mmap = MmapOocStore::create(&mmap_path, 128).unwrap();
+    for i in 0..HUB_EDGES {
+        let e = Edge::new(0, i % 64, i);
+        legacy.insert_edge(e).unwrap();
+        mmap.insert_edge(e).unwrap();
+    }
+
+    // Deterministic pseudo-random existing-edge lookups (LCG), same
+    // sequence for both stores.
+    let run = |count: &dyn Fn(Edge) -> u32| {
+        let mut x = 0x2545F4914F6CDD1Du64;
+        let mut hits = 0u64;
+        let t = Instant::now();
+        for _ in 0..LOOKUPS {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let i = (x >> 16) % HUB_EDGES;
+            hits += count(Edge::new(0, i % 64, i)) as u64;
+        }
+        (t.elapsed(), hits)
+    };
+    let (legacy_t, legacy_hits) = run(&|e| legacy.edge_count(e).unwrap());
+    let (mmap_t, mmap_hits) = run(&|e| mmap.edge_count(e));
+    assert_eq!(legacy_hits, LOOKUPS, "every lookup targets a live edge");
+    assert_eq!(mmap_hits, LOOKUPS);
+
+    eprintln!(
+        "hub edge_count x{LOOKUPS}: legacy chain walk {legacy_t:?}, \
+         indexed {mmap_t:?} ({:.1}x)",
+        legacy_t.as_secs_f64() / mmap_t.as_secs_f64().max(1e-9)
+    );
+    assert!(
+        mmap_t * 2 < legacy_t,
+        "indexed find ({mmap_t:?}) should beat the O(chain) walk \
+         ({legacy_t:?}) by well over 2x on a 20k-record hub"
+    );
+
+    drop((legacy, mmap));
+    let _ = std::fs::remove_file(&legacy_path);
+    risgraph_testkit::remove_ooc_files(&mmap_path);
+}

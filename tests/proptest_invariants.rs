@@ -7,7 +7,7 @@
 //! 4. insert(e) then delete(e) around arbitrary noise leaves results
 //!    where the noise alone would have;
 //! 5. the same update stream driven through the engine over different
-//!    `DynamicGraph` backends (IA_Hash, IO_Hash, OOC) yields identical
+//!    `DynamicGraph` backends (IA_Hash, IO_Hash, OOC, OOC_MMAP) yields identical
 //!    algorithm values *and* identical store contents.
 
 use proptest::prelude::*;
@@ -149,7 +149,7 @@ proptest! {
         prop_assert_eq!(store.num_edges(), total as u64);
     }
 
-    /// Invariant 5: backend-independence. One engine API, three storage
+    /// Invariant 5: backend-independence. One engine API, four storage
     /// layouts, byte-identical results — the multi-backend claim of
     /// §6.3 as a testable property.
     #[test]
@@ -164,6 +164,10 @@ proptest! {
             "risgraph-xbackend-{}-{case}.blocks",
             std::process::id()
         ));
+        let mmap_path = std::env::temp_dir().join(format!(
+            "risgraph-xbackend-mmap-{}-{case}.blocks",
+            std::process::id()
+        ));
 
         let kinds = [
             BackendKind::IaHash,
@@ -171,6 +175,9 @@ proptest! {
             BackendKind::Ooc {
                 path: Some(ooc_path.clone()),
                 cache_blocks: 4, // tiny: force evictions mid-stream
+            },
+            BackendKind::OocMmap {
+                path: Some(mmap_path.clone()),
             },
         ];
         let alg = Sssp::new(0);
@@ -223,6 +230,7 @@ proptest! {
         }
         drop(engines);
         let _ = std::fs::remove_file(&ooc_path);
+        risgraph_testkit::remove_ooc_files(&mmap_path);
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! at every returned version, same per-version modification sets, same
 //! final values and store contents. This is the §4 commutativity claim
 //! ("safe updates change no results, so they may execute in any
-//! interleaving") as an executable property, checked on two storage
-//! backends (IA_Hash and the out-of-core prototype).
+//! interleaving") as an executable property, checked on three storage
+//! backends (IA_Hash, the legacy out-of-core prototype, and the
+//! concurrent mmap-backed OOC store — whose cross-backend triangle
+//! `ooc-mmap ≡ ooc ≡ IA_Hash` is asserted at shards 1 and 4).
 //!
 //! Determinism protocol: each emulated session owns a disjoint vertex
 //! region ([`risgraph_testkit::disjoint_session_streams`]), so its
@@ -51,7 +53,24 @@ fn differential(
     streams: &[Vec<Update>],
     capacity: usize,
 ) {
-    let serial = start(backend_a, 1, capacity);
+    differential_pair(
+        label,
+        (backend_a, 1),
+        (backend_b, shards_b),
+        streams,
+        capacity,
+    )
+}
+
+/// Fully general pair: any backend and shard count on either side.
+fn differential_pair(
+    label: &str,
+    (backend_a, shards_a): (BackendKind, usize),
+    (backend_b, shards_b): (BackendKind, usize),
+    streams: &[Vec<Update>],
+    capacity: usize,
+) {
+    let serial = start(backend_a, shards_a, capacity);
     let sharded = start(backend_b, shards_b, capacity);
     let traces_serial = drive_sessions(&serial, streams);
     let traces_sharded = drive_sessions(&sharded, streams);
@@ -112,6 +131,68 @@ fn sharded_equals_serial_on_ooc() {
     );
     let _ = std::fs::remove_file(path_a);
     let _ = std::fs::remove_file(path_b);
+}
+
+/// The acceptance triangle for the mmap OOC store: `ooc-mmap` must be
+/// observably identical to IA_Hash and to the legacy global-mutex
+/// `ooc` store, at `shards = 1` and `shards = 4` — same outcomes and
+/// safety classes, same point-in-time values against the oracle, same
+/// modification sets, same final values and count-annotated store
+/// contents. With `sharded_equals_serial_on_ooc` above this chains
+/// `ooc-mmap ≡ ooc ≡ IA_Hash` at both shard counts.
+#[test]
+fn ooc_mmap_equals_legacy_ooc_and_ia_hash() {
+    let cfg = RegionStreamConfig {
+        sessions: 4,
+        region: 16,
+        steps: 80,
+        seed: 31,
+        ..RegionStreamConfig::default()
+    };
+    let streams = disjoint_session_streams(&cfg);
+    let mut scratch = Vec::new();
+
+    // IA_Hash serial vs ooc-mmap serial.
+    let (mmap_s1, p) = risgraph_testkit::ooc_mmap_backend("mmap-diff-serial");
+    scratch.push(p);
+    differential_pair(
+        "IA_Hash s1 vs OOC_MMAP s1",
+        (BackendKind::IaHash, 1),
+        (mmap_s1, 1),
+        &streams,
+        cfg.capacity(),
+    );
+
+    // IA_Hash serial vs ooc-mmap sharded: the striped locks must admit
+    // real concurrency without changing anything observable.
+    let (mmap_s4, p) = risgraph_testkit::ooc_mmap_backend("mmap-diff-sharded");
+    scratch.push(p);
+    differential_pair(
+        "IA_Hash s1 vs OOC_MMAP s4",
+        (BackendKind::IaHash, 1),
+        (mmap_s4, 4),
+        &streams,
+        cfg.capacity(),
+    );
+
+    // Legacy ooc sharded vs ooc-mmap sharded: same epochs, same
+    // backend family, one serialized by a global mutex and one by
+    // per-vertex stripes.
+    let (ooc_s4, p) = risgraph_testkit::ooc_backend("mmap-diff-legacy", 4);
+    scratch.push(p);
+    let (mmap_s4b, p) = risgraph_testkit::ooc_mmap_backend("mmap-diff-sharded-b");
+    scratch.push(p);
+    differential_pair(
+        "OOC s4 vs OOC_MMAP s4",
+        (ooc_s4, 4),
+        (mmap_s4b, 4),
+        &streams,
+        cfg.capacity(),
+    );
+
+    for p in scratch {
+        risgraph_testkit::remove_ooc_files(&p);
+    }
 }
 
 /// A single synchronous session serializes everything, so the two
@@ -207,4 +288,22 @@ fn sharded_equals_serial_big() {
     );
     let _ = std::fs::remove_file(path_a);
     let _ = std::fs::remove_file(path_b);
+    let (mmap_a, path_a) = risgraph_testkit::ooc_mmap_backend("shard-diff-big-mmap-serial");
+    let (mmap_b, path_b) = risgraph_testkit::ooc_mmap_backend("shard-diff-big-mmap-sharded");
+    let cfg = RegionStreamConfig {
+        sessions: 8,
+        region: 32,
+        steps: 500,
+        seed: 44,
+        ..RegionStreamConfig::default()
+    };
+    differential_pair(
+        "big OOC_MMAP",
+        (mmap_a, 1),
+        (mmap_b, 8),
+        &disjoint_session_streams(&cfg),
+        cfg.capacity(),
+    );
+    risgraph_testkit::remove_ooc_files(&path_a);
+    risgraph_testkit::remove_ooc_files(&path_b);
 }

@@ -24,8 +24,17 @@ use risgraph_testkit::{
 /// Run a 4-shard WAL-logged server over disjoint-session streams, crash
 /// it mid-buffer, and return `(wal_path, capacity, applied_count)`.
 fn run_and_crash(tag: &str, cfg: &RegionStreamConfig) -> (std::path::PathBuf, usize, u64) {
+    run_and_crash_on(tag, cfg, risgraph::storage::BackendKind::IaHash)
+}
+
+/// [`run_and_crash`] on an explicit storage backend.
+fn run_and_crash_on(
+    tag: &str,
+    cfg: &RegionStreamConfig,
+    backend: risgraph::storage::BackendKind,
+) -> (std::path::PathBuf, usize, u64) {
     let path = temp_path(&format!("{tag}.wal"));
-    let mut config = server_config(risgraph::storage::BackendKind::IaHash, 4);
+    let mut config = server_config(backend, 4);
     config.wal_path = Some(path.clone());
     // Group-commit pacing far beyond the test's runtime: everything
     // after the last buffer-sized flush stays in the writer's buffer
@@ -58,12 +67,23 @@ fn run_and_crash(tag: &str, cfg: &RegionStreamConfig) -> (std::path::PathBuf, us
 /// Recover a server from `path` and assert it matches the oracle built
 /// from the log's own replayable prefix.
 fn assert_recovery_matches_oracle(path: &std::path::Path, capacity: usize, ctx: &str) -> usize {
+    assert_recovery_matches_oracle_on(path, capacity, ctx, risgraph::storage::BackendKind::IaHash)
+}
+
+/// [`assert_recovery_matches_oracle`] recovering onto an explicit
+/// storage backend.
+fn assert_recovery_matches_oracle_on(
+    path: &std::path::Path,
+    capacity: usize,
+    ctx: &str,
+    backend: risgraph::storage::BackendKind,
+) -> usize {
     let batches = replay(path).unwrap();
     let replayed: Vec<Update> = batches.into_iter().flatten().collect();
     let mut live: Vec<oracle::LiveEdge> = Vec::new();
     oracle::apply_all(&mut live, &replayed);
 
-    let mut config = server_config(risgraph::storage::BackendKind::IaHash, 4);
+    let mut config = server_config(backend, 4);
     config.wal_path = Some(path.to_path_buf());
     let recovered =
         Server::start(vec![Arc::new(Wcc::new()) as DynAlgorithm], capacity, config).unwrap();
@@ -104,6 +124,118 @@ fn crash_mid_epoch_recovers_replayable_prefix() {
         "enough volume must have overflowed the writer's buffer to test replay"
     );
     std::fs::remove_file(&path).unwrap();
+}
+
+/// The same power-loss contract with `--store ooc-mmap` on both sides
+/// of the crash: a server whose adjacency lives in an mmap'ed block
+/// file must recover from the WAL's replayable prefix exactly like the
+/// in-memory backends (the block file itself is rebuilt by replay; its
+/// durability is the WAL's, not the mapping's).
+#[test]
+fn crash_mid_epoch_recovers_on_ooc_mmap() {
+    let cfg = RegionStreamConfig {
+        sessions: 4,
+        region: 20,
+        steps: 300,
+        seed: 19,
+        ..RegionStreamConfig::default()
+    };
+    let (path, capacity, applied) = run_and_crash_on(
+        "crash-recovery-mmap",
+        &cfg,
+        risgraph::storage::BackendKind::OocMmap { path: None },
+    );
+    let replayed = assert_recovery_matches_oracle_on(
+        &path,
+        capacity,
+        "crash recovery (ooc-mmap)",
+        risgraph::storage::BackendKind::OocMmap { path: None },
+    );
+    assert!(replayed as u64 <= applied);
+    assert!(
+        replayed > 0,
+        "enough volume must have overflowed the writer's buffer to test replay"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// The PR 2 "WAL linearization caveat", now closed: same-edge
+/// count-races across sessions within one epoch must replay
+/// **byte-exactly**. Four sessions (one per shard) burst-insert then
+/// burst-delete the *same* edges, so an epoch's log routinely holds
+/// cross-session ins/del sequences of one edge whose per-session
+/// concatenation is NOT the execution order — replaying that
+/// concatenation can hit count 0 early, skip a delete, and recover a
+/// different multiplicity than the live store had. With the global
+/// application-order stamp (drawn inside the store's per-edge lock and
+/// used to sort the merged record), recovery must reproduce the live
+/// count-annotated store exactly.
+#[test]
+fn same_edge_cross_session_races_replay_byte_exactly() {
+    for backend in [
+        risgraph::storage::BackendKind::IaHash,
+        risgraph::storage::BackendKind::OocMmap { path: None },
+    ] {
+        let label = format!("{backend:?}");
+        let path = temp_path("same-edge.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut config = server_config(backend, 4);
+        config.wal_path = Some(path.clone());
+        let n = 8usize;
+        let server = Arc::new(
+            Server::start(
+                vec![Arc::new(Wcc::new()) as DynAlgorithm],
+                n,
+                config.clone(),
+            )
+            .unwrap(),
+        );
+        // Per-epoch the merged record concatenates session groups in
+        // session order, so the damning shape is: a *low* session id
+        // deleting an edge while a *high* session id inserts it. When
+        // the insert executed first but the log lists the delete first,
+        // an unstamped replay hits count 0, skips the delete, and
+        // resurrects a copy the live store didn't have. Sessions 0–1
+        // are pure deleters of the edges sessions 2–3 keep inserting.
+        let edges = [Edge::new(1, 2, 0), Edge::new(2, 3, 0)];
+        let streams: Vec<Vec<Update>> = (0..4u64)
+            .map(|s| {
+                (0..240)
+                    .map(|round| {
+                        let e = edges[(round % 2) as usize];
+                        if s < 2 {
+                            Update::DelEdge(e)
+                        } else {
+                            Update::InsEdge(e)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        // Outcomes are allowed to include errors (a delete can find the
+        // edge drained by another session) — errored updates are not
+        // logged, so they don't participate in the replay contract.
+        drive_sessions(&server, &streams);
+        let live_fp = store_fingerprint(server.engine(), n as u64);
+        let live_vals = server.engine().values_snapshot(0, n);
+        // Graceful shutdown: the full log reaches disk.
+        Arc::try_unwrap(server).ok().unwrap().shutdown();
+
+        let recovered =
+            Server::start(vec![Arc::new(Wcc::new()) as DynAlgorithm], n, config).unwrap();
+        assert_eq!(
+            store_fingerprint(recovered.engine(), n as u64),
+            live_fp,
+            "{label}: same-edge cross-session races must replay byte-exactly"
+        );
+        assert_eq!(
+            recovered.engine().values_snapshot(0, n),
+            live_vals,
+            "{label}: recovered values"
+        );
+        recovered.shutdown();
+        std::fs::remove_file(&path).unwrap();
+    }
 }
 
 /// Tearing the log deep inside its valid prefix (a crash during the
