@@ -1,0 +1,109 @@
+//! **net_load** — client-observed throughput and latency percentiles of
+//! the TCP serving tier (`crates/net`) over loopback.
+//!
+//! An RMAT graph is preloaded, then N connections stream safe-churn
+//! updates (duplicate-insert/duplicate-delete pairs, so the serial
+//! unsafe phase stays out of the measurement) with a bounded pipeline
+//! of W requests in flight per connection. Two disciplines run on the
+//! same streams:
+//!
+//! * `window = 1` — the synchronous one-request-at-a-time client of
+//!   §6.2, paying a full round trip per update;
+//! * `window = W` (default 64) — the pipelined client, amortizing round
+//!   trips across the in-flight window so the server's epoch loop sees
+//!   real batches.
+//!
+//! Reported per discipline: sustained ops/s and client-observed
+//! P50/P99/P999 (the paper's §6.1 processing-time latency, measured at
+//! the client — here with a real socket in the path).
+//!
+//! Knobs: `RISGRAPH_SCALE` (default 12, capped 16), `RISGRAPH_NET_CONNS`
+//! (default 8), `RISGRAPH_NET_WINDOW` (default 64),
+//! `RISGRAPH_NET_PAIRS` (default 20000 total pairs), plus the usual
+//! `RISGRAPH_STORE` / `RISGRAPH_SHARDS` backend selection.
+
+use std::sync::Arc;
+
+use risgraph_algorithms::Bfs;
+use risgraph_bench::drivers::measure_net_load;
+use risgraph_bench::{fmt_ops, print_table, scale};
+use risgraph_core::engine::DynAlgorithm;
+use risgraph_core::server::ServerConfig;
+use risgraph_net::{NetConfig, NetServer};
+use risgraph_testkit::safe_churn;
+use risgraph_workloads::rmat::RmatConfig;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fmt_ns(ns: u64) -> String {
+    risgraph_bench::fmt_duration_us(ns as f64)
+}
+
+fn main() {
+    let cfg = RmatConfig {
+        scale: scale().min(16),
+        edge_factor: 8.0,
+        ..RmatConfig::default()
+    };
+    let preload = cfg.generate();
+    let conns = env_usize("RISGRAPH_NET_CONNS", 8).max(1);
+    let window = env_usize("RISGRAPH_NET_WINDOW", 64).max(2);
+    let pairs = env_usize("RISGRAPH_NET_PAIRS", 20_000).max(conns);
+
+    // One stream per connection (safe-churn pairs must stay within one
+    // connection to keep the whole stream in the safe class).
+    let streams: Vec<Vec<_>> = (0..conns)
+        .map(|c| safe_churn(&preload, pairs / conns, 77 + c as u64))
+        .collect();
+    let total: usize = streams.iter().map(Vec::len).sum();
+
+    let server_config = ServerConfig::default();
+    println!(
+        "net_load: RMAT scale {} (|V|={} |E|={}), {} updates over {conns} \
+         loopback connections, store {}, {} shard(s)\n",
+        cfg.scale,
+        cfg.num_vertices(),
+        preload.len(),
+        total,
+        server_config.backend.label(),
+        server_config.shards,
+    );
+
+    let mut rows = Vec::new();
+    for w in [1usize, window] {
+        // A fresh server per discipline so epochs/history from one run
+        // cannot flatter the other.
+        let net = NetServer::start(
+            vec![Arc::new(Bfs::new(0)) as DynAlgorithm],
+            cfg.num_vertices(),
+            server_config.clone(),
+            NetConfig::default(),
+        )
+        .expect("net server");
+        net.server().load_edges(&preload);
+        let perf = measure_net_load(net.local_addr(), &streams, w);
+        let h = &perf.histogram;
+        rows.push(vec![
+            if w == 1 {
+                "sync (window 1)".into()
+            } else {
+                format!("pipelined (window {w})")
+            },
+            fmt_ops(perf.throughput),
+            fmt_ns(h.quantile_ns(0.5)),
+            fmt_ns(h.quantile_ns(0.99)),
+            fmt_ns(h.quantile_ns(0.999)),
+            format!("{}", perf.updates),
+        ]);
+        net.shutdown();
+    }
+    print_table(
+        &["discipline", "ops/s", "P50", "P99", "P999", "applied"],
+        &rows,
+    );
+}

@@ -167,6 +167,70 @@ pub fn measure_server_streams(
     }
 }
 
+/// Drive per-connection update streams against a network server
+/// (`crates/net`) over TCP with a bounded pipeline: each stream gets
+/// its own [`risgraph_net::NetClient`] connection keeping up to
+/// `window` requests in flight; latency is measured client-side from
+/// submission to demultiplexed reply. `window = 1` degenerates to the
+/// synchronous one-request-at-a-time discipline, which is exactly the
+/// baseline the pipelining acceptance comparison runs against.
+pub fn measure_net_load(
+    addr: std::net::SocketAddr,
+    session_streams: &[Vec<Update>],
+    window: usize,
+) -> PerfResult {
+    let window = window.max(1);
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(session_streams.len());
+    for stream in session_streams {
+        let stream = stream.clone();
+        handles.push(std::thread::spawn(move || {
+            let client = risgraph_net::NetClient::connect(addr).expect("connect");
+            let mut hist = LatencyHistogram::new();
+            let mut inflight: std::collections::VecDeque<(u64, Instant)> = Default::default();
+            let mut done = 0u64;
+            let drain_one = |inflight: &mut std::collections::VecDeque<(u64, Instant)>,
+                             hist: &mut LatencyHistogram,
+                             done: &mut u64| {
+                let (id, t) = inflight.pop_front().unwrap();
+                let reply = client.wait_reply(id).expect("wire round-trip");
+                hist.record(t.elapsed());
+                if reply.outcome.is_ok() {
+                    *done += 1;
+                }
+            };
+            for u in &stream {
+                while inflight.len() >= window {
+                    drain_one(&mut inflight, &mut hist, &mut done);
+                }
+                let t = Instant::now();
+                let id = client.submit_update_pipelined(u).expect("submit");
+                inflight.push_back((id, t));
+            }
+            while !inflight.is_empty() {
+                drain_one(&mut inflight, &mut hist, &mut done);
+            }
+            (hist, done)
+        }));
+    }
+    let mut merged = LatencyHistogram::new();
+    let mut total = 0u64;
+    for h in handles {
+        let (hist, done) = h.join().expect("net client thread");
+        merged.merge(&hist);
+        total += done;
+    }
+    let elapsed = t0.elapsed();
+    PerfResult {
+        throughput: total as f64 / elapsed.as_secs_f64(),
+        mean_us: merged.mean_us(),
+        p999_ms: merged.p999_ms(),
+        within_limit: merged.fraction_within(std::time::Duration::from_millis(20)),
+        updates: total,
+        histogram: merged,
+    }
+}
+
 /// Like [`measure_server`] but submitting fixed-size transactions.
 pub fn measure_server_txn(
     algorithms: Vec<DynAlgorithm>,

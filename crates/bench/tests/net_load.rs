@@ -1,0 +1,65 @@
+//! The pipelining acceptance property, as an executable test: on the
+//! same safe-churn streams over loopback, a pipelined client window of
+//! ≥ 64 must out-run the synchronous one-request-at-a-time discipline —
+//! pipelining amortizes round trips and lets the epoch loop batch, so
+//! if this inverts, either the window, the reply demultiplexer or the
+//! epoch gather is broken. Wall-clock-sensitive, so it runs in the slow
+//! CI job (`cargo test --release -- --ignored`).
+
+use std::sync::Arc;
+
+use risgraph_algorithms::Bfs;
+use risgraph_bench::drivers::measure_net_load;
+use risgraph_core::engine::DynAlgorithm;
+use risgraph_core::server::ServerConfig;
+use risgraph_net::{NetConfig, NetServer};
+use risgraph_testkit::safe_churn;
+use risgraph_workloads::rmat::RmatConfig;
+
+#[test]
+#[ignore = "wall-clock measurement; run via `cargo test --release -- --ignored`"]
+fn pipelined_window_beats_sync_throughput() {
+    let cfg = RmatConfig {
+        scale: 12,
+        edge_factor: 8.0,
+        ..RmatConfig::default()
+    };
+    let preload = cfg.generate();
+    let conns = 4usize;
+    let streams: Vec<Vec<_>> = (0..conns)
+        .map(|c| safe_churn(&preload, 2_500, 5 + c as u64))
+        .collect();
+
+    let run = |window: usize| {
+        let net = NetServer::start(
+            vec![Arc::new(Bfs::new(0)) as DynAlgorithm],
+            cfg.num_vertices(),
+            ServerConfig::default(),
+            NetConfig::default(),
+        )
+        .expect("net server");
+        net.server().load_edges(&preload);
+        let perf = measure_net_load(net.local_addr(), &streams, window);
+        net.shutdown();
+        perf
+    };
+
+    let sync = run(1);
+    let pipelined = run(64);
+    let total: u64 = streams.iter().map(|s| s.len() as u64).sum();
+    assert_eq!(sync.updates, total, "sync applied everything");
+    assert_eq!(pipelined.updates, total, "pipelined applied everything");
+    assert!(
+        pipelined.throughput > sync.throughput,
+        "pipelining must beat one-request-at-a-time: pipelined {:.0} ops/s \
+         vs sync {:.0} ops/s",
+        pipelined.throughput,
+        sync.throughput
+    );
+    println!(
+        "net pipelining speedup: {:.2}x ({:.0} vs {:.0} ops/s)",
+        pipelined.throughput / sync.throughput,
+        pipelined.throughput,
+        sync.throughput
+    );
+}

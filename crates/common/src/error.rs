@@ -30,6 +30,9 @@ pub enum Error {
     /// forward and transpose adjacency structures disagree). State is
     /// no longer trustworthy; the caller should stop and recover.
     Corruption(String),
+    /// A network peer violated the wire protocol (bad framing, CRC
+    /// mismatch, oversized or truncated frame, unknown opcode).
+    Protocol(String),
     /// The engine has been shut down.
     Shutdown,
 }
@@ -50,6 +53,7 @@ impl fmt::Display for Error {
             Error::SessionNotFound(s) => write!(f, "session {s} not found"),
             Error::Wal(msg) => write!(f, "WAL error: {msg}"),
             Error::Corruption(msg) => write!(f, "store corruption: {msg}"),
+            Error::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             Error::Shutdown => write!(f, "engine has shut down"),
         }
     }
@@ -83,6 +87,7 @@ mod tests {
             Error::SessionNotFound(7).to_string(),
             Error::Wal("io".into()).to_string(),
             Error::Corruption("desync".into()).to_string(),
+            Error::Protocol("bad crc".into()).to_string(),
             Error::Shutdown.to_string(),
         ];
         for m in msgs {

@@ -12,13 +12,16 @@
 //!   KickStarter-style baseline,
 //! * [`stats`] — latency histograms (P50/P99/P999) and throughput meters
 //!   used by the evaluation harness,
-//! * [`crc`] — CRC32 used by the write-ahead log.
+//! * [`crc`] — CRC32 used by the write-ahead log and the wire protocol,
+//! * [`protocol`] — the CRC-framed binary wire protocol spoken by the
+//!   TCP serving tier (`crates/net`).
 
 pub mod bitmap;
 pub mod crc;
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod protocol;
 pub mod sparse;
 pub mod stats;
 

@@ -1,0 +1,806 @@
+//! The RisGraph wire protocol: the binary request/response vocabulary
+//! spoken between `NetClient` and `NetServer` (`crates/net`).
+//!
+//! Every message travels in one **frame**:
+//!
+//! ```text
+//! [len: u32 LE] [crc: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! `crc` is the CRC32 ([`crate::crc`]) of the payload, so a torn or
+//! corrupted frame is detected before it is interpreted — the same
+//! discipline the write-ahead log applies to records. `len` is bounded
+//! by a receiver-chosen maximum ([`MAX_FRAME`] by default); anything
+//! larger is rejected *before* allocation, so a hostile or broken peer
+//! cannot balloon server memory.
+//!
+//! A payload is `[req_id: u64 LE] [opcode: u8] [body…]`. The request id
+//! is chosen by the client (ids start at 1; **id 0 is reserved** for
+//! server-initiated connection-level errors, e.g. a framing violation
+//! that cannot be attributed to any request) and echoed verbatim in
+//! the response, which
+//! is what makes **pipelining** work: a client may keep many requests
+//! in flight on one connection, and responses — which may complete out
+//! of order across the server's safe/unsafe epoch machinery — are
+//! matched back by id, not by position. Responses are self-describing
+//! (their opcode encodes the body shape), so a demultiplexer needs no
+//! per-request context to decode them.
+//!
+//! The request vocabulary mirrors the paper's Interactive API (Table 1)
+//! exactly: `ins_edge`/`del_edge`/`ins_vertex`/`del_vertex`,
+//! `txn_updates`, `get_value`/`get_parent`/`get_modified_vertices`/
+//! `get_current_version`, `release_history`, plus a `stats` probe that
+//! reports the server's client-observed latency percentiles.
+//!
+//! Everything here is pure bytes ↔ types; socket handling lives in
+//! `crates/net`.
+
+use std::io::{Read, Write};
+
+use crate::crc::crc32;
+use crate::ids::{Edge, Update, VersionId, VertexId};
+use crate::{Error, Result};
+
+/// Default upper bound on a frame's payload length (1 MiB): far above
+/// any legitimate message (a maximal transaction), far below anything
+/// that could hurt the server.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Upper bound on a *response* frame's payload: responses carrying
+/// modification lists scale with the affected area, so clients accept
+/// more than they may send. Servers refuse to emit anything larger
+/// (failing that one request) rather than desync the connection.
+pub const MAX_RESPONSE_FRAME: usize = 8 * MAX_FRAME;
+
+/// Bytes of frame header preceding the payload (`len` + `crc`).
+pub const FRAME_HEADER: usize = 8;
+
+// Request opcodes.
+const OP_INS_EDGE: u8 = 0x01;
+const OP_DEL_EDGE: u8 = 0x02;
+const OP_INS_VERTEX: u8 = 0x03;
+const OP_DEL_VERTEX: u8 = 0x04;
+const OP_TXN: u8 = 0x05;
+const OP_GET_VALUE: u8 = 0x10;
+const OP_GET_PARENT: u8 = 0x11;
+const OP_GET_MODIFIED: u8 = 0x12;
+const OP_CURRENT_VERSION: u8 = 0x13;
+const OP_RELEASE: u8 = 0x20;
+const OP_STATS: u8 = 0x30;
+
+// Response opcodes.
+const RE_APPLIED: u8 = 0x81;
+const RE_FAILED: u8 = 0x82;
+const RE_VALUE: u8 = 0x83;
+const RE_PARENT: u8 = 0x84;
+const RE_MODIFIED: u8 = 0x85;
+const RE_VERSION: u8 = 0x86;
+const RE_RELEASED: u8 = 0x87;
+const RE_STATS: u8 = 0x88;
+
+/// A client → server message (one per frame, after the request id).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// One graph update (Table 1's four mutating calls).
+    Update(Update),
+    /// An atomic write-only transaction (`txn_updates`).
+    Txn(Vec<Update>),
+    /// `get_value(version, vertex)` for algorithm `algo`.
+    GetValue {
+        /// Maintained-algorithm index.
+        algo: u32,
+        /// Snapshot version to read.
+        version: VersionId,
+        /// Vertex whose value is requested.
+        vertex: VertexId,
+    },
+    /// `get_parent(version, vertex)` for algorithm `algo`.
+    GetParent {
+        /// Maintained-algorithm index.
+        algo: u32,
+        /// Snapshot version to read.
+        version: VersionId,
+        /// Vertex whose dependency-tree parent is requested.
+        vertex: VertexId,
+    },
+    /// `get_modified_vertices(version)` for algorithm `algo`.
+    GetModified {
+        /// Maintained-algorithm index.
+        algo: u32,
+        /// The version whose modification set is requested.
+        version: VersionId,
+    },
+    /// `get_current_version()`.
+    CurrentVersion,
+    /// `release_history(version)`: this connection's session no longer
+    /// needs snapshots strictly older than `version`.
+    Release(VersionId),
+    /// Server counters + latency percentiles.
+    Stats,
+}
+
+/// An [`Error`] flattened for the wire: a stable code, up to three
+/// numeric arguments, and a free-text message for the string-carrying
+/// variants. Round-trips every variant losslessly enough for clients
+/// to match on the reconstructed [`Error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Stable numeric code (one per [`Error`] variant).
+    pub code: u8,
+    /// Variant-specific numeric arguments (vertex/version ids, edge
+    /// endpoints).
+    pub args: [u64; 3],
+    /// Variant-specific message text (empty when unused).
+    pub message: String,
+}
+
+impl WireError {
+    /// Flatten an [`Error`] for transmission.
+    pub fn from_error(e: &Error) -> WireError {
+        let (code, args, message) = match e {
+            Error::VertexNotFound(v) => (1, [*v, 0, 0], String::new()),
+            Error::EdgeNotFound(e) => (2, [e.src, e.dst, e.data], String::new()),
+            Error::VertexExists(v) => (3, [*v, 0, 0], String::new()),
+            Error::VertexNotIsolated(v) => (4, [*v, 0, 0], String::new()),
+            Error::VersionNotFound(v) => (5, [*v, 0, 0], String::new()),
+            Error::InvalidTransaction(m) => (6, [0, 0, 0], m.clone()),
+            Error::SessionNotFound(s) => (7, [*s, 0, 0], String::new()),
+            Error::Wal(m) => (8, [0, 0, 0], m.clone()),
+            Error::Corruption(m) => (9, [0, 0, 0], m.clone()),
+            Error::Protocol(m) => (10, [0, 0, 0], m.clone()),
+            Error::Shutdown => (11, [0, 0, 0], String::new()),
+        };
+        WireError {
+            code,
+            args,
+            message,
+        }
+    }
+
+    /// Reconstruct the [`Error`] on the client side.
+    pub fn to_error(&self) -> Error {
+        let [a, b, c] = self.args;
+        match self.code {
+            1 => Error::VertexNotFound(a),
+            2 => Error::EdgeNotFound(Edge::new(a, b, c)),
+            3 => Error::VertexExists(a),
+            4 => Error::VertexNotIsolated(a),
+            5 => Error::VersionNotFound(a),
+            6 => Error::InvalidTransaction(self.message.clone()),
+            7 => Error::SessionNotFound(a),
+            8 => Error::Wal(self.message.clone()),
+            9 => Error::Corruption(self.message.clone()),
+            10 => Error::Protocol(self.message.clone()),
+            11 => Error::Shutdown,
+            other => Error::Protocol(format!("unknown wire error code {other}")),
+        }
+    }
+}
+
+/// The server-counter snapshot served by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReport {
+    /// Latest assigned result version.
+    pub version: u64,
+    /// Epoch loops completed.
+    pub epochs: u64,
+    /// Updates executed on the parallel safe path.
+    pub safe_executed: u64,
+    /// Updates executed on the serial unsafe path.
+    pub unsafe_executed: u64,
+    /// Safe-phase demotions.
+    pub demotions: u64,
+    /// Current scheduler threshold.
+    pub threshold: u64,
+    /// Samples in the completion-latency histogram.
+    pub latency_count: u64,
+    /// P50 completion latency (submission → reply), nanoseconds.
+    pub latency_p50_ns: u64,
+    /// P99 completion latency, nanoseconds.
+    pub latency_p99_ns: u64,
+    /// P999 completion latency, nanoseconds — the paper's headline.
+    pub latency_p999_ns: u64,
+    /// Worst completion latency, nanoseconds.
+    pub latency_max_ns: u64,
+}
+
+/// A server → client message (one per frame, after the echoed id).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// An update or transaction was applied.
+    Applied {
+        /// The result-view version this operation produced.
+        version: u64,
+        /// Whether it ran on the safe (parallel) path.
+        safe: bool,
+        /// Per-vertex result changes across all algorithms.
+        result_changes: u64,
+    },
+    /// An update, transaction or query failed.
+    Failed {
+        /// The current version at failure time (errors carry no version
+        /// semantics; mirrors [`Error`]-carrying replies).
+        version: u64,
+        /// The flattened error.
+        error: WireError,
+    },
+    /// `get_value` answer.
+    Value(u64),
+    /// `get_parent` answer.
+    Parent(Option<Edge>),
+    /// `get_modified_vertices` answer.
+    Modified(Vec<VertexId>),
+    /// `get_current_version` answer.
+    Version(u64),
+    /// `release_history` acknowledgement.
+    Released,
+    /// `stats` answer.
+    Stats(StatsReport),
+}
+
+// ---------------------------------------------------------------------
+// Byte-level helpers
+// ---------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked little-endian reader over a payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(Error::Protocol(format!(
+                "truncated payload: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::Protocol("non-UTF-8 string field".into()))
+    }
+
+    fn finished(&self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(Error::Protocol(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_update_body(buf: &mut Vec<u8>, u: &Update) {
+    match u {
+        Update::InsEdge(e) | Update::DelEdge(e) => {
+            put_u64(buf, e.src);
+            put_u64(buf, e.dst);
+            put_u64(buf, e.data);
+        }
+        Update::InsVertex(v) | Update::DelVertex(v) => put_u64(buf, *v),
+    }
+}
+
+fn update_opcode(u: &Update) -> u8 {
+    match u {
+        Update::InsEdge(_) => OP_INS_EDGE,
+        Update::DelEdge(_) => OP_DEL_EDGE,
+        Update::InsVertex(_) => OP_INS_VERTEX,
+        Update::DelVertex(_) => OP_DEL_VERTEX,
+    }
+}
+
+fn read_update(op: u8, c: &mut Cursor<'_>) -> Result<Update> {
+    Ok(match op {
+        OP_INS_EDGE => Update::InsEdge(Edge::new(c.u64()?, c.u64()?, c.u64()?)),
+        OP_DEL_EDGE => Update::DelEdge(Edge::new(c.u64()?, c.u64()?, c.u64()?)),
+        OP_INS_VERTEX => Update::InsVertex(c.u64()?),
+        OP_DEL_VERTEX => Update::DelVertex(c.u64()?),
+        other => return Err(Error::Protocol(format!("unknown update opcode {other}"))),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Message codecs
+// ---------------------------------------------------------------------
+
+impl Request {
+    /// Encode as a frame payload carrying `req_id`.
+    pub fn encode(&self, req_id: u64) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        put_u64(&mut buf, req_id);
+        match self {
+            Request::Update(u) => {
+                buf.push(update_opcode(u));
+                put_update_body(&mut buf, u);
+            }
+            Request::Txn(updates) => {
+                buf.push(OP_TXN);
+                put_u32(&mut buf, updates.len() as u32);
+                for u in updates {
+                    buf.push(update_opcode(u));
+                    put_update_body(&mut buf, u);
+                }
+            }
+            Request::GetValue {
+                algo,
+                version,
+                vertex,
+            } => {
+                buf.push(OP_GET_VALUE);
+                put_u32(&mut buf, *algo);
+                put_u64(&mut buf, *version);
+                put_u64(&mut buf, *vertex);
+            }
+            Request::GetParent {
+                algo,
+                version,
+                vertex,
+            } => {
+                buf.push(OP_GET_PARENT);
+                put_u32(&mut buf, *algo);
+                put_u64(&mut buf, *version);
+                put_u64(&mut buf, *vertex);
+            }
+            Request::GetModified { algo, version } => {
+                buf.push(OP_GET_MODIFIED);
+                put_u32(&mut buf, *algo);
+                put_u64(&mut buf, *version);
+            }
+            Request::CurrentVersion => buf.push(OP_CURRENT_VERSION),
+            Request::Release(version) => {
+                buf.push(OP_RELEASE);
+                put_u64(&mut buf, *version);
+            }
+            Request::Stats => buf.push(OP_STATS),
+        }
+        buf
+    }
+
+    /// Decode a frame payload into `(req_id, request)`.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Request)> {
+        let mut c = Cursor::new(payload);
+        let req_id = c.u64()?;
+        let op = c.u8()?;
+        let req = match op {
+            OP_INS_EDGE | OP_DEL_EDGE | OP_INS_VERTEX | OP_DEL_VERTEX => {
+                Request::Update(read_update(op, &mut c)?)
+            }
+            OP_TXN => {
+                let n = c.u32()? as usize;
+                // Each update is at least 9 bytes; an impossible count
+                // is rejected before allocation.
+                if n > payload.len() / 9 + 1 {
+                    return Err(Error::Protocol(format!("txn count {n} exceeds payload")));
+                }
+                let mut updates = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let tag = c.u8()?;
+                    updates.push(read_update(tag, &mut c)?);
+                }
+                Request::Txn(updates)
+            }
+            OP_GET_VALUE => Request::GetValue {
+                algo: c.u32()?,
+                version: c.u64()?,
+                vertex: c.u64()?,
+            },
+            OP_GET_PARENT => Request::GetParent {
+                algo: c.u32()?,
+                version: c.u64()?,
+                vertex: c.u64()?,
+            },
+            OP_GET_MODIFIED => Request::GetModified {
+                algo: c.u32()?,
+                version: c.u64()?,
+            },
+            OP_CURRENT_VERSION => Request::CurrentVersion,
+            OP_RELEASE => Request::Release(c.u64()?),
+            OP_STATS => Request::Stats,
+            other => {
+                return Err(Error::Protocol(format!("unknown request opcode {other}")));
+            }
+        };
+        c.finished()?;
+        Ok((req_id, req))
+    }
+}
+
+impl Response {
+    /// Encode as a frame payload echoing `req_id`.
+    pub fn encode(&self, req_id: u64) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        put_u64(&mut buf, req_id);
+        match self {
+            Response::Applied {
+                version,
+                safe,
+                result_changes,
+            } => {
+                buf.push(RE_APPLIED);
+                put_u64(&mut buf, *version);
+                buf.push(u8::from(*safe));
+                put_u64(&mut buf, *result_changes);
+            }
+            Response::Failed { version, error } => {
+                buf.push(RE_FAILED);
+                put_u64(&mut buf, *version);
+                buf.push(error.code);
+                for a in error.args {
+                    put_u64(&mut buf, a);
+                }
+                put_string(&mut buf, &error.message);
+            }
+            Response::Value(v) => {
+                buf.push(RE_VALUE);
+                put_u64(&mut buf, *v);
+            }
+            Response::Parent(p) => {
+                buf.push(RE_PARENT);
+                match p {
+                    Some(e) => {
+                        buf.push(1);
+                        put_u64(&mut buf, e.src);
+                        put_u64(&mut buf, e.dst);
+                        put_u64(&mut buf, e.data);
+                    }
+                    None => buf.push(0),
+                }
+            }
+            Response::Modified(vs) => {
+                buf.push(RE_MODIFIED);
+                put_u32(&mut buf, vs.len() as u32);
+                for v in vs {
+                    put_u64(&mut buf, *v);
+                }
+            }
+            Response::Version(v) => {
+                buf.push(RE_VERSION);
+                put_u64(&mut buf, *v);
+            }
+            Response::Released => buf.push(RE_RELEASED),
+            Response::Stats(s) => {
+                buf.push(RE_STATS);
+                for v in [
+                    s.version,
+                    s.epochs,
+                    s.safe_executed,
+                    s.unsafe_executed,
+                    s.demotions,
+                    s.threshold,
+                    s.latency_count,
+                    s.latency_p50_ns,
+                    s.latency_p99_ns,
+                    s.latency_p999_ns,
+                    s.latency_max_ns,
+                ] {
+                    put_u64(&mut buf, v);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Decode a frame payload into `(req_id, response)`.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Response)> {
+        let mut c = Cursor::new(payload);
+        let req_id = c.u64()?;
+        let op = c.u8()?;
+        let resp = match op {
+            RE_APPLIED => Response::Applied {
+                version: c.u64()?,
+                safe: c.u8()? != 0,
+                result_changes: c.u64()?,
+            },
+            RE_FAILED => Response::Failed {
+                version: c.u64()?,
+                error: WireError {
+                    code: c.u8()?,
+                    args: [c.u64()?, c.u64()?, c.u64()?],
+                    message: c.string()?,
+                },
+            },
+            RE_VALUE => Response::Value(c.u64()?),
+            RE_PARENT => Response::Parent(if c.u8()? != 0 {
+                Some(Edge::new(c.u64()?, c.u64()?, c.u64()?))
+            } else {
+                None
+            }),
+            RE_MODIFIED => {
+                let n = c.u32()? as usize;
+                if n > payload.len() / 8 + 1 {
+                    return Err(Error::Protocol(format!(
+                        "modified count {n} exceeds payload"
+                    )));
+                }
+                let mut vs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    vs.push(c.u64()?);
+                }
+                Response::Modified(vs)
+            }
+            RE_VERSION => Response::Version(c.u64()?),
+            RE_RELEASED => Response::Released,
+            RE_STATS => Response::Stats(StatsReport {
+                version: c.u64()?,
+                epochs: c.u64()?,
+                safe_executed: c.u64()?,
+                unsafe_executed: c.u64()?,
+                demotions: c.u64()?,
+                threshold: c.u64()?,
+                latency_count: c.u64()?,
+                latency_p50_ns: c.u64()?,
+                latency_p99_ns: c.u64()?,
+                latency_p999_ns: c.u64()?,
+                latency_max_ns: c.u64()?,
+            }),
+            other => {
+                return Err(Error::Protocol(format!("unknown response opcode {other}")));
+            }
+        };
+        c.finished()?;
+        Ok((req_id, resp))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Write one CRC-framed payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    if payload.len() > u32::MAX as usize {
+        return Err(Error::Protocol(format!(
+            "frame payload of {} bytes does not fit a u32 length header",
+            payload.len()
+        )));
+    }
+    let mut header = [0u8; FRAME_HEADER];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (connection closed between messages); every other shortfall
+/// — truncation mid-frame, a length above `max_frame`, a CRC mismatch —
+/// is an [`Error::Protocol`].
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Option<Vec<u8>>> {
+    let mut header = [0u8; FRAME_HEADER];
+    // Read the first byte separately to distinguish a clean EOF from a
+    // torn header.
+    match r.read(&mut header[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+            return read_frame(r, max_frame);
+        }
+        Err(e) => return Err(e.into()),
+    }
+    r.read_exact(&mut header[1..])
+        .map_err(|e| Error::Protocol(format!("torn frame header: {e}")))?;
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    let want_crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+    if len > max_frame {
+        return Err(Error::Protocol(format!(
+            "oversized frame: {len} bytes exceeds the {max_frame}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| Error::Protocol(format!("torn frame payload: {e}")))?;
+    let got_crc = crc32(&payload);
+    if got_crc != want_crc {
+        return Err(Error::Protocol(format!(
+            "frame CRC mismatch: header says {want_crc:#010x}, payload is {got_crc:#010x}"
+        )));
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let payload = req.encode(42);
+        let (id, back) = Request::decode(&payload).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(back, req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let payload = resp.encode(7);
+        let (id, back) = Response::decode(&payload).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Update(Update::InsEdge(Edge::new(1, 2, 3))));
+        roundtrip_request(Request::Update(Update::DelEdge(Edge::new(9, 8, 7))));
+        roundtrip_request(Request::Update(Update::InsVertex(5)));
+        roundtrip_request(Request::Update(Update::DelVertex(6)));
+        roundtrip_request(Request::Txn(vec![
+            Update::InsEdge(Edge::new(1, 2, 0)),
+            Update::DelVertex(3),
+        ]));
+        roundtrip_request(Request::Txn(vec![]));
+        roundtrip_request(Request::GetValue {
+            algo: 2,
+            version: 100,
+            vertex: 4,
+        });
+        roundtrip_request(Request::GetParent {
+            algo: 0,
+            version: 1,
+            vertex: u64::MAX,
+        });
+        roundtrip_request(Request::GetModified {
+            algo: 1,
+            version: 77,
+        });
+        roundtrip_request(Request::CurrentVersion);
+        roundtrip_request(Request::Release(12));
+        roundtrip_request(Request::Stats);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Applied {
+            version: 9,
+            safe: true,
+            result_changes: 3,
+        });
+        roundtrip_response(Response::Failed {
+            version: 4,
+            error: WireError::from_error(&Error::EdgeNotFound(Edge::new(1, 2, 3))),
+        });
+        roundtrip_response(Response::Value(u64::MAX));
+        roundtrip_response(Response::Parent(Some(Edge::new(1, 2, 3))));
+        roundtrip_response(Response::Parent(None));
+        roundtrip_response(Response::Modified(vec![1, 5, 9]));
+        roundtrip_response(Response::Modified(vec![]));
+        roundtrip_response(Response::Version(1234));
+        roundtrip_response(Response::Released);
+        roundtrip_response(Response::Stats(StatsReport {
+            version: 1,
+            epochs: 2,
+            safe_executed: 3,
+            unsafe_executed: 4,
+            demotions: 5,
+            threshold: 6,
+            latency_count: 7,
+            latency_p50_ns: 8,
+            latency_p99_ns: 9,
+            latency_p999_ns: 10,
+            latency_max_ns: 11,
+        }));
+    }
+
+    #[test]
+    fn wire_errors_roundtrip_every_variant() {
+        let errors = [
+            Error::VertexNotFound(3),
+            Error::EdgeNotFound(Edge::new(1, 2, 9)),
+            Error::VertexExists(4),
+            Error::VertexNotIsolated(5),
+            Error::VersionNotFound(6),
+            Error::InvalidTransaction("dup".into()),
+            Error::SessionNotFound(7),
+            Error::Wal("io".into()),
+            Error::Corruption("desync".into()),
+            Error::Protocol("bad crc".into()),
+            Error::Shutdown,
+        ];
+        for e in errors {
+            let wire = WireError::from_error(&e);
+            assert_eq!(wire.to_error().to_string(), e.to_string(), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_byte_pipe() {
+        let mut pipe: Vec<u8> = Vec::new();
+        for payload in [b"hello".to_vec(), Vec::new(), vec![0xAB; 1000]] {
+            write_frame(&mut pipe, &payload).unwrap();
+        }
+        let mut r = &pipe[..];
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap().unwrap(), b"hello");
+        assert!(read_frame(&mut r, MAX_FRAME).unwrap().unwrap().is_empty());
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME).unwrap().unwrap(),
+            vec![0xAB; 1000]
+        );
+        assert!(read_frame(&mut r, MAX_FRAME).unwrap().is_none(), "EOF");
+    }
+
+    #[test]
+    fn corrupted_frame_is_detected() {
+        let mut pipe: Vec<u8> = Vec::new();
+        write_frame(&mut pipe, b"payload").unwrap();
+        let last = pipe.len() - 1;
+        pipe[last] ^= 0x01;
+        let mut r = &pipe[..];
+        assert!(matches!(
+            read_frame(&mut r, MAX_FRAME),
+            Err(Error::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        let mut pipe: Vec<u8> = Vec::new();
+        pipe.extend_from_slice(&u32::MAX.to_le_bytes());
+        pipe.extend_from_slice(&0u32.to_le_bytes());
+        let mut r = &pipe[..];
+        match read_frame(&mut r, MAX_FRAME) {
+            Err(Error::Protocol(msg)) => assert!(msg.contains("oversized"), "{msg}"),
+            other => panic!("expected oversized-frame rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_frame_is_a_protocol_error() {
+        let mut pipe: Vec<u8> = Vec::new();
+        write_frame(&mut pipe, b"full payload").unwrap();
+        pipe.truncate(pipe.len() - 3);
+        let mut r = &pipe[..];
+        assert!(matches!(
+            read_frame(&mut r, MAX_FRAME),
+            Err(Error::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_payload_decodes_to_protocol_errors() {
+        assert!(Request::decode(&[1, 2, 3]).is_err(), "truncated id");
+        assert!(Request::decode(&[0; 9]).is_err(), "opcode 0");
+        let mut ok = Request::Update(Update::InsVertex(1)).encode(1);
+        ok.push(0xFF);
+        assert!(Request::decode(&ok).is_err(), "trailing bytes");
+        assert!(Response::decode(&[0; 9]).is_err(), "response opcode 0");
+    }
+}

@@ -6,6 +6,7 @@
 //! latencies in a log-bucketed histogram so millions of samples cost a
 //! fixed 1–2 KB, plus exact min/max/sum for the mean.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Number of sub-buckets per power of two (higher = finer resolution).
@@ -13,6 +14,30 @@ const SUBBUCKETS_BITS: u32 = 5;
 const SUBBUCKETS: usize = 1 << SUBBUCKETS_BITS;
 /// Covers values up to 2^40 ns ≈ 18 minutes.
 const MAX_EXP: usize = 40;
+const NUM_BUCKETS: usize = (MAX_EXP + 1) * SUBBUCKETS;
+
+#[inline]
+fn bucket_index(ns: u64) -> usize {
+    if ns < SUBBUCKETS as u64 {
+        return ns as usize;
+    }
+    let exp = 63 - ns.leading_zeros();
+    let exp = exp.min(MAX_EXP as u32);
+    let shift = exp - SUBBUCKETS_BITS;
+    let sub = ((ns >> shift) as usize) & (SUBBUCKETS - 1);
+    (exp as usize - SUBBUCKETS_BITS as usize) * SUBBUCKETS + SUBBUCKETS + sub
+}
+
+#[inline]
+fn bucket_value(idx: usize) -> u64 {
+    if idx < SUBBUCKETS {
+        return idx as u64;
+    }
+    let rel = idx - SUBBUCKETS;
+    let exp = (rel / SUBBUCKETS) as u32 + SUBBUCKETS_BITS;
+    let sub = (rel % SUBBUCKETS) as u64;
+    (1u64 << exp) + (sub << (exp - SUBBUCKETS_BITS))
+}
 
 /// A log-linear latency histogram over nanosecond samples.
 ///
@@ -37,35 +62,12 @@ impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
         LatencyHistogram {
-            buckets: vec![0; (MAX_EXP + 1) * SUBBUCKETS],
+            buckets: vec![0; NUM_BUCKETS],
             count: 0,
             sum_ns: 0,
             min_ns: u64::MAX,
             max_ns: 0,
         }
-    }
-
-    #[inline]
-    fn bucket_index(ns: u64) -> usize {
-        if ns < SUBBUCKETS as u64 {
-            return ns as usize;
-        }
-        let exp = 63 - ns.leading_zeros();
-        let exp = exp.min(MAX_EXP as u32);
-        let shift = exp - SUBBUCKETS_BITS;
-        let sub = ((ns >> shift) as usize) & (SUBBUCKETS - 1);
-        (exp as usize - SUBBUCKETS_BITS as usize) * SUBBUCKETS + SUBBUCKETS + sub
-    }
-
-    #[inline]
-    fn bucket_value(idx: usize) -> u64 {
-        if idx < SUBBUCKETS {
-            return idx as u64;
-        }
-        let rel = idx - SUBBUCKETS;
-        let exp = (rel / SUBBUCKETS) as u32 + SUBBUCKETS_BITS;
-        let sub = (rel % SUBBUCKETS) as u64;
-        (1u64 << exp) + (sub << (exp - SUBBUCKETS_BITS))
     }
 
     /// Record one latency sample.
@@ -77,7 +79,7 @@ impl LatencyHistogram {
     /// Record a raw nanosecond sample.
     #[inline]
     pub fn record_ns(&mut self, ns: u64) {
-        let idx = Self::bucket_index(ns).min(self.buckets.len() - 1);
+        let idx = bucket_index(ns).min(self.buckets.len() - 1);
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum_ns += ns as u128;
@@ -116,7 +118,7 @@ impl LatencyHistogram {
         for (idx, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Self::bucket_value(idx)
+                return bucket_value(idx)
                     .min(self.max_ns)
                     .max(self.min_ns.min(self.max_ns));
             }
@@ -138,7 +140,7 @@ impl LatencyHistogram {
         let limit_ns = limit.as_nanos().min(u64::MAX as u128) as u64;
         let mut within = 0u64;
         for (idx, &c) in self.buckets.iter().enumerate() {
-            if Self::bucket_value(idx) <= limit_ns {
+            if bucket_value(idx) <= limit_ns {
                 within += c;
             } else {
                 break;
@@ -167,6 +169,115 @@ impl LatencyHistogram {
     /// Largest recorded sample in nanoseconds.
     pub fn max_ns(&self) -> u64 {
         self.max_ns
+    }
+}
+
+/// A lock-free, shareable variant of [`LatencyHistogram`]: identical
+/// log-linear bucket layout, but every counter is an [`AtomicU64`] so
+/// concurrent recorders (shard executors, the coordinator's unsafe
+/// phase) can feed one histogram through `&self` without a mutex on the
+/// hot path. Readers take a relaxed-snapshot of the buckets — quantiles
+/// are monitoring data, not a linearizable view.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one latency sample.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record a raw nanosecond sample.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let idx = bucket_index(ns).min(self.buckets.len() - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// A point-in-time (relaxed) copy as a [`LatencyHistogram`] — the
+    /// single implementation of quantiles/means/etc. serves both types,
+    /// so the two histograms cannot drift apart.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed) as u128,
+            min_ns: self.min_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        self.snapshot().mean_ns()
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` in nanoseconds, over a relaxed
+    /// snapshot of the buckets.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        self.snapshot().quantile_ns(q)
+    }
+
+    /// Median (P50) in nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.5)
+    }
+
+    /// P99 in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// P999 in nanoseconds — the paper's headline tail-latency metric.
+    pub fn p999_ns(&self) -> u64 {
+        self.quantile_ns(0.999)
+    }
+
+    /// Smallest recorded sample in nanoseconds (`u64::MAX` when empty).
+    pub fn min_ns(&self) -> u64 {
+        self.min_ns.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
     }
 }
 
@@ -288,6 +399,53 @@ mod tests {
     }
 
     #[test]
+    fn atomic_histogram_matches_locked_quantiles() {
+        let atomic = AtomicHistogram::new();
+        let mut locked = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            atomic.record_ns(i * 1_000);
+            locked.record_ns(i * 1_000);
+        }
+        for q in [0.5, 0.99, 0.999] {
+            assert_eq!(atomic.quantile_ns(q), locked.quantile_ns(q), "q={q}");
+        }
+        assert_eq!(atomic.count(), locked.count());
+        assert_eq!(atomic.max_ns(), locked.max_ns());
+        assert_eq!(atomic.min_ns(), locked.min_ns());
+        assert_eq!(atomic.mean_ns(), locked.mean_ns());
+    }
+
+    #[test]
+    fn atomic_histogram_concurrent_recording() {
+        use std::sync::Arc;
+        let h = Arc::new(AtomicHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_ns(1_000 + t * 250 + i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), 4_000);
+        assert!(h.p50_ns() >= 1_000 && h.p999_ns() <= 3_000, "bad quantiles");
+    }
+
+    #[test]
+    fn atomic_histogram_empty() {
+        let h = AtomicHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50_ns(), 0);
+        assert_eq!(h.p999_ns(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+    }
+
+    #[test]
     fn throughput_formats_like_paper() {
         assert_eq!(
             Throughput::new(3_420_000, Duration::from_secs(1)).display(),
@@ -314,8 +472,8 @@ mod tests {
     #[test]
     fn bucket_roundtrip_error_bounded() {
         for ns in [1u64, 63, 64, 1_000, 123_456, 19_999_999, 1_000_000_000] {
-            let idx = LatencyHistogram::bucket_index(ns);
-            let back = LatencyHistogram::bucket_value(idx);
+            let idx = bucket_index(ns);
+            let back = bucket_value(idx);
             let err = (back as f64 - ns as f64).abs() / ns as f64;
             assert!(err <= 1.0 / 32.0 + 1e-9, "ns={ns} back={back} err={err}");
         }

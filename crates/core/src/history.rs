@@ -188,6 +188,12 @@ impl HistoryStore {
         self.entries
     }
 
+    /// Number of versions still holding a memory-resident modification
+    /// list (shrinks eagerly when GC advances the watermark).
+    pub fn modified_versions(&self) -> usize {
+        self.modified.len()
+    }
+
     /// Approximate heap bytes.
     pub fn memory_bytes(&self) -> usize {
         self.chains.capacity() * std::mem::size_of::<Vec<ChainEntry>>()

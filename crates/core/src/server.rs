@@ -53,8 +53,9 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
 use risgraph_common::hash::FxHashMap;
 use risgraph_common::ids::{Edge, Update, VersionId, VertexId};
+use risgraph_common::stats::AtomicHistogram;
 use risgraph_common::{Error, Result};
-use risgraph_storage::{AnyStore, BackendKind, StoreConfig};
+use risgraph_storage::{AnyStore, BackendKind, DynamicGraph, StoreConfig};
 
 use crate::engine::{
     ChangeRecord, ChangeSet, DynAlgorithm, Engine, EngineConfig, SafeApply, Safety,
@@ -91,6 +92,14 @@ pub struct ServerConfig {
     pub enable_history: bool,
     /// History GC cadence (§5: every second).
     pub gc_interval: Duration,
+    /// Opt-in periodic history release (§5 fidelity): every interval,
+    /// advance every live session's release floor to the version the
+    /// server had assigned as of the *previous* tick, so snapshots
+    /// older than roughly two intervals become collectable even when
+    /// clients never call `release_history` themselves. Sessions must
+    /// tolerate `VersionNotFound` for versions older than that window.
+    /// `None` (the default) keeps release fully client-driven.
+    pub history_release_interval: Option<Duration>,
     /// Coordinator poll timeout while idle.
     pub idle_poll: Duration,
     /// Minimum interval between WAL fsyncs. Group commit batches all
@@ -100,6 +109,15 @@ pub struct ServerConfig {
     pub wal_sync_interval: Duration,
     /// Upper bound on safe updates gathered per epoch (backpressure).
     pub max_epoch_updates: usize,
+    /// Hard ceiling on the vertex range on-demand capacity growth may
+    /// reach: an update addressing a vertex id at or beyond this is
+    /// rejected with `VertexNotFound` instead of growing the engine.
+    /// Without it, one update naming vertex `2^60` — trivially
+    /// craftable over the wire — would drive `ensure_capacity` into a
+    /// capacity-overflow panic on the coordinator and take the whole
+    /// server down. Bulk loads (`Server::load_edges`) are not subject
+    /// to this limit.
+    pub max_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -120,9 +138,11 @@ impl Default for ServerConfig {
             wal_path: None,
             enable_history: true,
             gc_interval: Duration::from_secs(1),
+            history_release_interval: None,
             idle_poll: Duration::from_micros(200),
             wal_sync_interval: Duration::from_millis(2),
             max_epoch_updates: 1 << 16,
+            max_capacity: 1 << 26,
         }
     }
 }
@@ -160,7 +180,7 @@ fn max_vertex_of(updates: &[Update]) -> u64 {
             Update::InsVertex(v) | Update::DelVertex(v) => *v,
         })
         .max()
-        .map_or(0, |v| v + 1)
+        .map_or(0, |v| v.saturating_add(1))
 }
 
 /// Information returned with every successful update.
@@ -184,9 +204,14 @@ pub struct Reply {
 
 struct Envelope {
     session: u64,
+    /// Caller-chosen correlation tag, echoed with the reply. The
+    /// synchronous [`Session`] API uses 0 (one outstanding op, nothing
+    /// to correlate); pipelined callers (the network tier) thread their
+    /// request ids through so replies can be matched out of band.
+    tag: u64,
     op: Op,
     enqueued: Instant,
-    reply: Sender<Reply>,
+    reply: Sender<(u64, Reply)>,
 }
 
 /// Coordinator-visible counters, sampled by the Figure 11b/12 harnesses.
@@ -211,10 +236,16 @@ pub struct ServerStats {
     /// Nanoseconds envelopes spent queued before execution ("network"
     /// tier in the Figure 11b breakdown).
     pub queue_ns: AtomicU64,
-    /// Worst wait (submission → start of execution) of any unsafe
-    /// update, in nanoseconds. The scheduler's contract bounds this by
-    /// the latency limit plus at most one epoch.
-    pub max_unsafe_wait_ns: AtomicU64,
+    /// Log-bucketed histogram of per-update completion latency
+    /// (submission → reply sent), across both safety classes — the
+    /// paper's headline metric, queryable as P50/P99/P999 via
+    /// [`ServerStats::latency_percentiles_ns`], the CLI `stats`
+    /// command, and the wire protocol's STATS opcode.
+    pub update_latency: AtomicHistogram,
+    /// Histogram of unsafe-update waits (submission → start of serial
+    /// execution). Its max is the scheduler's side of the latency
+    /// contract: bounded by the limit plus at most one epoch.
+    pub unsafe_wait: AtomicHistogram,
     /// Longest epoch execution (post-gather) in nanoseconds — the grace
     /// term in the scheduler's wait bound.
     pub max_epoch_ns: AtomicU64,
@@ -228,6 +259,29 @@ impl ServerStats {
         let stats = ServerStats::default();
         stats.min_threshold.store(u64::MAX, Ordering::Relaxed);
         stats
+    }
+
+    /// Worst wait (submission → start of execution) of any unsafe
+    /// update, in nanoseconds (0 when none executed yet).
+    pub fn max_unsafe_wait_ns(&self) -> u64 {
+        let max = self.unsafe_wait.max_ns();
+        if self.unsafe_wait.count() == 0 {
+            0
+        } else {
+            max
+        }
+    }
+
+    /// `(p50, p99, p999)` of per-update completion latency in
+    /// nanoseconds — read from one snapshot, so the three values are
+    /// mutually consistent (monotone) under concurrent recording.
+    pub fn latency_percentiles_ns(&self) -> (u64, u64, u64) {
+        let snap = self.update_latency.snapshot();
+        (
+            snap.quantile_ns(0.5),
+            snap.quantile_ns(0.99),
+            snap.quantile_ns(0.999),
+        )
     }
 }
 
@@ -398,6 +452,21 @@ impl Server {
         self.shared.version.load(Ordering::Acquire)
     }
 
+    /// Memory-resident history deltas across all algorithms: per-vertex
+    /// chain entries plus per-version modification lists. The quantity
+    /// [`ServerConfig::history_release_interval`] keeps bounded under
+    /// churn.
+    pub fn history_resident_entries(&self) -> usize {
+        self.shared
+            .history
+            .iter()
+            .map(|h| {
+                let g = h.lock();
+                g.chain_entries() + g.modified_versions()
+            })
+            .sum()
+    }
+
     /// Stop the coordinator and drain.
     pub fn shutdown(mut self) {
         self.do_shutdown();
@@ -433,11 +502,23 @@ impl Drop for Server {
 }
 
 /// A client session (an emulated synchronous user, §6.2).
+///
+/// Two submission disciplines share one reply channel:
+///
+/// * the **synchronous** Table 1 methods ([`Session::ins_edge`] etc.)
+///   submit one op and block for its reply — the paper's emulated
+///   synchronous users;
+/// * the **pipelined** pair [`Session::submit_tagged`] /
+///   [`Session::recv_tagged`] keeps many ops in flight, each stamped
+///   with a caller-chosen tag that comes back with its reply. The
+///   network tier threads wire request-ids through here. Don't mix the
+///   two on one session while tagged ops are in flight — a synchronous
+///   call would steal the next tagged reply.
 pub struct Session {
     id: u64,
     shared: Arc<Shared>,
-    reply_tx: Sender<Reply>,
-    reply_rx: Receiver<Reply>,
+    reply_tx: Sender<(u64, Reply)>,
+    reply_rx: Receiver<(u64, Reply)>,
 }
 
 impl Session {
@@ -447,31 +528,52 @@ impl Session {
     }
 
     fn submit(&self, op: Op) -> Reply {
-        if self.shared.shutdown.load(Ordering::Acquire) {
+        if let Err(e) = self.submit_op_tagged(op, 0) {
             return Reply {
                 version: self.shared.version.load(Ordering::Acquire),
-                outcome: Err(Error::Shutdown),
-            };
-        }
-        let env = Envelope {
-            session: self.id,
-            op,
-            enqueued: Instant::now(),
-            reply: self.reply_tx.clone(),
-        };
-        if self.shared.injector.send(env).is_err() {
-            return Reply {
-                version: self.shared.version.load(Ordering::Acquire),
-                outcome: Err(Error::Shutdown),
+                outcome: Err(e),
             };
         }
         match self.reply_rx.recv() {
-            Ok(r) => r,
+            Ok((_, r)) => r,
             Err(_) => Reply {
                 version: self.shared.version.load(Ordering::Acquire),
                 outcome: Err(Error::Shutdown),
             },
         }
+    }
+
+    /// Enqueue `op` without waiting for its reply. The reply surfaces
+    /// through [`Session::recv_tagged`] carrying `tag`; per-session
+    /// submission order is preserved by the epoch loop regardless of
+    /// how many ops are in flight.
+    pub fn submit_op_tagged(&self, op: Op, tag: u64) -> Result<()> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(Error::Shutdown);
+        }
+        let env = Envelope {
+            session: self.id,
+            tag,
+            op,
+            enqueued: Instant::now(),
+            reply: self.reply_tx.clone(),
+        };
+        self.shared.injector.send(env).map_err(|_| Error::Shutdown)
+    }
+
+    /// [`Session::submit_op_tagged`] for a single update.
+    pub fn submit_update_tagged(&self, u: &Update, tag: u64) -> Result<()> {
+        self.submit_op_tagged(Op::Single(*u), tag)
+    }
+
+    /// Block for the next in-flight reply: `(tag, reply)`.
+    pub fn recv_tagged(&self) -> Result<(u64, Reply)> {
+        self.reply_rx.recv().map_err(|_| Error::Shutdown)
+    }
+
+    /// [`Session::recv_tagged`] with a deadline; `None` on timeout.
+    pub fn recv_tagged_timeout(&self, timeout: Duration) -> Option<(u64, Reply)> {
+        self.reply_rx.recv_timeout(timeout).ok()
     }
 
     /// Submit any [`Update`] through its Table 1 operation — the
@@ -508,6 +610,7 @@ impl Session {
     /// `get_value(version_id, vertex_id) → value` for algorithm `algo`.
     pub fn get_value(&self, algo: usize, version: VersionId, v: VertexId) -> Result<Value> {
         let _gate = self.shared.query_gate.read();
+        self.check_vertex(v)?;
         self.shared.check_version(version)?;
         let current = self.shared.engine.value(algo, v);
         if !self.shared.enable_history {
@@ -521,6 +624,7 @@ impl Session {
     /// `get_parent(version_id, vertex_id) → edge`.
     pub fn get_parent(&self, algo: usize, version: VersionId, v: VertexId) -> Result<Option<Edge>> {
         let _gate = self.shared.query_gate.read();
+        self.check_vertex(v)?;
         self.shared.check_version(version)?;
         let current = self.shared.engine.parent(algo, v);
         if !self.shared.enable_history {
@@ -529,6 +633,16 @@ impl Session {
         self.shared.history[algo]
             .lock()
             .parent_at(version, v, current)
+    }
+
+    /// Queries address existing state and must never grow it: a vertex
+    /// id beyond the engine's range (e.g. probed over the wire) is
+    /// simply not found — unchecked engine indexing would panic.
+    fn check_vertex(&self, v: VertexId) -> Result<()> {
+        if v as usize >= self.shared.engine.capacity() {
+            return Err(Error::VertexNotFound(v));
+        }
+        Ok(())
     }
 
     /// `get_current_version() → version_id`.
@@ -716,6 +830,12 @@ fn coordinator_loop(
         }
         None => {}
     }
+    if !shared.hard_crash.load(Ordering::Acquire) {
+        // Graceful drain also flushes the store itself (msync + chain
+        // directory on the mmap backend, block writeback on the
+        // others) so a clean shutdown leaves no dirty state behind.
+        let _ = shared.engine.with_store(|s| s.flush());
+    }
 }
 
 fn run_epochs(
@@ -729,6 +849,10 @@ fn run_epochs(
     let mut pending: FxHashMap<u64, VecDeque<Envelope>> = FxHashMap::default();
     let mut last_gc = Instant::now();
     let mut last_wal_sync = Instant::now();
+    let mut last_auto_release = Instant::now();
+    // The auto-release floor trails by one tick: versions assigned in
+    // the current interval stay readable through the next one.
+    let mut auto_release_floor: VersionId = 0;
     shared
         .stats
         .threshold
@@ -759,6 +883,25 @@ fn run_epochs(
                 }
                 while let Some(front) = queue.front() {
                     let need = front.op.max_vertex();
+                    // The ceiling gates *growth*, not addressing: ids
+                    // the engine already has capacity for (a larger
+                    // Server::start capacity, a bulk load) stay valid.
+                    if need > config.max_capacity as u64 && need as usize > shared.engine.capacity()
+                    {
+                        // Reject instead of growing: a wire client can
+                        // name any vertex id, and unbounded growth is a
+                        // coordinator-killing allocation.
+                        let env = queue.pop_front().unwrap();
+                        send_reply(
+                            shared,
+                            &env,
+                            Reply {
+                                version: shared.version.load(Ordering::Acquire),
+                                outcome: Err(Error::VertexNotFound(need.saturating_sub(1))),
+                            },
+                        );
+                        continue;
+                    }
                     if need as usize > shared.engine.capacity() {
                         shared.engine.ensure_capacity(need as usize);
                     }
@@ -871,10 +1014,7 @@ fn run_epochs(
         // ---- Serial unsafe phase -----------------------------------
         while let Some(env) = buf.unsafe_queue.pop_front() {
             let wait = env.enqueued.elapsed();
-            shared
-                .stats
-                .max_unsafe_wait_ns
-                .fetch_max(wait.as_nanos() as u64, Ordering::Relaxed);
+            shared.stats.unsafe_wait.record(wait);
             let _gate = shared.query_gate.write();
             let (reply, applied_updates) = execute_unsafe(shared, &env);
             drop(_gate);
@@ -892,7 +1032,7 @@ fn run_epochs(
                 .queue_ns
                 .fetch_add(lat.as_nanos() as u64, Ordering::Relaxed);
             shared.stats.unsafe_executed.fetch_add(1, Ordering::Relaxed);
-            let _ = env.reply.send(reply);
+            send_reply(shared, &env, reply);
         }
 
         // ---- Epoch end: merged WAL group commit, scheduler, GC -----
@@ -937,6 +1077,24 @@ fn run_epochs(
             .max_epoch_ns
             .fetch_max(t_epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
+        // Periodic history release (§5: the paper GCs released versions
+        // every second). Opt-in: advance every live session's floor to
+        // the version watermark of the previous tick, so history stays
+        // bounded under churn even when clients never release.
+        if let Some(interval) = config.history_release_interval {
+            if shared.enable_history && last_auto_release.elapsed() >= interval {
+                last_auto_release = Instant::now();
+                let floor = auto_release_floor;
+                auto_release_floor = shared.version.load(Ordering::Acquire);
+                if floor > 0 {
+                    let mut released = shared.released.lock();
+                    for f in released.values_mut() {
+                        *f = (*f).max(floor);
+                    }
+                }
+            }
+        }
+
         if shared.enable_history && last_gc.elapsed() >= config.gc_interval {
             last_gc = Instant::now();
             let t_hist = Instant::now();
@@ -965,14 +1123,25 @@ fn run_epochs(
             // Close the race where a submit slipped in after the final
             // emptiness check: refuse anything still in flight.
             while let Ok(env) = rx.try_recv() {
-                let _ = env.reply.send(Reply {
-                    version: shared.version.load(Ordering::Acquire),
-                    outcome: Err(Error::Shutdown),
-                });
+                let _ = env.reply.send((
+                    env.tag,
+                    Reply {
+                        version: shared.version.load(Ordering::Acquire),
+                        outcome: Err(Error::Shutdown),
+                    },
+                ));
             }
             return;
         }
     }
+}
+
+/// Record the completion-latency sample, then deliver the reply. The
+/// sample lands first so a client holding its reply never reads a
+/// histogram missing its own update.
+fn send_reply(shared: &Shared, env: &Envelope, reply: Reply) {
+    shared.stats.update_latency.record(env.enqueued.elapsed());
+    let _ = env.reply.send((env.tag, reply));
 }
 
 enum SafeExec {
@@ -991,21 +1160,29 @@ fn execute_safe(shared: &Shared, env: &Envelope) -> SafeExec {
                 // Count before replying so a client that has its reply
                 // never reads a stats snapshot missing its own update.
                 shared.stats.safe_executed.fetch_add(1, Ordering::Relaxed);
-                let _ = env.reply.send(Reply {
-                    version,
-                    outcome: Ok(Applied {
-                        safety: Safety::Safe,
-                        result_changes: 0,
-                    }),
-                });
+                send_reply(
+                    shared,
+                    env,
+                    Reply {
+                        version,
+                        outcome: Ok(Applied {
+                            safety: Safety::Safe,
+                            result_changes: 0,
+                        }),
+                    },
+                );
                 SafeExec::Applied(vec![(stamp.expect("applied updates are stamped"), *u)])
             }
             Ok((SafeApply::Demoted, _)) => SafeExec::Demoted,
             Err(e) => {
-                let _ = env.reply.send(Reply {
-                    version: shared.version.load(Ordering::Acquire),
-                    outcome: Err(e),
-                });
+                send_reply(
+                    shared,
+                    env,
+                    Reply {
+                        version: shared.version.load(Ordering::Acquire),
+                        outcome: Err(e),
+                    },
+                );
                 SafeExec::Errored
             }
         },
@@ -1025,23 +1202,31 @@ fn execute_safe(shared: &Shared, env: &Envelope) -> SafeExec {
                     }
                     Err(e) => {
                         rollback_structure(shared, &applied);
-                        let _ = env.reply.send(Reply {
-                            version: shared.version.load(Ordering::Acquire),
-                            outcome: Err(e),
-                        });
+                        send_reply(
+                            shared,
+                            env,
+                            Reply {
+                                version: shared.version.load(Ordering::Acquire),
+                                outcome: Err(e),
+                            },
+                        );
                         return SafeExec::Errored;
                     }
                 }
             }
             let version = shared.version.fetch_add(1, Ordering::AcqRel) + 1;
             shared.stats.safe_executed.fetch_add(1, Ordering::Relaxed);
-            let _ = env.reply.send(Reply {
-                version,
-                outcome: Ok(Applied {
-                    safety: Safety::Safe,
-                    result_changes: 0,
-                }),
-            });
+            send_reply(
+                shared,
+                env,
+                Reply {
+                    version,
+                    outcome: Ok(Applied {
+                        safety: Safety::Safe,
+                        result_changes: 0,
+                    }),
+                },
+            );
             SafeExec::Applied(applied)
         }
     }
@@ -1394,6 +1579,110 @@ mod tests {
         assert!(s.del_vertex(7).outcome.is_err(), "not isolated");
         assert!(s.del_edge(Edge::new(7, 8, 0)).outcome.is_ok());
         assert!(s.del_vertex(7).outcome.is_ok());
+        srv.shutdown();
+    }
+
+    #[test]
+    fn tagged_pipelining_preserves_session_order() {
+        let srv = bfs_server(64);
+        srv.load_edges(&[(0, 1, 0)]);
+        let s = srv.session();
+        // Submit a whole chain without waiting: per-session order must
+        // hold, so the final state is deterministic and every tag comes
+        // back exactly once.
+        let n = 20u64;
+        for i in 0..n {
+            s.submit_update_tagged(&Update::InsEdge(Edge::new(i + 1, i + 2, 0)), 100 + i)
+                .unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut last_version = 0;
+        for _ in 0..n {
+            let (tag, reply) = s.recv_tagged().unwrap();
+            assert!((100..100 + n).contains(&tag), "unexpected tag {tag}");
+            assert!(seen.insert(tag), "tag {tag} delivered twice");
+            let applied = reply.outcome.unwrap();
+            assert_eq!(applied.safety, Safety::Unsafe, "chain extensions");
+            assert!(reply.version > last_version, "versions monotone");
+            last_version = reply.version;
+        }
+        // All applied, in order: the chain is fully connected.
+        assert_eq!(srv.engine().value(0, n + 1), n + 1);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn completion_latency_histogram_fills() {
+        let srv = bfs_server(32);
+        srv.load_edges(&[(0, 1, 0)]);
+        let s = srv.session();
+        for i in 0..32u64 {
+            let _ = s.ins_edge(Edge::new(1 + (i % 4), 1 + ((i + 1) % 4), 0));
+        }
+        let stats = srv.stats();
+        assert!(stats.update_latency.count() >= 32, "every update sampled");
+        let (p50, p99, p999) = stats.latency_percentiles_ns();
+        assert!(p50 > 0 && p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+        assert!(p999 <= stats.update_latency.max_ns());
+        srv.shutdown();
+    }
+
+    #[test]
+    fn periodic_history_release_bounds_resident_deltas() {
+        let mut config = ServerConfig::default();
+        config.engine.threads = 2;
+        config.gc_interval = Duration::from_millis(2);
+        config.history_release_interval = Some(Duration::from_millis(2));
+        let srv: Server = Server::start(vec![StdArc::new(Bfs::new(0))], 16, config).unwrap();
+        srv.load_edges(&[(0, 1, 0)]);
+        let s = srv.session();
+        // Unsafe churn on the same two vertices: every update records a
+        // delta, and the session never calls release_history.
+        let churn = |rounds: usize| {
+            for _ in 0..rounds {
+                let _ = s.ins_edge(Edge::new(1, 2, 0));
+                let _ = s.del_edge(Edge::new(1, 2, 0));
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        };
+        churn(200);
+        let early = srv.history_resident_entries();
+        churn(600);
+        let late = srv.history_resident_entries();
+        // 3x more churn must not grow resident deltas 3x: the periodic
+        // release keeps them at a churn-rate-proportional plateau.
+        assert!(
+            late < early * 2 + 64,
+            "resident deltas kept growing: {early} → {late}"
+        );
+        srv.shutdown();
+    }
+
+    #[test]
+    fn max_capacity_gates_growth_not_addressing() {
+        let mut config = ServerConfig::default();
+        config.engine.threads = 2;
+        config.max_capacity = 16;
+        // Started capacity exceeds the growth ceiling: ids below the
+        // existing capacity stay fully usable.
+        let srv: Server = Server::start(vec![StdArc::new(Bfs::new(0))], 32, config).unwrap();
+        srv.load_edges(&[(0, 1, 0)]);
+        let s = srv.session();
+        let r = s.ins_edge(Edge::new(20, 21, 0));
+        assert!(r.outcome.is_ok(), "within existing capacity: {r:?}");
+        // Growth beyond the ceiling is rejected, not attempted.
+        for u in [
+            Update::InsVertex(u64::MAX),
+            Update::InsEdge(Edge::new(1 << 60, 0, 0)),
+        ] {
+            let r = s.submit_update(&u);
+            assert!(
+                matches!(r.outcome, Err(Error::VertexNotFound(_))),
+                "{u:?} must be rejected"
+            );
+        }
+        // The coordinator is alive and serving.
+        assert!(s.ins_edge(Edge::new(1, 2, 0)).outcome.is_ok());
         srv.shutdown();
     }
 

@@ -1,0 +1,329 @@
+//! [`NetClient`]: the connection-side half of the wire protocol.
+//!
+//! One background reader thread demultiplexes response frames into
+//! per-request slots keyed by request id; callers either block for
+//! their reply immediately (the synchronous Table 1 methods) or keep a
+//! window of requests in flight ([`NetClient::submit_update_pipelined`]
+//! / [`NetClient::wait_reply`]) — the shape the `net_load` harness uses
+//! to measure pipelined throughput against one-at-a-time submission.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use risgraph_common::hash::FxHashMap;
+use risgraph_common::ids::{Edge, Update, VersionId, VertexId};
+use risgraph_common::protocol::{
+    read_frame, write_frame, Request, Response, StatsReport, MAX_FRAME, MAX_RESPONSE_FRAME,
+};
+use risgraph_common::{Error, Result};
+
+/// What an applied update reports back (the wire view of
+/// [`risgraph_core::server::Applied`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetApplied {
+    /// Whether the update ran on the safe (parallel) path.
+    pub safe: bool,
+    /// Per-vertex result changes across all algorithms.
+    pub result_changes: u64,
+}
+
+/// The reply to a submitted update or transaction (the wire view of
+/// [`risgraph_core::server::Reply`]).
+#[derive(Debug)]
+pub struct NetReply {
+    /// Version id of the result view after this operation (on error:
+    /// the version preceding the failed operation).
+    pub version: VersionId,
+    /// Outcome.
+    pub outcome: Result<NetApplied>,
+}
+
+/// Reply slots shared between callers and the demultiplexer thread.
+struct Demux {
+    slots: Mutex<DemuxState>,
+    cv: Condvar,
+}
+
+struct DemuxState {
+    /// `req_id → Some(response)` once arrived; `None` while pending.
+    ready: FxHashMap<u64, Response>,
+    /// Set when the reader thread dies (EOF, socket error, protocol
+    /// violation); every waiter is failed with this.
+    dead: Option<String>,
+}
+
+/// A blocking **and** pipelined client for one server connection.
+pub struct NetClient {
+    writer: Mutex<BufWriter<TcpStream>>,
+    stream: TcpStream,
+    demux: Arc<Demux>,
+    reader: Option<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl NetClient {
+    /// Connect to a [`crate::NetServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| Error::Protocol(format!("connect failed: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let write_half = stream
+            .try_clone()
+            .map_err(|e| Error::Protocol(format!("clone failed: {e}")))?;
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| Error::Protocol(format!("clone failed: {e}")))?;
+        let demux = Arc::new(Demux {
+            slots: Mutex::new(DemuxState {
+                ready: FxHashMap::default(),
+                dead: None,
+            }),
+            cv: Condvar::new(),
+        });
+        let reader_demux = Arc::clone(&demux);
+        let reader = std::thread::Builder::new()
+            .name("risgraph-net-client-reader".into())
+            .spawn(move || {
+                let mut r = BufReader::new(read_half);
+                let reason = loop {
+                    match read_frame(&mut r, MAX_RESPONSE_FRAME) {
+                        Ok(Some(payload)) => match Response::decode(&payload) {
+                            // Request id 0 is the server's reserved
+                            // connection-level error channel (framing
+                            // violations): no caller can wait on it, so
+                            // surface it as the death reason every
+                            // in-flight waiter sees.
+                            Ok((0, Response::Failed { error, .. })) => {
+                                break format!(
+                                    "server closed the connection: {}",
+                                    error.to_error()
+                                );
+                            }
+                            Ok((req_id, resp)) => {
+                                let mut s = reader_demux.slots.lock().unwrap();
+                                s.ready.insert(req_id, resp);
+                                drop(s);
+                                reader_demux.cv.notify_all();
+                            }
+                            Err(e) => break e.to_string(),
+                        },
+                        Ok(None) => break "connection closed by server".into(),
+                        Err(e) => break e.to_string(),
+                    }
+                };
+                let mut s = reader_demux.slots.lock().unwrap();
+                s.dead = Some(reason);
+                drop(s);
+                reader_demux.cv.notify_all();
+            })
+            .map_err(|e| Error::Protocol(format!("spawn reader: {e}")))?;
+        Ok(NetClient {
+            writer: Mutex::new(BufWriter::new(write_half)),
+            stream,
+            demux,
+            reader: Some(reader),
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Send `req`, returning its request id without waiting.
+    pub fn send(&self, req: &Request) -> Result<u64> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let payload = req.encode(id);
+        // Refuse locally what the server would reject as oversized —
+        // failing one request beats having the whole connection (and
+        // every other pipelined request on it) torn down.
+        if payload.len() > MAX_FRAME {
+            return Err(Error::Protocol(format!(
+                "request encodes to {} bytes, over the {MAX_FRAME}-byte frame limit",
+                payload.len()
+            )));
+        }
+        let mut w = self.writer.lock().unwrap();
+        write_frame(&mut *w, &payload)?;
+        w.flush()?;
+        Ok(id)
+    }
+
+    /// Block until the response for `id` arrives.
+    pub fn wait(&self, id: u64) -> Result<Response> {
+        let mut s = self.demux.slots.lock().unwrap();
+        loop {
+            if let Some(resp) = s.ready.remove(&id) {
+                return Ok(resp);
+            }
+            if let Some(reason) = &s.dead {
+                return Err(Error::Protocol(reason.clone()));
+            }
+            s = self.demux.cv.wait(s).unwrap();
+        }
+    }
+
+    fn call(&self, req: &Request) -> Result<Response> {
+        let id = self.send(req)?;
+        self.wait(id)
+    }
+
+    // -- pipelined update path ---------------------------------------
+
+    /// Submit an update without waiting; pair with
+    /// [`NetClient::wait_reply`] to collect it later. Keep several in
+    /// flight to pipeline the connection.
+    pub fn submit_update_pipelined(&self, u: &Update) -> Result<u64> {
+        self.send(&Request::Update(*u))
+    }
+
+    /// Wait for a pipelined update submitted earlier.
+    pub fn wait_reply(&self, id: u64) -> Result<NetReply> {
+        to_net_reply(self.wait(id)?)
+    }
+
+    // -- blocking Table 1 surface ------------------------------------
+
+    /// Submit one update and wait for its reply.
+    pub fn submit_update(&self, u: &Update) -> Result<NetReply> {
+        let id = self.submit_update_pipelined(u)?;
+        self.wait_reply(id)
+    }
+
+    /// `ins_edge(edge) → version_id`.
+    pub fn ins_edge(&self, e: Edge) -> Result<NetReply> {
+        self.submit_update(&Update::InsEdge(e))
+    }
+
+    /// `del_edge(edge) → version_id`.
+    pub fn del_edge(&self, e: Edge) -> Result<NetReply> {
+        self.submit_update(&Update::DelEdge(e))
+    }
+
+    /// `ins_vertex(vertex_id) → version_id`.
+    pub fn ins_vertex(&self, v: VertexId) -> Result<NetReply> {
+        self.submit_update(&Update::InsVertex(v))
+    }
+
+    /// `del_vertex(vertex_id) → version_id`.
+    pub fn del_vertex(&self, v: VertexId) -> Result<NetReply> {
+        self.submit_update(&Update::DelVertex(v))
+    }
+
+    /// `txn_updates(updates) → version_id`: an atomic batch.
+    pub fn txn_updates(&self, updates: Vec<Update>) -> Result<NetReply> {
+        to_net_reply(self.call(&Request::Txn(updates))?)
+    }
+
+    /// `get_value(version_id, vertex_id) → value` for algorithm `algo`.
+    pub fn get_value(&self, algo: u32, version: VersionId, vertex: VertexId) -> Result<u64> {
+        match self.call(&Request::GetValue {
+            algo,
+            version,
+            vertex,
+        })? {
+            Response::Value(v) => Ok(v),
+            Response::Failed { error, .. } => Err(error.to_error()),
+            other => Err(Error::Protocol(format!(
+                "get_value reply has wrong shape: {other:?}"
+            ))),
+        }
+    }
+
+    /// `get_parent(version_id, vertex_id) → edge`.
+    pub fn get_parent(
+        &self,
+        algo: u32,
+        version: VersionId,
+        vertex: VertexId,
+    ) -> Result<Option<Edge>> {
+        match self.call(&Request::GetParent {
+            algo,
+            version,
+            vertex,
+        })? {
+            Response::Parent(p) => Ok(p),
+            Response::Failed { error, .. } => Err(error.to_error()),
+            other => Err(Error::Protocol(format!(
+                "get_parent reply has wrong shape: {other:?}"
+            ))),
+        }
+    }
+
+    /// `get_modified_vertices(version_id) → vertex_ids`.
+    pub fn get_modified_vertices(&self, algo: u32, version: VersionId) -> Result<Vec<VertexId>> {
+        match self.call(&Request::GetModified { algo, version })? {
+            Response::Modified(vs) => Ok(vs),
+            Response::Failed { error, .. } => Err(error.to_error()),
+            other => Err(Error::Protocol(format!(
+                "get_modified reply has wrong shape: {other:?}"
+            ))),
+        }
+    }
+
+    /// `get_current_version() → version_id`.
+    pub fn current_version(&self) -> Result<VersionId> {
+        match self.call(&Request::CurrentVersion)? {
+            Response::Version(v) => Ok(v),
+            Response::Failed { error, .. } => Err(error.to_error()),
+            other => Err(Error::Protocol(format!(
+                "current_version reply has wrong shape: {other:?}"
+            ))),
+        }
+    }
+
+    /// `release_history(version_id)`: this connection's session no
+    /// longer needs snapshots strictly older than `version`.
+    pub fn release_history(&self, version: VersionId) -> Result<()> {
+        match self.call(&Request::Release(version))? {
+            Response::Released => Ok(()),
+            Response::Failed { error, .. } => Err(error.to_error()),
+            other => Err(Error::Protocol(format!(
+                "release reply has wrong shape: {other:?}"
+            ))),
+        }
+    }
+
+    /// Server counters and completion-latency percentiles.
+    pub fn stats(&self) -> Result<StatsReport> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            Response::Failed { error, .. } => Err(error.to_error()),
+            other => Err(Error::Protocol(format!(
+                "stats reply has wrong shape: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Translate an update/txn [`Response`] into a [`NetReply`].
+fn to_net_reply(resp: Response) -> Result<NetReply> {
+    match resp {
+        Response::Applied {
+            version,
+            safe,
+            result_changes,
+        } => Ok(NetReply {
+            version,
+            outcome: Ok(NetApplied {
+                safe,
+                result_changes,
+            }),
+        }),
+        Response::Failed { version, error } => Ok(NetReply {
+            version,
+            outcome: Err(error.to_error()),
+        }),
+        other => Err(Error::Protocol(format!(
+            "update reply has wrong shape: {other:?}"
+        ))),
+    }
+}
+
+impl Drop for NetClient {
+    fn drop(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # risgraph-net — the TCP serving tier
+//!
+//! RisGraph's point is per-update analysis served to *many concurrent
+//! clients* at millions of ops/s with P999 below 20 ms (§4–§5). This
+//! crate is the layer that makes that an observable scenario rather
+//! than a library call: a length-prefixed, CRC-framed binary protocol
+//! ([`risgraph_common::protocol`]) over TCP, a multi-threaded
+//! [`NetServer`] that maps each connection onto one
+//! [`risgraph_core::server::Session`], and a [`NetClient`] usable both
+//! as a blocking one-request-at-a-time client (the paper's emulated
+//! synchronous users, §6.2) and as a **pipelined** client keeping a
+//! window of requests in flight behind a reply demultiplexer.
+//!
+//! ## Server anatomy (per connection)
+//!
+//! ```text
+//!            ┌────────── reader ──────────┐
+//! socket ──▶ │ frame → Request            │──▶ queries answered inline
+//!            │ updates → Session (tagged) │──▶ epoch loop (safe ∥ / unsafe serial)
+//!            └────────────────────────────┘        │ tagged replies
+//!            ┌───────── replier ──────────┐ ◀──────┘
+//!            │ (req_id, Reply) → Response │──┐
+//!            └────────────────────────────┘  ├──▶ writer ──▶ socket
+//!                       queries ─────────────┘
+//! ```
+//!
+//! * **Pipelining:** the reader submits updates through
+//!   [`Session::submit_op_tagged`](risgraph_core::server::Session::submit_op_tagged)
+//!   without waiting; replies carry the wire request id and may
+//!   complete out of order relative to queries (which the reader
+//!   answers immediately) — exactly what the request-id protocol is
+//!   for. Per-session submission order is still preserved by the epoch
+//!   loop, so a connection's updates retain their program order.
+//! * **Backpressure:** a bounded in-flight window per connection; the
+//!   reader blocks (stops consuming socket bytes, letting TCP flow
+//!   control push back on the client) once `window` updates are
+//!   unanswered.
+//! * **Robustness:** malformed, oversized or CRC-corrupt frames close
+//!   that connection with a best-effort error response; an abrupt
+//!   client disconnect simply drops the session — in-flight replies
+//!   fall on the floor without wedging the epoch loop.
+//! * **Graceful drain:** [`NetServer::shutdown`] stops accepting,
+//!   half-closes every connection so in-flight updates finish and
+//!   their replies flush, joins all connection threads, then shuts the
+//!   inner [`Server`](risgraph_core::server::Server) down — which
+//!   drains remaining epochs and flushes WAL *and* store.
+//!
+//! The `net_differential` suite proves the whole network path
+//! observably identical to in-process sessions on multiple backends
+//! and shard counts; `net_load` (in `risgraph-bench`) measures
+//! client-observed ops/s and P50/P99/P999 over loopback.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+
+pub use client::{NetApplied, NetClient, NetReply};
+pub use server::{NetConfig, NetServer};

@@ -1,0 +1,621 @@
+//! [`NetServer`]: the multi-threaded TCP front end over
+//! [`risgraph_core::server::Server`].
+//!
+//! Each accepted connection gets one [`Session`](risgraph_core::server::Session)
+//! and three threads —
+//! reader, replier, writer (see the crate docs for the data flow).
+//! The accept loop, connection registry and drain-then-shutdown
+//! choreography live here.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::unbounded;
+use risgraph_common::protocol::{
+    read_frame, write_frame, Request, Response, StatsReport, WireError, MAX_FRAME,
+    MAX_RESPONSE_FRAME,
+};
+use risgraph_common::{Error, Result};
+use risgraph_core::engine::{DynAlgorithm, Safety};
+use risgraph_core::server::{Op, Server, ServerConfig};
+
+/// Network-tier tuning.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Address to bind (`"127.0.0.1:0"` picks an ephemeral port —
+    /// handy for tests; read it back via [`NetServer::local_addr`]).
+    pub listen: String,
+    /// Maximum accepted frame payload, bytes. Oversized frames are
+    /// rejected before allocation and close the connection.
+    pub max_frame: usize,
+    /// Per-connection in-flight update window. Once this many updates
+    /// are unanswered the reader stops consuming the socket, so TCP
+    /// flow control propagates the backpressure to the client.
+    pub window: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            listen: "127.0.0.1:0".into(),
+            max_frame: MAX_FRAME,
+            window: 256,
+        }
+    }
+}
+
+/// The per-connection in-flight window: a tiny semaphore with a
+/// `closed` latch so the replier knows when the drain is complete.
+struct Window {
+    state: Mutex<WindowState>,
+    cv: Condvar,
+}
+
+struct WindowState {
+    inflight: usize,
+    /// Set by the reader when it stops submitting (EOF, error, drain).
+    closed: bool,
+}
+
+impl Window {
+    fn new() -> Self {
+        Window {
+            state: Mutex::new(WindowState {
+                inflight: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until a slot frees up; `false` once closed.
+    fn acquire(&self, cap: usize) -> bool {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if s.closed {
+                return false;
+            }
+            if s.inflight < cap {
+                s.inflight += 1;
+                return true;
+            }
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+
+    fn release(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.inflight = s.inflight.saturating_sub(1);
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// `true` when the reader has stopped and every submitted update
+    /// has been answered.
+    fn drained(&self) -> bool {
+        let s = self.state.lock().unwrap();
+        s.closed && s.inflight == 0
+    }
+
+    /// `true` once [`Window::close`] has run (drain may still be
+    /// outstanding).
+    fn closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+}
+
+/// Registry of live connections: each entry pairs the connection
+/// thread's join handle with a stream clone used to half-close the
+/// socket at drain time.
+type ConnRegistry = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
+
+/// A TCP serving front end wrapping one [`Server`].
+pub struct NetServer {
+    server: Option<Arc<Server>>,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: ConnRegistry,
+}
+
+impl NetServer {
+    /// Start a [`Server`] with `config` and serve it on `net.listen`.
+    pub fn start(
+        algorithms: Vec<DynAlgorithm>,
+        capacity: usize,
+        config: ServerConfig,
+        net: NetConfig,
+    ) -> Result<NetServer> {
+        Self::serve(Server::start(algorithms, capacity, config)?, net)
+    }
+
+    /// Serve an already-running [`Server`] (e.g. one that replayed a
+    /// WAL or bulk-loaded a dataset first).
+    pub fn serve(server: Server, net: NetConfig) -> Result<NetServer> {
+        let listener = TcpListener::bind(&net.listen)
+            .map_err(|e| Error::Protocol(format!("cannot bind {}: {e}", net.listen)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| Error::Protocol(format!("no local addr: {e}")))?;
+        let server = Arc::new(server);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
+
+        // Polled nonblocking accept: a blocked `accept()` cannot be
+        // reliably interrupted from another thread with std alone, so
+        // the loop polls and re-checks the shutdown flag — shutdown is
+        // then bounded by one poll interval instead of depending on a
+        // wake-up connection that may be unroutable (e.g. 0.0.0.0
+        // binds behind a firewall).
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::Protocol(format!("nonblocking listener: {e}")))?;
+        let accept_server = Arc::clone(&server);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_conns = Arc::clone(&conns);
+        let accept_net = net.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("risgraph-net-accept".into())
+            .spawn(move || {
+                loop {
+                    // Snapshot the flag *before* accepting: a client
+                    // whose handshake completed pre-shutdown sits in
+                    // the backlog and must still be served (drained),
+                    // so the loop only exits once shutdown is set AND
+                    // the backlog is empty.
+                    let draining = accept_shutdown.load(Ordering::Acquire);
+                    let stream = match listener.accept() {
+                        Ok((stream, _)) => stream,
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            if draining {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(10));
+                            continue;
+                        }
+                        Err(_) => {
+                            if draining {
+                                break;
+                            }
+                            // E.g. EMFILE under fd exhaustion: returned
+                            // immediately by a nonblocking listener, so
+                            // back off instead of spinning a core.
+                            std::thread::sleep(Duration::from_millis(10));
+                            continue;
+                        }
+                    };
+                    // Accepted sockets inherit the listener's
+                    // nonblocking mode on some platforms.
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let Ok(registered) = stream.try_clone() else {
+                        continue;
+                    };
+                    let conn_server = Arc::clone(&accept_server);
+                    let conn_net = accept_net.clone();
+                    let handle = std::thread::Builder::new()
+                        .name("risgraph-net-conn".into())
+                        .spawn(move || handle_connection(conn_server, stream, conn_net))
+                        .expect("spawn connection thread");
+                    let mut conns = accept_conns.lock().unwrap();
+                    // Prune finished connections so a long-running
+                    // server doesn't accumulate one fd + join handle
+                    // per connection it ever served.
+                    let mut i = 0;
+                    while i < conns.len() {
+                        if conns[i].0.is_finished() {
+                            let (done, stale) = conns.swap_remove(i);
+                            let _ = done.join();
+                            drop(stale);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    conns.push((handle, registered));
+                }
+            })
+            .expect("spawn accept thread");
+
+        Ok(NetServer {
+            server: Some(server),
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            conns,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The wrapped server (stats, engine access, in-process sessions —
+    /// the differential suite queries both paths through this).
+    pub fn server(&self) -> &Server {
+        self.server.as_ref().expect("server live until shutdown")
+    }
+
+    /// Graceful drain-then-shutdown: stop accepting, half-close every
+    /// connection (in-flight updates finish, their replies flush), join
+    /// the connection threads, then shut the inner server down — which
+    /// drains its epochs and flushes WAL and store.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // The polled accept loop observes the flag within one interval.
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        // Half-close the read side of every connection: readers see
+        // EOF, stop submitting, and the replier/writer pair drains the
+        // in-flight tail before the threads exit.
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        for (_, stream) in &conns {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        for (handle, _) in conns {
+            let _ = handle.join();
+        }
+        if let Some(server) = self.server.take() {
+            match Arc::try_unwrap(server) {
+                Ok(server) => server.shutdown(),
+                Err(_) => unreachable!("all connection threads joined"),
+            }
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+/// Translate a core [`Reply`](risgraph_core::server::Reply) into a wire
+/// [`Response`].
+fn reply_to_response(reply: risgraph_core::server::Reply) -> Response {
+    match reply.outcome {
+        Ok(applied) => Response::Applied {
+            version: reply.version,
+            safe: applied.safety == Safety::Safe,
+            result_changes: applied.result_changes as u64,
+        },
+        Err(e) => Response::Failed {
+            version: reply.version,
+            error: WireError::from_error(&e),
+        },
+    }
+}
+
+fn stats_report(server: &Server) -> StatsReport {
+    let s = server.stats();
+    // One snapshot for every latency field, so the report is internally
+    // consistent (p50 ≤ p999, count matches) under concurrent recording.
+    let lat = s.update_latency.snapshot();
+    StatsReport {
+        version: server.current_version(),
+        epochs: s.epochs.load(Ordering::Relaxed),
+        safe_executed: s.safe_executed.load(Ordering::Relaxed),
+        unsafe_executed: s.unsafe_executed.load(Ordering::Relaxed),
+        demotions: s.demotions.load(Ordering::Relaxed),
+        threshold: s.threshold.load(Ordering::Relaxed),
+        latency_count: lat.count(),
+        latency_p50_ns: lat.quantile_ns(0.5),
+        latency_p99_ns: lat.quantile_ns(0.99),
+        latency_p999_ns: lat.quantile_ns(0.999),
+        latency_max_ns: if lat.count() == 0 { 0 } else { lat.max_ns() },
+    }
+}
+
+/// Validate a wire-supplied algorithm index before it reaches
+/// unchecked `history[algo]`/engine indexing. (Vertex bounds are
+/// enforced by [`Session`](risgraph_core::server::Session) itself, and
+/// update-path capacity growth by `ServerConfig::max_capacity`.)
+fn check_algo(server: &Server, algo: u32) -> std::result::Result<(), Error> {
+    if algo as usize >= server.engine().num_algorithms() {
+        return Err(Error::Protocol(format!(
+            "algorithm index {algo} out of range ({} maintained)",
+            server.engine().num_algorithms()
+        )));
+    }
+    Ok(())
+}
+
+/// A [`Response::Failed`] for `e` at the session's current version.
+fn failed(session: &risgraph_core::server::Session, e: &Error) -> Response {
+    Response::Failed {
+        version: session.get_current_version(),
+        error: WireError::from_error(e),
+    }
+}
+
+/// The producer side of a connection's bounded writer hand-off: at most
+/// `cap` frames queued at once; [`Outbound::send`] blocks when the
+/// writer is behind and returns `false` once the writer is gone.
+#[derive(Clone)]
+struct Outbound {
+    frames: crossbeam::channel::Sender<Vec<u8>>,
+    budget: Arc<Window>,
+    cap: usize,
+}
+
+impl Outbound {
+    fn send(&self, payload: Vec<u8>) -> bool {
+        if !self.budget.acquire(self.cap) {
+            return false;
+        }
+        self.frames.send(payload).is_ok()
+    }
+
+    fn send_failed(
+        &self,
+        session: &risgraph_core::server::Session,
+        req_id: u64,
+        e: &Error,
+    ) -> bool {
+        self.send(failed(session, e).encode(req_id))
+    }
+}
+
+/// Closes a [`Window`] when dropped, so the replier and writer threads
+/// unwind even if the owning thread panics mid-loop (a leaked open
+/// window would leave them polling forever).
+struct CloseOnDrop(Arc<Window>);
+
+impl Drop for CloseOnDrop {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// One connection: reader (this thread) + replier + writer.
+fn handle_connection(server: Arc<Server>, stream: TcpStream, net: NetConfig) {
+    let session = Arc::new(server.session());
+    let window = Arc::new(Window::new());
+    let window_guard = CloseOnDrop(Arc::clone(&window));
+
+    // Writer: the single owner of the socket's write half; both the
+    // reader (query answers, protocol errors) and the replier (update
+    // replies) feed it encoded payloads through a *bounded* hand-off —
+    // producers acquire a budget slot per frame and the writer releases
+    // it once the frame hits the socket, so a peer that stops reading
+    // its replies stalls the producers (and, transitively, our reads of
+    // its requests) instead of growing server memory without bound.
+    let window_cap = net.window.max(1);
+    let (frame_tx, frame_rx) = unbounded::<Vec<u8>>();
+    let write_budget = Arc::new(Window::new());
+    let out = Outbound {
+        frames: frame_tx,
+        budget: Arc::clone(&write_budget),
+        cap: window_cap,
+    };
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    // A peer that never reads its replies can stall the writer only
+    // briefly: the send timeout turns a dead drain into a teardown.
+    let _ = write_stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let writer_budget = Arc::clone(&write_budget);
+    let writer = std::thread::Builder::new()
+        .name("risgraph-net-writer".into())
+        .spawn(move || {
+            let mut w = BufWriter::new(write_stream);
+            while let Ok(payload) = frame_rx.recv() {
+                // Batch: only pay the flush syscall when no more
+                // responses are immediately ready.
+                let ok = write_frame(&mut w, &payload).is_ok()
+                    && (!frame_rx.is_empty() || w.flush().is_ok());
+                writer_budget.release();
+                if !ok {
+                    break;
+                }
+            }
+            let _ = w.flush();
+            // Unblock producers waiting for budget: the client is gone.
+            writer_budget.close();
+        })
+        .expect("spawn writer thread");
+
+    // Replier: drain tagged update replies, re-encode, release window
+    // slots. Exits when the reader has closed the window and every
+    // in-flight update is answered.
+    let replier_session = Arc::clone(&session);
+    let replier_window = Arc::clone(&window);
+    let replier_out = out.clone();
+    let replier = std::thread::Builder::new()
+        .name("risgraph-net-replier".into())
+        .spawn(move || {
+            // Escape hatch: if the window is closed but replies stop
+            // arriving (a dead coordinator can never answer the
+            // in-flight tail), give up after a deadline instead of
+            // wedging this thread — and through the joins, the whole
+            // server's shutdown — forever.
+            let mut reply_starved_since: Option<std::time::Instant> = None;
+            loop {
+                match replier_session.recv_tagged_timeout(Duration::from_millis(20)) {
+                    Some((req_id, reply)) => {
+                        reply_starved_since = None;
+                        let delivered = replier_out.send(reply_to_response(reply).encode(req_id));
+                        // Keep draining even when the client is gone (the
+                        // outbound refuses the frame) so the window empties
+                        // and the threads exit — but also close the update
+                        // window, so the reader stops applying updates whose
+                        // replies can never be delivered.
+                        replier_window.release();
+                        if !delivered {
+                            replier_window.close();
+                        }
+                    }
+                    None => {
+                        if replier_window.drained() {
+                            return;
+                        }
+                        if replier_window.closed() {
+                            let since =
+                                *reply_starved_since.get_or_insert_with(std::time::Instant::now);
+                            if since.elapsed() > Duration::from_secs(30) {
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        })
+        .expect("spawn replier thread");
+
+    // Reader loop on this thread.
+    let mut r = BufReader::new(stream);
+    loop {
+        let payload = match read_frame(&mut r, net.max_frame) {
+            Ok(Some(p)) => p,
+            // Clean EOF or socket teardown: stop reading.
+            Ok(None) => break,
+            Err(e) => {
+                // Malformed framing: the byte stream can no longer be
+                // trusted, so report (best-effort, request id 0) and
+                // close the connection.
+                out.send_failed(&session, 0, &e);
+                break;
+            }
+        };
+        let (req_id, request) = match Request::decode(&payload) {
+            Ok(x) => x,
+            Err(e) => {
+                out.send_failed(&session, 0, &e);
+                break;
+            }
+        };
+        match request {
+            // Updates: pipelined through the tagged session API under
+            // the in-flight window. Replies surface via the replier.
+            Request::Update(u) => {
+                if !window.acquire(window_cap) {
+                    break;
+                }
+                if let Err(e) = session.submit_op_tagged(Op::Single(u), req_id) {
+                    window.release();
+                    out.send_failed(&session, req_id, &e);
+                    break;
+                }
+            }
+            Request::Txn(updates) => {
+                if !window.acquire(window_cap) {
+                    break;
+                }
+                if let Err(e) = session.submit_op_tagged(Op::Txn(updates), req_id) {
+                    window.release();
+                    out.send_failed(&session, req_id, &e);
+                    break;
+                }
+            }
+            // Queries: answered inline (they read a versioned snapshot,
+            // so they need not wait behind in-flight updates — that is
+            // the out-of-order completion the request ids exist for).
+            Request::GetValue {
+                algo,
+                version,
+                vertex,
+            } => {
+                let resp = match check_algo(&server, algo)
+                    .and_then(|()| session.get_value(algo as usize, version, vertex))
+                {
+                    Ok(v) => Response::Value(v),
+                    Err(e) => failed(&session, &e),
+                };
+                if !out.send(resp.encode(req_id)) {
+                    break;
+                }
+            }
+            Request::GetParent {
+                algo,
+                version,
+                vertex,
+            } => {
+                let resp = match check_algo(&server, algo)
+                    .and_then(|()| session.get_parent(algo as usize, version, vertex))
+                {
+                    Ok(p) => Response::Parent(p),
+                    Err(e) => failed(&session, &e),
+                };
+                if !out.send(resp.encode(req_id)) {
+                    break;
+                }
+            }
+            Request::GetModified { algo, version } => {
+                let resp = match check_algo(&server, algo)
+                    .and_then(|()| session.get_modified_vertices(algo as usize, version))
+                {
+                    Ok(vs) => Response::Modified(vs),
+                    Err(e) => failed(&session, &e),
+                };
+                // The one response whose size scales with the affected
+                // area: refuse to emit a frame the client would reject
+                // as oversized — failing this request alone beats
+                // tearing down every pipelined request on the session.
+                let mut payload = resp.encode(req_id);
+                if payload.len() > MAX_RESPONSE_FRAME {
+                    let e = Error::Protocol(format!(
+                        "modification set encodes to {} bytes, over the \
+                         {MAX_RESPONSE_FRAME}-byte response limit",
+                        payload.len()
+                    ));
+                    payload = failed(&session, &e).encode(req_id);
+                }
+                if !out.send(payload) {
+                    break;
+                }
+            }
+            Request::CurrentVersion => {
+                let resp = Response::Version(session.get_current_version());
+                if !out.send(resp.encode(req_id)) {
+                    break;
+                }
+            }
+            Request::Release(version) => {
+                session.release_history(version);
+                if !out.send(Response::Released.encode(req_id)) {
+                    break;
+                }
+            }
+            Request::Stats => {
+                let resp = Response::Stats(stats_report(&server));
+                if !out.send(resp.encode(req_id)) {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Drain: no more submissions; the replier finishes the in-flight
+    // tail (flushing replies to clients that are still reading), then
+    // the writer drains its queue and everything unwinds. An abruptly
+    // disconnected client reaches here through a read error — its
+    // session simply drops, and any still-executing updates complete
+    // in the epoch loop with their replies discarded.
+    drop(window_guard); // closes the window: no more submissions
+    let _ = replier.join();
+    drop(out);
+    let _ = writer.join();
+    // Tear the socket down explicitly: the shutdown registry holds a
+    // clone of this stream, so merely dropping ours would leave the fd
+    // open and the client would never observe the close.
+    let _ = r.into_inner().shutdown(Shutdown::Both);
+}

@@ -71,6 +71,24 @@ pub fn server_config(backend: BackendKind, shards: usize) -> ServerConfig {
     }
 }
 
+/// Stand up a loopback [`risgraph_net::NetServer`] (ephemeral port) over
+/// the given algorithms/capacity/config — the network-side twin of
+/// starting a [`risgraph_core::server::Server`] directly. Read the
+/// actual address back via `local_addr()`.
+pub fn loopback_net_server(
+    algorithms: Vec<DynAlgorithm>,
+    capacity: usize,
+    config: ServerConfig,
+) -> risgraph_net::NetServer {
+    risgraph_net::NetServer::start(
+        algorithms,
+        capacity,
+        config,
+        risgraph_net::NetConfig::default(),
+    )
+    .expect("loopback net server")
+}
+
 /// Build an engine over a runtime-selected storage backend (shared with
 /// the bench drivers).
 pub fn engine_on(

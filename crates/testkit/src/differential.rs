@@ -93,6 +93,57 @@ pub fn drive_sessions(server: &Arc<Server>, streams: &[Vec<Update>]) -> Vec<Sess
     })
 }
 
+/// The network-path twin of [`drive_sessions`]: submit each stream
+/// through its own [`risgraph_net::NetClient`] connection (one thread
+/// per stream, blocking one-outstanding-op clients as in §6.2) and
+/// record what every connection observed, in the same [`SessionTrace`]
+/// shape — so [`assert_servers_equivalent`] can compare a served
+/// network path against an in-process one, update by update.
+pub fn drive_net_sessions(
+    addr: std::net::SocketAddr,
+    streams: &[Vec<Update>],
+) -> Vec<SessionTrace> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                scope.spawn(move || {
+                    let client = risgraph_net::NetClient::connect(addr).expect("connect");
+                    let steps = stream
+                        .iter()
+                        .map(|u| {
+                            let reply = client.submit_update(u).expect("wire round-trip");
+                            match reply.outcome {
+                                Ok(applied) => StepTrace {
+                                    ok: true,
+                                    safety: Some(if applied.safe {
+                                        Safety::Safe
+                                    } else {
+                                        Safety::Unsafe
+                                    }),
+                                    result_changes: applied.result_changes as usize,
+                                    version: reply.version,
+                                },
+                                Err(_) => StepTrace {
+                                    ok: false,
+                                    safety: None,
+                                    result_changes: 0,
+                                    version: reply.version,
+                                },
+                            }
+                        })
+                        .collect();
+                    SessionTrace { steps }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("net session thread"))
+            .collect()
+    })
+}
+
 /// A store-contents fingerprint: total edge count plus each vertex's
 /// sorted `(dst, weight, multiplicity)` adjacency.
 pub type StoreFingerprint = (u64, Vec<Vec<(u64, u64, u32)>>);

@@ -19,10 +19,12 @@
 //!   sharded/serial differential rests on), and safe-only churn for
 //!   safe-phase throughput measurement;
 //! * [`builders`] — engine/server construction over any
-//!   [`risgraph_storage::BackendKind`], temp-path management;
+//!   [`risgraph_storage::BackendKind`], loopback network servers,
+//!   temp-path management;
 //! * [`differential`] — drive identical per-session streams through two
-//!   servers and assert equivalent replies, history, values and store
-//!   contents.
+//!   servers — in-process sessions ([`drive_sessions`]) or TCP clients
+//!   ([`drive_net_sessions`]) — and assert equivalent replies, history,
+//!   values and store contents.
 
 pub mod builders;
 pub mod differential;
@@ -30,10 +32,12 @@ pub mod oracle;
 pub mod streams;
 
 pub use builders::{
-    engine_on, ooc_backend, ooc_mmap_backend, remove_ooc_files, server_config, temp_path,
+    engine_on, loopback_net_server, ooc_backend, ooc_mmap_backend, remove_ooc_files, server_config,
+    temp_path,
 };
 pub use differential::{
-    assert_servers_equivalent, drive_sessions, store_fingerprint, SessionTrace, StepTrace,
+    assert_servers_equivalent, drive_net_sessions, drive_sessions, store_fingerprint, SessionTrace,
+    StepTrace,
 };
 pub use oracle::{apply_update, assert_engine_matches, oracle_values, LiveEdge};
 pub use streams::{

@@ -1,7 +1,9 @@
-//! `risgraph` — a command-line shell around the engine.
+//! `risgraph` — a command-line shell around the engine, and a TCP
+//! server (`serve` mode) around the full interactive tier.
 //!
 //! ```sh
 //! cargo run --release --bin risgraph -- --algorithm sssp --root 0 --store ia-hash
+//! cargo run --release --bin risgraph -- serve --listen 127.0.0.1:4817 --shards 4
 //! ```
 //!
 //! `--store` selects the storage backend (the §6.3 matrix): Indexed
@@ -17,10 +19,18 @@
 //! executors (§4's epoch loop, sharded), one session submitting your
 //! commands, replies carrying result-view version ids. `N = 1` is the
 //! serial coordinator; higher values parallelize the commuting safe
-//! prefix of each epoch.
+//! prefix of each epoch. `--wal PATH` adds durability (replayed on
+//! startup, flushed on quit).
 //!
-//! Reads commands from stdin (one per line), suitable both for
-//! interactive exploration and for piping edge streams:
+//! **`serve` mode** binds the wire-protocol TCP front end
+//! (`crates/net`) instead of the stdin shell: every connection gets its
+//! own session with pipelined request handling, and Ctrl-C (SIGINT) or
+//! SIGTERM triggers a graceful drain — stop accepting, finish in-flight
+//! updates, flush WAL and store, then exit with a stats summary
+//! including the client-observed P50/P99/P999 completion latency.
+//!
+//! Shell mode reads commands from stdin (one per line), suitable both
+//! for interactive exploration and for piping edge streams:
 //!
 //! ```text
 //! load edges.txt          # whitespace-separated "src dst [weight]" lines
@@ -30,39 +40,61 @@
 //! get 7                   # value + dependency-tree parent of vertex 7
 //! path 7                  # walk parent pointers back to the root
 //! top 10                  # the 10 best-valued vertices
-//! stats                   # engine counters
+//! stats                   # engine + server counters (latency percentiles)
 //! aff                     # §7 affected-area report
 //! quit
 //! ```
 
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
 
 use risgraph::core::affected::analyze;
 use risgraph::core::server::{Server, ServerConfig, Session};
+use risgraph::net::{NetConfig, NetServer};
 use risgraph::prelude::*;
 use risgraph::storage::{AnyStore, BackendKind, StoreConfig};
 use risgraph::workloads::rmat::RmatConfig;
 
-fn parse_args() -> (String, u64, BackendKind, Option<usize>) {
-    let mut algorithm = "bfs".to_string();
-    let mut root = 0u64;
-    // RISGRAPH_STORE picks the default backend; --store overrides it.
-    let mut backend = BackendKind::from_env();
-    let mut shards = None;
+struct Args {
+    algorithm: String,
+    root: u64,
+    backend: BackendKind,
+    shards: Option<usize>,
+    wal: Option<PathBuf>,
+    /// `risgraph serve …`: run the TCP front end instead of the shell.
+    serve: bool,
+    listen: String,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        algorithm: "bfs".to_string(),
+        root: 0,
+        // RISGRAPH_STORE picks the default backend; --store overrides.
+        backend: BackendKind::from_env(),
+        shards: None,
+        wal: None,
+        serve: false,
+        listen: "127.0.0.1:0".to_string(),
+    };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
+    if args.get(1).map(String::as_str) == Some("serve") {
+        parsed.serve = true;
+        i = 2;
+    }
     while i < args.len() {
         match args[i].as_str() {
             "--algorithm" | "-a" if i + 1 < args.len() => {
-                algorithm = args[i + 1].to_lowercase();
+                parsed.algorithm = args[i + 1].to_lowercase();
                 i += 2;
             }
             "--root" | "-r" if i + 1 < args.len() => {
-                root = args[i + 1].parse().unwrap_or(0);
+                parsed.root = args[i + 1].parse().unwrap_or(0);
                 i += 2;
             }
             "--store" | "-s" if i + 1 < args.len() => {
-                backend = match BackendKind::parse(&args[i + 1]) {
+                parsed.backend = match BackendKind::parse(&args[i + 1]) {
                     Some(b) => b,
                     None => {
                         eprintln!(
@@ -76,7 +108,7 @@ fn parse_args() -> (String, u64, BackendKind, Option<usize>) {
                 i += 2;
             }
             "--shards" if i + 1 < args.len() => {
-                shards = match args[i + 1].parse::<usize>() {
+                parsed.shards = match args[i + 1].parse::<usize>() {
                     Ok(n) if n >= 1 => Some(n),
                     _ => {
                         eprintln!("--shards takes a positive executor count");
@@ -85,13 +117,25 @@ fn parse_args() -> (String, u64, BackendKind, Option<usize>) {
                 };
                 i += 2;
             }
+            "--wal" if i + 1 < args.len() => {
+                parsed.wal = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--listen" if i + 1 < args.len() => {
+                parsed.listen = args[i + 1].clone();
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: risgraph [--algorithm bfs|sssp|sswp|wcc|reach] [--root VID] \
-                     [--store {}] [--shards N]\n\n\
+                    "usage: risgraph [serve] [--algorithm bfs|sssp|sswp|wcc|reach] [--root VID] \
+                     [--store {}] [--shards N] [--wal PATH] [--listen ADDR]\n\n\
+                     serve       run the TCP wire-protocol server (crates/net) instead of\n\
+                     \u{20}           the stdin shell; Ctrl-C drains gracefully\n\
+                     --listen    address to bind in serve mode (default 127.0.0.1:0)\n\
                      --shards N  serve through the interactive tier (sessions + epoch\n\
                      \u{20}           loop) with N parallel safe-phase shard executors;\n\
-                     \u{20}           omit it to drive the engine directly",
+                     \u{20}           in shell mode, omit it to drive the engine directly\n\
+                     --wal PATH  write-ahead log (replayed on startup, flushed on exit)",
                     BackendKind::CLI_CHOICES
                 );
                 std::process::exit(0);
@@ -102,7 +146,102 @@ fn parse_args() -> (String, u64, BackendKind, Option<usize>) {
             }
         }
     }
-    (algorithm, root, backend, shards)
+    parsed
+}
+
+/// Raised by the SIGINT/SIGTERM handler in serve mode.
+static STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        STOP.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// `risgraph serve`: the TCP front end, draining gracefully on SIGINT.
+fn run_serve(args: Args) -> ! {
+    let alg = make_algorithm(&args.algorithm, args.root);
+    let mut config = ServerConfig {
+        backend: args.backend.clone(),
+        wal_path: args.wal.clone(),
+        ..ServerConfig::default()
+    };
+    if let Some(n) = args.shards {
+        config.shards = n;
+    }
+    let shards = config.shards;
+    let net = NetServer::start(
+        vec![alg],
+        1 << 16,
+        config,
+        NetConfig {
+            listen: args.listen.clone(),
+            ..NetConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot serve on {}: {e}", args.listen);
+        std::process::exit(2);
+    });
+    install_signal_handlers();
+    println!(
+        "risgraph serving on {} — algorithm {} (root {}), store {}, {} shard(s){}; \
+         Ctrl-C to drain and exit",
+        net.local_addr(),
+        args.algorithm.to_uppercase(),
+        args.root,
+        args.backend.label(),
+        shards,
+        args.wal
+            .as_deref()
+            .map(|p| format!(", wal {}", p.display()))
+            .unwrap_or_default(),
+    );
+    while !STOP.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("\ndraining connections and flushing…");
+    {
+        let s = net.server().stats();
+        let (p50, p99, p999) = s.latency_percentiles_ns();
+        use std::sync::atomic::Ordering;
+        println!(
+            "served: version={} epochs={} safe={} unsafe={} latency p50={} p99={} p999={}",
+            net.server().current_version(),
+            s.epochs.load(Ordering::Relaxed),
+            s.safe_executed.load(Ordering::Relaxed),
+            s.unsafe_executed.load(Ordering::Relaxed),
+            fmt_ns(p50),
+            fmt_ns(p99),
+            fmt_ns(p999),
+        );
+    }
+    // Graceful drain: finish in-flight updates, flush WAL and store.
+    net.shutdown();
+    std::process::exit(0);
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
 }
 
 fn make_algorithm(algorithm: &str, root: u64) -> DynAlgorithm {
@@ -128,10 +267,11 @@ enum Shell {
 }
 
 impl Shell {
-    fn new(algorithm: &str, root: u64, backend: &BackendKind, shards: Option<usize>) -> Shell {
-        let alg = make_algorithm(algorithm, root);
-        match shards {
-            None => {
+    fn new(args: &Args) -> Shell {
+        let alg = make_algorithm(&args.algorithm, args.root);
+        let backend = &args.backend;
+        match args.shards {
+            None if args.wal.is_none() => {
                 let store = AnyStore::open(backend, 1 << 16, StoreConfig::default())
                     .unwrap_or_else(|e| {
                         eprintln!("cannot open {} store: {e}", backend.label());
@@ -143,12 +283,18 @@ impl Shell {
                     Default::default(),
                 )))
             }
-            Some(n) => {
-                let config = ServerConfig {
+            // A WAL needs the server tier (the engine alone has no
+            // durability hook), so `--wal` implies it even without
+            // `--shards`.
+            shards => {
+                let mut config = ServerConfig {
                     backend: backend.clone(),
-                    shards: n,
+                    wal_path: args.wal.clone(),
                     ..ServerConfig::default()
                 };
+                if let Some(n) = shards {
+                    config.shards = n;
+                }
                 let server = Server::start(vec![alg], 1 << 16, config).unwrap_or_else(|e| {
                     eprintln!("cannot start server on {} store: {e}", backend.label());
                     std::process::exit(2);
@@ -156,6 +302,16 @@ impl Shell {
                 let session = server.session();
                 Shell::Server { server, session }
             }
+        }
+    }
+
+    /// The quit path: a server shell must *explicitly* drain and shut
+    /// down, or a `--wal` tail buffered since the last group commit
+    /// dies with the process exactly as in `Server::crash()`.
+    fn finish(self) {
+        if let Shell::Server { server, session } = self {
+            drop(session);
+            server.shutdown();
         }
     }
 
@@ -220,17 +376,21 @@ fn fmt_value(v: u64) -> String {
 }
 
 fn main() {
-    let (algorithm, root, backend, shards) = parse_args();
-    let shell = Shell::new(&algorithm, root, &backend, shards);
+    let args = parse_args();
+    if args.serve {
+        run_serve(args);
+    }
+    let shell = Shell::new(&args);
     let engine = shell.engine();
-    match shards {
-        Some(n) => println!(
+    let (algorithm, root, backend) = (&args.algorithm, args.root, &args.backend);
+    match &shell {
+        Shell::Server { .. } => println!(
             "risgraph shell — algorithm {} (root {root}), store {}, serving through \
-             {n} safe-phase shard(s); type 'help' for commands",
+             the interactive tier; type 'help' for commands",
             algorithm.to_uppercase(),
             backend.label()
         ),
-        None => println!(
+        Shell::Engine(_) => println!(
             "risgraph shell — algorithm {} (root {root}), store {}; type 'help' for commands",
             algorithm.to_uppercase(),
             backend.label()
@@ -379,6 +539,15 @@ fn main() {
                         ss.unsafe_executed.load(Ordering::Relaxed),
                         ss.threshold.load(Ordering::Relaxed),
                     );
+                    let (p50, p99, p999) = ss.latency_percentiles_ns();
+                    println!(
+                        "latency: p50={} p99={} p999={} max={} over {} update(s)",
+                        fmt_ns(p50),
+                        fmt_ns(p99),
+                        fmt_ns(p999),
+                        fmt_ns(ss.update_latency.max_ns()),
+                        ss.update_latency.count(),
+                    );
                 }
             }
             ["aff"] => {
@@ -395,4 +564,8 @@ fn main() {
             _ => println!("unknown command; try 'help'"),
         }
     }
+    // Reached on `quit` or stdin EOF: drain the server tier and flush
+    // WAL/store (the graceful-shutdown satellite — previously a server
+    // shell leaked its buffered WAL tail exactly like `crash()`).
+    shell.finish();
 }

@@ -16,6 +16,7 @@
 //! | [`storage`] | `risgraph-storage` | Indexed Adjacency Lists, index variants, baselines, CSR |
 //! | [`algorithms`] | `risgraph-algorithms` | the Algorithm API + Table 2 algorithms |
 //! | [`core`] | `risgraph-core` | engine, classification, epoch loop, scheduler, history, WAL, server |
+//! | [`net`] | `risgraph-net` | TCP serving tier: framed wire protocol, pipelined sessions, NetClient |
 //! | [`baselines`] | `risgraph-baselines` | KickStarter-/DD-style + recompute comparisons |
 //! | [`workloads`] | `risgraph-workloads` | graph generators, dataset registry, update streams |
 //!
@@ -76,13 +77,17 @@
 //! identical results and store contents under random update streams.
 //!
 //! For the full interactive tier (sessions, versioned snapshots,
-//! transactions, durability) see [`core::server::Server`]; runnable
+//! transactions, durability) see [`core::server::Server`]; to serve it
+//! over TCP — pipelined clients, client-observed latency percentiles,
+//! a network ≡ in-process differential proof — see [`net::NetServer`] /
+//! [`net::NetClient`] and `risgraph serve --listen ADDR`. Runnable
 //! scenarios live in `examples/`.
 
 pub use risgraph_algorithms as algorithms;
 pub use risgraph_baselines as baselines;
 pub use risgraph_common as common;
 pub use risgraph_core as core;
+pub use risgraph_net as net;
 pub use risgraph_storage as storage;
 pub use risgraph_workloads as workloads;
 

@@ -89,7 +89,7 @@ fn unsafe_wait_bounded_by_limit_plus_one_epoch() {
     }
 
     let stats = server.stats();
-    let max_wait = Duration::from_nanos(stats.max_unsafe_wait_ns.load(Ordering::Relaxed));
+    let max_wait = Duration::from_nanos(stats.max_unsafe_wait_ns());
     let max_epoch = Duration::from_nanos(stats.max_epoch_ns.load(Ordering::Relaxed));
     assert!(stats.unsafe_executed.load(Ordering::Relaxed) >= 60);
     // The contract, with 50 ms slack for preemption on a shared runner.
