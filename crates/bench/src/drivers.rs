@@ -231,6 +231,106 @@ pub fn measure_net_load(
     }
 }
 
+/// Replication-lag measurements taken while a follower tails a loaded
+/// leader: per-sample lag percentiles (in result versions) plus the
+/// post-load catch-up time.
+#[derive(Debug, Clone)]
+pub struct LagResult {
+    /// Lag samples taken during the load (leader version heard of
+    /// minus follower applied version, sampled on a fixed cadence).
+    pub samples: u64,
+    /// Median lag, versions.
+    pub p50: u64,
+    /// P99 lag, versions.
+    pub p99: u64,
+    /// Worst lag, versions.
+    pub max: u64,
+    /// Time from end-of-load until the follower's watermark reached
+    /// the leader's final version with zero lag.
+    pub catch_up: std::time::Duration,
+    /// Feed records the follower applied over the whole run.
+    pub records_applied: u64,
+}
+
+/// Drive [`measure_net_load`] against a leader while sampling an
+/// attached follower's replication lag every `sample_every`. After the
+/// load, waits (up to `drain_timeout`) for the follower to drain the
+/// feed tail to zero lag and reports how long that took. Panics if the
+/// follower wedges or its stream takes a protocol error — the
+/// lag-measurement twin of the soak's cleanliness assertions.
+pub fn measure_replication_lag(
+    addr: std::net::SocketAddr,
+    follower: &risgraph_net::ReplicaServer,
+    leader: &Server,
+    session_streams: &[Vec<Update>],
+    window: usize,
+    sample_every: std::time::Duration,
+    drain_timeout: std::time::Duration,
+) -> (PerfResult, LagResult) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let samples = std::thread::scope(|scope| {
+        let sampler_stop = Arc::clone(&stop);
+        let sampler = scope.spawn(move || {
+            let mut lags: Vec<u64> = Vec::new();
+            while !sampler_stop.load(Ordering::Acquire) {
+                lags.push(follower.lag());
+                std::thread::sleep(sample_every);
+            }
+            lags
+        });
+        let perf = measure_net_load(addr, session_streams, window);
+        stop.store(true, Ordering::Release);
+        let lags = sampler.join().expect("lag sampler");
+        (perf, lags)
+    });
+    let (perf, mut lags) = samples;
+
+    // Post-load drain: catch-up time until zero lag at the leader's
+    // final version.
+    let leader_version = leader.current_version();
+    let t0 = Instant::now();
+    let deadline = t0 + drain_timeout;
+    while follower.replica().current_version() < leader_version || follower.lag() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "follower wedged at version {} (leader {leader_version})",
+            follower.replica().current_version()
+        );
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    let catch_up = t0.elapsed();
+    let fstats = follower.stats();
+    assert_eq!(
+        fstats
+            .stream_errors
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0,
+        "protocol errors on the replication stream"
+    );
+
+    lags.sort_unstable();
+    let q = |f: f64| -> u64 {
+        if lags.is_empty() {
+            0
+        } else {
+            lags[((lags.len() - 1) as f64 * f) as usize]
+        }
+    };
+    let lag = LagResult {
+        samples: lags.len() as u64,
+        p50: q(0.5),
+        p99: q(0.99),
+        max: lags.last().copied().unwrap_or(0),
+        catch_up,
+        records_applied: fstats
+            .records_applied
+            .load(std::sync::atomic::Ordering::Relaxed),
+    };
+    (perf, lag)
+}
+
 /// Like [`measure_server`] but submitting fixed-size transactions.
 pub fn measure_server_txn(
     algorithms: Vec<DynAlgorithm>,

@@ -3,16 +3,23 @@
 //! ≥ 64 must out-run the synchronous one-request-at-a-time discipline —
 //! pipelining amortizes round trips and lets the epoch loop batch, so
 //! if this inverts, either the window, the reply demultiplexer or the
-//! epoch gather is broken. Wall-clock-sensitive, so it runs in the slow
-//! CI job (`cargo test --release -- --ignored`).
+//! epoch gather is broken. Each run also carries an attached
+//! replication follower: its watermark must progress monotonically,
+//! its stream must stay clean (zero protocol errors), and it must
+//! converge to the leader's final version — proving the feed keeps up
+//! under full pipelined load without costing the leader its win.
+//! Wall-clock-sensitive, so it runs in the slow CI job
+//! (`cargo test --release -- --ignored`).
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use risgraph_algorithms::Bfs;
 use risgraph_bench::drivers::measure_net_load;
 use risgraph_core::engine::DynAlgorithm;
 use risgraph_core::server::ServerConfig;
-use risgraph_net::{NetConfig, NetServer};
+use risgraph_net::{FollowerConfig, NetConfig, NetServer, ReplicaServer};
 use risgraph_testkit::safe_churn;
 use risgraph_workloads::rmat::RmatConfig;
 
@@ -34,12 +41,64 @@ fn pipelined_window_beats_sync_throughput() {
         let net = NetServer::start(
             vec![Arc::new(Bfs::new(0)) as DynAlgorithm],
             cfg.num_vertices(),
-            ServerConfig::default(),
+            ServerConfig {
+                max_followers: 1,
+                ..ServerConfig::default()
+            },
             NetConfig::default(),
         )
         .expect("net server");
         net.server().load_edges(&preload);
+        // Follower attached for the whole run: same preload (bulk
+        // loads are not replicated), live tail from record 0.
+        let follower = ReplicaServer::start(
+            vec![Arc::new(Bfs::new(0)) as DynAlgorithm],
+            cfg.num_vertices(),
+            ServerConfig {
+                max_followers: 0,
+                ..ServerConfig::default()
+            },
+            FollowerConfig::to_leader(net.local_addr().to_string()),
+        )
+        .expect("follower");
+        follower.replica().load_edges(&preload);
+
+        let mut watermark = 0u64;
         let perf = measure_net_load(net.local_addr(), &streams, window);
+        let next = follower.replica().current_version();
+        assert!(
+            next >= watermark,
+            "watermark regressed: {watermark} -> {next}"
+        );
+        watermark = next;
+
+        // Replication lag is monotone-decreasing once the load stops:
+        // the follower drains the feed tail down to zero lag.
+        let leader_version = net.server().current_version();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut last_lag = u64::MAX;
+        while follower.replica().current_version() < leader_version || follower.lag() > 0 {
+            let next = follower.replica().current_version();
+            assert!(next >= watermark, "watermark regressed during drain");
+            watermark = next;
+            let lag = leader_version.saturating_sub(next);
+            assert!(lag <= last_lag, "post-load lag grew: {last_lag} -> {lag}");
+            last_lag = lag;
+            assert!(
+                Instant::now() < deadline,
+                "follower wedged at {next} (leader {leader_version})"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let fstats = follower.stats();
+        assert_eq!(
+            fstats.stream_errors.load(Ordering::Relaxed),
+            0,
+            "stream errors"
+        );
+        assert_eq!(fstats.rejections.load(Ordering::Relaxed), 0, "rejections");
+        assert!(fstats.records_applied.load(Ordering::Relaxed) > 0);
+        follower.shutdown();
         net.shutdown();
         perf
     };

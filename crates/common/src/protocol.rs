@@ -32,6 +32,16 @@
 //! `get_current_version`, `release_history`, plus a `stats` probe that
 //! reports the server's client-observed latency percentiles.
 //!
+//! **Replication** rides the same framing: a follower sends one
+//! [`Request::Subscribe`] naming the next feed record it needs, and the
+//! connection switches into a one-way stream of [`Response::WalEpoch`]
+//! frames (the leader's merged, stamp-sorted epoch records, see
+//! [`FeedRecord`]) interleaved with [`Response::Heartbeat`] liveness
+//! probes when the follower is caught up — all echoing the subscribe
+//! request id. Records are explicitly indexed, so a follower that
+//! reconnects after any fault resumes exactly where it left off and
+//! drops duplicates idempotently.
+//!
 //! Everything here is pure bytes ↔ types; socket handling lives in
 //! `crates/net`.
 
@@ -67,6 +77,7 @@ const OP_GET_MODIFIED: u8 = 0x12;
 const OP_CURRENT_VERSION: u8 = 0x13;
 const OP_RELEASE: u8 = 0x20;
 const OP_STATS: u8 = 0x30;
+const OP_SUBSCRIBE: u8 = 0x40;
 
 // Response opcodes.
 const RE_APPLIED: u8 = 0x81;
@@ -77,6 +88,8 @@ const RE_MODIFIED: u8 = 0x85;
 const RE_VERSION: u8 = 0x86;
 const RE_RELEASED: u8 = 0x87;
 const RE_STATS: u8 = 0x88;
+const RE_WAL_EPOCH: u8 = 0x90;
+const RE_HEARTBEAT: u8 = 0x91;
 
 /// A client → server message (one per frame, after the request id).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -117,6 +130,68 @@ pub enum Request {
     Release(VersionId),
     /// Server counters + latency percentiles.
     Stats,
+    /// Become a replication follower: stream feed records starting at
+    /// index `from` (live tail once caught up, heartbeats when idle).
+    /// After a successful subscribe the connection is one-way —
+    /// [`Response::WalEpoch`] / [`Response::Heartbeat`] frames until
+    /// either side closes.
+    Subscribe {
+        /// Index of the first feed record the follower still needs
+        /// (its applied-record count; 0 for a fresh replica).
+        from: u64,
+    },
+}
+
+/// One record of the leader's replication feed: an epoch's applied
+/// updates, shaped so a follower can reproduce the leader's store
+/// *byte-exactly* and its version/history assignment *query-exactly*.
+///
+/// The safe phase commutes and provably changes no results, so its
+/// updates are shipped flat in global stamp order (the actual execution
+/// order) with only a version-bump count; the serial unsafe phase is
+/// shipped as ordered per-operation groups, each of which produced
+/// exactly one version and whose result changes the follower recomputes
+/// through the same incremental path the leader used. Within an epoch
+/// every safe version precedes every unsafe version (the shard barrier
+/// orders the `fetch_add`s), so `base + safe_versions + group_index`
+/// reconstructs the leader's numbering exactly.
+///
+/// `bootstrap` records replay a recovered WAL prefix (structure only,
+/// zero version bumps — the leader itself restarts at version 0 after
+/// recovery); the follower recomputes results once the bootstrap prefix
+/// ends. Oversized epochs are chunked into consecutive records at
+/// version-group boundaries, so every record stays under the response
+/// frame limit while remaining independently applicable in order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FeedRecord {
+    /// Position in the feed (0-based, dense). Followers apply records
+    /// strictly in index order; a gap means frames were lost and the
+    /// follower must resubscribe.
+    pub index: u64,
+    /// Recovered-WAL-prefix record: apply structure only, then
+    /// recompute once the bootstrap prefix ends.
+    pub bootstrap: bool,
+    /// Version bumps the safe updates produced (each changed nothing
+    /// observable — empty modification sets).
+    pub safe_versions: u64,
+    /// Safe-phase updates in global application-stamp order.
+    pub safe_updates: Vec<Update>,
+    /// Serial unsafe operations in version order; each group is one
+    /// atomic operation (update or transaction) = one version bump.
+    /// A group may be empty (an empty transaction still bumps).
+    pub unsafe_groups: Vec<Vec<Update>>,
+}
+
+impl FeedRecord {
+    /// Total updates carried (sizing/chunking metric).
+    pub fn update_count(&self) -> usize {
+        self.safe_updates.len() + self.unsafe_groups.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Version bumps this record produces on a follower.
+    pub fn version_bumps(&self) -> u64 {
+        self.safe_versions + self.unsafe_groups.len() as u64
+    }
 }
 
 /// An [`Error`] flattened for the wire: a stable code, up to three
@@ -202,6 +277,14 @@ pub struct StatsReport {
     pub latency_p999_ns: u64,
     /// Worst completion latency, nanoseconds.
     pub latency_max_ns: u64,
+    /// Replication: active followers (leader) — 0 on a replica.
+    pub followers: u64,
+    /// Replication: feed records published (leader) or applied
+    /// (replica).
+    pub replication_records: u64,
+    /// Replication: result-version lag behind the leader (replica) —
+    /// 0 on a leader.
+    pub replication_lag: u64,
 }
 
 /// A server → client message (one per frame, after the echoed id).
@@ -236,6 +319,53 @@ pub enum Response {
     Released,
     /// `stats` answer.
     Stats(StatsReport),
+    /// One replication feed record (streamed after a subscribe).
+    WalEpoch(FeedRecord),
+    /// Replication liveness probe: the subscribe acknowledgement and
+    /// the idle keep-alive, carrying the stream position and the
+    /// leader's current result version (the follower's lag reference).
+    Heartbeat {
+        /// Feed records already streamed **on this subscription**
+        /// (the leader's next-to-send index). Frames are ordered, so a
+        /// follower that has applied fewer when the heartbeat arrives
+        /// knows frames were lost and must resubscribe — the gap
+        /// detector for drops at the stream tail, where no later
+        /// record would ever expose them.
+        records: u64,
+        /// The leader's current result version.
+        version: u64,
+    },
+}
+
+/// Encode a [`Response::WalEpoch`] payload directly from a borrowed
+/// record — the streaming path uses this to serialize straight out of
+/// the feed's shared `Arc<FeedRecord>` without cloning up to
+/// `MAX_RECORD_UPDATES` updates per frame per follower.
+pub fn encode_wal_epoch(rec: &FeedRecord, req_id: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + rec.update_count() * 25);
+    put_u64(&mut buf, req_id);
+    put_wal_epoch(&mut buf, rec);
+    buf
+}
+
+fn put_wal_epoch(buf: &mut Vec<u8>, rec: &FeedRecord) {
+    buf.push(RE_WAL_EPOCH);
+    put_u64(buf, rec.index);
+    buf.push(u8::from(rec.bootstrap));
+    put_u64(buf, rec.safe_versions);
+    put_u32(buf, rec.safe_updates.len() as u32);
+    for u in &rec.safe_updates {
+        buf.push(update_opcode(u));
+        put_update_body(buf, u);
+    }
+    put_u32(buf, rec.unsafe_groups.len() as u32);
+    for group in &rec.unsafe_groups {
+        put_u32(buf, group.len() as u32);
+        for u in group {
+            buf.push(update_opcode(u));
+            put_update_body(buf, u);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -392,6 +522,10 @@ impl Request {
                 put_u64(&mut buf, *version);
             }
             Request::Stats => buf.push(OP_STATS),
+            Request::Subscribe { from } => {
+                buf.push(OP_SUBSCRIBE);
+                put_u64(&mut buf, *from);
+            }
         }
         buf
     }
@@ -436,6 +570,7 @@ impl Request {
             OP_CURRENT_VERSION => Request::CurrentVersion,
             OP_RELEASE => Request::Release(c.u64()?),
             OP_STATS => Request::Stats,
+            OP_SUBSCRIBE => Request::Subscribe { from: c.u64()? },
             other => {
                 return Err(Error::Protocol(format!("unknown request opcode {other}")));
             }
@@ -512,9 +647,18 @@ impl Response {
                     s.latency_p99_ns,
                     s.latency_p999_ns,
                     s.latency_max_ns,
+                    s.followers,
+                    s.replication_records,
+                    s.replication_lag,
                 ] {
                     put_u64(&mut buf, v);
                 }
+            }
+            Response::WalEpoch(rec) => put_wal_epoch(&mut buf, rec),
+            Response::Heartbeat { records, version } => {
+                buf.push(RE_HEARTBEAT);
+                put_u64(&mut buf, *records);
+                put_u64(&mut buf, *version);
             }
         }
         buf
@@ -572,7 +716,61 @@ impl Response {
                 latency_p99_ns: c.u64()?,
                 latency_p999_ns: c.u64()?,
                 latency_max_ns: c.u64()?,
+                followers: c.u64()?,
+                replication_records: c.u64()?,
+                replication_lag: c.u64()?,
             }),
+            RE_WAL_EPOCH => {
+                let index = c.u64()?;
+                let bootstrap = c.u8()? != 0;
+                let safe_versions = c.u64()?;
+                let n_safe = c.u32()? as usize;
+                // Each update is at least 9 bytes: reject impossible
+                // counts before allocating.
+                if n_safe > payload.len() / 9 + 1 {
+                    return Err(Error::Protocol(format!(
+                        "feed record safe count {n_safe} exceeds payload"
+                    )));
+                }
+                let mut safe_updates = Vec::with_capacity(n_safe);
+                for _ in 0..n_safe {
+                    let tag = c.u8()?;
+                    safe_updates.push(read_update(tag, &mut c)?);
+                }
+                let n_groups = c.u32()? as usize;
+                // A group costs at least 4 length bytes.
+                if n_groups > payload.len() / 4 + 1 {
+                    return Err(Error::Protocol(format!(
+                        "feed record group count {n_groups} exceeds payload"
+                    )));
+                }
+                let mut unsafe_groups = Vec::with_capacity(n_groups);
+                for _ in 0..n_groups {
+                    let n = c.u32()? as usize;
+                    if n > payload.len() / 9 + 1 {
+                        return Err(Error::Protocol(format!(
+                            "feed group size {n} exceeds payload"
+                        )));
+                    }
+                    let mut group = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let tag = c.u8()?;
+                        group.push(read_update(tag, &mut c)?);
+                    }
+                    unsafe_groups.push(group);
+                }
+                Response::WalEpoch(FeedRecord {
+                    index,
+                    bootstrap,
+                    safe_versions,
+                    safe_updates,
+                    unsafe_groups,
+                })
+            }
+            RE_HEARTBEAT => Response::Heartbeat {
+                records: c.u64()?,
+                version: c.u64()?,
+            },
             other => {
                 return Err(Error::Protocol(format!("unknown response opcode {other}")));
             }
@@ -685,6 +883,7 @@ mod tests {
         roundtrip_request(Request::CurrentVersion);
         roundtrip_request(Request::Release(12));
         roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Subscribe { from: 17 });
     }
 
     #[test]
@@ -717,7 +916,63 @@ mod tests {
             latency_p99_ns: 9,
             latency_p999_ns: 10,
             latency_max_ns: 11,
+            followers: 12,
+            replication_records: 13,
+            replication_lag: 14,
         }));
+        roundtrip_response(Response::WalEpoch(FeedRecord {
+            index: 42,
+            bootstrap: false,
+            safe_versions: 3,
+            safe_updates: vec![
+                Update::InsEdge(Edge::new(1, 2, 0)),
+                Update::DelEdge(Edge::new(2, 3, 9)),
+                Update::InsVertex(7),
+            ],
+            unsafe_groups: vec![
+                vec![Update::InsEdge(Edge::new(4, 5, 1))],
+                vec![], // an empty transaction still bumps the version
+                vec![Update::DelVertex(6), Update::DelEdge(Edge::new(5, 4, 1))],
+            ],
+        }));
+        roundtrip_response(Response::WalEpoch(FeedRecord {
+            index: 0,
+            bootstrap: true,
+            safe_versions: 0,
+            safe_updates: vec![Update::InsEdge(Edge::new(0, 1, 0))],
+            unsafe_groups: vec![],
+        }));
+        roundtrip_response(Response::Heartbeat {
+            records: 5,
+            version: 99,
+        });
+    }
+
+    #[test]
+    fn feed_record_counters() {
+        let rec = FeedRecord {
+            index: 0,
+            bootstrap: false,
+            safe_versions: 2,
+            safe_updates: vec![Update::InsVertex(1); 3],
+            unsafe_groups: vec![vec![Update::InsVertex(2); 2], vec![]],
+        };
+        assert_eq!(rec.update_count(), 5);
+        assert_eq!(rec.version_bumps(), 4);
+    }
+
+    #[test]
+    fn forged_feed_counts_are_rejected_before_allocation() {
+        // A WalEpoch whose safe count claims far more updates than the
+        // payload could hold must fail cleanly, not allocate.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&7u64.to_le_bytes()); // req id
+        buf.push(0x90); // RE_WAL_EPOCH
+        buf.extend_from_slice(&0u64.to_le_bytes()); // index
+        buf.push(0); // bootstrap
+        buf.extend_from_slice(&0u64.to_le_bytes()); // safe_versions
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd count
+        assert!(matches!(Response::decode(&buf), Err(Error::Protocol(_))));
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Protocol fuzzing: arbitrary byte mutations of valid frames — and
+//! outright garbage — must yield `Error::Protocol` (or a correct
+//! parse), never a panic, a wrong-variant error, or an oversized
+//! allocation. The wire surface is hostile-input territory: every
+//! length and count field is attacker-controlled, so the decoders must
+//! bound-check everything before trusting it.
+
+use proptest::prelude::*;
+use risgraph_common::ids::{Edge, Update};
+use risgraph_common::protocol::{
+    read_frame, write_frame, FeedRecord, Request, Response, StatsReport, WireError, FRAME_HEADER,
+    MAX_FRAME, MAX_RESPONSE_FRAME,
+};
+use risgraph_common::Error;
+
+/// A valid request payload, parameterized by the fuzz inputs.
+fn sample_request(pick: u64, a: u64, b: u64, c: u64) -> Vec<u8> {
+    let req = match pick % 8 {
+        0 => Request::Update(Update::InsEdge(Edge::new(a, b, c))),
+        1 => Request::Update(Update::DelVertex(a)),
+        2 => Request::Txn(vec![
+            Update::InsEdge(Edge::new(a, b, c)),
+            Update::DelEdge(Edge::new(b, a, c)),
+            Update::InsVertex(a ^ b),
+        ]),
+        3 => Request::GetValue {
+            algo: a as u32,
+            version: b,
+            vertex: c,
+        },
+        4 => Request::GetModified {
+            algo: a as u32,
+            version: b,
+        },
+        5 => Request::Release(a),
+        6 => Request::Subscribe { from: a },
+        _ => Request::Stats,
+    };
+    req.encode(a.wrapping_add(1))
+}
+
+/// A valid response payload, parameterized by the fuzz inputs.
+fn sample_response(pick: u64, a: u64, b: u64, c: u64) -> Vec<u8> {
+    let resp = match pick % 8 {
+        0 => Response::Applied {
+            version: a,
+            safe: b.is_multiple_of(2),
+            result_changes: c,
+        },
+        1 => Response::Failed {
+            version: a,
+            error: WireError::from_error(&Error::Protocol(format!("fuzz {b}"))),
+        },
+        2 => Response::Value(a),
+        3 => Response::Parent(Some(Edge::new(a, b, c))),
+        4 => Response::Modified(vec![a, b, c, a ^ b]),
+        5 => Response::Stats(StatsReport {
+            version: a,
+            latency_p50_ns: b,
+            replication_lag: c,
+            ..StatsReport::default()
+        }),
+        6 => Response::WalEpoch(FeedRecord {
+            index: a,
+            bootstrap: !b.is_multiple_of(2),
+            safe_versions: b % 7,
+            safe_updates: vec![Update::InsEdge(Edge::new(a, b, c)), Update::DelVertex(c)],
+            unsafe_groups: vec![vec![Update::InsEdge(Edge::new(b, c, a))], vec![]],
+        }),
+        _ => Response::Heartbeat {
+            records: a,
+            version: b,
+        },
+    };
+    resp.encode(c.wrapping_add(1))
+}
+
+/// Decoding must be total: `Ok` or `Error::Protocol`, nothing else —
+/// in particular no panic and no non-protocol error variant.
+fn assert_total_request(payload: &[u8]) -> Result<(), String> {
+    match Request::decode(payload) {
+        Ok(_) => Ok(()),
+        Err(Error::Protocol(_)) => Ok(()),
+        Err(other) => Err(format!("non-protocol decode error: {other:?}")),
+    }
+}
+
+fn assert_total_response(payload: &[u8]) -> Result<(), String> {
+    match Response::decode(payload) {
+        Ok(_) => Ok(()),
+        Err(Error::Protocol(_)) => Ok(()),
+        Err(other) => Err(format!("non-protocol decode error: {other:?}")),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn garbage_payloads_never_panic(
+        bytes in proptest::collection::vec(0..=255u8, 0..64),
+    ) {
+        assert_total_request(&bytes)?;
+        assert_total_response(&bytes)?;
+    }
+
+    /// Flip one payload byte under the CRC: the frame layer must reject
+    /// the frame — the decoders never even see the corruption.
+    #[test]
+    fn payload_byte_flips_are_caught_by_the_crc(
+        pick in 0..8u64,
+        a in 0..u64::MAX,
+        b in 0..1000u64,
+        c in 0..1000u64,
+        pos in 0..4096usize,
+        xor in 1..=255u8,
+        response in proptest::bool::ANY,
+    ) {
+        let payload = if response {
+            sample_response(pick, a, b, c)
+        } else {
+            sample_request(pick, a, b, c)
+        };
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &payload).unwrap();
+        let i = FRAME_HEADER + pos % payload.len().max(1);
+        frame[i] ^= xor;
+        match read_frame(&mut &frame[..], MAX_RESPONSE_FRAME) {
+            Err(Error::Protocol(_)) => {}
+            other => return Err(format!(
+                "corrupted frame (byte {i} ^ {xor:#x}) not rejected: {other:?}"
+            )),
+        }
+    }
+
+    /// Mutate anywhere in the frame — header included — and also
+    /// truncate: the reader and decoders must stay total, and any
+    /// frame that *does* survive framing must decode to `Ok` or
+    /// `Error::Protocol`.
+    #[test]
+    fn arbitrary_frame_mutations_stay_total(
+        pick in 0..8u64,
+        a in 0..u64::MAX,
+        b in 0..1000u64,
+        c in 0..1000u64,
+        flips in proptest::collection::vec((0..4096usize, 0..=255u8), 0..4),
+        cut in 0..4096usize,
+        response in proptest::bool::ANY,
+    ) {
+        let payload = if response {
+            sample_response(pick, a, b, c)
+        } else {
+            sample_request(pick, a, b, c)
+        };
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &payload).unwrap();
+        for &(pos, xor) in &flips {
+            let i = pos % frame.len();
+            frame[i] ^= xor;
+        }
+        frame.truncate(frame.len() - cut % frame.len());
+        let mut reader = &frame[..];
+        loop {
+            match read_frame(&mut reader, MAX_FRAME) {
+                Ok(Some(p)) => {
+                    assert_total_request(&p)?;
+                    assert_total_response(&p)?;
+                }
+                Ok(None) => break,           // clean EOF
+                Err(Error::Protocol(_)) => break, // rejected cleanly
+                Err(other) => {
+                    return Err(format!("non-protocol frame error: {other:?}"));
+                }
+            }
+        }
+    }
+
+    /// Forged length headers far beyond the receiver's limit must be
+    /// refused *before* any allocation, whatever follows them.
+    #[test]
+    fn forged_lengths_are_rejected_before_allocation(
+        len in (MAX_FRAME as u64 + 1)..=u32::MAX as u64,
+        crc in 0..u32::MAX,
+        tail in proptest::collection::vec(0..=255u8, 0..16),
+    ) {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(len as u32).to_le_bytes());
+        frame.extend_from_slice(&crc.to_le_bytes());
+        frame.extend_from_slice(&tail);
+        match read_frame(&mut &frame[..], MAX_FRAME) {
+            Err(Error::Protocol(msg)) => {
+                prop_assert!(msg.contains("oversized"), "wrong rejection: {msg}");
+            }
+            other => return Err(format!("oversized frame accepted: {other:?}")),
+        }
+    }
+}

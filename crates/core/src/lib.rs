@@ -16,6 +16,9 @@
 //!   classification;
 //! * [`history`] — versioned result snapshots with release-based GC;
 //! * [`wal`] — optional durability via group-committed write-ahead logs;
+//! * [`replication`] — leader→follower shipping of the merged,
+//!   stamp-sorted epoch records: the leader-side feed and the
+//!   follower-side replica apply path;
 //! * [`scheduler`] — the tail-latency epoch-size controller;
 //! * [`server`] — the interactive tier: sessions, the epoch loop schema,
 //!   transactions, multi-algorithm maintenance.
@@ -42,6 +45,7 @@ pub mod engine;
 pub mod history;
 pub mod pool;
 pub mod push;
+pub mod replication;
 pub mod scheduler;
 pub mod server;
 pub mod tree;
@@ -51,6 +55,7 @@ pub use affected::{analyze as analyze_affected_area, AffectedAreaReport};
 pub use classifier::{LinearClassifier, PushMode};
 pub use engine::{ChangeRecord, ChangeSet, DynAlgorithm, Engine, EngineConfig, SafeApply, Safety};
 pub use history::HistoryStore;
+pub use replication::{Replica, ReplicationFeed};
 pub use scheduler::{Scheduler, SchedulerConfig};
 pub use server::{Applied, Op, Reply, Server, ServerConfig, Session};
 pub use tree::{TreeStore, Value, VertexState};

@@ -33,12 +33,18 @@
 //!
 //! Durability: every update applied in an epoch — across all shards and
 //! the unsafe phase — is appended as **one merged WAL record** at epoch
-//! end and fsynced on the group-commit cadence. Each applied update
+//! end and fsynced on the group-commit cadence. Each safe-phase update
 //! carries a **global application-order stamp** drawn inside the store
-//! lock that serializes same-edge operations, and the merged record is
-//! sorted by it — so replay reproduces the cross-shard execution order
-//! byte-exactly, even for same-edge count-races across sessions within
-//! one epoch. History: every result-changing update records
+//! lock that serializes same-edge operations; the record is the
+//! stamp-sorted safe log followed by the serial unsafe groups (whose
+//! execution order *is* their record order, every safe stamp preceding
+//! them via the shard barrier) — so replay reproduces the cross-shard
+//! execution order byte-exactly, even for same-edge count-races across
+//! sessions within one epoch. When [`ServerConfig::max_followers`]
+//! `> 0`, the same per-epoch record — enriched with its version shape
+//! (safe bump count + unsafe version groups) — is also published to
+//! the [`ReplicationFeed`] for streaming replicas
+//! ([`crate::replication`]). History: every result-changing update records
 //! its per-vertex deltas (serial phase only — safe updates change no
 //! results); GC runs on released-version watermarks every
 //! `gc_interval` (§5: every second).
@@ -61,6 +67,7 @@ use crate::engine::{
     ChangeRecord, ChangeSet, DynAlgorithm, Engine, EngineConfig, SafeApply, Safety,
 };
 use crate::history::HistoryStore;
+use crate::replication::ReplicationFeed;
 use crate::scheduler::{Scheduler, SchedulerConfig};
 use crate::tree::Value;
 use crate::wal::{replay, WalWriter};
@@ -118,6 +125,15 @@ pub struct ServerConfig {
     /// server down. Bulk loads (`Server::load_edges`) are not subject
     /// to this limit.
     pub max_capacity: usize,
+    /// Replication follower slots. `0` (the default) disables the
+    /// replication feed entirely — no records are retained and
+    /// `SUBSCRIBE` is refused. `N > 0` publishes every epoch's merged,
+    /// stamp-sorted record to an in-memory [`ReplicationFeed`] that up
+    /// to `N` followers may stream (`crates/net`'s `SUBSCRIBE` path).
+    /// Appending to the feed never blocks on followers, so a slow
+    /// follower lags without wedging the epoch loop. Defaults to the
+    /// `RISGRAPH_MAX_FOLLOWERS` environment variable when set, else 0.
+    pub max_followers: usize,
 }
 
 impl Default for ServerConfig {
@@ -143,6 +159,10 @@ impl Default for ServerConfig {
             wal_sync_interval: Duration::from_millis(2),
             max_epoch_updates: 1 << 16,
             max_capacity: 1 << 26,
+            max_followers: std::env::var("RISGRAPH_MAX_FOLLOWERS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0),
         }
     }
 }
@@ -322,6 +342,8 @@ pub struct Server {
     shared: Arc<Shared>,
     coordinator: Option<std::thread::JoinHandle<()>>,
     shard_workers: Vec<std::thread::JoinHandle<()>>,
+    /// The replication feed (present iff `max_followers > 0`).
+    feed: Option<Arc<ReplicationFeed>>,
 }
 
 impl Server {
@@ -343,6 +365,9 @@ impl Server {
         )?;
         let engine = Engine::from_store(store, algorithms, config.engine.clone());
 
+        let feed = (config.max_followers > 0)
+            .then(|| Arc::new(ReplicationFeed::new(config.max_followers)));
+
         let mut wal = None;
         if let Some(path) = &config.wal_path {
             // Recovery: re-apply logged structure, then recompute once.
@@ -362,6 +387,13 @@ impl Server {
                     }
                 }
                 engine.recompute_all();
+                // Re-publish the recovered prefix so a fresh follower
+                // can catch up from feed index 0: structure-only
+                // bootstrap records (the server itself restarts at
+                // version 0 after recovery).
+                if let Some(feed) = &feed {
+                    feed.append_bootstrap(batches.into_iter().flatten().collect());
+                }
             }
             wal = Some(WalWriter::open(path)?);
         }
@@ -406,14 +438,16 @@ impl Server {
         }
 
         let coord_shared = Arc::clone(&shared);
+        let coord_feed = feed.clone();
         let coordinator = std::thread::Builder::new()
             .name("risgraph-coordinator".into())
-            .spawn(move || coordinator_loop(coord_shared, rx, config, wal, shards))
+            .spawn(move || coordinator_loop(coord_shared, rx, config, wal, shards, coord_feed))
             .expect("spawn coordinator");
         Ok(Server {
             shared,
             coordinator: Some(coordinator),
             shard_workers,
+            feed,
         })
     }
 
@@ -445,6 +479,12 @@ impl Server {
     /// Server counters.
     pub fn stats(&self) -> &ServerStats {
         &self.shared.stats
+    }
+
+    /// The replication feed, when enabled
+    /// ([`ServerConfig::max_followers`] `> 0`).
+    pub fn feed(&self) -> Option<&Arc<ReplicationFeed>> {
+        self.feed.as_ref()
     }
 
     /// The latest assigned result version.
@@ -675,7 +715,7 @@ impl Drop for Session {
 // Coordinator
 // ----------------------------------------------------------------------
 
-fn merge_changesets(sets: Vec<ChangeSet>, num_algos: usize) -> ChangeSet {
+pub(crate) fn merge_changesets(sets: Vec<ChangeSet>, num_algos: usize) -> ChangeSet {
     if sets.len() == 1 {
         return sets.into_iter().next().unwrap();
     }
@@ -738,6 +778,11 @@ struct ShardOutcome {
     /// Updates applied, each with its global application-order stamp
     /// (feeds the epoch's merged, stamp-sorted WAL record).
     applied: Vec<(u64, Update)>,
+    /// Operations applied successfully — each bumped the version once
+    /// (a safe transaction counts 1 however many updates it carries).
+    /// The replication feed ships this as the epoch's safe version-bump
+    /// count so a follower's numbering tracks the leader's.
+    applied_ops: u64,
     /// Unprocessed per-session suffixes (behind a demotion) to requeue.
     leftovers: Vec<(u64, Vec<Envelope>)>,
     /// Safe updates that completed within the latency limit.
@@ -783,6 +828,7 @@ fn drain_shard(
             match execute_safe(shared, &env) {
                 SafeExec::Applied(updates) => {
                     out.applied.extend(updates);
+                    out.applied_ops += 1;
                     let lat = env.enqueued.elapsed();
                     out.total += 1;
                     if lat <= limit {
@@ -817,8 +863,9 @@ fn coordinator_loop(
     config: ServerConfig,
     mut wal: Option<WalWriter>,
     shards: Vec<ShardHandle>,
+    feed: Option<Arc<ReplicationFeed>>,
 ) {
-    run_epochs(&shared, &rx, &config, &mut wal, &shards);
+    run_epochs(&shared, &rx, &config, &mut wal, &shards, feed.as_deref());
     match wal {
         // Power-loss simulation (`Server::crash`): leak the writer so
         // its buffered tail is never flushed; the fd is reclaimed at
@@ -844,6 +891,7 @@ fn run_epochs(
     config: &ServerConfig,
     wal: &mut Option<WalWriter>,
     shards: &[ShardHandle],
+    feed: Option<&ReplicationFeed>,
 ) {
     let mut scheduler = Scheduler::new(config.scheduler.clone());
     let mut pending: FxHashMap<u64, VecDeque<Envelope>> = FxHashMap::default();
@@ -966,7 +1014,9 @@ fn run_epochs(
         // ---- Sharded parallel safe phase ---------------------------
         let t_epoch = Instant::now();
         let limit = scheduler.latency_limit();
-        let mut epoch_log: Vec<(u64, Update)> = Vec::new();
+        let mut safe_log: Vec<(u64, Update)> = Vec::new();
+        let mut safe_ops: u64 = 0;
+        let mut unsafe_groups: Vec<Vec<Update>> = Vec::new();
         let mut shard_counts: Vec<(u64, u64)> = Vec::new();
         if buf.safe_count > 0 {
             // Hash-partition sessions over the executors: shard 0 is
@@ -998,7 +1048,8 @@ fn run_epochs(
                 outcomes.push(shards[i].results.recv().expect("shard worker alive"));
             }
             for outcome in outcomes {
-                epoch_log.extend(outcome.applied);
+                safe_log.extend(outcome.applied);
+                safe_ops += outcome.applied_ops;
                 shard_counts.push((outcome.qualified, outcome.total));
                 // Requeue demoted suffixes at the front, preserving
                 // per-session order.
@@ -1018,13 +1069,16 @@ fn run_epochs(
             let _gate = shared.query_gate.write();
             let (reply, applied_updates) = execute_unsafe(shared, &env);
             drop(_gate);
-            // Serial phase: stamps drawn here are naturally ordered
-            // after every safe-phase stamp (the shard barrier ran).
-            epoch_log.extend(
-                applied_updates
-                    .into_iter()
-                    .map(|u| (shared.seq.fetch_add(1, Ordering::Relaxed), u)),
-            );
+            // Serial phase: execution order here *is* stamp order —
+            // every safe-phase stamp precedes it (the shard barrier
+            // ran), so appending the groups after the sorted safe log
+            // reproduces the global application order exactly. Each
+            // successful operation is one version group in the
+            // replication feed (an empty transaction still bumps the
+            // version, so it ships as an empty group).
+            if reply.outcome.is_ok() {
+                unsafe_groups.push(applied_updates);
+            }
             let lat = env.enqueued.elapsed();
             scheduler.record_latency(lat);
             shared
@@ -1035,18 +1089,27 @@ fn run_epochs(
             send_reply(shared, &env, reply);
         }
 
-        // ---- Epoch end: merged WAL group commit, scheduler, GC -----
+        // ---- Epoch end: merged WAL group commit, feed, scheduler ---
+        // Sort the safe log by the global application-order stamp
+        // (drawn inside the store locks that serialize same-edge
+        // operations); unsafe updates executed serially after the shard
+        // barrier, so appending their groups in order completes the
+        // exact cross-shard execution order.
+        safe_log.sort_unstable_by_key(|&(stamp, _)| stamp);
+        let safe_updates: Vec<Update> = safe_log.iter().map(|&(_, u)| u).collect();
         if let Some(w) = wal.as_mut() {
-            if !epoch_log.is_empty() {
+            let total = safe_updates.len() + unsafe_groups.iter().map(Vec::len).sum::<usize>();
+            if total > 0 {
                 let t_wal = Instant::now();
-                // One merged record per epoch, sorted by the global
-                // application-order stamp (drawn inside the store locks
-                // that serialize same-edge operations), so replaying the
-                // record reproduces the cross-shard execution order
-                // byte-exactly — even for same-edge count-races across
-                // sessions within one epoch.
-                epoch_log.sort_unstable_by_key(|&(stamp, _)| stamp);
-                let updates: Vec<Update> = epoch_log.iter().map(|&(_, u)| u).collect();
+                // One merged record per epoch, in stamp order, so
+                // replaying the record reproduces the cross-shard
+                // execution order byte-exactly — even for same-edge
+                // count-races across sessions within one epoch.
+                let mut updates = Vec::with_capacity(total);
+                updates.extend_from_slice(&safe_updates);
+                for group in &unsafe_groups {
+                    updates.extend_from_slice(group);
+                }
                 let _ = w.append(&updates);
                 // Group commit: fsync at most every wal_sync_interval.
                 if last_wal_sync.elapsed() >= config.wal_sync_interval {
@@ -1058,6 +1121,14 @@ fn run_epochs(
                     .wal_ns
                     .fetch_add(t_wal.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
+        }
+        // Publish the epoch to the replication feed (after the WAL
+        // append — a follower never holds a record the leader hasn't
+        // at least buffered). The append is a lock-push + notify; a
+        // slow follower lags behind the feed without ever blocking this
+        // loop.
+        if let Some(feed) = feed {
+            feed.append_epoch(safe_updates, safe_ops, std::mem::take(&mut unsafe_groups));
         }
 
         // Threshold accounting over the aggregated per-shard counts.

@@ -49,11 +49,29 @@
 //! observably identical to in-process sessions on multiple backends
 //! and shard counts; `net_load` (in `risgraph-bench`) measures
 //! client-observed ops/s and P50/P99/P999 over loopback.
+//!
+//! ## Replication
+//!
+//! A connection that sends `SUBSCRIBE` becomes a **follower**: the
+//! server streams the epoch-merged, stamp-sorted WAL records
+//! ([`risgraph_core::ReplicationFeed`]) from the requested offset —
+//! catch-up first, then the live tail, heartbeats when idle — under
+//! the leader's `max_followers` limit, with each outbound frame passing
+//! the connection's bounded writer budget so a slow follower throttles
+//! only itself, never the epoch loop. [`ReplicaServer`] is the
+//! follower-side counterpart: it applies the stream onto any backend
+//! through the core replay path, reconnects-and-resubscribes across
+//! stream faults, and optionally serves the read-only Table 1 surface
+//! (plus lag-reporting `STATS`) at its applied watermark.
+//! `tests/replication_differential.rs` proves leader ≡ follower on
+//! IA_Hash and ooc-mmap at shards 1 and 4, under injected frame faults.
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod replica;
 pub mod server;
 
 pub use client::{NetApplied, NetClient, NetReply};
+pub use replica::{FollowerConfig, FollowerStats, ReplicaServer};
 pub use server::{NetConfig, NetServer};

@@ -1,0 +1,529 @@
+//! [`ReplicaServer`]: a read replica fed by a leader's replication
+//! stream.
+//!
+//! The follower half of the WAL-shipping design
+//! (`risgraph_core::replication`): a background thread connects to the
+//! leader, sends `SUBSCRIBE` at the replica's applied-record watermark,
+//! and applies every [`FeedRecord`](risgraph_common::protocol::FeedRecord)
+//! through [`Replica::apply_record`] — catching up from index 0 first,
+//! then following the live tail, with heartbeats carrying the leader's
+//! version as the lag reference.
+//!
+//! **Fault tolerance is reconnection.** Any stream disruption — EOF,
+//! a torn or CRC-corrupt frame, a record gap after dropped frames, a
+//! read stall — tears the connection down and the follower resubscribes
+//! at its watermark after a short backoff; duplicated records are
+//! skipped idempotently by index. The fault-injection suite
+//! (`risgraph_testkit::faults` + `tests/replication_differential.rs`)
+//! drives exactly these paths and proves the replica still converges to
+//! the leader's store fingerprint and version-exact query surface.
+//!
+//! Optionally the replica itself listens ([`FollowerConfig::listen`])
+//! and serves the **read-only** Table 1 surface over the same wire
+//! protocol — `get_value` / `get_parent` / `get_modified_vertices` /
+//! `get_current_version`, answered at the applied watermark, plus
+//! `STATS` reporting replication lag; mutating requests are refused.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use risgraph_common::protocol::{
+    read_frame, write_frame, Request, Response, StatsReport, WireError, MAX_FRAME,
+    MAX_RESPONSE_FRAME,
+};
+use risgraph_common::{Error, Result};
+use risgraph_core::engine::DynAlgorithm;
+use risgraph_core::replication::Replica;
+use risgraph_core::server::ServerConfig;
+
+/// Follower-side tuning.
+#[derive(Debug, Clone)]
+pub struct FollowerConfig {
+    /// The leader's address (`host:port`).
+    pub leader: String,
+    /// Serve the read-only query surface on this address (`None`
+    /// disables the listener; `"127.0.0.1:0"` picks an ephemeral port).
+    pub listen: Option<String>,
+    /// Pause between reconnection attempts.
+    pub reconnect_backoff: Duration,
+    /// Stream read stall escape: with heartbeats far more frequent
+    /// than this, a timeout means the leader is gone and reconnecting
+    /// is the right response.
+    pub read_timeout: Duration,
+    /// Maximum accepted stream frame (records scale with epoch size,
+    /// so followers accept response-sized frames).
+    pub max_frame: usize,
+}
+
+impl FollowerConfig {
+    /// Defaults for following `leader`.
+    pub fn to_leader(leader: impl Into<String>) -> Self {
+        FollowerConfig {
+            leader: leader.into(),
+            listen: None,
+            reconnect_backoff: Duration::from_millis(50),
+            read_timeout: Duration::from_secs(2),
+            max_frame: MAX_RESPONSE_FRAME,
+        }
+    }
+}
+
+/// Follower counters, updated by the streaming thread.
+#[derive(Debug, Default)]
+pub struct FollowerStats {
+    /// Feed records applied.
+    pub records_applied: AtomicU64,
+    /// Records skipped as already-applied duplicates (replayed frames
+    /// after a reconnect, or a duplicating fault).
+    pub duplicates_skipped: AtomicU64,
+    /// Heartbeats received.
+    pub heartbeats: AtomicU64,
+    /// Successful connections (first connect included).
+    pub connects: AtomicU64,
+    /// Reconnections after a lost or corrupted stream.
+    pub reconnects: AtomicU64,
+    /// Protocol violations observed on the stream (torn/corrupt
+    /// frames, record gaps, unexpected response shapes) — each one
+    /// triggers a reconnect.
+    pub stream_errors: AtomicU64,
+    /// Subscribe rejections from the leader (follower limit,
+    /// replication disabled).
+    pub rejections: AtomicU64,
+}
+
+/// Registry of live read-only query connections.
+type ConnRegistry = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
+
+/// A read replica: the follower thread plus an optional read-only
+/// wire-protocol listener. See the module docs.
+pub struct ReplicaServer {
+    replica: Arc<Replica>,
+    stats: Arc<FollowerStats>,
+    stop: Arc<AtomicBool>,
+    /// The live leader connection, kept so shutdown can unblock the
+    /// follower thread's read immediately.
+    current: Arc<Mutex<Option<TcpStream>>>,
+    follower: Option<JoinHandle<()>>,
+    listen_addr: Option<SocketAddr>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: ConnRegistry,
+}
+
+impl ReplicaServer {
+    /// Start a replica of the leader at `net.leader`, maintaining
+    /// `algorithms` over `config.backend`/`config.engine`, with
+    /// `config.max_capacity` bounding on-demand growth exactly as on
+    /// the leader (the other [`ServerConfig`] fields are leader-side
+    /// and ignored). The
+    /// follower thread starts immediately; catch-up progress is
+    /// observable through [`ReplicaServer::lag`] and
+    /// [`ReplicaServer::stats`].
+    pub fn start(
+        algorithms: Vec<DynAlgorithm>,
+        capacity: usize,
+        config: ServerConfig,
+        net: FollowerConfig,
+    ) -> Result<ReplicaServer> {
+        let replica = Arc::new(Replica::new(
+            algorithms,
+            capacity,
+            &config.backend,
+            config.engine,
+            config.max_capacity,
+        )?);
+        let stats = Arc::new(FollowerStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let current = Arc::new(Mutex::new(None));
+        let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
+
+        let mut listen_addr = None;
+        let mut accept_thread = None;
+        if let Some(listen) = &net.listen {
+            let listener = TcpListener::bind(listen)
+                .map_err(|e| Error::Protocol(format!("cannot bind {listen}: {e}")))?;
+            listen_addr = Some(
+                listener
+                    .local_addr()
+                    .map_err(|e| Error::Protocol(format!("no local addr: {e}")))?,
+            );
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| Error::Protocol(format!("nonblocking listener: {e}")))?;
+            let accept_replica = Arc::clone(&replica);
+            let accept_stats = Arc::clone(&stats);
+            let accept_stop = Arc::clone(&stop);
+            let accept_conns = Arc::clone(&conns);
+            accept_thread = Some(
+                std::thread::Builder::new()
+                    .name("risgraph-replica-accept".into())
+                    .spawn(move || {
+                        accept_loop(
+                            listener,
+                            accept_replica,
+                            accept_stats,
+                            accept_stop,
+                            accept_conns,
+                        )
+                    })
+                    .expect("spawn replica accept thread"),
+            );
+        }
+
+        let f_replica = Arc::clone(&replica);
+        let f_stats = Arc::clone(&stats);
+        let f_stop = Arc::clone(&stop);
+        let f_current = Arc::clone(&current);
+        let follower = std::thread::Builder::new()
+            .name("risgraph-replica-follower".into())
+            .spawn(move || follower_loop(f_replica, f_stats, f_stop, f_current, net))
+            .expect("spawn follower thread");
+
+        Ok(ReplicaServer {
+            replica,
+            stats,
+            stop,
+            current,
+            follower: Some(follower),
+            listen_addr,
+            accept_thread,
+            conns,
+        })
+    }
+
+    /// The replica state (queries, fingerprinting).
+    pub fn replica(&self) -> &Replica {
+        &self.replica
+    }
+
+    /// Follower counters.
+    pub fn stats(&self) -> &FollowerStats {
+        &self.stats
+    }
+
+    /// The read-only listener's bound address, when enabled.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.listen_addr
+    }
+
+    /// Replication lag in result versions (applied watermark behind
+    /// the last leader version heard of).
+    pub fn lag(&self) -> u64 {
+        self.replica.lag()
+    }
+
+    /// Stop following and serving, and join every thread.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the follower's stream read immediately.
+        if let Some(stream) = self.current.lock().unwrap().take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(h) = self.follower.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        for (_, stream) in &conns {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for (handle, _) in conns {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ReplicaServer {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+/// One follower session: connect, subscribe at the watermark, apply the
+/// stream until it breaks, reconnect. See the module docs for the
+/// fault-handling contract.
+fn follower_loop(
+    replica: Arc<Replica>,
+    stats: Arc<FollowerStats>,
+    stop: Arc<AtomicBool>,
+    current: Arc<Mutex<Option<TcpStream>>>,
+    net: FollowerConfig,
+) {
+    let mut connected_before = false;
+    while !stop.load(Ordering::Acquire) {
+        let stream = match TcpStream::connect(&net.leader) {
+            Ok(s) => s,
+            Err(_) => {
+                std::thread::sleep(net.reconnect_backoff);
+                continue;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(net.read_timeout));
+        stats.connects.fetch_add(1, Ordering::Relaxed);
+        if connected_before {
+            stats.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        connected_before = true;
+        let Ok(registered) = stream.try_clone() else {
+            continue;
+        };
+        *current.lock().unwrap() = Some(registered);
+
+        // Subscribe at the applied watermark: after any fault this is
+        // exactly the first record still needed.
+        let sub = Request::Subscribe {
+            from: replica.applied_records(),
+        }
+        .encode(1);
+        let mut w = &stream;
+        if write_frame(&mut w, &sub).is_err() {
+            *current.lock().unwrap() = None;
+            std::thread::sleep(net.reconnect_backoff);
+            continue;
+        }
+
+        let mut r = BufReader::new(&stream);
+        let mut rejected = false;
+        loop {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            match read_frame(&mut r, net.max_frame) {
+                Ok(Some(payload)) => match Response::decode(&payload) {
+                    Ok((_, Response::WalEpoch(rec))) => match replica.apply_record(&rec) {
+                        Ok(true) => {
+                            stats.records_applied.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(false) => {
+                            stats.duplicates_skipped.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // A record gap (frames were dropped): the
+                        // stream is unusable, resubscribe from the
+                        // watermark.
+                        Err(_) => {
+                            stats.stream_errors.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    },
+                    Ok((_, Response::Heartbeat { records, version })) => {
+                        replica.note_leader_version(version);
+                        stats.heartbeats.fetch_add(1, Ordering::Relaxed);
+                        // Frames are ordered: every record the leader
+                        // streamed before this heartbeat has been
+                        // processed, so having applied fewer means
+                        // frames were lost — a drop at the stream tail
+                        // that no later record would ever expose.
+                        // Resubscribe at the watermark.
+                        if records > replica.applied_records() {
+                            stats.stream_errors.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    Ok((_, Response::Failed { .. })) => {
+                        // The leader refused the subscription (slots
+                        // full, replication disabled). Keep retrying on
+                        // a long backoff — a slot may free up — but
+                        // count it.
+                        stats.rejections.fetch_add(1, Ordering::Relaxed);
+                        rejected = true;
+                        break;
+                    }
+                    Ok(_) => {
+                        stats.stream_errors.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    Err(_) => {
+                        stats.stream_errors.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                },
+                // Clean EOF: leader closed (drain, restart) — reconnect.
+                Ok(None) => break,
+                Err(e) => {
+                    // Torn/corrupt framing is a stream fault; a read
+                    // timeout (surfacing as I/O, mapped to Error::Wal)
+                    // is a stalled leader — both mean reconnect, only
+                    // the former counts as a protocol error.
+                    if matches!(e, Error::Protocol(_)) && !stop.load(Ordering::Acquire) {
+                        stats.stream_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break;
+                }
+            }
+        }
+        *current.lock().unwrap() = None;
+        let _ = stream.shutdown(Shutdown::Both);
+        if !stop.load(Ordering::Acquire) {
+            // A refusal is policy, not a glitch: retry on a much
+            // longer cadence so a slotless follower does not hammer
+            // the leader with ~20 connection setups per second.
+            std::thread::sleep(if rejected {
+                net.reconnect_backoff * 20
+            } else {
+                net.reconnect_backoff
+            });
+        }
+    }
+}
+
+/// The replica's `STATS` answer: its version watermark plus the
+/// replication gauges (the latency/epoch fields are leader-side and
+/// read 0 here).
+fn replica_stats(replica: &Replica, stats: &FollowerStats) -> StatsReport {
+    StatsReport {
+        version: replica.current_version(),
+        replication_records: stats.records_applied.load(Ordering::Relaxed),
+        replication_lag: replica.lag(),
+        ..StatsReport::default()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    replica: Arc<Replica>,
+    stats: Arc<FollowerStats>,
+    stop: Arc<AtomicBool>,
+    conns: ConnRegistry,
+) {
+    loop {
+        let draining = stop.load(Ordering::Acquire);
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if draining {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        let Ok(registered) = stream.try_clone() else {
+            continue;
+        };
+        let conn_replica = Arc::clone(&replica);
+        let conn_stats = Arc::clone(&stats);
+        let handle = std::thread::Builder::new()
+            .name("risgraph-replica-conn".into())
+            .spawn(move || serve_queries(conn_replica, conn_stats, stream))
+            .expect("spawn replica connection thread");
+        let mut conns = conns.lock().unwrap();
+        let mut i = 0;
+        while i < conns.len() {
+            if conns[i].0.is_finished() {
+                let (done, stale) = conns.swap_remove(i);
+                let _ = done.join();
+                drop(stale);
+            } else {
+                i += 1;
+            }
+        }
+        conns.push((handle, registered));
+    }
+}
+
+/// Serve the read-only Table 1 surface on one connection: queries are
+/// answered inline at the applied watermark; anything mutating is
+/// refused without touching the replica.
+fn serve_queries(replica: Arc<Replica>, stats: Arc<FollowerStats>, stream: TcpStream) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let _ = write_half.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut w = BufWriter::new(write_half);
+    let mut r = BufReader::new(stream);
+    let check_algo = |algo: u32| -> std::result::Result<usize, Error> {
+        if algo as usize >= replica.engine().num_algorithms() {
+            return Err(Error::Protocol(format!(
+                "algorithm index {algo} out of range ({} maintained)",
+                replica.engine().num_algorithms()
+            )));
+        }
+        Ok(algo as usize)
+    };
+    let failed = |e: &Error| Response::Failed {
+        version: replica.current_version(),
+        error: WireError::from_error(e),
+    };
+    loop {
+        let payload = match read_frame(&mut r, MAX_FRAME) {
+            Ok(Some(p)) => p,
+            Ok(None) => break,
+            Err(e) => {
+                let _ = write_frame(&mut w, &failed(&e).encode(0));
+                break;
+            }
+        };
+        let (req_id, request) = match Request::decode(&payload) {
+            Ok(x) => x,
+            Err(e) => {
+                let _ = write_frame(&mut w, &failed(&e).encode(0));
+                break;
+            }
+        };
+        let resp = match request {
+            Request::GetValue {
+                algo,
+                version,
+                vertex,
+            } => match check_algo(algo).and_then(|a| replica.get_value(a, version, vertex)) {
+                Ok(v) => Response::Value(v),
+                Err(e) => failed(&e),
+            },
+            Request::GetParent {
+                algo,
+                version,
+                vertex,
+            } => match check_algo(algo).and_then(|a| replica.get_parent(a, version, vertex)) {
+                Ok(p) => Response::Parent(p),
+                Err(e) => failed(&e),
+            },
+            Request::GetModified { algo, version } => {
+                match check_algo(algo).and_then(|a| replica.get_modified_vertices(a, version)) {
+                    Ok(vs) => Response::Modified(vs),
+                    Err(e) => failed(&e),
+                }
+            }
+            Request::CurrentVersion => Response::Version(replica.current_version()),
+            Request::Stats => Response::Stats(replica_stats(&replica, &stats)),
+            // Everything mutating — and nested subscriptions — is
+            // refused: replicas are read-only and not chainable (yet;
+            // see the ROADMAP follow-ons).
+            Request::Update(_)
+            | Request::Txn(_)
+            | Request::Release(_)
+            | Request::Subscribe { .. } => failed(&Error::Protocol(
+                "read-only replica: updates must go to the leader".into(),
+            )),
+        };
+        let mut payload = resp.encode(req_id);
+        if payload.len() > MAX_RESPONSE_FRAME {
+            let e = Error::Protocol(format!(
+                "modification set encodes to {} bytes, over the \
+                 {MAX_RESPONSE_FRAME}-byte response limit",
+                payload.len()
+            ));
+            payload = failed(&e).encode(req_id);
+        }
+        if write_frame(&mut w, &payload).is_err() || w.flush().is_err() {
+            break;
+        }
+    }
+    let _ = r.into_inner().shutdown(Shutdown::Both);
+}

@@ -36,6 +36,10 @@ pub struct NetConfig {
     /// are unanswered the reader stops consuming the socket, so TCP
     /// flow control propagates the backpressure to the client.
     pub window: usize,
+    /// Cadence of replication heartbeats on subscribed connections —
+    /// both the idle keep-alive and the lag reference (each heartbeat
+    /// carries the leader's current version).
+    pub heartbeat_interval: Duration,
 }
 
 impl Default for NetConfig {
@@ -44,6 +48,7 @@ impl Default for NetConfig {
             listen: "127.0.0.1:0".into(),
             max_frame: MAX_FRAME,
             window: 256,
+            heartbeat_interval: Duration::from_millis(100),
         }
     }
 }
@@ -204,9 +209,12 @@ impl NetServer {
                     };
                     let conn_server = Arc::clone(&accept_server);
                     let conn_net = accept_net.clone();
+                    let conn_shutdown = Arc::clone(&accept_shutdown);
                     let handle = std::thread::Builder::new()
                         .name("risgraph-net-conn".into())
-                        .spawn(move || handle_connection(conn_server, stream, conn_net))
+                        .spawn(move || {
+                            handle_connection(conn_server, stream, conn_net, conn_shutdown)
+                        })
                         .expect("spawn connection thread");
                     let mut conns = accept_conns.lock().unwrap();
                     // Prune finished connections so a long-running
@@ -321,6 +329,9 @@ fn stats_report(server: &Server) -> StatsReport {
         latency_p99_ns: lat.quantile_ns(0.99),
         latency_p999_ns: lat.quantile_ns(0.999),
         latency_max_ns: if lat.count() == 0 { 0 } else { lat.max_ns() },
+        followers: server.feed().map_or(0, |f| f.followers() as u64),
+        replication_records: server.feed().map_or(0, |f| f.len()),
+        replication_lag: 0, // a leader is its own watermark
     }
 }
 
@@ -385,8 +396,66 @@ impl Drop for CloseOnDrop {
     }
 }
 
+/// Stream the replication feed to a subscribed follower. Runs on the
+/// connection's reader thread (which stops reading the socket — the
+/// subscription is one-way). Every outbound frame passes the bounded
+/// writer budget, so a slow follower throttles *this* thread only; the
+/// epoch loop publishes to the feed without ever blocking on us.
+/// Returns when the client is gone (send fails), the server drains, or
+/// the feed stops growing during shutdown.
+fn stream_feed(
+    server: &Server,
+    feed: &risgraph_core::ReplicationFeed,
+    mut next: u64,
+    out: &Outbound,
+    sub_id: u64,
+    shutdown: &AtomicBool,
+    heartbeat: Duration,
+) {
+    // `records` is the next-to-send index of *this* subscription:
+    // frames are ordered, so a follower that has applied fewer when the
+    // heartbeat arrives knows frames were lost in between (its gap
+    // detector for drops at the stream tail).
+    let beat = |next: u64| Response::Heartbeat {
+        records: next,
+        version: server.current_version(),
+    };
+    // Subscribe acknowledgement: an immediate heartbeat tells the
+    // follower where the stream stands before any record arrives.
+    if !out.send(beat(next).encode(sub_id)) {
+        return;
+    }
+    let mut last_beat = std::time::Instant::now();
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(rec) = feed.get(next) {
+            if !out.send(risgraph_common::protocol::encode_wal_epoch(&rec, sub_id)) {
+                return;
+            }
+            next += 1;
+        } else {
+            // Caught up: wait for growth in short slices so shutdown
+            // and the heartbeat cadence stay responsive.
+            feed.wait_beyond(next, heartbeat.min(Duration::from_millis(50)));
+        }
+        if last_beat.elapsed() >= heartbeat {
+            if !out.send(beat(next).encode(sub_id)) {
+                return;
+            }
+            last_beat = std::time::Instant::now();
+        }
+    }
+}
+
 /// One connection: reader (this thread) + replier + writer.
-fn handle_connection(server: Arc<Server>, stream: TcpStream, net: NetConfig) {
+fn handle_connection(
+    server: Arc<Server>,
+    stream: TcpStream,
+    net: NetConfig,
+    shutdown: Arc<AtomicBool>,
+) {
     let session = Arc::new(server.session());
     let window = Arc::new(Window::new());
     let window_guard = CloseOnDrop(Arc::clone(&window));
@@ -600,6 +669,55 @@ fn handle_connection(server: Arc<Server>, stream: TcpStream, net: NetConfig) {
                 if !out.send(resp.encode(req_id)) {
                     break;
                 }
+            }
+            // Replication: flip this connection into a one-way feed
+            // stream. The reader stops consuming requests; the stream
+            // runs until the follower disconnects or the server drains.
+            Request::Subscribe { from } => {
+                let Some(feed) = server.feed() else {
+                    out.send_failed(
+                        &session,
+                        req_id,
+                        &Error::Protocol(
+                            "replication disabled on this server (max_followers = 0)".into(),
+                        ),
+                    );
+                    continue;
+                };
+                if from > feed.len() {
+                    out.send_failed(
+                        &session,
+                        req_id,
+                        &Error::Protocol(format!(
+                            "subscribe offset {from} beyond the feed ({} records)",
+                            feed.len()
+                        )),
+                    );
+                    continue;
+                }
+                if !feed.try_register() {
+                    out.send_failed(
+                        &session,
+                        req_id,
+                        &Error::Protocol(format!(
+                            "follower limit reached ({} slots)",
+                            feed.max_followers()
+                        )),
+                    );
+                    continue;
+                }
+                let feed = Arc::clone(feed);
+                stream_feed(
+                    &server,
+                    &feed,
+                    from,
+                    &out,
+                    req_id,
+                    &shutdown,
+                    net.heartbeat_interval,
+                );
+                feed.unregister();
+                break;
             }
         }
     }

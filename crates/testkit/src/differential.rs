@@ -152,16 +152,20 @@ pub type StoreFingerprint = (u64, Vec<Vec<(u64, u64, u32)>>);
 /// total — the canonical "store contents" fingerprint two equivalent
 /// servers must share, whatever their backend layout.
 pub fn store_fingerprint<G: DynamicGraph>(engine: &Engine<G>, n: u64) -> StoreFingerprint {
-    engine.with_store(|s| {
-        let mut all = Vec::with_capacity(n as usize);
-        for v in 0..n {
-            let mut adj = Vec::new();
-            s.scan_out(v, &mut |d, w, c| adj.push((d, w, c)));
-            adj.sort_unstable();
-            all.push(adj);
-        }
-        (s.num_edges(), all)
-    })
+    engine.with_store(|s| raw_store_fingerprint(s, n))
+}
+
+/// [`store_fingerprint`] for a bare store (no engine around it) — what
+/// the cold-restart suite compares a reopened block file against.
+pub fn raw_store_fingerprint<G: DynamicGraph>(store: &G, n: u64) -> StoreFingerprint {
+    let mut all = Vec::with_capacity(n as usize);
+    for v in 0..n {
+        let mut adj = Vec::new();
+        store.scan_out(v, &mut |d, w, c| adj.push((d, w, c)));
+        adj.sort_unstable();
+        all.push(adj);
+    }
+    (store.num_edges(), all)
 }
 
 /// The vertices a stream mentions (the session's region), sorted.

@@ -1,0 +1,329 @@
+//! A fault-injecting TCP proxy for the replication stream.
+//!
+//! [`FaultyProxy`] sits between a follower and its leader: the
+//! follower connects to the proxy, the proxy connects onward to the
+//! leader. Upstream bytes (the subscribe request) pass through
+//! verbatim; **downstream** traffic is handled frame-by-frame so the
+//! proxy can inject exactly the faults a real network produces —
+//! dropped, delayed, duplicated, corrupted and truncated frames, plus
+//! outright connection kills mid-stream. Faults fire on deterministic
+//! frame-counter periods ([`FaultPlan`]), with a global cap
+//! ([`FaultPlan::max_faults`]) after which the proxy turns transparent
+//! — so a fault-hammered follower is *guaranteed* to converge if its
+//! reconnect/resubscribe/dedup logic is correct, which is precisely
+//! what `tests/replication_differential.rs` asserts.
+//!
+//! The counters run across connections: a follower that reconnects
+//! after a kill resumes mid-plan rather than replaying the same fault
+//! forever.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use risgraph_common::crc::crc32;
+use risgraph_common::protocol::{read_frame, FRAME_HEADER, MAX_RESPONSE_FRAME};
+
+/// Deterministic downstream fault schedule. Each `*_period` fires on a
+/// distinct phase of the global downstream frame counter (`0` disables
+/// that fault); `kill_after_frames` tears the connection down every
+/// time the counter passes a multiple of it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Every `n`-th frame (phase 2) is silently dropped — the follower
+    /// sees a record gap and must resubscribe.
+    pub drop_period: u64,
+    /// Every `n`-th frame (phase 1) has a payload byte flipped — the
+    /// CRC check fails and the follower must treat the stream as dead.
+    pub corrupt_period: u64,
+    /// Every `n`-th frame (phase 3) is sent twice — the follower must
+    /// skip the duplicate idempotently.
+    pub duplicate_period: u64,
+    /// Every `n`-th frame (phase 4) is cut in half and the connection
+    /// killed — a torn frame mid-transfer.
+    pub truncate_period: u64,
+    /// Every `n`-th frame (phase 0) is held for `delay` first.
+    pub delay_period: u64,
+    /// The hold applied on `delay_period` frames.
+    pub delay: Duration,
+    /// Kill the connection outright after this many forwarded frames
+    /// (0 disables) — the kill-and-reconnect-mid-epoch scenario.
+    pub kill_after_frames: u64,
+    /// Stop injecting after this many faults in total, so the stream
+    /// eventually heals and the follower can converge.
+    pub max_faults: u64,
+}
+
+impl FaultPlan {
+    /// A plan exercising every fault class on small periods: suitable
+    /// for differential tests that drive a few hundred frames.
+    pub fn hostile(max_faults: u64) -> FaultPlan {
+        FaultPlan {
+            drop_period: 13,
+            corrupt_period: 11,
+            duplicate_period: 5,
+            truncate_period: 23,
+            delay_period: 7,
+            delay: Duration::from_millis(2),
+            kill_after_frames: 37,
+            max_faults,
+        }
+    }
+}
+
+/// What the proxy decided to do with one downstream frame.
+enum Action {
+    Forward,
+    Delay,
+    Drop,
+    Corrupt,
+    Duplicate,
+    Truncate,
+    Kill,
+}
+
+/// Counters for assertions ("the plan actually fired").
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    /// Downstream frames seen (faulted or not).
+    pub frames: AtomicU64,
+    /// Faults injected (all classes, kills included).
+    pub faults: AtomicU64,
+    /// Connections accepted from the follower side.
+    pub connections: AtomicU64,
+}
+
+/// The proxy itself; see the module docs. Dropping it (or calling
+/// [`FaultyProxy::stop`]) tears down the listener and every live
+/// proxied connection.
+pub struct FaultyProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ProxyStats>,
+    accept_thread: Option<JoinHandle<()>>,
+    live: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl FaultyProxy {
+    /// Start a proxy forwarding to `target` under `plan`. Point the
+    /// follower at [`FaultyProxy::addr`].
+    pub fn start(target: SocketAddr, plan: FaultPlan) -> FaultyProxy {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+        let addr = listener.local_addr().expect("proxy addr");
+        listener.set_nonblocking(true).expect("nonblocking proxy");
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ProxyStats::default());
+        let live: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let frame_no = Arc::new(AtomicU64::new(0));
+
+        let t_stop = Arc::clone(&stop);
+        let t_stats = Arc::clone(&stats);
+        let t_live = Arc::clone(&live);
+        let accept_thread = std::thread::Builder::new()
+            .name("risgraph-fault-proxy".into())
+            .spawn(move || loop {
+                if t_stop.load(Ordering::Acquire) {
+                    return;
+                }
+                let client = match listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(_) => {
+                        std::thread::sleep(Duration::from_millis(2));
+                        continue;
+                    }
+                };
+                let Ok(upstream) = TcpStream::connect(target) else {
+                    let _ = client.shutdown(Shutdown::Both);
+                    continue;
+                };
+                t_stats.connections.fetch_add(1, Ordering::Relaxed);
+                let _ = client.set_nodelay(true);
+                let _ = upstream.set_nodelay(true);
+                {
+                    let mut live = t_live.lock().unwrap();
+                    if let (Ok(c), Ok(u)) = (client.try_clone(), upstream.try_clone()) {
+                        live.push(c);
+                        live.push(u);
+                    }
+                }
+                let conn_stats = Arc::clone(&t_stats);
+                let conn_frames = Arc::clone(&frame_no);
+                std::thread::Builder::new()
+                    .name("risgraph-fault-proxy-conn".into())
+                    .spawn(move || {
+                        proxy_connection(client, upstream, plan, conn_stats, conn_frames)
+                    })
+                    .expect("spawn proxy connection");
+            })
+            .expect("spawn proxy accept");
+
+        FaultyProxy {
+            addr,
+            stop,
+            stats,
+            accept_thread: Some(accept_thread),
+            live,
+        }
+    }
+
+    /// Where the follower should connect.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Injection counters.
+    pub fn stats(&self) -> &ProxyStats {
+        &self.stats
+    }
+
+    /// Stop proxying and close every live connection.
+    pub fn stop(mut self) {
+        self.do_stop();
+    }
+
+    fn do_stop(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for stream in self.live.lock().unwrap().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FaultyProxy {
+    fn drop(&mut self) {
+        self.do_stop();
+    }
+}
+
+fn decide(plan: &FaultPlan, n: u64, faults_so_far: u64) -> Action {
+    if faults_so_far >= plan.max_faults {
+        return Action::Forward;
+    }
+    let fires = |period: u64, phase: u64| period != 0 && n % period == phase % period.max(1);
+    if plan.kill_after_frames != 0 && n != 0 && n.is_multiple_of(plan.kill_after_frames) {
+        return Action::Kill;
+    }
+    if fires(plan.truncate_period, 4) {
+        return Action::Truncate;
+    }
+    if fires(plan.corrupt_period, 1) {
+        return Action::Corrupt;
+    }
+    if fires(plan.drop_period, 2) {
+        return Action::Drop;
+    }
+    if fires(plan.duplicate_period, 3) {
+        return Action::Duplicate;
+    }
+    if fires(plan.delay_period, 0) {
+        return Action::Delay;
+    }
+    Action::Forward
+}
+
+/// Re-frame `payload` with a *valid* header (the proxy re-checks
+/// nothing; corruption is applied after the CRC is computed).
+fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// One proxied connection: uplink verbatim, downlink frame-aware with
+/// injected faults. Returns when either side dies or a kill fires.
+fn proxy_connection(
+    client: TcpStream,
+    upstream: TcpStream,
+    plan: FaultPlan,
+    stats: Arc<ProxyStats>,
+    frame_no: Arc<AtomicU64>,
+) {
+    // Uplink: follower → leader, byte-for-byte (the subscribe frame).
+    let (mut up_read, mut up_write) = match (client.try_clone(), upstream.try_clone()) {
+        (Ok(r), Ok(w)) => (r, w),
+        _ => return,
+    };
+    let uplink = std::thread::Builder::new()
+        .name("risgraph-fault-proxy-up".into())
+        .spawn(move || {
+            let mut buf = [0u8; 4096];
+            loop {
+                match up_read.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if up_write.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            let _ = up_write.shutdown(Shutdown::Write);
+        })
+        .expect("spawn proxy uplink");
+
+    // Downlink: leader → follower, frame-aware.
+    let mut from_leader = std::io::BufReader::new(upstream.try_clone().expect("clone upstream"));
+    let mut to_client = client.try_clone().expect("clone client");
+    let kill = |a: &TcpStream, b: &TcpStream| {
+        let _ = a.shutdown(Shutdown::Both);
+        let _ = b.shutdown(Shutdown::Both);
+    };
+    while let Ok(Some(payload)) = read_frame(&mut from_leader, MAX_RESPONSE_FRAME) {
+        let n = frame_no.fetch_add(1, Ordering::Relaxed);
+        stats.frames.fetch_add(1, Ordering::Relaxed);
+        let action = decide(&plan, n, stats.faults.load(Ordering::Relaxed));
+        let fault = || stats.faults.fetch_add(1, Ordering::Relaxed);
+        let ok = match action {
+            Action::Forward => to_client.write_all(&frame_bytes(&payload)).is_ok(),
+            Action::Delay => {
+                fault();
+                std::thread::sleep(plan.delay);
+                to_client.write_all(&frame_bytes(&payload)).is_ok()
+            }
+            Action::Drop => {
+                fault();
+                true
+            }
+            Action::Corrupt => {
+                fault();
+                let mut bytes = frame_bytes(&payload);
+                let last = bytes.len() - 1;
+                bytes[last] ^= 0x5A; // payload byte: CRC now mismatches
+                to_client.write_all(&bytes).is_ok()
+            }
+            Action::Duplicate => {
+                fault();
+                let bytes = frame_bytes(&payload);
+                to_client.write_all(&bytes).is_ok() && to_client.write_all(&bytes).is_ok()
+            }
+            Action::Truncate => {
+                fault();
+                let bytes = frame_bytes(&payload);
+                let _ = to_client.write_all(&bytes[..bytes.len() / 2]);
+                let _ = to_client.flush();
+                kill(&client, &upstream);
+                false
+            }
+            Action::Kill => {
+                fault();
+                kill(&client, &upstream);
+                false
+            }
+        };
+        if !ok {
+            break;
+        }
+    }
+    kill(&client, &upstream);
+    let _ = uplink.join();
+}

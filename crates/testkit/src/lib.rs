@@ -24,10 +24,15 @@
 //! * [`differential`] — drive identical per-session streams through two
 //!   servers — in-process sessions ([`drive_sessions`]) or TCP clients
 //!   ([`drive_net_sessions`]) — and assert equivalent replies, history,
-//!   values and store contents.
+//!   values and store contents;
+//! * [`faults`] — a fault-injecting TCP proxy for the replication
+//!   stream: deterministic drop/delay/duplicate/corrupt/truncate/kill
+//!   schedules with a healing cap, so follower convergence under
+//!   faults is a checkable property.
 
 pub mod builders;
 pub mod differential;
+pub mod faults;
 pub mod oracle;
 pub mod streams;
 
@@ -36,9 +41,10 @@ pub use builders::{
     temp_path,
 };
 pub use differential::{
-    assert_servers_equivalent, drive_net_sessions, drive_sessions, store_fingerprint, SessionTrace,
-    StepTrace,
+    assert_servers_equivalent, drive_net_sessions, drive_sessions, raw_store_fingerprint,
+    store_fingerprint, SessionTrace, StepTrace,
 };
+pub use faults::{FaultPlan, FaultyProxy, ProxyStats};
 pub use oracle::{apply_update, assert_engine_matches, oracle_values, LiveEdge};
 pub use streams::{
     disjoint_session_streams, random_stream, resolve_step, safe_churn, RegionStreamConfig, Step,

@@ -64,6 +64,11 @@ struct Args {
     /// `risgraph serve …`: run the TCP front end instead of the shell.
     serve: bool,
     listen: String,
+    /// `serve --follow ADDR`: run as a read replica of the leader at
+    /// ADDR instead of serving writes.
+    follow: Option<String>,
+    /// Leader-side replication follower slots (serve mode; default 4).
+    max_followers: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -76,6 +81,8 @@ fn parse_args() -> Args {
         wal: None,
         serve: false,
         listen: "127.0.0.1:0".to_string(),
+        follow: None,
+        max_followers: None,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -125,13 +132,34 @@ fn parse_args() -> Args {
                 parsed.listen = args[i + 1].clone();
                 i += 2;
             }
+            "--follow" if i + 1 < args.len() => {
+                parsed.follow = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--max-followers" if i + 1 < args.len() => {
+                parsed.max_followers = match args[i + 1].parse::<usize>() {
+                    Ok(n) => Some(n),
+                    Err(_) => {
+                        eprintln!("--max-followers takes a follower count (0 disables)");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: risgraph [serve] [--algorithm bfs|sssp|sswp|wcc|reach] [--root VID] \
-                     [--store {}] [--shards N] [--wal PATH] [--listen ADDR]\n\n\
+                     [--store {}] [--shards N] [--wal PATH] [--listen ADDR] [--follow ADDR] \
+                     [--max-followers N]\n\n\
                      serve       run the TCP wire-protocol server (crates/net) instead of\n\
                      \u{20}           the stdin shell; Ctrl-C drains gracefully\n\
                      --listen    address to bind in serve mode (default 127.0.0.1:0)\n\
+                     --follow    serve as a read replica of the leader at ADDR: stream its\n\
+                     \u{20}           epoch WAL records, apply them locally, and answer the\n\
+                     \u{20}           read-only Table 1 surface on --listen at the applied\n\
+                     \u{20}           watermark (lag reported in STATS)\n\
+                     --max-followers N  leader-side replication slots (serve mode;\n\
+                     \u{20}           default 4, 0 disables the feed)\n\
                      --shards N  serve through the interactive tier (sessions + epoch\n\
                      \u{20}           loop) with N parallel safe-phase shard executors;\n\
                      \u{20}           in shell mode, omit it to drive the engine directly\n\
@@ -171,12 +199,71 @@ fn install_signal_handlers() {
 #[cfg(not(unix))]
 fn install_signal_handlers() {}
 
+/// `risgraph serve --follow ADDR`: run as a read replica — stream the
+/// leader's epoch WAL records, apply them locally, serve the read-only
+/// Table 1 surface on `--listen`, and report lag on exit.
+fn run_follow(args: Args, leader: String) -> ! {
+    use risgraph::net::{FollowerConfig, ReplicaServer};
+    let alg = make_algorithm(&args.algorithm, args.root);
+    let config = ServerConfig {
+        backend: args.backend.clone(),
+        ..ServerConfig::default()
+    };
+    let replica = ReplicaServer::start(
+        vec![alg],
+        1 << 16,
+        config,
+        FollowerConfig {
+            listen: Some(args.listen.clone()),
+            ..FollowerConfig::to_leader(leader.clone())
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot follow {leader}: {e}");
+        std::process::exit(2);
+    });
+    install_signal_handlers();
+    println!(
+        "risgraph replica following {leader} — algorithm {} (root {}), store {}, \
+         read-only queries on {}; Ctrl-C to exit",
+        args.algorithm.to_uppercase(),
+        args.root,
+        args.backend.label(),
+        replica
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "<none>".into()),
+    );
+    while !STOP.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    use std::sync::atomic::Ordering;
+    let s = replica.stats();
+    println!(
+        "\nreplica: version={} lag={} records={} heartbeats={} reconnects={} stream_errors={}",
+        replica.replica().current_version(),
+        replica.lag(),
+        s.records_applied.load(Ordering::Relaxed),
+        s.heartbeats.load(Ordering::Relaxed),
+        s.reconnects.load(Ordering::Relaxed),
+        s.stream_errors.load(Ordering::Relaxed),
+    );
+    replica.shutdown();
+    std::process::exit(0);
+}
+
 /// `risgraph serve`: the TCP front end, draining gracefully on SIGINT.
 fn run_serve(args: Args) -> ! {
+    if let Some(leader) = args.follow.clone() {
+        run_follow(args, leader);
+    }
     let alg = make_algorithm(&args.algorithm, args.root);
     let mut config = ServerConfig {
         backend: args.backend.clone(),
         wal_path: args.wal.clone(),
+        // Serve mode publishes the replication feed by default (4
+        // follower slots); --max-followers 0 disables it.
+        max_followers: args.max_followers.unwrap_or(4),
         ..ServerConfig::default()
     };
     if let Some(n) = args.shards {
@@ -198,13 +285,14 @@ fn run_serve(args: Args) -> ! {
     });
     install_signal_handlers();
     println!(
-        "risgraph serving on {} — algorithm {} (root {}), store {}, {} shard(s){}; \
-         Ctrl-C to drain and exit",
+        "risgraph serving on {} — algorithm {} (root {}), store {}, {} shard(s), \
+         {} follower slot(s){}; Ctrl-C to drain and exit",
         net.local_addr(),
         args.algorithm.to_uppercase(),
         args.root,
         args.backend.label(),
         shards,
+        args.max_followers.unwrap_or(4),
         args.wal
             .as_deref()
             .map(|p| format!(", wal {}", p.display()))

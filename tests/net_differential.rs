@@ -176,25 +176,73 @@ fn sharded_network_equals_serial_in_process() {
     );
 }
 
-/// 30 seconds of pipelined churn from multiple connections: zero
-/// protocol errors, per-connection version monotonicity, and a live
+/// 30 seconds of pipelined churn from multiple connections **with a
+/// replication follower attached**: zero protocol errors on both the
+/// client connections and the replication stream, per-connection
+/// version monotonicity, a monotone follower watermark whose lag never
+/// wedges (it converges to zero once the churn stops), and a live
 /// server afterwards. Slow-job material.
 #[test]
 #[ignore = "slow: 30 s soak, run via `cargo test --release -- --ignored`"]
 fn net_soak() {
+    use risgraph_net::{FollowerConfig, ReplicaServer};
     let capacity = 1 << 10;
+    let preload = [(0, 1, 0), (1, 2, 0), (2, 3, 0)];
     let net = loopback_net_server(
         wcc_algorithms(),
         capacity,
         ServerConfig {
             backend: BackendKind::IaHash,
+            max_followers: 1,
             ..ServerConfig::default()
         },
     );
-    net.server().load_edges(&[(0, 1, 0), (1, 2, 0), (2, 3, 0)]);
+    net.server().load_edges(&preload);
     let addr = net.local_addr();
+    // Attach the follower before any update traffic; bulk loads are
+    // not replicated, so it preloads the same base edges.
+    let follower = Arc::new(
+        ReplicaServer::start(
+            wcc_algorithms(),
+            capacity,
+            ServerConfig {
+                backend: BackendKind::IaHash,
+                max_followers: 0,
+                ..ServerConfig::default()
+            },
+            FollowerConfig::to_leader(addr.to_string()),
+        )
+        .expect("follower"),
+    );
+    follower.replica().load_edges(&preload);
     let deadline = Instant::now() + Duration::from_secs(30);
     let window = 64usize;
+
+    // Sample the follower throughout the soak: its applied watermark
+    // must be monotone (replication progresses, never regresses) and
+    // the stream must stay clean.
+    let stop_sampling = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler = {
+        let stop = Arc::clone(&stop_sampling);
+        let follower = Arc::clone(&follower);
+        std::thread::spawn(move || {
+            let mut last_watermark = 0u64;
+            let mut worst_lag = 0u64;
+            let mut samples = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let watermark = follower.replica().current_version();
+                assert!(
+                    watermark >= last_watermark,
+                    "follower watermark regressed: {last_watermark} -> {watermark}"
+                );
+                last_watermark = watermark;
+                worst_lag = worst_lag.max(follower.lag());
+                samples += 1;
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            (samples, worst_lag)
+        })
+    };
 
     let handles: Vec<_> = (0..4u64)
         .map(|t| {
@@ -248,11 +296,42 @@ fn net_soak() {
     let c = NetClient::connect(addr).unwrap();
     assert!(c.ins_edge(Edge::new(3, 4, 0)).unwrap().outcome.is_ok());
     let stats = c.stats().unwrap();
+    assert!(stats.latency_count > 0);
+    assert_eq!(stats.followers, 1, "the follower stayed subscribed");
+
+    // The follower drains the feed tail: its watermark converges to
+    // the leader's final version with a clean stream — zero protocol
+    // errors, zero rejections, no duplicate records.
+    let leader_version = net.server().current_version();
+    let drain_deadline = Instant::now() + Duration::from_secs(30);
+    while follower.replica().current_version() < leader_version || follower.lag() > 0 {
+        assert!(
+            Instant::now() < drain_deadline,
+            "follower wedged at {} (leader {leader_version})",
+            follower.replica().current_version()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    stop_sampling.store(true, std::sync::atomic::Ordering::Release);
+    let (samples, worst_lag) = sampler.join().unwrap();
+    use std::sync::atomic::Ordering as AtOrd;
+    let fstats = follower.stats();
+    assert_eq!(
+        fstats.stream_errors.load(AtOrd::Relaxed),
+        0,
+        "stream errors"
+    );
+    assert_eq!(fstats.rejections.load(AtOrd::Relaxed), 0, "rejections");
+    assert_eq!(fstats.duplicates_skipped.load(AtOrd::Relaxed), 0, "dups");
+    assert_eq!(fstats.reconnects.load(AtOrd::Relaxed), 0, "reconnects");
+    let applied = fstats.records_applied.load(AtOrd::Relaxed);
+    assert!(applied > 0, "follower never applied a record");
     println!(
-        "net_soak: {total} ops, p50={}ns p99={}ns p999={}ns",
+        "net_soak: {total} ops, p50={}ns p99={}ns p999={}ns; follower applied \
+         {applied} records over {samples} samples, worst lag {worst_lag} versions",
         stats.latency_p50_ns, stats.latency_p99_ns, stats.latency_p999_ns
     );
-    assert!(stats.latency_count > 0);
     drop(c);
+    Arc::try_unwrap(follower).ok().unwrap().shutdown();
     net.shutdown();
 }

@@ -1,0 +1,341 @@
+//! The leader ≡ follower differential suite.
+//!
+//! A [`ReplicaServer`] subscribed to a leader's replication feed must
+//! converge to *exactly* the leader's observable state: the same store
+//! fingerprint (count-annotated adjacency, byte-for-byte semantics),
+//! the same total version count, and the same `get_value` /
+//! `get_parent` / `get_modified_vertices` answer at **every version any
+//! session observed** — the paper's Table 1 read surface, served from a
+//! replica at its applied watermark. Checked on IA_Hash and the
+//! mmap-backed OOC store, at `shards = 1` and `shards = 4`, with the
+//! follower both attached from the start (live tail) and attached late
+//! (pure catch-up), and — the archetype's point — through a
+//! fault-injecting proxy that drops, delays, duplicates, corrupts and
+//! truncates frames and kills the connection mid-stream
+//! ([`risgraph_testkit::faults`]): the follower must reconnect,
+//! resubscribe at its watermark, skip duplicates, and still converge
+//! to the identical state.
+//!
+//! Determinism protocol as in the other differential suites: disjoint
+//! per-session vertex regions and one engine worker thread on both
+//! sides, so dependency-tree parents are comparable.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use risgraph::algorithms::Wcc;
+use risgraph::core::replication::Replica;
+use risgraph::prelude::*;
+use risgraph_net::{FollowerConfig, NetConfig, NetServer, ReplicaServer};
+use risgraph_testkit::{
+    disjoint_session_streams, drive_net_sessions, oracle_values, server_config, store_fingerprint,
+    FaultPlan, FaultyProxy, RegionStreamConfig, SessionTrace,
+};
+
+fn wcc_algorithms() -> Vec<DynAlgorithm> {
+    vec![Arc::new(Wcc::new()) as DynAlgorithm]
+}
+
+fn streams_for(seed: u64) -> (Vec<Vec<Update>>, usize) {
+    let cfg = RegionStreamConfig {
+        sessions: 4,
+        region: 16,
+        steps: 80,
+        seed,
+        ..RegionStreamConfig::default()
+    };
+    (disjoint_session_streams(&cfg), cfg.capacity())
+}
+
+/// The vertices a stream mentions, sorted.
+fn touched_vertices(stream: &[Update]) -> Vec<u64> {
+    let mut vs: Vec<u64> = stream
+        .iter()
+        .flat_map(|u| match u {
+            Update::InsEdge(e) | Update::DelEdge(e) => vec![e.src, e.dst],
+            Update::InsVertex(v) | Update::DelVertex(v) => vec![*v],
+        })
+        .collect();
+    vs.sort_unstable();
+    vs.dedup();
+    vs
+}
+
+/// Wait until the replica's applied version reaches `version` with
+/// zero lag.
+fn await_convergence(label: &str, replica: &ReplicaServer, version: u64, secs: u64) {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while replica.replica().current_version() < version || replica.lag() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "{label}: replica stuck at version {} (lag {}, {} records, {} reconnects, \
+             {} stream errors), leader at {version}",
+            replica.replica().current_version(),
+            replica.lag(),
+            replica.stats().records_applied.load(Ordering::Relaxed),
+            replica.stats().reconnects.load(Ordering::Relaxed),
+            replica.stats().stream_errors.load(Ordering::Relaxed),
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Every observable the replica serves must match the leader: final
+/// fingerprints and snapshots, and the full versioned query surface at
+/// every version any session observed — checked against the leader
+/// *and* the session-local oracle.
+fn assert_replica_matches(
+    label: &str,
+    leader: &Server,
+    replica: &Replica,
+    traces: &[SessionTrace],
+    streams: &[Vec<Update>],
+    n: usize,
+) {
+    assert_eq!(
+        replica.current_version(),
+        leader.current_version(),
+        "{label}: total versions"
+    );
+    assert_eq!(
+        store_fingerprint(replica.engine(), n as u64),
+        store_fingerprint(leader.engine(), n as u64),
+        "{label}: store fingerprints"
+    );
+    assert_eq!(
+        replica.engine().values_snapshot(0, n),
+        leader.engine().values_snapshot(0, n),
+        "{label}: final value snapshots"
+    );
+
+    let query = leader.session();
+    for (i, stream) in streams.iter().enumerate() {
+        let touched = touched_vertices(stream);
+        let mut live = Vec::new();
+        for (t, (step, u)) in traces[i].steps.iter().zip(stream).enumerate() {
+            if !step.ok {
+                continue;
+            }
+            risgraph_testkit::apply_update(&mut live, u);
+            let ctx = format!("{label}: session {i} step {t} version {}", step.version);
+            let want = oracle_values(&Wcc::new(), n, &live);
+            for &v in &touched {
+                let lv = query.get_value(0, step.version, v).unwrap();
+                let rv = replica.get_value(0, step.version, v).unwrap();
+                assert_eq!(rv, lv, "{ctx}: value of {v}");
+                assert_eq!(rv, want[v as usize], "{ctx}: oracle value of {v}");
+                assert_eq!(
+                    replica.get_parent(0, step.version, v).unwrap(),
+                    query.get_parent(0, step.version, v).unwrap(),
+                    "{ctx}: parent of {v}"
+                );
+            }
+            let mut lm = query.get_modified_vertices(0, step.version).unwrap();
+            let mut rm = replica.get_modified_vertices(0, step.version).unwrap();
+            lm.sort_unstable();
+            rm.sort_unstable();
+            assert_eq!(rm, lm, "{ctx}: modified sets");
+        }
+    }
+}
+
+/// Run one leader (behind TCP) and one follower (optionally through a
+/// fault proxy, optionally attached only after the whole load), drive
+/// the streams, and assert full observable equivalence.
+fn replication_differential(
+    label: &str,
+    (leader_backend, shards): (BackendKind, usize),
+    follower_backend: BackendKind,
+    seed: u64,
+    plan: Option<FaultPlan>,
+    late_attach: bool,
+) {
+    let (streams, capacity) = streams_for(seed);
+    let mut leader_cfg = server_config(leader_backend, shards);
+    leader_cfg.max_followers = 2;
+    let net = NetServer::start(
+        wcc_algorithms(),
+        capacity,
+        leader_cfg,
+        NetConfig {
+            heartbeat_interval: Duration::from_millis(20),
+            ..NetConfig::default()
+        },
+    )
+    .expect("leader");
+
+    let proxy = plan.map(|p| FaultyProxy::start(net.local_addr(), p));
+    let follow_addr = proxy
+        .as_ref()
+        .map(|p| p.addr())
+        .unwrap_or_else(|| net.local_addr());
+    let start_follower = || {
+        ReplicaServer::start(
+            wcc_algorithms(),
+            capacity,
+            server_config(follower_backend.clone(), 1),
+            FollowerConfig::to_leader(follow_addr.to_string()),
+        )
+        .expect("follower")
+    };
+    let follower = (!late_attach).then(start_follower);
+
+    let traces = drive_net_sessions(net.local_addr(), &streams);
+    // Late attach: the whole load is already in the feed; the follower
+    // must catch up from record 0.
+    let follower = follower.unwrap_or_else(start_follower);
+
+    let leader_version = net.server().current_version();
+    await_convergence(label, &follower, leader_version, 120);
+    assert_replica_matches(
+        label,
+        net.server(),
+        follower.replica(),
+        &traces,
+        &streams,
+        capacity,
+    );
+
+    let stats = follower.stats();
+    if let Some(proxy) = &proxy {
+        // The plan must actually have fired, and the follower must have
+        // survived it by reconnecting and deduplicating.
+        let faults = proxy.stats().faults.load(Ordering::Relaxed);
+        assert!(faults > 0, "{label}: the fault plan never fired");
+        assert!(
+            stats.reconnects.load(Ordering::Relaxed) > 0,
+            "{label}: faults without a single reconnect"
+        );
+    } else {
+        assert_eq!(
+            stats.stream_errors.load(Ordering::Relaxed),
+            0,
+            "{label}: protocol errors on a clean stream"
+        );
+        assert_eq!(stats.rejections.load(Ordering::Relaxed), 0, "{label}");
+    }
+
+    follower.shutdown();
+    if let Some(proxy) = proxy {
+        proxy.stop();
+    }
+    net.shutdown();
+}
+
+#[test]
+fn follower_matches_leader_on_ia_hash() {
+    for (shards, seed) in [(1usize, 0xF1u64), (4, 0xF2)] {
+        replication_differential(
+            &format!("replication IA_Hash shards {shards}"),
+            (BackendKind::IaHash, shards),
+            BackendKind::IaHash,
+            seed,
+            None,
+            false,
+        );
+    }
+}
+
+#[test]
+fn follower_matches_leader_on_ooc_mmap() {
+    for (shards, seed) in [(1usize, 0xF3u64), (4, 0xF4)] {
+        let (leader_backend, leader_path) =
+            risgraph_testkit::ooc_mmap_backend(&format!("repl-{shards}-leader"));
+        let (follower_backend, follower_path) =
+            risgraph_testkit::ooc_mmap_backend(&format!("repl-{shards}-follower"));
+        replication_differential(
+            &format!("replication OOC_MMAP shards {shards}"),
+            (leader_backend, shards),
+            follower_backend,
+            seed,
+            None,
+            false,
+        );
+        risgraph_testkit::remove_ooc_files(&leader_path);
+        risgraph_testkit::remove_ooc_files(&follower_path);
+    }
+}
+
+/// A replica need not share the leader's backend: an mmap-backed OOC
+/// follower of an in-memory leader converges to the same fingerprint.
+#[test]
+fn cross_backend_follower_matches_leader() {
+    let (follower_backend, follower_path) = risgraph_testkit::ooc_mmap_backend("repl-cross");
+    replication_differential(
+        "replication IA_Hash s4 leader, OOC_MMAP follower",
+        (BackendKind::IaHash, 4),
+        follower_backend,
+        0xF5,
+        None,
+        false,
+    );
+    risgraph_testkit::remove_ooc_files(&follower_path);
+}
+
+/// Pure catch-up: the follower attaches only after the entire load has
+/// been applied and must replay the feed from record 0.
+#[test]
+fn late_follower_catches_up_from_record_zero() {
+    replication_differential(
+        "replication late attach",
+        (BackendKind::IaHash, 4),
+        BackendKind::IaHash,
+        0xF6,
+        None,
+        true,
+    );
+}
+
+#[test]
+fn follower_converges_under_frame_faults_ia_hash() {
+    for (shards, seed) in [(1usize, 0xFA11u64), (4, 0xFA12)] {
+        replication_differential(
+            &format!("faulted replication IA_Hash shards {shards}"),
+            (BackendKind::IaHash, shards),
+            BackendKind::IaHash,
+            seed,
+            Some(FaultPlan::hostile(60)),
+            false,
+        );
+    }
+}
+
+#[test]
+fn follower_converges_under_frame_faults_ooc_mmap() {
+    for (shards, seed) in [(1usize, 0xFA13u64), (4, 0xFA14)] {
+        let (leader_backend, leader_path) =
+            risgraph_testkit::ooc_mmap_backend(&format!("repl-fault-{shards}-leader"));
+        let (follower_backend, follower_path) =
+            risgraph_testkit::ooc_mmap_backend(&format!("repl-fault-{shards}-follower"));
+        replication_differential(
+            &format!("faulted replication OOC_MMAP shards {shards}"),
+            (leader_backend, shards),
+            follower_backend,
+            seed,
+            Some(FaultPlan::hostile(60)),
+            false,
+        );
+        risgraph_testkit::remove_ooc_files(&leader_path);
+        risgraph_testkit::remove_ooc_files(&follower_path);
+    }
+}
+
+/// Kill-and-reconnect mid-epoch, isolated: only the kill fault, firing
+/// frequently, so every few records the follower loses the connection
+/// and must resubscribe at its watermark.
+#[test]
+fn follower_survives_repeated_connection_kills() {
+    replication_differential(
+        "kill-and-reconnect replication",
+        (BackendKind::IaHash, 4),
+        BackendKind::IaHash,
+        0xFA15,
+        Some(FaultPlan {
+            kill_after_frames: 7,
+            max_faults: 50,
+            ..FaultPlan::default()
+        }),
+        false,
+    );
+}
