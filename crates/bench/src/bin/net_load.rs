@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use risgraph_algorithms::Bfs;
 use risgraph_bench::drivers::measure_net_load;
-use risgraph_bench::{fmt_ops, print_table, scale};
+use risgraph_bench::{emit_bench_json, fmt_ops, print_table, scale, BenchRow};
 use risgraph_core::engine::DynAlgorithm;
 use risgraph_core::server::ServerConfig;
 use risgraph_net::{NetConfig, NetServer};
@@ -75,6 +75,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for w in [1usize, window] {
         // A fresh server per discipline so epochs/history from one run
         // cannot flatter the other.
@@ -100,10 +101,12 @@ fn main() {
             fmt_ns(h.quantile_ns(0.999)),
             format!("{}", perf.updates),
         ]);
+        json_rows.push(BenchRow::from_perf(format!("window={w}"), &perf));
         net.shutdown();
     }
     print_table(
         &["discipline", "ops/s", "P50", "P99", "P999", "applied"],
         &rows,
     );
+    emit_bench_json("net_load", &json_rows);
 }

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use risgraph_algorithms::Bfs;
 use risgraph_bench::drivers::measure_shard_scaling;
-use risgraph_bench::{fmt_ops, max_sessions, print_table, scale};
+use risgraph_bench::{emit_bench_json, fmt_ops, max_sessions, print_table, scale, BenchRow};
 use risgraph_core::engine::DynAlgorithm;
 use risgraph_core::server::ServerConfig;
 use risgraph_testkit::safe_churn;
@@ -95,5 +95,13 @@ fn main() {
         "\nSafe updates commute, so the speedup column should track the shard\n\
          count up to the physical core count (the differential suite proves the\n\
          results identical at any shard count)."
+    );
+
+    emit_bench_json(
+        "shard_scaling",
+        &results
+            .iter()
+            .map(|(shards, perf)| BenchRow::from_perf(format!("shards={shards}"), perf))
+            .collect::<Vec<_>>(),
     );
 }

@@ -1,0 +1,112 @@
+//! **Unsafe scaling** — unsafe-phase throughput as the parallel unsafe
+//! phase's worker count grows (§7: affected areas are tiny and mostly
+//! disjoint, so non-overlapping unsafe updates may run concurrently).
+//!
+//! The workload isolates the unsafe phase — it is the complement of
+//! `shard_scaling`'s all-safe churn, pushing the safe ratio to zero
+//! (the regime where the paper's serial unsafe phase dominates): each
+//! session owns a disjoint WCC chain and alternates deleting and
+//! re-inserting its first edge, so *every* update splits or merges a
+//! component (unsafe), its affected area is exactly the session's own
+//! chain, and the conflict grouping always finds `sessions` disjoint
+//! groups. `unsafe_workers = 1` is the paper's serial unsafe phase;
+//! the differential suite proves every worker count observably
+//! identical to it.
+//!
+//! Expected shape: on a multi-core box, throughput grows with the
+//! worker count until `min(sessions, cores)` is exhausted. Knobs:
+//! `RISGRAPH_UNSAFE_SESSIONS` (default 8), `RISGRAPH_UNSAFE_CHAIN`
+//! (vertices per chain, default 256), `RISGRAPH_UNSAFE_PAIRS`
+//! (del/ins pairs per session, default 400).
+
+use std::sync::Arc;
+
+use risgraph_algorithms::Wcc;
+use risgraph_bench::drivers::measure_unsafe_scaling;
+use risgraph_bench::{emit_bench_json, fmt_ops, print_table, BenchRow};
+use risgraph_core::engine::DynAlgorithm;
+use risgraph_core::server::ServerConfig;
+use risgraph_testkit::{unsafe_chain_preload, unsafe_chain_streams, UnsafeChainConfig};
+
+fn env_or(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let cfg = UnsafeChainConfig {
+        sessions: env_or("RISGRAPH_UNSAFE_SESSIONS", 8),
+        chain: env_or("RISGRAPH_UNSAFE_CHAIN", 256) as u64,
+        base: 1,
+        pairs: env_or("RISGRAPH_UNSAFE_PAIRS", 400),
+    };
+    let preload = unsafe_chain_preload(&cfg);
+    let session_streams = unsafe_chain_streams(&cfg);
+    let total_updates: usize = session_streams.iter().map(Vec::len).sum();
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut worker_counts = vec![1usize];
+    while *worker_counts.last().unwrap() * 2 <= cores.max(4).min(cfg.sessions) {
+        worker_counts.push(worker_counts.last().unwrap() * 2);
+    }
+
+    println!(
+        "Unsafe scaling: {} sessions × {}-vertex chains, {} all-unsafe updates, \
+         unsafe_workers {:?}\n",
+        cfg.sessions, cfg.chain, total_updates, worker_counts
+    );
+
+    let mut base = ServerConfig {
+        enable_history: false,
+        ..ServerConfig::default()
+    };
+    base.shards = 1; // isolate the unsafe phase from safe-phase sharding
+    base.engine.threads = 1; // ... and from intra-update parallelism
+    assert!(
+        (cfg.chain as usize) < base.unsafe_footprint_cap,
+        "chains must fit the footprint cap or every epoch falls back to serial"
+    );
+    let results = measure_unsafe_scaling(
+        || vec![Arc::new(Wcc::new()) as DynAlgorithm],
+        &preload,
+        &session_streams,
+        cfg.capacity(),
+        &base,
+        &worker_counts,
+    );
+
+    let baseline = results[0].1.throughput.max(1.0);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(workers, perf)| {
+            vec![
+                workers.to_string(),
+                fmt_ops(perf.throughput),
+                format!("{:.2}x", perf.throughput / baseline),
+                format!("{:.1}", perf.mean_us),
+                format!("{:.2}", perf.p999_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        &["workers", "updates/s", "speedup", "mean µs", "P999 ms"],
+        &rows,
+    );
+    println!(
+        "\nEvery update is unsafe with a session-disjoint affected area, so the\n\
+         speedup column should track the worker count up to min(sessions, cores)\n\
+         (the differential suite proves the results identical at any count)."
+    );
+
+    emit_bench_json(
+        "unsafe_scaling",
+        &results
+            .iter()
+            .map(|(w, perf)| BenchRow::from_perf(format!("unsafe_workers={w}"), perf))
+            .collect::<Vec<_>>(),
+    );
+}

@@ -92,6 +92,43 @@ pub fn measure_shard_scaling(
         .collect()
 }
 
+/// Sweep the unsafe phase's worker count (§7's parallel unsafe phase)
+/// over the same preload and per-session update streams: one
+/// [`measure_server_streams`] run per entry of `worker_counts`, all
+/// other configuration shared. Use an all-unsafe workload whose
+/// per-session affected areas are disjoint (e.g.
+/// `risgraph_testkit::unsafe_chain_streams`) so the conflict grouping
+/// actually admits parallelism; each synchronous session contributes
+/// one pending unsafe update per epoch, so the achievable group count
+/// is `min(sessions, unsafe_workers)`. `unsafe_workers = 1` is the
+/// serial unsafe coordinator baseline. The unsafe-scaling harness and
+/// the ignored scaling test both consume this, so the measured code
+/// path is identical.
+pub fn measure_unsafe_scaling(
+    make_algorithms: impl Fn() -> Vec<DynAlgorithm>,
+    preload: &[(u64, u64, u64)],
+    session_streams: &[Vec<Update>],
+    capacity: usize,
+    base_config: &ServerConfig,
+    worker_counts: &[usize],
+) -> Vec<(usize, PerfResult)> {
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            let mut config = base_config.clone();
+            config.unsafe_workers = workers;
+            let perf = measure_server_streams(
+                make_algorithms(),
+                preload,
+                session_streams,
+                capacity,
+                config,
+            );
+            (workers, perf)
+        })
+        .collect()
+}
+
 /// Run emulated synchronous sessions against a server (§6.2's TPC-C
 /// style setup): `sessions` client threads each own a round-robin
 /// stripe of the update stream, submitting one update at a time and

@@ -1,0 +1,160 @@
+//! Machine-readable bench output.
+//!
+//! Every harness binary prints a human table *and* drops a
+//! `BENCH_<name>.json` next to the working directory so CI (or a
+//! regression-tracking script) can diff runs without scraping tables.
+//! The format is deliberately tiny — a JSON array of per-row objects
+//! with throughput and latency percentiles — and is hand-serialized
+//! here because the workspace carries no JSON dependency.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use crate::drivers::PerfResult;
+
+/// One emitted measurement row.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// What this row measured (e.g. `"shards=4"`, `"window=16"`).
+    pub label: String,
+    /// Updates per second over the whole run.
+    pub ops_per_sec: f64,
+    /// Median client-observed latency, nanoseconds.
+    pub p50_ns: u64,
+    /// P99 client-observed latency, nanoseconds.
+    pub p99_ns: u64,
+    /// P999 client-observed latency, nanoseconds.
+    pub p999_ns: u64,
+    /// Total updates executed.
+    pub updates: u64,
+}
+
+impl BenchRow {
+    /// A row from a [`PerfResult`]'s merged histogram.
+    pub fn from_perf(label: impl Into<String>, perf: &PerfResult) -> Self {
+        BenchRow {
+            label: label.into(),
+            ops_per_sec: perf.throughput,
+            p50_ns: perf.histogram.quantile_ns(0.5),
+            p99_ns: perf.histogram.quantile_ns(0.99),
+            p999_ns: perf.histogram.quantile_ns(0.999),
+            updates: perf.updates,
+        }
+    }
+}
+
+/// Minimal JSON string escaping (labels are plain ASCII in practice,
+/// but a quote or backslash must not corrupt the file).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize `rows` as a JSON array. `ops_per_sec` is rounded to three
+/// decimals so files diff cleanly.
+pub fn to_json(rows: &[BenchRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"label\": \"{}\", \"ops_per_sec\": {:.3}, \"p50_ns\": {}, \
+             \"p99_ns\": {}, \"p999_ns\": {}, \"updates\": {}}}{}\n",
+            escape(&r.label),
+            r.ops_per_sec,
+            r.p50_ns,
+            r.p99_ns,
+            r.p999_ns,
+            r.updates,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+/// Write `BENCH_<name>.json` into the current directory (or
+/// `$RISGRAPH_BENCH_DIR` when set) and return its path. Harness mains
+/// print-and-continue on failure — a read-only working directory must
+/// not kill a measurement run.
+pub fn write_bench_json(name: &str, rows: &[BenchRow]) -> std::io::Result<PathBuf> {
+    let dir = std::env::var("RISGRAPH_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    write_bench_json_in(dir.as_ref(), name, rows)
+}
+
+/// [`write_bench_json`] with the directory given explicitly.
+pub fn write_bench_json_in(
+    dir: &std::path::Path,
+    name: &str,
+    rows: &[BenchRow],
+) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(to_json(rows).as_bytes())?;
+    Ok(path)
+}
+
+/// The print-and-continue wrapper every harness main uses.
+pub fn emit_bench_json(name: &str, rows: &[BenchRow]) {
+    match write_bench_json(name, rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write BENCH_{name}.json: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let rows = vec![
+            BenchRow {
+                label: "w=1".into(),
+                ops_per_sec: 1234.5678,
+                p50_ns: 10,
+                p99_ns: 20,
+                p999_ns: 30,
+                updates: 400,
+            },
+            BenchRow {
+                label: "quote\"back\\slash".into(),
+                ops_per_sec: 0.0,
+                p50_ns: 0,
+                p99_ns: 0,
+                p999_ns: 0,
+                updates: 0,
+            },
+        ];
+        let json = to_json(&rows);
+        assert_eq!(
+            json,
+            "[\n  {\"label\": \"w=1\", \"ops_per_sec\": 1234.568, \"p50_ns\": 10, \
+             \"p99_ns\": 20, \"p999_ns\": 30, \"updates\": 400},\n  \
+             {\"label\": \"quote\\\"back\\\\slash\", \"ops_per_sec\": 0.000, \
+             \"p50_ns\": 0, \"p99_ns\": 0, \"p999_ns\": 0, \"updates\": 0}\n]\n"
+        );
+    }
+
+    #[test]
+    fn write_roundtrip() {
+        let rows = vec![BenchRow {
+            label: "x".into(),
+            ops_per_sec: 1.0,
+            p50_ns: 1,
+            p99_ns: 2,
+            p999_ns: 3,
+            updates: 4,
+        }];
+        let path = write_bench_json_in(&std::env::temp_dir(), "unit_roundtrip", &rows).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), to_json(&rows));
+        let _ = std::fs::remove_file(path);
+    }
+}

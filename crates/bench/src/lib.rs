@@ -16,9 +16,11 @@
 //!   run (default a representative subset: PH,WK,TT,UK).
 
 pub mod drivers;
+pub mod json;
 pub mod table;
 
 pub use drivers::{measure_server, run_per_update, PerfResult};
+pub use json::{emit_bench_json, write_bench_json, BenchRow};
 pub use table::{fmt_duration_us, fmt_ops, print_table};
 
 /// log2 vertex count for generated datasets.

@@ -285,6 +285,21 @@ pub struct StatsReport {
     /// Replication: result-version lag behind the leader (replica) —
     /// 0 on a leader.
     pub replication_lag: u64,
+    /// Unsafe phase-split: conflict groups executed concurrently by
+    /// the parallel unsafe phase (0 with `unsafe_workers = 1`).
+    pub unsafe_parallel_groups: u64,
+    /// Unsafe phase-split: epochs where the parallel unsafe phase
+    /// declined (overlap / probe overflow) and ran serially instead.
+    pub unsafe_serial_fallbacks: u64,
+    /// Epochs sampled in the unsafe-phase duration histogram (epochs
+    /// that executed any unsafe work).
+    pub unsafe_phase_count: u64,
+    /// P50 per-epoch unsafe-phase duration, nanoseconds.
+    pub unsafe_phase_p50_ns: u64,
+    /// P99 per-epoch unsafe-phase duration, nanoseconds.
+    pub unsafe_phase_p99_ns: u64,
+    /// P999 per-epoch unsafe-phase duration, nanoseconds.
+    pub unsafe_phase_p999_ns: u64,
 }
 
 /// A server → client message (one per frame, after the echoed id).
@@ -650,6 +665,12 @@ impl Response {
                     s.followers,
                     s.replication_records,
                     s.replication_lag,
+                    s.unsafe_parallel_groups,
+                    s.unsafe_serial_fallbacks,
+                    s.unsafe_phase_count,
+                    s.unsafe_phase_p50_ns,
+                    s.unsafe_phase_p99_ns,
+                    s.unsafe_phase_p999_ns,
                 ] {
                     put_u64(&mut buf, v);
                 }
@@ -719,6 +740,12 @@ impl Response {
                 followers: c.u64()?,
                 replication_records: c.u64()?,
                 replication_lag: c.u64()?,
+                unsafe_parallel_groups: c.u64()?,
+                unsafe_serial_fallbacks: c.u64()?,
+                unsafe_phase_count: c.u64()?,
+                unsafe_phase_p50_ns: c.u64()?,
+                unsafe_phase_p99_ns: c.u64()?,
+                unsafe_phase_p999_ns: c.u64()?,
             }),
             RE_WAL_EPOCH => {
                 let index = c.u64()?;
@@ -919,6 +946,12 @@ mod tests {
             followers: 12,
             replication_records: 13,
             replication_lag: 14,
+            unsafe_parallel_groups: 15,
+            unsafe_serial_fallbacks: 16,
+            unsafe_phase_count: 17,
+            unsafe_phase_p50_ns: 18,
+            unsafe_phase_p99_ns: 19,
+            unsafe_phase_p999_ns: 20,
         }));
         roundtrip_response(Response::WalEpoch(FeedRecord {
             index: 42,

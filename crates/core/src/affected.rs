@@ -18,6 +18,8 @@
 //! §7 claim empirically: on power-law graphs both stay tiny, which is
 //! *why* per-update analysis sustains millions of ops/s.
 
+use risgraph_common::hash::FxHashSet;
+use risgraph_common::ids::{Update, VertexId};
 use risgraph_storage::DynamicGraph;
 
 use crate::engine::Engine;
@@ -112,10 +114,79 @@ pub fn analyze<G: DynamicGraph>(engine: &Engine<G>, algo: usize) -> AffectedArea
     }
 }
 
+/// A capped over-approximation of the affected area of a batch of
+/// updates: the union of the weakly-connected components (in the
+/// *current* structure) of every vertex the updates mention, walked
+/// breadth-first over both adjacency directions.
+///
+/// Why this is a sound footprint for [`Engine::apply_unsafe`]: every
+/// read and write of an unsafe application — insertion relax +
+/// propagation, tree-edge deletion's subtree collection, trimmed
+/// re-seeding and propagation, vertex creation/removal, and the
+/// compensating inverses of a rolled-back transaction — stays within
+/// the weakly-connected components of the update's endpoints, and a
+/// completed walk is closed under adjacency, so applying any sequence
+/// of updates whose endpoints all seed the walk cannot escape the
+/// returned set (insertions only merge seeded components; deletions
+/// only shrink them).
+///
+/// Returns the touched vertices, or `None` when the walk exceeds
+/// `cap` — the caller must treat that update as potentially
+/// overlapping everything (serial fallback). Cost is O(cap) in the
+/// worst case: a bounded probe, not the O(|V|+|E|) [`analyze`] pass.
+pub fn footprint<G: DynamicGraph>(
+    engine: &Engine<G>,
+    updates: &[Update],
+    cap: usize,
+) -> Option<Vec<VertexId>> {
+    let n = engine.capacity() as u64;
+    let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+    let mut stack: Vec<VertexId> = Vec::new();
+    for u in updates {
+        let (a, b) = match u {
+            Update::InsEdge(e) | Update::DelEdge(e) => (e.src, Some(e.dst)),
+            Update::InsVertex(v) | Update::DelVertex(v) => (*v, None),
+        };
+        for v in std::iter::once(a).chain(b) {
+            if seen.insert(v) {
+                stack.push(v);
+            }
+        }
+    }
+    if seen.len() > cap {
+        return None;
+    }
+    let complete = engine.with_store(|store| {
+        while let Some(v) = stack.pop() {
+            if v >= n {
+                continue; // beyond capacity: no adjacency yet
+            }
+            let (seen_ref, stack_ref) = (&mut seen, &mut stack);
+            let mut visit = |d: VertexId, _w: u64, _c: u32| {
+                if seen_ref.insert(d) {
+                    stack_ref.push(d);
+                }
+            };
+            store.scan_out(v, &mut visit);
+            store.scan_in(v, &mut visit);
+            if seen.len() > cap {
+                return false;
+            }
+        }
+        true
+    });
+    complete.then(|| {
+        let mut vs: Vec<VertexId> = seen.into_iter().collect();
+        vs.sort_unstable();
+        vs
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use risgraph_algorithms::Bfs;
+    use risgraph_common::ids::Edge;
 
     #[test]
     fn chain_graph_depths() {
@@ -171,5 +242,48 @@ mod tests {
         let r = analyze(&engine, 0);
         assert_eq!(r.mean_affv, 0.0);
         assert_eq!(r.tree_vertices, 0);
+    }
+
+    #[test]
+    fn footprint_covers_the_component() {
+        // Two components: 0→1→2 and 4→5. A probe seeded inside one
+        // must return exactly that component, in both edge directions.
+        let engine: Engine = Engine::with_algorithm(Bfs::new(0), 8);
+        engine.load_edges(&[(0, 1, 0), (1, 2, 0), (4, 5, 0)]);
+        let fp = footprint(&engine, &[Update::DelEdge(Edge::new(1, 2, 0))], 100).unwrap();
+        assert_eq!(fp, vec![0, 1, 2]);
+        let fp = footprint(&engine, &[Update::InsEdge(Edge::new(5, 6, 0))], 100).unwrap();
+        assert_eq!(fp, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn footprint_unions_all_updates_of_a_batch() {
+        let engine: Engine = Engine::with_algorithm(Bfs::new(0), 8);
+        engine.load_edges(&[(0, 1, 0), (4, 5, 0)]);
+        let batch = [
+            Update::InsEdge(Edge::new(0, 1, 0)),
+            Update::DelVertex(5),
+            Update::InsVertex(7),
+        ];
+        let fp = footprint(&engine, &batch, 100).unwrap();
+        assert_eq!(fp, vec![0, 1, 4, 5, 7]);
+    }
+
+    #[test]
+    fn footprint_cap_returns_none() {
+        // A 20-chain: any probe from inside it needs 20 slots.
+        let edges: Vec<(u64, u64, u64)> = (0..19).map(|i| (i, i + 1, 0)).collect();
+        let engine: Engine = Engine::with_algorithm(Bfs::new(0), 20);
+        engine.load_edges(&edges);
+        let u = [Update::DelEdge(Edge::new(9, 10, 0))];
+        assert!(footprint(&engine, &u, 5).is_none());
+        assert_eq!(footprint(&engine, &u, 20).unwrap().len(), 20);
+    }
+
+    #[test]
+    fn footprint_of_beyond_capacity_vertex_is_itself() {
+        let engine: Engine = Engine::with_algorithm(Bfs::new(0), 4);
+        let fp = footprint(&engine, &[Update::InsVertex(9)], 10).unwrap();
+        assert_eq!(fp, vec![9]);
     }
 }

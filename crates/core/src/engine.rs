@@ -19,7 +19,13 @@
 //! epoch loop's shard executors all enter here through `&self` during
 //! the parallel safe phase; `apply_unsafe` must be called from one
 //! thread at a time, with no concurrent safe applications — exactly
-//! the phase discipline the epoch loop's shard barrier enforces.
+//! the phase discipline the epoch loop's shard barrier enforces. The
+//! one sanctioned relaxation is [`Engine::apply_unsafe_sequential`]:
+//! calls whose affected areas (see [`crate::affected::footprint`]) are
+//! pairwise-disjoint vertex sets may run concurrently, because every
+//! structure touched — per-vertex tree slots, store stripes, atomic
+//! counters — is safe under disjoint-vertex concurrency and the
+//! sequential push mode never shares the worker pool.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -503,9 +509,33 @@ impl<G: DynamicGraph> Engine<G> {
     // Unsafe path (serial phase, intra-update parallel)
     // ------------------------------------------------------------------
 
-    /// Apply any update with full incremental recomputation. Must not
+    /// Apply any update with full incremental recomputation, using the
+    /// configured (possibly pool-parallel) push propagation. Must not
     /// run concurrently with other applications (single-writer phase).
     pub fn apply_unsafe(&self, u: &Update) -> Result<ChangeSet> {
+        self.apply_unsafe_inner(u, &self.config.push)
+    }
+
+    /// [`Self::apply_unsafe`] with strictly sequential propagation:
+    /// the push config is pinned so push propagation never enters
+    /// pull mode or the shared worker pool. Unlike
+    /// `apply_unsafe`, concurrent calls are permitted **iff** their
+    /// affected areas (see [`crate::affected::footprint`]) are
+    /// pairwise-disjoint vertex sets: per-vertex tree slots, store
+    /// stripes and atomic epoch/stat counters make disjoint-vertex
+    /// execution race-free. The server's parallel unsafe phase is the
+    /// caller that discharges that obligation.
+    pub fn apply_unsafe_sequential(&self, u: &Update) -> Result<ChangeSet> {
+        let push = PushConfig {
+            sequential_grain: usize::MAX,
+            pull_threshold: 1.0,
+            forced_mode: None,
+            ..self.config.push.clone()
+        };
+        self.apply_unsafe_inner(u, &push)
+    }
+
+    fn apply_unsafe_inner(&self, u: &Update, push: &PushConfig) -> Result<ChangeSet> {
         let st = self.state.read();
         let epoch = self.next_epoch();
         let t0 = std::time::Instant::now();
@@ -526,7 +556,7 @@ impl<G: DynamicGraph> Engine<G> {
                 EngineStats::add(&self.stats.update_ns, t0.elapsed().as_nanos() as u64);
                 let tc = std::time::Instant::now();
                 for (i, a) in st.algos.iter().enumerate() {
-                    changes.per_algo[i] = self.algo_on_insert(&st, a, *e, epoch);
+                    changes.per_algo[i] = self.algo_on_insert(&st, a, *e, epoch, push);
                 }
                 EngineStats::add(&self.stats.compute_ns, tc.elapsed().as_nanos() as u64);
             }
@@ -536,7 +566,7 @@ impl<G: DynamicGraph> Engine<G> {
                 if outcome == DeleteOutcome::Removed {
                     let tc = std::time::Instant::now();
                     for (i, a) in st.algos.iter().enumerate() {
-                        changes.per_algo[i] = self.algo_on_delete(&st, a, *e, epoch);
+                        changes.per_algo[i] = self.algo_on_delete(&st, a, *e, epoch, push);
                     }
                     EngineStats::add(&self.stats.compute_ns, tc.elapsed().as_nanos() as u64);
                 }
@@ -590,13 +620,14 @@ impl<G: DynamicGraph> Engine<G> {
         st: &'a CoreState<G>,
         a: &'a AlgoState,
         epoch: u64,
+        push: &'a PushConfig,
     ) -> PushCtx<'a, G> {
         PushCtx {
             store: &st.store,
             alg: a.alg.as_ref(),
             tree: &a.tree,
             pool: &self.pool,
-            config: &self.config.push,
+            config: push,
             epoch,
         }
     }
@@ -624,8 +655,9 @@ impl<G: DynamicGraph> Engine<G> {
         a: &AlgoState,
         e: Edge,
         epoch: u64,
+        push: &PushConfig,
     ) -> Vec<ChangeRecord> {
-        let ctx = self.push_ctx(st, a, epoch);
+        let ctx = self.push_ctx(st, a, epoch, push);
         let mut result = PushResult::default();
         let mut frontier = Vec::new();
         for edge in Self::orientations(a, e) {
@@ -665,6 +697,7 @@ impl<G: DynamicGraph> Engine<G> {
         a: &AlgoState,
         e: Edge,
         epoch: u64,
+        push: &PushConfig,
     ) -> Vec<ChangeRecord> {
         let mut roots = Vec::new();
         if a.tree.is_tree_edge(e) {
@@ -745,7 +778,7 @@ impl<G: DynamicGraph> Engine<G> {
         //    the new component minimum), and any vertex improved later
         //    re-enters the frontier through `try_update`.
         let frontier = sub.clone();
-        let ctx = self.push_ctx(st, a, epoch);
+        let ctx = self.push_ctx(st, a, epoch, push);
         ctx.propagate_into(frontier, &mut result);
         EngineStats::add(&self.stats.edges_relaxed, result.edges_relaxed);
         Self::collect_changes(a, result.changed)

@@ -51,7 +51,9 @@ pub mod server;
 pub mod tree;
 pub mod wal;
 
-pub use affected::{analyze as analyze_affected_area, AffectedAreaReport};
+pub use affected::{
+    analyze as analyze_affected_area, footprint as affected_footprint, AffectedAreaReport,
+};
 pub use classifier::{LinearClassifier, PushMode};
 pub use engine::{ChangeRecord, ChangeSet, DynAlgorithm, Engine, EngineConfig, SafeApply, Safety};
 pub use history::HistoryStore;

@@ -125,6 +125,26 @@ pub struct ServerConfig {
     /// server down. Bulk loads (`Server::load_edges`) are not subject
     /// to this limit.
     pub max_capacity: usize,
+    /// Executors for the epoch loop's unsafe phase. `1` (the default)
+    /// keeps the fully serial paper discipline. `N > 1` enables the
+    /// optimistic parallel unsafe phase: before executing, every
+    /// pending unsafe operation's affected area is probed (a capped
+    /// component walk, see `crate::affected::footprint`), the
+    /// operations are partitioned into footprint-disjoint conflict
+    /// groups, and disjoint groups execute concurrently on the shard
+    /// executor threads — with version numbers, replies, history and
+    /// the WAL record still assigned in arrival order, so everything
+    /// observable (including replication replay) is identical to the
+    /// serial phase. Any probe overflow or full-overlap partition
+    /// falls back to the serial path for that epoch. Defaults to the
+    /// `RISGRAPH_UNSAFE_WORKERS` environment variable when set, else 1.
+    pub unsafe_workers: usize,
+    /// Probe budget for the parallel unsafe phase: an operation whose
+    /// affected-area walk exceeds this many vertices is treated as
+    /// conflicting with everything (serial fallback). §7: affected
+    /// areas on power-law graphs are tiny, so a small cap admits the
+    /// common case while bounding probe cost.
+    pub unsafe_footprint_cap: usize,
     /// Replication follower slots. `0` (the default) disables the
     /// replication feed entirely — no records are retained and
     /// `SUBSCRIBE` is refused. `N > 0` publishes every epoch's merged,
@@ -159,6 +179,12 @@ impl Default for ServerConfig {
             wal_sync_interval: Duration::from_millis(2),
             max_epoch_updates: 1 << 16,
             max_capacity: 1 << 26,
+            unsafe_workers: std::env::var("RISGRAPH_UNSAFE_WORKERS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|&n: &usize| n >= 1)
+                .unwrap_or(1),
+            unsafe_footprint_cap: 4096,
             max_followers: std::env::var("RISGRAPH_MAX_FOLLOWERS")
                 .ok()
                 .and_then(|s| s.parse().ok())
@@ -266,6 +292,19 @@ pub struct ServerStats {
     /// execution). Its max is the scheduler's side of the latency
     /// contract: bounded by the limit plus at most one epoch.
     pub unsafe_wait: AtomicHistogram,
+    /// Histogram of whole unsafe-phase durations, one sample per epoch
+    /// that executed any unsafe work — the phase-split counterpart of
+    /// `update_latency`, and the quantity the parallel unsafe phase
+    /// exists to shrink.
+    pub unsafe_phase: AtomicHistogram,
+    /// Conflict groups executed concurrently by the parallel unsafe
+    /// phase (0 unless `ServerConfig::unsafe_workers > 1`).
+    pub unsafe_parallel_groups: AtomicU64,
+    /// Epochs where the parallel unsafe phase declined to run — probe
+    /// overflow or full overlap — and the serial path executed instead
+    /// (counted only when `unsafe_workers > 1` and more than one
+    /// unsafe operation was pending, i.e. parallelism was forgone).
+    pub unsafe_serial_fallbacks: AtomicU64,
     /// Longest epoch execution (post-gather) in nanoseconds — the grace
     /// term in the scheduler's wait bound.
     pub max_epoch_ns: AtomicU64,
@@ -303,6 +342,18 @@ impl ServerStats {
             snap.quantile_ns(0.999),
         )
     }
+
+    /// `(p50, p99, p999)` of per-epoch unsafe-phase duration in
+    /// nanoseconds, from one snapshot (all zero until an epoch has run
+    /// unsafe work).
+    pub fn unsafe_phase_percentiles_ns(&self) -> (u64, u64, u64) {
+        let snap = self.unsafe_phase.snapshot();
+        (
+            snap.quantile_ns(0.5),
+            snap.quantile_ns(0.99),
+            snap.quantile_ns(0.999),
+        )
+    }
 }
 
 struct Shared {
@@ -326,6 +377,11 @@ struct Shared {
     /// Set by [`Server::crash`]: exit without the final WAL flush,
     /// simulating power loss of the buffered log tail.
     hard_crash: AtomicBool,
+    /// Test hook: force every compensating rollback application to
+    /// report failure, so the `Error::Corruption` surfacing path is
+    /// exercisable (real inverses essentially never fail).
+    #[cfg(test)]
+    fail_rollback: AtomicBool,
 }
 
 impl Shared {
@@ -414,14 +470,21 @@ impl Server {
             stats: ServerStats::new(),
             enable_history: config.enable_history,
             hard_crash: AtomicBool::new(false),
+            #[cfg(test)]
+            fail_rollback: AtomicBool::new(false),
         });
 
-        // Shard executors 1..N for the safe phase; the coordinator
-        // itself is shard 0. Their job senders live in the coordinator,
-        // so they exit when the coordinator returns.
+        // Shard executors 1..N; the coordinator itself is executor 0.
+        // The safe phase partitions across exactly `config.shards`
+        // executors and the parallel unsafe phase across
+        // `config.unsafe_workers`, so the pool is sized for the larger
+        // of the two — spare workers simply idle during the other
+        // phase. Their job senders live in the coordinator, so they
+        // exit when the coordinator returns.
+        let executors = config.shards.max(1).max(config.unsafe_workers.max(1));
         let mut shards = Vec::new();
         let mut shard_workers = Vec::new();
-        for i in 1..config.shards.max(1) {
+        for i in 1..executors {
             let (job_tx, job_rx) = unbounded::<ShardJob>();
             let (result_tx, result_rx) = unbounded::<ShardOutcome>();
             let worker_shared = Arc::clone(&shared);
@@ -764,17 +827,58 @@ struct EpochBuf {
     unsafe_queue: VecDeque<Envelope>,
 }
 
-/// One epoch's safe-phase work for one shard executor.
-struct ShardJob {
-    /// The per-session safe groups this shard owns for the epoch.
-    groups: Vec<(u64, Vec<Envelope>)>,
-    /// The scheduler's latency limit, for qualified-update counting.
-    limit: Duration,
+/// One unit of work for a shard executor. The coordinator dispatches
+/// at most one job per worker per phase and collects exactly one
+/// outcome per dispatched job, so the two phases of an epoch (and the
+/// two stages of the parallel unsafe phase) never interleave on the
+/// channels.
+enum ShardJob {
+    /// Safe phase: drain a partition of the epoch's safe prefix.
+    Safe {
+        /// The per-session safe groups this shard owns for the epoch.
+        groups: Vec<(u64, Vec<Envelope>)>,
+        /// The scheduler's latency limit, for qualified-update counting.
+        limit: Duration,
+    },
+    /// Parallel unsafe phase, stage 1: probe affected areas for a slice
+    /// of the pending unsafe operations (read-only store walks).
+    Probe {
+        /// `(arrival index, the operation's updates)` pairs to probe.
+        ops: Vec<(usize, Vec<Update>)>,
+        /// The footprint cap ([`ServerConfig::unsafe_footprint_cap`]).
+        cap: usize,
+    },
+    /// Parallel unsafe phase, stage 2: execute whole conflict groups.
+    /// Groups on one worker run back-to-back; operations within a group
+    /// run in arrival order (they may overlap each other — only
+    /// *cross-group* footprints are disjoint).
+    Unsafe {
+        /// Conflict groups, each a list of `(arrival index, envelope)`
+        /// in ascending arrival order.
+        groups: Vec<Vec<(usize, Envelope)>>,
+    },
 }
 
-/// What a shard executor reports at the epoch barrier.
+/// What a shard executor reports at a phase barrier (one per job, same
+/// variant).
+enum ShardOutcome {
+    Safe(SafeOutcome),
+    Probe(Vec<(usize, Option<Vec<VertexId>>)>),
+    Unsafe(Vec<(usize, UnsafeExec)>),
+}
+
+/// One unsafe operation executed by a parallel worker: the envelope
+/// travels back so the coordinator can reply in arrival order, with
+/// the structural/recompute outcome but **no** version or history side
+/// effects — those stay with the coordinator.
+struct UnsafeExec {
+    env: Envelope,
+    result: Result<(Vec<Update>, ChangeSet)>,
+}
+
+/// What a shard executor reports for a safe-phase partition.
 #[derive(Default)]
-struct ShardOutcome {
+struct SafeOutcome {
     /// Updates applied, each with its global application-order stamp
     /// (feeds the epoch's merged, stamp-sorted WAL record).
     applied: Vec<(u64, Update)>,
@@ -801,10 +905,42 @@ struct ShardHandle {
 
 fn shard_worker_loop(shared: Arc<Shared>, jobs: Receiver<ShardJob>, results: Sender<ShardOutcome>) {
     while let Ok(job) = jobs.recv() {
-        let outcome = drain_shard(&shared, job.groups, job.limit);
+        let outcome = run_shard_job(&shared, job);
         if results.send(outcome).is_err() {
             return;
         }
+    }
+}
+
+/// Execute one dispatched job — shared between the worker threads and
+/// the coordinator's own inline slice of each phase.
+fn run_shard_job(shared: &Shared, job: ShardJob) -> ShardOutcome {
+    match job {
+        ShardJob::Safe { groups, limit } => ShardOutcome::Safe(drain_shard(shared, groups, limit)),
+        ShardJob::Probe { ops, cap } => ShardOutcome::Probe(
+            ops.into_iter()
+                .map(|(idx, updates)| {
+                    (
+                        idx,
+                        crate::affected::footprint(&shared.engine, &updates, cap),
+                    )
+                })
+                .collect(),
+        ),
+        ShardJob::Unsafe { groups } => ShardOutcome::Unsafe(
+            groups
+                .into_iter()
+                .flatten()
+                .map(|(idx, env)| {
+                    // Sequential propagation: concurrent workers must
+                    // never contend for the engine's shared pool, and
+                    // disjoint footprints make concurrent sequential
+                    // application race-free.
+                    let result = apply_unsafe_op(shared, &env, true);
+                    (idx, UnsafeExec { env, result })
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -815,12 +951,8 @@ fn shard_worker_loop(shared: Arc<Shared>, jobs: Receiver<ShardJob>, results: Sen
 /// on one shard. A demotion stops that session's group; the demoted
 /// update and the unprocessed suffix go back to the session queue via
 /// `leftovers`.
-fn drain_shard(
-    shared: &Shared,
-    groups: Vec<(u64, Vec<Envelope>)>,
-    limit: Duration,
-) -> ShardOutcome {
-    let mut out = ShardOutcome::default();
+fn drain_shard(shared: &Shared, groups: Vec<(u64, Vec<Envelope>)>, limit: Duration) -> SafeOutcome {
+    let mut out = SafeOutcome::default();
     for (sid, group) in groups {
         let mut iter = group.into_iter();
         let mut rest: Vec<Envelope> = Vec::new();
@@ -1019,21 +1151,26 @@ fn run_epochs(
         let mut unsafe_groups: Vec<Vec<Update>> = Vec::new();
         let mut shard_counts: Vec<(u64, u64)> = Vec::new();
         if buf.safe_count > 0 {
-            // Hash-partition sessions over the executors: shard 0 is
-            // the coordinator itself, shards 1..N the worker threads.
-            let num_shards = shards.len() + 1;
+            // Hash-partition sessions over the *safe-phase* executors:
+            // shard 0 is the coordinator itself, shards 1..N the worker
+            // threads. The pool may be larger (sized for
+            // `unsafe_workers`); the safe partition deliberately stays
+            // a function of `config.shards` alone so enabling parallel
+            // unsafe execution cannot change safe-phase scheduling.
+            let safe_shards = &shards[..config.shards.max(1) - 1];
+            let num_shards = safe_shards.len() + 1;
             let mut parts: Vec<Vec<(u64, Vec<Envelope>)>> =
                 (0..num_shards).map(|_| Vec::new()).collect();
             for (sid, group) in std::mem::take(&mut buf.safe_groups) {
                 parts[(sid % num_shards as u64) as usize].push((sid, group));
             }
             let mut dispatched = Vec::new();
-            for (i, handle) in shards.iter().enumerate() {
+            for (i, handle) in safe_shards.iter().enumerate() {
                 let part = std::mem::take(&mut parts[i + 1]);
                 if !part.is_empty() {
                     handle
                         .jobs
-                        .send(ShardJob {
+                        .send(ShardJob::Safe {
                             groups: part,
                             limit,
                         })
@@ -1045,7 +1182,10 @@ fn run_epochs(
             // The epoch barrier: every dispatched shard must report
             // before the serial unsafe phase may touch results.
             for i in dispatched {
-                outcomes.push(shards[i].results.recv().expect("shard worker alive"));
+                match shards[i].results.recv().expect("shard worker alive") {
+                    ShardOutcome::Safe(out) => outcomes.push(out),
+                    _ => unreachable!("safe job answered with non-safe outcome"),
+                }
             }
             for outcome in outcomes {
                 safe_log.extend(outcome.applied);
@@ -1062,7 +1202,34 @@ fn run_epochs(
             }
         }
 
-        // ---- Serial unsafe phase -----------------------------------
+        // ---- Unsafe phase ------------------------------------------
+        let t_unsafe = Instant::now();
+        let had_unsafe = !buf.unsafe_queue.is_empty();
+        let unsafe_workers = config.unsafe_workers.max(1);
+        // Optimistic parallel execution (§7: affected areas are tiny,
+        // so pending unsafe operations almost never overlap). Declines
+        // — leaving the queue untouched — when probing finds overlap
+        // or overflow; the serial path below is the fallback.
+        let ran_parallel = unsafe_workers > 1
+            && buf.unsafe_queue.len() > 1
+            && run_unsafe_parallel(
+                shared,
+                &mut buf.unsafe_queue,
+                &mut unsafe_groups,
+                &mut scheduler,
+                config,
+                shards,
+            );
+        if !ran_parallel && unsafe_workers > 1 && buf.unsafe_queue.len() > 1 {
+            // Parallelism was available but declined (overlap or probe
+            // overflow). A single pending op counts neither way.
+            shared
+                .stats
+                .unsafe_serial_fallbacks
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        // Serial unsafe phase (the paper's discipline, and the
+        // fallback target of the parallel phase).
         while let Some(env) = buf.unsafe_queue.pop_front() {
             let wait = env.enqueued.elapsed();
             shared.stats.unsafe_wait.record(wait);
@@ -1087,6 +1254,9 @@ fn run_epochs(
                 .fetch_add(lat.as_nanos() as u64, Ordering::Relaxed);
             shared.stats.unsafe_executed.fetch_add(1, Ordering::Relaxed);
             send_reply(shared, &env, reply);
+        }
+        if had_unsafe {
+            shared.stats.unsafe_phase.record(t_unsafe.elapsed());
         }
 
         // ---- Epoch end: merged WAL group commit, feed, scheduler ---
@@ -1207,6 +1377,217 @@ fn run_epochs(
     }
 }
 
+/// The optimistic parallel unsafe phase (the §7 payoff): probe every
+/// pending unsafe operation's affected area, partition into
+/// footprint-disjoint conflict groups, execute groups concurrently on
+/// the shard executors, then finalize — versions, history, feed
+/// groups, replies — in arrival order.
+///
+/// Correctness rests on two facts. (1) A completed footprint walk is
+/// closed under adjacency, so everything an operation reads or writes
+/// (including failure-detection reads and rollback inverses) stays
+/// inside its footprint; disjoint groups therefore neither race nor
+/// influence each other's outcomes. (2) Because outcomes are
+/// scheduling-independent, replaying the coordinator-side effects in
+/// arrival order reproduces the serial phase byte-exactly: the same
+/// per-operation version numbers, history records, WAL/feed groups
+/// and replies.
+///
+/// Returns `false` — leaving `queue` untouched for the serial
+/// fallback — when any probe overflows the footprint cap or the
+/// operations all collapse into one conflict group.
+fn run_unsafe_parallel(
+    shared: &Arc<Shared>,
+    queue: &mut VecDeque<Envelope>,
+    unsafe_groups: &mut Vec<Vec<Update>>,
+    scheduler: &mut Scheduler,
+    config: &ServerConfig,
+    shards: &[ShardHandle],
+) -> bool {
+    let n = queue.len();
+    let workers = (config.unsafe_workers - 1).min(shards.len());
+    let cap = config.unsafe_footprint_cap;
+
+    // Stage 1: probe affected areas in parallel. Probes are read-only
+    // component walks and the structure is quiescent between the safe
+    // barrier and the first unsafe application, so no gate is needed.
+    let mut chunks: Vec<Vec<(usize, Vec<Update>)>> = (0..workers + 1).map(|_| Vec::new()).collect();
+    for (i, env) in queue.iter().enumerate() {
+        chunks[i % (workers + 1)].push((i, env.op.updates().to_vec()));
+    }
+    let mut dispatched = Vec::new();
+    for w in 1..workers + 1 {
+        let chunk = std::mem::take(&mut chunks[w]);
+        if !chunk.is_empty() {
+            shards[w - 1]
+                .jobs
+                .send(ShardJob::Probe { ops: chunk, cap })
+                .expect("shard worker alive");
+            dispatched.push(w - 1);
+        }
+    }
+    let mut probed = match run_shard_job(
+        shared,
+        ShardJob::Probe {
+            ops: std::mem::take(&mut chunks[0]),
+            cap,
+        },
+    ) {
+        ShardOutcome::Probe(r) => r,
+        _ => unreachable!("probe job answered with non-probe outcome"),
+    };
+    for w in dispatched {
+        match shards[w].results.recv().expect("shard worker alive") {
+            ShardOutcome::Probe(r) => probed.extend(r),
+            _ => unreachable!("probe job answered with non-probe outcome"),
+        }
+    }
+    let mut footprints: Vec<Option<Vec<VertexId>>> = (0..n).map(|_| None).collect();
+    for (idx, fp) in probed {
+        footprints[idx] = fp;
+    }
+    if footprints.iter().any(Option::is_none) {
+        return false; // an unbounded footprint conflicts with everything
+    }
+
+    // Conflict grouping: union-find over arrival indices, keyed by the
+    // first operation to claim each footprint vertex.
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut owner: FxHashMap<VertexId, usize> = FxHashMap::default();
+    for (i, fp) in footprints.iter().enumerate() {
+        for &v in fp.as_deref().expect("overflow handled above") {
+            if let Some(&first) = owner.get(&v) {
+                let (a, b) = (find(&mut parent, first), find(&mut parent, i));
+                if a != b {
+                    // Root at the smaller index so group identity is
+                    // deterministic.
+                    parent[a.max(b)] = a.min(b);
+                }
+            } else {
+                owner.insert(v, i);
+            }
+        }
+    }
+    let mut by_root: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        by_root[r].push(i);
+    }
+    let groups: Vec<Vec<usize>> = by_root.into_iter().filter(|g| !g.is_empty()).collect();
+    let num_groups = groups.len();
+    if num_groups <= 1 {
+        return false; // everything overlaps: parallelism buys nothing
+    }
+
+    // Committed. The whole phase runs under one exclusive query gate
+    // (the serial path gates per operation); waits are recorded here —
+    // execution starts now for every pending operation.
+    let mut envs: Vec<Option<Envelope>> = queue.drain(..).map(Some).collect();
+    for env in envs.iter().flatten() {
+        shared.stats.unsafe_wait.record(env.enqueued.elapsed());
+    }
+    let gate = shared.query_gate.write();
+
+    // Stage 2: longest-group-first greedy assignment over the
+    // executors (coordinator = executor 0), then execute. Within a
+    // group, arrival order; across groups, true concurrency.
+    let mut order: Vec<usize> = (0..num_groups).collect();
+    order.sort_by_key(|&g| std::cmp::Reverse(groups[g].len()));
+    let mut assign: Vec<Vec<Vec<(usize, Envelope)>>> =
+        (0..workers + 1).map(|_| Vec::new()).collect();
+    let mut load = vec![0usize; workers + 1];
+    for g in order {
+        let exec = (0..workers + 1)
+            .min_by_key(|&e| (load[e], e))
+            .expect("at least the coordinator");
+        load[exec] += groups[g].len();
+        assign[exec].push(
+            groups[g]
+                .iter()
+                .map(|&idx| {
+                    (
+                        idx,
+                        envs[idx].take().expect("each op is in exactly one group"),
+                    )
+                })
+                .collect(),
+        );
+    }
+    let mut dispatched = Vec::new();
+    for w in 1..workers + 1 {
+        let jobs = std::mem::take(&mut assign[w]);
+        if !jobs.is_empty() {
+            shards[w - 1]
+                .jobs
+                .send(ShardJob::Unsafe { groups: jobs })
+                .expect("shard worker alive");
+            dispatched.push(w - 1);
+        }
+    }
+    let mut execs = match run_shard_job(
+        shared,
+        ShardJob::Unsafe {
+            groups: std::mem::take(&mut assign[0]),
+        },
+    ) {
+        ShardOutcome::Unsafe(r) => r,
+        _ => unreachable!("unsafe job answered with non-unsafe outcome"),
+    };
+    // The phase barrier: every worker must finish before any version
+    // is assigned.
+    for w in dispatched {
+        match shards[w].results.recv().expect("shard worker alive") {
+            ShardOutcome::Unsafe(r) => execs.extend(r),
+            _ => unreachable!("unsafe job answered with non-unsafe outcome"),
+        }
+    }
+
+    // Finalize in arrival order — indistinguishable from the serial
+    // phase for every observer (clients, history, WAL, replication).
+    execs.sort_unstable_by_key(|e| e.0);
+    for (_, exec) in execs {
+        let UnsafeExec { env, result } = exec;
+        let reply = match result {
+            Ok((applied, merged)) => {
+                let (version, result_changes) = finalize_unsafe(shared, &merged);
+                unsafe_groups.push(applied);
+                Reply {
+                    version,
+                    outcome: Ok(Applied {
+                        safety: Safety::Unsafe,
+                        result_changes,
+                    }),
+                }
+            }
+            Err(e) => Reply {
+                version: shared.version.load(Ordering::Acquire),
+                outcome: Err(e),
+            },
+        };
+        let lat = env.enqueued.elapsed();
+        scheduler.record_latency(lat);
+        shared
+            .stats
+            .queue_ns
+            .fetch_add(lat.as_nanos() as u64, Ordering::Relaxed);
+        shared.stats.unsafe_executed.fetch_add(1, Ordering::Relaxed);
+        send_reply(shared, &env, reply);
+    }
+    drop(gate);
+    shared
+        .stats
+        .unsafe_parallel_groups
+        .fetch_add(num_groups as u64, Ordering::Relaxed);
+    true
+}
+
 /// Record the completion-latency sample, then deliver the reply. The
 /// sample lands first so a client holding its reply never reads a
 /// histogram missing its own update.
@@ -1309,7 +1690,19 @@ fn rollback_structure(shared: &Shared, applied: &[(u64, Update)]) {
     }
 }
 
-fn execute_unsafe(shared: &Shared, env: &Envelope) -> (Reply, Vec<Update>) {
+/// Apply one operation's updates with full recomputation but **no**
+/// version, history, feed or reply side effects — the part of unsafe
+/// execution that parallel workers may run concurrently on disjoint
+/// footprints (`sequential = true` pins pool-free propagation). On a
+/// mid-transaction error the applied prefix is undone with
+/// compensating inverses; a failing inverse leaves the store matching
+/// *no* consistent prefix, so it surfaces as [`Error::Corruption`]
+/// (replacing the original error) instead of being swallowed.
+fn apply_unsafe_op(
+    shared: &Shared,
+    env: &Envelope,
+    sequential: bool,
+) -> Result<(Vec<Update>, ChangeSet)> {
     let num_algos = shared.engine.num_algorithms();
     let updates = env.op.updates();
     let mut applied: Vec<Update> = Vec::with_capacity(updates.len());
@@ -1317,9 +1710,18 @@ fn execute_unsafe(shared: &Shared, env: &Envelope) -> (Reply, Vec<Update>) {
     for u in updates {
         let need = env.op.max_vertex();
         if need as usize > shared.engine.capacity() {
+            // Unreachable in the epoch loop (gather pre-grows capacity
+            // for every admitted op) but kept for direct callers; the
+            // parallel phase relies on it never firing, and the check
+            // itself is a racy read with no side effect when false.
             shared.engine.ensure_capacity(need as usize);
         }
-        match shared.engine.apply_unsafe(u) {
+        let outcome = if sequential {
+            shared.engine.apply_unsafe_sequential(u)
+        } else {
+            shared.engine.apply_unsafe(u)
+        };
+        match outcome {
             Ok(set) => {
                 applied.push(*u);
                 sets.push(set);
@@ -1327,20 +1729,44 @@ fn execute_unsafe(shared: &Shared, env: &Envelope) -> (Reply, Vec<Update>) {
             Err(e) => {
                 // Transaction atomicity: undo the applied prefix with
                 // inverse updates (recomputing results back).
-                for prev in applied.iter().rev() {
-                    let _ = shared.engine.apply_unsafe(&inverse(prev));
-                }
-                return (
-                    Reply {
-                        version: shared.version.load(Ordering::Acquire),
-                        outcome: Err(e),
-                    },
-                    Vec::new(),
-                );
+                rollback_unsafe(shared, &applied, sequential)?;
+                return Err(e);
             }
         }
     }
-    let merged = merge_changesets(sets, num_algos);
+    Ok((applied, merge_changesets(sets, num_algos)))
+}
+
+/// Undo an applied prefix with inverse updates, newest first. Any
+/// inverse failing is unrecoverable — the store now matches neither
+/// the pre-transaction nor any applied-prefix state — and is reported
+/// as [`Error::Corruption`].
+fn rollback_unsafe(shared: &Shared, applied: &[Update], sequential: bool) -> Result<()> {
+    for prev in applied.iter().rev() {
+        let inv = inverse(prev);
+        #[allow(unused_mut)]
+        let mut outcome = if sequential {
+            shared.engine.apply_unsafe_sequential(&inv)
+        } else {
+            shared.engine.apply_unsafe(&inv)
+        };
+        #[cfg(test)]
+        if shared.fail_rollback.load(Ordering::Acquire) {
+            outcome = Err(Error::EdgeNotFound(Edge::new(0, 0, 0)));
+        }
+        if let Err(e) = outcome {
+            return Err(Error::Corruption(format!(
+                "transaction rollback failed undoing {prev:?}: {e}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The coordinator-only tail of unsafe execution: assign the next
+/// version and record history. Split out so the parallel phase can
+/// replay it in arrival order after the workers' barrier.
+fn finalize_unsafe(shared: &Shared, merged: &ChangeSet) -> (VersionId, usize) {
     let version = shared.version.fetch_add(1, Ordering::AcqRel) + 1;
     let result_changes = merged.len();
     if shared.enable_history && !merged.is_empty() {
@@ -1355,16 +1781,32 @@ fn execute_unsafe(shared: &Shared, env: &Envelope) -> (Reply, Vec<Update>) {
             .history_ns
             .fetch_add(t_hist.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
-    (
-        Reply {
-            version,
-            outcome: Ok(Applied {
-                safety: Safety::Unsafe,
-                result_changes,
-            }),
-        },
-        applied,
-    )
+    (version, result_changes)
+}
+
+fn execute_unsafe(shared: &Shared, env: &Envelope) -> (Reply, Vec<Update>) {
+    match apply_unsafe_op(shared, env, false) {
+        Ok((applied, merged)) => {
+            let (version, result_changes) = finalize_unsafe(shared, &merged);
+            (
+                Reply {
+                    version,
+                    outcome: Ok(Applied {
+                        safety: Safety::Unsafe,
+                        result_changes,
+                    }),
+                },
+                applied,
+            )
+        }
+        Err(e) => (
+            Reply {
+                version: shared.version.load(Ordering::Acquire),
+                outcome: Err(e),
+            },
+            Vec::new(),
+        ),
+    }
 }
 
 #[cfg(test)]
@@ -1806,5 +2248,122 @@ mod tests {
         };
         let m = merge_changesets(vec![a, b], 1);
         assert!(m.is_empty(), "insert+delete net effect is nothing");
+    }
+
+    /// A failed transaction's rollback normally restores the
+    /// pre-transaction state exactly and the original error is
+    /// reported.
+    #[test]
+    fn failed_unsafe_txn_rolls_back_and_reports_cause() {
+        let srv = bfs_server(16);
+        srv.load_edges(&[(0, 1, 0)]);
+        let s = srv.session();
+        // InsEdge(1,2) applies (unsafe: improves 2), then DelVertex(0)
+        // fails — vertex 0 has incident edges.
+        let r = s.txn_updates(vec![
+            Update::InsEdge(Edge::new(1, 2, 0)),
+            Update::DelVertex(0),
+        ]);
+        assert!(matches!(r.outcome, Err(Error::VertexNotIsolated(0))));
+        // The applied prefix was undone: 2 is unreachable again.
+        assert_eq!(srv.engine().value(0, 2), u64::MAX);
+        assert_eq!(
+            srv.engine().with_store(|st| st.num_edges()),
+            1,
+            "rollback removed the prefix edge"
+        );
+        srv.shutdown();
+    }
+
+    /// Regression for the silently-discarded compensating
+    /// `apply_unsafe(&inverse(..))`: when an inverse itself fails the
+    /// store matches no consistent prefix, and the reply must say
+    /// `Corruption` — not the (now meaningless) original error.
+    #[test]
+    fn failed_rollback_surfaces_as_corruption() {
+        let srv = bfs_server(16);
+        srv.load_edges(&[(0, 1, 0)]);
+        srv.shared.fail_rollback.store(true, Ordering::Release);
+        let s = srv.session();
+        let r = s.txn_updates(vec![
+            Update::InsEdge(Edge::new(1, 2, 0)),
+            Update::DelVertex(0),
+        ]);
+        match r.outcome {
+            Err(Error::Corruption(msg)) => {
+                assert!(
+                    msg.contains("rollback"),
+                    "corruption names the rollback: {msg}"
+                );
+            }
+            other => panic!("expected Corruption, got {other:?}"),
+        }
+        srv.shared.fail_rollback.store(false, Ordering::Release);
+        srv.shutdown();
+    }
+
+    /// The parallel unsafe phase on disjoint single-session traffic:
+    /// every reply, version and value must match the serial semantics,
+    /// and with truly disjoint regions the parallel-groups counter
+    /// engages (single-session synchronous traffic has one op pending
+    /// per epoch, so drive two sessions concurrently).
+    #[test]
+    fn parallel_unsafe_phase_executes_disjoint_groups() {
+        let mut config = ServerConfig::default();
+        config.engine.threads = 1;
+        config.shards = 1;
+        config.unsafe_workers = 4;
+        let srv = StdArc::new(
+            Server::start(vec![StdArc::new(Wcc::new()) as DynAlgorithm], 64, config).unwrap(),
+        );
+        // Two disjoint chains; del/ins of a chain edge is always unsafe
+        // under WCC (splits/merges a component).
+        srv.load_edges(&[(0, 1, 0), (1, 2, 0), (10, 11, 0), (11, 12, 0)]);
+        std::thread::scope(|scope| {
+            for base in [0u64, 10] {
+                let srv = StdArc::clone(&srv);
+                scope.spawn(move || {
+                    let s = srv.session();
+                    for _ in 0..40 {
+                        let r = s.del_edge(Edge::new(base, base + 1, 0));
+                        assert!(r.outcome.is_ok());
+                        let r = s.ins_edge(Edge::new(base, base + 1, 0));
+                        assert!(r.outcome.is_ok());
+                    }
+                });
+            }
+        });
+        let s = srv.session();
+        let v = s.get_current_version();
+        assert_eq!(v, 160, "every op bumped the version exactly once");
+        // Final state: both chains intact (WCC labels are the chain
+        // minima).
+        assert_eq!(srv.engine().value(0, 2), 0);
+        assert_eq!(srv.engine().value(0, 12), 10);
+        let stats = srv.stats();
+        assert_eq!(
+            stats.unsafe_executed.load(Ordering::Relaxed),
+            160,
+            "all ops were unsafe"
+        );
+        // Concurrent sessions mean at least some epochs held two
+        // pending disjoint ops; those must have run in parallel groups.
+        // (Timing-dependent epochs with one op run serially without
+        // counting as fallbacks.)
+        let groups = stats.unsafe_parallel_groups.load(Ordering::Relaxed);
+        let fallbacks = stats.unsafe_serial_fallbacks.load(Ordering::Relaxed);
+        assert_eq!(
+            fallbacks, 0,
+            "disjoint regions never overlap, so no epoch may fall back"
+        );
+        assert!(
+            groups.is_multiple_of(2),
+            "disjoint two-session groups come in pairs"
+        );
+        assert!(
+            stats.unsafe_phase.count() > 0,
+            "unsafe-phase histogram records each epoch with unsafe work"
+        );
+        StdArc::try_unwrap(srv).ok().unwrap().shutdown();
     }
 }

@@ -317,6 +317,7 @@ fn stats_report(server: &Server) -> StatsReport {
     // One snapshot for every latency field, so the report is internally
     // consistent (p50 ≤ p999, count matches) under concurrent recording.
     let lat = s.update_latency.snapshot();
+    let phase = s.unsafe_phase.snapshot();
     StatsReport {
         version: server.current_version(),
         epochs: s.epochs.load(Ordering::Relaxed),
@@ -332,6 +333,12 @@ fn stats_report(server: &Server) -> StatsReport {
         followers: server.feed().map_or(0, |f| f.followers() as u64),
         replication_records: server.feed().map_or(0, |f| f.len()),
         replication_lag: 0, // a leader is its own watermark
+        unsafe_parallel_groups: s.unsafe_parallel_groups.load(Ordering::Relaxed),
+        unsafe_serial_fallbacks: s.unsafe_serial_fallbacks.load(Ordering::Relaxed),
+        unsafe_phase_count: phase.count(),
+        unsafe_phase_p50_ns: phase.quantile_ns(0.5),
+        unsafe_phase_p99_ns: phase.quantile_ns(0.99),
+        unsafe_phase_p999_ns: phase.quantile_ns(0.999),
     }
 }
 

@@ -93,6 +93,64 @@ pub fn drive_sessions(server: &Arc<Server>, streams: &[Vec<Update>]) -> Vec<Sess
     })
 }
 
+/// [`drive_sessions`] with fully pipelined clients: every session's
+/// whole stream is submitted tag-first (round-robin across sessions,
+/// from one thread — all server channels are unbounded) and only then
+/// are the replies collected. Every session therefore provably has
+/// operations pending at the same time, which is what makes the
+/// coordinator's unsafe queue actually fill up — the precondition for
+/// the parallel unsafe phase (or its conflict fallback) to engage.
+/// The server executes one session's updates in submission order
+/// regardless of pipelining (the gather phase drains session queues
+/// FIFO and the first unsafe op blocks the rest), so the traces are
+/// directly comparable with [`drive_sessions`] output and feed
+/// [`assert_servers_equivalent`] unchanged.
+pub fn drive_sessions_pipelined(
+    server: &Arc<Server>,
+    streams: &[Vec<Update>],
+) -> Vec<SessionTrace> {
+    let sessions: Vec<_> = streams.iter().map(|_| server.session()).collect();
+    let longest = streams.iter().map(Vec::len).max().unwrap_or(0);
+    for t in 0..longest {
+        for (session, stream) in sessions.iter().zip(streams) {
+            if let Some(u) = stream.get(t) {
+                session.submit_update_tagged(u, t as u64).expect("submit");
+            }
+        }
+    }
+    sessions
+        .iter()
+        .zip(streams)
+        .map(|(session, stream)| {
+            let mut steps = vec![None; stream.len()];
+            for _ in 0..stream.len() {
+                let (tag, reply) = session.recv_tagged().expect("reply");
+                let step = match reply.outcome {
+                    Ok(applied) => StepTrace {
+                        ok: true,
+                        safety: Some(applied.safety),
+                        result_changes: applied.result_changes,
+                        version: reply.version,
+                    },
+                    Err(_) => StepTrace {
+                        ok: false,
+                        safety: None,
+                        result_changes: 0,
+                        version: reply.version,
+                    },
+                };
+                steps[tag as usize] = Some(step);
+            }
+            SessionTrace {
+                steps: steps
+                    .into_iter()
+                    .map(|s| s.expect("reply per tag"))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
 /// The network-path twin of [`drive_sessions`]: submit each stream
 /// through its own [`risgraph_net::NetClient`] connection (one thread
 /// per stream, blocking one-outstanding-op clients as in §6.2) and

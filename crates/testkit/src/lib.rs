@@ -41,11 +41,13 @@ pub use builders::{
     temp_path,
 };
 pub use differential::{
-    assert_servers_equivalent, drive_net_sessions, drive_sessions, raw_store_fingerprint,
-    store_fingerprint, SessionTrace, StepTrace,
+    assert_servers_equivalent, drive_net_sessions, drive_sessions, drive_sessions_pipelined,
+    raw_store_fingerprint, store_fingerprint, SessionTrace, StepTrace,
 };
 pub use faults::{FaultPlan, FaultyProxy, ProxyStats};
 pub use oracle::{apply_update, assert_engine_matches, oracle_values, LiveEdge};
 pub use streams::{
-    disjoint_session_streams, random_stream, resolve_step, safe_churn, RegionStreamConfig, Step,
+    disjoint_session_streams, hub_conflict_streams, random_stream, resolve_step, safe_churn,
+    unsafe_chain_preload, unsafe_chain_streams, unsafe_chain_streams_with_build, HubConflictConfig,
+    RegionStreamConfig, Step, UnsafeChainConfig,
 };

@@ -145,6 +145,156 @@ pub fn disjoint_session_streams(cfg: &RegionStreamConfig) -> Vec<Vec<Update>> {
         .collect()
 }
 
+/// Configuration for [`unsafe_chain_preload`] / [`unsafe_chain_streams`]:
+/// per-session disjoint chain regions whose churn is 100% unsafe under
+/// WCC — the workload that isolates the unsafe phase (the complement
+/// of [`safe_churn`]) and the natural fuel for the parallel unsafe
+/// phase, whose conflict groups are exactly the per-session chains.
+#[derive(Debug, Clone, Copy)]
+pub struct UnsafeChainConfig {
+    /// Number of sessions (== number of disjoint chains).
+    pub sessions: usize,
+    /// Vertices per chain; session `i` owns the path
+    /// `base + i·chain → … → base + (i+1)·chain - 1`.
+    pub chain: u64,
+    /// First vertex of chain 0 (keep ≥ 1 to leave a root alone).
+    pub base: u64,
+    /// Delete/insert pairs per session.
+    pub pairs: usize,
+}
+
+impl Default for UnsafeChainConfig {
+    fn default() -> Self {
+        UnsafeChainConfig {
+            sessions: 4,
+            chain: 16,
+            base: 1,
+            pairs: 60,
+        }
+    }
+}
+
+impl UnsafeChainConfig {
+    /// Smallest vertex capacity covering every chain.
+    pub fn capacity(&self) -> usize {
+        (self.base + self.sessions as u64 * self.chain) as usize
+    }
+
+    /// First vertex of session `i`'s chain.
+    pub fn lo(&self, i: usize) -> u64 {
+        self.base + i as u64 * self.chain
+    }
+}
+
+/// The preload for [`unsafe_chain_streams`]: one simple path per
+/// session region.
+pub fn unsafe_chain_preload(cfg: &UnsafeChainConfig) -> Vec<LiveEdge> {
+    (0..cfg.sessions)
+        .flat_map(|i| {
+            let lo = cfg.lo(i);
+            (0..cfg.chain - 1).map(move |k| (lo + k, lo + k + 1, 0))
+        })
+        .collect()
+}
+
+/// One stream per session: `2·pairs` updates alternating deletion and
+/// re-insertion of the session chain's first edge. Under WCC every
+/// update is unsafe — the deletion removes the count-1 tree edge that
+/// splits the chain's component, and the re-insertion merges it back
+/// (improving every downstream label) — and its affected area is
+/// exactly the session's own chain, so streams from different sessions
+/// always land in disjoint conflict groups.
+pub fn unsafe_chain_streams(cfg: &UnsafeChainConfig) -> Vec<Vec<Update>> {
+    assert!(cfg.chain >= 2, "a chain needs at least one edge");
+    (0..cfg.sessions)
+        .map(|i| {
+            let lo = cfg.lo(i);
+            let mut out = Vec::with_capacity(cfg.pairs * 2);
+            for _ in 0..cfg.pairs {
+                out.push(Update::DelEdge(Edge::new(lo, lo + 1, 0)));
+                out.push(Update::InsEdge(Edge::new(lo, lo + 1, 0)));
+            }
+            out
+        })
+        .collect()
+}
+
+/// [`unsafe_chain_streams`] with each session's own chain-building
+/// inserts prepended to its stream. The preload then travels through
+/// the sessions instead of [`unsafe_chain_preload`]/`load_edges`,
+/// which keeps the differential harness's from-empty session oracle
+/// valid — and the build inserts are themselves all unsafe (each one
+/// merges the next vertex into the chain's component).
+pub fn unsafe_chain_streams_with_build(cfg: &UnsafeChainConfig) -> Vec<Vec<Update>> {
+    let mut streams = unsafe_chain_streams(cfg);
+    for (i, stream) in streams.iter_mut().enumerate() {
+        let lo = cfg.lo(i);
+        let build = (0..cfg.chain - 1).map(|k| Update::InsEdge(Edge::new(lo + k, lo + k + 1, 0)));
+        stream.splice(0..0, build);
+    }
+    streams
+}
+
+/// Configuration for [`hub_conflict_streams`].
+#[derive(Debug, Clone, Copy)]
+pub struct HubConflictConfig {
+    /// Number of sessions.
+    pub sessions: usize,
+    /// Spoke vertices per session; session `i` draws spokes from
+    /// `[base + i·region, base + (i+1)·region)`.
+    pub region: u64,
+    /// First spoke vertex of session 0 (keep > hub).
+    pub base: u64,
+    /// Insert/delete pairs per session.
+    pub pairs: usize,
+    /// The shared hub vertex every update touches.
+    pub hub: u64,
+}
+
+impl Default for HubConflictConfig {
+    fn default() -> Self {
+        HubConflictConfig {
+            sessions: 4,
+            region: 8,
+            base: 1,
+            pairs: 60,
+            hub: 0,
+        }
+    }
+}
+
+impl HubConflictConfig {
+    /// Smallest vertex capacity covering hub and every spoke region.
+    pub fn capacity(&self) -> usize {
+        (self.base + self.sessions as u64 * self.region).max(self.hub + 1) as usize
+    }
+}
+
+/// Conflict-heavy streams: every session alternates inserting and
+/// deleting a `hub → spoke` edge with the spoke in its own region.
+/// Under WCC both halves are unsafe (the insert merges the spoke into
+/// the hub's component; the delete removes the count-1 tree edge back
+/// out), every update succeeds regardless of scheduling (the edge is
+/// session-unique and each delete follows its own insert's reply —
+/// per-session order holds even pipelined), and **every** update's
+/// affected area contains the hub — so the parallel unsafe phase can
+/// never split an epoch's pending updates into more than one conflict
+/// group and must take its serial fallback.
+pub fn hub_conflict_streams(cfg: &HubConflictConfig) -> Vec<Vec<Update>> {
+    (0..cfg.sessions)
+        .map(|i| {
+            let lo = cfg.base + i as u64 * cfg.region;
+            let mut out = Vec::with_capacity(cfg.pairs * 2);
+            for k in 0..cfg.pairs {
+                let spoke = lo + (k as u64 % cfg.region);
+                out.push(Update::InsEdge(Edge::new(cfg.hub, spoke, 0)));
+                out.push(Update::DelEdge(Edge::new(cfg.hub, spoke, 0)));
+            }
+            out
+        })
+        .collect()
+}
+
 /// A safe-only churn stream over `preload`: `2·pairs` updates
 /// alternating duplicate-insert and duplicate-delete of randomly chosen
 /// loaded edges. With the preload at a fixpoint every update classifies
@@ -229,6 +379,53 @@ mod tests {
             format!("{:?}", random_stream(8, 50, 9, 3)),
             format!("{:?}", random_stream(8, 50, 9, 3)),
         );
+    }
+
+    #[test]
+    fn unsafe_chain_regions_are_disjoint() {
+        let cfg = UnsafeChainConfig::default();
+        let preload = unsafe_chain_preload(&cfg);
+        assert_eq!(preload.len(), cfg.sessions * (cfg.chain as usize - 1));
+        let streams = unsafe_chain_streams(&cfg);
+        assert_eq!(streams.len(), cfg.sessions);
+        for (i, stream) in streams.iter().enumerate() {
+            let (lo, hi) = (cfg.lo(i), cfg.lo(i) + cfg.chain);
+            assert_eq!(stream.len(), cfg.pairs * 2);
+            for pair in stream.chunks(2) {
+                match (&pair[0], &pair[1]) {
+                    (Update::DelEdge(a), Update::InsEdge(b)) => {
+                        assert_eq!(a, b);
+                        assert!(a.src >= lo && a.dst < hi);
+                    }
+                    other => panic!("expected del/ins pair, got {other:?}"),
+                }
+            }
+        }
+        assert!(preload
+            .iter()
+            .all(|&(s, d, _)| s >= cfg.base && d < cfg.capacity() as u64));
+    }
+
+    #[test]
+    fn hub_streams_all_touch_the_hub() {
+        let cfg = HubConflictConfig::default();
+        let streams = hub_conflict_streams(&cfg);
+        assert_eq!(streams.len(), cfg.sessions);
+        for (i, stream) in streams.iter().enumerate() {
+            let lo = cfg.base + i as u64 * cfg.region;
+            let hi = lo + cfg.region;
+            assert_eq!(stream.len(), cfg.pairs * 2);
+            for pair in stream.chunks(2) {
+                match (&pair[0], &pair[1]) {
+                    (Update::InsEdge(a), Update::DelEdge(b)) => {
+                        assert_eq!(a, b);
+                        assert_eq!(a.src, cfg.hub);
+                        assert!(a.dst >= lo && a.dst < hi, "spoke outside region");
+                    }
+                    other => panic!("expected ins/del pair, got {other:?}"),
+                }
+            }
+        }
     }
 
     #[test]

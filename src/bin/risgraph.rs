@@ -270,6 +270,7 @@ fn run_serve(args: Args) -> ! {
         config.shards = n;
     }
     let shards = config.shards;
+    let unsafe_workers = config.unsafe_workers;
     let net = NetServer::start(
         vec![alg],
         1 << 16,
@@ -286,12 +287,13 @@ fn run_serve(args: Args) -> ! {
     install_signal_handlers();
     println!(
         "risgraph serving on {} — algorithm {} (root {}), store {}, {} shard(s), \
-         {} follower slot(s){}; Ctrl-C to drain and exit",
+         {} unsafe worker(s), {} follower slot(s){}; Ctrl-C to drain and exit",
         net.local_addr(),
         args.algorithm.to_uppercase(),
         args.root,
         args.backend.label(),
         shards,
+        unsafe_workers,
         args.max_followers.unwrap_or(4),
         args.wal
             .as_deref()
@@ -315,6 +317,16 @@ fn run_serve(args: Args) -> ! {
             fmt_ns(p50),
             fmt_ns(p99),
             fmt_ns(p999),
+        );
+        let (up50, up99, up999) = s.unsafe_phase_percentiles_ns();
+        println!(
+            "unsafe phase: epochs={} p50={} p99={} p999={} parallel_groups={} serial_fallbacks={}",
+            s.unsafe_phase.count(),
+            fmt_ns(up50),
+            fmt_ns(up99),
+            fmt_ns(up999),
+            s.unsafe_parallel_groups.load(Ordering::Relaxed),
+            s.unsafe_serial_fallbacks.load(Ordering::Relaxed),
         );
     }
     // Graceful drain: finish in-flight updates, flush WAL and store.
@@ -635,6 +647,16 @@ fn main() {
                         fmt_ns(p999),
                         fmt_ns(ss.update_latency.max_ns()),
                         ss.update_latency.count(),
+                    );
+                    let (up50, up99, up999) = ss.unsafe_phase_percentiles_ns();
+                    println!(
+                        "unsafe phase: epochs={} p50={} p99={} p999={} parallel_groups={} serial_fallbacks={}",
+                        ss.unsafe_phase.count(),
+                        fmt_ns(up50),
+                        fmt_ns(up99),
+                        fmt_ns(up999),
+                        ss.unsafe_parallel_groups.load(Ordering::Relaxed),
+                        ss.unsafe_serial_fallbacks.load(Ordering::Relaxed),
                     );
                 }
             }

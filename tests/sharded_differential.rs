@@ -28,11 +28,15 @@ use risgraph::algorithms::Wcc;
 use risgraph::prelude::*;
 use risgraph::storage::BackendKind;
 use risgraph_testkit::{
-    assert_servers_equivalent, disjoint_session_streams, drive_sessions, random_stream,
-    server_config, RegionStreamConfig,
+    assert_servers_equivalent, disjoint_session_streams, drive_sessions, drive_sessions_pipelined,
+    random_stream, server_config, unsafe_chain_streams_with_build, RegionStreamConfig,
+    UnsafeChainConfig,
 };
 
 fn start(backend: BackendKind, shards: usize, capacity: usize) -> Arc<Server> {
+    // Inherits `unsafe_workers` from the environment (the
+    // RISGRAPH_UNSAFE_WORKERS CI legs re-run the whole suite with a
+    // parallel unsafe phase); `start_workers` pins it explicitly.
     Arc::new(
         Server::start(
             vec![Arc::new(Wcc::new()) as DynAlgorithm],
@@ -41,6 +45,17 @@ fn start(backend: BackendKind, shards: usize, capacity: usize) -> Arc<Server> {
         )
         .unwrap(),
     )
+}
+
+fn start_workers(
+    backend: BackendKind,
+    shards: usize,
+    capacity: usize,
+    unsafe_workers: usize,
+) -> Arc<Server> {
+    let mut config = server_config(backend, shards);
+    config.unsafe_workers = unsafe_workers;
+    Arc::new(Server::start(vec![Arc::new(Wcc::new()) as DynAlgorithm], capacity, config).unwrap())
 }
 
 /// Run the same per-session streams through `shards = 1` and
@@ -192,6 +207,77 @@ fn ooc_mmap_equals_legacy_ooc_and_ia_hash() {
 
     for p in scratch {
         risgraph_testkit::remove_ooc_files(&p);
+    }
+}
+
+/// The parallel unsafe phase differential (§7): `unsafe_workers = 4`
+/// must be observably identical to `unsafe_workers = 1` on an
+/// all-unsafe workload — per-session chain churn under WCC, where
+/// every update splits or merges its session's component. Sessions
+/// pipeline their streams ([`drive_sessions_pipelined`]) so the unsafe
+/// queue genuinely fills with concurrently pending updates, and the
+/// `unsafe_parallel_groups` counter proves the parallel path (not its
+/// serial fallback) did the work being compared. Checked at shards 1
+/// and 4 on IA_Hash and on the mmap OOC store.
+#[test]
+fn parallel_unsafe_equals_serial() {
+    let cfg = UnsafeChainConfig {
+        sessions: 4,
+        chain: 12,
+        base: 1,
+        pairs: 40,
+    };
+    let streams = unsafe_chain_streams_with_build(&cfg);
+    let n = cfg.capacity();
+
+    let unsafe_differential = |label: &str, serial: Arc<Server>, parallel: Arc<Server>| {
+        let traces_serial = drive_sessions_pipelined(&serial, &streams);
+        let traces_parallel = drive_sessions_pipelined(&parallel, &streams);
+        assert_servers_equivalent(
+            label,
+            &serial,
+            &traces_serial,
+            &parallel,
+            &traces_parallel,
+            &streams,
+            Wcc::new(),
+            n,
+        );
+        let groups = parallel
+            .stats()
+            .unsafe_parallel_groups
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert!(groups > 0, "{label}: parallel unsafe phase never engaged");
+        assert_eq!(
+            serial
+                .stats()
+                .unsafe_parallel_groups
+                .load(std::sync::atomic::Ordering::Relaxed),
+            0,
+            "{label}: unsafe_workers = 1 must never group"
+        );
+        Arc::try_unwrap(serial).ok().unwrap().shutdown();
+        Arc::try_unwrap(parallel).ok().unwrap().shutdown();
+    };
+
+    for shards in [1usize, 4] {
+        unsafe_differential(
+            &format!("IA_Hash s{shards} w1 vs w4"),
+            start_workers(BackendKind::IaHash, shards, n, 1),
+            start_workers(BackendKind::IaHash, shards, n, 4),
+        );
+
+        let (mmap_a, pa) =
+            risgraph_testkit::ooc_mmap_backend(&format!("unsafe-diff-s{shards}-serial"));
+        let (mmap_b, pb) =
+            risgraph_testkit::ooc_mmap_backend(&format!("unsafe-diff-s{shards}-parallel"));
+        unsafe_differential(
+            &format!("OOC_MMAP s{shards} w1 vs w4"),
+            start_workers(mmap_a, shards, n, 1),
+            start_workers(mmap_b, shards, n, 4),
+        );
+        risgraph_testkit::remove_ooc_files(&pa);
+        risgraph_testkit::remove_ooc_files(&pb);
     }
 }
 

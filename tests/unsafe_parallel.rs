@@ -1,0 +1,242 @@
+//! The parallel unsafe phase under *conflict* (§7): hub-centered
+//! workloads where every update's affected area contains one shared
+//! vertex, so conflict grouping can never split the pending queue and
+//! the server must take its serial fallback — plus the WAL stamping
+//! guarantees of the parallel path.
+//!
+//! Observational determinism on the hub star: under WCC the hub keeps
+//! label 0 no matter which spokes are attached, and each spoke's label
+//! depends only on whether its own `hub → spoke` edge is present. Each
+//! session's spokes are session-unique, so every session's replies,
+//! point-in-time values and modification sets are deterministic even
+//! though all sessions share the hub — which is exactly the property
+//! [`assert_servers_equivalent`] needs (its usual disjoint-region
+//! precondition is the general way to obtain it).
+//!
+//! WAL stamping: version assignment and WAL records must be byte-exact
+//! with respect to the serial server. Epoch *boundaries* are a race in
+//! both configurations, so the comparable artifacts are the flattened
+//! record stream's per-session-region projections (session order is
+//! preserved by the gather phase, so each projection must equal the
+//! session's applied stream verbatim) — and, for a single session, the
+//! whole flattened log and every version number.
+
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use risgraph::algorithms::Wcc;
+use risgraph::core::wal::replay;
+use risgraph::prelude::*;
+use risgraph::storage::BackendKind;
+use risgraph_testkit::{
+    assert_servers_equivalent, drive_sessions_pipelined, hub_conflict_streams, random_stream,
+    server_config, store_fingerprint, temp_path, unsafe_chain_streams_with_build,
+    HubConflictConfig, UnsafeChainConfig,
+};
+
+fn start(
+    backend: BackendKind,
+    shards: usize,
+    capacity: usize,
+    unsafe_workers: usize,
+    wal_path: Option<PathBuf>,
+) -> Arc<Server> {
+    let mut config = server_config(backend, shards);
+    config.unsafe_workers = unsafe_workers;
+    config.wal_path = wal_path;
+    Arc::new(Server::start(vec![Arc::new(Wcc::new()) as DynAlgorithm], capacity, config).unwrap())
+}
+
+fn shutdown(server: Arc<Server>) {
+    Arc::try_unwrap(server).ok().unwrap().shutdown();
+}
+
+/// Drive hub streams through `unsafe_workers = 1` and `= 4` servers,
+/// assert observable equivalence, and return the parallel server's
+/// `(unsafe_parallel_groups, unsafe_serial_fallbacks)` counters.
+fn hub_differential(label: &str, cfg: &HubConflictConfig, shards: usize) -> (u64, u64) {
+    let streams = hub_conflict_streams(cfg);
+    let n = cfg.capacity();
+    let serial = start(BackendKind::IaHash, shards, n, 1, None);
+    let parallel = start(BackendKind::IaHash, shards, n, 4, None);
+    let traces_serial = drive_sessions_pipelined(&serial, &streams);
+    let traces_parallel = drive_sessions_pipelined(&parallel, &streams);
+    assert_servers_equivalent(
+        label,
+        &serial,
+        &traces_serial,
+        &parallel,
+        &traces_parallel,
+        &streams,
+        Wcc::new(),
+        n,
+    );
+    let stats = parallel.stats();
+    let out = (
+        stats.unsafe_parallel_groups.load(Ordering::Relaxed),
+        stats.unsafe_serial_fallbacks.load(Ordering::Relaxed),
+    );
+    shutdown(serial);
+    shutdown(parallel);
+    out
+}
+
+/// Every hub update succeeds, conflicts with every other pending one,
+/// and the server falls back to serial execution — observably
+/// identical to `unsafe_workers = 1`.
+#[test]
+fn hub_conflicts_force_serial_fallback() {
+    let cfg = HubConflictConfig {
+        sessions: 4,
+        region: 8,
+        base: 1,
+        pairs: 50,
+        hub: 0,
+    };
+    let (groups, fallbacks) = hub_differential("hub conflict", &cfg, 1);
+    assert_eq!(
+        groups, 0,
+        "all affected areas share the hub; grouping must never split them"
+    );
+    assert!(fallbacks > 0, "conflicting epochs must count as fallbacks");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Randomized conflict-heavy differential: any session count, load
+    /// and shard count — the fallback path engages and `parallel ≡
+    /// serial` holds throughout.
+    #[test]
+    fn hub_conflict_prop(
+        sessions in 3usize..6,
+        pairs in 20usize..50,
+        region in 4u64..12,
+        sharded in proptest::bool::ANY,
+    ) {
+        let shards = if sharded { 4 } else { 1 };
+        let cfg = HubConflictConfig { sessions, region, base: 1, pairs, hub: 0 };
+        let label = format!("hub prop s{sessions} p{pairs} r{region} sh{shards}");
+        let (groups, fallbacks) = hub_differential(&label, &cfg, shards);
+        prop_assert_eq!(groups, 0, "hub workload must never group");
+        prop_assert!(fallbacks > 0, "fallback never engaged");
+    }
+}
+
+/// The vertices an update names, for region projection.
+fn update_vertices(u: &Update) -> Vec<u64> {
+    match u {
+        Update::InsEdge(e) | Update::DelEdge(e) => vec![e.src, e.dst],
+        Update::InsVertex(v) | Update::DelVertex(v) => vec![*v],
+    }
+}
+
+/// WAL stamping is byte-exact: on an all-unsafe multi-session chain
+/// workload, the flattened WAL of an `unsafe_workers = 4` server —
+/// with the parallel path demonstrably engaged — projects onto each
+/// session's region as exactly that session's applied stream, i.e. the
+/// same projections the serial server writes. (Record *boundaries*
+/// race in both configurations; flattened order per region is the
+/// deterministic artifact.)
+#[test]
+fn parallel_unsafe_wal_projections_are_exact() {
+    let cfg = UnsafeChainConfig {
+        sessions: 4,
+        chain: 10,
+        base: 1,
+        pairs: 30,
+    };
+    let streams = unsafe_chain_streams_with_build(&cfg);
+    let n = cfg.capacity();
+
+    let mut flats = Vec::new();
+    let mut paths = Vec::new();
+    for (tag, workers) in [("w1", 1usize), ("w4", 4)] {
+        let path = temp_path(&format!("unsafe-wal-{tag}.wal"));
+        let server = start(BackendKind::IaHash, 1, n, workers, Some(path.clone()));
+        let traces = drive_sessions_pipelined(&server, &streams);
+        for (i, t) in traces.iter().enumerate() {
+            assert!(
+                t.steps.iter().all(|s| s.ok),
+                "{tag}: session {i} had a failed update"
+            );
+        }
+        if workers > 1 {
+            assert!(
+                server
+                    .stats()
+                    .unsafe_parallel_groups
+                    .load(Ordering::Relaxed)
+                    > 0,
+                "{tag}: the WAL under test must come from the parallel path"
+            );
+        }
+        let fingerprint = store_fingerprint(server.engine(), n as u64);
+        shutdown(server);
+        let flat: Vec<Update> = replay(&path).unwrap().into_iter().flatten().collect();
+        flats.push((flat, fingerprint));
+        paths.push(path);
+    }
+
+    let (flat_serial, fp_serial) = &flats[0];
+    let (flat_parallel, fp_parallel) = &flats[1];
+    assert_eq!(
+        fp_serial, fp_parallel,
+        "final store contents must agree before trusting the logs"
+    );
+    assert_eq!(flat_serial.len(), flat_parallel.len(), "total WAL records");
+
+    for (i, stream) in streams.iter().enumerate() {
+        let (lo, hi) = (cfg.lo(i), cfg.lo(i) + cfg.chain);
+        let in_region = |u: &&Update| update_vertices(u).iter().all(|&v| v >= lo && v < hi);
+        let proj_serial: Vec<&Update> = flat_serial.iter().filter(in_region).collect();
+        let proj_parallel: Vec<&Update> = flat_parallel.iter().filter(in_region).collect();
+        let want: Vec<&Update> = stream.iter().collect();
+        assert_eq!(
+            proj_serial, want,
+            "session {i}: serial WAL projection ≠ applied stream"
+        );
+        assert_eq!(
+            proj_parallel, want,
+            "session {i}: parallel WAL projection ≠ applied stream"
+        );
+    }
+    for p in paths {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// One synchronous session serializes everything, so `unsafe_workers`
+/// must change *nothing at all*: every version number and the entire
+/// flattened WAL are identical.
+#[test]
+fn single_session_is_version_and_wal_exact() {
+    let n = 24usize;
+    let stream = vec![random_stream(n as u64, 150, 11, 4)];
+    let path_a = temp_path("unsafe-single-w1.wal");
+    let path_b = temp_path("unsafe-single-w4.wal");
+    let a = start(BackendKind::IaHash, 1, n, 1, Some(path_a.clone()));
+    let b = start(BackendKind::IaHash, 1, n, 4, Some(path_b.clone()));
+    let ta = drive_sessions_pipelined(&a, &stream);
+    let tb = drive_sessions_pipelined(&b, &stream);
+    assert_eq!(ta[0].steps, tb[0].steps, "version-exact trace equality");
+    assert_servers_equivalent(
+        "single session unsafe_workers",
+        &a,
+        &ta,
+        &b,
+        &tb,
+        &stream,
+        Wcc::new(),
+        n,
+    );
+    shutdown(a);
+    shutdown(b);
+    let flat_a: Vec<Update> = replay(&path_a).unwrap().into_iter().flatten().collect();
+    let flat_b: Vec<Update> = replay(&path_b).unwrap().into_iter().flatten().collect();
+    assert_eq!(flat_a, flat_b, "byte-identical flattened WAL");
+    let _ = std::fs::remove_file(path_a);
+    let _ = std::fs::remove_file(path_b);
+}
