@@ -90,6 +90,8 @@ const RE_RELEASED: u8 = 0x87;
 const RE_STATS: u8 = 0x88;
 const RE_WAL_EPOCH: u8 = 0x90;
 const RE_HEARTBEAT: u8 = 0x91;
+const RE_SNAPSHOT_CHUNK: u8 = 0x92;
+const RE_SNAPSHOT_DONE: u8 = 0x93;
 
 /// A client → server message (one per frame, after the request id).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -349,6 +351,26 @@ pub enum Response {
         records: u64,
         /// The leader's current result version.
         version: u64,
+    },
+    /// One chunk of a snapshot bootstrap's structure batch. Streamed
+    /// to a *fresh* subscriber (`from == 0`) when the feed's oldest
+    /// records have been evicted past a checkpoint: instead of a
+    /// replay-from-genesis record stream, the leader ships its
+    /// checkpointed structure in bounded chunks. The follower buffers
+    /// chunks and installs them atomically when
+    /// [`Response::SnapshotDone`] arrives — a disconnect mid-bootstrap
+    /// leaves the replica untouched (still fresh, clean retry).
+    SnapshotChunk(Vec<Update>),
+    /// Snapshot bootstrap complete: the buffered chunks are the
+    /// leader's full checkpointed structure, and the live
+    /// [`Response::WalEpoch`] stream resumes at feed index
+    /// `resume_index` with the leader at `resume_version`.
+    SnapshotDone {
+        /// Feed index of the first post-snapshot record (the
+        /// follower's applied-record count after installing).
+        resume_index: u64,
+        /// Leader result version the snapshot corresponds to.
+        resume_version: u64,
     },
 }
 
@@ -681,6 +703,22 @@ impl Response {
                 put_u64(&mut buf, *records);
                 put_u64(&mut buf, *version);
             }
+            Response::SnapshotChunk(updates) => {
+                buf.push(RE_SNAPSHOT_CHUNK);
+                put_u32(&mut buf, updates.len() as u32);
+                for u in updates {
+                    buf.push(update_opcode(u));
+                    put_update_body(&mut buf, u);
+                }
+            }
+            Response::SnapshotDone {
+                resume_index,
+                resume_version,
+            } => {
+                buf.push(RE_SNAPSHOT_DONE);
+                put_u64(&mut buf, *resume_index);
+                put_u64(&mut buf, *resume_version);
+            }
         }
         buf
     }
@@ -797,6 +835,26 @@ impl Response {
             RE_HEARTBEAT => Response::Heartbeat {
                 records: c.u64()?,
                 version: c.u64()?,
+            },
+            RE_SNAPSHOT_CHUNK => {
+                let n = c.u32()? as usize;
+                // Each update is at least 9 bytes: reject impossible
+                // counts before allocating.
+                if n > payload.len() / 9 + 1 {
+                    return Err(Error::Protocol(format!(
+                        "snapshot chunk count {n} exceeds payload"
+                    )));
+                }
+                let mut updates = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let tag = c.u8()?;
+                    updates.push(read_update(tag, &mut c)?);
+                }
+                Response::SnapshotChunk(updates)
+            }
+            RE_SNAPSHOT_DONE => Response::SnapshotDone {
+                resume_index: c.u64()?,
+                resume_version: c.u64()?,
             },
             other => {
                 return Err(Error::Protocol(format!("unknown response opcode {other}")));
@@ -979,6 +1037,24 @@ mod tests {
             records: 5,
             version: 99,
         });
+        roundtrip_response(Response::SnapshotChunk(vec![
+            Update::InsVertex(3),
+            Update::InsEdge(Edge::new(3, 4, 2)),
+        ]));
+        roundtrip_response(Response::SnapshotChunk(vec![]));
+        roundtrip_response(Response::SnapshotDone {
+            resume_index: 17,
+            resume_version: 5,
+        });
+    }
+
+    #[test]
+    fn forged_snapshot_chunk_count_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&7u64.to_le_bytes()); // req id
+        buf.push(0x92); // RE_SNAPSHOT_CHUNK
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd count
+        assert!(matches!(Response::decode(&buf), Err(Error::Protocol(_))));
     }
 
     #[test]

@@ -306,6 +306,58 @@ impl<G: DynamicGraph> Engine<G> {
         self.state.read().store.backend_name()
     }
 
+    /// Export the live structure as a synthetic update batch — an
+    /// `InsVertex` per live vertex (so isolated vertices survive),
+    /// then every edge repeated by its multiplicity, in vertex order —
+    /// such that applying it to an empty store reproduces the graph on
+    /// any backend. Checkpoint capture; call at an epoch boundary.
+    pub fn export_structure(&self) -> Vec<Update> {
+        let st = self.state.read();
+        let mut verts = Vec::new();
+        st.store.for_each_vertex(&mut |v| verts.push(v));
+        verts.sort_unstable();
+        let mut out = Vec::with_capacity(verts.len());
+        for &v in &verts {
+            out.push(Update::InsVertex(v));
+        }
+        for &v in &verts {
+            st.store.scan_out(v, &mut |d, w, c| {
+                for _ in 0..c {
+                    out.push(Update::InsEdge(Edge::new(v, d, w)));
+                }
+            });
+        }
+        out
+    }
+
+    /// Export every algorithm's dependency-tree state for vertices
+    /// `0..n` (checkpoint capture; call at an epoch boundary).
+    pub fn results_snapshot(&self, n: usize) -> Vec<Vec<VertexState>> {
+        let st = self.state.read();
+        st.algos
+            .iter()
+            .map(|a| (0..n as u64).map(|v| a.tree.get(v)).collect())
+            .collect()
+    }
+
+    /// Install previously exported result states (checkpoint restore).
+    /// The matching structure must already be applied and capacity
+    /// ensured; skips silently past states beyond current capacity.
+    pub fn restore_results(&self, per_algo: &[Vec<VertexState>]) {
+        let st = self.state.read();
+        assert_eq!(
+            per_algo.len(),
+            st.algos.len(),
+            "result snapshot algorithm count mismatch"
+        );
+        for (a, states) in st.algos.iter().zip(per_algo) {
+            let n = states.len().min(a.tree.capacity());
+            for (v, s) in states.iter().take(n).enumerate() {
+                a.tree.restore(v as u64, *s);
+            }
+        }
+    }
+
     fn next_epoch(&self) -> u64 {
         self.epoch.fetch_add(1, Ordering::Relaxed) + 1
     }

@@ -39,7 +39,8 @@
 //! error that makes the follower resubscribe from its watermark — the
 //! two properties that make kill-and-reconnect catch-up safe.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex as StdMutex};
 use std::time::Duration;
 
@@ -59,24 +60,66 @@ use crate::tree::Value;
 /// below the response frame limit.
 pub const MAX_RECORD_UPDATES: usize = 16_384;
 
-/// The leader's replication feed: every published [`FeedRecord`],
-/// retained in memory and addressed by dense index, plus the follower
-/// registration slots (`max_followers`).
+/// Retained records plus the retention bookkeeping, under one lock:
+/// eviction decisions must see a consistent (records, watermarks,
+/// checkpoint-cut) triple.
+struct FeedBuf {
+    /// Feed index of `records.front()` — the retention floor. Indexes
+    /// below it have been evicted (covered by the checkpoint snapshot
+    /// and already streamed to every registered follower).
+    base: u64,
+    records: VecDeque<std::sync::Arc<FeedRecord>>,
+    /// Per-registered-follower next-needed index; a record below every
+    /// watermark has been delivered everywhere.
+    watermarks: HashMap<u64, u64>,
+    next_slot: u64,
+    /// The latest checkpoint cut `(feed index, leader version)`: the
+    /// on-disk snapshot covers all records below the index, so they
+    /// may be evicted once every follower has passed them. `None`
+    /// until the first checkpoint ⇒ nothing is ever evicted.
+    cut: Option<(u64, u64)>,
+}
+
+impl FeedBuf {
+    fn len(&self) -> u64 {
+        self.base + self.records.len() as u64
+    }
+
+    /// Drop every record below the checkpoint cut that all registered
+    /// followers have already passed.
+    fn evict(&mut self) {
+        let Some((cut, _)) = self.cut else { return };
+        let floor = self.watermarks.values().copied().fold(cut, u64::min);
+        while self.base < floor {
+            self.records.pop_front();
+            self.base += 1;
+        }
+    }
+}
+
+/// The leader's replication feed: the published [`FeedRecord`]s,
+/// addressed by dense index and retained until a checkpoint covers
+/// them *and* every registered follower's watermark has passed them,
+/// plus the follower registration slots (`max_followers`).
 pub struct ReplicationFeed {
-    records: StdMutex<Vec<std::sync::Arc<FeedRecord>>>,
+    buf: StdMutex<FeedBuf>,
     grew: Condvar,
     max_followers: usize,
-    followers: AtomicUsize,
 }
 
 impl ReplicationFeed {
     /// An empty feed admitting at most `max_followers` subscribers.
     pub fn new(max_followers: usize) -> Self {
         ReplicationFeed {
-            records: StdMutex::new(Vec::new()),
+            buf: StdMutex::new(FeedBuf {
+                base: 0,
+                records: VecDeque::new(),
+                watermarks: HashMap::new(),
+                next_slot: 0,
+                cut: None,
+            }),
             grew: Condvar::new(),
             max_followers,
-            followers: AtomicUsize::new(0),
         }
     }
 
@@ -87,34 +130,76 @@ impl ReplicationFeed {
 
     /// Currently registered followers.
     pub fn followers(&self) -> usize {
-        self.followers.load(Ordering::Acquire)
+        self.buf.lock().unwrap().watermarks.len()
     }
 
-    /// Claim a follower slot; `false` when the limit is reached.
-    pub fn try_register(&self) -> bool {
-        let mut cur = self.followers.load(Ordering::Acquire);
-        loop {
-            if cur >= self.max_followers {
-                return false;
-            }
-            match self
-                .followers
-                .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
-            {
-                Ok(_) => return true,
-                Err(now) => cur = now,
+    /// Claim a follower slot whose first needed record is `from`;
+    /// `None` when the limit is reached. The slot's watermark pins the
+    /// retention floor at `from` until advanced via
+    /// [`ReplicationFeed::set_watermark`].
+    pub fn try_register(&self, from: u64) -> Option<u64> {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.watermarks.len() >= self.max_followers {
+            return None;
+        }
+        let slot = buf.next_slot;
+        buf.next_slot += 1;
+        buf.watermarks.insert(slot, from);
+        Some(slot)
+    }
+
+    /// Release a slot claimed by [`ReplicationFeed::try_register`],
+    /// evicting whatever only it was pinning.
+    pub fn unregister(&self, slot: u64) {
+        let mut buf = self.buf.lock().unwrap();
+        buf.watermarks.remove(&slot);
+        buf.evict();
+    }
+
+    /// Advance a follower's watermark to `next` (the index it needs
+    /// next — everything below has been delivered), evicting records
+    /// every follower and the checkpoint have passed. Watermarks are
+    /// monotone; stale values are ignored.
+    pub fn set_watermark(&self, slot: u64, next: u64) {
+        let mut buf = self.buf.lock().unwrap();
+        if let Some(w) = buf.watermarks.get_mut(&slot) {
+            if next > *w {
+                *w = next;
+                buf.evict();
             }
         }
     }
 
-    /// Release a slot claimed by [`ReplicationFeed::try_register`].
-    pub fn unregister(&self) {
-        self.followers.fetch_sub(1, Ordering::AcqRel);
+    /// Record a checkpoint cut: the durable snapshot now covers every
+    /// record below `index`, captured at leader version `version` —
+    /// the resume coordinates a snapshot-bootstrapped follower starts
+    /// from. Unblocks eviction up to the cut.
+    pub fn set_checkpoint(&self, index: u64, version: u64) {
+        let mut buf = self.buf.lock().unwrap();
+        buf.cut = Some((index, version));
+        buf.evict();
     }
 
-    /// Records published so far.
+    /// The latest checkpoint cut `(feed index, leader version)`.
+    pub fn checkpoint_cut(&self) -> Option<(u64, u64)> {
+        self.buf.lock().unwrap().cut
+    }
+
+    /// Records published so far (including evicted ones — indexes are
+    /// dense over the feed's whole history).
     pub fn len(&self) -> u64 {
-        self.records.lock().unwrap().len() as u64
+        self.buf.lock().unwrap().len()
+    }
+
+    /// First retained index — the retention floor. A subscribe below
+    /// it must bootstrap from the checkpoint snapshot.
+    pub fn base(&self) -> u64 {
+        self.buf.lock().unwrap().base
+    }
+
+    /// Records currently resident in memory (the soak-test bound).
+    pub fn resident(&self) -> u64 {
+        self.buf.lock().unwrap().records.len() as u64
     }
 
     /// `true` when nothing has been published.
@@ -122,33 +207,39 @@ impl ReplicationFeed {
         self.len() == 0
     }
 
-    /// The record at `index`, if published.
+    /// The record at `index`: `None` when not yet published *or*
+    /// already evicted (callers distinguish via
+    /// [`ReplicationFeed::base`]).
     pub fn get(&self, index: u64) -> Option<std::sync::Arc<FeedRecord>> {
-        self.records.lock().unwrap().get(index as usize).cloned()
+        let buf = self.buf.lock().unwrap();
+        index
+            .checked_sub(buf.base)
+            .and_then(|i| buf.records.get(i as usize))
+            .cloned()
     }
 
     /// Block until the feed holds a record at `index` (returning the new
     /// length) or `timeout` elapses (returning the current length).
     pub fn wait_beyond(&self, index: u64, timeout: Duration) -> u64 {
-        let guard = self.records.lock().unwrap();
-        if (guard.len() as u64) > index {
-            return guard.len() as u64;
+        let guard = self.buf.lock().unwrap();
+        if guard.len() > index {
+            return guard.len();
         }
         let (guard, _) = self
             .grew
-            .wait_timeout_while(guard, timeout, |r| (r.len() as u64) <= index)
+            .wait_timeout_while(guard, timeout, |b| b.len() <= index)
             .unwrap();
-        guard.len() as u64
+        guard.len()
     }
 
     fn push_all(&self, mut records: Vec<FeedRecord>) {
         if records.is_empty() {
             return;
         }
-        let mut guard = self.records.lock().unwrap();
+        let mut guard = self.buf.lock().unwrap();
         for mut rec in records.drain(..) {
-            rec.index = guard.len() as u64;
-            guard.push(std::sync::Arc::new(rec));
+            rec.index = guard.len();
+            guard.records.push_back(std::sync::Arc::new(rec));
         }
         drop(guard);
         self.grew.notify_all();
@@ -423,6 +514,56 @@ impl Replica {
         Ok(true)
     }
 
+    /// Install a leader checkpoint snapshot on a **fresh** replica: a
+    /// cold follower whose subscribe offset fell below the feed's
+    /// retention floor receives the snapshot's structure plus the
+    /// resume coordinates `(resume_index, resume_version)` — the feed
+    /// index and leader version the snapshot corresponds to — and
+    /// continues live from there. The caller buffers the streamed
+    /// chunks and installs them in one shot, so a connection lost
+    /// mid-bootstrap leaves the replica untouched (still fresh, still
+    /// able to resubscribe from 0). A non-fresh replica rejects the
+    /// install: its state would double-apply under the snapshot.
+    pub fn install_snapshot(
+        &self,
+        updates: &[Update],
+        resume_index: u64,
+        resume_version: u64,
+    ) -> Result<()> {
+        let _gate = self.gate.write();
+        if self.applied_records.load(Ordering::Acquire) != 0 {
+            return Err(Error::Protocol(
+                "snapshot bootstrap on a non-fresh replica".into(),
+            ));
+        }
+        let need = updates
+            .iter()
+            .map(|u| match u {
+                Update::InsEdge(e) | Update::DelEdge(e) => e.src.max(e.dst),
+                Update::InsVertex(v) | Update::DelVertex(v) => *v,
+            })
+            .max()
+            .map_or(0, |v| v.saturating_add(1));
+        if need as usize > self.engine.capacity() {
+            if need as usize > self.max_capacity {
+                return Err(Error::Corruption(format!(
+                    "snapshot names vertex {} beyond the replica's max_capacity {}",
+                    need - 1,
+                    self.max_capacity
+                )));
+            }
+            self.engine.ensure_capacity(need as usize);
+        }
+        for u in updates {
+            let _ = self.engine.apply_structure(u);
+        }
+        self.needs_recompute.store(true, Ordering::Release);
+        self.version.store(resume_version, Ordering::Release);
+        self.applied_records.store(resume_index, Ordering::Release);
+        self.note_leader_version(resume_version);
+        Ok(())
+    }
+
     fn check_version(&self, version: VersionId) -> Result<()> {
         if version > self.version.load(Ordering::Acquire) {
             return Err(Error::VersionNotFound(version));
@@ -519,12 +660,57 @@ mod tests {
     #[test]
     fn follower_slots_are_bounded() {
         let feed = ReplicationFeed::new(2);
-        assert!(feed.try_register());
-        assert!(feed.try_register());
-        assert!(!feed.try_register());
-        feed.unregister();
-        assert!(feed.try_register());
+        let a = feed.try_register(0).unwrap();
+        let _b = feed.try_register(0).unwrap();
+        assert!(feed.try_register(0).is_none());
+        feed.unregister(a);
+        assert!(feed.try_register(0).is_some());
         assert_eq!(feed.followers(), 2);
+    }
+
+    /// Before the first checkpoint nothing is ever evicted (a cold
+    /// follower must be able to catch up from index 0); after one,
+    /// records below the cut go as soon as no follower pins them.
+    #[test]
+    fn checkpoint_cut_evicts_passed_records() {
+        let feed = ReplicationFeed::new(2);
+        for i in 0..4 {
+            feed.append_epoch(vec![Update::InsVertex(i)], 1, vec![]);
+        }
+        assert_eq!((feed.len(), feed.base(), feed.resident()), (4, 0, 4));
+        // No followers: the cut alone sets the retention floor.
+        feed.set_checkpoint(3, 3);
+        assert_eq!((feed.len(), feed.base(), feed.resident()), (4, 3, 1));
+        assert!(feed.get(2).is_none(), "evicted");
+        assert_eq!(feed.get(3).unwrap().index, 3, "post-cut record retained");
+        assert_eq!(feed.checkpoint_cut(), Some((3, 3)));
+        // Indexes stay dense across eviction.
+        feed.append_epoch(vec![Update::InsVertex(9)], 1, vec![]);
+        assert_eq!(feed.get(4).unwrap().index, 4);
+    }
+
+    #[test]
+    fn follower_watermark_pins_retention() {
+        let feed = ReplicationFeed::new(2);
+        for i in 0..6 {
+            feed.append_epoch(vec![Update::InsVertex(i)], 1, vec![]);
+        }
+        let slot = feed.try_register(0).unwrap();
+        feed.set_checkpoint(5, 5);
+        // The registered follower still needs record 0: nothing goes.
+        assert_eq!((feed.base(), feed.resident()), (0, 6));
+        feed.set_watermark(slot, 4);
+        assert_eq!(
+            (feed.base(), feed.resident()),
+            (4, 2),
+            "evicted to min(watermark, cut)"
+        );
+        // Watermarks are monotone: a stale value cannot resurrect.
+        feed.set_watermark(slot, 2);
+        assert_eq!(feed.base(), 4);
+        // Dropping the follower releases its pin up to the cut.
+        feed.unregister(slot);
+        assert_eq!((feed.base(), feed.resident()), (5, 1));
     }
 
     #[test]

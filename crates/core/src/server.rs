@@ -69,8 +69,8 @@ use crate::engine::{
 use crate::history::HistoryStore;
 use crate::replication::ReplicationFeed;
 use crate::scheduler::{Scheduler, SchedulerConfig};
-use crate::tree::Value;
-use crate::wal::{replay, WalWriter};
+use crate::tree::{Value, VertexState};
+use crate::wal::{read_snapshot, write_snapshot, ResultState, Snapshot, WalWriter};
 
 /// Server construction parameters.
 #[derive(Clone)]
@@ -154,6 +154,24 @@ pub struct ServerConfig {
     /// follower lags without wedging the epoch loop. Defaults to the
     /// `RISGRAPH_MAX_FOLLOWERS` environment variable when set, else 0.
     pub max_followers: usize,
+    /// Rotate the WAL to a fresh segment once the active one reaches
+    /// this many bytes. `0` (the default) disables rotation and keeps
+    /// the pre-segmentation single-file behaviour; `> 0` also arms the
+    /// checkpoint-pressure trigger (a checkpoint fires once enough
+    /// sealed segments pile up, pg_walrus's `max_wal_size`
+    /// discipline), which truncates segments older than the snapshot.
+    /// Defaults to the `RISGRAPH_MAX_WAL_SEGMENT` environment variable
+    /// when set, else 0.
+    pub max_wal_segment_bytes: u64,
+    /// Periodic checkpoint cadence: every interval the coordinator
+    /// rotates the log, persists a structure + results snapshot,
+    /// truncates pre-snapshot segments and cuts the replication feed's
+    /// retention floor. `None` (the default) leaves checkpointing to
+    /// the pressure trigger alone (or disables it entirely when
+    /// `max_wal_segment_bytes` is also 0). Defaults to the
+    /// `RISGRAPH_CHECKPOINT_INTERVAL_MS` environment variable when
+    /// set, else `None`.
+    pub checkpoint_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -189,6 +207,15 @@ impl Default for ServerConfig {
                 .ok()
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(0),
+            max_wal_segment_bytes: std::env::var("RISGRAPH_MAX_WAL_SEGMENT")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0),
+            checkpoint_interval: std::env::var("RISGRAPH_CHECKPOINT_INTERVAL_MS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|&ms: &u64| ms > 0)
+                .map(Duration::from_millis),
         }
     }
 }
@@ -228,6 +255,100 @@ fn max_vertex_of(updates: &[Update]) -> u64 {
         .max()
         .map_or(0, |v| v.saturating_add(1))
 }
+
+/// Apply one replayed record (or the snapshot's structure batch) to
+/// the engine: one capacity check per record — an epoch-merged record
+/// can hold tens of thousands of updates — then raw structure
+/// application. Individual errors (e.g. an update that had failed
+/// originally) are skipped.
+fn apply_replayed_batch(engine: &Engine<AnyStore>, batch: &[Update]) {
+    let need = max_vertex_of(batch);
+    if need as usize > engine.capacity() {
+        engine.ensure_capacity(need as usize);
+    }
+    for u in batch {
+        let _ = engine.apply_structure(u);
+    }
+}
+
+/// Engine result state → snapshot wire form (field-for-field; the two
+/// structs exist so `crates/core::wal` needn't depend on `tree`).
+fn results_to_snapshot(per_algo: Vec<Vec<VertexState>>) -> Vec<Vec<ResultState>> {
+    per_algo
+        .into_iter()
+        .map(|states| {
+            states
+                .into_iter()
+                .map(|s| ResultState {
+                    value: s.value,
+                    parent_src: s.parent_src,
+                    parent_data: s.parent_data,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Snapshot wire form → engine result state.
+fn results_from_snapshot(per_algo: &[Vec<ResultState>]) -> Vec<Vec<VertexState>> {
+    per_algo
+        .iter()
+        .map(|states| {
+            states
+                .iter()
+                .map(|s| VertexState {
+                    value: s.value,
+                    parent_src: s.parent_src,
+                    parent_data: s.parent_data,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Take a checkpoint: rotate the log onto a fresh segment, persist a
+/// snapshot of the full store structure plus per-algorithm results
+/// (with the replication-feed cut it corresponds to), truncate every
+/// pre-snapshot segment, and move the feed's retention floor to the
+/// cut. Crash-safe at every step: until the snapshot rename lands,
+/// recovery uses the previous snapshot plus the still-retained
+/// segments; once it lands, the older segments are dead weight whether
+/// or not the truncation completed.
+fn perform_checkpoint(
+    shared: &Shared,
+    wal: &mut WalWriter,
+    feed: Option<&ReplicationFeed>,
+) -> Result<()> {
+    let start_seg = wal.rotate()?;
+    // The cut is taken after this epoch's feed publish (and before any
+    // later one — the coordinator is the only publisher), so the
+    // exported structure reflects exactly the records below it.
+    let (cut_index, cut_version) = match feed {
+        Some(f) => (f.len(), shared.version.load(Ordering::Acquire)),
+        None => (0, 0),
+    };
+    let upper_bound = shared.engine.capacity() as u64;
+    let snap = Snapshot {
+        start_seg,
+        cut_index,
+        cut_version,
+        upper_bound,
+        updates: shared.engine.export_structure(),
+        results: results_to_snapshot(shared.engine.results_snapshot(upper_bound as usize)),
+    };
+    write_snapshot(wal.base(), &snap)?;
+    wal.truncate_to(start_seg)?;
+    if let Some(f) = feed {
+        f.set_checkpoint(cut_index, cut_version);
+    }
+    shared.stats.wal_checkpoints.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Sealed-segment backlog that forces a pressure checkpoint when
+/// rotation is enabled — pg_walrus's `max_wal_size` discipline: disk
+/// never holds more than about this many segments beyond the snapshot.
+const CHECKPOINT_SEGMENT_LAG: u64 = 4;
 
 /// Information returned with every successful update.
 #[derive(Debug, Clone, Copy)]
@@ -311,6 +432,15 @@ pub struct ServerStats {
     /// Lowest scheduler threshold observed (`u64::MAX` until the first
     /// epoch) — witnesses downward self-adjustment under pressure.
     pub min_threshold: AtomicU64,
+    /// WAL records replayed at startup — the restart-cost counter.
+    /// With checkpointing active this counts only post-snapshot
+    /// records, witnessing that recovery is proportional to the delta
+    /// since the last checkpoint rather than to history since genesis.
+    pub wal_replayed_records: AtomicU64,
+    /// Checkpoints taken (snapshot written + old segments truncated +
+    /// feed retention cut), including the startup checkpoint after a
+    /// recovery.
+    pub wal_checkpoints: AtomicU64,
 }
 
 impl ServerStats {
@@ -400,6 +530,8 @@ pub struct Server {
     shard_workers: Vec<std::thread::JoinHandle<()>>,
     /// The replication feed (present iff `max_followers > 0`).
     feed: Option<Arc<ReplicationFeed>>,
+    /// WAL base path, kept for snapshot-bootstrap reads.
+    wal_path: Option<PathBuf>,
 }
 
 impl Server {
@@ -425,34 +557,52 @@ impl Server {
             .then(|| Arc::new(ReplicationFeed::new(config.max_followers)));
 
         let mut wal = None;
+        let mut replayed_records: u64 = 0;
+        let mut recovered_any = false;
         if let Some(path) = &config.wal_path {
-            // Recovery: re-apply logged structure, then recompute once.
-            let batches = replay(path)?;
-            if !batches.is_empty() {
-                for batch in &batches {
-                    // One capacity check per record — an epoch-merged
-                    // record can hold tens of thousands of updates.
-                    let need = max_vertex_of(batch);
-                    if need as usize > engine.capacity() {
-                        engine.ensure_capacity(need as usize);
-                    }
-                    for u in batch {
-                        // Individual replay errors (e.g. an update that
-                        // had failed originally) are skipped.
-                        let _ = engine.apply_structure(u);
-                    }
+            // Recovery: apply the checkpoint snapshot (structure plus
+            // per-algorithm results), replay the retained post-snapshot
+            // segments, and recompute only when a tail actually
+            // replayed (or the snapshot carried no results). `recover`
+            // also physically truncates a torn tail before reopening
+            // for append, so records written after this recovery can
+            // never land behind leftover garbage.
+            let (recovery, writer) = WalWriter::recover(path, config.max_wal_segment_bytes)?;
+            replayed_records = recovery.replayed_records;
+            let mut bootstrap: Vec<Update> = Vec::new();
+            let mut restored_results = false;
+            if let Some(snap) = &recovery.snapshot {
+                recovered_any = true;
+                apply_replayed_batch(&engine, &snap.updates);
+                if !snap.results.is_empty() && snap.results.len() == num_algos {
+                    engine.restore_results(&results_from_snapshot(&snap.results));
+                    restored_results = true;
                 }
+                bootstrap.extend_from_slice(&snap.updates);
+            }
+            let had_tail = !recovery.batches.is_empty();
+            recovered_any |= had_tail;
+            for batch in &recovery.batches {
+                apply_replayed_batch(&engine, batch);
+            }
+            if had_tail || (recovered_any && !restored_results) {
                 engine.recompute_all();
-                // Re-publish the recovered prefix so a fresh follower
-                // can catch up from feed index 0: structure-only
-                // bootstrap records (the server itself restarts at
-                // version 0 after recovery).
+            }
+            // Re-publish the recovered prefix so a fresh follower can
+            // catch up from feed index 0: structure-only bootstrap
+            // records (the server itself restarts at version 0 after
+            // recovery). The startup checkpoint below immediately cuts
+            // these when checkpointing is on, so a snapshot bootstrap
+            // replaces the replayed-from-genesis catch-up.
+            bootstrap.extend(recovery.batches.into_iter().flatten());
+            if !bootstrap.is_empty() {
                 if let Some(feed) = &feed {
-                    feed.append_bootstrap(batches.into_iter().flatten().collect());
+                    feed.append_bootstrap(bootstrap);
                 }
             }
-            wal = Some(WalWriter::open(path)?);
+            wal = Some(writer);
         }
+        let wal_path = config.wal_path.clone();
 
         let (tx, rx) = unbounded();
         let shared = Arc::new(Shared {
@@ -473,6 +623,24 @@ impl Server {
             #[cfg(test)]
             fail_rollback: AtomicBool::new(false),
         });
+        shared
+            .stats
+            .wal_replayed_records
+            .store(replayed_records, Ordering::Relaxed);
+
+        // Startup checkpoint: fold the recovered state into a fresh
+        // snapshot so the next restart replays nothing, and cut the
+        // feed so the bootstrap records just appended become evictable
+        // once followers pass them. Only when checkpointing is on —
+        // with it off the log keeps its legacy single-file,
+        // replay-from-genesis behaviour byte-for-byte.
+        if recovered_any
+            && (config.checkpoint_interval.is_some() || config.max_wal_segment_bytes > 0)
+        {
+            if let Some(w) = wal.as_mut() {
+                perform_checkpoint(&shared, w, feed.as_deref())?;
+            }
+        }
 
         // Shard executors 1..N; the coordinator itself is executor 0.
         // The safe phase partitions across exactly `config.shards`
@@ -511,6 +679,7 @@ impl Server {
             coordinator: Some(coordinator),
             shard_workers,
             feed,
+            wal_path,
         })
     }
 
@@ -548,6 +717,26 @@ impl Server {
     /// ([`ServerConfig::max_followers`] `> 0`).
     pub fn feed(&self) -> Option<&Arc<ReplicationFeed>> {
         self.feed.as_ref()
+    }
+
+    /// The latest checkpoint snapshot, packaged for a fresh follower's
+    /// bootstrap: `(structure updates, resume feed index, resume
+    /// version)`. Re-reads until the snapshot's embedded feed cut is
+    /// at or beyond the feed's retention base — a concurrent
+    /// checkpoint atomically replaces the file, so a stale read just
+    /// retries against the newer snapshot. `None` when the WAL, the
+    /// feed or a snapshot doesn't exist (the caller falls back to
+    /// streaming retained feed records).
+    pub fn snapshot_for_bootstrap(&self) -> Option<(Vec<Update>, u64, u64)> {
+        let path = self.wal_path.as_ref()?;
+        let feed = self.feed.as_ref()?;
+        for _ in 0..64 {
+            let snap = read_snapshot(path).ok()??;
+            if snap.cut_index >= feed.base() {
+                return Some((snap.updates, snap.cut_index, snap.cut_version));
+            }
+        }
+        None
     }
 
     /// The latest assigned result version.
@@ -1029,6 +1218,10 @@ fn run_epochs(
     let mut pending: FxHashMap<u64, VecDeque<Envelope>> = FxHashMap::default();
     let mut last_gc = Instant::now();
     let mut last_wal_sync = Instant::now();
+    let mut last_checkpoint = Instant::now();
+    // Records in the log at the last checkpoint — a time-triggered
+    // checkpoint is skipped while nothing new has been appended.
+    let mut records_at_checkpoint = wal.as_ref().map_or(0, |w| w.records());
     let mut last_auto_release = Instant::now();
     // The auto-release floor trails by one tick: versions assigned in
     // the current interval stay readable through the next one.
@@ -1299,6 +1492,25 @@ fn run_epochs(
         // loop.
         if let Some(feed) = feed {
             feed.append_epoch(safe_updates, safe_ops, std::mem::take(&mut unsafe_groups));
+        }
+
+        // ---- Checkpoint (time- or pressure-triggered) --------------
+        // After the feed publish, so the snapshot's embedded cut and
+        // the engine state it captures agree. A failed checkpoint is
+        // not fatal: the log stays fully usable and the next trigger
+        // retries.
+        if let Some(w) = wal.as_mut() {
+            let due_time = config
+                .checkpoint_interval
+                .is_some_and(|iv| last_checkpoint.elapsed() >= iv);
+            let due_pressure =
+                config.max_wal_segment_bytes > 0 && w.segment_lag() >= CHECKPOINT_SEGMENT_LAG;
+            if (due_pressure || due_time) && w.records() > records_at_checkpoint {
+                if perform_checkpoint(shared, w, feed).is_ok() {
+                    records_at_checkpoint = w.records();
+                }
+                last_checkpoint = Instant::now();
+            }
         }
 
         // Threshold accounting over the aggregated per-shard counts.

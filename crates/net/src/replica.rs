@@ -31,6 +31,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use risgraph_common::ids::Update;
 use risgraph_common::protocol::{
     read_frame, write_frame, Request, Response, StatsReport, WireError, MAX_FRAME,
     MAX_RESPONSE_FRAME,
@@ -93,6 +94,9 @@ pub struct FollowerStats {
     /// Subscribe rejections from the leader (follower limit,
     /// replication disabled).
     pub rejections: AtomicU64,
+    /// Snapshot bootstraps installed (a fresh subscribe that found the
+    /// feed's genesis evicted past a leader checkpoint).
+    pub snapshot_bootstraps: AtomicU64,
 }
 
 /// Registry of live read-only query connections.
@@ -296,6 +300,10 @@ fn follower_loop(
 
         let mut r = BufReader::new(&stream);
         let mut rejected = false;
+        // Snapshot bootstrap staging: chunks accumulate here and only
+        // touch the replica when the Done frame lands, so a disconnect
+        // mid-bootstrap leaves the replica fresh and the retry clean.
+        let mut snap_buf: Vec<Update> = Vec::new();
         loop {
             if stop.load(Ordering::Acquire) {
                 return;
@@ -331,6 +339,27 @@ fn follower_loop(
                             break;
                         }
                     }
+                    Ok((_, Response::SnapshotChunk(mut updates))) => {
+                        snap_buf.append(&mut updates);
+                    }
+                    Ok((
+                        _,
+                        Response::SnapshotDone {
+                            resume_index,
+                            resume_version,
+                        },
+                    )) => match replica.install_snapshot(&snap_buf, resume_index, resume_version) {
+                        Ok(()) => {
+                            snap_buf = Vec::new();
+                            stats.snapshot_bootstraps.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Installing on a non-fresh replica (or past
+                        // the capacity ceiling) is a stream fault.
+                        Err(_) => {
+                            stats.stream_errors.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    },
                     Ok((_, Response::Failed { .. })) => {
                         // The leader refused the subscription (slots
                         // full, replication disabled). Keep retrying on

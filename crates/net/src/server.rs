@@ -403,6 +403,45 @@ impl Drop for CloseOnDrop {
     }
 }
 
+/// Updates per [`Response::SnapshotChunk`] frame — at 26 encoded bytes
+/// per update a full chunk stays far below the response frame cap.
+const SNAPSHOT_CHUNK_UPDATES: usize = 1 << 16;
+
+/// Ship the leader's checkpoint snapshot to a fresh follower: the
+/// structure batch in bounded [`Response::SnapshotChunk`] frames, then
+/// [`Response::SnapshotDone`] carrying the resume coordinates. Returns
+/// the feed index live streaming resumes from; `Err(Some(_))` is a
+/// protocol-level failure the caller reports to the client, `Err(None)`
+/// means the send path died.
+fn serve_snapshot_bootstrap(
+    server: &Server,
+    out: &Outbound,
+    sub_id: u64,
+) -> std::result::Result<u64, Option<Error>> {
+    let Some((updates, resume_index, resume_version)) = server.snapshot_for_bootstrap() else {
+        return Err(Some(Error::Protocol(
+            "feed retention advanced past the requested offset but no checkpoint \
+             snapshot is readable"
+                .into(),
+        )));
+    };
+    for chunk in updates.chunks(SNAPSHOT_CHUNK_UPDATES) {
+        if !out.send(Response::SnapshotChunk(chunk.to_vec()).encode(sub_id)) {
+            return Err(None);
+        }
+    }
+    // An empty structure still ships the Done frame — the resume
+    // coordinates are what flips the replica out of "fresh".
+    let done = Response::SnapshotDone {
+        resume_index,
+        resume_version,
+    };
+    if !out.send(done.encode(sub_id)) {
+        return Err(None);
+    }
+    Ok(resume_index)
+}
+
 /// Stream the replication feed to a subscribed follower. Runs on the
 /// connection's reader thread (which stops reading the socket — the
 /// subscription is one-way). Every outbound frame passes the bounded
@@ -410,9 +449,11 @@ impl Drop for CloseOnDrop {
 /// epoch loop publishes to the feed without ever blocking on us.
 /// Returns when the client is gone (send fails), the server drains, or
 /// the feed stops growing during shutdown.
+#[allow(clippy::too_many_arguments)] // the subscription's full wiring: feed cursor + outbound + lifecycle
 fn stream_feed(
     server: &Server,
     feed: &risgraph_core::ReplicationFeed,
+    slot: u64,
     mut next: u64,
     out: &Outbound,
     sub_id: u64,
@@ -442,6 +483,10 @@ fn stream_feed(
                 return;
             }
             next += 1;
+            // The send landed in the writer queue: everything below
+            // `next` is this follower's problem now, so release it for
+            // eviction once the checkpoint cut also passes it.
+            feed.set_watermark(slot, next);
         } else {
             // Caught up: wait for growth in short slices so shutdown
             // and the heartbeat cadence stay responsive.
@@ -702,7 +747,7 @@ fn handle_connection(
                     );
                     continue;
                 }
-                if !feed.try_register() {
+                let Some(slot) = feed.try_register(from) else {
                     out.send_failed(
                         &session,
                         req_id,
@@ -712,18 +757,59 @@ fn handle_connection(
                         )),
                     );
                     continue;
-                }
+                };
+                // Registration pinned the retention floor at `from`,
+                // so `base` cannot advance past it from here on.
                 let feed = Arc::clone(feed);
+                let mut next = from;
+                if next < feed.base() {
+                    // The requested records were evicted past a
+                    // checkpoint. A fresh follower bootstraps from the
+                    // snapshot; a mid-stream one cannot (its local
+                    // state is not the snapshot's), so until follower
+                    // snapshot shipping exists the rejection is final.
+                    if from != 0 {
+                        feed.unregister(slot);
+                        out.send_failed(
+                            &session,
+                            req_id,
+                            &Error::Protocol(format!(
+                                "subscribe offset {from} is below the feed's retention \
+                                 floor ({}); only a fresh follower (offset 0) can \
+                                 bootstrap from the snapshot",
+                                feed.base()
+                            )),
+                        );
+                        continue;
+                    }
+                    match serve_snapshot_bootstrap(&server, &out, req_id) {
+                        Ok(resume) => {
+                            next = resume;
+                            feed.set_watermark(slot, next);
+                        }
+                        Err(Some(e)) => {
+                            feed.unregister(slot);
+                            out.send_failed(&session, req_id, &e);
+                            continue;
+                        }
+                        // Send path died mid-bootstrap: tear down.
+                        Err(None) => {
+                            feed.unregister(slot);
+                            break;
+                        }
+                    }
+                }
                 stream_feed(
                     &server,
                     &feed,
-                    from,
+                    slot,
+                    next,
                     &out,
                     req_id,
                     &shutdown,
                     net.heartbeat_interval,
                 );
-                feed.unregister();
+                feed.unregister(slot);
                 break;
             }
         }

@@ -54,6 +54,31 @@ pub fn remove_ooc_files(path: &std::path::Path) {
     let _ = std::fs::remove_file(PathBuf::from(sidecar));
 }
 
+/// Remove a WAL and all its on-disk companions: the manifest at
+/// `base`, the checkpoint snapshot, and every `<base>.seg-*` segment
+/// (best-effort; missing files are fine). Tests must use this rather
+/// than `remove_file(base)` — deleting only the manifest would leave
+/// stale segments for a path-colliding later run to replay.
+pub fn remove_wal(base: &std::path::Path) {
+    let _ = std::fs::remove_file(base);
+    let (Some(dir), Some(name)) = (base.parent(), base.file_name().and_then(|n| n.to_str())) else {
+        return;
+    };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let file = entry.file_name();
+        let Some(file) = file.to_str() else { continue };
+        let Some(suffix) = file.strip_prefix(name) else {
+            continue;
+        };
+        if suffix.starts_with(".seg-") || suffix == ".snapshot" {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
 /// A [`ServerConfig`] pinned for differential testing: the requested
 /// backend and shard count, and **one** engine worker thread so
 /// intra-update propagation is deterministic (parallel propagation can

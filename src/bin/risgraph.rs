@@ -69,6 +69,10 @@ struct Args {
     follow: Option<String>,
     /// Leader-side replication follower slots (serve mode; default 4).
     max_followers: Option<usize>,
+    /// WAL segment rotation threshold in bytes (0 disables rotation).
+    max_wal_size: Option<u64>,
+    /// Periodic checkpoint cadence in milliseconds.
+    checkpoint_interval: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -83,6 +87,8 @@ fn parse_args() -> Args {
         listen: "127.0.0.1:0".to_string(),
         follow: None,
         max_followers: None,
+        max_wal_size: None,
+        checkpoint_interval: None,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -146,10 +152,31 @@ fn parse_args() -> Args {
                 };
                 i += 2;
             }
+            "--max-wal-size" if i + 1 < args.len() => {
+                parsed.max_wal_size = match args[i + 1].parse::<u64>() {
+                    Ok(n) => Some(n),
+                    Err(_) => {
+                        eprintln!("--max-wal-size takes a segment size in bytes (0 disables)");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--checkpoint-interval" if i + 1 < args.len() => {
+                parsed.checkpoint_interval = match args[i + 1].parse::<u64>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!("--checkpoint-interval takes a positive cadence in ms");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: risgraph [serve] [--algorithm bfs|sssp|sswp|wcc|reach] [--root VID] \
-                     [--store {}] [--shards N] [--wal PATH] [--listen ADDR] [--follow ADDR] \
+                     [--store {}] [--shards N] [--wal PATH] [--max-wal-size BYTES] \
+                     [--checkpoint-interval MS] [--listen ADDR] [--follow ADDR] \
                      [--max-followers N]\n\n\
                      serve       run the TCP wire-protocol server (crates/net) instead of\n\
                      \u{20}           the stdin shell; Ctrl-C drains gracefully\n\
@@ -163,7 +190,14 @@ fn parse_args() -> Args {
                      --shards N  serve through the interactive tier (sessions + epoch\n\
                      \u{20}           loop) with N parallel safe-phase shard executors;\n\
                      \u{20}           in shell mode, omit it to drive the engine directly\n\
-                     --wal PATH  write-ahead log (replayed on startup, flushed on exit)",
+                     --wal PATH  write-ahead log (replayed on startup, flushed on exit)\n\
+                     --max-wal-size BYTES  rotate the WAL onto a new segment at this size\n\
+                     \u{20}           and checkpoint under segment pressure (0 disables;\n\
+                     \u{20}           default RISGRAPH_MAX_WAL_SEGMENT or 0)\n\
+                     --checkpoint-interval MS  periodic snapshot checkpoint cadence:\n\
+                     \u{20}           persists structure + results, truncates old segments\n\
+                     \u{20}           and bounds feed retention (default\n\
+                     \u{20}           RISGRAPH_CHECKPOINT_INTERVAL_MS or off)",
                     BackendKind::CLI_CHOICES
                 );
                 std::process::exit(0);
@@ -268,6 +302,12 @@ fn run_serve(args: Args) -> ! {
     };
     if let Some(n) = args.shards {
         config.shards = n;
+    }
+    if let Some(n) = args.max_wal_size {
+        config.max_wal_segment_bytes = n;
+    }
+    if let Some(ms) = args.checkpoint_interval {
+        config.checkpoint_interval = Some(std::time::Duration::from_millis(ms));
     }
     let shards = config.shards;
     let unsafe_workers = config.unsafe_workers;
@@ -394,6 +434,12 @@ impl Shell {
                 };
                 if let Some(n) = shards {
                     config.shards = n;
+                }
+                if let Some(n) = args.max_wal_size {
+                    config.max_wal_segment_bytes = n;
+                }
+                if let Some(ms) = args.checkpoint_interval {
+                    config.checkpoint_interval = Some(std::time::Duration::from_millis(ms));
                 }
                 let server = Server::start(vec![alg], 1 << 16, config).unwrap_or_else(|e| {
                     eprintln!("cannot start server on {} store: {e}", backend.label());

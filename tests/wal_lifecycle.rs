@@ -1,0 +1,363 @@
+//! WAL lifecycle under segmentation: rotation + checkpoint truncation
+//! bound the log's disk footprint, follower watermarks + checkpoint
+//! cuts bound the replication feed's memory, and a fresh follower that
+//! subscribes below the feed's retention floor bootstraps from the
+//! checkpoint snapshot instead of the (evicted) record prefix.
+//!
+//! The fast tests here pin tiny segment sizes through `ServerConfig`
+//! directly so they are deterministic regardless of the
+//! `RISGRAPH_MAX_WAL_SEGMENT` environment (the CI `test-wal-lifecycle`
+//! job also exports it to catch env-plumbing regressions). The 60 s
+//! soak is `#[ignore]`d and runs in the slow-tests leg.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use risgraph::algorithms::Wcc;
+use risgraph::core::wal::{read_manifest, read_snapshot, replay};
+use risgraph::prelude::*;
+use risgraph_net::{FollowerConfig, NetConfig, NetServer, ReplicaServer};
+use risgraph_testkit::{
+    disjoint_session_streams, drive_net_sessions, drive_sessions, remove_wal, server_config,
+    store_fingerprint, temp_path, RegionStreamConfig,
+};
+
+fn wcc_algorithms() -> Vec<DynAlgorithm> {
+    vec![Arc::new(Wcc::new()) as DynAlgorithm]
+}
+
+/// Total on-disk bytes of a WAL: manifest + snapshot + every segment.
+fn wal_disk_bytes(base: &std::path::Path) -> u64 {
+    let mut total = std::fs::metadata(base).map_or(0, |m| m.len());
+    let (Some(dir), Some(name)) = (base.parent(), base.file_name().and_then(|n| n.to_str())) else {
+        return total;
+    };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return total;
+    };
+    for entry in entries.flatten() {
+        let file = entry.file_name();
+        let Some(file) = file.to_str() else { continue };
+        let Some(suffix) = file.strip_prefix(name) else {
+            continue;
+        };
+        if suffix.starts_with(".seg-") || suffix == ".snapshot" {
+            total += entry.metadata().map_or(0, |m| m.len());
+        }
+    }
+    total
+}
+
+/// Pressure checkpoints (segment lag, no timer) rotate, snapshot and
+/// truncate: after heavy churn only a bounded window of segments
+/// remains, and a restart replays only the post-checkpoint records.
+#[test]
+fn pressure_checkpoints_truncate_segments_and_bound_restart_replay() {
+    let cfg = RegionStreamConfig {
+        sessions: 4,
+        region: 12,
+        steps: 600,
+        seed: 41,
+        ..RegionStreamConfig::default()
+    };
+    let path = temp_path("wal-pressure.wal");
+    let mut config = server_config(BackendKind::IaHash, 4);
+    config.wal_path = Some(path.clone());
+    config.max_wal_segment_bytes = 2048;
+
+    let server = Arc::new(Server::start(wcc_algorithms(), cfg.capacity(), config.clone()).unwrap());
+    drive_sessions(&server, &disjoint_session_streams(&cfg));
+    let checkpoints = server.stats().wal_checkpoints.load(Ordering::Relaxed);
+    assert!(
+        checkpoints > 0,
+        "2 KiB segments under {} updates must trip the pressure trigger",
+        cfg.sessions * cfg.steps
+    );
+    Arc::try_unwrap(server).ok().unwrap().shutdown();
+
+    let manifest = read_manifest(&path).unwrap().expect("manifest");
+    assert!(
+        manifest.first_seg > 0,
+        "checkpoints must truncate pre-checkpoint segments"
+    );
+    assert!(
+        manifest.active_seg - manifest.first_seg <= 16,
+        "retained segment window unbounded: {} .. {}",
+        manifest.first_seg,
+        manifest.active_seg
+    );
+    assert!(
+        wal_disk_bytes(&path) <= 256 * 1024,
+        "WAL disk footprint unbounded: {} bytes",
+        wal_disk_bytes(&path)
+    );
+    let snapshot = read_snapshot(&path).unwrap().expect("snapshot");
+    assert_eq!(snapshot.start_seg, manifest.first_seg);
+
+    // Restart: replay covers only the post-checkpoint segments.
+    let batches = replay(&path).unwrap();
+    let tail_records = batches.len() as u64 - u64::from(!snapshot.updates.is_empty());
+    let recovered = Server::start(wcc_algorithms(), cfg.capacity(), config).unwrap();
+    assert_eq!(
+        recovered
+            .stats()
+            .wal_replayed_records
+            .load(Ordering::Relaxed),
+        tail_records,
+        "restart must replay exactly the retained post-checkpoint records"
+    );
+    assert!(
+        tail_records < (cfg.sessions * cfg.steps) as u64 / 2,
+        "replayed {} of {} records — truncation did nothing",
+        tail_records,
+        cfg.sessions * cfg.steps
+    );
+    recovered.shutdown();
+    remove_wal(&path);
+}
+
+/// Feed retention: once every registered follower's watermark and the
+/// checkpoint cut pass a record, it is evicted — `resident()` tracks
+/// only the live window and early indices stop resolving.
+#[test]
+fn feed_records_evict_once_watermarks_and_checkpoint_pass() {
+    let cfg = RegionStreamConfig {
+        sessions: 2,
+        region: 12,
+        steps: 400,
+        seed: 43,
+        ..RegionStreamConfig::default()
+    };
+    let path = temp_path("wal-feed.wal");
+    let mut config = server_config(BackendKind::IaHash, 1);
+    config.wal_path = Some(path.clone());
+    config.max_wal_segment_bytes = 1024;
+    config.max_followers = 1;
+
+    let server = Arc::new(Server::start(wcc_algorithms(), cfg.capacity(), config).unwrap());
+    let feed = Arc::clone(server.feed().expect("feed"));
+    let slot = feed.try_register(0).expect("register");
+
+    // No eviction while the sole follower is parked at 0, checkpoints
+    // or not: the watermark pins the base.
+    drive_sessions(&server, &disjoint_session_streams(&cfg));
+    assert!(
+        server.stats().wal_checkpoints.load(Ordering::Relaxed) > 0,
+        "churn must trip pressure checkpoints"
+    );
+    assert_eq!(feed.base(), 0, "a parked follower must pin retention");
+    let len = feed.len();
+    assert_eq!(feed.resident(), len);
+
+    // Stream the whole feed (as the net layer does), advancing the
+    // watermark per record; one more checkpointed epoch then evicts
+    // everything up to the cut.
+    for idx in 0..len {
+        assert!(
+            feed.get(idx).is_some(),
+            "record {idx} resolves before eviction"
+        );
+        feed.set_watermark(slot, idx + 1);
+    }
+    let s = server.session();
+    for i in 0..200u64 {
+        assert!(s.ins_edge(Edge::new(i % 8, i % 8 + 1, 1)).outcome.is_ok());
+    }
+    drop(s);
+    feed.set_watermark(slot, len);
+
+    let (cut, _) = feed.checkpoint_cut().expect("checkpoint cut");
+    assert!(cut > 0);
+    assert!(
+        feed.base() >= cut.min(len),
+        "eviction floor {} must reach the watermark/cut minimum {}",
+        feed.base(),
+        cut.min(len)
+    );
+    assert!(feed.base() > 0, "nothing evicted");
+    assert_eq!(feed.resident(), feed.len() - feed.base());
+    assert!(feed.get(0).is_none(), "evicted records must not resolve");
+    assert!(feed.get(feed.len() - 1).is_some(), "live tail must resolve");
+
+    feed.unregister(slot);
+    Arc::try_unwrap(server).ok().unwrap().shutdown();
+    remove_wal(&path);
+}
+
+/// A fresh follower that subscribes after checkpoint eviction has
+/// dropped the feed prefix bootstraps from the snapshot
+/// (`SnapshotChunk*` + `SnapshotDone`) and still converges to the
+/// leader's exact store.
+#[test]
+fn fresh_follower_bootstraps_from_snapshot_after_feed_eviction() {
+    let cfg = RegionStreamConfig {
+        sessions: 4,
+        region: 12,
+        steps: 400,
+        seed: 47,
+        ..RegionStreamConfig::default()
+    };
+    let path = temp_path("wal-bootstrap.wal");
+    let mut config = server_config(BackendKind::IaHash, 1);
+    config.wal_path = Some(path.clone());
+    config.max_wal_segment_bytes = 1024;
+    config.max_followers = 2;
+
+    let net = NetServer::start(
+        wcc_algorithms(),
+        cfg.capacity(),
+        config,
+        NetConfig {
+            heartbeat_interval: Duration::from_millis(20),
+            ..NetConfig::default()
+        },
+    )
+    .expect("leader");
+    drive_net_sessions(net.local_addr(), &disjoint_session_streams(&cfg));
+
+    // With no follower attached, the checkpoint cut alone is the
+    // eviction floor; churn until the prefix is actually gone.
+    let feed = Arc::clone(net.server().feed().expect("feed"));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while feed.base() == 0 {
+        assert!(Instant::now() < deadline, "feed prefix never evicted");
+        let s = net.server().session();
+        for i in 0..64u64 {
+            assert!(s.ins_edge(Edge::new(i % 8, i % 8 + 1, 1)).outcome.is_ok());
+        }
+    }
+
+    let follower = ReplicaServer::start(
+        wcc_algorithms(),
+        cfg.capacity(),
+        server_config(BackendKind::IaHash, 1),
+        FollowerConfig::to_leader(net.local_addr().to_string()),
+    )
+    .expect("follower");
+    let leader_version = net.server().current_version();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while follower.replica().current_version() < leader_version || follower.lag() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "follower stuck at version {} (lag {}), leader at {leader_version}",
+            follower.replica().current_version(),
+            follower.lag(),
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    assert!(
+        follower.stats().snapshot_bootstraps.load(Ordering::Relaxed) >= 1,
+        "a fresh follower below the retention floor must bootstrap from the snapshot"
+    );
+    assert_eq!(
+        follower.stats().rejections.load(Ordering::Relaxed),
+        0,
+        "snapshot bootstrap must not surface as a rejection"
+    );
+    assert_eq!(
+        store_fingerprint(follower.replica().engine(), cfg.capacity() as u64),
+        store_fingerprint(net.server().engine(), cfg.capacity() as u64),
+        "snapshot-bootstrapped follower store"
+    );
+    assert_eq!(
+        follower.replica().current_version(),
+        net.server().current_version()
+    );
+
+    follower.shutdown();
+    net.shutdown();
+    remove_wal(&path);
+}
+
+/// 60-second soak: tiny segments, a timer checkpoint cadence and a live
+/// follower; under continuous churn both the WAL's disk footprint and
+/// the feed's resident window must stay bounded, and a restart must
+/// replay only post-checkpoint segments.
+#[test]
+#[ignore]
+fn soak_bounded_wal_disk_and_feed_memory_under_churn() {
+    let n = 64usize;
+    let path = temp_path("wal-soak.wal");
+    let mut config = server_config(BackendKind::IaHash, 4);
+    config.wal_path = Some(path.clone());
+    config.max_wal_segment_bytes = 4096;
+    config.checkpoint_interval = Some(Duration::from_millis(200));
+    config.max_followers = 2;
+
+    let net = NetServer::start(wcc_algorithms(), n, config.clone(), NetConfig::default())
+        .expect("leader");
+    let follower = ReplicaServer::start(
+        wcc_algorithms(),
+        n,
+        server_config(BackendKind::IaHash, 1),
+        FollowerConfig::to_leader(net.local_addr().to_string()),
+    )
+    .expect("follower");
+
+    let feed = Arc::clone(net.server().feed().expect("feed"));
+    let s = net.server().session();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let (mut submitted, mut max_disk, mut max_resident) = (0u64, 0u64, 0u64);
+    let mut next_sample = Instant::now();
+    while Instant::now() < deadline {
+        for i in 0..32u64 {
+            // Strict ins/del pairs per edge slot, so the live multiset
+            // (and with it the checkpoint snapshot) stays small while
+            // the WAL sees a new record per update.
+            let step = submitted + i;
+            let slot = (step / 2) % 32;
+            let e = Edge::new(slot, slot + 1, 1);
+            let r = if step % 2 == 0 {
+                s.ins_edge(e)
+            } else {
+                s.del_edge(e)
+            };
+            assert!(matches!(r.outcome, Ok(_) | Err(Error::EdgeNotFound(_))));
+        }
+        submitted += 32;
+        if Instant::now() >= next_sample {
+            max_disk = max_disk.max(wal_disk_bytes(&path));
+            max_resident = max_resident.max(feed.resident());
+            next_sample = Instant::now() + Duration::from_millis(250);
+        }
+    }
+    drop(s);
+
+    // Bounds, not exact sizes: ~16 retained 4 KiB segments plus the
+    // snapshot for disk; a few checkpoint intervals' worth of records
+    // for the feed. Unbounded growth blows straight past both.
+    assert!(submitted > 10_000, "soak too slow: {submitted} updates");
+    assert!(
+        max_disk <= 1 << 20,
+        "WAL disk footprint unbounded under churn: peak {max_disk} bytes"
+    );
+    assert!(
+        max_resident <= 50_000,
+        "feed memory unbounded under churn: peak {max_resident} records"
+    );
+    assert!(
+        follower.stats().snapshot_bootstraps.load(Ordering::Relaxed) == 0
+            && follower.stats().stream_errors.load(Ordering::Relaxed) == 0,
+        "live follower must ride the stream, not re-bootstrap"
+    );
+
+    follower.shutdown();
+    net.shutdown();
+
+    // Restart replays only the post-checkpoint tail.
+    let manifest = read_manifest(&path).unwrap().expect("manifest");
+    assert!(manifest.first_seg > 0, "soak never truncated");
+    let recovered = Server::start(wcc_algorithms(), n, config).unwrap();
+    let replayed = recovered
+        .stats()
+        .wal_replayed_records
+        .load(Ordering::Relaxed);
+    assert!(
+        replayed < submitted / 10,
+        "restart replayed {replayed} of {submitted} records — checkpoints did not bound replay"
+    );
+    recovered.shutdown();
+    remove_wal(&path);
+}
