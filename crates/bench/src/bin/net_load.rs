@@ -17,15 +17,24 @@
 //! P50/P99/P999 (the paper's §6.1 processing-time latency, measured at
 //! the client — here with a real socket in the path).
 //!
+//! After the discipline comparison, a **session-count sweep** drives
+//! 64 / 1k / 10k multiplexed logical sessions (protocol v2) over at
+//! most 64 TCP connections against a fresh server per step — the
+//! reactor's scaling claim measured at the client: P999 should stay
+//! flat (within 2x of the 64-session step) while server threads stay
+//! O(net_workers).
+//!
 //! Knobs: `RISGRAPH_SCALE` (default 12, capped 16), `RISGRAPH_NET_CONNS`
 //! (default 8), `RISGRAPH_NET_WINDOW` (default 64),
-//! `RISGRAPH_NET_PAIRS` (default 20000 total pairs), plus the usual
-//! `RISGRAPH_STORE` / `RISGRAPH_SHARDS` backend selection.
+//! `RISGRAPH_NET_PAIRS` (default 20000 total pairs),
+//! `RISGRAPH_NET_MUX_MAX_SESSIONS` (default 10240; caps the sweep),
+//! plus the usual `RISGRAPH_STORE` / `RISGRAPH_SHARDS` backend
+//! selection.
 
 use std::sync::Arc;
 
 use risgraph_algorithms::Bfs;
-use risgraph_bench::drivers::measure_net_load;
+use risgraph_bench::drivers::{measure_net_load, measure_net_mux_load};
 use risgraph_bench::{emit_bench_json, fmt_ops, print_table, scale, BenchRow};
 use risgraph_core::engine::DynAlgorithm;
 use risgraph_core::server::ServerConfig;
@@ -107,6 +116,58 @@ fn main() {
     print_table(
         &["discipline", "ops/s", "P50", "P99", "P999", "applied"],
         &rows,
+    );
+
+    // Session-count sweep: the same safe-churn workload spread over
+    // 64 / 1k / 10k multiplexed sessions riding at most 64 sockets.
+    // Total offered concurrency is pinned across steps (the per-session
+    // window shrinks as sessions grow), so the percentiles compare
+    // session-multiplexing overhead at *equal load* — a flat P999
+    // column is the reactor scaling claim, not an artifact of 150x
+    // more in-flight requests at the 10k step.
+    let max_sessions = env_usize("RISGRAPH_NET_MUX_MAX_SESSIONS", 10_240).max(64);
+    let mux_inflight = env_usize("RISGRAPH_NET_MUX_INFLIGHT", 10_240).max(64);
+    let mux_pairs = env_usize("RISGRAPH_NET_MUX_PAIRS", 50_000);
+    let mut mux_rows = Vec::new();
+    for sessions in [64usize, 1_024, 10_240] {
+        if sessions > max_sessions {
+            println!("(mux sweep capped at {max_sessions} sessions)");
+            break;
+        }
+        let mux_conns = sessions.min(64);
+        let wsess = (mux_inflight / sessions).max(1);
+        let per_session = (mux_pairs / sessions).max(wsess);
+        let session_streams: Vec<Vec<_>> = (0..sessions)
+            .map(|s| safe_churn(&preload, per_session, 7700 + s as u64))
+            .collect();
+        let net = NetServer::start(
+            vec![Arc::new(Bfs::new(0)) as DynAlgorithm],
+            cfg.num_vertices(),
+            server_config.clone(),
+            NetConfig::default(),
+        )
+        .expect("net server");
+        net.server().load_edges(&preload);
+        let perf = measure_net_mux_load(net.local_addr(), &session_streams, mux_conns, wsess);
+        let h = &perf.histogram;
+        mux_rows.push(vec![
+            format!("{sessions} sessions / {mux_conns} conns / window {wsess}"),
+            fmt_ops(perf.throughput),
+            fmt_ns(h.quantile_ns(0.5)),
+            fmt_ns(h.quantile_ns(0.99)),
+            fmt_ns(h.quantile_ns(0.999)),
+            format!("{}", perf.updates),
+        ]);
+        json_rows.push(BenchRow::from_perf(
+            format!("mux sessions={sessions} conns={mux_conns} window={wsess}"),
+            &perf,
+        ));
+        net.shutdown();
+    }
+    println!("\nmultiplexed-session sweep ({mux_inflight} total requests in flight per step):");
+    print_table(
+        &["sessions", "ops/s", "P50", "P99", "P999", "applied"],
+        &mux_rows,
     );
     emit_bench_json("net_load", &json_rows);
 }

@@ -268,6 +268,107 @@ pub fn measure_net_load(
     }
 }
 
+/// Drive many *multiplexed logical sessions* over few TCP connections
+/// (protocol v2): `session_streams.len()` sessions are distributed
+/// round-robin across `conns` connections, each connection thread
+/// topping up a bounded per-session pipeline of `window` requests and
+/// draining replies FIFO per session. This is the connection-count
+/// sweep's engine — 10k sessions on 64 sockets exercise exactly the
+/// reactor's O(net_workers) serving claim, where thread-per-connection
+/// designs would need tens of thousands of threads.
+pub fn measure_net_mux_load(
+    addr: std::net::SocketAddr,
+    session_streams: &[Vec<Update>],
+    conns: usize,
+    window: usize,
+) -> PerfResult {
+    let conns = conns.clamp(1, session_streams.len().max(1));
+    let window = window.max(1);
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(conns);
+    for c in 0..conns {
+        // Connection c owns sessions c, c + conns, c + 2*conns, …
+        let streams: Vec<Vec<Update>> = session_streams
+            .iter()
+            .skip(c)
+            .step_by(conns)
+            .cloned()
+            .collect();
+        handles.push(std::thread::spawn(move || {
+            let client = risgraph_net::NetClient::connect(addr).expect("connect");
+            assert!(client.protocol_version() >= 2, "mux load needs a v2 server");
+            let sessions: Vec<_> = streams
+                .iter()
+                .map(|_| client.open_session().expect("open session"))
+                .collect();
+            let mut hist = LatencyHistogram::new();
+            let mut done = 0u64;
+            struct SessState {
+                inflight: std::collections::VecDeque<(u64, Instant)>,
+                pos: usize,
+            }
+            let mut st: Vec<SessState> = streams
+                .iter()
+                .map(|_| SessState {
+                    inflight: Default::default(),
+                    pos: 0,
+                })
+                .collect();
+            loop {
+                // Top up every session's window before draining any
+                // reply, so all owned sessions stay in flight at once
+                // — with per-session window 1 this still keeps
+                // sessions-per-connection requests pipelined.
+                for (i, stream) in streams.iter().enumerate() {
+                    while st[i].inflight.len() < window && st[i].pos < stream.len() {
+                        let t = Instant::now();
+                        let id = sessions[i]
+                            .submit_update_pipelined(&stream[st[i].pos])
+                            .expect("submit");
+                        st[i].inflight.push_back((id, t));
+                        st[i].pos += 1;
+                    }
+                }
+                // Drain each session's oldest reply, keeping every
+                // pipeline moving once per pass.
+                let mut live = false;
+                for (i, stream) in streams.iter().enumerate() {
+                    if let Some((id, t)) = st[i].inflight.pop_front() {
+                        let reply = sessions[i].wait_reply(id).expect("wire round-trip");
+                        hist.record(t.elapsed());
+                        if reply.outcome.is_ok() {
+                            done += 1;
+                        }
+                    }
+                    if st[i].pos < stream.len() || !st[i].inflight.is_empty() {
+                        live = true;
+                    }
+                }
+                if !live {
+                    break;
+                }
+            }
+            (hist, done)
+        }));
+    }
+    let mut merged = LatencyHistogram::new();
+    let mut total = 0u64;
+    for h in handles {
+        let (hist, done) = h.join().expect("mux client thread");
+        merged.merge(&hist);
+        total += done;
+    }
+    let elapsed = t0.elapsed();
+    PerfResult {
+        throughput: total as f64 / elapsed.as_secs_f64(),
+        mean_us: merged.mean_us(),
+        p999_ms: merged.p999_ms(),
+        within_limit: merged.fraction_within(std::time::Duration::from_millis(20)),
+        updates: total,
+        histogram: merged,
+    }
+}
+
 /// Replication-lag measurements taken while a follower tails a loaded
 /// leader: per-sample lag percentiles (in result versions) plus the
 /// post-load catch-up time.

@@ -26,6 +26,15 @@
 //! (their opcode encodes the body shape), so a demultiplexer needs no
 //! per-request context to decode them.
 //!
+//! Since protocol version 2 ([`PROTOCOL_VERSION`]), a connection that
+//! has negotiated via [`Request::Hello`] may prefix any request body
+//! with a **session wrapper** (`[0x51] [sid: u64 LE]` between the
+//! request id and the inner opcode, see [`Request::InSession`]): the
+//! session id names a logical client session, so one TCP connection
+//! multiplexes many independently-ordered update streams. Responses
+//! are *not* wrapped — request ids are unique per connection, so the
+//! demultiplexer needs no session tag.
+//!
 //! The request vocabulary mirrors the paper's Interactive API (Table 1)
 //! exactly: `ins_edge`/`del_edge`/`ins_vertex`/`del_vertex`,
 //! `txn_updates`, `get_value`/`get_parent`/`get_modified_vertices`/
@@ -65,6 +74,20 @@ pub const MAX_RESPONSE_FRAME: usize = 8 * MAX_FRAME;
 /// Bytes of frame header preceding the payload (`len` + `crc`).
 pub const FRAME_HEADER: usize = 8;
 
+/// The newest protocol version this build speaks.
+///
+/// Version 1 is the original vocabulary (everything below except
+/// [`Request::Hello`]/[`Request::InSession`]). Version 2 adds
+/// **session multiplexing**: a connection that has negotiated v2 via
+/// [`Request::Hello`] may wrap any request in [`Request::InSession`],
+/// tagging it with a client-chosen logical session id so one TCP
+/// connection carries many independently-ordered update streams.
+/// Negotiation is a plain request/response pair (`Hello` → a
+/// [`Response::Hello`] carrying `min(client, server)`), so a v2 client
+/// talking to a v1 server sees an unknown-opcode failure and degrades
+/// gracefully, and a v1 client never notices the extension exists.
+pub const PROTOCOL_VERSION: u32 = 2;
+
 // Request opcodes.
 const OP_INS_EDGE: u8 = 0x01;
 const OP_DEL_EDGE: u8 = 0x02;
@@ -78,6 +101,8 @@ const OP_CURRENT_VERSION: u8 = 0x13;
 const OP_RELEASE: u8 = 0x20;
 const OP_STATS: u8 = 0x30;
 const OP_SUBSCRIBE: u8 = 0x40;
+const OP_HELLO: u8 = 0x50;
+const OP_SESSION: u8 = 0x51;
 
 // Response opcodes.
 const RE_APPLIED: u8 = 0x81;
@@ -92,6 +117,7 @@ const RE_WAL_EPOCH: u8 = 0x90;
 const RE_HEARTBEAT: u8 = 0x91;
 const RE_SNAPSHOT_CHUNK: u8 = 0x92;
 const RE_SNAPSHOT_DONE: u8 = 0x93;
+const RE_HELLO: u8 = 0x94;
 
 /// A client → server message (one per frame, after the request id).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -141,6 +167,27 @@ pub enum Request {
         /// Index of the first feed record the follower still needs
         /// (its applied-record count; 0 for a fresh replica).
         from: u64,
+    },
+    /// Protocol-version negotiation (v2+). The client announces the
+    /// newest version it speaks; the server answers with
+    /// [`Response::Hello`] carrying `min(client, server)`, which
+    /// becomes the connection's version. Not allowed inside
+    /// [`Request::InSession`].
+    Hello {
+        /// Newest protocol version the client speaks.
+        version: u32,
+    },
+    /// A request tagged with a logical session id (v2+, only after a
+    /// successful [`Request::Hello`]). Requests carrying the same `sid`
+    /// on one connection keep their submission order end-to-end;
+    /// requests on different sids are independent and their replies may
+    /// overtake each other. Wrapping another `InSession` (or a `Hello`)
+    /// is a protocol error.
+    InSession {
+        /// Client-chosen logical session id.
+        sid: u64,
+        /// The wrapped request.
+        req: Box<Request>,
     },
 }
 
@@ -372,6 +419,12 @@ pub enum Response {
         /// Leader result version the snapshot corresponds to.
         resume_version: u64,
     },
+    /// Answer to [`Request::Hello`]: the version the connection speaks
+    /// from here on (`min` of what both sides support).
+    Hello {
+        /// The negotiated protocol version.
+        version: u32,
+    },
 }
 
 /// Encode a [`Response::WalEpoch`] payload directly from a borrowed
@@ -510,60 +563,159 @@ fn read_update(op: u8, c: &mut Cursor<'_>) -> Result<Update> {
 // Message codecs
 // ---------------------------------------------------------------------
 
+/// Write a request's opcode + body (everything after the request id).
+/// `InSession` recurses once; the decoder enforces the matching
+/// no-nesting rule.
+fn put_request_body(buf: &mut Vec<u8>, req: &Request) {
+    match req {
+        Request::Update(u) => {
+            buf.push(update_opcode(u));
+            put_update_body(buf, u);
+        }
+        Request::Txn(updates) => {
+            buf.push(OP_TXN);
+            put_u32(buf, updates.len() as u32);
+            for u in updates {
+                buf.push(update_opcode(u));
+                put_update_body(buf, u);
+            }
+        }
+        Request::GetValue {
+            algo,
+            version,
+            vertex,
+        } => {
+            buf.push(OP_GET_VALUE);
+            put_u32(buf, *algo);
+            put_u64(buf, *version);
+            put_u64(buf, *vertex);
+        }
+        Request::GetParent {
+            algo,
+            version,
+            vertex,
+        } => {
+            buf.push(OP_GET_PARENT);
+            put_u32(buf, *algo);
+            put_u64(buf, *version);
+            put_u64(buf, *vertex);
+        }
+        Request::GetModified { algo, version } => {
+            buf.push(OP_GET_MODIFIED);
+            put_u32(buf, *algo);
+            put_u64(buf, *version);
+        }
+        Request::CurrentVersion => buf.push(OP_CURRENT_VERSION),
+        Request::Release(version) => {
+            buf.push(OP_RELEASE);
+            put_u64(buf, *version);
+        }
+        Request::Stats => buf.push(OP_STATS),
+        Request::Subscribe { from } => {
+            buf.push(OP_SUBSCRIBE);
+            put_u64(buf, *from);
+        }
+        Request::Hello { version } => {
+            buf.push(OP_HELLO);
+            put_u32(buf, *version);
+        }
+        Request::InSession { sid, req } => {
+            buf.push(OP_SESSION);
+            put_u64(buf, *sid);
+            put_request_body(buf, req);
+        }
+    }
+}
+
+/// Decode a request's body given its already-read opcode. `in_session`
+/// forbids the v2 wrapper opcodes (no nested `InSession`, no `Hello`
+/// inside a session).
+fn read_request_body(
+    op: u8,
+    c: &mut Cursor<'_>,
+    payload: &[u8],
+    in_session: bool,
+) -> Result<Request> {
+    Ok(match op {
+        OP_INS_EDGE | OP_DEL_EDGE | OP_INS_VERTEX | OP_DEL_VERTEX => {
+            Request::Update(read_update(op, c)?)
+        }
+        OP_TXN => {
+            let n = c.u32()? as usize;
+            // Each update is at least 9 bytes; an impossible count
+            // is rejected before allocation.
+            if n > payload.len() / 9 + 1 {
+                return Err(Error::Protocol(format!("txn count {n} exceeds payload")));
+            }
+            let mut updates = Vec::with_capacity(n);
+            for _ in 0..n {
+                let tag = c.u8()?;
+                updates.push(read_update(tag, c)?);
+            }
+            Request::Txn(updates)
+        }
+        OP_GET_VALUE => Request::GetValue {
+            algo: c.u32()?,
+            version: c.u64()?,
+            vertex: c.u64()?,
+        },
+        OP_GET_PARENT => Request::GetParent {
+            algo: c.u32()?,
+            version: c.u64()?,
+            vertex: c.u64()?,
+        },
+        OP_GET_MODIFIED => Request::GetModified {
+            algo: c.u32()?,
+            version: c.u64()?,
+        },
+        OP_CURRENT_VERSION => Request::CurrentVersion,
+        OP_RELEASE => Request::Release(c.u64()?),
+        OP_STATS => Request::Stats,
+        OP_SUBSCRIBE => Request::Subscribe { from: c.u64()? },
+        OP_HELLO if !in_session => Request::Hello { version: c.u32()? },
+        OP_HELLO => {
+            return Err(Error::Protocol(
+                "hello inside a session wrapper".to_string(),
+            ));
+        }
+        OP_SESSION if !in_session => {
+            let sid = c.u64()?;
+            let inner_op = c.u8()?;
+            let req = read_request_body(inner_op, c, payload, true)?;
+            Request::InSession {
+                sid,
+                req: Box::new(req),
+            }
+        }
+        OP_SESSION => {
+            return Err(Error::Protocol("nested session wrapper".to_string()));
+        }
+        other => {
+            return Err(Error::Protocol(format!("unknown request opcode {other}")));
+        }
+    })
+}
+
 impl Request {
     /// Encode as a frame payload carrying `req_id`.
     pub fn encode(&self, req_id: u64) -> Vec<u8> {
         let mut buf = Vec::with_capacity(32);
         put_u64(&mut buf, req_id);
-        match self {
-            Request::Update(u) => {
-                buf.push(update_opcode(u));
-                put_update_body(&mut buf, u);
-            }
-            Request::Txn(updates) => {
-                buf.push(OP_TXN);
-                put_u32(&mut buf, updates.len() as u32);
-                for u in updates {
-                    buf.push(update_opcode(u));
-                    put_update_body(&mut buf, u);
-                }
-            }
-            Request::GetValue {
-                algo,
-                version,
-                vertex,
-            } => {
-                buf.push(OP_GET_VALUE);
-                put_u32(&mut buf, *algo);
-                put_u64(&mut buf, *version);
-                put_u64(&mut buf, *vertex);
-            }
-            Request::GetParent {
-                algo,
-                version,
-                vertex,
-            } => {
-                buf.push(OP_GET_PARENT);
-                put_u32(&mut buf, *algo);
-                put_u64(&mut buf, *version);
-                put_u64(&mut buf, *vertex);
-            }
-            Request::GetModified { algo, version } => {
-                buf.push(OP_GET_MODIFIED);
-                put_u32(&mut buf, *algo);
-                put_u64(&mut buf, *version);
-            }
-            Request::CurrentVersion => buf.push(OP_CURRENT_VERSION),
-            Request::Release(version) => {
-                buf.push(OP_RELEASE);
-                put_u64(&mut buf, *version);
-            }
-            Request::Stats => buf.push(OP_STATS),
-            Request::Subscribe { from } => {
-                buf.push(OP_SUBSCRIBE);
-                put_u64(&mut buf, *from);
-            }
-        }
+        put_request_body(&mut buf, self);
+        buf
+    }
+
+    /// Encode as a frame payload carrying `req_id`, wrapped in a v2
+    /// session tag — equivalent to encoding
+    /// `Request::InSession { sid, req: Box::new(self.clone()) }` but
+    /// without the box or the clone (the client's per-session hot
+    /// path).
+    pub fn encode_in_session(&self, req_id: u64, sid: u64) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(48);
+        put_u64(&mut buf, req_id);
+        buf.push(OP_SESSION);
+        put_u64(&mut buf, sid);
+        put_request_body(&mut buf, self);
         buf
     }
 
@@ -572,46 +724,7 @@ impl Request {
         let mut c = Cursor::new(payload);
         let req_id = c.u64()?;
         let op = c.u8()?;
-        let req = match op {
-            OP_INS_EDGE | OP_DEL_EDGE | OP_INS_VERTEX | OP_DEL_VERTEX => {
-                Request::Update(read_update(op, &mut c)?)
-            }
-            OP_TXN => {
-                let n = c.u32()? as usize;
-                // Each update is at least 9 bytes; an impossible count
-                // is rejected before allocation.
-                if n > payload.len() / 9 + 1 {
-                    return Err(Error::Protocol(format!("txn count {n} exceeds payload")));
-                }
-                let mut updates = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let tag = c.u8()?;
-                    updates.push(read_update(tag, &mut c)?);
-                }
-                Request::Txn(updates)
-            }
-            OP_GET_VALUE => Request::GetValue {
-                algo: c.u32()?,
-                version: c.u64()?,
-                vertex: c.u64()?,
-            },
-            OP_GET_PARENT => Request::GetParent {
-                algo: c.u32()?,
-                version: c.u64()?,
-                vertex: c.u64()?,
-            },
-            OP_GET_MODIFIED => Request::GetModified {
-                algo: c.u32()?,
-                version: c.u64()?,
-            },
-            OP_CURRENT_VERSION => Request::CurrentVersion,
-            OP_RELEASE => Request::Release(c.u64()?),
-            OP_STATS => Request::Stats,
-            OP_SUBSCRIBE => Request::Subscribe { from: c.u64()? },
-            other => {
-                return Err(Error::Protocol(format!("unknown request opcode {other}")));
-            }
-        };
+        let req = read_request_body(op, &mut c, payload, false)?;
         c.finished()?;
         Ok((req_id, req))
     }
@@ -718,6 +831,10 @@ impl Response {
                 buf.push(RE_SNAPSHOT_DONE);
                 put_u64(&mut buf, *resume_index);
                 put_u64(&mut buf, *resume_version);
+            }
+            Response::Hello { version } => {
+                buf.push(RE_HELLO);
+                put_u32(&mut buf, *version);
             }
         }
         buf
@@ -856,6 +973,7 @@ impl Response {
                 resume_index: c.u64()?,
                 resume_version: c.u64()?,
             },
+            RE_HELLO => Response::Hello { version: c.u32()? },
             other => {
                 return Err(Error::Protocol(format!("unknown response opcode {other}")));
             }
@@ -969,6 +1087,53 @@ mod tests {
         roundtrip_request(Request::Release(12));
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Subscribe { from: 17 });
+        roundtrip_request(Request::Hello {
+            version: PROTOCOL_VERSION,
+        });
+        roundtrip_request(Request::InSession {
+            sid: 9,
+            req: Box::new(Request::Update(Update::InsEdge(Edge::new(1, 2, 3)))),
+        });
+        roundtrip_request(Request::InSession {
+            sid: u64::MAX,
+            req: Box::new(Request::Txn(vec![Update::DelVertex(4)])),
+        });
+        roundtrip_request(Request::InSession {
+            sid: 0,
+            req: Box::new(Request::Release(3)),
+        });
+    }
+
+    #[test]
+    fn encode_in_session_matches_wrapped_encoding() {
+        let inner = Request::Update(Update::InsEdge(Edge::new(5, 6, 7)));
+        let wrapped = Request::InSession {
+            sid: 31,
+            req: Box::new(inner.clone()),
+        };
+        assert_eq!(inner.encode_in_session(12, 31), wrapped.encode(12));
+    }
+
+    #[test]
+    fn nested_session_wrappers_are_rejected() {
+        let inner = Request::InSession {
+            sid: 2,
+            req: Box::new(Request::Stats),
+        };
+        let payload = inner.encode_in_session(1, 1); // forge a nested wrapper
+        match Request::decode(&payload) {
+            Err(Error::Protocol(msg)) => assert!(msg.contains("nested"), "{msg}"),
+            other => panic!("expected nested-wrapper rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_inside_a_session_is_rejected() {
+        let payload = Request::Hello { version: 2 }.encode_in_session(1, 7);
+        match Request::decode(&payload) {
+            Err(Error::Protocol(msg)) => assert!(msg.contains("hello"), "{msg}"),
+            other => panic!("expected in-session hello rejection, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1045,6 +1210,9 @@ mod tests {
         roundtrip_response(Response::SnapshotDone {
             resume_index: 17,
             resume_version: 5,
+        });
+        roundtrip_response(Response::Hello {
+            version: PROTOCOL_VERSION,
         });
     }
 

@@ -15,7 +15,7 @@ use risgraph_common::Error;
 
 /// A valid request payload, parameterized by the fuzz inputs.
 fn sample_request(pick: u64, a: u64, b: u64, c: u64) -> Vec<u8> {
-    let req = match pick % 8 {
+    let req = match pick % 10 {
         0 => Request::Update(Update::InsEdge(Edge::new(a, b, c))),
         1 => Request::Update(Update::DelVertex(a)),
         2 => Request::Txn(vec![
@@ -34,6 +34,12 @@ fn sample_request(pick: u64, a: u64, b: u64, c: u64) -> Vec<u8> {
         },
         5 => Request::Release(a),
         6 => Request::Subscribe { from: a },
+        7 => Request::Hello { version: a as u32 },
+        // The protocol-v2 session wrapper around an inner request.
+        8 => Request::InSession {
+            sid: b,
+            req: Box::new(Request::Update(Update::InsEdge(Edge::new(a, b, c)))),
+        },
         _ => Request::Stats,
     };
     req.encode(a.wrapping_add(1))
@@ -41,7 +47,8 @@ fn sample_request(pick: u64, a: u64, b: u64, c: u64) -> Vec<u8> {
 
 /// A valid response payload, parameterized by the fuzz inputs.
 fn sample_response(pick: u64, a: u64, b: u64, c: u64) -> Vec<u8> {
-    let resp = match pick % 8 {
+    let resp = match pick % 9 {
+        8 => Response::Hello { version: a as u32 },
         0 => Response::Applied {
             version: a,
             safe: b.is_multiple_of(2),
@@ -108,7 +115,7 @@ proptest! {
     /// the frame — the decoders never even see the corruption.
     #[test]
     fn payload_byte_flips_are_caught_by_the_crc(
-        pick in 0..8u64,
+        pick in 0..90u64,
         a in 0..u64::MAX,
         b in 0..1000u64,
         c in 0..1000u64,
@@ -139,7 +146,7 @@ proptest! {
     /// `Error::Protocol`.
     #[test]
     fn arbitrary_frame_mutations_stay_total(
-        pick in 0..8u64,
+        pick in 0..90u64,
         a in 0..u64::MAX,
         b in 0..1000u64,
         c in 0..1000u64,
@@ -192,6 +199,93 @@ proptest! {
                 prop_assert!(msg.contains("oversized"), "wrong rejection: {msg}");
             }
             other => return Err(format!("oversized frame accepted: {other:?}")),
+        }
+    }
+
+    /// Session wrappers (protocol v2) roundtrip for every session id,
+    /// and the allocation-free [`Request::encode_in_session`] fast
+    /// path is byte-identical to encoding the wrapped value.
+    #[test]
+    fn session_wrappers_roundtrip_for_any_sid(
+        sid in 0..u64::MAX,
+        req_id in 0..u64::MAX,
+        a in 0..u64::MAX,
+        b in 0..1000u64,
+        c in 0..1000u64,
+    ) {
+        let inner = Request::Update(Update::InsEdge(Edge::new(a, b, c)));
+        let wrapped = Request::InSession { sid, req: Box::new(inner.clone()) };
+        let payload = wrapped.encode(req_id);
+        prop_assert_eq!(&payload, &inner.encode_in_session(req_id, sid));
+        let (got_id, got) = Request::decode(&payload).unwrap();
+        prop_assert_eq!(got_id, req_id);
+        prop_assert_eq!(got, wrapped);
+    }
+
+    /// A wrapper whose session id is cut short must be a protocol
+    /// error — a malformed sid never aliases into a valid request.
+    #[test]
+    fn truncated_session_ids_are_protocol_errors(
+        sid in 0..u64::MAX,
+        cut in 1..=8usize,
+    ) {
+        let payload = Request::CurrentVersion.encode_in_session(1, sid);
+        // [req_id: 8][0x51][sid: 8][inner]; cutting inside the sid (or
+        // right through it, removing the inner opcode too) leaves an
+        // incomplete wrapper.
+        let truncated = &payload[..9 + (8 - cut)];
+        match Request::decode(truncated) {
+            Err(Error::Protocol(_)) => {}
+            other => return Err(format!("truncated sid not rejected: {other:?}")),
+        }
+    }
+
+    /// Nested wrappers are rejected at decode, whatever the sids: the
+    /// forgery is built with `encode_in_session` on an already-wrapped
+    /// request, which the normal encoder refuses to produce.
+    #[test]
+    fn nested_session_wrappers_are_rejected(
+        outer in 0..u64::MAX,
+        inner in 0..u64::MAX,
+    ) {
+        let wrapped = Request::InSession {
+            sid: inner,
+            req: Box::new(Request::Stats),
+        };
+        let forged = wrapped.encode_in_session(3, outer);
+        match Request::decode(&forged) {
+            Err(Error::Protocol(msg)) => {
+                prop_assert!(msg.contains("nested"), "wrong rejection: {msg}");
+            }
+            other => return Err(format!("nested wrapper accepted: {other:?}")),
+        }
+    }
+
+    /// The negotiation carriers roundtrip for *every* version value —
+    /// 0, 1, the current version, and far-future ones — because the
+    /// downgrade path relies on exchanging versions neither side
+    /// necessarily speaks.
+    #[test]
+    fn hello_versions_roundtrip_including_unknown_ones(
+        version in 0..=u32::MAX,
+        req_id in 0..u64::MAX,
+    ) {
+        let req = Request::Hello { version };
+        prop_assert_eq!(Request::decode(&req.encode(req_id)).unwrap(), (req_id, req));
+        let resp = Response::Hello { version };
+        prop_assert_eq!(Response::decode(&resp.encode(req_id)).unwrap(), (req_id, resp));
+    }
+
+    /// `Hello` may not ride inside a session wrapper: negotiation is
+    /// connection-scoped, and a forged wrapped Hello must be refused.
+    #[test]
+    fn hello_inside_a_wrapper_is_rejected(sid in 0..u64::MAX, version in 0..=u32::MAX) {
+        let forged = Request::Hello { version }.encode_in_session(5, sid);
+        match Request::decode(&forged) {
+            Err(Error::Protocol(msg)) => {
+                prop_assert!(msg.contains("hello"), "wrong rejection: {msg}");
+            }
+            other => return Err(format!("wrapped hello accepted: {other:?}")),
         }
     }
 }

@@ -369,6 +369,13 @@ pub struct Reply {
     pub outcome: Result<Applied>,
 }
 
+/// A callback fired after a reply lands in a session's channel, so a
+/// reactor-style consumer that cannot park on `recv()` (it is busy in
+/// `epoll_wait`) learns there is something to drain. Installed per
+/// session via [`Session::set_reply_waker`]; must be cheap and
+/// non-blocking (it runs on the epoch loop).
+pub type ReplyWaker = Arc<dyn Fn() + Send + Sync>;
+
 struct Envelope {
     session: u64,
     /// Caller-chosen correlation tag, echoed with the reply. The
@@ -379,6 +386,9 @@ struct Envelope {
     op: Op,
     enqueued: Instant,
     reply: Sender<(u64, Reply)>,
+    /// Snapshot of the session's reply waker at submission time, fired
+    /// after the reply is sent.
+    waker: Option<ReplyWaker>,
 }
 
 /// Coordinator-visible counters, sampled by the Figure 11b/12 harnesses.
@@ -700,6 +710,7 @@ impl Server {
             shared: Arc::clone(&self.shared),
             reply_tx,
             reply_rx,
+            waker: Mutex::new(None),
         }
     }
 
@@ -811,6 +822,7 @@ pub struct Session {
     shared: Arc<Shared>,
     reply_tx: Sender<(u64, Reply)>,
     reply_rx: Receiver<(u64, Reply)>,
+    waker: Mutex<Option<ReplyWaker>>,
 }
 
 impl Session {
@@ -849,6 +861,7 @@ impl Session {
             op,
             enqueued: Instant::now(),
             reply: self.reply_tx.clone(),
+            waker: self.waker.lock().clone(),
         };
         self.shared.injector.send(env).map_err(|_| Error::Shutdown)
     }
@@ -866,6 +879,24 @@ impl Session {
     /// [`Session::recv_tagged`] with a deadline; `None` on timeout.
     pub fn recv_tagged_timeout(&self, timeout: Duration) -> Option<(u64, Reply)> {
         self.reply_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking [`Session::recv_tagged`]: `None` when no reply is
+    /// ready. The drain half of the waker protocol — see
+    /// [`Session::set_reply_waker`].
+    pub fn try_recv_tagged(&self) -> Option<(u64, Reply)> {
+        self.reply_rx.try_recv().ok()
+    }
+
+    /// Install (or clear) this session's [`ReplyWaker`]. Each
+    /// subsequent submission snapshots the current waker and fires it
+    /// right after its reply is delivered, so an event-loop consumer
+    /// can sleep in its poller and drain with
+    /// [`Session::try_recv_tagged`] when woken. Wakers may coalesce —
+    /// one wake can cover several deliveries — so consumers must drain
+    /// until empty.
+    pub fn set_reply_waker(&self, waker: Option<ReplyWaker>) {
+        *self.waker.lock() = waker;
     }
 
     /// Submit any [`Update`] through its Table 1 operation — the
@@ -1583,6 +1614,9 @@ fn run_epochs(
                         outcome: Err(Error::Shutdown),
                     },
                 ));
+                if let Some(waker) = &env.waker {
+                    waker();
+                }
             }
             return;
         }
@@ -1806,6 +1840,9 @@ fn run_unsafe_parallel(
 fn send_reply(shared: &Shared, env: &Envelope, reply: Reply) {
     shared.stats.update_latency.record(env.enqueued.elapsed());
     let _ = env.reply.send((env.tag, reply));
+    if let Some(waker) = &env.waker {
+        waker();
+    }
 }
 
 enum SafeExec {

@@ -6,6 +6,13 @@
 //! window of requests in flight ([`NetClient::submit_update_pipelined`]
 //! / [`NetClient::wait_reply`]) — the shape the `net_load` harness uses
 //! to measure pipelined throughput against one-at-a-time submission.
+//!
+//! Connecting negotiates the protocol version with a `Hello` exchange;
+//! against a v2 server, [`NetClient::open_session`] multiplexes many
+//! logical sessions ([`SessionHandle`]) over the one socket — each
+//! with its own server-side ordering domain, all sharing the reader,
+//! the demux, and the globally-unique request-id space (which is why
+//! responses need no session tag).
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
@@ -17,6 +24,7 @@ use risgraph_common::hash::FxHashMap;
 use risgraph_common::ids::{Edge, Update, VersionId, VertexId};
 use risgraph_common::protocol::{
     read_frame, write_frame, Request, Response, StatsReport, MAX_FRAME, MAX_RESPONSE_FRAME,
+    PROTOCOL_VERSION,
 };
 use risgraph_common::{Error, Result};
 
@@ -62,11 +70,45 @@ pub struct NetClient {
     demux: Arc<Demux>,
     reader: Option<JoinHandle<()>>,
     next_id: AtomicU64,
+    /// Negotiated protocol version (1 = no session multiplexing).
+    proto_version: u32,
+    /// Next wire session id for [`NetClient::open_session`]. Session
+    /// ids are client-chosen; the server creates sessions lazily on
+    /// first use, so opening is purely local.
+    next_session: AtomicU64,
 }
 
 impl NetClient {
-    /// Connect to a [`crate::NetServer`].
+    /// Connect to a [`crate::NetServer`], negotiating the highest
+    /// protocol version both sides speak.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient> {
+        Self::connect_with_version(addr, PROTOCOL_VERSION)
+    }
+
+    /// Connect offering at most protocol version `max_version`.
+    /// `max_version = 1` skips the `Hello` exchange entirely —
+    /// byte-for-byte the pre-v2 client, for wire-compat tests.
+    pub fn connect_with_version(addr: impl ToSocketAddrs, max_version: u32) -> Result<NetClient> {
+        let mut client = Self::connect_raw(addr)?;
+        if max_version >= 2 {
+            client.proto_version = match client.call(&Request::Hello {
+                version: max_version,
+            })? {
+                Response::Hello { version } => version.clamp(1, max_version),
+                // A peer that refuses Hello still speaks v1 (e.g. a
+                // replica predating negotiation); stay unwrapped.
+                Response::Failed { .. } => 1,
+                other => {
+                    return Err(Error::Protocol(format!(
+                        "hello reply has wrong shape: {other:?}"
+                    )))
+                }
+            };
+        }
+        Ok(client)
+    }
+
+    fn connect_raw(addr: impl ToSocketAddrs) -> Result<NetClient> {
         let stream = TcpStream::connect(addr)
             .map_err(|e| Error::Protocol(format!("connect failed: {e}")))?;
         let _ = stream.set_nodelay(true);
@@ -126,13 +168,35 @@ impl NetClient {
             demux,
             reader: Some(reader),
             next_id: AtomicU64::new(1),
+            proto_version: 1,
+            next_session: AtomicU64::new(1),
         })
     }
 
-    /// Send `req`, returning its request id without waiting.
-    pub fn send(&self, req: &Request) -> Result<u64> {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let payload = req.encode(id);
+    /// The protocol version negotiated at connect (1 when the peer
+    /// does not speak sessions).
+    pub fn protocol_version(&self) -> u32 {
+        self.proto_version
+    }
+
+    /// Open a logical session multiplexed over this connection.
+    /// Requires a v2 peer; each session gets its own server-side
+    /// ordering domain (updates within a session keep program order,
+    /// replies across sessions may overtake).
+    pub fn open_session(&self) -> Result<SessionHandle<'_>> {
+        if self.proto_version < 2 {
+            return Err(Error::Protocol(format!(
+                "peer speaks protocol v{}: session multiplexing needs v2",
+                self.proto_version
+            )));
+        }
+        Ok(SessionHandle {
+            client: self,
+            sid: self.next_session.fetch_add(1, Ordering::Relaxed),
+        })
+    }
+
+    fn send_payload(&self, id: u64, payload: Vec<u8>) -> Result<u64> {
         // Refuse locally what the server would reject as oversized —
         // failing one request beats having the whole connection (and
         // every other pipelined request on it) torn down.
@@ -146,6 +210,18 @@ impl NetClient {
         write_frame(&mut *w, &payload)?;
         w.flush()?;
         Ok(id)
+    }
+
+    /// Send `req`, returning its request id without waiting.
+    pub fn send(&self, req: &Request) -> Result<u64> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.send_payload(id, req.encode(id))
+    }
+
+    /// Send `req` wrapped in session `sid`, returning its request id.
+    fn send_in_session(&self, req: &Request, sid: u64) -> Result<u64> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.send_payload(id, req.encode_in_session(id, sid))
     }
 
     /// Block until the response for `id` arrives.
@@ -316,6 +392,116 @@ fn to_net_reply(resp: Response) -> Result<NetReply> {
         other => Err(Error::Protocol(format!(
             "update reply has wrong shape: {other:?}"
         ))),
+    }
+}
+
+/// One logical session multiplexed over a [`NetClient`] connection
+/// (protocol v2). Sessions share the socket, reader thread, and
+/// request-id space; each owns its server-side submission order.
+/// Dropping the handle is free — the server releases its session state
+/// when the connection closes.
+pub struct SessionHandle<'a> {
+    client: &'a NetClient,
+    sid: u64,
+}
+
+impl std::fmt::Debug for SessionHandle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionHandle")
+            .field("sid", &self.sid)
+            .finish()
+    }
+}
+
+impl SessionHandle<'_> {
+    /// This session's wire id (unique per connection).
+    pub fn id(&self) -> u64 {
+        self.sid
+    }
+
+    fn call(&self, req: &Request) -> Result<Response> {
+        let id = self.client.send_in_session(req, self.sid)?;
+        self.client.wait(id)
+    }
+
+    /// Submit an update on this session without waiting; pair with
+    /// [`SessionHandle::wait_reply`].
+    pub fn submit_update_pipelined(&self, u: &Update) -> Result<u64> {
+        self.client.send_in_session(&Request::Update(*u), self.sid)
+    }
+
+    /// Wait for a pipelined update submitted earlier on this client.
+    pub fn wait_reply(&self, id: u64) -> Result<NetReply> {
+        self.client.wait_reply(id)
+    }
+
+    /// Submit one update on this session and wait for its reply.
+    pub fn submit_update(&self, u: &Update) -> Result<NetReply> {
+        let id = self.submit_update_pipelined(u)?;
+        self.wait_reply(id)
+    }
+
+    /// `txn_updates(updates) → version_id`: an atomic batch on this
+    /// session.
+    pub fn txn_updates(&self, updates: Vec<Update>) -> Result<NetReply> {
+        to_net_reply(self.call(&Request::Txn(updates))?)
+    }
+
+    /// `get_value(version_id, vertex_id) → value` for algorithm `algo`.
+    pub fn get_value(&self, algo: u32, version: VersionId, vertex: VertexId) -> Result<u64> {
+        match self.call(&Request::GetValue {
+            algo,
+            version,
+            vertex,
+        })? {
+            Response::Value(v) => Ok(v),
+            Response::Failed { error, .. } => Err(error.to_error()),
+            other => Err(Error::Protocol(format!(
+                "get_value reply has wrong shape: {other:?}"
+            ))),
+        }
+    }
+
+    /// `get_parent(version_id, vertex_id) → edge`.
+    pub fn get_parent(
+        &self,
+        algo: u32,
+        version: VersionId,
+        vertex: VertexId,
+    ) -> Result<Option<Edge>> {
+        match self.call(&Request::GetParent {
+            algo,
+            version,
+            vertex,
+        })? {
+            Response::Parent(p) => Ok(p),
+            Response::Failed { error, .. } => Err(error.to_error()),
+            other => Err(Error::Protocol(format!(
+                "get_parent reply has wrong shape: {other:?}"
+            ))),
+        }
+    }
+
+    /// `get_modified_vertices(version_id) → vertex_ids`.
+    pub fn get_modified_vertices(&self, algo: u32, version: VersionId) -> Result<Vec<VertexId>> {
+        match self.call(&Request::GetModified { algo, version })? {
+            Response::Modified(vs) => Ok(vs),
+            Response::Failed { error, .. } => Err(error.to_error()),
+            other => Err(Error::Protocol(format!(
+                "get_modified reply has wrong shape: {other:?}"
+            ))),
+        }
+    }
+
+    /// `release_history(version_id)` for this session's history hold.
+    pub fn release_history(&self, version: VersionId) -> Result<()> {
+        match self.call(&Request::Release(version))? {
+            Response::Released => Ok(()),
+            Response::Failed { error, .. } => Err(error.to_error()),
+            other => Err(Error::Protocol(format!(
+                "release reply has wrong shape: {other:?}"
+            ))),
+        }
     }
 }
 

@@ -1,0 +1,349 @@
+//! The readiness layer under the event-driven serving tier: a thin,
+//! safe wrapper over Linux `epoll` plus an `eventfd`-based cross-thread
+//! wakeup.
+//!
+//! Raw bindings, no new dependencies: the environment vendors offline
+//! shims instead of crates.io, so — exactly like the mmap store
+//! (`risgraph_storage::ooc_mmap`) — this module declares the handful of
+//! libc entry points it needs directly (libc is always linked). The
+//! reactor worker loop itself lives in [`crate::server`]; this module
+//! only knows about file descriptors, interest sets and readiness
+//! events.
+
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+use risgraph_common::{Error, Result};
+
+/// Raw libc entry points (see the module docs for why these are
+/// declared here instead of pulled from a crate).
+mod sys {
+    /// Linux's `struct epoll_event`. `repr(C, packed)` matters: on
+    /// x86-64 the kernel ABI packs the 8-byte `data` right after the
+    /// 4-byte `events` with no padding.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EFD_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_NONBLOCK: i32 = 0o4000;
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> i32;
+        pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        pub fn close(fd: i32) -> i32;
+    }
+}
+
+fn os_err(what: &str) -> Error {
+    Error::Protocol(format!("{what}: {}", std::io::Error::last_os_error()))
+}
+
+/// What a registration wants to be told about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Readiness to read (`EPOLLIN`).
+    pub read: bool,
+    /// Readiness to write (`EPOLLOUT`).
+    pub write: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Write-only interest.
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        read: true,
+        write: true,
+    };
+    /// Neither direction: the fd stays registered but silent (used to
+    /// park a backpressured connection without an ADD/DEL churn).
+    pub const NONE: Interest = Interest {
+        read: false,
+        write: false,
+    };
+
+    fn mask(self) -> u32 {
+        let mut m = sys::EPOLLRDHUP;
+        if self.read {
+            m |= sys::EPOLLIN;
+        }
+        if self.write {
+            m |= sys::EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The registration's token (chosen at [`Poller::add`] time).
+    pub token: u64,
+    /// The fd is readable (or the peer half-closed: `EPOLLRDHUP`).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// Error/hangup condition (`EPOLLERR`/`EPOLLHUP`): the owner should
+    /// attempt IO and tear the connection down on failure.
+    pub hangup: bool,
+}
+
+/// A level-triggered epoll instance.
+///
+/// Level-triggered on purpose: the worker loop may legitimately stop
+/// reading a ready socket (window backpressure) and needs the event to
+/// re-fire once it re-arms interest — edge-triggered would force a
+/// drain-to-`WouldBlock` discipline everywhere for no gain at this
+/// fan-in.
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Create a fresh epoll instance.
+    pub fn new() -> Result<Poller> {
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(os_err("epoll_create1"));
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: interest.mask(),
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(os_err("epoll_ctl"));
+        }
+        Ok(())
+    }
+
+    /// Register `fd` under `token` with the given interest.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Change an existing registration's interest.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Remove a registration (best-effort: a racing close already
+    /// removed it kernel-side, which is fine).
+    pub fn delete(&self, fd: RawFd) {
+        let mut ev = sys::EpollEvent { events: 0, data: 0 };
+        let _ = unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, &mut ev) };
+    }
+
+    /// Wait for readiness, filling `out` (cleared first). `timeout` of
+    /// `None` blocks indefinitely. Returns the number of events;
+    /// `EINTR` surfaces as zero events, which callers treat as a tick.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> Result<usize> {
+        out.clear();
+        const CAP: usize = 256;
+        let mut buf = [sys::EpollEvent { events: 0, data: 0 }; CAP];
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up so a 0 < t < 1 ms timeout does not busy-spin.
+            Some(t) => i32::try_from(t.as_millis().max(u128::from(u32::from(!t.is_zero()))))
+                .unwrap_or(i32::MAX),
+        };
+        let n = unsafe { sys::epoll_wait(self.epfd, buf.as_mut_ptr(), CAP as i32, timeout_ms) };
+        if n < 0 {
+            let e = std::io::Error::last_os_error();
+            if e.kind() == std::io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(Error::Protocol(format!("epoll_wait: {e}")));
+        }
+        for ev in &buf[..n as usize] {
+            let bits = ev.events;
+            out.push(Event {
+                token: ev.data,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                hangup: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            });
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.epfd);
+        }
+    }
+}
+
+// The epoll fd is just a kernel handle; using it from the owning worker
+// thread after construction on another is fine.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+/// A cross-thread wakeup for one reactor worker: an `eventfd` the
+/// worker registers in its [`Poller`]; any thread (the epoch loop's
+/// reply wakers, the acceptor handing off a connection, shutdown) can
+/// [`Wakeup::wake`] it to pull the worker out of `epoll_wait`.
+pub struct Wakeup {
+    fd: RawFd,
+}
+
+impl Wakeup {
+    /// Create a nonblocking eventfd.
+    pub fn new() -> Result<Wakeup> {
+        let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(os_err("eventfd"));
+        }
+        Ok(Wakeup { fd })
+    }
+
+    /// The fd to register in a [`Poller`].
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Ding the worker. Multiple wakes coalesce (eventfd adds); a full
+    /// counter (`EAGAIN`) already guarantees a pending wake, so errors
+    /// are ignorable.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        let _ = unsafe { sys::write(self.fd, one.to_ne_bytes().as_ptr(), 8) };
+    }
+
+    /// Consume all pending wakes (called by the worker on its own
+    /// wakeup event, before scanning the work it was woken for).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        // One read empties an eventfd counter; loop defensively anyway.
+        while unsafe { sys::read(self.fd, buf.as_mut_ptr(), 8) } == 8 {}
+    }
+}
+
+impl Drop for Wakeup {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.fd);
+        }
+    }
+}
+
+unsafe impl Send for Wakeup {}
+unsafe impl Sync for Wakeup {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn wakeup_unblocks_wait() {
+        let poller = Poller::new().unwrap();
+        let wakeup = std::sync::Arc::new(Wakeup::new().unwrap());
+        poller.add(wakeup.fd(), 7, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        // Nothing pending: times out with zero events.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert!(events.is_empty());
+        let w = std::sync::Arc::clone(&wakeup);
+        let t = std::thread::spawn(move || w.wake());
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        t.join().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        wakeup.drain();
+        // Drained: silent again.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn socket_readiness_and_interest_changes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut peer = TcpStream::connect(addr).unwrap();
+        let (sock, _) = listener.accept().unwrap();
+        sock.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(sock.as_raw_fd(), 1, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert!(events.is_empty(), "no bytes yet");
+
+        peer.write_all(b"ping").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+
+        // Park the registration: pending bytes must stop firing.
+        poller.modify(sock.as_raw_fd(), 1, Interest::NONE).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert!(events.iter().all(|e| e.token != 1), "parked fd fired");
+
+        // Re-arm (level-triggered): the same bytes fire again.
+        poller.modify(sock.as_raw_fd(), 1, Interest::BOTH).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+
+        let mut buf = [0u8; 8];
+        let n = (&sock).read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+
+        // Peer half-close surfaces as readable (EPOLLRDHUP → read 0).
+        drop(peer);
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+        poller.delete(sock.as_raw_fd());
+    }
+}

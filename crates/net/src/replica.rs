@@ -23,6 +23,9 @@
 //! protocol — `get_value` / `get_parent` / `get_modified_vertices` /
 //! `get_current_version`, answered at the applied watermark, plus
 //! `STATS` reporting replication lag; mutating requests are refused.
+//! The replica speaks protocol v1 only: a `Hello` is answered with
+//! version 1 (the negotiation's downgrade path), and session-wrapped
+//! requests are refused without closing the connection.
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -217,6 +220,15 @@ impl ReplicaServer {
     /// the last leader version heard of).
     pub fn lag(&self) -> u64 {
         self.replica.lag()
+    }
+
+    /// Read-only query connections still registered (finished ones are
+    /// pruned on the accept loop's poll tick, so this converges to the
+    /// number of live sockets without needing a new connect).
+    pub fn live_query_connections(&self) -> usize {
+        let mut conns = self.conns.lock().unwrap();
+        prune_finished(&mut conns);
+        conns.len()
     }
 
     /// Stop following and serving, and join every thread.
@@ -419,6 +431,20 @@ fn replica_stats(replica: &Replica, stats: &FollowerStats) -> StatsReport {
     }
 }
 
+/// Join-and-drop every finished connection thread in the registry.
+fn prune_finished(conns: &mut Vec<(JoinHandle<()>, TcpStream)>) {
+    let mut i = 0;
+    while i < conns.len() {
+        if conns[i].0.is_finished() {
+            let (done, stale) = conns.swap_remove(i);
+            let _ = done.join();
+            drop(stale);
+        } else {
+            i += 1;
+        }
+    }
+}
+
 fn accept_loop(
     listener: TcpListener,
     replica: Arc<Replica>,
@@ -434,6 +460,10 @@ fn accept_loop(
                 if draining {
                     break;
                 }
+                // Prune on every poll tick, not only on new accepts:
+                // an idle listener must not retain dead fds and
+                // JoinHandles indefinitely.
+                prune_finished(&mut conns.lock().unwrap());
                 std::thread::sleep(Duration::from_millis(10));
                 continue;
             }
@@ -452,16 +482,7 @@ fn accept_loop(
             .spawn(move || serve_queries(conn_replica, conn_stats, stream))
             .expect("spawn replica connection thread");
         let mut conns = conns.lock().unwrap();
-        let mut i = 0;
-        while i < conns.len() {
-            if conns[i].0.is_finished() {
-                let (done, stale) = conns.swap_remove(i);
-                let _ = done.join();
-                drop(stale);
-            } else {
-                i += 1;
-            }
-        }
+        prune_finished(&mut conns);
         conns.push((handle, registered));
     }
 }
@@ -531,6 +552,15 @@ fn serve_queries(replica: Arc<Replica>, stats: Arc<FollowerStats>, stream: TcpSt
             }
             Request::CurrentVersion => Response::Version(replica.current_version()),
             Request::Stats => Response::Stats(replica_stats(&replica, &stats)),
+            // Replicas speak protocol v1: answer any Hello with
+            // version 1, exercising the negotiation's downgrade path
+            // (a v2 client falls back to unwrapped frames).
+            Request::Hello { .. } => Response::Hello { version: 1 },
+            // Session wrappers need v2; refuse them without closing —
+            // the client can retry unwrapped on the same connection.
+            Request::InSession { .. } => failed(&Error::Protocol(
+                "read-only replica speaks protocol v1: no session multiplexing".into(),
+            )),
             // Everything mutating — and nested subscriptions — is
             // refused: replicas are read-only and not chainable (yet;
             // see the ROADMAP follow-ons).

@@ -1,27 +1,58 @@
-//! [`NetServer`]: the multi-threaded TCP front end over
+//! [`NetServer`]: the event-driven TCP front end over
 //! [`risgraph_core::server::Server`].
 //!
-//! Each accepted connection gets one [`Session`](risgraph_core::server::Session)
-//! and three threads —
-//! reader, replier, writer (see the crate docs for the data flow).
-//! The accept loop, connection registry and drain-then-shutdown
-//! choreography live here.
+//! A fixed pool of reactor workers ([`NetConfig::net_workers`]) owns
+//! every connection: each worker runs an epoll loop
+//! ([`crate::reactor`]) over its share of the sockets, parsing frames
+//! out of per-connection read buffers, submitting updates through the
+//! core's tagged session API under a bounded in-flight window, and
+//! flushing replies from per-connection write buffers. Reply delivery
+//! is push-based: each logical session installs a
+//! [`ReplyWaker`](risgraph_core::server::ReplyWaker) that dings the
+//! owning worker's eventfd, so no thread ever parks on a reply channel.
+//! Total server threads are O(`net_workers`), not O(connections).
+//!
+//! One TCP connection can multiplex many logical sessions (protocol
+//! v2, negotiated via `Hello`): each wire session id maps to its own
+//! core [`Session`](risgraph_core::server::Session), which is exactly
+//! the granularity the epoch loop orders submissions by — per-session
+//! ordering for free, cross-session independence by construction.
+//! Replication subscribers (`SUBSCRIBE`) ride the same reactor: the
+//! worker pumps the feed into the connection's write buffer on its
+//! tick, so followers cost no dedicated threads either.
 
-use std::io::{BufReader, BufWriter, Write};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::unbounded;
+use risgraph_common::hash::FxHashMap;
+use risgraph_common::ids::Update;
 use risgraph_common::protocol::{
-    read_frame, write_frame, Request, Response, StatsReport, WireError, MAX_FRAME,
-    MAX_RESPONSE_FRAME,
+    encode_wal_epoch, write_frame, Request, Response, StatsReport, WireError, FRAME_HEADER,
+    MAX_FRAME, MAX_RESPONSE_FRAME, PROTOCOL_VERSION,
 };
 use risgraph_common::{Error, Result};
 use risgraph_core::engine::{DynAlgorithm, Safety};
-use risgraph_core::server::{Op, Server, ServerConfig};
+use risgraph_core::server::{Op, Server, ServerConfig, Session as CoreSession};
+use risgraph_core::ReplicationFeed;
+
+use crate::reactor::{Event, Interest, Poller, Wakeup};
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok())
+}
+
+fn env_millis(key: &str) -> Option<Duration> {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .map(Duration::from_millis)
+}
 
 /// Network-tier tuning.
 #[derive(Debug, Clone)]
@@ -32,104 +63,95 @@ pub struct NetConfig {
     /// Maximum accepted frame payload, bytes. Oversized frames are
     /// rejected before allocation and close the connection.
     pub max_frame: usize,
-    /// Per-connection in-flight update window. Once this many updates
-    /// are unanswered the reader stops consuming the socket, so TCP
-    /// flow control propagates the backpressure to the client.
+    /// Per-connection in-flight update window (shared across that
+    /// connection's sessions). Once this many updates are unanswered
+    /// the worker stops reading the socket, so TCP flow control
+    /// propagates the backpressure to the client.
     pub window: usize,
     /// Cadence of replication heartbeats on subscribed connections —
     /// both the idle keep-alive and the lag reference (each heartbeat
     /// carries the leader's current version).
     pub heartbeat_interval: Duration,
+    /// Reactor worker threads (each runs its own epoll loop over its
+    /// share of the connections). Env override: `RISGRAPH_NET_WORKERS`.
+    pub net_workers: usize,
+    /// A connection whose outbound buffer makes no progress for this
+    /// long (peer stopped reading its replies) is torn down. Env
+    /// override: `RISGRAPH_NET_SEND_TIMEOUT_MS`.
+    pub send_timeout: Duration,
+    /// A draining connection still owed replies that receives none for
+    /// this long is torn down (a dead coordinator can never answer the
+    /// in-flight tail). Env override: `RISGRAPH_NET_REPLY_TIMEOUT_MS`.
+    pub reply_timeout: Duration,
+    /// Cap on logical sessions one connection may open (protocol v2
+    /// multiplexing). Exceeding it fails the offending request; the
+    /// connection stays up.
+    pub max_sessions_per_conn: usize,
 }
 
 impl Default for NetConfig {
     fn default() -> Self {
+        let workers = env_usize("RISGRAPH_NET_WORKERS").unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
         NetConfig {
             listen: "127.0.0.1:0".into(),
             max_frame: MAX_FRAME,
             window: 256,
             heartbeat_interval: Duration::from_millis(100),
+            net_workers: workers.clamp(1, 4),
+            send_timeout: env_millis("RISGRAPH_NET_SEND_TIMEOUT_MS")
+                .unwrap_or(Duration::from_secs(10)),
+            reply_timeout: env_millis("RISGRAPH_NET_REPLY_TIMEOUT_MS")
+                .unwrap_or(Duration::from_secs(30)),
+            max_sessions_per_conn: 1 << 16,
         }
     }
 }
 
-/// The per-connection in-flight window: a tiny semaphore with a
-/// `closed` latch so the replier knows when the drain is complete.
-struct Window {
-    state: Mutex<WindowState>,
-    cv: Condvar,
+/// Reserved poller token for a worker's wakeup eventfd.
+const TOKEN_WAKEUP: u64 = 0;
+/// Reserved poller token for the listener (worker 0 only).
+const TOKEN_LISTENER: u64 = 1;
+/// First connection token; tokens count up and are never reused, so a
+/// stale waker entry for a closed connection can never alias a live one.
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// Soft cap on a connection's outbound buffer. Reaching it stalls
+/// query processing and feed pumping (replies for already-submitted
+/// updates still land — their count is bounded by the window); the
+/// single frame that crosses the cap may exceed it.
+const OUT_BUF_SOFT_CAP: usize = MAX_RESPONSE_FRAME;
+
+/// Bytes read from one socket per readiness event before yielding to
+/// other connections (level-triggered epoll re-fires if more is
+/// pending).
+const READ_BURST: usize = 256 * 1024;
+
+/// Updates per [`Response::SnapshotChunk`] frame — at 26 encoded bytes
+/// per update a full chunk stays far below the response frame cap.
+const SNAPSHOT_CHUNK_UPDATES: usize = 1 << 16;
+
+/// The slice of a worker other threads can see: the acceptor hands
+/// off sockets through `inbox`, reply wakers enqueue `(token, sid)`
+/// drain requests through `ready`, and both ding `wakeup` to pull the
+/// worker out of `epoll_wait`.
+struct WorkerShared {
+    wakeup: Wakeup,
+    inbox: Mutex<Vec<TcpStream>>,
+    ready: Mutex<Vec<(u64, u64)>>,
+    conns: AtomicUsize,
 }
-
-struct WindowState {
-    inflight: usize,
-    /// Set by the reader when it stops submitting (EOF, error, drain).
-    closed: bool,
-}
-
-impl Window {
-    fn new() -> Self {
-        Window {
-            state: Mutex::new(WindowState {
-                inflight: 0,
-                closed: false,
-            }),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Block until a slot frees up; `false` once closed.
-    fn acquire(&self, cap: usize) -> bool {
-        let mut s = self.state.lock().unwrap();
-        loop {
-            if s.closed {
-                return false;
-            }
-            if s.inflight < cap {
-                s.inflight += 1;
-                return true;
-            }
-            s = self.cv.wait(s).unwrap();
-        }
-    }
-
-    fn release(&self) {
-        let mut s = self.state.lock().unwrap();
-        s.inflight = s.inflight.saturating_sub(1);
-        drop(s);
-        self.cv.notify_all();
-    }
-
-    fn close(&self) {
-        self.state.lock().unwrap().closed = true;
-        self.cv.notify_all();
-    }
-
-    /// `true` when the reader has stopped and every submitted update
-    /// has been answered.
-    fn drained(&self) -> bool {
-        let s = self.state.lock().unwrap();
-        s.closed && s.inflight == 0
-    }
-
-    /// `true` once [`Window::close`] has run (drain may still be
-    /// outstanding).
-    fn closed(&self) -> bool {
-        self.state.lock().unwrap().closed
-    }
-}
-
-/// Registry of live connections: each entry pairs the connection
-/// thread's join handle with a stream clone used to half-close the
-/// socket at drain time.
-type ConnRegistry = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
 
 /// A TCP serving front end wrapping one [`Server`].
 pub struct NetServer {
     server: Option<Arc<Server>>,
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    conns: ConnRegistry,
+    workers: Vec<Arc<WorkerShared>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl NetServer {
@@ -151,96 +173,62 @@ impl NetServer {
         let local_addr = listener
             .local_addr()
             .map_err(|e| Error::Protocol(format!("no local addr: {e}")))?;
-        let server = Arc::new(server);
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
-
-        // Polled nonblocking accept: a blocked `accept()` cannot be
-        // reliably interrupted from another thread with std alone, so
-        // the loop polls and re-checks the shutdown flag — shutdown is
-        // then bounded by one poll interval instead of depending on a
-        // wake-up connection that may be unroutable (e.g. 0.0.0.0
-        // binds behind a firewall).
         listener
             .set_nonblocking(true)
             .map_err(|e| Error::Protocol(format!("nonblocking listener: {e}")))?;
-        let accept_server = Arc::clone(&server);
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept_conns = Arc::clone(&conns);
-        let accept_net = net.clone();
-        let accept_thread = std::thread::Builder::new()
-            .name("risgraph-net-accept".into())
-            .spawn(move || {
-                loop {
-                    // Snapshot the flag *before* accepting: a client
-                    // whose handshake completed pre-shutdown sits in
-                    // the backlog and must still be served (drained),
-                    // so the loop only exits once shutdown is set AND
-                    // the backlog is empty.
-                    let draining = accept_shutdown.load(Ordering::Acquire);
-                    let stream = match listener.accept() {
-                        Ok((stream, _)) => stream,
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            if draining {
-                                break;
-                            }
-                            std::thread::sleep(Duration::from_millis(10));
-                            continue;
-                        }
-                        Err(_) => {
-                            if draining {
-                                break;
-                            }
-                            // E.g. EMFILE under fd exhaustion: returned
-                            // immediately by a nonblocking listener, so
-                            // back off instead of spinning a core.
-                            std::thread::sleep(Duration::from_millis(10));
-                            continue;
-                        }
-                    };
-                    // Accepted sockets inherit the listener's
-                    // nonblocking mode on some platforms.
-                    if stream.set_nonblocking(false).is_err() {
-                        continue;
-                    }
-                    let _ = stream.set_nodelay(true);
-                    let Ok(registered) = stream.try_clone() else {
-                        continue;
-                    };
-                    let conn_server = Arc::clone(&accept_server);
-                    let conn_net = accept_net.clone();
-                    let conn_shutdown = Arc::clone(&accept_shutdown);
-                    let handle = std::thread::Builder::new()
-                        .name("risgraph-net-conn".into())
-                        .spawn(move || {
-                            handle_connection(conn_server, stream, conn_net, conn_shutdown)
-                        })
-                        .expect("spawn connection thread");
-                    let mut conns = accept_conns.lock().unwrap();
-                    // Prune finished connections so a long-running
-                    // server doesn't accumulate one fd + join handle
-                    // per connection it ever served.
-                    let mut i = 0;
-                    while i < conns.len() {
-                        if conns[i].0.is_finished() {
-                            let (done, stale) = conns.swap_remove(i);
-                            let _ = done.join();
-                            drop(stale);
-                        } else {
-                            i += 1;
-                        }
-                    }
-                    conns.push((handle, registered));
-                }
-            })
-            .expect("spawn accept thread");
+        let server = Arc::new(server);
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let num_workers = net.net_workers.max(1);
+        let mut workers = Vec::with_capacity(num_workers);
+        for _ in 0..num_workers {
+            workers.push(Arc::new(WorkerShared {
+                wakeup: Wakeup::new()?,
+                inbox: Mutex::new(Vec::new()),
+                ready: Mutex::new(Vec::new()),
+                conns: AtomicUsize::new(0),
+            }));
+        }
+
+        let mut threads = Vec::with_capacity(num_workers);
+        let mut listener = Some(listener);
+        for (i, shared) in workers.iter().enumerate() {
+            let poller = Poller::new()?;
+            poller.add(shared.wakeup.fd(), TOKEN_WAKEUP, Interest::READ)?;
+            let worker_listener = if i == 0 { listener.take() } else { None };
+            if let Some(l) = &worker_listener {
+                poller.add(l.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+            }
+            let worker = Worker {
+                ctx: Ctx {
+                    server: Arc::clone(&server),
+                    net: net.clone(),
+                    shared: Arc::clone(shared),
+                    poller,
+                },
+                peers: workers.clone(),
+                shutdown: Arc::clone(&shutdown),
+                conns: FxHashMap::default(),
+                next_token: TOKEN_FIRST_CONN,
+                listener: worker_listener,
+                listener_paused: None,
+                rr: 0,
+                drain_started: false,
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("risgraph-net-{i}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn net worker"),
+            );
+        }
 
         Ok(NetServer {
             server: Some(server),
             local_addr,
             shutdown,
-            accept_thread: Some(accept_thread),
-            conns,
+            workers,
+            threads,
         })
     }
 
@@ -255,10 +243,20 @@ impl NetServer {
         self.server.as_ref().expect("server live until shutdown")
     }
 
-    /// Graceful drain-then-shutdown: stop accepting, half-close every
-    /// connection (in-flight updates finish, their replies flush), join
-    /// the connection threads, then shut the inner server down — which
-    /// drains its epochs and flushes WAL and store.
+    /// Connections currently owned by the reactor workers. Closed
+    /// connections leave this gauge on their close event — no new
+    /// accept is needed to prune them.
+    pub fn live_connections(&self) -> usize {
+        self.workers
+            .iter()
+            .map(|w| w.conns.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Graceful drain-then-shutdown: stop accepting (after serving the
+    /// backlog), give every connection a final read pass, finish its
+    /// in-flight updates and flush their replies, then shut the inner
+    /// server down — which drains its epochs and flushes WAL and store.
     pub fn shutdown(mut self) {
         self.do_shutdown();
     }
@@ -267,24 +265,16 @@ impl NetServer {
         if self.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
-        // The polled accept loop observes the flag within one interval.
-        if let Some(h) = self.accept_thread.take() {
-            let _ = h.join();
+        for w in &self.workers {
+            w.wakeup.wake();
         }
-        // Half-close the read side of every connection: readers see
-        // EOF, stop submitting, and the replier/writer pair drains the
-        // in-flight tail before the threads exit.
-        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
-        for (_, stream) in &conns {
-            let _ = stream.shutdown(Shutdown::Read);
-        }
-        for (handle, _) in conns {
-            let _ = handle.join();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
         }
         if let Some(server) = self.server.take() {
             match Arc::try_unwrap(server) {
                 Ok(server) => server.shutdown(),
-                Err(_) => unreachable!("all connection threads joined"),
+                Err(_) => unreachable!("all worker threads joined"),
             }
         }
     }
@@ -344,8 +334,8 @@ fn stats_report(server: &Server) -> StatsReport {
 
 /// Validate a wire-supplied algorithm index before it reaches
 /// unchecked `history[algo]`/engine indexing. (Vertex bounds are
-/// enforced by [`Session`](risgraph_core::server::Session) itself, and
-/// update-path capacity growth by `ServerConfig::max_capacity`.)
+/// enforced by [`CoreSession`] itself, and update-path capacity growth
+/// by `ServerConfig::max_capacity`.)
 fn check_algo(server: &Server, algo: u32) -> std::result::Result<(), Error> {
     if algo as usize >= server.engine().num_algorithms() {
         return Err(Error::Protocol(format!(
@@ -356,297 +346,437 @@ fn check_algo(server: &Server, algo: u32) -> std::result::Result<(), Error> {
     Ok(())
 }
 
-/// A [`Response::Failed`] for `e` at the session's current version.
-fn failed(session: &risgraph_core::server::Session, e: &Error) -> Response {
+/// A [`Response::Failed`] for `e` at the server's current version.
+fn failed(server: &Server, e: &Error) -> Response {
     Response::Failed {
-        version: session.get_current_version(),
+        version: server.current_version(),
         error: WireError::from_error(e),
     }
 }
 
-/// The producer side of a connection's bounded writer hand-off: at most
-/// `cap` frames queued at once; [`Outbound::send`] blocks when the
-/// writer is behind and returns `false` once the writer is gone.
-#[derive(Clone)]
-struct Outbound {
-    frames: crossbeam::channel::Sender<Vec<u8>>,
-    budget: Arc<Window>,
-    cap: usize,
+/// Everything a connection needs from its worker, owned by the worker
+/// so connection methods and `conns` map access borrow disjoint fields.
+struct Ctx {
+    server: Arc<Server>,
+    net: NetConfig,
+    shared: Arc<WorkerShared>,
+    poller: Poller,
 }
 
-impl Outbound {
-    fn send(&self, payload: Vec<u8>) -> bool {
-        if !self.budget.acquire(self.cap) {
-            return false;
-        }
-        self.frames.send(payload).is_ok()
-    }
-
-    fn send_failed(
-        &self,
-        session: &risgraph_core::server::Session,
-        req_id: u64,
-        e: &Error,
-    ) -> bool {
-        self.send(failed(session, e).encode(req_id))
-    }
+/// One logical session on a connection: its core session plus the
+/// waker-dedup flag (`queued` is set by the first reply waker to fire
+/// since the last drain, so a burst of replies costs one eventfd
+/// write, not one per reply).
+struct SessState {
+    core: Arc<CoreSession>,
+    queued: Arc<AtomicBool>,
 }
 
-/// Closes a [`Window`] when dropped, so the replier and writer threads
-/// unwind even if the owning thread panics mid-loop (a leaked open
-/// window would leave them polling forever).
-struct CloseOnDrop(Arc<Window>);
-
-impl Drop for CloseOnDrop {
-    fn drop(&mut self) {
-        self.0.close();
-    }
+/// An update parked because the in-flight window is full. Parsing
+/// stops while one is parked (and read interest is dropped), so TCP
+/// backpressure reaches the client; queries already parsed keep their
+/// overtake semantics because they were answered inline before the
+/// park.
+struct PendingOp {
+    req_id: u64,
+    sid: u64,
+    op: Op,
 }
 
-/// Updates per [`Response::SnapshotChunk`] frame — at 26 encoded bytes
-/// per update a full chunk stays far below the response frame cap.
-const SNAPSHOT_CHUNK_UPDATES: usize = 1 << 16;
-
-/// Ship the leader's checkpoint snapshot to a fresh follower: the
-/// structure batch in bounded [`Response::SnapshotChunk`] frames, then
-/// [`Response::SnapshotDone`] carrying the resume coordinates. Returns
-/// the feed index live streaming resumes from; `Err(Some(_))` is a
-/// protocol-level failure the caller reports to the client, `Err(None)`
-/// means the send path died.
-fn serve_snapshot_bootstrap(
-    server: &Server,
-    out: &Outbound,
-    sub_id: u64,
-) -> std::result::Result<u64, Option<Error>> {
-    let Some((updates, resume_index, resume_version)) = server.snapshot_for_bootstrap() else {
-        return Err(Some(Error::Protocol(
-            "feed retention advanced past the requested offset but no checkpoint \
-             snapshot is readable"
-                .into(),
-        )));
-    };
-    for chunk in updates.chunks(SNAPSHOT_CHUNK_UPDATES) {
-        if !out.send(Response::SnapshotChunk(chunk.to_vec()).encode(sub_id)) {
-            return Err(None);
-        }
-    }
-    // An empty structure still ships the Done frame — the resume
-    // coordinates are what flips the replica out of "fresh".
-    let done = Response::SnapshotDone {
-        resume_index,
-        resume_version,
-    };
-    if !out.send(done.encode(sub_id)) {
-        return Err(None);
-    }
-    Ok(resume_index)
+/// An in-progress snapshot bootstrap for a fresh subscriber whose
+/// requested offset was evicted: the checkpoint structure ships in
+/// bounded chunks as the write buffer drains.
+struct SnapshotShip {
+    updates: Vec<Update>,
+    pos: usize,
+    resume_index: u64,
+    resume_version: u64,
 }
 
-/// Stream the replication feed to a subscribed follower. Runs on the
-/// connection's reader thread (which stops reading the socket — the
-/// subscription is one-way). Every outbound frame passes the bounded
-/// writer budget, so a slow follower throttles *this* thread only; the
-/// epoch loop publishes to the feed without ever blocking on us.
-/// Returns when the client is gone (send fails), the server drains, or
-/// the feed stops growing during shutdown.
-#[allow(clippy::too_many_arguments)] // the subscription's full wiring: feed cursor + outbound + lifecycle
-fn stream_feed(
-    server: &Server,
-    feed: &risgraph_core::ReplicationFeed,
+/// A connection flipped into replication streaming by `SUBSCRIBE`.
+struct SubState {
+    feed: Arc<ReplicationFeed>,
     slot: u64,
-    mut next: u64,
-    out: &Outbound,
+    next: u64,
     sub_id: u64,
-    shutdown: &AtomicBool,
-    heartbeat: Duration,
-) {
-    // `records` is the next-to-send index of *this* subscription:
-    // frames are ordered, so a follower that has applied fewer when the
-    // heartbeat arrives knows frames were lost in between (its gap
-    // detector for drops at the stream tail).
-    let beat = |next: u64| Response::Heartbeat {
-        records: next,
-        version: server.current_version(),
-    };
-    // Subscribe acknowledgement: an immediate heartbeat tells the
-    // follower where the stream stands before any record arrives.
-    if !out.send(beat(next).encode(sub_id)) {
-        return;
+    last_beat: Instant,
+    acked: bool,
+    snapshot: Option<SnapshotShip>,
+}
+
+/// One connection's state machine.
+struct Conn {
+    token: u64,
+    stream: TcpStream,
+    /// Unparsed inbound bytes; `rpos` marks how far frames have been
+    /// consumed (compacted lazily).
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Encoded outbound frames; `wpos` marks how far the socket has
+    /// accepted them (compacted lazily).
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// 1 until a `Hello` negotiates higher; session wrappers before
+    /// negotiation are a protocol error.
+    proto_version: u32,
+    /// Wire session id → core session. Unwrapped requests use sid 0.
+    sessions: FxHashMap<u64, SessState>,
+    /// Updates submitted and not yet answered, across all sessions.
+    inflight: usize,
+    pending: Option<PendingOp>,
+    /// No more socket reads: clean EOF, drain mode, or a poisoned
+    /// byte stream. In-flight replies still deliver and `wbuf` still
+    /// flushes; the connection closes once both are empty.
+    read_closed: bool,
+    interest: Interest,
+    /// Last instant the write buffer made progress (or was empty).
+    last_progress: Instant,
+    reply_starved_since: Option<Instant>,
+    sub: Option<SubState>,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(token: u64, stream: TcpStream) -> Conn {
+        Conn {
+            token,
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            proto_version: 1,
+            sessions: FxHashMap::default(),
+            inflight: 0,
+            pending: None,
+            read_closed: false,
+            interest: Interest::READ,
+            last_progress: Instant::now(),
+            reply_starved_since: None,
+            sub: None,
+            dead: false,
+        }
     }
-    let mut last_beat = std::time::Instant::now();
-    loop {
-        if shutdown.load(Ordering::Acquire) {
+
+    fn out_len(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Append one encoded payload to the write buffer, framed.
+    fn enqueue(&mut self, payload: Vec<u8>) {
+        if self.dead {
             return;
         }
-        if let Some(rec) = feed.get(next) {
-            if !out.send(risgraph_common::protocol::encode_wal_epoch(&rec, sub_id)) {
-                return;
-            }
-            next += 1;
-            // The send landed in the writer queue: everything below
-            // `next` is this follower's problem now, so release it for
-            // eviction once the checkpoint cut also passes it.
-            feed.set_watermark(slot, next);
-        } else {
-            // Caught up: wait for growth in short slices so shutdown
-            // and the heartbeat cadence stay responsive.
-            feed.wait_beyond(next, heartbeat.min(Duration::from_millis(50)));
+        if self.out_len() == 0 {
+            // The send-timeout clock measures progress while data is
+            // pending; restart it as the buffer goes non-empty.
+            self.last_progress = Instant::now();
         }
-        if last_beat.elapsed() >= heartbeat {
-            if !out.send(beat(next).encode(sub_id)) {
-                return;
+        // Writing into a Vec cannot fail (the payload is always far
+        // below the u32 length cap).
+        let _ = write_frame(&mut self.wbuf, &payload);
+    }
+
+    fn enqueue_failed(&mut self, server: &Server, req_id: u64, e: &Error) {
+        self.enqueue(failed(server, e).encode(req_id));
+    }
+
+    /// Stop consuming the byte stream but keep the connection up for
+    /// its drain: in-flight replies deliver, the write buffer flushes,
+    /// then the socket closes. Used for clean EOF and for protocol
+    /// errors (after the best-effort id-0 report).
+    fn begin_close(&mut self) {
+        self.read_closed = true;
+        self.rbuf.clear();
+        self.rpos = 0;
+    }
+
+    /// Pull bytes off the socket (bounded per event for fairness).
+    fn on_readable(&mut self, burst: usize) {
+        if self.read_closed || self.dead {
+            return;
+        }
+        if self.sub.is_some() {
+            // Subscribed connections are one-way: consume and discard
+            // anything the peer writes so a half-close is observed,
+            // but keep streaming until the socket actually fails —
+            // a follower may FIN its write side yet still read.
+            let mut scratch = [0u8; 4096];
+            loop {
+                match self.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        self.read_closed = true;
+                        return;
+                    }
+                    Ok(_) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        self.dead = true;
+                        return;
+                    }
+                }
             }
-            last_beat = std::time::Instant::now();
+        }
+        let mut total = 0;
+        loop {
+            let old_len = self.rbuf.len();
+            self.rbuf.resize(old_len + 64 * 1024, 0);
+            match self.stream.read(&mut self.rbuf[old_len..]) {
+                Ok(0) => {
+                    self.rbuf.truncate(old_len);
+                    self.read_closed = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.rbuf.truncate(old_len + n);
+                    total += n;
+                    if total >= burst {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.rbuf.truncate(old_len);
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                    self.rbuf.truncate(old_len);
+                }
+                Err(_) => {
+                    // Abrupt reset: immediate teardown; any replies
+                    // still executing complete in the epoch loop and
+                    // are discarded harmlessly.
+                    self.rbuf.truncate(old_len);
+                    self.dead = true;
+                    return;
+                }
+            }
         }
     }
-}
 
-/// One connection: reader (this thread) + replier + writer.
-fn handle_connection(
-    server: Arc<Server>,
-    stream: TcpStream,
-    net: NetConfig,
-    shutdown: Arc<AtomicBool>,
-) {
-    let session = Arc::new(server.session());
-    let window = Arc::new(Window::new());
-    let window_guard = CloseOnDrop(Arc::clone(&window));
+    /// Extract the next complete frame payload from the read buffer.
+    /// `Ok(None)` means more bytes are needed.
+    fn next_frame(&mut self, max_frame: usize) -> Result<Option<Vec<u8>>> {
+        let avail = &self.rbuf[self.rpos..];
+        if avail.len() < FRAME_HEADER {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap()) as usize;
+        let want_crc = u32::from_le_bytes(avail[4..FRAME_HEADER].try_into().unwrap());
+        if len > max_frame {
+            return Err(Error::Protocol(format!(
+                "oversized frame: {len} bytes exceeds the {max_frame}-byte limit"
+            )));
+        }
+        if avail.len() < FRAME_HEADER + len {
+            return Ok(None);
+        }
+        let payload = avail[FRAME_HEADER..FRAME_HEADER + len].to_vec();
+        let got_crc = risgraph_common::crc::crc32(&payload);
+        if got_crc != want_crc {
+            return Err(Error::Protocol(format!(
+                "frame CRC mismatch: header says {want_crc:#010x}, payload is {got_crc:#010x}"
+            )));
+        }
+        self.rpos += FRAME_HEADER + len;
+        if self.rpos > 64 * 1024 {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+        Ok(Some(payload))
+    }
 
-    // Writer: the single owner of the socket's write half; both the
-    // reader (query answers, protocol errors) and the replier (update
-    // replies) feed it encoded payloads through a *bounded* hand-off —
-    // producers acquire a budget slot per frame and the writer releases
-    // it once the frame hits the socket, so a peer that stops reading
-    // its replies stalls the producers (and, transitively, our reads of
-    // its requests) instead of growing server memory without bound.
-    let window_cap = net.window.max(1);
-    let (frame_tx, frame_rx) = unbounded::<Vec<u8>>();
-    let write_budget = Arc::new(Window::new());
-    let out = Outbound {
-        frames: frame_tx,
-        budget: Arc::clone(&write_budget),
-        cap: window_cap,
-    };
-    let write_stream = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    // A peer that never reads its replies can stall the writer only
-    // briefly: the send timeout turns a dead drain into a teardown.
-    let _ = write_stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let writer_budget = Arc::clone(&write_budget);
-    let writer = std::thread::Builder::new()
-        .name("risgraph-net-writer".into())
-        .spawn(move || {
-            let mut w = BufWriter::new(write_stream);
-            while let Ok(payload) = frame_rx.recv() {
-                // Batch: only pay the flush syscall when no more
-                // responses are immediately ready.
-                let ok = write_frame(&mut w, &payload).is_ok()
-                    && (!frame_rx.is_empty() || w.flush().is_ok());
-                writer_budget.release();
-                if !ok {
-                    break;
-                }
+    /// Look up or lazily create the core session behind a wire sid.
+    fn session_core(&mut self, ctx: &Ctx, sid: u64) -> Result<Arc<CoreSession>> {
+        if let Some(st) = self.sessions.get(&sid) {
+            return Ok(Arc::clone(&st.core));
+        }
+        if self.sessions.len() >= ctx.net.max_sessions_per_conn.max(1) {
+            return Err(Error::Protocol(format!(
+                "session limit reached ({} logical sessions on one connection)",
+                ctx.net.max_sessions_per_conn.max(1)
+            )));
+        }
+        let core = Arc::new(ctx.server.session());
+        let queued = Arc::new(AtomicBool::new(false));
+        let shared = Arc::clone(&ctx.shared);
+        let q = Arc::clone(&queued);
+        let token = self.token;
+        core.set_reply_waker(Some(Arc::new(move || {
+            // First waker since the last drain dings the worker; the
+            // rest coalesce behind the flag.
+            if !q.swap(true, Ordering::AcqRel) {
+                shared.ready.lock().unwrap().push((token, sid));
+                shared.wakeup.wake();
             }
-            let _ = w.flush();
-            // Unblock producers waiting for budget: the client is gone.
-            writer_budget.close();
-        })
-        .expect("spawn writer thread");
+        })));
+        self.sessions.insert(
+            sid,
+            SessState {
+                core: Arc::clone(&core),
+                queued,
+            },
+        );
+        Ok(core)
+    }
 
-    // Replier: drain tagged update replies, re-encode, release window
-    // slots. Exits when the reader has closed the window and every
-    // in-flight update is answered.
-    let replier_session = Arc::clone(&session);
-    let replier_window = Arc::clone(&window);
-    let replier_out = out.clone();
-    let replier = std::thread::Builder::new()
-        .name("risgraph-net-replier".into())
-        .spawn(move || {
-            // Escape hatch: if the window is closed but replies stop
-            // arriving (a dead coordinator can never answer the
-            // in-flight tail), give up after a deadline instead of
-            // wedging this thread — and through the joins, the whole
-            // server's shutdown — forever.
-            let mut reply_starved_since: Option<std::time::Instant> = None;
-            loop {
-                match replier_session.recv_tagged_timeout(Duration::from_millis(20)) {
-                    Some((req_id, reply)) => {
-                        reply_starved_since = None;
-                        let delivered = replier_out.send(reply_to_response(reply).encode(req_id));
-                        // Keep draining even when the client is gone (the
-                        // outbound refuses the frame) so the window empties
-                        // and the threads exit — but also close the update
-                        // window, so the reader stops applying updates whose
-                        // replies can never be delivered.
-                        replier_window.release();
-                        if !delivered {
-                            replier_window.close();
-                        }
-                    }
-                    None => {
-                        if replier_window.drained() {
-                            return;
-                        }
-                        if replier_window.closed() {
-                            let since =
-                                *reply_starved_since.get_or_insert_with(std::time::Instant::now);
-                            if since.elapsed() > Duration::from_secs(30) {
-                                return;
-                            }
-                        }
-                    }
-                }
-            }
-        })
-        .expect("spawn replier thread");
+    /// Pull every ready reply for `sid` into the write buffer.
+    fn drain_session(&mut self, sid: u64) {
+        let Some(st) = self.sessions.get(&sid) else {
+            return;
+        };
+        // Reset the dedup flag BEFORE draining: a reply landing after
+        // the drain below re-fires the waker instead of being lost.
+        st.queued.store(false, Ordering::Release);
+        let core = Arc::clone(&st.core);
+        while let Some((req_id, reply)) = core.try_recv_tagged() {
+            self.inflight = self.inflight.saturating_sub(1);
+            self.reply_starved_since = None;
+            self.enqueue(reply_to_response(reply).encode(req_id));
+        }
+    }
 
-    // Reader loop on this thread.
-    let mut r = BufReader::new(stream);
-    loop {
-        let payload = match read_frame(&mut r, net.max_frame) {
-            Ok(Some(p)) => p,
-            // Clean EOF or socket teardown: stop reading.
-            Ok(None) => break,
+    /// Submit an update op, or park it when the window is full.
+    /// Returns `false` when frame processing must stop.
+    fn submit_or_park(&mut self, ctx: &Ctx, req_id: u64, sid: u64, op: Op) -> bool {
+        if self.inflight >= ctx.net.window.max(1) {
+            self.pending = Some(PendingOp { req_id, sid, op });
+            return false;
+        }
+        self.submit(ctx, req_id, sid, op);
+        !self.read_closed || !self.dead
+    }
+
+    fn submit(&mut self, ctx: &Ctx, req_id: u64, sid: u64, op: Op) {
+        let core = match self.session_core(ctx, sid) {
+            Ok(c) => c,
             Err(e) => {
-                // Malformed framing: the byte stream can no longer be
-                // trusted, so report (best-effort, request id 0) and
-                // close the connection.
-                out.send_failed(&session, 0, &e);
-                break;
+                // Over the session cap: fail this request, keep the
+                // connection (its other sessions are healthy).
+                self.enqueue_failed(&ctx.server, req_id, &e);
+                return;
             }
         };
-        let (req_id, request) = match Request::decode(&payload) {
-            Ok(x) => x,
-            Err(e) => {
-                out.send_failed(&session, 0, &e);
-                break;
+        if let Err(e) = core.submit_op_tagged(op, req_id) {
+            // The coordinator is gone (shutdown): report and drain.
+            self.enqueue_failed(&ctx.server, req_id, &e);
+            self.begin_close();
+        } else {
+            self.inflight += 1;
+        }
+    }
+
+    /// Parse and dispatch every processable frame in the read buffer.
+    fn process(&mut self, ctx: &Ctx) {
+        if self.sub.is_some() {
+            // One-way from here: drop anything the peer still sent.
+            self.rbuf.clear();
+            self.rpos = 0;
+            return;
+        }
+        loop {
+            if self.dead {
+                return;
             }
+            if let Some(p) = self.pending.take() {
+                if self.inflight >= ctx.net.window.max(1) {
+                    self.pending = Some(p);
+                    return;
+                }
+                self.submit(ctx, p.req_id, p.sid, p.op);
+                continue;
+            }
+            if self.out_len() >= OUT_BUF_SOFT_CAP {
+                // Out-pressure: the peer is not reading fast enough;
+                // stop producing until the buffer drains.
+                return;
+            }
+            let payload = match self.next_frame(ctx.net.max_frame) {
+                Ok(Some(p)) => p,
+                Ok(None) => {
+                    if self.read_closed && self.rpos < self.rbuf.len() {
+                        // EOF with a partial frame left over.
+                        self.enqueue_failed(
+                            &ctx.server,
+                            0,
+                            &Error::Protocol("torn frame at connection end".into()),
+                        );
+                        self.rbuf.clear();
+                        self.rpos = 0;
+                    }
+                    return;
+                }
+                Err(e) => {
+                    // Malformed framing: the byte stream can no longer
+                    // be trusted — report (best-effort, request id 0),
+                    // then drain and close.
+                    self.enqueue_failed(&ctx.server, 0, &e);
+                    self.begin_close();
+                    return;
+                }
+            };
+            let (req_id, request) = match Request::decode(&payload) {
+                Ok(x) => x,
+                Err(e) => {
+                    self.enqueue_failed(&ctx.server, 0, &e);
+                    self.begin_close();
+                    return;
+                }
+            };
+            if !self.dispatch(ctx, req_id, request) {
+                return;
+            }
+        }
+    }
+
+    /// Handle one decoded request. Returns `false` when frame
+    /// processing must stop (window full, subscription started,
+    /// connection closing).
+    fn dispatch(&mut self, ctx: &Ctx, req_id: u64, request: Request) -> bool {
+        let (sid, request) = match request {
+            Request::InSession { sid, req } => {
+                if self.proto_version < 2 {
+                    self.enqueue_failed(
+                        &ctx.server,
+                        0,
+                        &Error::Protocol(
+                            "session wrapper before version negotiation (send Hello first)".into(),
+                        ),
+                    );
+                    self.begin_close();
+                    return false;
+                }
+                (sid, *req)
+            }
+            other => (0, other),
         };
         match request {
+            Request::Hello { version } => {
+                let negotiated = version.clamp(1, PROTOCOL_VERSION);
+                self.proto_version = negotiated;
+                self.enqueue(
+                    Response::Hello {
+                        version: negotiated,
+                    }
+                    .encode(req_id),
+                );
+                true
+            }
+            // Nested wrappers are rejected at decode; this arm is for
+            // exhaustiveness only.
+            Request::InSession { .. } => {
+                self.enqueue_failed(
+                    &ctx.server,
+                    0,
+                    &Error::Protocol("nested session wrapper".into()),
+                );
+                self.begin_close();
+                false
+            }
             // Updates: pipelined through the tagged session API under
-            // the in-flight window. Replies surface via the replier.
-            Request::Update(u) => {
-                if !window.acquire(window_cap) {
-                    break;
-                }
-                if let Err(e) = session.submit_op_tagged(Op::Single(u), req_id) {
-                    window.release();
-                    out.send_failed(&session, req_id, &e);
-                    break;
-                }
-            }
-            Request::Txn(updates) => {
-                if !window.acquire(window_cap) {
-                    break;
-                }
-                if let Err(e) = session.submit_op_tagged(Op::Txn(updates), req_id) {
-                    window.release();
-                    out.send_failed(&session, req_id, &e);
-                    break;
-                }
-            }
+            // the in-flight window. Replies surface via the waker.
+            Request::Update(u) => self.submit_or_park(ctx, req_id, sid, Op::Single(u)),
+            Request::Txn(updates) => self.submit_or_park(ctx, req_id, sid, Op::Txn(updates)),
             // Queries: answered inline (they read a versioned snapshot,
             // so they need not wait behind in-flight updates — that is
             // the out-of-order completion the request ids exist for).
@@ -655,37 +785,38 @@ fn handle_connection(
                 version,
                 vertex,
             } => {
-                let resp = match check_algo(&server, algo)
-                    .and_then(|()| session.get_value(algo as usize, version, vertex))
-                {
+                let resp = match self.session_core(ctx, sid).and_then(|core| {
+                    check_algo(&ctx.server, algo)
+                        .and_then(|()| core.get_value(algo as usize, version, vertex))
+                }) {
                     Ok(v) => Response::Value(v),
-                    Err(e) => failed(&session, &e),
+                    Err(e) => failed(&ctx.server, &e),
                 };
-                if !out.send(resp.encode(req_id)) {
-                    break;
-                }
+                self.enqueue(resp.encode(req_id));
+                true
             }
             Request::GetParent {
                 algo,
                 version,
                 vertex,
             } => {
-                let resp = match check_algo(&server, algo)
-                    .and_then(|()| session.get_parent(algo as usize, version, vertex))
-                {
+                let resp = match self.session_core(ctx, sid).and_then(|core| {
+                    check_algo(&ctx.server, algo)
+                        .and_then(|()| core.get_parent(algo as usize, version, vertex))
+                }) {
                     Ok(p) => Response::Parent(p),
-                    Err(e) => failed(&session, &e),
+                    Err(e) => failed(&ctx.server, &e),
                 };
-                if !out.send(resp.encode(req_id)) {
-                    break;
-                }
+                self.enqueue(resp.encode(req_id));
+                true
             }
             Request::GetModified { algo, version } => {
-                let resp = match check_algo(&server, algo)
-                    .and_then(|()| session.get_modified_vertices(algo as usize, version))
-                {
+                let resp = match self.session_core(ctx, sid).and_then(|core| {
+                    check_algo(&ctx.server, algo)
+                        .and_then(|()| core.get_modified_vertices(algo as usize, version))
+                }) {
                     Ok(vs) => Response::Modified(vs),
-                    Err(e) => failed(&session, &e),
+                    Err(e) => failed(&ctx.server, &e),
                 };
                 // The one response whose size scales with the affected
                 // area: refuse to emit a frame the client would reject
@@ -698,135 +829,559 @@ fn handle_connection(
                          {MAX_RESPONSE_FRAME}-byte response limit",
                         payload.len()
                     ));
-                    payload = failed(&session, &e).encode(req_id);
+                    payload = failed(&ctx.server, &e).encode(req_id);
                 }
-                if !out.send(payload) {
-                    break;
-                }
+                self.enqueue(payload);
+                true
             }
             Request::CurrentVersion => {
-                let resp = Response::Version(session.get_current_version());
-                if !out.send(resp.encode(req_id)) {
-                    break;
-                }
+                self.enqueue(Response::Version(ctx.server.current_version()).encode(req_id));
+                true
             }
             Request::Release(version) => {
-                session.release_history(version);
-                if !out.send(Response::Released.encode(req_id)) {
-                    break;
+                match self.session_core(ctx, sid) {
+                    Ok(core) => {
+                        core.release_history(version);
+                        self.enqueue(Response::Released.encode(req_id));
+                    }
+                    Err(e) => self.enqueue_failed(&ctx.server, req_id, &e),
                 }
+                true
             }
             Request::Stats => {
-                let resp = Response::Stats(stats_report(&server));
-                if !out.send(resp.encode(req_id)) {
-                    break;
-                }
+                self.enqueue(Response::Stats(stats_report(&ctx.server)).encode(req_id));
+                true
             }
             // Replication: flip this connection into a one-way feed
-            // stream. The reader stops consuming requests; the stream
-            // runs until the follower disconnects or the server drains.
+            // stream pumped by the worker's tick.
             Request::Subscribe { from } => {
-                let Some(feed) = server.feed() else {
-                    out.send_failed(
-                        &session,
+                if sid != 0 {
+                    // A subscription owns the whole connection; it
+                    // cannot ride one multiplexed session among many.
+                    self.enqueue_failed(
+                        &ctx.server,
                         req_id,
                         &Error::Protocol(
-                            "replication disabled on this server (max_followers = 0)".into(),
+                            "subscribe cannot be wrapped in a multiplexed session".into(),
                         ),
                     );
-                    continue;
-                };
-                if from > feed.len() {
-                    out.send_failed(
-                        &session,
-                        req_id,
-                        &Error::Protocol(format!(
-                            "subscribe offset {from} beyond the feed ({} records)",
-                            feed.len()
-                        )),
-                    );
-                    continue;
+                    return true;
                 }
-                let Some(slot) = feed.try_register(from) else {
-                    out.send_failed(
-                        &session,
-                        req_id,
-                        &Error::Protocol(format!(
-                            "follower limit reached ({} slots)",
-                            feed.max_followers()
-                        )),
-                    );
-                    continue;
-                };
-                // Registration pinned the retention floor at `from`,
-                // so `base` cannot advance past it from here on.
-                let feed = Arc::clone(feed);
-                let mut next = from;
-                if next < feed.base() {
-                    // The requested records were evicted past a
-                    // checkpoint. A fresh follower bootstraps from the
-                    // snapshot; a mid-stream one cannot (its local
-                    // state is not the snapshot's), so until follower
-                    // snapshot shipping exists the rejection is final.
-                    if from != 0 {
-                        feed.unregister(slot);
-                        out.send_failed(
-                            &session,
-                            req_id,
-                            &Error::Protocol(format!(
-                                "subscribe offset {from} is below the feed's retention \
-                                 floor ({}); only a fresh follower (offset 0) can \
-                                 bootstrap from the snapshot",
-                                feed.base()
-                            )),
-                        );
-                        continue;
-                    }
-                    match serve_snapshot_bootstrap(&server, &out, req_id) {
-                        Ok(resume) => {
-                            next = resume;
-                            feed.set_watermark(slot, next);
-                        }
-                        Err(Some(e)) => {
-                            feed.unregister(slot);
-                            out.send_failed(&session, req_id, &e);
-                            continue;
-                        }
-                        // Send path died mid-bootstrap: tear down.
-                        Err(None) => {
-                            feed.unregister(slot);
-                            break;
-                        }
-                    }
-                }
-                stream_feed(
-                    &server,
-                    &feed,
-                    slot,
-                    next,
-                    &out,
-                    req_id,
-                    &shutdown,
-                    net.heartbeat_interval,
-                );
-                feed.unregister(slot);
-                break;
+                self.start_subscribe(ctx, req_id, from)
             }
         }
     }
 
-    // Drain: no more submissions; the replier finishes the in-flight
-    // tail (flushing replies to clients that are still reading), then
-    // the writer drains its queue and everything unwinds. An abruptly
-    // disconnected client reaches here through a read error — its
-    // session simply drops, and any still-executing updates complete
-    // in the epoch loop with their replies discarded.
-    drop(window_guard); // closes the window: no more submissions
-    let _ = replier.join();
-    drop(out);
-    let _ = writer.join();
-    // Tear the socket down explicitly: the shutdown registry holds a
-    // clone of this stream, so merely dropping ours would leave the fd
-    // open and the client would never observe the close.
-    let _ = r.into_inner().shutdown(Shutdown::Both);
+    /// Validate and register a subscription; on success the connection
+    /// stops parsing requests and the feed pump takes over.
+    fn start_subscribe(&mut self, ctx: &Ctx, req_id: u64, from: u64) -> bool {
+        let Some(feed) = ctx.server.feed() else {
+            self.enqueue_failed(
+                &ctx.server,
+                req_id,
+                &Error::Protocol("replication disabled on this server (max_followers = 0)".into()),
+            );
+            return true;
+        };
+        if from > feed.len() {
+            self.enqueue_failed(
+                &ctx.server,
+                req_id,
+                &Error::Protocol(format!(
+                    "subscribe offset {from} beyond the feed ({} records)",
+                    feed.len()
+                )),
+            );
+            return true;
+        }
+        let Some(slot) = feed.try_register(from) else {
+            self.enqueue_failed(
+                &ctx.server,
+                req_id,
+                &Error::Protocol(format!(
+                    "follower limit reached ({} slots)",
+                    feed.max_followers()
+                )),
+            );
+            return true;
+        };
+        // Registration pinned the retention floor at `from`, so `base`
+        // cannot advance past it from here on.
+        let feed = Arc::clone(feed);
+        let mut sub = SubState {
+            feed,
+            slot,
+            next: from,
+            sub_id: req_id,
+            last_beat: Instant::now(),
+            acked: false,
+            snapshot: None,
+        };
+        if sub.next < sub.feed.base() {
+            // The requested records were evicted past a checkpoint. A
+            // fresh follower bootstraps from the snapshot; a mid-stream
+            // one cannot (its local state is not the snapshot's), so
+            // until follower snapshot shipping exists the rejection is
+            // final.
+            if from != 0 {
+                let floor = sub.feed.base();
+                sub.feed.unregister(sub.slot);
+                self.enqueue_failed(
+                    &ctx.server,
+                    req_id,
+                    &Error::Protocol(format!(
+                        "subscribe offset {from} is below the feed's retention \
+                         floor ({floor}); only a fresh follower (offset 0) can \
+                         bootstrap from the snapshot"
+                    )),
+                );
+                return true;
+            }
+            let Some((updates, resume_index, resume_version)) = ctx.server.snapshot_for_bootstrap()
+            else {
+                sub.feed.unregister(sub.slot);
+                self.enqueue_failed(
+                    &ctx.server,
+                    req_id,
+                    &Error::Protocol(
+                        "feed retention advanced past the requested offset but no checkpoint \
+                         snapshot is readable"
+                            .into(),
+                    ),
+                );
+                return true;
+            };
+            sub.snapshot = Some(SnapshotShip {
+                updates,
+                pos: 0,
+                resume_index,
+                resume_version,
+            });
+        }
+        self.sub = Some(sub);
+        self.rbuf.clear();
+        self.rpos = 0;
+        self.pump_sub(ctx);
+        false
+    }
+
+    /// Advance an active subscription: ship snapshot chunks, then feed
+    /// records as they appear, plus heartbeats on cadence — all gated
+    /// on the write buffer's soft cap so a slow follower throttles its
+    /// own stream, never the epoch loop.
+    fn pump_sub(&mut self, ctx: &Ctx) {
+        let Some(mut sub) = self.sub.take() else {
+            return;
+        };
+        if self.dead {
+            sub.feed.unregister(sub.slot);
+            return;
+        }
+        if let Some(ship) = &mut sub.snapshot {
+            while ship.pos < ship.updates.len() && self.out_len() < OUT_BUF_SOFT_CAP {
+                let end = (ship.pos + SNAPSHOT_CHUNK_UPDATES).min(ship.updates.len());
+                let chunk = ship.updates[ship.pos..end].to_vec();
+                ship.pos = end;
+                self.enqueue(Response::SnapshotChunk(chunk).encode(sub.sub_id));
+            }
+            if ship.pos >= ship.updates.len() && self.out_len() < OUT_BUF_SOFT_CAP {
+                // An empty structure still ships the Done frame — the
+                // resume coordinates are what flips the replica out of
+                // "fresh".
+                let done = Response::SnapshotDone {
+                    resume_index: ship.resume_index,
+                    resume_version: ship.resume_version,
+                };
+                self.enqueue(done.encode(sub.sub_id));
+                sub.next = ship.resume_index;
+                sub.feed.set_watermark(sub.slot, sub.next);
+                sub.snapshot = None;
+            } else {
+                self.sub = Some(sub);
+                return;
+            }
+        }
+        let beat = |server: &Server, next: u64| Response::Heartbeat {
+            records: next,
+            version: server.current_version(),
+        };
+        if !sub.acked {
+            // Subscribe acknowledgement: an immediate heartbeat tells
+            // the follower where the stream stands before any record
+            // arrives.
+            self.enqueue(beat(&ctx.server, sub.next).encode(sub.sub_id));
+            sub.last_beat = Instant::now();
+            sub.acked = true;
+        }
+        while self.out_len() < OUT_BUF_SOFT_CAP {
+            let Some(rec) = sub.feed.get(sub.next) else {
+                break;
+            };
+            self.enqueue(encode_wal_epoch(&rec, sub.sub_id));
+            sub.next += 1;
+            // The frame is buffered: everything below `next` is this
+            // follower's problem now, so release it for eviction once
+            // the checkpoint cut also passes it.
+            sub.feed.set_watermark(sub.slot, sub.next);
+        }
+        if sub.last_beat.elapsed() >= ctx.net.heartbeat_interval {
+            self.enqueue(beat(&ctx.server, sub.next).encode(sub.sub_id));
+            sub.last_beat = Instant::now();
+        }
+        self.sub = Some(sub);
+    }
+
+    /// Flush as much of the write buffer as the socket accepts.
+    fn try_write(&mut self) {
+        if self.dead {
+            return;
+        }
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.wpos += n;
+                    self.last_progress = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos > 64 * 1024 {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+    }
+
+    /// A drained connection — no more reads, nothing in flight, write
+    /// buffer flushed — closes cleanly.
+    fn check_complete(&mut self) {
+        if self.dead || !self.read_closed || self.sub.is_some() {
+            return;
+        }
+        if self.rpos >= self.rbuf.len()
+            && self.pending.is_none()
+            && self.inflight == 0
+            && self.out_len() == 0
+        {
+            self.dead = true;
+        }
+    }
+
+    /// The full post-event cycle: process frames, pump the feed, flush,
+    /// check drain completion, re-arm interest.
+    fn service(&mut self, ctx: &Ctx) {
+        if !self.dead {
+            self.process(ctx);
+            self.pump_sub(ctx);
+            self.try_write();
+            self.check_complete();
+        }
+        if !self.dead {
+            self.update_interest(ctx);
+        }
+    }
+
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            read: !self.read_closed
+                && !self.dead
+                && self.pending.is_none()
+                && self.out_len() < OUT_BUF_SOFT_CAP,
+            write: !self.dead && self.out_len() > 0,
+        }
+    }
+
+    fn update_interest(&mut self, ctx: &Ctx) {
+        let want = self.desired_interest();
+        if want != self.interest {
+            if ctx
+                .poller
+                .modify(self.stream.as_raw_fd(), self.token, want)
+                .is_ok()
+            {
+                self.interest = want;
+            } else {
+                self.dead = true;
+            }
+        }
+    }
+
+    /// Timer-driven checks, run on the worker's tick.
+    fn housekeep(&mut self, ctx: &Ctx, now: Instant) {
+        if self.dead {
+            return;
+        }
+        // A peer that never reads its replies can stall the writer
+        // only briefly: the send timeout turns a dead drain into a
+        // teardown.
+        if self.out_len() > 0 && now.duration_since(self.last_progress) > ctx.net.send_timeout {
+            self.dead = true;
+            return;
+        }
+        // Escape hatch: a draining connection still owed replies that
+        // receives none (a dead coordinator can never answer the
+        // in-flight tail) gives up after a deadline instead of wedging
+        // — and through the joins, the whole server's shutdown.
+        if self.read_closed && (self.inflight > 0 || self.pending.is_some()) {
+            let since = *self.reply_starved_since.get_or_insert(now);
+            if now.duration_since(since) > ctx.net.reply_timeout {
+                self.dead = true;
+            }
+        } else {
+            self.reply_starved_since = None;
+        }
+    }
+}
+
+/// One reactor worker: an epoll loop over its share of the
+/// connections (plus the listener, on worker 0).
+struct Worker {
+    ctx: Ctx,
+    peers: Vec<Arc<WorkerShared>>,
+    shutdown: Arc<AtomicBool>,
+    conns: FxHashMap<u64, Conn>,
+    next_token: u64,
+    listener: Option<TcpListener>,
+    /// Accept backoff after fd exhaustion (EMFILE): the listener's
+    /// readiness is disarmed until this instant has aged, preventing a
+    /// level-triggered busy loop on a connection we cannot take.
+    listener_paused: Option<Instant>,
+    rr: usize,
+    drain_started: bool,
+}
+
+impl Worker {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut dead: Vec<u64> = Vec::new();
+        loop {
+            if self.shutdown.load(Ordering::Acquire) && !self.drain_started {
+                self.begin_drain();
+            }
+            if self.drain_started
+                && self.conns.is_empty()
+                && self.listener.is_none()
+                && self.ctx.shared.inbox.lock().unwrap().is_empty()
+            {
+                break;
+            }
+            let timeout = self.tick_timeout();
+            let _ = self.ctx.poller.wait(&mut events, Some(timeout));
+            let batch = std::mem::take(&mut events);
+            for ev in &batch {
+                match ev.token {
+                    TOKEN_WAKEUP => self.ctx.shared.wakeup.drain(),
+                    TOKEN_LISTENER => self.accept_burst(),
+                    token => {
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            if ev.readable || ev.hangup {
+                                conn.on_readable(READ_BURST);
+                            }
+                            conn.service(&self.ctx);
+                        }
+                    }
+                }
+            }
+            events = batch;
+            self.adopt_inbox();
+            self.drain_ready();
+            self.housekeep();
+            dead.extend(self.conns.iter().filter(|(_, c)| c.dead).map(|(t, _)| *t));
+            for token in dead.drain(..) {
+                self.teardown(token);
+            }
+        }
+    }
+
+    /// How long to sleep when nothing is ready: short when
+    /// subscriptions need their feed pumped, longer for plain timer
+    /// housekeeping.
+    fn tick_timeout(&self) -> Duration {
+        let has_subs = self.conns.values().any(|c| c.sub.is_some());
+        let base = if has_subs {
+            Duration::from_millis(5)
+        } else {
+            Duration::from_millis(25)
+        };
+        base.min(
+            self.ctx
+                .net
+                .heartbeat_interval
+                .max(Duration::from_millis(1)),
+        )
+    }
+
+    /// Accept everything pending, distributing connections round-robin
+    /// across the worker pool (remote workers get the stream through
+    /// their inbox plus a wakeup).
+    fn accept_burst(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let target = if self.drain_started {
+                        0 // peers may already be exiting; serve locally
+                    } else {
+                        self.rr % self.peers.len()
+                    };
+                    self.rr = self.rr.wrapping_add(1);
+                    if target == 0 {
+                        self.adopt(stream);
+                    } else {
+                        let peer = &self.peers[target];
+                        peer.inbox.lock().unwrap().push(stream);
+                        peer.wakeup.wake();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    // E.g. EMFILE under fd exhaustion: disarm the
+                    // listener and re-arm on a later tick, so the
+                    // level-triggered event cannot spin a core.
+                    let fd = listener.as_raw_fd();
+                    let _ = self.ctx.poller.modify(fd, TOKEN_LISTENER, Interest::NONE);
+                    self.listener_paused = Some(Instant::now());
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Take ownership of a freshly accepted (or handed-off) stream.
+    fn adopt(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let token = self.next_token;
+        self.next_token += 1;
+        if self
+            .ctx
+            .poller
+            .add(stream.as_raw_fd(), token, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+        self.ctx.shared.conns.fetch_add(1, Ordering::AcqRel);
+        let mut conn = Conn::new(token, stream);
+        if self.drain_started {
+            // A backlog connection adopted mid-drain gets one read
+            // pass (whatever it managed to send is served), then
+            // drains like everyone else.
+            conn.on_readable(usize::MAX);
+            conn.read_closed = true;
+        }
+        self.conns.insert(token, conn);
+        if self.drain_started {
+            if let Some(c) = self.conns.get_mut(&token) {
+                c.service(&self.ctx);
+            }
+        }
+    }
+
+    fn adopt_inbox(&mut self) {
+        let streams = std::mem::take(&mut *self.ctx.shared.inbox.lock().unwrap());
+        for s in streams {
+            self.adopt(s);
+        }
+    }
+
+    /// Deliver replies flagged by session wakers since the last pass.
+    fn drain_ready(&mut self) {
+        let ready = std::mem::take(&mut *self.ctx.shared.ready.lock().unwrap());
+        let mut touched: VecDeque<u64> = VecDeque::new();
+        for (token, sid) in ready {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue; // closed since the waker fired; stale entry
+            };
+            conn.drain_session(sid);
+            if touched.back() != Some(&token) {
+                touched.push_back(token);
+            }
+        }
+        // Freed window slots may unpark an op and resume parsing.
+        for token in touched {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.service(&self.ctx);
+            }
+        }
+    }
+
+    fn housekeep(&mut self) {
+        let now = Instant::now();
+        if let Some(paused) = self.listener_paused {
+            if now.duration_since(paused) >= Duration::from_millis(10) {
+                if let Some(listener) = &self.listener {
+                    let fd = listener.as_raw_fd();
+                    let _ = self.ctx.poller.modify(fd, TOKEN_LISTENER, Interest::READ);
+                }
+                self.listener_paused = None;
+            }
+        }
+        for conn in self.conns.values_mut() {
+            conn.housekeep(&self.ctx, now);
+            conn.service(&self.ctx);
+        }
+    }
+
+    /// Stop accepting (after serving the backlog) and flip every
+    /// connection into drain mode.
+    fn begin_drain(&mut self) {
+        self.drain_started = true;
+        if self.listener.is_some() {
+            // Serve the backlog that completed its handshake before
+            // shutdown, then retire the listener.
+            self.accept_burst();
+            if let Some(l) = self.listener.take() {
+                self.ctx.poller.delete(l.as_raw_fd());
+            }
+        }
+        self.adopt_inbox();
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            // Followers reconnect on their own; cut their streams now
+            // so the feed's retention floor is released.
+            if let Some(sub) = conn.sub.take() {
+                sub.feed.unregister(sub.slot);
+                conn.begin_close();
+            }
+            if !conn.read_closed {
+                // Final read pass: consume what the kernel already
+                // buffered so requests sent before shutdown are served.
+                conn.on_readable(usize::MAX);
+                conn.read_closed = true;
+            }
+            conn.service(&self.ctx);
+        }
+    }
+
+    fn teardown(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.ctx.poller.delete(conn.stream.as_raw_fd());
+            if let Some(sub) = &conn.sub {
+                sub.feed.unregister(sub.slot);
+            }
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            self.ctx.shared.conns.fetch_sub(1, Ordering::AcqRel);
+            // `conn.sessions` drops here, releasing the core sessions
+            // (and their history holds).
+        }
+    }
 }

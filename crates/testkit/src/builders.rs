@@ -105,13 +105,24 @@ pub fn loopback_net_server(
     capacity: usize,
     config: ServerConfig,
 ) -> risgraph_net::NetServer {
-    risgraph_net::NetServer::start(
+    loopback_net_server_with(
         algorithms,
         capacity,
         config,
         risgraph_net::NetConfig::default(),
     )
-    .expect("loopback net server")
+}
+
+/// [`loopback_net_server`] with explicit network-tier tuning (worker
+/// count, timeouts, window, session cap) for tests that exercise those
+/// knobs.
+pub fn loopback_net_server_with(
+    algorithms: Vec<DynAlgorithm>,
+    capacity: usize,
+    config: ServerConfig,
+    net: risgraph_net::NetConfig,
+) -> risgraph_net::NetServer {
+    risgraph_net::NetServer::start(algorithms, capacity, config, net).expect("loopback net server")
 }
 
 /// Build an engine over a runtime-selected storage backend (shared with

@@ -69,6 +69,9 @@ struct Args {
     follow: Option<String>,
     /// Leader-side replication follower slots (serve mode; default 4).
     max_followers: Option<usize>,
+    /// Reactor worker threads for the serving tier (serve mode;
+    /// default RISGRAPH_NET_WORKERS or the core count, capped at 4).
+    net_workers: Option<usize>,
     /// WAL segment rotation threshold in bytes (0 disables rotation).
     max_wal_size: Option<u64>,
     /// Periodic checkpoint cadence in milliseconds.
@@ -87,6 +90,7 @@ fn parse_args() -> Args {
         listen: "127.0.0.1:0".to_string(),
         follow: None,
         max_followers: None,
+        net_workers: None,
         max_wal_size: None,
         checkpoint_interval: None,
     };
@@ -152,6 +156,16 @@ fn parse_args() -> Args {
                 };
                 i += 2;
             }
+            "--net-workers" if i + 1 < args.len() => {
+                parsed.net_workers = match args[i + 1].parse::<usize>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!("--net-workers takes a positive reactor thread count");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
             "--max-wal-size" if i + 1 < args.len() => {
                 parsed.max_wal_size = match args[i + 1].parse::<u64>() {
                     Ok(n) => Some(n),
@@ -187,6 +201,9 @@ fn parse_args() -> Args {
                      \u{20}           watermark (lag reported in STATS)\n\
                      --max-followers N  leader-side replication slots (serve mode;\n\
                      \u{20}           default 4, 0 disables the feed)\n\
+                     --net-workers N  reactor worker threads for the serving tier\n\
+                     \u{20}           (serve mode; default RISGRAPH_NET_WORKERS or the\n\
+                     \u{20}           core count, capped at 4)\n\
                      --shards N  serve through the interactive tier (sessions + epoch\n\
                      \u{20}           loop) with N parallel safe-phase shard executors;\n\
                      \u{20}           in shell mode, omit it to drive the engine directly\n\
@@ -311,29 +328,29 @@ fn run_serve(args: Args) -> ! {
     }
     let shards = config.shards;
     let unsafe_workers = config.unsafe_workers;
-    let net = NetServer::start(
-        vec![alg],
-        1 << 16,
-        config,
-        NetConfig {
-            listen: args.listen.clone(),
-            ..NetConfig::default()
-        },
-    )
-    .unwrap_or_else(|e| {
+    let mut net_config = NetConfig {
+        listen: args.listen.clone(),
+        ..NetConfig::default()
+    };
+    if let Some(n) = args.net_workers {
+        net_config.net_workers = n;
+    }
+    let net_workers = net_config.net_workers;
+    let net = NetServer::start(vec![alg], 1 << 16, config, net_config).unwrap_or_else(|e| {
         eprintln!("cannot serve on {}: {e}", args.listen);
         std::process::exit(2);
     });
     install_signal_handlers();
     println!(
         "risgraph serving on {} — algorithm {} (root {}), store {}, {} shard(s), \
-         {} unsafe worker(s), {} follower slot(s){}; Ctrl-C to drain and exit",
+         {} unsafe worker(s), {} net worker(s), {} follower slot(s){}; Ctrl-C to drain and exit",
         net.local_addr(),
         args.algorithm.to_uppercase(),
         args.root,
         args.backend.label(),
         shards,
         unsafe_workers,
+        net_workers,
         args.max_followers.unwrap_or(4),
         args.wal
             .as_deref()
