@@ -6,6 +6,7 @@ use std::time::Instant;
 
 use risgraph_algorithms::{Bfs, Sssp, Sswp, Wcc};
 use risgraph_common::ids::Update;
+use risgraph_common::metrics::MetricValue;
 use risgraph_common::stats::LatencyHistogram;
 use risgraph_core::engine::{DynAlgorithm, Engine, EngineConfig, Safety};
 use risgraph_core::server::{Server, ServerConfig};
@@ -26,6 +27,10 @@ pub struct PerfResult {
     pub updates: u64,
     /// The merged latency histogram (for further analysis).
     pub histogram: LatencyHistogram,
+    /// The server's metrics-registry snapshot, taken at the end of the
+    /// run (before shutdown). Empty when the driver has no server
+    /// handle to snapshot.
+    pub metrics: Vec<(String, MetricValue)>,
 }
 
 /// Build the paper's algorithm set by name.
@@ -192,6 +197,7 @@ pub fn measure_server_streams(
     }
     let elapsed = t0.elapsed();
     let server = Arc::try_unwrap(server).ok().expect("all sessions joined");
+    let metrics = server.metrics().snapshot();
     server.shutdown();
 
     PerfResult {
@@ -201,6 +207,7 @@ pub fn measure_server_streams(
         within_limit: merged.fraction_within(std::time::Duration::from_millis(20)),
         updates: total,
         histogram: merged,
+        metrics,
     }
 }
 
@@ -258,6 +265,9 @@ pub fn measure_net_load(
         total += done;
     }
     let elapsed = t0.elapsed();
+    // Snapshot the server's registry over the wire — the same METRICS
+    // opcode an operator would use, so the bench exercises it too.
+    let metrics = fetch_metrics(addr);
     PerfResult {
         throughput: total as f64 / elapsed.as_secs_f64(),
         mean_us: merged.mean_us(),
@@ -265,7 +275,16 @@ pub fn measure_net_load(
         within_limit: merged.fraction_within(std::time::Duration::from_millis(20)),
         updates: total,
         histogram: merged,
+        metrics,
     }
+}
+
+/// Pull a registry snapshot from a network server via the METRICS
+/// opcode; empty on any failure (a bench row must not die on it).
+fn fetch_metrics(addr: std::net::SocketAddr) -> Vec<(String, MetricValue)> {
+    risgraph_net::NetClient::connect(addr)
+        .and_then(|client| client.metrics())
+        .unwrap_or_default()
 }
 
 /// Drive many *multiplexed logical sessions* over few TCP connections
@@ -359,6 +378,7 @@ pub fn measure_net_mux_load(
         total += done;
     }
     let elapsed = t0.elapsed();
+    let metrics = fetch_metrics(addr);
     PerfResult {
         throughput: total as f64 / elapsed.as_secs_f64(),
         mean_us: merged.mean_us(),
@@ -366,6 +386,7 @@ pub fn measure_net_mux_load(
         within_limit: merged.fraction_within(std::time::Duration::from_millis(20)),
         updates: total,
         histogram: merged,
+        metrics,
     }
 }
 
@@ -514,6 +535,7 @@ pub fn measure_server_txn(
     }
     let elapsed = t0.elapsed();
     let server = Arc::try_unwrap(server).ok().expect("all sessions joined");
+    let metrics = server.metrics().snapshot();
     server.shutdown();
     PerfResult {
         throughput: total as f64 / elapsed.as_secs_f64(),
@@ -522,6 +544,7 @@ pub fn measure_server_txn(
         within_limit: merged.fraction_within(std::time::Duration::from_millis(20)),
         updates: total,
         histogram: merged,
+        metrics,
     }
 }
 

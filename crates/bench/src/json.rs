@@ -10,6 +10,8 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 
+use risgraph_common::metrics::MetricValue;
+
 use crate::drivers::PerfResult;
 
 /// One emitted measurement row.
@@ -27,6 +29,10 @@ pub struct BenchRow {
     pub p999_ns: u64,
     /// Total updates executed.
     pub updates: u64,
+    /// Server-side metrics-registry snapshot for the run (empty when
+    /// the driver had no registry to sample; omitted from the JSON
+    /// when empty so pre-registry files keep their exact shape).
+    pub metrics: Vec<(String, MetricValue)>,
 }
 
 impl BenchRow {
@@ -39,6 +45,7 @@ impl BenchRow {
             p99_ns: perf.histogram.quantile_ns(0.99),
             p999_ns: perf.histogram.quantile_ns(0.999),
             updates: perf.updates,
+            metrics: perf.metrics.clone(),
         }
     }
 }
@@ -58,20 +65,53 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// One registry entry as a JSON member: counters and gauges flatten to
+/// a number, histograms to an object of their wire quantiles.
+fn metric_json(name: &str, value: &MetricValue) -> String {
+    match value {
+        MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+            format!("\"{}\": {v}", escape(name))
+        }
+        MetricValue::Histogram(h) => format!(
+            "\"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"p999_ns\": {}, \"max_ns\": {}}}",
+            escape(name),
+            h.count,
+            h.p50_ns,
+            h.p99_ns,
+            h.p999_ns,
+            h.max_ns,
+        ),
+    }
+}
+
 /// Serialize `rows` as a JSON array. `ops_per_sec` is rounded to three
 /// decimals so files diff cleanly.
 pub fn to_json(rows: &[BenchRow]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
+        let metrics = if r.metrics.is_empty() {
+            String::new()
+        } else {
+            format!(
+                ", \"metrics\": {{{}}}",
+                r.metrics
+                    .iter()
+                    .map(|(name, value)| metric_json(name, value))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
         out.push_str(&format!(
             "  {{\"label\": \"{}\", \"ops_per_sec\": {:.3}, \"p50_ns\": {}, \
-             \"p99_ns\": {}, \"p999_ns\": {}, \"updates\": {}}}{}\n",
+             \"p99_ns\": {}, \"p999_ns\": {}, \"updates\": {}{}}}{}\n",
             escape(&r.label),
             r.ops_per_sec,
             r.p50_ns,
             r.p99_ns,
             r.p999_ns,
             r.updates,
+            metrics,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -123,6 +163,7 @@ mod tests {
                 p99_ns: 20,
                 p999_ns: 30,
                 updates: 400,
+                metrics: vec![],
             },
             BenchRow {
                 label: "quote\"back\\slash".into(),
@@ -131,6 +172,7 @@ mod tests {
                 p99_ns: 0,
                 p999_ns: 0,
                 updates: 0,
+                metrics: vec![],
             },
         ];
         let json = to_json(&rows);
@@ -144,6 +186,43 @@ mod tests {
     }
 
     #[test]
+    fn metrics_section_shape() {
+        use risgraph_common::metrics::HistogramSummary;
+        let rows = vec![BenchRow {
+            label: "w=1".into(),
+            ops_per_sec: 1.0,
+            p50_ns: 1,
+            p99_ns: 2,
+            p999_ns: 3,
+            updates: 4,
+            metrics: vec![
+                ("core.epochs".into(), MetricValue::Counter(7)),
+                ("core.threshold".into(), MetricValue::Gauge(9)),
+                (
+                    "epoch.phase.safe_execute_ns".into(),
+                    MetricValue::Histogram(HistogramSummary {
+                        count: 2,
+                        min_ns: 5,
+                        max_ns: 40,
+                        p50_ns: 10,
+                        p99_ns: 30,
+                        p999_ns: 40,
+                    }),
+                ),
+            ],
+        }];
+        let json = to_json(&rows);
+        assert_eq!(
+            json,
+            "[\n  {\"label\": \"w=1\", \"ops_per_sec\": 1.000, \"p50_ns\": 1, \
+             \"p99_ns\": 2, \"p999_ns\": 3, \"updates\": 4, \"metrics\": \
+             {\"core.epochs\": 7, \"core.threshold\": 9, \
+             \"epoch.phase.safe_execute_ns\": {\"count\": 2, \"p50_ns\": 10, \
+             \"p99_ns\": 30, \"p999_ns\": 40, \"max_ns\": 40}}}\n]\n"
+        );
+    }
+
+    #[test]
     fn write_roundtrip() {
         let rows = vec![BenchRow {
             label: "x".into(),
@@ -152,6 +231,7 @@ mod tests {
             p99_ns: 2,
             p999_ns: 3,
             updates: 4,
+            metrics: vec![],
         }];
         let path = write_bench_json_in(&std::env::temp_dir(), "unit_roundtrip", &rows).unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), to_json(&rows));

@@ -14,13 +14,18 @@
 //!   used by the evaluation harness,
 //! * [`crc`] — CRC32 used by the write-ahead log and the wire protocol,
 //! * [`protocol`] — the CRC-framed binary wire protocol spoken by the
-//!   TCP serving tier (`crates/net`).
+//!   TCP serving tier (`crates/net`),
+//! * [`metrics`] — the unified observability layer: a lock-free
+//!   registry of named counters/gauges/histograms and the
+//!   epoch-pipeline tracer (per-phase span ring with slow-epoch
+//!   flagging) behind the `METRICS` opcode and Prometheus exposition.
 
 pub mod bitmap;
 pub mod crc;
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod metrics;
 pub mod protocol;
 pub mod sparse;
 pub mod stats;

@@ -58,6 +58,7 @@ use std::io::{Read, Write};
 
 use crate::crc::crc32;
 use crate::ids::{Edge, Update, VersionId, VertexId};
+use crate::metrics::{HistogramSummary, MetricValue};
 use crate::{Error, Result};
 
 /// Default upper bound on a frame's payload length (1 MiB): far above
@@ -100,6 +101,7 @@ const OP_GET_MODIFIED: u8 = 0x12;
 const OP_CURRENT_VERSION: u8 = 0x13;
 const OP_RELEASE: u8 = 0x20;
 const OP_STATS: u8 = 0x30;
+const OP_METRICS: u8 = 0x31;
 const OP_SUBSCRIBE: u8 = 0x40;
 const OP_HELLO: u8 = 0x50;
 const OP_SESSION: u8 = 0x51;
@@ -113,11 +115,19 @@ const RE_MODIFIED: u8 = 0x85;
 const RE_VERSION: u8 = 0x86;
 const RE_RELEASED: u8 = 0x87;
 const RE_STATS: u8 = 0x88;
+const RE_METRICS: u8 = 0x89;
 const RE_WAL_EPOCH: u8 = 0x90;
 const RE_HEARTBEAT: u8 = 0x91;
 const RE_SNAPSHOT_CHUNK: u8 = 0x92;
 const RE_SNAPSHOT_DONE: u8 = 0x93;
 const RE_HELLO: u8 = 0x94;
+
+// Metric-entry kind tags inside a [`Response::Metrics`] body. Each
+// entry carries an explicit byte length, so a decoder skips kinds it
+// does not know (added by a newer server) instead of failing.
+const METRIC_KIND_COUNTER: u8 = 1;
+const METRIC_KIND_GAUGE: u8 = 2;
+const METRIC_KIND_HISTOGRAM: u8 = 3;
 
 /// A client → server message (one per frame, after the request id).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -158,6 +168,13 @@ pub enum Request {
     Release(VersionId),
     /// Server counters + latency percentiles.
     Stats,
+    /// The full metrics-registry snapshot as schema-less
+    /// `(name, typed value)` pairs ([`Response::Metrics`]). Unlike
+    /// [`Request::Stats`]'s fixed-field [`StatsReport`], new metrics
+    /// never break old clients: unknown value kinds are skipped by the
+    /// decoder, and names the client does not recognize are simply
+    /// extra rows.
+    Metrics,
     /// Become a replication follower: stream feed records starting at
     /// index `from` (live tail once caught up, heartbeats when idle).
     /// After a successful subscribe the connection is one-way —
@@ -383,6 +400,13 @@ pub enum Response {
     Released,
     /// `stats` answer.
     Stats(StatsReport),
+    /// `metrics` answer: the registry snapshot, sorted by name. Each
+    /// entry is self-describing on the wire
+    /// (`[name][kind: u8][len: u32][payload]`), so decoders skip
+    /// entries whose kind they do not understand instead of failing —
+    /// the forward-compatibility contract that lets every future PR
+    /// add metrics without a protocol bump.
+    Metrics(Vec<(String, MetricValue)>),
     /// One replication feed record (streamed after a subscribe).
     WalEpoch(FeedRecord),
     /// Replication liveness probe: the subscribe acknowledgement and
@@ -611,6 +635,7 @@ fn put_request_body(buf: &mut Vec<u8>, req: &Request) {
             put_u64(buf, *version);
         }
         Request::Stats => buf.push(OP_STATS),
+        Request::Metrics => buf.push(OP_METRICS),
         Request::Subscribe { from } => {
             buf.push(OP_SUBSCRIBE);
             put_u64(buf, *from);
@@ -671,6 +696,7 @@ fn read_request_body(
         OP_CURRENT_VERSION => Request::CurrentVersion,
         OP_RELEASE => Request::Release(c.u64()?),
         OP_STATS => Request::Stats,
+        OP_METRICS => Request::Metrics,
         OP_SUBSCRIBE => Request::Subscribe { from: c.u64()? },
         OP_HELLO if !in_session => Request::Hello { version: c.u32()? },
         OP_HELLO => {
@@ -810,6 +836,32 @@ impl Response {
                     put_u64(&mut buf, v);
                 }
             }
+            Response::Metrics(entries) => {
+                buf.push(RE_METRICS);
+                put_u32(&mut buf, entries.len() as u32);
+                for (name, value) in entries {
+                    put_string(&mut buf, name);
+                    match value {
+                        MetricValue::Counter(v) => {
+                            buf.push(METRIC_KIND_COUNTER);
+                            put_u32(&mut buf, 8);
+                            put_u64(&mut buf, *v);
+                        }
+                        MetricValue::Gauge(v) => {
+                            buf.push(METRIC_KIND_GAUGE);
+                            put_u32(&mut buf, 8);
+                            put_u64(&mut buf, *v);
+                        }
+                        MetricValue::Histogram(s) => {
+                            buf.push(METRIC_KIND_HISTOGRAM);
+                            put_u32(&mut buf, 48);
+                            for v in [s.count, s.min_ns, s.max_ns, s.p50_ns, s.p99_ns, s.p999_ns] {
+                                put_u64(&mut buf, v);
+                            }
+                        }
+                    }
+                }
+            }
             Response::WalEpoch(rec) => put_wal_epoch(&mut buf, rec),
             Response::Heartbeat { records, version } => {
                 buf.push(RE_HEARTBEAT);
@@ -902,6 +954,52 @@ impl Response {
                 unsafe_phase_p99_ns: c.u64()?,
                 unsafe_phase_p999_ns: c.u64()?,
             }),
+            RE_METRICS => {
+                let n = c.u32()? as usize;
+                // An entry costs at least 9 bytes (empty name: 4-byte
+                // length + 1-byte kind + 4-byte payload length), so an
+                // impossible count is rejected before allocation.
+                if n > payload.len() / 9 + 1 {
+                    return Err(Error::Protocol(format!(
+                        "metrics count {n} exceeds payload"
+                    )));
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = c.string()?;
+                    let kind = c.u8()?;
+                    let len = c.u32()? as usize;
+                    let body = c.take(len)?;
+                    let mut words = body
+                        .chunks_exact(8)
+                        .map(|w| u64::from_le_bytes(w.try_into().unwrap()));
+                    // Skip — never fail on — entries this decoder does
+                    // not understand: an unknown kind, or a known kind
+                    // whose payload is shorter than expected. A longer
+                    // payload (a newer peer appended fields) keeps its
+                    // known prefix.
+                    let value = match kind {
+                        METRIC_KIND_COUNTER if len >= 8 => {
+                            MetricValue::Counter(words.next().unwrap())
+                        }
+                        METRIC_KIND_GAUGE if len >= 8 => MetricValue::Gauge(words.next().unwrap()),
+                        METRIC_KIND_HISTOGRAM if len >= 48 => {
+                            let mut next = || words.next().unwrap();
+                            MetricValue::Histogram(HistogramSummary {
+                                count: next(),
+                                min_ns: next(),
+                                max_ns: next(),
+                                p50_ns: next(),
+                                p99_ns: next(),
+                                p999_ns: next(),
+                            })
+                        }
+                        _ => continue,
+                    };
+                    entries.push((name, value));
+                }
+                Response::Metrics(entries)
+            }
             RE_WAL_EPOCH => {
                 let index = c.u64()?;
                 let bootstrap = c.u8()? != 0;
@@ -1086,6 +1184,11 @@ mod tests {
         roundtrip_request(Request::CurrentVersion);
         roundtrip_request(Request::Release(12));
         roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::InSession {
+            sid: 3,
+            req: Box::new(Request::Metrics),
+        });
         roundtrip_request(Request::Subscribe { from: 17 });
         roundtrip_request(Request::Hello {
             version: PROTOCOL_VERSION,
@@ -1176,6 +1279,23 @@ mod tests {
             unsafe_phase_p99_ns: 19,
             unsafe_phase_p999_ns: 20,
         }));
+        roundtrip_response(Response::Metrics(vec![]));
+        roundtrip_response(Response::Metrics(vec![
+            ("core.epochs".into(), MetricValue::Counter(17)),
+            ("core.threshold".into(), MetricValue::Gauge(500)),
+            (
+                "epoch.phase.wal_append_ns".into(),
+                MetricValue::Histogram(HistogramSummary {
+                    count: 9,
+                    min_ns: 100,
+                    max_ns: 90_000,
+                    p50_ns: 4_000,
+                    p99_ns: 80_000,
+                    p999_ns: 90_000,
+                }),
+            ),
+            (String::new(), MetricValue::Counter(0)), // empty name is legal
+        ]));
         roundtrip_response(Response::WalEpoch(FeedRecord {
             index: 42,
             bootstrap: false,
@@ -1214,6 +1334,65 @@ mod tests {
         roundtrip_response(Response::Hello {
             version: PROTOCOL_VERSION,
         });
+    }
+
+    #[test]
+    fn unknown_metric_kinds_are_skipped_not_fatal() {
+        // Forge a METRICS body interleaving a counter this decoder
+        // knows, an entry with a future kind tag, and a histogram with
+        // a payload *longer* than today's 48 bytes (a newer server
+        // appended a field). The unknown kind is dropped, the known
+        // entries survive, the longer histogram keeps its known prefix.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&7u64.to_le_bytes()); // req id
+        buf.push(0x89); // RE_METRICS
+        buf.extend_from_slice(&3u32.to_le_bytes()); // three entries
+        let put_name = |buf: &mut Vec<u8>, name: &str| {
+            buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            buf.extend_from_slice(name.as_bytes());
+        };
+        put_name(&mut buf, "known.counter");
+        buf.push(1); // counter
+        buf.extend_from_slice(&8u32.to_le_bytes());
+        buf.extend_from_slice(&5u64.to_le_bytes());
+        put_name(&mut buf, "future.kind");
+        buf.push(200); // a kind tag from the future
+        buf.extend_from_slice(&12u32.to_le_bytes());
+        buf.extend_from_slice(&[0xAB; 12]);
+        put_name(&mut buf, "extended.histogram");
+        buf.push(3); // histogram, with one extra appended u64
+        buf.extend_from_slice(&56u32.to_le_bytes());
+        for v in [4u64, 1, 9, 2, 8, 9, 12345] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let (id, resp) = Response::decode(&buf).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(
+            resp,
+            Response::Metrics(vec![
+                ("known.counter".into(), MetricValue::Counter(5)),
+                (
+                    "extended.histogram".into(),
+                    MetricValue::Histogram(HistogramSummary {
+                        count: 4,
+                        min_ns: 1,
+                        max_ns: 9,
+                        p50_ns: 2,
+                        p99_ns: 8,
+                        p999_ns: 9,
+                    })
+                ),
+            ])
+        );
+    }
+
+    #[test]
+    fn forged_metrics_count_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&7u64.to_le_bytes()); // req id
+        buf.push(0x89); // RE_METRICS
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd count
+        assert!(matches!(Response::decode(&buf), Err(Error::Protocol(_))));
     }
 
     #[test]

@@ -304,6 +304,21 @@ impl Throughput {
     }
 }
 
+/// Render a nanosecond figure for humans: `3.20ms`, `41.7us`, `180ns`.
+///
+/// The single display helper behind the CLI `stats` command, the serve
+/// exit summary, and the replica lag summary (each used to hand-roll
+/// this).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
 /// Format an operations-per-second figure the way the paper prints it.
 pub fn format_ops(v: f64) -> String {
     if v >= 1e6 {

@@ -7,6 +7,7 @@
 
 use proptest::prelude::*;
 use risgraph_common::ids::{Edge, Update};
+use risgraph_common::metrics::{HistogramSummary, MetricValue};
 use risgraph_common::protocol::{
     read_frame, write_frame, FeedRecord, Request, Response, StatsReport, WireError, FRAME_HEADER,
     MAX_FRAME, MAX_RESPONSE_FRAME,
@@ -15,7 +16,7 @@ use risgraph_common::Error;
 
 /// A valid request payload, parameterized by the fuzz inputs.
 fn sample_request(pick: u64, a: u64, b: u64, c: u64) -> Vec<u8> {
-    let req = match pick % 10 {
+    let req = match pick % 11 {
         0 => Request::Update(Update::InsEdge(Edge::new(a, b, c))),
         1 => Request::Update(Update::DelVertex(a)),
         2 => Request::Txn(vec![
@@ -40,6 +41,7 @@ fn sample_request(pick: u64, a: u64, b: u64, c: u64) -> Vec<u8> {
             sid: b,
             req: Box::new(Request::Update(Update::InsEdge(Edge::new(a, b, c)))),
         },
+        9 => Request::Metrics,
         _ => Request::Stats,
     };
     req.encode(a.wrapping_add(1))
@@ -47,7 +49,7 @@ fn sample_request(pick: u64, a: u64, b: u64, c: u64) -> Vec<u8> {
 
 /// A valid response payload, parameterized by the fuzz inputs.
 fn sample_response(pick: u64, a: u64, b: u64, c: u64) -> Vec<u8> {
-    let resp = match pick % 9 {
+    let resp = match pick % 10 {
         8 => Response::Hello { version: a as u32 },
         0 => Response::Applied {
             version: a,
@@ -74,6 +76,21 @@ fn sample_response(pick: u64, a: u64, b: u64, c: u64) -> Vec<u8> {
             safe_updates: vec![Update::InsEdge(Edge::new(a, b, c)), Update::DelVertex(c)],
             unsafe_groups: vec![vec![Update::InsEdge(Edge::new(b, c, a))], vec![]],
         }),
+        9 => Response::Metrics(vec![
+            (format!("core.fuzz_{b}"), MetricValue::Counter(a)),
+            ("net.worker.0.sessions".into(), MetricValue::Gauge(c)),
+            (
+                "epoch.phase.safe_execute_ns".into(),
+                MetricValue::Histogram(HistogramSummary {
+                    count: b,
+                    min_ns: a.min(c),
+                    max_ns: a.max(c),
+                    p50_ns: a,
+                    p99_ns: c,
+                    p999_ns: a ^ c,
+                }),
+            ),
+        ]),
         _ => Response::Heartbeat {
             records: a,
             version: b,
@@ -274,6 +291,101 @@ proptest! {
         prop_assert_eq!(Request::decode(&req.encode(req_id)).unwrap(), (req_id, req));
         let resp = Response::Hello { version };
         prop_assert_eq!(Response::decode(&resp.encode(req_id)).unwrap(), (req_id, resp));
+    }
+
+    /// METRICS bodies roundtrip for arbitrary names and values —
+    /// including empty names and empty snapshots.
+    #[test]
+    fn metrics_snapshots_roundtrip(
+        req_id in 0..u64::MAX,
+        name_seeds in proptest::collection::vec(0..1000u64, 0..8),
+        a in 0..u64::MAX,
+        b in 0..u64::MAX,
+    ) {
+        let entries: Vec<(String, MetricValue)> = name_seeds
+            .iter()
+            .enumerate()
+            .map(|(i, seed)| {
+                // Exercise empty and dotted names without a regex
+                // strategy (the vendored proptest has no regex support).
+                let name = if seed % 5 == 0 {
+                    String::new()
+                } else {
+                    format!("sub_{}.metric_{seed}", i % 3)
+                };
+                let value = match i % 3 {
+                    0 => MetricValue::Counter(a.wrapping_add(i as u64)),
+                    1 => MetricValue::Gauge(b.wrapping_add(i as u64)),
+                    _ => MetricValue::Histogram(HistogramSummary {
+                        count: i as u64,
+                        min_ns: a.min(b),
+                        max_ns: a.max(b),
+                        p50_ns: a,
+                        p99_ns: b,
+                        p999_ns: a ^ b,
+                    }),
+                };
+                (name, value)
+            })
+            .collect();
+        let resp = Response::Metrics(entries);
+        prop_assert_eq!(Response::decode(&resp.encode(req_id)).unwrap(), (req_id, resp));
+    }
+
+    /// The forward-compatibility contract: entries with unknown kind
+    /// tags (or payloads shorter than the kind requires) are skipped,
+    /// never fatal — a newer server's additions must not break an old
+    /// client. Built by splicing a forged entry between two real ones.
+    #[test]
+    fn unknown_metric_kinds_are_skipped_not_fatal(
+        req_id in 0..u64::MAX,
+        kind in 4..=255u8,
+        payload in proptest::collection::vec(0..=255u8, 0..32),
+        a in 0..u64::MAX,
+    ) {
+        let mut body = Vec::new();
+        body.extend_from_slice(&req_id.to_le_bytes());
+        body.push(0x89); // RE_METRICS
+        body.extend_from_slice(&3u32.to_le_bytes());
+        let put_entry = |body: &mut Vec<u8>, name: &str, kind: u8, payload: &[u8]| {
+            body.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            body.extend_from_slice(name.as_bytes());
+            body.push(kind);
+            body.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            body.extend_from_slice(payload);
+        };
+        put_entry(&mut body, "core.epochs", 1, &a.to_le_bytes());
+        put_entry(&mut body, "future.metric", kind, &payload);
+        put_entry(&mut body, "core.threshold", 2, &a.to_le_bytes());
+        let (got_id, got) = Response::decode(&body).unwrap();
+        prop_assert_eq!(got_id, req_id);
+        prop_assert_eq!(got, Response::Metrics(vec![
+            ("core.epochs".into(), MetricValue::Counter(a)),
+            ("core.threshold".into(), MetricValue::Gauge(a)),
+        ]));
+    }
+
+    /// A known kind whose payload is shorter than the kind requires is
+    /// also skipped: a truncating middlebox or a disagreeing peer
+    /// loses that entry, not the connection.
+    #[test]
+    fn short_known_metric_payloads_are_skipped(
+        req_id in 0..u64::MAX,
+        kind in 1..=3u8,
+        short in 0..8usize,
+    ) {
+        let mut body = Vec::new();
+        body.extend_from_slice(&req_id.to_le_bytes());
+        body.push(0x89); // RE_METRICS
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&4u32.to_le_bytes());
+        body.extend_from_slice(b"runt");
+        body.push(kind);
+        body.extend_from_slice(&(short as u32).to_le_bytes());
+        body.extend(std::iter::repeat_n(0u8, short));
+        let (got_id, got) = Response::decode(&body).unwrap();
+        prop_assert_eq!(got_id, req_id);
+        prop_assert_eq!(got, Response::Metrics(vec![]));
     }
 
     /// `Hello` may not ride inside a session wrapper: negotiation is

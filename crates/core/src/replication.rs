@@ -46,6 +46,7 @@ use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 use risgraph_common::ids::{Update, VersionId, VertexId};
+use risgraph_common::metrics::{Gauge, Registry};
 use risgraph_common::protocol::FeedRecord;
 use risgraph_common::{Error, Result};
 use risgraph_storage::{AnyStore, BackendKind, StoreConfig};
@@ -105,6 +106,15 @@ pub struct ReplicationFeed {
     buf: StdMutex<FeedBuf>,
     grew: Condvar,
     max_followers: usize,
+    metrics: std::sync::OnceLock<FeedGauges>,
+}
+
+/// The feed's registered gauges, published after every mutation while
+/// the buffer lock is still held (three relaxed stores).
+struct FeedGauges {
+    records: std::sync::Arc<Gauge>,
+    resident: std::sync::Arc<Gauge>,
+    followers: std::sync::Arc<Gauge>,
 }
 
 impl ReplicationFeed {
@@ -120,6 +130,30 @@ impl ReplicationFeed {
             }),
             grew: Condvar::new(),
             max_followers,
+            metrics: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Self-register the feed's gauges (`replication.feed.records` /
+    /// `.resident` / `.followers`) in `registry`; they track every
+    /// mutation from then on. Idempotent — a second call is a no-op.
+    pub fn register_metrics(&self, registry: &Registry) {
+        let gauges = FeedGauges {
+            records: registry.gauge("replication.feed.records"),
+            resident: registry.gauge("replication.feed.resident"),
+            followers: registry.gauge("replication.feed.followers"),
+        };
+        let _ = self.metrics.set(gauges);
+        self.publish_gauges(&self.buf.lock().unwrap());
+    }
+
+    fn publish_gauges(&self, buf: &FeedBuf) {
+        if let Some(g) = self.metrics.get() {
+            g.records.store(buf.len(), Ordering::Relaxed);
+            g.resident
+                .store(buf.records.len() as u64, Ordering::Relaxed);
+            g.followers
+                .store(buf.watermarks.len() as u64, Ordering::Relaxed);
         }
     }
 
@@ -145,6 +179,7 @@ impl ReplicationFeed {
         let slot = buf.next_slot;
         buf.next_slot += 1;
         buf.watermarks.insert(slot, from);
+        self.publish_gauges(&buf);
         Some(slot)
     }
 
@@ -154,6 +189,7 @@ impl ReplicationFeed {
         let mut buf = self.buf.lock().unwrap();
         buf.watermarks.remove(&slot);
         buf.evict();
+        self.publish_gauges(&buf);
     }
 
     /// Advance a follower's watermark to `next` (the index it needs
@@ -166,6 +202,7 @@ impl ReplicationFeed {
             if next > *w {
                 *w = next;
                 buf.evict();
+                self.publish_gauges(&buf);
             }
         }
     }
@@ -178,6 +215,7 @@ impl ReplicationFeed {
         let mut buf = self.buf.lock().unwrap();
         buf.cut = Some((index, version));
         buf.evict();
+        self.publish_gauges(&buf);
     }
 
     /// The latest checkpoint cut `(feed index, leader version)`.
@@ -241,6 +279,7 @@ impl ReplicationFeed {
             rec.index = guard.len();
             guard.records.push_back(std::sync::Arc::new(rec));
         }
+        self.publish_gauges(&guard);
         drop(guard);
         self.grew.notify_all();
     }

@@ -59,6 +59,9 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
 use risgraph_common::hash::FxHashMap;
 use risgraph_common::ids::{Edge, Update, VersionId, VertexId};
+use risgraph_common::metrics::{
+    slow_epoch_threshold_from_env, Counter, EpochTracer, Gauge, Phase, Registry, PHASE_COUNT,
+};
 use risgraph_common::stats::AtomicHistogram;
 use risgraph_common::{Error, Result};
 use risgraph_storage::{AnyStore, BackendKind, DynamicGraph, StoreConfig};
@@ -172,6 +175,14 @@ pub struct ServerConfig {
     /// `RISGRAPH_CHECKPOINT_INTERVAL_MS` environment variable when
     /// set, else `None`.
     pub checkpoint_interval: Option<Duration>,
+    /// Slow-epoch tracing threshold: an epoch whose total execution
+    /// time (post-gather) reaches this duration is flagged by the
+    /// [`EpochTracer`] and retained in the flagged ring with its full
+    /// per-phase breakdown, retrievable after the fact via
+    /// [`Server::tracer`]. `Duration::ZERO` flags every traced epoch.
+    /// Defaults to the `RISGRAPH_TRACE_SLOW_EPOCH_MS` environment
+    /// variable when set, else 1000 ms.
+    pub trace_slow_epoch: Duration,
 }
 
 impl Default for ServerConfig {
@@ -216,6 +227,7 @@ impl Default for ServerConfig {
                 .and_then(|s| s.parse().ok())
                 .filter(|&ms: &u64| ms > 0)
                 .map(Duration::from_millis),
+            trace_slow_epoch: slow_epoch_threshold_from_env(),
         }
     }
 }
@@ -392,70 +404,101 @@ struct Envelope {
 }
 
 /// Coordinator-visible counters, sampled by the Figure 11b/12 harnesses.
+///
+/// Every field is an [`Arc`] handle into the server's metrics
+/// [`Registry`] (see [`ServerStats::registered`]), so the same cells
+/// back both this struct's named accessors (the byte-compatible
+/// `StatsReport` view on the wire) and the schema-less registry
+/// snapshot behind the `METRICS` opcode — no double accounting, no
+/// field threading. `Arc<Counter>`/`Arc<Gauge>` deref to the same
+/// `fetch_add`/`load`/`store` surface as the `AtomicU64`s they
+/// replaced, so call sites are unchanged.
 #[derive(Debug, Default)]
 pub struct ServerStats {
     /// Epoch loops completed.
-    pub epochs: AtomicU64,
+    pub epochs: Arc<Counter>,
     /// Updates executed on the parallel safe path.
-    pub safe_executed: AtomicU64,
+    pub safe_executed: Arc<Counter>,
     /// Updates executed on the serial unsafe path.
-    pub unsafe_executed: AtomicU64,
+    pub unsafe_executed: Arc<Counter>,
     /// Safe-phase demotions (revalidation failures).
-    pub demotions: AtomicU64,
+    pub demotions: Arc<Counter>,
     /// Current scheduler threshold (Figure 12's trace).
-    pub threshold: AtomicU64,
+    pub threshold: Arc<Gauge>,
     /// Nanoseconds spent in the scheduler/classification bookkeeping.
-    pub sched_ns: AtomicU64,
+    pub sched_ns: Arc<Counter>,
     /// Nanoseconds recording history.
-    pub history_ns: AtomicU64,
+    pub history_ns: Arc<Counter>,
     /// Nanoseconds appending + syncing the WAL.
-    pub wal_ns: AtomicU64,
+    pub wal_ns: Arc<Counter>,
     /// Nanoseconds envelopes spent queued before execution ("network"
     /// tier in the Figure 11b breakdown).
-    pub queue_ns: AtomicU64,
+    pub queue_ns: Arc<Counter>,
     /// Log-bucketed histogram of per-update completion latency
     /// (submission → reply sent), across both safety classes — the
     /// paper's headline metric, queryable as P50/P99/P999 via
     /// [`ServerStats::latency_percentiles_ns`], the CLI `stats`
     /// command, and the wire protocol's STATS opcode.
-    pub update_latency: AtomicHistogram,
+    pub update_latency: Arc<AtomicHistogram>,
     /// Histogram of unsafe-update waits (submission → start of serial
     /// execution). Its max is the scheduler's side of the latency
     /// contract: bounded by the limit plus at most one epoch.
-    pub unsafe_wait: AtomicHistogram,
+    pub unsafe_wait: Arc<AtomicHistogram>,
     /// Histogram of whole unsafe-phase durations, one sample per epoch
     /// that executed any unsafe work — the phase-split counterpart of
     /// `update_latency`, and the quantity the parallel unsafe phase
     /// exists to shrink.
-    pub unsafe_phase: AtomicHistogram,
+    pub unsafe_phase: Arc<AtomicHistogram>,
     /// Conflict groups executed concurrently by the parallel unsafe
     /// phase (0 unless `ServerConfig::unsafe_workers > 1`).
-    pub unsafe_parallel_groups: AtomicU64,
+    pub unsafe_parallel_groups: Arc<Counter>,
     /// Epochs where the parallel unsafe phase declined to run — probe
     /// overflow or full overlap — and the serial path executed instead
     /// (counted only when `unsafe_workers > 1` and more than one
     /// unsafe operation was pending, i.e. parallelism was forgone).
-    pub unsafe_serial_fallbacks: AtomicU64,
+    pub unsafe_serial_fallbacks: Arc<Counter>,
     /// Longest epoch execution (post-gather) in nanoseconds — the grace
     /// term in the scheduler's wait bound.
-    pub max_epoch_ns: AtomicU64,
+    pub max_epoch_ns: Arc<Gauge>,
     /// Lowest scheduler threshold observed (`u64::MAX` until the first
     /// epoch) — witnesses downward self-adjustment under pressure.
-    pub min_threshold: AtomicU64,
+    pub min_threshold: Arc<Gauge>,
     /// WAL records replayed at startup — the restart-cost counter.
     /// With checkpointing active this counts only post-snapshot
     /// records, witnessing that recovery is proportional to the delta
     /// since the last checkpoint rather than to history since genesis.
-    pub wal_replayed_records: AtomicU64,
+    pub wal_replayed_records: Arc<Counter>,
     /// Checkpoints taken (snapshot written + old segments truncated +
     /// feed retention cut), including the startup checkpoint after a
     /// recovery.
-    pub wal_checkpoints: AtomicU64,
+    pub wal_checkpoints: Arc<Counter>,
 }
 
 impl ServerStats {
-    fn new() -> Self {
-        let stats = ServerStats::default();
+    /// Stats whose every cell is owned by `registry`, under stable
+    /// `core.*` names — the `METRICS` snapshot and the `StatsReport`
+    /// wire view read the same memory.
+    fn registered(registry: &Registry) -> Self {
+        let stats = ServerStats {
+            epochs: registry.counter("core.epochs"),
+            safe_executed: registry.counter("core.safe_executed"),
+            unsafe_executed: registry.counter("core.unsafe_executed"),
+            demotions: registry.counter("core.demotions"),
+            threshold: registry.gauge("core.threshold"),
+            sched_ns: registry.counter("core.sched_ns"),
+            history_ns: registry.counter("core.history_ns"),
+            wal_ns: registry.counter("core.wal_ns"),
+            queue_ns: registry.counter("core.queue_ns"),
+            update_latency: registry.histogram("core.update_latency_ns"),
+            unsafe_wait: registry.histogram("core.unsafe_wait_ns"),
+            unsafe_phase: registry.histogram("core.unsafe_phase_ns"),
+            unsafe_parallel_groups: registry.counter("core.unsafe_parallel_groups"),
+            unsafe_serial_fallbacks: registry.counter("core.unsafe_serial_fallbacks"),
+            max_epoch_ns: registry.gauge("core.max_epoch_ns"),
+            min_threshold: registry.gauge("core.min_threshold"),
+            wal_replayed_records: registry.counter("wal.replayed_records"),
+            wal_checkpoints: registry.counter("wal.checkpoints"),
+        };
         stats.min_threshold.store(u64::MAX, Ordering::Relaxed);
         stats
     }
@@ -513,6 +556,14 @@ struct Shared {
     /// WAL record is sorted by it before appending.
     seq: AtomicU64,
     stats: ServerStats,
+    /// The unified metrics registry: every `stats` cell, the WAL and
+    /// replication-feed gauges, and (via [`Server::metrics`]) whatever
+    /// the serving tier registers all live here, snapshot lock-free by
+    /// the `METRICS` opcode and the Prometheus exposition.
+    metrics: Arc<Registry>,
+    /// The epoch-pipeline tracer: per-epoch phase spans in a lock-free
+    /// ring, slow epochs flagged and retained separately.
+    tracer: Arc<EpochTracer>,
     enable_history: bool,
     /// Set by [`Server::crash`]: exit without the final WAL flush,
     /// simulating power loss of the buffered log tail.
@@ -563,8 +614,16 @@ impl Server {
         )?;
         let engine = Engine::from_store(store, algorithms, config.engine.clone());
 
+        // The registry precedes every subsystem so each can self-register
+        // its cells instead of threading fields through by hand.
+        let metrics = Arc::new(Registry::new());
+        let tracer = Arc::new(EpochTracer::new(config.trace_slow_epoch, &metrics));
+
         let feed = (config.max_followers > 0)
             .then(|| Arc::new(ReplicationFeed::new(config.max_followers)));
+        if let Some(feed) = &feed {
+            feed.register_metrics(&metrics);
+        }
 
         let mut wal = None;
         let mut replayed_records: u64 = 0;
@@ -627,7 +686,9 @@ impl Server {
             released: Mutex::new(FxHashMap::default()),
             next_session: AtomicU64::new(0),
             seq: AtomicU64::new(0),
-            stats: ServerStats::new(),
+            stats: ServerStats::registered(&metrics),
+            metrics,
+            tracer,
             enable_history: config.enable_history,
             hard_crash: AtomicBool::new(false),
             #[cfg(test)]
@@ -722,6 +783,21 @@ impl Server {
     /// Server counters.
     pub fn stats(&self) -> &ServerStats {
         &self.shared.stats
+    }
+
+    /// The unified metrics registry — every coordinator/WAL/feed cell,
+    /// plus anything outer tiers register (the net tier adds its
+    /// per-worker reactor gauges here). Snapshot it for the `METRICS`
+    /// opcode or render it for Prometheus exposition.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.shared.metrics
+    }
+
+    /// The epoch-pipeline tracer: recent per-epoch phase breakdowns and
+    /// the retained slow-epoch ring (threshold
+    /// [`ServerConfig::trace_slow_epoch`]).
+    pub fn tracer(&self) -> &Arc<EpochTracer> {
+        &self.shared.tracer
     }
 
     /// The replication feed, when enabled
@@ -1246,6 +1322,16 @@ fn run_epochs(
     feed: Option<&ReplicationFeed>,
 ) {
     let mut scheduler = Scheduler::new(config.scheduler.clone());
+    // WAL occupancy gauges, refreshed at every epoch end (registered
+    // here rather than in `Server::start` because the writer lives on
+    // this thread).
+    let wal_gauges = wal.as_ref().map(|_| {
+        (
+            shared.metrics.gauge("wal.active_segment"),
+            shared.metrics.gauge("wal.records"),
+            shared.metrics.gauge("wal.segment_lag"),
+        )
+    });
     let mut pending: FxHashMap<u64, VecDeque<Envelope>> = FxHashMap::default();
     let mut last_gc = Instant::now();
     let mut last_wal_sync = Instant::now();
@@ -1369,6 +1455,9 @@ fn run_epochs(
 
         // ---- Sharded parallel safe phase ---------------------------
         let t_epoch = Instant::now();
+        // Per-phase span accumulators for the epoch tracer (gather is
+        // excluded: it is dominated by idle waiting, not execution).
+        let mut phases = [0u64; PHASE_COUNT];
         let limit = scheduler.latency_limit();
         let mut safe_log: Vec<(u64, Update)> = Vec::new();
         let mut safe_ops: u64 = 0;
@@ -1388,6 +1477,7 @@ fn run_epochs(
             for (sid, group) in std::mem::take(&mut buf.safe_groups) {
                 parts[(sid % num_shards as u64) as usize].push((sid, group));
             }
+            let t_safe = Instant::now();
             let mut dispatched = Vec::new();
             for (i, handle) in safe_shards.iter().enumerate() {
                 let part = std::mem::take(&mut parts[i + 1]);
@@ -1403,14 +1493,17 @@ fn run_epochs(
                 }
             }
             let mut outcomes = vec![drain_shard(shared, std::mem::take(&mut parts[0]), limit)];
+            phases[Phase::SafeExecute as usize] = t_safe.elapsed().as_nanos() as u64;
             // The epoch barrier: every dispatched shard must report
             // before the serial unsafe phase may touch results.
+            let t_barrier = Instant::now();
             for i in dispatched {
                 match shards[i].results.recv().expect("shard worker alive") {
                     ShardOutcome::Safe(out) => outcomes.push(out),
                     _ => unreachable!("safe job answered with non-safe outcome"),
                 }
             }
+            phases[Phase::BarrierWait as usize] = t_barrier.elapsed().as_nanos() as u64;
             for outcome in outcomes {
                 safe_log.extend(outcome.applied);
                 safe_ops += outcome.applied_ops;
@@ -1443,6 +1536,7 @@ fn run_epochs(
                 &mut scheduler,
                 config,
                 shards,
+                &mut phases,
             );
         if !ran_parallel && unsafe_workers > 1 && buf.unsafe_queue.len() > 1 {
             // Parallelism was available but declined (overlap or probe
@@ -1454,6 +1548,8 @@ fn run_epochs(
         }
         // Serial unsafe phase (the paper's discipline, and the
         // fallback target of the parallel phase).
+        let serial_pending = !buf.unsafe_queue.is_empty();
+        let t_serial = Instant::now();
         while let Some(env) = buf.unsafe_queue.pop_front() {
             let wait = env.enqueued.elapsed();
             shared.stats.unsafe_wait.record(wait);
@@ -1479,6 +1575,9 @@ fn run_epochs(
             shared.stats.unsafe_executed.fetch_add(1, Ordering::Relaxed);
             send_reply(shared, &env, reply);
         }
+        if serial_pending {
+            phases[Phase::UnsafeExecute as usize] += t_serial.elapsed().as_nanos() as u64;
+        }
         if had_unsafe {
             shared.stats.unsafe_phase.record(t_unsafe.elapsed());
         }
@@ -1495,6 +1594,10 @@ fn run_epochs(
             let total = safe_updates.len() + unsafe_groups.iter().map(Vec::len).sum::<usize>();
             if total > 0 {
                 let t_wal = Instant::now();
+                // Segment rotation fires *inside* `append` when the
+                // active segment crosses its budget; the writer's
+                // cumulative rotation clock recovers that span.
+                let rotate_before = w.rotate_ns();
                 // One merged record per epoch, in stamp order, so
                 // replaying the record reproduces the cross-shard
                 // execution order byte-exactly — even for same-edge
@@ -1510,10 +1613,11 @@ fn run_epochs(
                     let _ = w.sync();
                     last_wal_sync = Instant::now();
                 }
-                shared
-                    .stats
-                    .wal_ns
-                    .fetch_add(t_wal.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                let wal_ns = t_wal.elapsed().as_nanos() as u64;
+                let rotate_ns = w.rotate_ns() - rotate_before;
+                phases[Phase::WalRotate as usize] += rotate_ns;
+                phases[Phase::WalAppend as usize] += wal_ns.saturating_sub(rotate_ns);
+                shared.stats.wal_ns.fetch_add(wal_ns, Ordering::Relaxed);
             }
         }
         // Publish the epoch to the replication feed (after the WAL
@@ -1522,7 +1626,9 @@ fn run_epochs(
         // slow follower lags behind the feed without ever blocking this
         // loop.
         if let Some(feed) = feed {
+            let t_feed = Instant::now();
             feed.append_epoch(safe_updates, safe_ops, std::mem::take(&mut unsafe_groups));
+            phases[Phase::FeedPublish as usize] += t_feed.elapsed().as_nanos() as u64;
         }
 
         // ---- Checkpoint (time- or pressure-triggered) --------------
@@ -1537,14 +1643,22 @@ fn run_epochs(
             let due_pressure =
                 config.max_wal_segment_bytes > 0 && w.segment_lag() >= CHECKPOINT_SEGMENT_LAG;
             if (due_pressure || due_time) && w.records() > records_at_checkpoint {
+                let t_ckpt = Instant::now();
                 if perform_checkpoint(shared, w, feed).is_ok() {
                     records_at_checkpoint = w.records();
                 }
+                phases[Phase::WalCheckpoint as usize] += t_ckpt.elapsed().as_nanos() as u64;
                 last_checkpoint = Instant::now();
             }
         }
+        if let (Some(w), Some((seg, recs, lag))) = (wal.as_ref(), wal_gauges.as_ref()) {
+            seg.store(w.active_segment(), Ordering::Relaxed);
+            recs.store(w.records(), Ordering::Relaxed);
+            lag.store(w.segment_lag(), Ordering::Relaxed);
+        }
 
         // Threshold accounting over the aggregated per-shard counts.
+        let t_finalize = Instant::now();
         scheduler.record_shards(shard_counts);
         scheduler.end_epoch();
         shared
@@ -1555,7 +1669,7 @@ fn run_epochs(
             .stats
             .min_threshold
             .fetch_min(scheduler.threshold() as u64, Ordering::Relaxed);
-        shared.stats.epochs.fetch_add(1, Ordering::Relaxed);
+        let epoch_no = shared.stats.epochs.fetch_add(1, Ordering::Relaxed) + 1;
         shared
             .stats
             .max_epoch_ns
@@ -1595,6 +1709,13 @@ fn run_epochs(
                 .stats
                 .history_ns
                 .fetch_add(t_hist.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        phases[Phase::Finalize as usize] += t_finalize.elapsed().as_nanos() as u64;
+
+        // Trace only epochs that executed work: idle loops would drown
+        // the rings and the per-phase histograms in structural zeros.
+        if buf.safe_count > 0 || had_unsafe {
+            shared.tracer.record(epoch_no, &phases);
         }
 
         if shared.shutdown.load(Ordering::Acquire)
@@ -1649,10 +1770,12 @@ fn run_unsafe_parallel(
     scheduler: &mut Scheduler,
     config: &ServerConfig,
     shards: &[ShardHandle],
+    phases: &mut [u64; PHASE_COUNT],
 ) -> bool {
     let n = queue.len();
     let workers = (config.unsafe_workers - 1).min(shards.len());
     let cap = config.unsafe_footprint_cap;
+    let t_probe = Instant::now();
 
     // Stage 1: probe affected areas in parallel. Probes are read-only
     // component walks and the structure is quiescent between the safe
@@ -1693,6 +1816,7 @@ fn run_unsafe_parallel(
         footprints[idx] = fp;
     }
     if footprints.iter().any(Option::is_none) {
+        phases[Phase::UnsafeProbe as usize] += t_probe.elapsed().as_nanos() as u64;
         return false; // an unbounded footprint conflicts with everything
     }
 
@@ -1728,6 +1852,9 @@ fn run_unsafe_parallel(
     }
     let groups: Vec<Vec<usize>> = by_root.into_iter().filter(|g| !g.is_empty()).collect();
     let num_groups = groups.len();
+    // Probe span covers the footprint walks *and* conflict grouping —
+    // the whole admission decision for the parallel phase.
+    phases[Phase::UnsafeProbe as usize] += t_probe.elapsed().as_nanos() as u64;
     if num_groups <= 1 {
         return false; // everything overlaps: parallelism buys nothing
     }
@@ -1740,6 +1867,7 @@ fn run_unsafe_parallel(
         shared.stats.unsafe_wait.record(env.enqueued.elapsed());
     }
     let gate = shared.query_gate.write();
+    let t_exec = Instant::now();
 
     // Stage 2: longest-group-first greedy assignment over the
     // executors (coordinator = executor 0), then execute. Within a
@@ -1794,6 +1922,8 @@ fn run_unsafe_parallel(
             _ => unreachable!("unsafe job answered with non-unsafe outcome"),
         }
     }
+    phases[Phase::UnsafeExecute as usize] += t_exec.elapsed().as_nanos() as u64;
+    let t_finalize = Instant::now();
 
     // Finalize in arrival order — indistinguishable from the serial
     // phase for every observer (clients, history, WAL, replication).
@@ -1826,6 +1956,7 @@ fn run_unsafe_parallel(
         shared.stats.unsafe_executed.fetch_add(1, Ordering::Relaxed);
         send_reply(shared, &env, reply);
     }
+    phases[Phase::Finalize as usize] += t_finalize.elapsed().as_nanos() as u64;
     drop(gate);
     shared
         .stats

@@ -500,6 +500,7 @@ pub struct WalWriter {
     active_seg: u64,
     active_bytes: u64,
     max_segment_bytes: u64,
+    rotate_ns: u64,
 }
 
 impl WalWriter {
@@ -635,6 +636,7 @@ impl WalWriter {
             active_seg: active,
             active_bytes,
             max_segment_bytes,
+            rotate_ns: 0,
         };
         Ok((recovery, writer))
     }
@@ -686,6 +688,7 @@ impl WalWriter {
     /// fsyncing the directory entry and updating the manifest.
     /// Returns the new active segment number.
     pub fn rotate(&mut self) -> Result<u64> {
+        let t = std::time::Instant::now();
         self.sync()?;
         let next = self.active_seg + 1;
         let file = OpenOptions::new()
@@ -703,6 +706,7 @@ impl WalWriter {
                 active_seg: next,
             },
         )?;
+        self.rotate_ns += t.elapsed().as_nanos() as u64;
         Ok(next)
     }
 
@@ -763,6 +767,14 @@ impl WalWriter {
     /// Bytes buffered or written into the active segment.
     pub fn active_bytes(&self) -> u64 {
         self.active_bytes
+    }
+
+    /// Cumulative wall-clock time spent in [`rotate`](Self::rotate)
+    /// since open. Rotation fires *inside* [`append`](Self::append)
+    /// when the segment crosses its budget, so the epoch tracer
+    /// recovers per-epoch rotation spans from deltas of this clock.
+    pub fn rotate_ns(&self) -> u64 {
+        self.rotate_ns
     }
 }
 

@@ -22,6 +22,7 @@ use std::thread::JoinHandle;
 
 use risgraph_common::hash::FxHashMap;
 use risgraph_common::ids::{Edge, Update, VersionId, VertexId};
+use risgraph_common::metrics::MetricValue;
 use risgraph_common::protocol::{
     read_frame, write_frame, Request, Response, StatsReport, MAX_FRAME, MAX_RESPONSE_FRAME,
     PROTOCOL_VERSION,
@@ -366,6 +367,21 @@ impl NetClient {
             Response::Failed { error, .. } => Err(error.to_error()),
             other => Err(Error::Protocol(format!(
                 "stats reply has wrong shape: {other:?}"
+            ))),
+        }
+    }
+
+    /// The server's full metrics-registry snapshot: every named
+    /// counter, gauge and histogram summary, sorted by name. Schema-
+    /// less — entries with kinds this client build doesn't know are
+    /// skipped during decoding, so new server metrics never break an
+    /// old client.
+    pub fn metrics(&self) -> Result<Vec<(String, MetricValue)>> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(m),
+            Response::Failed { error, .. } => Err(error.to_error()),
+            other => Err(Error::Protocol(format!(
+                "metrics reply has wrong shape: {other:?}"
             ))),
         }
     }

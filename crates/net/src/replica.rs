@@ -29,12 +29,13 @@
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use risgraph_common::ids::Update;
+use risgraph_common::metrics::{Counter, Registry};
 use risgraph_common::protocol::{
     read_frame, write_frame, Request, Response, StatsReport, WireError, MAX_FRAME,
     MAX_RESPONSE_FRAME,
@@ -76,30 +77,48 @@ impl FollowerConfig {
     }
 }
 
-/// Follower counters, updated by the streaming thread.
+/// Follower counters, updated by the streaming thread. Every field is
+/// a handle into the replica's metrics [`Registry`] (under
+/// `replica.*` names), so the same cells answer both the legacy
+/// `STATS` view and the schema-less `METRICS` snapshot.
 #[derive(Debug, Default)]
 pub struct FollowerStats {
     /// Feed records applied.
-    pub records_applied: AtomicU64,
+    pub records_applied: Arc<Counter>,
     /// Records skipped as already-applied duplicates (replayed frames
     /// after a reconnect, or a duplicating fault).
-    pub duplicates_skipped: AtomicU64,
+    pub duplicates_skipped: Arc<Counter>,
     /// Heartbeats received.
-    pub heartbeats: AtomicU64,
+    pub heartbeats: Arc<Counter>,
     /// Successful connections (first connect included).
-    pub connects: AtomicU64,
+    pub connects: Arc<Counter>,
     /// Reconnections after a lost or corrupted stream.
-    pub reconnects: AtomicU64,
+    pub reconnects: Arc<Counter>,
     /// Protocol violations observed on the stream (torn/corrupt
     /// frames, record gaps, unexpected response shapes) — each one
     /// triggers a reconnect.
-    pub stream_errors: AtomicU64,
+    pub stream_errors: Arc<Counter>,
     /// Subscribe rejections from the leader (follower limit,
     /// replication disabled).
-    pub rejections: AtomicU64,
+    pub rejections: Arc<Counter>,
     /// Snapshot bootstraps installed (a fresh subscribe that found the
     /// feed's genesis evicted past a leader checkpoint).
-    pub snapshot_bootstraps: AtomicU64,
+    pub snapshot_bootstraps: Arc<Counter>,
+}
+
+impl FollowerStats {
+    fn registered(registry: &Registry) -> Self {
+        FollowerStats {
+            records_applied: registry.counter("replica.records_applied"),
+            duplicates_skipped: registry.counter("replica.duplicates_skipped"),
+            heartbeats: registry.counter("replica.heartbeats"),
+            connects: registry.counter("replica.connects"),
+            reconnects: registry.counter("replica.reconnects"),
+            stream_errors: registry.counter("replica.stream_errors"),
+            rejections: registry.counter("replica.rejections"),
+            snapshot_bootstraps: registry.counter("replica.snapshot_bootstraps"),
+        }
+    }
 }
 
 /// Registry of live read-only query connections.
@@ -110,6 +129,9 @@ type ConnRegistry = Arc<Mutex<Vec<(JoinHandle<()>, TcpStream)>>>;
 pub struct ReplicaServer {
     replica: Arc<Replica>,
     stats: Arc<FollowerStats>,
+    /// Replica-local metrics registry (`replica.*` names), served over
+    /// the read-only listener's `METRICS` opcode.
+    metrics: Arc<Registry>,
     stop: Arc<AtomicBool>,
     /// The live leader connection, kept so shutdown can unblock the
     /// follower thread's read immediately.
@@ -142,7 +164,12 @@ impl ReplicaServer {
             config.engine,
             config.max_capacity,
         )?);
-        let stats = Arc::new(FollowerStats::default());
+        let metrics = Arc::new(Registry::new());
+        let stats = Arc::new(FollowerStats::registered(&metrics));
+        // Watermark gauges, pre-registered so the listing is stable
+        // and refreshed on every `METRICS` read.
+        let _ = metrics.gauge("replica.lag");
+        let _ = metrics.gauge("replica.version");
         let stop = Arc::new(AtomicBool::new(false));
         let current = Arc::new(Mutex::new(None));
         let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
@@ -162,6 +189,7 @@ impl ReplicaServer {
                 .map_err(|e| Error::Protocol(format!("nonblocking listener: {e}")))?;
             let accept_replica = Arc::clone(&replica);
             let accept_stats = Arc::clone(&stats);
+            let accept_metrics = Arc::clone(&metrics);
             let accept_stop = Arc::clone(&stop);
             let accept_conns = Arc::clone(&conns);
             accept_thread = Some(
@@ -172,6 +200,7 @@ impl ReplicaServer {
                             listener,
                             accept_replica,
                             accept_stats,
+                            accept_metrics,
                             accept_stop,
                             accept_conns,
                         )
@@ -192,6 +221,7 @@ impl ReplicaServer {
         Ok(ReplicaServer {
             replica,
             stats,
+            metrics,
             stop,
             current,
             follower: Some(follower),
@@ -209,6 +239,13 @@ impl ReplicaServer {
     /// Follower counters.
     pub fn stats(&self) -> &FollowerStats {
         &self.stats
+    }
+
+    /// The replica-local metrics registry (the cells behind
+    /// [`FollowerStats`] plus the `replica.lag`/`replica.version`
+    /// watermark gauges, refreshed on every `METRICS` read).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
     }
 
     /// The read-only listener's bound address, when enabled.
@@ -449,6 +486,7 @@ fn accept_loop(
     listener: TcpListener,
     replica: Arc<Replica>,
     stats: Arc<FollowerStats>,
+    metrics: Arc<Registry>,
     stop: Arc<AtomicBool>,
     conns: ConnRegistry,
 ) {
@@ -477,9 +515,10 @@ fn accept_loop(
         };
         let conn_replica = Arc::clone(&replica);
         let conn_stats = Arc::clone(&stats);
+        let conn_metrics = Arc::clone(&metrics);
         let handle = std::thread::Builder::new()
             .name("risgraph-replica-conn".into())
-            .spawn(move || serve_queries(conn_replica, conn_stats, stream))
+            .spawn(move || serve_queries(conn_replica, conn_stats, conn_metrics, stream))
             .expect("spawn replica connection thread");
         let mut conns = conns.lock().unwrap();
         prune_finished(&mut conns);
@@ -490,7 +529,12 @@ fn accept_loop(
 /// Serve the read-only Table 1 surface on one connection: queries are
 /// answered inline at the applied watermark; anything mutating is
 /// refused without touching the replica.
-fn serve_queries(replica: Arc<Replica>, stats: Arc<FollowerStats>, stream: TcpStream) {
+fn serve_queries(
+    replica: Arc<Replica>,
+    stats: Arc<FollowerStats>,
+    metrics: Arc<Registry>,
+    stream: TcpStream,
+) {
     let write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -552,6 +596,18 @@ fn serve_queries(replica: Arc<Replica>, stats: Arc<FollowerStats>, stream: TcpSt
             }
             Request::CurrentVersion => Response::Version(replica.current_version()),
             Request::Stats => Response::Stats(replica_stats(&replica, &stats)),
+            // The registry snapshot, with the watermark gauges
+            // refreshed at read time (they have no update hook — the
+            // watermarks move on every applied record).
+            Request::Metrics => {
+                metrics
+                    .gauge("replica.lag")
+                    .store(replica.lag(), Ordering::Relaxed);
+                metrics
+                    .gauge("replica.version")
+                    .store(replica.current_version(), Ordering::Relaxed);
+                Response::Metrics(metrics.snapshot())
+            }
             // Replicas speak protocol v1: answer any Hello with
             // version 1, exercising the negotiation's downgrade path
             // (a v2 client falls back to unwrapped frames).

@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 
 use risgraph_common::hash::FxHashMap;
 use risgraph_common::ids::Update;
+use risgraph_common::metrics::{Gauge, Phase};
 use risgraph_common::protocol::{
     encode_wal_epoch, write_frame, Request, Response, StatsReport, WireError, FRAME_HEADER,
     MAX_FRAME, MAX_RESPONSE_FRAME, PROTOCOL_VERSION,
@@ -145,6 +146,17 @@ struct WorkerShared {
     conns: AtomicUsize,
 }
 
+/// Per-worker reactor gauges, registered in the core server's metrics
+/// registry as `net.worker.<i>.*` and refreshed on every reactor tick
+/// — live occupancy of the event loop, readable over `METRICS` and the
+/// Prometheus exposition.
+struct WorkerGauges {
+    connections: Arc<Gauge>,
+    sessions: Arc<Gauge>,
+    inbox_depth: Arc<Gauge>,
+    ready_backlog: Arc<Gauge>,
+}
+
 /// A TCP serving front end wrapping one [`Server`].
 pub struct NetServer {
     server: Option<Arc<Server>>,
@@ -199,12 +211,19 @@ impl NetServer {
             if let Some(l) = &worker_listener {
                 poller.add(l.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
             }
+            let registry = server.metrics();
             let worker = Worker {
                 ctx: Ctx {
                     server: Arc::clone(&server),
                     net: net.clone(),
                     shared: Arc::clone(shared),
                     poller,
+                },
+                gauges: WorkerGauges {
+                    connections: registry.gauge(&format!("net.worker.{i}.connections")),
+                    sessions: registry.gauge(&format!("net.worker.{i}.sessions")),
+                    inbox_depth: registry.gauge(&format!("net.worker.{i}.inbox_depth")),
+                    ready_backlog: registry.gauge(&format!("net.worker.{i}.ready_backlog")),
                 },
                 peers: workers.clone(),
                 shutdown: Arc::clone(&shutdown),
@@ -852,6 +871,14 @@ impl Conn {
                 self.enqueue(Response::Stats(stats_report(&ctx.server)).encode(req_id));
                 true
             }
+            // The schema-less registry snapshot: every named counter,
+            // gauge and histogram summary, self-describing on the wire
+            // so new metrics never break old clients (unknown entries
+            // are skipped by the decoder, not fatal).
+            Request::Metrics => {
+                self.enqueue(Response::Metrics(ctx.server.metrics().snapshot()).encode(req_id));
+                true
+            }
             // Replication: flip this connection into a one-way feed
             // stream pumped by the worker's tick.
             Request::Subscribe { from } => {
@@ -1148,6 +1175,7 @@ impl Conn {
 /// connections (plus the listener, on worker 0).
 struct Worker {
     ctx: Ctx,
+    gauges: WorkerGauges,
     peers: Vec<Arc<WorkerShared>>,
     shutdown: Arc<AtomicBool>,
     conns: FxHashMap<u64, Conn>,
@@ -1197,6 +1225,7 @@ impl Worker {
             self.adopt_inbox();
             self.drain_ready();
             self.housekeep();
+            self.publish_gauges();
             dead.extend(self.conns.iter().filter(|(_, c)| c.dead).map(|(t, _)| *t));
             for token in dead.drain(..) {
                 self.teardown(token);
@@ -1303,6 +1332,10 @@ impl Worker {
     /// Deliver replies flagged by session wakers since the last pass.
     fn drain_ready(&mut self) {
         let ready = std::mem::take(&mut *self.ctx.shared.ready.lock().unwrap());
+        if ready.is_empty() {
+            return;
+        }
+        let t_drain = Instant::now();
         let mut touched: VecDeque<u64> = VecDeque::new();
         for (token, sid) in ready {
             let Some(conn) = self.conns.get_mut(&token) else {
@@ -1319,6 +1352,30 @@ impl Worker {
                 conn.service(&self.ctx);
             }
         }
+        self.ctx
+            .server
+            .tracer()
+            .note_phase(Phase::ReactorDrain, t_drain.elapsed().as_nanos() as u64);
+    }
+
+    /// Refresh this worker's occupancy gauges (one tick's staleness at
+    /// most — monitoring data, not a linearizable view).
+    fn publish_gauges(&self) {
+        let g = &self.gauges;
+        g.connections
+            .store(self.conns.len() as u64, Ordering::Relaxed);
+        g.sessions.store(
+            self.conns.values().map(|c| c.sessions.len() as u64).sum(),
+            Ordering::Relaxed,
+        );
+        g.inbox_depth.store(
+            self.ctx.shared.inbox.lock().unwrap().len() as u64,
+            Ordering::Relaxed,
+        );
+        g.ready_backlog.store(
+            self.ctx.shared.ready.lock().unwrap().len() as u64,
+            Ordering::Relaxed,
+        );
     }
 
     fn housekeep(&mut self) {

@@ -48,6 +48,8 @@
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 
+use risgraph::common::metrics::{HistogramSummary, MetricValue, Phase, Registry};
+use risgraph::common::stats::fmt_ns;
 use risgraph::core::affected::analyze;
 use risgraph::core::server::{Server, ServerConfig, Session};
 use risgraph::net::{NetConfig, NetServer};
@@ -76,6 +78,9 @@ struct Args {
     max_wal_size: Option<u64>,
     /// Periodic checkpoint cadence in milliseconds.
     checkpoint_interval: Option<u64>,
+    /// Serve Prometheus-style text exposition of the metrics registry
+    /// on this address (serve and follow modes).
+    metrics_listen: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -93,6 +98,7 @@ fn parse_args() -> Args {
         net_workers: None,
         max_wal_size: None,
         checkpoint_interval: None,
+        metrics_listen: None,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -176,6 +182,10 @@ fn parse_args() -> Args {
                 };
                 i += 2;
             }
+            "--metrics-listen" if i + 1 < args.len() => {
+                parsed.metrics_listen = Some(args[i + 1].clone());
+                i += 2;
+            }
             "--checkpoint-interval" if i + 1 < args.len() => {
                 parsed.checkpoint_interval = match args[i + 1].parse::<u64>() {
                     Ok(n) if n >= 1 => Some(n),
@@ -191,7 +201,7 @@ fn parse_args() -> Args {
                     "usage: risgraph [serve] [--algorithm bfs|sssp|sswp|wcc|reach] [--root VID] \
                      [--store {}] [--shards N] [--wal PATH] [--max-wal-size BYTES] \
                      [--checkpoint-interval MS] [--listen ADDR] [--follow ADDR] \
-                     [--max-followers N]\n\n\
+                     [--max-followers N] [--metrics-listen ADDR]\n\n\
                      serve       run the TCP wire-protocol server (crates/net) instead of\n\
                      \u{20}           the stdin shell; Ctrl-C drains gracefully\n\
                      --listen    address to bind in serve mode (default 127.0.0.1:0)\n\
@@ -204,6 +214,10 @@ fn parse_args() -> Args {
                      --net-workers N  reactor worker threads for the serving tier\n\
                      \u{20}           (serve mode; default RISGRAPH_NET_WORKERS or the\n\
                      \u{20}           core count, capped at 4)\n\
+                     --metrics-listen ADDR  serve Prometheus-style text exposition of\n\
+                     \u{20}           the metrics registry over HTTP on ADDR (serve and\n\
+                     \u{20}           follow modes; every counter/gauge/histogram,\n\
+                     \u{20}           including per-phase epoch-pipeline spans)\n\
                      --shards N  serve through the interactive tier (sessions + epoch\n\
                      \u{20}           loop) with N parallel safe-phase shard executors;\n\
                      \u{20}           in shell mode, omit it to drive the engine directly\n\
@@ -274,6 +288,9 @@ fn run_follow(args: Args, leader: String) -> ! {
         std::process::exit(2);
     });
     install_signal_handlers();
+    if let Some(listen) = &args.metrics_listen {
+        serve_metrics_http(listen, replica.metrics().clone());
+    }
     println!(
         "risgraph replica following {leader} — algorithm {} (root {}), store {}, \
          read-only queries on {}; Ctrl-C to exit",
@@ -341,6 +358,9 @@ fn run_serve(args: Args) -> ! {
         std::process::exit(2);
     });
     install_signal_handlers();
+    if let Some(listen) = &args.metrics_listen {
+        serve_metrics_http(listen, net.server().metrics().clone());
+    }
     println!(
         "risgraph serving on {} — algorithm {} (root {}), store {}, {} shard(s), \
          {} unsafe worker(s), {} net worker(s), {} follower slot(s){}; Ctrl-C to drain and exit",
@@ -385,20 +405,71 @@ fn run_serve(args: Args) -> ! {
             s.unsafe_parallel_groups.load(Ordering::Relaxed),
             s.unsafe_serial_fallbacks.load(Ordering::Relaxed),
         );
+        let registry = net.server().metrics();
+        let traced = registry.counter("epoch.traced").load(Ordering::Relaxed);
+        let flagged = registry.counter("epoch.flagged").load(Ordering::Relaxed);
+        if traced > 0 {
+            println!("epoch pipeline: traced={traced} slow(flagged)={flagged}");
+            for phase in Phase::ALL {
+                let h = HistogramSummary::of(
+                    &registry
+                        .histogram(&format!("epoch.phase.{}_ns", phase.name()))
+                        .snapshot(),
+                );
+                if h.count == 0 {
+                    continue;
+                }
+                println!(
+                    "  {:<16} epochs={} p50={} p99={} max={}",
+                    phase.name(),
+                    h.count,
+                    fmt_ns(h.p50_ns),
+                    fmt_ns(h.p99_ns),
+                    fmt_ns(h.max_ns),
+                );
+            }
+        }
     }
     // Graceful drain: finish in-flight updates, flush WAL and store.
     net.shutdown();
     std::process::exit(0);
 }
 
-fn fmt_ns(ns: u64) -> String {
-    if ns >= 1_000_000 {
-        format!("{:.2}ms", ns as f64 / 1e6)
-    } else if ns >= 1_000 {
-        format!("{:.1}us", ns as f64 / 1e3)
-    } else {
-        format!("{ns}ns")
-    }
+/// Minimal HTTP/1.0 exporter: every connection gets one Prometheus-style
+/// text rendering of the registry and is closed. Stateless by design —
+/// scrapers reconnect per poll, so there is nothing to drain on exit.
+fn serve_metrics_http(listen: &str, registry: std::sync::Arc<Registry>) {
+    let listener = std::net::TcpListener::bind(listen).unwrap_or_else(|e| {
+        eprintln!("cannot bind metrics listener on {listen}: {e}");
+        std::process::exit(2);
+    });
+    let addr = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| listen.to_string());
+    println!("metrics exposition on http://{addr}/metrics");
+    std::thread::Builder::new()
+        .name("metrics-http".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                // Drain whatever request line arrived; the reply is the
+                // same regardless of path or method.
+                let mut buf = [0u8; 1024];
+                use std::io::Read;
+                let _ = stream.read(&mut buf);
+                let body = registry.render_prometheus();
+                let _ = stream.write_all(
+                    format!(
+                        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                        body.len()
+                    )
+                    .as_bytes(),
+                );
+            }
+        })
+        .expect("spawn metrics exporter thread");
 }
 
 fn make_algorithm(algorithm: &str, root: u64) -> DynAlgorithm {
@@ -574,7 +645,7 @@ fn main() {
             ["quit" | "exit" | "q"] => break,
             ["help"] => println!(
                 "commands: load FILE | gen rmat SCALE FACTOR | ins S D [W] | \
-                 del S D [W] | get V | path V | top N | stats | aff | quit"
+                 del S D [W] | get V | path V | top N | stats | metrics | aff | quit"
             ),
             ["load", file] => match std::fs::read_to_string(file) {
                 Ok(content) => {
@@ -723,6 +794,28 @@ fn main() {
                     );
                 }
             }
+            ["metrics"] => match &shell {
+                Shell::Server { server, .. } => {
+                    for (name, value) in server.metrics().snapshot() {
+                        match value {
+                            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                                println!("  {name} = {v}")
+                            }
+                            MetricValue::Histogram(h) => println!(
+                                "  {name}: count={} p50={} p99={} p999={} max={}",
+                                h.count,
+                                fmt_ns(h.p50_ns),
+                                fmt_ns(h.p99_ns),
+                                fmt_ns(h.p999_ns),
+                                fmt_ns(h.max_ns),
+                            ),
+                        }
+                    }
+                }
+                Shell::Engine(_) => {
+                    println!("metrics requires the server tier (run with --shards or --wal)")
+                }
+            },
             ["aff"] => {
                 let r = analyze(engine, 0);
                 println!(
