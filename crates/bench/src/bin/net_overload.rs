@@ -1,0 +1,145 @@
+//! **net_overload** — step-load admission-control proof for the TCP
+//! serving tier: offered load is stepped to 4x a budget-sized baseline
+//! and the latency of *admitted* traffic must stay flat while the
+//! excess is shed with `Busy`.
+//!
+//! An RMAT graph is preloaded, then each step drives `mult x` the
+//! baseline per-connection pipeline window (same connection count, so
+//! the client's thread topology is identical across steps — on small
+//! machines stepping the *connection* count would measure client-side
+//! CPU scheduling, not the server) against a fresh server whose global
+//! in-flight budget is pinned to the baseline's offered concurrency.
+//! Below the budget nothing sheds; above it the server admits at
+//! budget occupancy and rejects the rest from the reader path — so
+//! admitted P50/P99/P999 should hold within ~2x of the 1x step even at
+//! 4x offered concurrency, the difference being budget-slot queueing,
+//! not server-side backlog.
+//!
+//! The streams are duplicate-insert-only ([`partitioned_safe_inserts`])
+//! rather than churn: under deliberate shedding every offered op must
+//! stay valid on its own, or a shed insert would turn its paired
+//! delete into a legitimate failure and poison the `failed == 0`
+//! assertion.
+//!
+//! Reported per step: admitted ops/s, admitted P50/P99/P999, admitted /
+//! shed / failed reply counts. `failed` must be zero — overload sheds,
+//! it never corrupts. Emits `BENCH_net_overload.json` with the
+//! server's metrics snapshot (the `net.admission.*` counters) per row.
+//!
+//! Knobs: `RISGRAPH_SCALE` (default 12, capped 16),
+//! `RISGRAPH_NET_CONNS` (baseline connections, default 4),
+//! `RISGRAPH_NET_WINDOW` (per-connection pipeline, default 32),
+//! `RISGRAPH_NET_OPS` (updates per connection, default 10000), plus
+//! `RISGRAPH_STORE` / `RISGRAPH_SHARDS`.
+
+use std::sync::Arc;
+
+use risgraph_algorithms::Bfs;
+use risgraph_bench::drivers::measure_net_overload;
+use risgraph_bench::{emit_bench_json, fmt_ops, print_table, scale, BenchRow};
+use risgraph_core::engine::DynAlgorithm;
+use risgraph_core::server::ServerConfig;
+use risgraph_net::{NetConfig, NetServer};
+use risgraph_testkit::partitioned_safe_inserts;
+use risgraph_workloads::rmat::RmatConfig;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fmt_ns(ns: u64) -> String {
+    risgraph_bench::fmt_duration_us(ns as f64)
+}
+
+fn main() {
+    let cfg = RmatConfig {
+        scale: scale().min(16),
+        edge_factor: 8.0,
+        ..RmatConfig::default()
+    };
+    let preload = cfg.generate();
+    let conns = env_usize("RISGRAPH_NET_CONNS", 4).max(1);
+    let base_window = env_usize("RISGRAPH_NET_WINDOW", 32).max(1);
+    let ops = env_usize("RISGRAPH_NET_OPS", 10_000).max(base_window * 4);
+    // The budget is the baseline's whole offered concurrency: the 1x
+    // step fits, every higher step must shed its excess.
+    let budget = conns * base_window;
+
+    let server_config = ServerConfig::default();
+    println!(
+        "net_overload: RMAT scale {} (|V|={} |E|={}), {conns} conns x baseline \
+         window {base_window} (budget {budget}), store {}, {} shard(s)\n",
+        cfg.scale,
+        cfg.num_vertices(),
+        preload.len(),
+        server_config.backend.label(),
+        server_config.shards,
+    );
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut p999_by_mult = Vec::new();
+    for mult in [1usize, 2, 4] {
+        let window = base_window * mult;
+        let streams = partitioned_safe_inserts(&preload, conns, ops, 77);
+        let net = NetServer::start(
+            vec![Arc::new(Bfs::new(0)) as DynAlgorithm],
+            cfg.num_vertices(),
+            server_config.clone(),
+            NetConfig {
+                inflight_budget: budget,
+                session_quota: 0,
+                accept_high_water: 0,
+                ..NetConfig::default()
+            },
+        )
+        .expect("net server");
+        net.server().load_edges(&preload);
+        let result = measure_net_overload(net.local_addr(), &streams, window);
+        let h = &result.perf.histogram;
+        p999_by_mult.push((mult, h.quantile_ns(0.999)));
+        rows.push(vec![
+            format!("{mult}x (window {window})"),
+            fmt_ops(result.perf.throughput),
+            fmt_ns(h.quantile_ns(0.5)),
+            fmt_ns(h.quantile_ns(0.99)),
+            fmt_ns(h.quantile_ns(0.999)),
+            format!("{}", result.perf.updates),
+            format!("{}", result.shed),
+            format!("{}", result.failed),
+        ]);
+        json_rows.push(BenchRow::from_perf(
+            format!(
+                "overload={mult}x conns={conns} window={window} budget={budget} shed={}",
+                result.shed
+            ),
+            &result.perf,
+        ));
+        assert_eq!(result.failed, 0, "overload must shed, never corrupt");
+        net.shutdown();
+    }
+    print_table(
+        &[
+            "offered load",
+            "admitted ops/s",
+            "P50",
+            "P99",
+            "P999",
+            "admitted",
+            "shed",
+            "failed",
+        ],
+        &rows,
+    );
+    if let (Some(&(_, base)), Some(&(_, peak))) = (p999_by_mult.first(), p999_by_mult.last()) {
+        println!(
+            "\nadmitted P999 at 4x offered load: {:.2}x the 1x baseline \
+             (flat-under-overload target: <= 2x)",
+            peak as f64 / base.max(1) as f64
+        );
+    }
+    emit_bench_json("net_overload", &json_rows);
+}

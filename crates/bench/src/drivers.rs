@@ -279,6 +279,95 @@ pub fn measure_net_load(
     }
 }
 
+/// [`measure_net_load`] under deliberate overload: admission telemetry
+/// split out per reply. Latency percentiles cover **admitted** replies
+/// only — the admission-control claim is that the traffic the server
+/// *accepts* keeps its latency under any offered load, while the rest
+/// is shed cheaply with `Busy` instead of queueing.
+#[derive(Debug, Clone)]
+pub struct OverloadResult {
+    /// Admitted-traffic measurements (latency histogram, throughput
+    /// and `updates` all count admitted replies only).
+    pub perf: PerfResult,
+    /// Replies shed with [`risgraph_common::Error::Busy`].
+    pub shed: u64,
+    /// Replies failed with any non-Busy error (should be zero: an
+    /// overloaded server sheds, it does not corrupt).
+    pub failed: u64,
+}
+
+/// Drive per-connection update streams with a bounded pipeline against
+/// a server that may shed: every reply is classified admitted / shed
+/// (`Busy`) / failed, and the latency histogram records admitted
+/// round-trips only.
+pub fn measure_net_overload(
+    addr: std::net::SocketAddr,
+    session_streams: &[Vec<Update>],
+    window: usize,
+) -> OverloadResult {
+    let window = window.max(1);
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(session_streams.len());
+    for stream in session_streams {
+        let stream = stream.clone();
+        handles.push(std::thread::spawn(move || {
+            let client = risgraph_net::NetClient::connect(addr).expect("connect");
+            let mut hist = LatencyHistogram::new();
+            let mut inflight: std::collections::VecDeque<(u64, Instant)> = Default::default();
+            let (mut done, mut shed, mut failed) = (0u64, 0u64, 0u64);
+            let mut drain_one = |inflight: &mut std::collections::VecDeque<(u64, Instant)>,
+                                 hist: &mut LatencyHistogram| {
+                let (id, t) = inflight.pop_front().unwrap();
+                let reply = client.wait_reply(id).expect("wire round-trip");
+                match &reply.outcome {
+                    Ok(_) => {
+                        hist.record(t.elapsed());
+                        done += 1;
+                    }
+                    Err(e) if e.is_busy() => shed += 1,
+                    Err(_) => failed += 1,
+                }
+            };
+            for u in &stream {
+                while inflight.len() >= window {
+                    drain_one(&mut inflight, &mut hist);
+                }
+                let t = Instant::now();
+                let id = client.submit_update_pipelined(u).expect("submit");
+                inflight.push_back((id, t));
+            }
+            while !inflight.is_empty() {
+                drain_one(&mut inflight, &mut hist);
+            }
+            (hist, done, shed, failed)
+        }));
+    }
+    let mut merged = LatencyHistogram::new();
+    let (mut total, mut shed, mut failed) = (0u64, 0u64, 0u64);
+    for h in handles {
+        let (hist, d, s, f) = h.join().expect("net client thread");
+        merged.merge(&hist);
+        total += d;
+        shed += s;
+        failed += f;
+    }
+    let elapsed = t0.elapsed();
+    let metrics = fetch_metrics(addr);
+    OverloadResult {
+        perf: PerfResult {
+            throughput: total as f64 / elapsed.as_secs_f64(),
+            mean_us: merged.mean_us(),
+            p999_ms: merged.p999_ms(),
+            within_limit: merged.fraction_within(std::time::Duration::from_millis(20)),
+            updates: total,
+            histogram: merged,
+            metrics,
+        },
+        shed,
+        failed,
+    }
+}
+
 /// Pull a registry snapshot from a network server via the METRICS
 /// opcode; empty on any failure (a bench row must not die on it).
 fn fetch_metrics(addr: std::net::SocketAddr) -> Vec<(String, MetricValue)> {

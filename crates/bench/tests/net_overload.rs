@@ -1,0 +1,141 @@
+//! The admission-control acceptance property, as an executable test:
+//! step the offered concurrency to 4x a budget-sized baseline (by
+//! deepening the per-connection pipeline window, so the client thread
+//! topology is identical across steps even on small machines) and (a)
+//! the P999 of *admitted* traffic must stay within 2x of the baseline
+//! — the server sheds instead of queueing, so accepted requests never
+//! see the backlog — while (b) the shed counter climbs and (c) the
+//! session gauge stays flat at the connection count (shed requests
+//! allocate nothing). Wall-clock-sensitive, so it runs in the slow CI
+//! job (`cargo test --release -- --ignored`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use risgraph_algorithms::Bfs;
+use risgraph_bench::drivers::measure_net_overload;
+use risgraph_core::engine::DynAlgorithm;
+use risgraph_core::server::ServerConfig;
+use risgraph_net::{NetConfig, NetServer};
+use risgraph_testkit::partitioned_safe_inserts;
+use risgraph_workloads::rmat::RmatConfig;
+
+#[test]
+#[ignore = "wall-clock measurement; run via `cargo test --release -- --ignored`"]
+fn admitted_p999_stays_flat_at_4x_overload() {
+    let cfg = RmatConfig {
+        scale: 12,
+        edge_factor: 8.0,
+        ..RmatConfig::default()
+    };
+    let preload = cfg.generate();
+    let conns = 4usize;
+    let base_window = 32usize;
+    let budget = conns * base_window;
+
+    let run = |mult: usize| {
+        let window = base_window * mult;
+        // Duplicate-insert-only streams: every offered op is valid on
+        // its own, so `failed == 0` is a statement about admission
+        // control — shedding a churn pair's insert would make its
+        // delete fail legitimately.
+        let streams = partitioned_safe_inserts(&preload, conns, 5_000, 5);
+        let net = NetServer::start(
+            vec![Arc::new(Bfs::new(0)) as DynAlgorithm],
+            cfg.num_vertices(),
+            ServerConfig::default(),
+            NetConfig {
+                inflight_budget: budget,
+                session_quota: 0,
+                accept_high_water: 0,
+                ..NetConfig::default()
+            },
+        )
+        .expect("net server");
+        net.server().load_edges(&preload);
+
+        // Sample the per-worker session gauges for the whole run: shed
+        // requests must not allocate sessions, so the peak stays at
+        // most one logical session per connection.
+        let registry = Arc::clone(net.server().metrics());
+        let stop = Arc::new(AtomicBool::new(false));
+        let sampler = {
+            let (registry, stop) = (Arc::clone(&registry), Arc::clone(&stop));
+            let workers = NetConfig::default().net_workers;
+            std::thread::spawn(move || {
+                let gauges: Vec<_> = (0..workers)
+                    .map(|i| registry.gauge(&format!("net.worker.{i}.sessions")))
+                    .collect();
+                let mut peak = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let now: u64 = gauges.iter().map(|g| g.load(Ordering::Relaxed)).sum();
+                    peak = peak.max(now);
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                peak
+            })
+        };
+
+        let result = measure_net_overload(net.local_addr(), &streams, window);
+        stop.store(true, Ordering::Relaxed);
+        let peak_sessions = sampler.join().expect("gauge sampler");
+        let shed_counter = registry
+            .counter("net.admission.shed_budget")
+            .load(Ordering::Relaxed);
+        net.shutdown();
+
+        let offered: u64 = streams.iter().map(|s| s.len() as u64).sum();
+        assert_eq!(result.failed, 0, "{mult}x: overload must shed, not corrupt");
+        assert_eq!(
+            result.perf.updates + result.shed,
+            offered,
+            "{mult}x: every request is answered exactly once"
+        );
+        assert_eq!(
+            shed_counter, result.shed,
+            "{mult}x: client-observed sheds must match the server counter"
+        );
+        assert!(
+            peak_sessions <= conns as u64,
+            "{mult}x: session gauge peaked at {peak_sessions} for {conns} \
+             connections — shed requests must not allocate sessions"
+        );
+        (result, peak_sessions)
+    };
+
+    // The structural properties (nothing fails, counters reconcile, no
+    // session allocation for sheds) are asserted inside `run` on every
+    // attempt. The P999 *ratio* is a wall-clock tail statistic over a
+    // few thousand samples — on a small/shared box one straggler epoch
+    // on either side swings it — so it gets a bounded best-of-3.
+    let mut worst = 0.0f64;
+    for attempt in 1..=3 {
+        let (base, _) = run(1);
+        let (over, over_peak_sessions) = run(4);
+
+        assert!(
+            over.shed > 0,
+            "4x the budget-sized baseline must shed (admitted {}, shed {})",
+            over.perf.updates,
+            over.shed
+        );
+        let base_p999 = base.perf.histogram.quantile_ns(0.999).max(1);
+        let over_p999 = over.perf.histogram.quantile_ns(0.999);
+        let ratio = over_p999 as f64 / base_p999 as f64;
+        println!(
+            "attempt {attempt}: admitted P999 baseline {base_p999} ns, 4x {over_p999} ns \
+             ({ratio:.2}x); 4x shed {} of {} offered, peak sessions {over_peak_sessions}",
+            over.shed,
+            over.perf.updates + over.shed,
+        );
+        if ratio <= 2.0 {
+            return;
+        }
+        worst = worst.max(ratio);
+    }
+    panic!(
+        "admitted-traffic P999 must stay within 2x of baseline under 4x \
+         offered concurrency in at least one of 3 attempts (worst {worst:.2}x)"
+    );
+}

@@ -35,6 +35,30 @@ pub enum Error {
     Protocol(String),
     /// The engine has been shut down.
     Shutdown,
+    /// A replication subscribe asked for feed records that were
+    /// evicted past the retention floor. Nothing below the floor will
+    /// ever be streamed again; the follower must reset to fresh state
+    /// and re-subscribe at offset 0 to take the snapshot bootstrap.
+    FeedTruncated {
+        /// The offset the follower asked to resume from.
+        requested: u64,
+        /// The feed's current retention floor.
+        floor: u64,
+    },
+    /// The server shed this request instead of queueing it: an
+    /// admission budget or quota is exhausted, or the serving tier is
+    /// over its high-water mark. Retryable — the request was never
+    /// admitted, so no state changed on the server.
+    Busy(String),
+}
+
+impl Error {
+    /// `true` for errors that indicate transient overload rather than
+    /// a semantic failure: the same request may succeed if retried
+    /// after backoff. Only [`Error::Busy`] qualifies today.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, Error::Busy(_))
+    }
 }
 
 impl fmt::Display for Error {
@@ -55,6 +79,12 @@ impl fmt::Display for Error {
             Error::Corruption(msg) => write!(f, "store corruption: {msg}"),
             Error::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             Error::Shutdown => write!(f, "engine has shut down"),
+            Error::FeedTruncated { requested, floor } => write!(
+                f,
+                "feed records from {requested} evicted (retention floor {floor}); \
+                 only a fresh follower (offset 0) can bootstrap from the snapshot"
+            ),
+            Error::Busy(msg) => write!(f, "server busy: {msg}"),
         }
     }
 }
@@ -89,6 +119,12 @@ mod tests {
             Error::Corruption("desync".into()).to_string(),
             Error::Protocol("bad crc".into()).to_string(),
             Error::Shutdown.to_string(),
+            Error::FeedTruncated {
+                requested: 3,
+                floor: 9,
+            }
+            .to_string(),
+            Error::Busy("inflight budget exhausted".into()).to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());
@@ -96,6 +132,13 @@ mod tests {
         assert!(Error::EdgeNotFound(Edge::new(1, 2, 9))
             .to_string()
             .contains("1->2"));
+    }
+
+    #[test]
+    fn busy_is_the_only_retryable_error() {
+        assert!(Error::Busy("quota".into()).is_busy());
+        assert!(!Error::Shutdown.is_busy());
+        assert!(!Error::Wal("io".into()).is_busy());
     }
 
     #[test]

@@ -121,6 +121,7 @@ const RE_HEARTBEAT: u8 = 0x91;
 const RE_SNAPSHOT_CHUNK: u8 = 0x92;
 const RE_SNAPSHOT_DONE: u8 = 0x93;
 const RE_HELLO: u8 = 0x94;
+const RE_BUSY: u8 = 0x95;
 
 // Metric-entry kind tags inside a [`Response::Metrics`] body. Each
 // entry carries an explicit byte length, so a decoder skips kinds it
@@ -290,6 +291,10 @@ impl WireError {
             Error::Corruption(m) => (9, [0, 0, 0], m.clone()),
             Error::Protocol(m) => (10, [0, 0, 0], m.clone()),
             Error::Shutdown => (11, [0, 0, 0], String::new()),
+            Error::Busy(m) => (12, [0, 0, 0], m.clone()),
+            Error::FeedTruncated { requested, floor } => {
+                (13, [*requested, *floor, 0], String::new())
+            }
         };
         WireError {
             code,
@@ -313,8 +318,69 @@ impl WireError {
             9 => Error::Corruption(self.message.clone()),
             10 => Error::Protocol(self.message.clone()),
             11 => Error::Shutdown,
+            12 => Error::Busy(self.message.clone()),
+            13 => Error::FeedTruncated {
+                requested: a,
+                floor: b,
+            },
             other => Error::Protocol(format!("unknown wire error code {other}")),
         }
+    }
+}
+
+/// Why the server shed a request or evicted a connection — carried by
+/// [`Response::Busy`] so clients (and operators reading logs) can
+/// distinguish *which* admission limit fired. Protocol v2 only: a v1
+/// client is never sent a `Busy` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusyCause {
+    /// The global in-flight update budget
+    /// (`RISGRAPH_NET_INFLIGHT_BUDGET`) is exhausted.
+    InflightBudget,
+    /// This session's in-flight quota (`RISGRAPH_NET_SESSION_QUOTA`)
+    /// is exhausted.
+    SessionQuota,
+    /// The serving tier is over a high-water mark (worker inbox depth
+    /// or ready backlog) — new connections/sessions are being gated.
+    Overloaded,
+    /// The connection was evicted (send/reply starvation timeout).
+    /// Rides the req-id-0 connection-level error path rather than a
+    /// per-request reply.
+    Evicted,
+}
+
+impl BusyCause {
+    /// Stable wire tag.
+    pub fn code(self) -> u8 {
+        match self {
+            BusyCause::InflightBudget => 1,
+            BusyCause::SessionQuota => 2,
+            BusyCause::Overloaded => 3,
+            BusyCause::Evicted => 4,
+        }
+    }
+
+    /// Decode a wire tag (unknown tags fold to [`BusyCause::Overloaded`]
+    /// — the generic "server too busy" reading keeps old clients
+    /// forward-compatible with new causes).
+    pub fn from_code(code: u8) -> BusyCause {
+        match code {
+            1 => BusyCause::InflightBudget,
+            2 => BusyCause::SessionQuota,
+            4 => BusyCause::Evicted,
+            _ => BusyCause::Overloaded,
+        }
+    }
+}
+
+impl std::fmt::Display for BusyCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BusyCause::InflightBudget => "inflight-budget",
+            BusyCause::SessionQuota => "session-quota",
+            BusyCause::Overloaded => "overloaded",
+            BusyCause::Evicted => "evicted",
+        })
     }
 }
 
@@ -448,6 +514,17 @@ pub enum Response {
     Hello {
         /// The negotiated protocol version.
         version: u32,
+    },
+    /// The request was shed by admission control instead of being
+    /// queued (v2 only — v1 clients keep the pre-admission park/
+    /// connection-error behavior and never see this opcode). The
+    /// request was not admitted: no session was allocated, the epoch
+    /// loop never saw it, and a retry after backoff is safe.
+    Busy {
+        /// Which admission limit fired.
+        cause: BusyCause,
+        /// Operator-facing detail (limit values, occupancy).
+        message: String,
     },
 }
 
@@ -888,6 +965,11 @@ impl Response {
                 buf.push(RE_HELLO);
                 put_u32(&mut buf, *version);
             }
+            Response::Busy { cause, message } => {
+                buf.push(RE_BUSY);
+                buf.push(cause.code());
+                put_string(&mut buf, message);
+            }
         }
         buf
     }
@@ -1072,6 +1154,10 @@ impl Response {
                 resume_version: c.u64()?,
             },
             RE_HELLO => Response::Hello { version: c.u32()? },
+            RE_BUSY => Response::Busy {
+                cause: BusyCause::from_code(c.u8()?),
+                message: c.string()?,
+            },
             other => {
                 return Err(Error::Protocol(format!("unknown response opcode {other}")));
             }
@@ -1334,6 +1420,37 @@ mod tests {
         roundtrip_response(Response::Hello {
             version: PROTOCOL_VERSION,
         });
+        roundtrip_response(Response::Busy {
+            cause: BusyCause::InflightBudget,
+            message: "inflight budget 8 exhausted".into(),
+        });
+        roundtrip_response(Response::Busy {
+            cause: BusyCause::SessionQuota,
+            message: String::new(),
+        });
+        roundtrip_response(Response::Busy {
+            cause: BusyCause::Overloaded,
+            message: "inbox over high-water".into(),
+        });
+        roundtrip_response(Response::Busy {
+            cause: BusyCause::Evicted,
+            message: "send starvation".into(),
+        });
+    }
+
+    #[test]
+    fn busy_cause_codes_are_stable_and_total() {
+        for cause in [
+            BusyCause::InflightBudget,
+            BusyCause::SessionQuota,
+            BusyCause::Overloaded,
+            BusyCause::Evicted,
+        ] {
+            assert_eq!(BusyCause::from_code(cause.code()), cause);
+            assert!(!cause.to_string().is_empty());
+        }
+        // Unknown future causes fold to the generic reading.
+        assert_eq!(BusyCause::from_code(250), BusyCause::Overloaded);
     }
 
     #[test]
@@ -1445,6 +1562,11 @@ mod tests {
             Error::Corruption("desync".into()),
             Error::Protocol("bad crc".into()),
             Error::Shutdown,
+            Error::Busy("inflight budget exhausted".into()),
+            Error::FeedTruncated {
+                requested: 3,
+                floor: 9,
+            },
         ];
         for e in errors {
             let wire = WireError::from_error(&e);

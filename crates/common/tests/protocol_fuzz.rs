@@ -9,8 +9,8 @@ use proptest::prelude::*;
 use risgraph_common::ids::{Edge, Update};
 use risgraph_common::metrics::{HistogramSummary, MetricValue};
 use risgraph_common::protocol::{
-    read_frame, write_frame, FeedRecord, Request, Response, StatsReport, WireError, FRAME_HEADER,
-    MAX_FRAME, MAX_RESPONSE_FRAME,
+    read_frame, write_frame, BusyCause, FeedRecord, Request, Response, StatsReport, WireError,
+    FRAME_HEADER, MAX_FRAME, MAX_RESPONSE_FRAME,
 };
 use risgraph_common::Error;
 
@@ -49,7 +49,7 @@ fn sample_request(pick: u64, a: u64, b: u64, c: u64) -> Vec<u8> {
 
 /// A valid response payload, parameterized by the fuzz inputs.
 fn sample_response(pick: u64, a: u64, b: u64, c: u64) -> Vec<u8> {
-    let resp = match pick % 10 {
+    let resp = match pick % 11 {
         8 => Response::Hello { version: a as u32 },
         0 => Response::Applied {
             version: a,
@@ -76,6 +76,10 @@ fn sample_response(pick: u64, a: u64, b: u64, c: u64) -> Vec<u8> {
             safe_updates: vec![Update::InsEdge(Edge::new(a, b, c)), Update::DelVertex(c)],
             unsafe_groups: vec![vec![Update::InsEdge(Edge::new(b, c, a))], vec![]],
         }),
+        10 => Response::Busy {
+            cause: BusyCause::from_code((b % 7) as u8),
+            message: format!("fuzz busy {c}"),
+        },
         9 => Response::Metrics(vec![
             (format!("core.fuzz_{b}"), MetricValue::Counter(a)),
             ("net.worker.0.sessions".into(), MetricValue::Gauge(c)),
@@ -386,6 +390,78 @@ proptest! {
         let (got_id, got) = Response::decode(&body).unwrap();
         prop_assert_eq!(got_id, req_id);
         prop_assert_eq!(got, Response::Metrics(vec![]));
+    }
+
+    /// Busy frames roundtrip for every cause and message (empty ones
+    /// included), and a forged frame carrying an *unknown* cause byte
+    /// decodes totally by folding to `Overloaded` — a newer server's
+    /// new shed causes keep their retry semantics on old clients.
+    #[test]
+    fn busy_frames_roundtrip_and_unknown_causes_fold_to_overloaded(
+        req_id in 0..u64::MAX,
+        code in 0..=255u8,
+        msg_seed in 0..1000u64,
+    ) {
+        let message = if msg_seed % 7 == 0 {
+            String::new()
+        } else {
+            format!("busy {msg_seed}")
+        };
+        let resp = Response::Busy {
+            cause: BusyCause::from_code(code),
+            message: message.clone(),
+        };
+        prop_assert_eq!(
+            Response::decode(&resp.encode(req_id)).unwrap(),
+            (req_id, resp)
+        );
+        // Forge the raw frame with the arbitrary cause byte.
+        let mut body = Vec::new();
+        body.extend_from_slice(&req_id.to_le_bytes());
+        body.push(0x95); // RE_BUSY
+        body.push(code);
+        body.extend_from_slice(&(message.len() as u32).to_le_bytes());
+        body.extend_from_slice(message.as_bytes());
+        match Response::decode(&body) {
+            Ok((got_id, Response::Busy { cause, message: got_msg })) => {
+                prop_assert_eq!(got_id, req_id);
+                prop_assert_eq!(got_msg, message);
+                if !(1..=4).contains(&code) {
+                    prop_assert_eq!(cause, BusyCause::Overloaded);
+                }
+            }
+            other => return Err(format!("forged busy (cause {code}) decoded as {other:?}")),
+        }
+    }
+
+    /// The v1-never-sees-Busy contract at the wire level: `Busy` owns
+    /// its opcode exclusively, so no response a v1-faithful server
+    /// emits — the entire pre-admission surface — can alias into a
+    /// Busy frame. Every sampled non-Busy response must carry a
+    /// different opcode byte; a v1 client can only receive a Busy
+    /// frame if the server deliberately encodes one.
+    #[test]
+    fn no_v1_surface_response_aliases_into_busy(
+        pick in 0..90u64,
+        a in 0..u64::MAX,
+        b in 0..1000u64,
+        c in 0..1000u64,
+    ) {
+        let payload = sample_response(pick, a, b, c);
+        let is_busy_frame = payload[8] == 0x95; // opcode follows req_id
+        let decodes_busy = matches!(
+            Response::decode(&payload),
+            Ok((_, Response::Busy { .. }))
+        );
+        prop_assert_eq!(
+            is_busy_frame,
+            decodes_busy,
+            "opcode 0x95 must be exactly the Busy frames (pick {})",
+            pick
+        );
+        if pick % 11 != 10 {
+            prop_assert!(!decodes_busy, "non-Busy sample decoded as Busy");
+        }
     }
 
     /// `Hello` may not ride inside a session wrapper: negotiation is

@@ -603,6 +603,46 @@ impl Replica {
         Ok(())
     }
 
+    /// Reset this replica to **fresh** state: empty structure, empty
+    /// history, version and applied-record watermarks back to 0 — as
+    /// if it had just been constructed. The recovery path for a
+    /// follower whose subscribe offset fell below the leader feed's
+    /// retention floor (`Error::FeedTruncated`): nothing below the
+    /// floor will ever be streamed again, so the only way forward is
+    /// to re-subscribe at offset 0 and take the snapshot bootstrap —
+    /// which [`Replica::install_snapshot`] only permits on a fresh
+    /// replica. Edges are removed structure-only (fast path); vertices
+    /// go through the incremental unsafe path so every algorithm's
+    /// result state is reset alongside the structure.
+    pub fn reset(&self) -> Result<()> {
+        let _gate = self.gate.write();
+        self.needs_recompute.store(false, Ordering::Release);
+        // Export order is vertices-then-edges; undo in reverse so
+        // every vertex is isolated by the time it is deleted.
+        for u in self.engine.export_structure().iter().rev() {
+            match u {
+                Update::InsEdge(e) => {
+                    self.engine.apply_structure(&Update::DelEdge(*e))?;
+                }
+                Update::InsVertex(v) => {
+                    self.engine.apply_unsafe(&Update::DelVertex(*v))?;
+                }
+                other => {
+                    return Err(Error::Corruption(format!(
+                        "structure export produced a non-insert update {other:?}"
+                    )));
+                }
+            }
+        }
+        let capacity = self.engine.capacity();
+        for h in &self.history {
+            *h.lock() = HistoryStore::new(capacity);
+        }
+        self.version.store(0, Ordering::Release);
+        self.applied_records.store(0, Ordering::Release);
+        Ok(())
+    }
+
     fn check_version(&self, version: VersionId) -> Result<()> {
         if version > self.version.load(Ordering::Acquire) {
             return Err(Error::VersionNotFound(version));

@@ -96,6 +96,12 @@ impl NetClient {
                 version: max_version,
             })? {
                 Response::Hello { version } => version.clamp(1, max_version),
+                // Admission gating: the server is shedding new
+                // sessions. Surface the typed retryable error — never
+                // silently downgrade to v1, the peer clearly speaks v2.
+                Response::Busy { cause, message } => {
+                    return Err(busy_err(cause, &message));
+                }
                 // A peer that refuses Hello still speaks v1 (e.g. a
                 // replica predating negotiation); stay unwrapped.
                 Response::Failed { .. } => 1,
@@ -143,6 +149,15 @@ impl NetClient {
                                 break format!(
                                     "server closed the connection: {}",
                                     error.to_error()
+                                );
+                            }
+                            // Defensive twin of the above: an id-0
+                            // Busy (connection-level shed/eviction) is
+                            // also a death sentence for every waiter.
+                            Ok((0, Response::Busy { cause, message })) => {
+                                break format!(
+                                    "server closed the connection: {}",
+                                    busy_err(cause, &message)
                                 );
                             }
                             Ok((req_id, resp)) => {
@@ -300,6 +315,7 @@ impl NetClient {
         })? {
             Response::Value(v) => Ok(v),
             Response::Failed { error, .. } => Err(error.to_error()),
+            Response::Busy { cause, message } => Err(busy_err(cause, &message)),
             other => Err(Error::Protocol(format!(
                 "get_value reply has wrong shape: {other:?}"
             ))),
@@ -320,6 +336,7 @@ impl NetClient {
         })? {
             Response::Parent(p) => Ok(p),
             Response::Failed { error, .. } => Err(error.to_error()),
+            Response::Busy { cause, message } => Err(busy_err(cause, &message)),
             other => Err(Error::Protocol(format!(
                 "get_parent reply has wrong shape: {other:?}"
             ))),
@@ -331,6 +348,7 @@ impl NetClient {
         match self.call(&Request::GetModified { algo, version })? {
             Response::Modified(vs) => Ok(vs),
             Response::Failed { error, .. } => Err(error.to_error()),
+            Response::Busy { cause, message } => Err(busy_err(cause, &message)),
             other => Err(Error::Protocol(format!(
                 "get_modified reply has wrong shape: {other:?}"
             ))),
@@ -342,6 +360,7 @@ impl NetClient {
         match self.call(&Request::CurrentVersion)? {
             Response::Version(v) => Ok(v),
             Response::Failed { error, .. } => Err(error.to_error()),
+            Response::Busy { cause, message } => Err(busy_err(cause, &message)),
             other => Err(Error::Protocol(format!(
                 "current_version reply has wrong shape: {other:?}"
             ))),
@@ -354,6 +373,7 @@ impl NetClient {
         match self.call(&Request::Release(version))? {
             Response::Released => Ok(()),
             Response::Failed { error, .. } => Err(error.to_error()),
+            Response::Busy { cause, message } => Err(busy_err(cause, &message)),
             other => Err(Error::Protocol(format!(
                 "release reply has wrong shape: {other:?}"
             ))),
@@ -365,6 +385,7 @@ impl NetClient {
         match self.call(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
             Response::Failed { error, .. } => Err(error.to_error()),
+            Response::Busy { cause, message } => Err(busy_err(cause, &message)),
             other => Err(Error::Protocol(format!(
                 "stats reply has wrong shape: {other:?}"
             ))),
@@ -380,11 +401,18 @@ impl NetClient {
         match self.call(&Request::Metrics)? {
             Response::Metrics(m) => Ok(m),
             Response::Failed { error, .. } => Err(error.to_error()),
+            Response::Busy { cause, message } => Err(busy_err(cause, &message)),
             other => Err(Error::Protocol(format!(
                 "metrics reply has wrong shape: {other:?}"
             ))),
         }
     }
+}
+
+/// A shed reply as the typed, retryable [`Error::Busy`] — callers can
+/// match [`Error::is_busy`] and resubmit after backoff.
+fn busy_err(cause: risgraph_common::protocol::BusyCause, message: &str) -> Error {
+    Error::Busy(format!("{cause}: {message}"))
 }
 
 /// Translate an update/txn [`Response`] into a [`NetReply`].
@@ -404,6 +432,13 @@ fn to_net_reply(resp: Response) -> Result<NetReply> {
         Response::Failed { version, error } => Ok(NetReply {
             version,
             outcome: Err(error.to_error()),
+        }),
+        // Admission shed: the update was never admitted (no version
+        // was consumed — `version` reports 0), and a retry after
+        // backoff is safe.
+        Response::Busy { cause, message } => Ok(NetReply {
+            version: 0,
+            outcome: Err(busy_err(cause, &message)),
         }),
         other => Err(Error::Protocol(format!(
             "update reply has wrong shape: {other:?}"
@@ -472,6 +507,7 @@ impl SessionHandle<'_> {
         })? {
             Response::Value(v) => Ok(v),
             Response::Failed { error, .. } => Err(error.to_error()),
+            Response::Busy { cause, message } => Err(busy_err(cause, &message)),
             other => Err(Error::Protocol(format!(
                 "get_value reply has wrong shape: {other:?}"
             ))),
@@ -492,6 +528,7 @@ impl SessionHandle<'_> {
         })? {
             Response::Parent(p) => Ok(p),
             Response::Failed { error, .. } => Err(error.to_error()),
+            Response::Busy { cause, message } => Err(busy_err(cause, &message)),
             other => Err(Error::Protocol(format!(
                 "get_parent reply has wrong shape: {other:?}"
             ))),
@@ -503,6 +540,7 @@ impl SessionHandle<'_> {
         match self.call(&Request::GetModified { algo, version })? {
             Response::Modified(vs) => Ok(vs),
             Response::Failed { error, .. } => Err(error.to_error()),
+            Response::Busy { cause, message } => Err(busy_err(cause, &message)),
             other => Err(Error::Protocol(format!(
                 "get_modified reply has wrong shape: {other:?}"
             ))),
@@ -514,6 +552,7 @@ impl SessionHandle<'_> {
         match self.call(&Request::Release(version))? {
             Response::Released => Ok(()),
             Response::Failed { error, .. } => Err(error.to_error()),
+            Response::Busy { cause, message } => Err(busy_err(cause, &message)),
             other => Err(Error::Protocol(format!(
                 "release reply has wrong shape: {other:?}"
             ))),

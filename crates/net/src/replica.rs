@@ -104,6 +104,12 @@ pub struct FollowerStats {
     /// Snapshot bootstraps installed (a fresh subscribe that found the
     /// feed's genesis evicted past a leader checkpoint).
     pub snapshot_bootstraps: Arc<Counter>,
+    /// Self-resets to fresh state after the leader reported the
+    /// subscribe offset evicted below the feed's retention floor
+    /// (`FeedTruncated`) — each one is followed by a fresh subscribe
+    /// that takes the snapshot bootstrap path, so the follower
+    /// reconverges without manual intervention.
+    pub feed_resets: Arc<Counter>,
 }
 
 impl FollowerStats {
@@ -117,6 +123,7 @@ impl FollowerStats {
             stream_errors: registry.counter("replica.stream_errors"),
             rejections: registry.counter("replica.rejections"),
             snapshot_bootstraps: registry.counter("replica.snapshot_bootstraps"),
+            feed_resets: registry.counter("replica.feed_resets"),
         }
     }
 }
@@ -409,13 +416,39 @@ fn follower_loop(
                             break;
                         }
                     },
-                    Ok((_, Response::Failed { .. })) => {
-                        // The leader refused the subscription (slots
-                        // full, replication disabled). Keep retrying on
-                        // a long backoff — a slot may free up — but
-                        // count it.
+                    Ok((_, Response::Failed { error, .. })) => {
                         stats.rejections.fetch_add(1, Ordering::Relaxed);
-                        rejected = true;
+                        if let Error::FeedTruncated { .. } = error.to_error() {
+                            // The feed's retention floor passed our
+                            // watermark while we were disconnected:
+                            // nothing below it will ever be streamed
+                            // again, and re-subscribing at the same
+                            // offset would be refused forever (the old
+                            // wedge-until-restart bug). Reset to fresh
+                            // and re-subscribe at 0 — the next connect
+                            // takes the snapshot bootstrap path.
+                            match replica.reset() {
+                                Ok(()) => {
+                                    stats.feed_resets.fetch_add(1, Ordering::Relaxed);
+                                    // Not a policy refusal: retry on
+                                    // the fast cadence, the fresh
+                                    // subscribe will be served.
+                                }
+                                Err(_) => {
+                                    // A partial reset is retried on
+                                    // the next FeedTruncated refusal
+                                    // (reset is restartable).
+                                    stats.stream_errors.fetch_add(1, Ordering::Relaxed);
+                                    rejected = true;
+                                }
+                            }
+                        } else {
+                            // The leader refused the subscription
+                            // (slots full, replication disabled). Keep
+                            // retrying on a long backoff — a slot may
+                            // free up — but count it.
+                            rejected = true;
+                        }
                         break;
                     }
                     Ok(_) => {

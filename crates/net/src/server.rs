@@ -32,10 +32,10 @@ use std::time::{Duration, Instant};
 
 use risgraph_common::hash::FxHashMap;
 use risgraph_common::ids::Update;
-use risgraph_common::metrics::{Gauge, Phase};
+use risgraph_common::metrics::{Counter, Gauge, Phase, Registry};
 use risgraph_common::protocol::{
-    encode_wal_epoch, write_frame, Request, Response, StatsReport, WireError, FRAME_HEADER,
-    MAX_FRAME, MAX_RESPONSE_FRAME, PROTOCOL_VERSION,
+    encode_wal_epoch, write_frame, BusyCause, Request, Response, StatsReport, WireError,
+    FRAME_HEADER, MAX_FRAME, MAX_RESPONSE_FRAME, PROTOCOL_VERSION,
 };
 use risgraph_common::{Error, Result};
 use risgraph_core::engine::{DynAlgorithm, Safety};
@@ -88,6 +88,25 @@ pub struct NetConfig {
     /// multiplexing). Exceeding it fails the offending request; the
     /// connection stays up.
     pub max_sessions_per_conn: usize,
+    /// Global admission budget: updates in flight across **all**
+    /// connections and workers. Once exhausted, v2 connections get a
+    /// [`Response::Busy`] shed (cheap: no session allocation, no epoch-
+    /// loop touch) while v1 connections park under TCP backpressure —
+    /// byte-compatible with the pre-admission protocol. `0` disables
+    /// the budget. Env override: `RISGRAPH_NET_INFLIGHT_BUDGET`.
+    pub inflight_budget: usize,
+    /// Per logical (v2) session cap on in-flight updates, keyed by the
+    /// wire session id. Exceeding it sheds that request with
+    /// [`Response::Busy`] without touching the others. `0` disables
+    /// the quota. Env override: `RISGRAPH_NET_SESSION_QUOTA`.
+    pub session_quota: usize,
+    /// High-water mark on a worker's un-adopted inbox plus ready
+    /// backlog. While over it, new connections are refused with a
+    /// best-effort connection-level error before any state is
+    /// allocated, and `Hello` is answered with [`Response::Busy`].
+    /// `0` disables the gate. Env override:
+    /// `RISGRAPH_NET_ACCEPT_HIGH_WATER`.
+    pub accept_high_water: usize,
 }
 
 impl Default for NetConfig {
@@ -108,6 +127,9 @@ impl Default for NetConfig {
             reply_timeout: env_millis("RISGRAPH_NET_REPLY_TIMEOUT_MS")
                 .unwrap_or(Duration::from_secs(30)),
             max_sessions_per_conn: 1 << 16,
+            inflight_budget: env_usize("RISGRAPH_NET_INFLIGHT_BUDGET").unwrap_or(0),
+            session_quota: env_usize("RISGRAPH_NET_SESSION_QUOTA").unwrap_or(0),
+            accept_high_water: env_usize("RISGRAPH_NET_ACCEPT_HIGH_WATER").unwrap_or(4096),
         }
     }
 }
@@ -157,6 +179,76 @@ struct WorkerGauges {
     ready_backlog: Arc<Gauge>,
 }
 
+/// Process-wide admission state, shared by every worker. The global
+/// occupancy counter is the single synchronization point between
+/// workers; everything else is monitoring (registry counters under
+/// `net.admission.*`).
+struct Admission {
+    /// Updates admitted and not yet answered, across all connections.
+    inflight: AtomicUsize,
+    admitted: Arc<Counter>,
+    shed_budget: Arc<Counter>,
+    shed_quota: Arc<Counter>,
+    shed_overload: Arc<Counter>,
+    evicted: Arc<Counter>,
+    occupancy: Arc<Gauge>,
+}
+
+impl Admission {
+    fn registered(registry: &Registry) -> Admission {
+        Admission {
+            inflight: AtomicUsize::new(0),
+            admitted: registry.counter("net.admission.admitted"),
+            shed_budget: registry.counter("net.admission.shed_budget"),
+            shed_quota: registry.counter("net.admission.shed_quota"),
+            shed_overload: registry.counter("net.admission.shed_overload"),
+            evicted: registry.counter("net.admission.evicted"),
+            occupancy: registry.gauge("net.admission.inflight"),
+        }
+    }
+
+    /// Reserve one budget slot. With `budget == 0` (unlimited) the
+    /// occupancy is still tracked so the gauge stays meaningful.
+    fn try_acquire(&self, budget: usize) -> bool {
+        if budget == 0 {
+            let v = self.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+            self.occupancy.store(v as u64, Ordering::Relaxed);
+            return true;
+        }
+        let mut cur = self.inflight.load(Ordering::Acquire);
+        loop {
+            if cur >= budget {
+                return false;
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.occupancy.store(cur as u64 + 1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Return `n` budget slots (replies delivered, or a teardown
+    /// abandoning a connection's remaining in-flight share).
+    fn release(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let v = self
+            .inflight
+            .fetch_sub(n, Ordering::AcqRel)
+            .saturating_sub(n);
+        self.occupancy.store(v as u64, Ordering::Relaxed);
+    }
+}
+
 /// A TCP serving front end wrapping one [`Server`].
 pub struct NetServer {
     server: Option<Arc<Server>>,
@@ -190,6 +282,7 @@ impl NetServer {
             .map_err(|e| Error::Protocol(format!("nonblocking listener: {e}")))?;
         let server = Arc::new(server);
         let shutdown = Arc::new(AtomicBool::new(false));
+        let admission = Arc::new(Admission::registered(server.metrics()));
 
         let num_workers = net.net_workers.max(1);
         let mut workers = Vec::with_capacity(num_workers);
@@ -217,6 +310,7 @@ impl NetServer {
                     server: Arc::clone(&server),
                     net: net.clone(),
                     shared: Arc::clone(shared),
+                    admission: Arc::clone(&admission),
                     poller,
                 },
                 gauges: WorkerGauges {
@@ -379,7 +473,25 @@ struct Ctx {
     server: Arc<Server>,
     net: NetConfig,
     shared: Arc<WorkerShared>,
+    admission: Arc<Admission>,
     poller: Poller,
+}
+
+impl Ctx {
+    /// Is this worker's choke point over the accept high-water mark?
+    /// (un-adopted handoffs plus reply backlog — the two queues that
+    /// grow when the worker cannot keep up).
+    fn over_high_water(&self) -> bool {
+        let hw = self.net.accept_high_water;
+        if hw == 0 {
+            return false;
+        }
+        let inbox = self.shared.inbox.lock().unwrap().len();
+        if inbox > hw {
+            return true;
+        }
+        inbox + self.shared.ready.lock().unwrap().len() > hw
+    }
 }
 
 /// One logical session on a connection: its core session plus the
@@ -389,6 +501,9 @@ struct Ctx {
 struct SessState {
     core: Arc<CoreSession>,
     queued: Arc<AtomicBool>,
+    /// Updates submitted on this session and not yet answered — the
+    /// occupancy the per-session admission quota is checked against.
+    inflight: usize,
 }
 
 /// An update parked because the in-flight window is full. Parsing
@@ -452,6 +567,10 @@ struct Conn {
     last_progress: Instant,
     reply_starved_since: Option<Instant>,
     sub: Option<SubState>,
+    /// Set when the connection was evicted (send/reply starvation):
+    /// the notice frame is in `wbuf` and the connection gets one more
+    /// `send_timeout` of grace to read it before the hard teardown.
+    evicting: Option<Instant>,
     dead: bool,
 }
 
@@ -473,6 +592,7 @@ impl Conn {
             last_progress: Instant::now(),
             reply_starved_since: None,
             sub: None,
+            evicting: None,
             dead: false,
         }
     }
@@ -634,13 +754,14 @@ impl Conn {
             SessState {
                 core: Arc::clone(&core),
                 queued,
+                inflight: 0,
             },
         );
         Ok(core)
     }
 
     /// Pull every ready reply for `sid` into the write buffer.
-    fn drain_session(&mut self, sid: u64) {
+    fn drain_session(&mut self, ctx: &Ctx, sid: u64) {
         let Some(st) = self.sessions.get(&sid) else {
             return;
         };
@@ -648,17 +769,69 @@ impl Conn {
         // the drain below re-fires the waker instead of being lost.
         st.queued.store(false, Ordering::Release);
         let core = Arc::clone(&st.core);
+        let mut drained = 0usize;
         while let Some((req_id, reply)) = core.try_recv_tagged() {
+            drained += 1;
             self.inflight = self.inflight.saturating_sub(1);
             self.reply_starved_since = None;
             self.enqueue(reply_to_response(reply).encode(req_id));
         }
+        if drained > 0 {
+            if let Some(st) = self.sessions.get_mut(&sid) {
+                st.inflight = st.inflight.saturating_sub(drained);
+            }
+            ctx.admission.release(drained);
+        }
     }
 
-    /// Submit an update op, or park it when the window is full.
-    /// Returns `false` when frame processing must stop.
+    /// Shed one request with a [`Response::Busy`] — the v2-only cheap
+    /// reject: encoded straight from the reader path, no session
+    /// allocated, the epoch loop never touched.
+    fn shed(&mut self, req_id: u64, cause: BusyCause, message: String) {
+        self.enqueue(Response::Busy { cause, message }.encode(req_id));
+    }
+
+    /// Submit an update op, shed it (v2 over an admission limit), or
+    /// park it (window full, or a v1 connection over the global
+    /// budget). Returns `false` when frame processing must stop.
     fn submit_or_park(&mut self, ctx: &Ctx, req_id: u64, sid: u64, op: Op) -> bool {
         if self.inflight >= ctx.net.window.max(1) {
+            self.pending = Some(PendingOp { req_id, sid, op });
+            return false;
+        }
+        // Admission — checked before any session is allocated, so a
+        // shed request costs this connection's buffers and nothing
+        // else. Order: per-session quota (no global effect) first,
+        // then the global budget reservation.
+        let quota = ctx.net.session_quota;
+        if quota != 0
+            && self.proto_version >= 2
+            && self.sessions.get(&sid).is_some_and(|s| s.inflight >= quota)
+        {
+            ctx.admission.shed_quota.fetch_add(1, Ordering::Relaxed);
+            self.shed(
+                req_id,
+                BusyCause::SessionQuota,
+                format!("session {sid} is at its in-flight quota ({quota})"),
+            );
+            return true;
+        }
+        if !ctx.admission.try_acquire(ctx.net.inflight_budget) {
+            if self.proto_version >= 2 {
+                ctx.admission.shed_budget.fetch_add(1, Ordering::Relaxed);
+                self.shed(
+                    req_id,
+                    BusyCause::InflightBudget,
+                    format!(
+                        "global in-flight budget ({}) exhausted",
+                        ctx.net.inflight_budget
+                    ),
+                );
+                return true;
+            }
+            // v1 keeps the pre-admission wire behavior byte-for-byte:
+            // park and let TCP backpressure reach the client; the
+            // worker's housekeeping tick retries once budget frees.
             self.pending = Some(PendingOp { req_id, sid, op });
             return false;
         }
@@ -666,22 +839,30 @@ impl Conn {
         !self.read_closed || !self.dead
     }
 
+    /// Submit an op whose budget slot is already reserved; releases the
+    /// slot again on every non-submitted path.
     fn submit(&mut self, ctx: &Ctx, req_id: u64, sid: u64, op: Op) {
         let core = match self.session_core(ctx, sid) {
             Ok(c) => c,
             Err(e) => {
                 // Over the session cap: fail this request, keep the
                 // connection (its other sessions are healthy).
+                ctx.admission.release(1);
                 self.enqueue_failed(&ctx.server, req_id, &e);
                 return;
             }
         };
         if let Err(e) = core.submit_op_tagged(op, req_id) {
             // The coordinator is gone (shutdown): report and drain.
+            ctx.admission.release(1);
             self.enqueue_failed(&ctx.server, req_id, &e);
             self.begin_close();
         } else {
             self.inflight += 1;
+            if let Some(st) = self.sessions.get_mut(&sid) {
+                st.inflight += 1;
+            }
+            ctx.admission.admitted.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -698,11 +879,12 @@ impl Conn {
                 return;
             }
             if let Some(p) = self.pending.take() {
-                if self.inflight >= ctx.net.window.max(1) {
-                    self.pending = Some(p);
+                // Re-run the full admission gate: the park may have
+                // been window pressure or (v1) an exhausted global
+                // budget, and either may still hold.
+                if !self.submit_or_park(ctx, p.req_id, p.sid, p.op) {
                     return;
                 }
-                self.submit(ctx, p.req_id, p.sid, p.op);
                 continue;
             }
             if self.out_len() >= OUT_BUF_SOFT_CAP {
@@ -772,6 +954,20 @@ impl Conn {
         match request {
             Request::Hello { version } => {
                 let negotiated = version.clamp(1, PROTOCOL_VERSION);
+                // HELLO gating: a new session arriving while this
+                // worker is over its high-water mark is turned away
+                // before any state is allocated. The peer announced
+                // v2 by sending Hello at all, so Busy is safe to send.
+                if negotiated >= 2 && ctx.over_high_water() {
+                    ctx.admission.shed_overload.fetch_add(1, Ordering::Relaxed);
+                    self.shed(
+                        req_id,
+                        BusyCause::Overloaded,
+                        "serving tier over its high-water mark; retry after backoff".into(),
+                    );
+                    self.begin_close();
+                    return false;
+                }
                 self.proto_version = negotiated;
                 self.enqueue(
                     Response::Hello {
@@ -947,20 +1143,21 @@ impl Conn {
         if sub.next < sub.feed.base() {
             // The requested records were evicted past a checkpoint. A
             // fresh follower bootstraps from the snapshot; a mid-stream
-            // one cannot (its local state is not the snapshot's), so
-            // until follower snapshot shipping exists the rejection is
-            // final.
+            // one cannot (its local state is not the snapshot's). The
+            // structured `FeedTruncated` rejection tells the follower
+            // to reset itself to fresh and re-subscribe at 0 — the
+            // follower-side recovery `ReplicaServer` performs
+            // automatically.
             if from != 0 {
                 let floor = sub.feed.base();
                 sub.feed.unregister(sub.slot);
                 self.enqueue_failed(
                     &ctx.server,
                     req_id,
-                    &Error::Protocol(format!(
-                        "subscribe offset {from} is below the feed's retention \
-                         floor ({floor}); only a fresh follower (offset 0) can \
-                         bootstrap from the snapshot"
-                    )),
+                    &Error::FeedTruncated {
+                        requested: from,
+                        floor,
+                    },
                 );
                 return true;
             }
@@ -1110,7 +1307,9 @@ impl Conn {
     fn service(&mut self, ctx: &Ctx) {
         if !self.dead {
             self.process(ctx);
-            self.pump_sub(ctx);
+            if self.evicting.is_none() {
+                self.pump_sub(ctx);
+            }
             self.try_write();
             self.check_complete();
         }
@@ -1144,16 +1343,61 @@ impl Conn {
         }
     }
 
+    /// Evict this connection: stop reading, drop anything un-admitted,
+    /// and put a best-effort req-id-0 connection-level error — the
+    /// same channel the malformed-frame path uses, carrying a Busy-
+    /// coded [`WireError`] — at the tail of the write buffer, so every
+    /// client waiter's death reason names the eviction instead of a
+    /// bare connection reset. The frame is *appended* (never replaces
+    /// `wbuf` — `wpos` may sit mid-frame and clearing would desync the
+    /// peer's framing); a reader that resumes receives its backlog and
+    /// then the notice, a truly dead one is torn down when the grace
+    /// period lapses.
+    fn evict(&mut self, ctx: &Ctx, now: Instant, detail: String) {
+        ctx.admission.evicted.fetch_add(1, Ordering::Relaxed);
+        // A parked op was never admitted (holds no budget): drop it.
+        self.pending = None;
+        self.begin_close();
+        self.enqueue_failed(
+            &ctx.server,
+            0,
+            &Error::Busy(format!("connection evicted: {detail}")),
+        );
+        self.reply_starved_since = None;
+        self.evicting = Some(now);
+    }
+
     /// Timer-driven checks, run on the worker's tick.
     fn housekeep(&mut self, ctx: &Ctx, now: Instant) {
         if self.dead {
             return;
         }
+        if let Some(since) = self.evicting {
+            // Grace: once the notice is delivered (buffer empty) or
+            // another send_timeout lapses without the peer taking it,
+            // tear down for real. Replies already in the buffer flush
+            // ahead of the notice; anything still executing is dropped
+            // at teardown like any abrupt disconnect.
+            if self.out_len() == 0 || now.duration_since(since) > ctx.net.send_timeout {
+                self.dead = true;
+            }
+            return;
+        }
         // A peer that never reads its replies can stall the writer
-        // only briefly: the send timeout turns a dead drain into a
-        // teardown.
+        // only briefly: the send timeout turns a dead drain into an
+        // eviction (torn down *and counted*, freeing its budget share
+        // at teardown).
         if self.out_len() > 0 && now.duration_since(self.last_progress) > ctx.net.send_timeout {
-            self.dead = true;
+            let stalled = now.duration_since(self.last_progress);
+            self.evict(
+                ctx,
+                now,
+                format!(
+                    "no send progress for {}ms (send timeout {}ms)",
+                    stalled.as_millis(),
+                    ctx.net.send_timeout.as_millis()
+                ),
+            );
             return;
         }
         // Escape hatch: a draining connection still owed replies that
@@ -1163,7 +1407,18 @@ impl Conn {
         if self.read_closed && (self.inflight > 0 || self.pending.is_some()) {
             let since = *self.reply_starved_since.get_or_insert(now);
             if now.duration_since(since) > ctx.net.reply_timeout {
-                self.dead = true;
+                let starved = now.duration_since(since);
+                self.evict(
+                    ctx,
+                    now,
+                    format!(
+                        "reply starvation: {} update(s) unanswered for {}ms \
+                         (reply timeout {}ms)",
+                        self.inflight,
+                        starved.as_millis(),
+                        ctx.net.reply_timeout.as_millis()
+                    ),
+                );
             }
         } else {
             self.reply_starved_since = None;
@@ -1295,6 +1550,28 @@ impl Worker {
             return;
         }
         let _ = stream.set_nodelay(true);
+        // Connection-arrival gating: over the high-water mark the
+        // cheapest possible reject — one best-effort frame onto the
+        // fresh socket (its send buffer is empty, the write virtually
+        // always completes), then drop. No poller registration, no
+        // `Conn`, no session. Drain mode still serves the backlog.
+        if !self.drain_started && self.ctx.over_high_water() {
+            self.ctx
+                .admission
+                .shed_overload
+                .fetch_add(1, Ordering::Relaxed);
+            let notice = failed(
+                &self.ctx.server,
+                &Error::Busy("serving tier over its high-water mark; retry after backoff".into()),
+            )
+            .encode(0);
+            let mut framed = Vec::with_capacity(FRAME_HEADER + notice.len());
+            let _ = write_frame(&mut framed, &notice);
+            let mut s = &stream;
+            let _ = s.write(&framed);
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
         let token = self.next_token;
         self.next_token += 1;
         if self
@@ -1341,7 +1618,7 @@ impl Worker {
             let Some(conn) = self.conns.get_mut(&token) else {
                 continue; // closed since the waker fired; stale entry
             };
-            conn.drain_session(sid);
+            conn.drain_session(&self.ctx, sid);
             if touched.back() != Some(&token) {
                 touched.push_back(token);
             }
@@ -1435,6 +1712,10 @@ impl Worker {
             if let Some(sub) = &conn.sub {
                 sub.feed.unregister(sub.slot);
             }
+            // Whatever this connection still had in flight will never
+            // be drained: hand its budget share back so an evicted or
+            // reset connection frees admission capacity immediately.
+            self.ctx.admission.release(conn.inflight);
             let _ = conn.stream.shutdown(Shutdown::Both);
             self.ctx.shared.conns.fetch_sub(1, Ordering::AcqRel);
             // `conn.sessions` drops here, releasing the core sessions

@@ -26,7 +26,16 @@ fn start_bfs(capacity: usize) -> NetServer {
         vec![Arc::new(Bfs::new(0)) as DynAlgorithm],
         capacity,
         bfs_config(),
-        NetConfig::default(),
+        // This suite asserts every pipelined request is admitted, so
+        // pin admission off regardless of the environment — the CI
+        // `test-admission` job runs the net suite with tiny
+        // `RISGRAPH_NET_*` budgets to pressure the shed paths, and
+        // deliberate shedding is `tests/admission.rs`' job, not ours.
+        NetConfig {
+            inflight_budget: 0,
+            session_quota: 0,
+            ..NetConfig::default()
+        },
     )
     .unwrap()
 }

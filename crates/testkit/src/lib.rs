@@ -47,7 +47,8 @@ pub use differential::{
 pub use faults::{FaultPlan, FaultyProxy, ProxyStats};
 pub use oracle::{apply_update, assert_engine_matches, oracle_values, LiveEdge};
 pub use streams::{
-    disjoint_session_streams, hub_conflict_streams, random_stream, resolve_step, safe_churn,
-    unsafe_chain_preload, unsafe_chain_streams, unsafe_chain_streams_with_build, HubConflictConfig,
-    RegionStreamConfig, Step, UnsafeChainConfig,
+    disjoint_session_streams, hub_conflict_streams, partitioned_safe_inserts, random_stream,
+    resolve_step, safe_churn, unsafe_chain_preload, unsafe_chain_streams,
+    unsafe_chain_streams_with_build, HubConflictConfig, RegionStreamConfig, Step,
+    UnsafeChainConfig,
 };

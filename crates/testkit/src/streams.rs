@@ -321,6 +321,48 @@ pub fn safe_churn(preload: &[LiveEdge], pairs: usize, seed: u64) -> Vec<Update> 
     out
 }
 
+/// One duplicate-insert-only stream per session, each over its own
+/// disjoint slice of the **deduplicated** preload: `ops` inserts of
+/// randomly chosen already-loaded edges. Like [`safe_churn`] every
+/// update classifies safe (a duplicate insert improves nothing), but
+/// unlike churn each update is also *independently* valid — any subset
+/// can be admitted and every admitted op still succeeds. That is the
+/// property a deliberate-shedding harness needs: shed a churn pair's
+/// insert and its delete legitimately fails with `EdgeNotFound`, so
+/// "every admitted op succeeds" would be un-assertable.
+pub fn partitioned_safe_inserts(
+    preload: &[LiveEdge],
+    sessions: usize,
+    ops: usize,
+    seed: u64,
+) -> Vec<Vec<Update>> {
+    let mut seen = std::collections::HashSet::new();
+    let pool: Vec<LiveEdge> = preload
+        .iter()
+        .copied()
+        .filter(|e| seen.insert(*e))
+        .collect();
+    let chunk = pool.len() / sessions.max(1);
+    assert!(
+        chunk > 0,
+        "preload has only {} distinct edges for {} sessions",
+        pool.len(),
+        sessions
+    );
+    (0..sessions)
+        .map(|s| {
+            let slice = &pool[s * chunk..(s + 1) * chunk];
+            let mut rng = StdRng::seed_from_u64(seed + s as u64);
+            (0..ops)
+                .map(|_| {
+                    let (src, dst, w) = slice[rng.gen_range(0..slice.len())];
+                    Update::InsEdge(Edge::new(src, dst, w))
+                })
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

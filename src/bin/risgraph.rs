@@ -74,6 +74,18 @@ struct Args {
     /// Reactor worker threads for the serving tier (serve mode;
     /// default RISGRAPH_NET_WORKERS or the core count, capped at 4).
     net_workers: Option<usize>,
+    /// Global admission budget: total in-flight updates across all
+    /// connections before v2 requests are shed with Busy (serve mode;
+    /// default RISGRAPH_NET_INFLIGHT_BUDGET or 0 = unlimited).
+    inflight_budget: Option<usize>,
+    /// Per-session in-flight quota before a v2 session's requests are
+    /// shed with Busy (serve mode; default RISGRAPH_NET_SESSION_QUOTA
+    /// or 0 = unlimited).
+    session_quota: Option<usize>,
+    /// New connections/sessions are refused while a worker's inbox +
+    /// ready backlog exceeds this depth (serve mode; default
+    /// RISGRAPH_NET_ACCEPT_HIGH_WATER or 4096, 0 disables the gate).
+    accept_high_water: Option<usize>,
     /// WAL segment rotation threshold in bytes (0 disables rotation).
     max_wal_size: Option<u64>,
     /// Periodic checkpoint cadence in milliseconds.
@@ -96,6 +108,9 @@ fn parse_args() -> Args {
         follow: None,
         max_followers: None,
         net_workers: None,
+        inflight_budget: None,
+        session_quota: None,
+        accept_high_water: None,
         max_wal_size: None,
         checkpoint_interval: None,
         metrics_listen: None,
@@ -172,6 +187,36 @@ fn parse_args() -> Args {
                 };
                 i += 2;
             }
+            "--inflight-budget" if i + 1 < args.len() => {
+                parsed.inflight_budget = match args[i + 1].parse::<usize>() {
+                    Ok(n) => Some(n),
+                    Err(_) => {
+                        eprintln!("--inflight-budget takes an update count (0 = unlimited)");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--session-quota" if i + 1 < args.len() => {
+                parsed.session_quota = match args[i + 1].parse::<usize>() {
+                    Ok(n) => Some(n),
+                    Err(_) => {
+                        eprintln!("--session-quota takes an update count (0 = unlimited)");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--accept-high-water" if i + 1 < args.len() => {
+                parsed.accept_high_water = match args[i + 1].parse::<usize>() {
+                    Ok(n) => Some(n),
+                    Err(_) => {
+                        eprintln!("--accept-high-water takes a backlog depth (0 disables)");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
             "--max-wal-size" if i + 1 < args.len() => {
                 parsed.max_wal_size = match args[i + 1].parse::<u64>() {
                     Ok(n) => Some(n),
@@ -201,7 +246,8 @@ fn parse_args() -> Args {
                     "usage: risgraph [serve] [--algorithm bfs|sssp|sswp|wcc|reach] [--root VID] \
                      [--store {}] [--shards N] [--wal PATH] [--max-wal-size BYTES] \
                      [--checkpoint-interval MS] [--listen ADDR] [--follow ADDR] \
-                     [--max-followers N] [--metrics-listen ADDR]\n\n\
+                     [--max-followers N] [--metrics-listen ADDR] [--inflight-budget N] \
+                     [--session-quota N] [--accept-high-water N]\n\n\
                      serve       run the TCP wire-protocol server (crates/net) instead of\n\
                      \u{20}           the stdin shell; Ctrl-C drains gracefully\n\
                      --listen    address to bind in serve mode (default 127.0.0.1:0)\n\
@@ -214,6 +260,17 @@ fn parse_args() -> Args {
                      --net-workers N  reactor worker threads for the serving tier\n\
                      \u{20}           (serve mode; default RISGRAPH_NET_WORKERS or the\n\
                      \u{20}           core count, capped at 4)\n\
+                     --inflight-budget N  admission control: total in-flight updates\n\
+                     \u{20}           across all connections before protocol-v2 requests\n\
+                     \u{20}           are shed with a Busy reply (serve mode; default\n\
+                     \u{20}           RISGRAPH_NET_INFLIGHT_BUDGET or 0 = unlimited)\n\
+                     --session-quota N  per-session in-flight cap before a v2 session's\n\
+                     \u{20}           requests are shed with Busy (serve mode; default\n\
+                     \u{20}           RISGRAPH_NET_SESSION_QUOTA or 0 = unlimited)\n\
+                     --accept-high-water N  refuse new connections/sessions while a\n\
+                     \u{20}           worker's inbox + ready backlog exceeds N (serve\n\
+                     \u{20}           mode; default RISGRAPH_NET_ACCEPT_HIGH_WATER or\n\
+                     \u{20}           4096, 0 disables the gate)\n\
                      --metrics-listen ADDR  serve Prometheus-style text exposition of\n\
                      \u{20}           the metrics registry over HTTP on ADDR (serve and\n\
                      \u{20}           follow modes; every counter/gauge/histogram,\n\
@@ -351,6 +408,15 @@ fn run_serve(args: Args) -> ! {
     };
     if let Some(n) = args.net_workers {
         net_config.net_workers = n;
+    }
+    if let Some(n) = args.inflight_budget {
+        net_config.inflight_budget = n;
+    }
+    if let Some(n) = args.session_quota {
+        net_config.session_quota = n;
+    }
+    if let Some(n) = args.accept_high_water {
+        net_config.accept_high_water = n;
     }
     let net_workers = net_config.net_workers;
     let net = NetServer::start(vec![alg], 1 << 16, config, net_config).unwrap_or_else(|e| {

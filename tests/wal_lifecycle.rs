@@ -271,6 +271,168 @@ fn fresh_follower_bootstraps_from_snapshot_after_feed_eviction() {
     remove_wal(&path);
 }
 
+/// The lagging-follower wedge regression: a *non-fresh* follower that
+/// comes back after the feed's retention floor passed its watermark
+/// used to receive a terminal rejection and retry the same doomed
+/// offset forever (reconverging only via operator restart). Now the
+/// leader names the condition (`FeedTruncated`) and the follower
+/// resets itself to fresh, re-subscribes at 0, and takes the snapshot
+/// bootstrap path — reconverging with no manual intervention.
+///
+/// The outage is simulated with a pausable byte proxy between follower
+/// and leader: pausing kills the live stream and refuses reconnects
+/// (so the leader frees the follower's watermark slot and checkpoint
+/// eviction can advance past it), unpausing lets the follower back in.
+#[test]
+fn evicted_follower_resets_to_fresh_and_reconverges() {
+    let path = temp_path("wal-feed-reset.wal");
+    let mut config = server_config(BackendKind::IaHash, 1);
+    config.wal_path = Some(path.clone());
+    config.max_wal_segment_bytes = 1024;
+    config.max_followers = 2;
+    let net = NetServer::start(
+        wcc_algorithms(),
+        1 << 12,
+        config,
+        NetConfig {
+            heartbeat_interval: Duration::from_millis(20),
+            ..NetConfig::default()
+        },
+    )
+    .expect("leader");
+
+    // Pausable proxy: forwards bytes both ways; while paused, live
+    // links are severed and new connects are accepted-then-dropped.
+    let leader_addr = net.local_addr();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let proxy_addr = listener.local_addr().unwrap();
+    let paused = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let links: Arc<std::sync::Mutex<Vec<std::net::TcpStream>>> = Arc::default();
+    {
+        let (paused, links) = (Arc::clone(&paused), Arc::clone(&links));
+        std::thread::spawn(move || {
+            for inbound in listener.incoming() {
+                let Ok(inbound) = inbound else { break };
+                if paused.load(Ordering::Relaxed) {
+                    continue; // dropped: the follower sees EOF and retries
+                }
+                let Ok(outbound) = std::net::TcpStream::connect(leader_addr) else {
+                    continue;
+                };
+                let mut ends = links.lock().unwrap();
+                for (mut rd, mut wr) in [
+                    (inbound.try_clone().unwrap(), outbound.try_clone().unwrap()),
+                    (outbound.try_clone().unwrap(), inbound.try_clone().unwrap()),
+                ] {
+                    std::thread::spawn(move || {
+                        let _ = std::io::copy(&mut rd, &mut wr);
+                        let _ = wr.shutdown(std::net::Shutdown::Both);
+                    });
+                }
+                ends.push(inbound);
+                ends.push(outbound);
+            }
+        });
+    }
+    let sever = |pause: bool| {
+        paused.store(pause, Ordering::Relaxed);
+        if pause {
+            for end in links.lock().unwrap().drain(..) {
+                let _ = end.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    };
+
+    // Attach the follower first (its watermark pins retention while
+    // connected) and let it ride the live stream — no bootstrap.
+    let follower = ReplicaServer::start(
+        wcc_algorithms(),
+        1 << 12,
+        server_config(BackendKind::IaHash, 1),
+        FollowerConfig {
+            reconnect_backoff: Duration::from_millis(10),
+            ..FollowerConfig::to_leader(proxy_addr.to_string())
+        },
+    )
+    .expect("follower");
+    let s = net.server().session();
+    for i in 0..200u64 {
+        assert!(s.ins_edge(Edge::new(i % 16, i % 16 + 1, 1)).outcome.is_ok());
+    }
+    let synced_version = net.server().current_version();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while follower.replica().current_version() < synced_version {
+        assert!(Instant::now() < deadline, "follower never synced");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let watermark = follower.replica().applied_records();
+    assert!(
+        watermark > 0,
+        "follower must be non-fresh before the outage"
+    );
+    assert_eq!(
+        follower.stats().snapshot_bootstraps.load(Ordering::Relaxed),
+        0,
+        "a live follower rides the stream"
+    );
+
+    // Outage: sever the stream, then churn the leader until checkpoint
+    // eviction drops the feed prefix past the follower's watermark.
+    sever(true);
+    let feed = Arc::clone(net.server().feed().expect("feed"));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while feed.base() <= watermark {
+        assert!(
+            Instant::now() < deadline,
+            "feed base {} never passed the watermark {watermark}",
+            feed.base()
+        );
+        for i in 0..64u64 {
+            assert!(s.ins_edge(Edge::new(i % 8, i % 8 + 1, 1)).outcome.is_ok());
+        }
+    }
+    drop(s);
+
+    // Recovery: the follower's resubscribe at its stale watermark is
+    // refused as FeedTruncated; it must reset to fresh, bootstrap from
+    // the snapshot, and reconverge — all on its own.
+    sever(false);
+    let leader_version = net.server().current_version();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while follower.replica().current_version() < leader_version || follower.lag() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "follower wedged at version {} (lag {}, resets {}), leader at {leader_version}",
+            follower.replica().current_version(),
+            follower.lag(),
+            follower.stats().feed_resets.load(Ordering::Relaxed),
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(
+        follower.stats().feed_resets.load(Ordering::Relaxed) >= 1,
+        "recovery must go through the feed-truncation reset"
+    );
+    assert_eq!(
+        follower.stats().snapshot_bootstraps.load(Ordering::Relaxed),
+        1,
+        "the reset follower must bootstrap from the snapshot exactly once"
+    );
+    assert_eq!(
+        store_fingerprint(follower.replica().engine(), 1 << 12),
+        store_fingerprint(net.server().engine(), 1 << 12),
+        "reconverged follower store"
+    );
+    assert_eq!(
+        follower.replica().current_version(),
+        net.server().current_version()
+    );
+
+    follower.shutdown();
+    net.shutdown();
+    remove_wal(&path);
+}
+
 /// 60-second soak: tiny segments, a timer checkpoint cadence and a live
 /// follower; under continuous churn both the WAL's disk footprint and
 /// the feed's resident window must stay bounded, and a restart must
